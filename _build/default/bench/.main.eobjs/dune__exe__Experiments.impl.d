@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Flood Fun Graph_core Harary Lhg_core List Overlay Plot Printf String Sys Topo

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Flood Graph_core Harary Hashtbl Instance Lazy Lhg_core List Measure Printf Staged Test Time Toolkit

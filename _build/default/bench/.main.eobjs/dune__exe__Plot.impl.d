@@ -1,0 +1,1 @@
+bench/plot.ml: Array Char List Printf String

@@ -1,0 +1,30 @@
+(* Benchmark/experiment entry point.
+
+   With no arguments: run every experiment (F1-F5, T1-T5) and the
+   bechamel micro-suite. With arguments: run only the named ones,
+   e.g. `dune exec bench/main.exe -- f1 t3 bechamel`. *)
+
+let usage () =
+  Printf.printf "usage: main.exe [%s|bechamel]...\n"
+    (String.concat "|" (List.map fst Experiments.all))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) Experiments.all;
+      Micro.run ()
+  | [ "--help" ] | [ "-h" ] -> usage ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id Experiments.all with
+          | Some f -> f ()
+          | None ->
+              if id = "bechamel" then Micro.run ()
+              else begin
+                Printf.printf "unknown experiment %S\n" id;
+                usage ();
+                exit 1
+              end)
+        ids

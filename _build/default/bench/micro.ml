@@ -1,0 +1,50 @@
+(* B1: bechamel micro-benchmarks — construction and verification cost.
+   One Test.make per operation; results printed as ns/run estimates. *)
+
+open Bechamel
+open Toolkit
+
+let graph_1k = lazy ((Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph)
+
+let graph_256 = lazy ((Lhg_core.Build.kdiamond_exn ~n:258 ~k:4).Lhg_core.Build.graph)
+
+let tests =
+  Test.make_grouped ~name:"lhg" ~fmt:"%s %s"
+    [
+      Test.make ~name:"build ktree n=1024 k=4" (Staged.stage (fun () ->
+          ignore (Lhg_core.Build.ktree_exn ~n:1024 ~k:4)));
+      Test.make ~name:"build kdiamond n=1026 k=4" (Staged.stage (fun () ->
+          ignore (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4)));
+      Test.make ~name:"build harary n=1024 k=4" (Staged.stage (fun () ->
+          ignore (Harary.make ~k:4 ~n:1024)));
+      Test.make ~name:"bfs n=1026" (Staged.stage (fun () ->
+          ignore (Graph_core.Bfs.distances (Lazy.force graph_1k) ~src:0)));
+      Test.make ~name:"sync flood n=1026" (Staged.stage (fun () ->
+          ignore (Flood.Sync.flood (Lazy.force graph_1k) ~source:0)));
+      Test.make ~name:"is_4_connected n=258" (Staged.stage (fun () ->
+          ignore (Graph_core.Connectivity.is_k_vertex_connected (Lazy.force graph_256) ~k:4)));
+      Test.make ~name:"event flood n=258" (Staged.stage (fun () ->
+          ignore (Flood.Flooding.run ~graph:(Lazy.force graph_256) ~source:0 ())));
+    ]
+
+let run () =
+  print_endline "\n=== B1  micro-benchmarks (bechamel, monotonic clock) ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) ->
+          let value, unit_ =
+            if est > 1e9 then (est /. 1e9, "s")
+            else if est > 1e6 then (est /. 1e6, "ms")
+            else if est > 1e3 then (est /. 1e3, "us")
+            else (est, "ns")
+          in
+          Printf.printf "%-38s %10.2f %s/run\n" name value unit_
+      | Some [] | None -> Printf.printf "%-38s (no estimate)\n" name)
+    (List.sort compare rows)

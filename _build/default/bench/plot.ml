@@ -1,0 +1,34 @@
+(* Minimal ASCII chart renderer so the diameter/latency experiments read
+   as figures, not just tables. One row per series; log-x sweep assumed;
+   y rendered on a linear scale with per-chart normalisation. *)
+
+let render ~title ~x_label ~xs ~series =
+  let width = 44 and height = 12 in
+  let all_ys = List.concat_map snd series in
+  let y_max = List.fold_left max 1.0 all_ys in
+  let grid = Array.make_matrix height width ' ' in
+  let x_count = List.length xs in
+  let col i = if x_count <= 1 then 0 else i * (width - 1) / (x_count - 1) in
+  let row y =
+    let r = int_of_float (y /. y_max *. float_of_int (height - 1)) in
+    height - 1 - min (height - 1) (max 0 r)
+  in
+  List.iteri
+    (fun si (_, ys) ->
+      let mark = Char.chr (Char.code 'a' + si) in
+      List.iteri (fun i y -> grid.(row y).(col i) <- mark) ys)
+    series;
+  Printf.printf "%s  (y up to %.0f)\n" title y_max;
+  Array.iter
+    (fun line ->
+      print_string "  |";
+      Array.iter print_char line;
+      print_newline ())
+    grid;
+  Printf.printf "  +%s\n" (String.make width '-');
+  Printf.printf "   %s: %s .. %s\n" x_label
+    (string_of_int (List.hd xs))
+    (string_of_int (List.nth xs (x_count - 1)));
+  List.iteri
+    (fun si (name, _) -> Printf.printf "   %c = %s\n" (Char.chr (Char.code 'a' + si)) name)
+    series

@@ -1,0 +1,398 @@
+(* lhg_tool: command-line front end for the LHG library.
+
+   Subcommands:
+     generate  build a topology and print it (edge list or DOT)
+     verify    check the four LHG properties of a generated topology
+     tables    print EX/REG characteristic tables
+     flood     run a flooding simulation with failures
+     diameter  diameter comparison across topologies for one n, k *)
+
+open Cmdliner
+
+let kinds = [ "ktree"; "kdiamond"; "jd"; "harary"; "hypercube"; "expander"; "cycle"; "complete" ]
+
+let build_graph ~kind ~n ~k ~seed =
+  match kind with
+  | "ktree" -> (
+      match Lhg_core.Build.ktree ~n ~k with
+      | Ok b -> Ok b.Lhg_core.Build.graph
+      | Error e -> Error (Lhg_core.Build.error_to_string e))
+  | "kdiamond" -> (
+      match Lhg_core.Build.kdiamond ~n ~k with
+      | Ok b -> Ok b.Lhg_core.Build.graph
+      | Error e -> Error (Lhg_core.Build.error_to_string e))
+  | "jd" -> (
+      match Lhg_core.Build.jd ~n ~k () with
+      | Ok b -> Ok b.Lhg_core.Build.graph
+      | Error e -> Error (Lhg_core.Build.error_to_string e))
+  | "harary" ->
+      if k >= 2 && k < n then Ok (Harary.make ~k ~n)
+      else Error "harary needs 2 <= k < n"
+  | "hypercube" ->
+      if Topo.Hypercube.admissible ~n ~k then Ok (Topo.Hypercube.make ~dim:k)
+      else Error (Printf.sprintf "hypercube needs n = 2^k (nearest: %d)" (1 lsl k))
+  | "expander" ->
+      if k mod 2 = 0 && k >= 2 then
+        Ok (Topo.Expander.random_regular (Graph_core.Prng.create ~seed) ~n ~degree:k)
+      else Error "expander needs even k"
+  | "cycle" -> if n >= 3 then Ok (Graph_core.Generators.cycle n) else Error "cycle needs n >= 3"
+  | "complete" -> Ok (Graph_core.Generators.complete n)
+  | other -> Error (Printf.sprintf "unknown kind %S (expected one of: %s)" other (String.concat ", " kinds))
+
+(* common args *)
+
+let kind_arg =
+  let doc = Printf.sprintf "Topology kind: %s." (String.concat ", " kinds) in
+  Arg.(value & opt string "kdiamond" & info [ "t"; "kind" ] ~docv:"KIND" ~doc)
+
+let n_arg = Arg.(value & opt int 46 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Connectivity degree.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let with_graph kind n k seed f =
+  match build_graph ~kind ~n ~k ~seed with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | Ok g -> f g
+
+(* generate *)
+
+let witness_of kind n k =
+  match kind with
+  | "ktree" -> (match Lhg_core.Build.ktree ~n ~k with Ok b -> Some b | Error _ -> None)
+  | "kdiamond" -> (match Lhg_core.Build.kdiamond ~n ~k with Ok b -> Some b | Error _ -> None)
+  | "jd" -> (match Lhg_core.Build.jd ~n ~k () with Ok b -> Some b | Error _ -> None)
+  | _ -> None
+
+let generate kind n k seed dot out =
+  with_graph kind n k seed (fun g ->
+      let doc =
+        if dot then
+          match witness_of kind n k with
+          | Some b -> Lhg_core.Viz.to_dot ~name:kind b
+          | None -> Graph_core.Dot.to_dot ~name:kind g
+        else begin
+          let buf = Buffer.create 1024 in
+          Buffer.add_string buf
+            (Printf.sprintf "# %s n=%d m=%d\n" kind (Graph_core.Graph.n g) (Graph_core.Graph.m g));
+          Graph_core.Graph.iter_edges g (fun u v ->
+              Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+          Buffer.contents buf
+        end
+      in
+      (match out with
+      | Some path ->
+          Graph_core.Dot.write_file ~path doc;
+          Printf.printf "wrote %s\n" path
+      | None -> print_string doc);
+      0)
+
+let generate_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of an edge list.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Build a topology and print it")
+    Term.(const generate $ kind_arg $ n_arg $ k_arg $ seed_arg $ dot $ out)
+
+(* verify *)
+
+let verify kind n k seed skip_minimality input =
+  let checked g =
+      let report = Lhg_core.Verify.verify ~check_minimality:(not skip_minimality) g ~k in
+      Format.printf "%a@." Lhg_core.Verify.pp_report report;
+      if Lhg_core.Verify.is_lhg ~check_minimality:(not skip_minimality) g ~k then begin
+        print_endline "verdict: this graph is a Logarithmic Harary Graph";
+        0
+      end
+      else begin
+        print_endline "verdict: NOT an LHG";
+        1
+      end
+  in
+  match input with
+  | Some path -> (
+      match Graph_core.Serial.read_file ~path with
+      | Ok g -> checked g
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          1)
+  | None -> with_graph kind n k seed checked
+
+let verify_cmd =
+  let skip =
+    Arg.(value & flag & info [ "skip-minimality" ] ~doc:"Skip the O(m) link-minimality check.")
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Read the graph from an edge-list file instead of generating it.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check the four LHG properties")
+    Term.(const verify $ kind_arg $ n_arg $ k_arg $ seed_arg $ skip $ input)
+
+(* tables *)
+
+let tables k span =
+  Printf.printf "k = %d, n from %d to %d\n" k (2 * k) ((2 * k) + span);
+  Printf.printf "%6s %6s %8s %10s %10s %12s\n" "n" "EX_jd" "EX_ktree" "EX_kdiam" "REG_ktree"
+    "REG_kdiam";
+  for n = 2 * k to (2 * k) + span do
+    let b fmt = if fmt then "yes" else "-" in
+    Printf.printf "%6d %6s %8s %10s %10s %12s\n" n
+      (b (Lhg_core.Existence.ex_jd ~n ~k ()))
+      (b (Lhg_core.Existence.ex_ktree ~n ~k))
+      (b (Lhg_core.Existence.ex_kdiamond ~n ~k))
+      (b (Lhg_core.Regularity.reg_ktree ~n ~k))
+      (b (Lhg_core.Regularity.reg_kdiamond ~n ~k))
+  done;
+  0
+
+let tables_cmd =
+  let span = Arg.(value & opt int 30 & info [ "span" ] ~docv:"SPAN" ~doc:"Rows past n = 2k.") in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print existence/regularity characteristic tables")
+    Term.(const tables $ k_arg $ span)
+
+(* flood *)
+
+let flood kind n k seed crashes links source =
+  with_graph kind n k seed (fun g ->
+      let rng = Graph_core.Prng.create ~seed in
+      let crashed =
+        Flood.Runner.random_crashes rng ~n:(Graph_core.Graph.n g) ~count:crashes ~avoid:source
+      in
+      let failed_links = Flood.Runner.random_link_failures rng g ~count:links in
+      let r = Flood.Flooding.run ~crashed ~failed_links ~seed ~graph:g ~source () in
+      Printf.printf "flooded %s(n=%d, k=%d) from node %d with %d crashes, %d link failures\n" kind
+        n k source crashes links;
+      Printf.printf "  messages sent:      %d\n" r.Flood.Flooding.messages_sent;
+      Printf.printf "  rounds (max hops):  %d\n" r.Flood.Flooding.max_hops;
+      Printf.printf "  completion time:    %.2f\n" r.Flood.Flooding.completion_time;
+      Printf.printf "  covered survivors:  %b\n" r.Flood.Flooding.covers_all_alive;
+      if r.Flood.Flooding.covers_all_alive then 0 else 1)
+
+let flood_cmd =
+  let crashes =
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"F" ~doc:"Crashed nodes (random).")
+  in
+  let links =
+    Arg.(value & opt int 0 & info [ "link-failures" ] ~docv:"F" ~doc:"Failed links (random).")
+  in
+  let source = Arg.(value & opt int 0 & info [ "source" ] ~docv:"V" ~doc:"Flooding source.") in
+  Cmd.v
+    (Cmd.info "flood" ~doc:"Run one flooding simulation")
+    Term.(const flood $ kind_arg $ n_arg $ k_arg $ seed_arg $ crashes $ links $ source)
+
+(* diameter *)
+
+let diameter n k seed =
+  Printf.printf "%12s %8s %8s %10s\n" "topology" "edges" "diam" "flood-rounds";
+  List.iter
+    (fun kind ->
+      match build_graph ~kind ~n ~k ~seed with
+      | Error msg -> Printf.printf "%12s %s\n" kind ("(" ^ msg ^ ")")
+      | Ok g ->
+          let d =
+            match Graph_core.Paths.diameter g with Some d -> string_of_int d | None -> "inf"
+          in
+          let rounds = (Flood.Sync.flood g ~source:0).Flood.Sync.rounds in
+          Printf.printf "%12s %8d %8s %10d\n" kind (Graph_core.Graph.m g) d rounds)
+    [ "harary"; "ktree"; "kdiamond"; "jd"; "expander"; "hypercube" ];
+  0
+
+let diameter_cmd =
+  Cmd.v
+    (Cmd.info "diameter" ~doc:"Compare diameters across topologies")
+    Term.(const diameter $ n_arg $ k_arg $ seed_arg)
+
+(* cut *)
+
+let cut kind n k seed =
+  with_graph kind n k seed (fun g ->
+      let vc = Graph_core.Connectivity.min_vertex_cut g in
+      let ec = Graph_core.Connectivity.min_edge_cut g in
+      let ints l = String.concat ", " (List.map string_of_int l) in
+      let edges l = String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) l) in
+      Printf.printf "minimum vertex cut (%d vertices): %s\n" (List.length vc)
+        (if vc = [] then "(none - complete or disconnected)" else ints vc);
+      Printf.printf "minimum edge cut   (%d edges):    %s\n" (List.length ec)
+        (if ec = [] then "(none)" else edges ec);
+      0)
+
+let cut_cmd =
+  Cmd.v
+    (Cmd.info "cut" ~doc:"Show a minimum vertex/edge cut (the adversary's target set)")
+    Term.(const cut $ kind_arg $ n_arg $ k_arg $ seed_arg)
+
+(* route *)
+
+let route_cmd_impl kind n k seed src dst =
+  if kind <> "ktree" && kind <> "kdiamond" && kind <> "jd" then begin
+    prerr_endline "error: route needs a witnessed LHG kind (ktree, kdiamond, jd)";
+    1
+  end
+  else begin
+    let build =
+      match kind with
+      | "ktree" -> Lhg_core.Build.ktree ~n ~k
+      | "kdiamond" -> Lhg_core.Build.kdiamond ~n ~k
+      | _ -> Lhg_core.Build.jd ~n ~k ()
+    in
+    match build with
+    | Error e ->
+        prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
+        1
+    | Ok b ->
+        ignore seed;
+        Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst kind n k;
+        List.iteri
+          (fun i p ->
+            Printf.printf "  route %d (%d hops): %s\n" i
+              (List.length p - 1)
+              (String.concat " -> " (List.map string_of_int p)))
+          (Lhg_core.Route.all_routes b ~src ~dst);
+        0
+  end
+
+let route_cmd =
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"V" ~doc:"Source vertex.") in
+  let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"V" ~doc:"Destination vertex.") in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Print the k structured tree-copy routes between two vertices")
+    Term.(const route_cmd_impl $ kind_arg $ n_arg $ k_arg $ seed_arg $ src $ dst)
+
+(* churn *)
+
+let churn kind n k seed steps =
+  let family =
+    match kind with
+    | "ktree" -> Some Overlay.Membership.Ktree
+    | "kdiamond" -> Some Overlay.Membership.Kdiamond
+    | "jd" -> Some Overlay.Membership.Jd
+    | "harary" -> Some Overlay.Membership.Harary_classic
+    | _ -> None
+  in
+  match family with
+  | None ->
+      prerr_endline "error: churn supports kinds ktree, kdiamond, jd, harary";
+      1
+  | Some family -> (
+      let rng = Graph_core.Prng.create ~seed in
+      match Overlay.Churn.run rng ~family ~k ~n0:n ~steps () with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok stats ->
+          Format.printf "%a@." Overlay.Churn.pp_stats stats;
+          0)
+
+let churn_cmd =
+  let steps =
+    Arg.(value & opt int 50 & info [ "steps" ] ~docv:"N" ~doc:"Membership events to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Simulate join/leave churn and report rewiring cost")
+    Term.(const churn $ kind_arg $ n_arg $ k_arg $ seed_arg $ steps)
+
+(* inspect *)
+
+let inspect kind n k =
+  let build =
+    match kind with
+    | "ktree" -> Some (Lhg_core.Build.ktree ~n ~k)
+    | "kdiamond" -> Some (Lhg_core.Build.kdiamond ~n ~k)
+    | "jd" -> Some (Lhg_core.Build.jd ~n ~k ())
+    | _ -> None
+  in
+  match build with
+  | None ->
+      prerr_endline "error: inspect needs a witnessed LHG kind (ktree, kdiamond, jd)";
+      1
+  | Some (Error e) ->
+      prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
+      1
+  | Some (Ok b) ->
+      let shape = b.Lhg_core.Build.shape in
+      let non_leaf, shared, added, unshared = Lhg_core.Shape.counts shape in
+      Printf.printf "%s witness for (n=%d, k=%d)\n" kind n k;
+      Printf.printf "  tree nodes:       %d (%d internal/root, %d shared leaves, %d added, %d unshared groups)\n"
+        (Lhg_core.Shape.size shape) non_leaf shared added unshared;
+      Printf.printf "  tree height:      %d\n" (Lhg_core.Route.height b);
+      Printf.printf "  graph:            %d vertices, %d edges\n"
+        (Graph_core.Graph.n b.Lhg_core.Build.graph)
+        (Graph_core.Graph.m b.Lhg_core.Build.graph);
+      (match Lhg_core.Existence.decompose_ktree ~n ~k with
+      | Some (alpha, j) -> Printf.printf "  K-TREE split:     alpha=%d, j=%d\n" alpha j
+      | None -> ());
+      (match Lhg_core.Existence.decompose_kdiamond ~n ~k with
+      | Some (alpha, j) -> Printf.printf "  K-DIAMOND split:  alpha=%d, j=%d\n" alpha j
+      | None -> ());
+      Printf.printf "  route bound:      %d vertices\n" (Lhg_core.Route.max_route_length b);
+      Printf.printf "  K-TREE witnesses: %d added-leaf distributions for this (n,k)\n"
+        (Lhg_core.Enumerate.count_ktree ~n ~k);
+      Printf.printf "  k-regular:        %b (REG_KDIAMOND predicts %b)\n"
+        (Graph_core.Degree.is_k_regular b.Lhg_core.Build.graph ~k)
+        (Lhg_core.Regularity.reg_kdiamond ~n ~k);
+      Printf.printf "  constraint check: ktree=%b kdiamond=%b\n"
+        (Lhg_core.Constraint_check.satisfies_ktree shape)
+        (Lhg_core.Constraint_check.satisfies_kdiamond shape);
+      0
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print the structural witness of an LHG construction")
+    Term.(const inspect $ kind_arg $ n_arg $ k_arg)
+
+(* grow *)
+
+let grow n k verbose =
+  if k < 3 then begin
+    prerr_endline "error: grow needs k >= 3";
+    1
+  end
+  else if n < 2 * k then begin
+    Printf.eprintf "error: target n must be >= 2k = %d\n" (2 * k);
+    1
+  end
+  else begin
+    let overlay = Overlay.Incremental.start ~k in
+    while Overlay.Incremental.n overlay < n do
+      let r = Overlay.Incremental.join overlay in
+      if verbose then
+        Printf.printf "n=%d %s (+%d/-%d)\n"
+          (Overlay.Incremental.n overlay)
+          (Overlay.Incremental.op_name r.Overlay.Incremental.op)
+          r.Overlay.Incremental.edges_added r.Overlay.Incremental.edges_removed
+    done;
+    let g = Overlay.Incremental.graph overlay in
+    let joins = n - (2 * k) in
+    Printf.printf "grew to n=%d (k=%d): %d edges, %d joins, %d edges rewired (%.1f per join)\n" n
+      k (Graph_core.Graph.m g) joins
+      (Overlay.Incremental.total_rewired overlay)
+      (if joins = 0 then 0.0
+       else float_of_int (Overlay.Incremental.total_rewired overlay) /. float_of_int joins);
+    Printf.printf "verifier: %s\n"
+      (if Lhg_core.Verify.is_lhg ~check_minimality:false g ~k then "LHG confirmed"
+       else "NOT an LHG (bug)");
+    0
+  end
+
+let grow_cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every join operation.") in
+  Cmd.v
+    (Cmd.info "grow" ~doc:"Grow an overlay one peer at a time with incremental proof-step joins")
+    Term.(const grow $ n_arg $ k_arg $ verbose)
+
+let main_cmd =
+  let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
+  Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

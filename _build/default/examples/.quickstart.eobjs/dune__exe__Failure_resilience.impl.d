@@ -1,0 +1,1 @@
+examples/failure_resilience.ml: Flood Graph_core Lhg_core Printf Topo

@@ -1,0 +1,1 @@
+examples/live_overlay.ml: Flood Graph_core Lhg_core Overlay Printf

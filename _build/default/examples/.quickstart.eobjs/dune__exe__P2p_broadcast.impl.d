@@ -1,0 +1,1 @@
+examples/p2p_broadcast.ml: Flood Graph_core Harary Lhg_core List Netsim Printf Topo

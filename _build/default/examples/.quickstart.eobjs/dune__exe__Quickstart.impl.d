@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flood Format Graph_core Harary Lhg_core Printf

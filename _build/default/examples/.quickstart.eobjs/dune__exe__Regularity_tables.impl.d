@@ -1,0 +1,1 @@
+examples/regularity_tables.ml: Graph_core Lhg_core List Printf String

@@ -1,0 +1,1 @@
+examples/routing_failover.ml: Array Graph_core Lhg_core List Printf String

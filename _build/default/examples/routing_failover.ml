@@ -1,0 +1,81 @@
+(* Table-free point-to-point routing on an LHG with failover.
+
+   LHGs are k pasted tree copies, so each vertex owns k structured routes
+   to any destination (one per copy) computable from the witness alone —
+   no routing tables, no flooding. When vertices fail, senders fail over
+   to the next copy; only after all k structured routes are blocked does
+   a (rare) BFS fallback run.
+
+   Run with: dune exec examples/routing_failover.exe *)
+
+module Graph = Graph_core.Graph
+module Build = Lhg_core.Build
+module Route = Lhg_core.Route
+module Prng = Graph_core.Prng
+
+let n = 122
+let k = 4
+
+let () =
+  let b = Build.kdiamond_exn ~n ~k in
+  let g = b.Build.graph in
+  Printf.printf "LHG(%d,%d): height %d, structured route bound %d vertices (diameter %s)\n\n" n k
+    (Route.height b) (Route.max_route_length b)
+    (match Graph_core.Paths.diameter g with Some d -> string_of_int d | None -> "inf");
+
+  (* 1. The k alternative routes between two far-apart vertices. *)
+  let src = 0 and dst = n - 1 in
+  Printf.printf "routes %d -> %d:\n" src dst;
+  List.iteri
+    (fun i p ->
+      Printf.printf "  copy %d (%2d hops): %s\n" i
+        (List.length p - 1)
+        (String.concat " " (List.map string_of_int p)))
+    (Route.all_routes b ~src ~dst);
+
+  (* 2. Failover sweep: crash growing random vertex sets and route
+     through the wreckage. With <= k-1 = 3 failures delivery is
+     guaranteed; we also count how often the structured routes sufficed
+     without the BFS fallback. *)
+  let rng = Prng.create ~seed:99 in
+  Printf.printf "\n%9s %10s %12s %14s\n" "failures" "routed" "structured" "mean hops";
+  List.iter
+    (fun failures ->
+      let trials = 300 in
+      let routed = ref 0 and structured = ref 0 and hops = ref 0 in
+      for _ = 1 to trials do
+        let avoid = Array.make n false in
+        let src = Prng.int rng n in
+        let dst = ref (Prng.int rng n) in
+        while !dst = src do
+          dst := Prng.int rng n
+        done;
+        let placed = ref 0 in
+        while !placed < failures do
+          let v = Prng.int rng n in
+          if v <> src && v <> !dst && not avoid.(v) then begin
+            avoid.(v) <- true;
+            incr placed
+          end
+        done;
+        let structured_ok =
+          List.exists
+            (fun p -> List.for_all (fun v -> not avoid.(v)) p)
+            (Route.all_routes b ~src ~dst:!dst)
+        in
+        if structured_ok then incr structured;
+        match Route.route ~avoid b ~src ~dst:!dst with
+        | Some p ->
+            incr routed;
+            hops := !hops + List.length p - 1
+        | None -> ()
+      done;
+      Printf.printf "%9d %9.1f%% %11.1f%% %14.2f%s\n" failures
+        (100.0 *. float_of_int !routed /. 300.0)
+        (100.0 *. float_of_int !structured /. 300.0)
+        (float_of_int !hops /. float_of_int (max 1 !routed))
+        (if failures = k - 1 then "   <- guaranteed up to here" else ""))
+    [ 0; 1; 2; 3; 6; 12; 24 ];
+
+  print_endline "\nrouted: any path found (structured or BFS fallback);";
+  print_endline "structured: one of the k witness routes already avoided every failure."

@@ -1,0 +1,1 @@
+lib/flood/flooding.ml: Array Graph_core List Netsim

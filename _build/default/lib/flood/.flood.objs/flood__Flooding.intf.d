@@ -1,0 +1,1 @@
+lib/flood/flooding.mli: Graph_core Netsim

@@ -1,0 +1,1 @@
+lib/flood/gossip.ml: Array Graph_core List Netsim

@@ -1,0 +1,1 @@
+lib/flood/gossip.mli: Graph_core Netsim

@@ -1,0 +1,1 @@
+lib/flood/multi.ml: Array Graph_core Hashtbl List Netsim

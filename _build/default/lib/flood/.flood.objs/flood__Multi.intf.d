@@ -1,0 +1,1 @@
+lib/flood/multi.mli: Graph_core Netsim

@@ -1,0 +1,1 @@
+lib/flood/pif.ml: Array Graph_core List Netsim

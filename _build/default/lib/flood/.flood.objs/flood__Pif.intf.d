@@ -1,0 +1,1 @@
+lib/flood/pif.mli: Graph_core Netsim

@@ -1,0 +1,1 @@
+lib/flood/reliability.ml: Array Gossip Graph_core Sync

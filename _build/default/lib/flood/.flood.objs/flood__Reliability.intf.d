@@ -1,0 +1,1 @@
+lib/flood/reliability.mli: Graph_core

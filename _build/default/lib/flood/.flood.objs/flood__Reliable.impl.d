@@ -1,0 +1,1 @@
+lib/flood/reliable.ml: Array Graph_core Hashtbl List Multi Netsim

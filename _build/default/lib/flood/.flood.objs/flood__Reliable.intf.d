@@ -1,0 +1,1 @@
+lib/flood/reliable.mli: Graph_core Multi Netsim

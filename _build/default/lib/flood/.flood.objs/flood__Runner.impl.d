@@ -1,0 +1,1 @@
+lib/flood/runner.ml: Array Flooding Gossip Graph_core List

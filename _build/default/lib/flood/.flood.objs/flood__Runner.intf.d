@@ -1,0 +1,1 @@
+lib/flood/runner.mli: Graph_core Netsim

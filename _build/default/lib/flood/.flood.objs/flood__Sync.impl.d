@@ -1,0 +1,1 @@
+lib/flood/sync.ml: Array Graph_core

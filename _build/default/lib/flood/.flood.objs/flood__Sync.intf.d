@@ -1,0 +1,1 @@
+lib/flood/sync.mli: Graph_core

@@ -1,0 +1,63 @@
+module Graph = Graph_core.Graph
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+type result = {
+  delivered : bool array;
+  delivery_time : float array;
+  hops : int array;
+  messages_sent : int;
+  messages_delivered : int;
+  completion_time : float;
+  max_hops : int;
+  covers_all_alive : bool;
+}
+
+type payload = { hop : int }
+
+let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = []) ?seed ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  if List.mem source crashed then invalid_arg "Flood.run: source is crashed";
+  let sim = Sim.create ?seed () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay () in
+  List.iter (fun v -> Network.crash net v) crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) failed_links;
+  let delivered = Array.make n false in
+  let delivery_time = Array.make n (-1.0) in
+  let hops = Array.make n (-1) in
+  let forward v ~except ~hop =
+    Graph.iter_neighbors graph v (fun w ->
+        if w <> except then Network.send net ~src:v ~dst:w { hop })
+  in
+  Network.set_receiver net (fun ~dst ~src msg ->
+      if not delivered.(dst) then begin
+        delivered.(dst) <- true;
+        delivery_time.(dst) <- Sim.now sim;
+        hops.(dst) <- msg.hop;
+        forward dst ~except:src ~hop:(msg.hop + 1)
+      end);
+  delivered.(source) <- true;
+  delivery_time.(source) <- 0.0;
+  hops.(source) <- 0;
+  forward source ~except:(-1) ~hop:1;
+  Sim.run sim;
+  let completion_time = Array.fold_left max 0.0 delivery_time in
+  let max_hops = Array.fold_left max 0 hops in
+  let alive = Network.alive_mask net in
+  let covers_all_alive =
+    let ok = ref true in
+    Array.iteri (fun v live -> if live && not delivered.(v) then ok := false) alive;
+    !ok
+  in
+  let stats = Network.stats net in
+  {
+    delivered;
+    delivery_time;
+    hops;
+    messages_sent = stats.Network.sent;
+    messages_delivered = stats.Network.delivered;
+    completion_time;
+    max_hops;
+    covers_all_alive;
+  }

@@ -1,0 +1,57 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+type result = {
+  delivered : bool array;
+  messages_sent : int;
+  completion_time : float;
+  coverage_of_alive : float;
+}
+
+type payload = { ttl : int }
+
+let default_ttl ~n =
+  if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.0)) + 4
+
+let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~source ~fanout ~ttl () =
+  if fanout < 1 then invalid_arg "Gossip.run: fanout < 1";
+  if ttl < 1 then invalid_arg "Gossip.run: ttl < 1";
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
+  if List.mem source crashed then invalid_arg "Gossip.run: source is crashed";
+  let sim = Sim.create ?seed () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate () in
+  List.iter (fun v -> Network.crash net v) crashed;
+  let rng = Sim.fork_rng sim in
+  let delivered = Array.make n false in
+  let delivery_time = Array.make n (-1.0) in
+  let push v ~ttl =
+    let ns = Array.of_list (Graph.neighbors graph v) in
+    if Array.length ns > 0 then begin
+      let picks = min fanout (Array.length ns) in
+      let chosen = Prng.sample_without_replacement rng ~k:picks ~n:(Array.length ns) in
+      List.iter (fun i -> Network.send net ~src:v ~dst:ns.(i) { ttl }) chosen
+    end
+  in
+  Network.set_receiver net (fun ~dst ~src:_ msg ->
+      if not delivered.(dst) then begin
+        delivered.(dst) <- true;
+        delivery_time.(dst) <- Sim.now sim;
+        if msg.ttl > 1 then push dst ~ttl:(msg.ttl - 1)
+      end);
+  delivered.(source) <- true;
+  delivery_time.(source) <- 0.0;
+  push source ~ttl;
+  Sim.run sim;
+  let alive = Network.alive_mask net in
+  let alive_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 alive in
+  let reached = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 delivered in
+  let stats = Network.stats net in
+  {
+    delivered;
+    messages_sent = stats.Network.sent;
+    completion_time = Array.fold_left max 0.0 delivery_time;
+    coverage_of_alive = float_of_int reached /. float_of_int (max 1 alive_count);
+  }

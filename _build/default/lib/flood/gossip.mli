@@ -1,0 +1,30 @@
+(** Push gossip — the probabilistic baseline.
+
+    On first receipt (and at the start, for the source) a node forwards
+    the payload to [fanout] uniformly chosen neighbours; a TTL bounds the
+    spread. Gossip sends O(n·fanout) messages and delivers with high
+    probability only — the qualitative contrast with deterministic
+    flooding on a k-connected graph, which guarantees delivery under any
+    k−1 failures. *)
+
+type result = {
+  delivered : bool array;
+  messages_sent : int;
+  completion_time : float;
+  coverage_of_alive : float;  (** delivered / alive, in (0,1] *)
+}
+
+val run :
+  ?latency:Netsim.Network.latency ->
+  ?loss_rate:float ->
+  ?crashed:int list ->
+  ?seed:int ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  fanout:int ->
+  ttl:int ->
+  unit ->
+  result
+
+val default_ttl : n:int -> int
+(** ⌈log₂ n⌉ + 4 — enough rounds for gossip to plausibly saturate. *)

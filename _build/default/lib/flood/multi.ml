@@ -1,0 +1,91 @@
+module Graph = Graph_core.Graph
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+type publication = { origin : int; inject_time : float; payload_id : int }
+
+type message_stats = {
+  payload_id : int;
+  origin : int;
+  delivered_count : int;
+  completion : float;
+  covers_all_alive : bool;
+}
+
+type result = { per_message : message_stats list; total_messages : int; all_covered : bool }
+
+type payload = { id : int; hop : int }
+
+let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ~graph ~publications () =
+  let n = Graph.n graph in
+  let ids = List.map (fun (p : publication) -> p.payload_id) publications in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Multi.run: duplicate payload ids";
+  List.iter
+    (fun (p : publication) ->
+      if p.origin < 0 || p.origin >= n then invalid_arg "Multi.run: origin out of range";
+      if List.mem p.origin crashed then invalid_arg "Multi.run: origin is crashed";
+      if p.inject_time < 0.0 then invalid_arg "Multi.run: negative injection time")
+    publications;
+  let sim = Sim.create ?seed () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay () in
+  List.iter (fun v -> Network.crash net v) crashed;
+  (* per payload: delivery flags and latest first-delivery time *)
+  let seen : (int, bool array) Hashtbl.t = Hashtbl.create 16 in
+  let last_delivery : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : publication) ->
+      Hashtbl.replace seen p.payload_id (Array.make n false);
+      Hashtbl.replace last_delivery p.payload_id 0.0)
+    publications;
+  let record id v =
+    let flags = Hashtbl.find seen id in
+    if flags.(v) then false
+    else begin
+      flags.(v) <- true;
+      true
+    end
+  in
+  let forward v ~except ~id ~hop =
+    Graph.iter_neighbors graph v (fun w ->
+        if w <> except then Network.send net ~src:v ~dst:w { id; hop })
+  in
+  Network.set_receiver net (fun ~dst ~src msg ->
+      if record msg.id dst then begin
+        Hashtbl.replace last_delivery msg.id (Sim.now sim);
+        forward dst ~except:src ~id:msg.id ~hop:(msg.hop + 1)
+      end);
+  List.iter
+    (fun (p : publication) ->
+      Sim.schedule_at sim ~time:p.inject_time (fun () ->
+          if record p.payload_id p.origin then
+            forward p.origin ~except:(-1) ~id:p.payload_id ~hop:1))
+    publications;
+  Sim.run sim;
+  let alive = Network.alive_mask net in
+  let per_message =
+    publications
+    |> List.sort (fun (a : publication) (b : publication) -> compare a.payload_id b.payload_id)
+    |> List.map (fun (p : publication) ->
+           let flags = Hashtbl.find seen p.payload_id in
+           let delivered_count =
+             Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 flags
+           in
+           let covers =
+             let ok = ref true in
+             Array.iteri (fun v live -> if live && not flags.(v) then ok := false) alive;
+             !ok
+           in
+           {
+             payload_id = p.payload_id;
+             origin = p.origin;
+             delivered_count;
+             completion = max 0.0 (Hashtbl.find last_delivery p.payload_id -. p.inject_time);
+             covers_all_alive = covers;
+           })
+  in
+  {
+    per_message;
+    total_messages = (Network.stats net).Network.sent;
+    all_covered = List.for_all (fun m -> m.covers_all_alive) per_message;
+  }

@@ -1,0 +1,70 @@
+module Graph = Graph_core.Graph
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+type result = {
+  informed : bool array;
+  completed : bool;
+  completion_detected_at : float;
+  last_delivery_at : float;
+  messages : int;
+}
+
+type message = Propagate | Echo
+
+let run ?latency ?(crashed = []) ?seed ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Pif.run: source out of range";
+  if List.mem source crashed then invalid_arg "Pif.run: source is crashed";
+  let sim = Sim.create ?seed () in
+  let net = Network.create ~sim ~graph ?latency () in
+  List.iter (fun v -> Network.crash net v) crashed;
+  let informed = Array.make n false in
+  let parent = Array.make n (-1) in
+  let pending = Array.make n 0 in
+  let completed = ref false in
+  let completion_at = ref (-1.0) in
+  let last_delivery = ref 0.0 in
+  let close_node v =
+    (* v's subtree has fully echoed *)
+    if v = source then begin
+      completed := true;
+      completion_at := Sim.now sim
+    end
+    else Network.send net ~src:v ~dst:parent.(v) Echo
+  in
+  let propagate_from v ~except =
+    let sent = ref 0 in
+    Graph.iter_neighbors graph v (fun w ->
+        if w <> except then begin
+          Network.send net ~src:v ~dst:w Propagate;
+          incr sent
+        end);
+    pending.(v) <- !sent;
+    if !sent = 0 then close_node v
+  in
+  Network.set_receiver net (fun ~dst ~src msg ->
+      match msg with
+      | Propagate ->
+          if informed.(dst) then
+            (* already part of the wave: answer immediately *)
+            Network.send net ~src:dst ~dst:src Echo
+          else begin
+            informed.(dst) <- true;
+            last_delivery := Sim.now sim;
+            parent.(dst) <- src;
+            propagate_from dst ~except:src
+          end
+      | Echo ->
+          pending.(dst) <- pending.(dst) - 1;
+          if pending.(dst) = 0 && informed.(dst) then close_node dst);
+  informed.(source) <- true;
+  propagate_from source ~except:(-1);
+  Sim.run sim;
+  {
+    informed;
+    completed = !completed;
+    completion_detected_at = !completion_at;
+    last_delivery_at = !last_delivery;
+    messages = (Network.stats net).Network.sent;
+  }

@@ -1,0 +1,56 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+type estimate = { probability : float; lo : float; hi : float; trials : int }
+
+let wilson_interval ~successes ~trials =
+  if trials <= 0 then invalid_arg "Reliability.wilson_interval: no trials";
+  let z = 1.96 in
+  let nf = float_of_int trials in
+  let p = float_of_int successes /. nf in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. nf) in
+  let centre = p +. (z2 /. (2.0 *. nf)) in
+  let spread = z *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf))) in
+  (max 0.0 ((centre -. spread) /. denom), min 1.0 ((centre +. spread) /. denom))
+
+let estimate_of ~successes ~trials =
+  let lo, hi = wilson_interval ~successes ~trials in
+  { probability = float_of_int successes /. float_of_int trials; lo; hi; trials }
+
+let draw_failures rng ~n ~source ~p alive =
+  Array.fill alive 0 n true;
+  for v = 0 to n - 1 do
+    if v <> source && Prng.float rng 1.0 < p then alive.(v) <- false
+  done
+
+let flood_delivery ~graph ~source ~node_failure_prob ~trials ~seed =
+  if trials < 1 then invalid_arg "Reliability.flood_delivery: trials < 1";
+  if node_failure_prob < 0.0 || node_failure_prob > 1.0 then
+    invalid_arg "Reliability.flood_delivery: probability outside [0,1]";
+  let n = Graph.n graph in
+  let rng = Prng.create ~seed in
+  let alive = Array.make n true in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    draw_failures rng ~n ~source ~p:node_failure_prob alive;
+    let r = Sync.flood ~alive graph ~source in
+    if r.Sync.covers_all_alive then incr successes
+  done;
+  estimate_of ~successes:!successes ~trials
+
+let gossip_delivery ~graph ~source ~fanout ~node_failure_prob ~trials ~seed =
+  if trials < 1 then invalid_arg "Reliability.gossip_delivery: trials < 1";
+  let n = Graph.n graph in
+  let rng = Prng.create ~seed in
+  let alive = Array.make n true in
+  let ttl = Gossip.default_ttl ~n in
+  let successes = ref 0 in
+  for t = 1 to trials do
+    draw_failures rng ~n ~source ~p:node_failure_prob alive;
+    let crashed = ref [] in
+    Array.iteri (fun v live -> if not live then crashed := v :: !crashed) alive;
+    let r = Gossip.run ~crashed:!crashed ~seed:(seed + (7919 * t)) ~graph ~source ~fanout ~ttl () in
+    if r.Gossip.coverage_of_alive >= 1.0 then incr successes
+  done;
+  estimate_of ~successes:!successes ~trials

@@ -1,0 +1,125 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+type result = {
+  delivered_fraction : float;
+  complete : bool;
+  completion_time : float option;
+  flood_messages : int;
+  repair_messages : int;
+  repair_messages_at_completion : int option;
+}
+
+type message =
+  | Flood of { id : int; hop : int }
+  | Digest of int list  (** payload ids the sender holds *)
+  | Data of int
+
+let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_entropy_period
+    ~duration () =
+  if anti_entropy_period <= 0.0 then invalid_arg "Reliable.run: non-positive period";
+  if duration <= 0.0 then invalid_arg "Reliable.run: non-positive duration";
+  let n = Graph.n graph in
+  let ids = List.map (fun (p : Multi.publication) -> p.Multi.payload_id) publications in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Reliable.run: duplicate payload ids";
+  List.iter
+    (fun (p : Multi.publication) ->
+      if p.Multi.origin < 0 || p.Multi.origin >= n then
+        invalid_arg "Reliable.run: origin out of range";
+      if List.mem p.Multi.origin crashed then invalid_arg "Reliable.run: origin is crashed";
+      if p.Multi.inject_time < 0.0 then invalid_arg "Reliable.run: negative injection time")
+    publications;
+  let sim = Sim.create ?seed () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate () in
+  List.iter (fun v -> Network.crash net v) crashed;
+  let rng = Sim.fork_rng sim in
+  let payload_count = List.length publications in
+  (* has.(v) maps payload id -> unit for node v *)
+  let has = Array.init n (fun _ -> Hashtbl.create 8) in
+  let alive = Network.alive_mask net in
+  let alive_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 alive in
+  let remaining = ref (alive_count * payload_count) in
+  let completion_time = ref None in
+  let flood_messages = ref 0 and repair_messages = ref 0 in
+  let repair_at_completion = ref None in
+  let holds v id = Hashtbl.mem has.(v) id in
+  let send_flood ~src ~dst id hop =
+    incr flood_messages;
+    Network.send net ~src ~dst (Flood { id; hop })
+  in
+  let send_repair ~src ~dst msg =
+    incr repair_messages;
+    Network.send net ~src ~dst msg
+  in
+  let record v id =
+    if holds v id then false
+    else begin
+      Hashtbl.replace has.(v) id ();
+      if alive.(v) then begin
+        decr remaining;
+        if !remaining = 0 && !completion_time = None then begin
+          completion_time := Some (Sim.now sim);
+          repair_at_completion := Some !repair_messages
+        end
+      end;
+      true
+    end
+  in
+  let forward v ~except ~id ~hop =
+    Graph.iter_neighbors graph v (fun w -> if w <> except then send_flood ~src:v ~dst:w id hop)
+  in
+  Network.set_receiver net (fun ~dst ~src msg ->
+      match msg with
+      | Flood { id; hop } -> if record dst id then forward dst ~except:src ~id ~hop:(hop + 1)
+      | Digest sender_ids ->
+          (* push back everything the sender is missing *)
+          Hashtbl.iter
+            (fun id () -> if not (List.mem id sender_ids) then send_repair ~src:dst ~dst:src (Data id))
+            has.(dst)
+      | Data id -> if record dst id then forward dst ~except:src ~id ~hop:1);
+  (* flooding phase: inject publications *)
+  List.iter
+    (fun (p : Multi.publication) ->
+      Sim.schedule_at sim ~time:p.Multi.inject_time (fun () ->
+          if record p.Multi.origin p.Multi.payload_id then
+            forward p.Multi.origin ~except:(-1) ~id:p.Multi.payload_id ~hop:1))
+    publications;
+  (* anti-entropy timers, phase-shifted per node *)
+  let digest_of v = Hashtbl.fold (fun id () acc -> id :: acc) has.(v) [] in
+  let rec tick v () =
+    if Sim.now sim < duration && not (Network.is_crashed net v) then begin
+      let ns = Array.of_list (Graph.neighbors graph v) in
+      if Array.length ns > 0 then begin
+        let peer = ns.(Prng.int rng (Array.length ns)) in
+        send_repair ~src:v ~dst:peer (Digest (digest_of v))
+      end;
+      Sim.schedule sim ~delay:anti_entropy_period (tick v)
+    end
+  in
+  for v = 0 to n - 1 do
+    if not (Network.is_crashed net v) then begin
+      let phase = Prng.float rng anti_entropy_period in
+      Sim.schedule sim ~delay:phase (tick v)
+    end
+  done;
+  Sim.run ~until:duration sim;
+  let delivered =
+    let total = ref 0 in
+    for v = 0 to n - 1 do
+      if alive.(v) then total := !total + Hashtbl.length has.(v)
+    done;
+    !total
+  in
+  {
+    delivered_fraction =
+      (if alive_count * payload_count = 0 then 1.0
+       else float_of_int delivered /. float_of_int (alive_count * payload_count));
+    complete = !remaining = 0;
+    completion_time = !completion_time;
+    flood_messages = !flood_messages;
+    repair_messages = !repair_messages;
+    repair_messages_at_completion = !repair_at_completion;
+  }

@@ -1,0 +1,91 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+type aggregate = {
+  trials : int;
+  mean_coverage : float;
+  min_coverage : float;
+  all_covered_fraction : float;
+  mean_messages : float;
+  mean_completion : float;
+  mean_max_hops : float;
+}
+
+let random_crashes rng ~n ~count ~avoid =
+  if count < 0 || count > n - 1 then invalid_arg "Runner.random_crashes: bad count";
+  (* Sample from n-1 slots, skipping [avoid] by shifting. *)
+  Prng.sample_without_replacement rng ~k:count ~n:(n - 1)
+  |> List.map (fun v -> if v >= avoid then v + 1 else v)
+
+let random_link_failures rng g ~count =
+  let es = Array.of_list (Graph.edges g) in
+  if count < 0 || count > Array.length es then
+    invalid_arg "Runner.random_link_failures: bad count";
+  Prng.sample_without_replacement rng ~k:count ~n:(Array.length es)
+  |> List.map (fun i -> es.(i))
+
+let coverage_of ~delivered ~crashed ~n =
+  let is_crashed = Array.make n false in
+  List.iter (fun v -> is_crashed.(v) <- true) crashed;
+  let alive = ref 0 and covered = ref 0 in
+  for v = 0 to n - 1 do
+    if not is_crashed.(v) then begin
+      incr alive;
+      if delivered.(v) then incr covered
+    end
+  done;
+  float_of_int !covered /. float_of_int (max 1 !alive)
+
+let aggregate_of results =
+  let trials = List.length results in
+  let ft = float_of_int trials in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 results in
+  let covs = List.map (fun (c, _, _, _) -> c) results in
+  {
+    trials;
+    mean_coverage = sum (fun (c, _, _, _) -> c) /. ft;
+    min_coverage = List.fold_left min 1.0 covs;
+    all_covered_fraction =
+      float_of_int (List.length (List.filter (fun c -> c >= 1.0) covs)) /. ft;
+    mean_messages = sum (fun (_, m, _, _) -> float_of_int m) /. ft;
+    mean_completion = sum (fun (_, _, t, _) -> t) /. ft;
+    mean_max_hops = sum (fun (_, _, _, h) -> float_of_int h) /. ft;
+  }
+
+let flood_trials ?latency ?loss_rate ?(link_failures = 0) ~graph ~source ~crash_count ~trials ~seed () =
+  if trials < 1 then invalid_arg "Runner.flood_trials: trials < 1";
+  let rng = Prng.create ~seed in
+  let n = Graph.n graph in
+  let results =
+    List.init trials (fun t ->
+        let crashed = random_crashes rng ~n ~count:crash_count ~avoid:source in
+        let failed_links =
+          if link_failures = 0 then [] else random_link_failures rng graph ~count:link_failures
+        in
+        let r =
+          Flooding.run ?latency ?loss_rate ~crashed ~failed_links ~seed:(seed + (1000 * t)) ~graph ~source ()
+        in
+        ( coverage_of ~delivered:r.Flooding.delivered ~crashed ~n,
+          r.Flooding.messages_sent,
+          r.Flooding.completion_time,
+          r.Flooding.max_hops ))
+  in
+  aggregate_of results
+
+let gossip_trials ?latency ?loss_rate ~graph ~source ~fanout ~crash_count ~trials ~seed () =
+  if trials < 1 then invalid_arg "Runner.gossip_trials: trials < 1";
+  let rng = Prng.create ~seed in
+  let n = Graph.n graph in
+  let ttl = Gossip.default_ttl ~n in
+  let results =
+    List.init trials (fun t ->
+        let crashed = random_crashes rng ~n ~count:crash_count ~avoid:source in
+        let r =
+          Gossip.run ?latency ?loss_rate ~crashed ~seed:(seed + (1000 * t)) ~graph ~source ~fanout ~ttl ()
+        in
+        ( coverage_of ~delivered:r.Gossip.delivered ~crashed ~n,
+          r.Gossip.messages_sent,
+          r.Gossip.completion_time,
+          0 ))
+  in
+  aggregate_of results

@@ -1,0 +1,51 @@
+(** Experiment helpers: failure sampling and repeated trials.
+
+    These drive the fault-tolerance figures: sample f random crashed
+    nodes (never the source), flood, measure coverage of the surviving
+    component, repeat over seeds, and aggregate. *)
+
+type aggregate = {
+  trials : int;
+  mean_coverage : float;  (** of alive nodes *)
+  min_coverage : float;
+  all_covered_fraction : float;  (** trials with 100% coverage of alive nodes *)
+  mean_messages : float;
+  mean_completion : float;
+  mean_max_hops : float;
+}
+
+val random_crashes : Graph_core.Prng.t -> n:int -> count:int -> avoid:int -> int list
+(** [count] distinct crash victims among [0..n-1] − \{avoid\}. *)
+
+val random_link_failures : Graph_core.Prng.t -> Graph_core.Graph.t -> count:int -> (int * int) list
+(** [count] distinct edges of the graph. *)
+
+val flood_trials :
+  ?latency:Netsim.Network.latency ->
+  ?loss_rate:float ->
+  ?link_failures:int ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  crash_count:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  aggregate
+(** Repeated flooding runs, fresh random failure sets per trial.
+    Coverage counts delivered alive nodes over all alive nodes, so a
+    partitioned survivor graph shows up as < 1 coverage. *)
+
+val gossip_trials :
+  ?latency:Netsim.Network.latency ->
+  ?loss_rate:float ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  fanout:int ->
+  crash_count:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  aggregate
+(** Same aggregation for the gossip baseline (TTL
+    {!Gossip.default_ttl}). [mean_max_hops] is reported as 0 — gossip
+    payloads carry no hop counter. *)

@@ -1,0 +1,25 @@
+(** Synchronous-round flooding analysis (no simulator, no randomness).
+
+    With unit link latency and no losses, deterministic flooding behaves
+    exactly like BFS: a node first hears the message at round = hop
+    distance, then forwards to every neighbour except its first parent.
+    This module computes rounds and message counts in closed form from
+    one BFS pass — the fast path used by the big parameter sweeps, while
+    {!Flooding} cross-checks the same quantities by actual simulation. *)
+
+type t = {
+  reached : int;  (** vertices receiving the message, source included *)
+  rounds : int;  (** max hop distance among reached vertices *)
+  messages : int;  (** total point-to-point sends, dead targets included *)
+  covers_all_alive : bool;
+}
+
+val flood : ?alive:bool array -> Graph_core.Graph.t -> source:int -> t
+(** Flood from [source] over the alive part of the graph. Messages sent
+    to crashed neighbours are counted as sent (the sender cannot know),
+    matching {!Flooding.run}'s accounting. *)
+
+val message_bound : Graph_core.Graph.t -> int
+(** The failure-free message count: 2m − (n − 1) — every edge carries
+    the payload in both directions except the n−1 first-delivery tree
+    edges, which carry it once. *)

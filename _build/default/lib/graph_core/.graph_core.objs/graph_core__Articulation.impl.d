@@ -1,0 +1,1 @@
+lib/graph_core/articulation.ml: Array Components Graph List Stack

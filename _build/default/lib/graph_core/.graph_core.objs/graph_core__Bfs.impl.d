@@ -1,0 +1,1 @@
+lib/graph_core/bfs.ml: Array Graph Queue

@@ -1,0 +1,1 @@
+lib/graph_core/connectivity.ml: Array Components Graph List Maxflow Option

@@ -1,0 +1,1 @@
+lib/graph_core/degree.ml: Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graph_core/dot.ml: Buffer Fun Graph Option Printf

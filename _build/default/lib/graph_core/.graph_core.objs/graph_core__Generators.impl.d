@@ -1,0 +1,1 @@
+lib/graph_core/generators.ml: Array Graph List Pqueue Prng

@@ -1,0 +1,1 @@
+lib/graph_core/gomory_hu.mli: Graph

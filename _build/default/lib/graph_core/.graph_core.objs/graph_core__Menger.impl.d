@@ -1,0 +1,1 @@
+lib/graph_core/menger.ml: Array Connectivity Graph Hashtbl List Maxflow Option

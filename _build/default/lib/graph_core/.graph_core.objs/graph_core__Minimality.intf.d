@@ -1,0 +1,1 @@
+lib/graph_core/minimality.mli: Graph

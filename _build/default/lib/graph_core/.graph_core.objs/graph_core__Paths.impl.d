@@ -1,0 +1,1 @@
+lib/graph_core/paths.ml: Array Bfs Graph List

@@ -1,0 +1,1 @@
+lib/graph_core/prng.ml: Array Hashtbl Int64

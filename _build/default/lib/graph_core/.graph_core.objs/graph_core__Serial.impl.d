@@ -1,0 +1,1 @@
+lib/graph_core/serial.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph_core/spectral.ml: Array Graph Prng

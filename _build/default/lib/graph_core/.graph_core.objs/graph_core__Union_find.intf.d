@@ -1,0 +1,1 @@
+lib/graph_core/union_find.mli:

@@ -1,0 +1,83 @@
+(* Iterative Tarjan low-link: an explicit stack avoids overflow on the
+   deep DFS trees that path-like graphs produce. *)
+
+type dfs_state = {
+  disc : int array;
+  low : int array;
+  parent : int array;
+  mutable timer : int;
+}
+
+let dfs g state ~on_tree_edge_done ~on_root_children root =
+  let stack = Stack.create () in
+  (* Each frame is (vertex, remaining neighbours). *)
+  state.disc.(root) <- state.timer;
+  state.low.(root) <- state.timer;
+  state.timer <- state.timer + 1;
+  Stack.push (root, Graph.neighbors g root) stack;
+  let root_children = ref 0 in
+  while not (Stack.is_empty stack) do
+    let v, ns = Stack.pop stack in
+    match ns with
+    | [] ->
+        if v <> root then begin
+          let p = state.parent.(v) in
+          if state.low.(v) < state.low.(p) then state.low.(p) <- state.low.(v);
+          on_tree_edge_done ~parent:p ~child:v
+        end
+    | w :: rest ->
+        Stack.push (v, rest) stack;
+        if state.disc.(w) < 0 then begin
+          state.parent.(w) <- v;
+          if v = root then incr root_children;
+          state.disc.(w) <- state.timer;
+          state.low.(w) <- state.timer;
+          state.timer <- state.timer + 1;
+          Stack.push (w, Graph.neighbors g w) stack
+        end
+        else if w <> state.parent.(v) && state.disc.(w) < state.low.(v) then
+          state.low.(v) <- state.disc.(w)
+  done;
+  on_root_children !root_children
+
+let fresh_state n =
+  { disc = Array.make n (-1); low = Array.make n 0; parent = Array.make n (-1); timer = 0 }
+
+let cut_vertices g =
+  let n = Graph.n g in
+  let state = fresh_state n in
+  let is_cut = Array.make n false in
+  for root = 0 to n - 1 do
+    if state.disc.(root) < 0 then
+      dfs g state root
+        ~on_tree_edge_done:(fun ~parent ~child ->
+          (* non-root p is a cut vertex iff some child c has
+             low(c) >= disc(p); roots are handled by child count *)
+          if state.parent.(parent) <> -1 && state.low.(child) >= state.disc.(parent) then
+            is_cut.(parent) <- true)
+        ~on_root_children:(fun children -> if children > 1 then is_cut.(root) <- true)
+  done;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if is_cut.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let bridges g =
+  let n = Graph.n g in
+  let state = fresh_state n in
+  let acc = ref [] in
+  for root = 0 to n - 1 do
+    if state.disc.(root) < 0 then
+      dfs g state root
+        ~on_tree_edge_done:(fun ~parent ~child ->
+          if state.low.(child) > state.disc.(parent) then
+            acc := (min parent child, max parent child) :: !acc)
+        ~on_root_children:(fun _ -> ())
+  done;
+  List.sort compare !acc
+
+let is_biconnected g =
+  Graph.n g >= 3 && Components.is_connected g && cut_vertices g = []
+
+let is_two_edge_connected g = Graph.n g >= 2 && Components.is_connected g && bridges g = []

@@ -1,0 +1,18 @@
+(** Cut vertices and bridges (Tarjan's low-link algorithm, O(n + m)).
+
+    Fast structural diagnostics: a k-connected graph (k ≥ 2) has no cut
+    vertices and no bridges, so these run as a cheap pre-check before
+    the max-flow machinery, and they pinpoint the weak spots of
+    topologies that fail verification (e.g. spanning trees, barbells). *)
+
+val cut_vertices : Graph.t -> int list
+(** Ascending list of articulation points. *)
+
+val bridges : Graph.t -> (int * int) list
+(** Bridge edges as (u < v) pairs, lexicographically sorted. *)
+
+val is_biconnected : Graph.t -> bool
+(** Connected, at least 3 vertices, and no cut vertex. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected, at least 2 vertices, and no bridge. *)

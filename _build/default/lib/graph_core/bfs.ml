@@ -1,0 +1,52 @@
+let check_alive g alive =
+  match alive with
+  | None -> fun _ -> true
+  | Some a ->
+      if Array.length a <> Graph.n g then invalid_arg "Bfs: alive mask has wrong length";
+      fun v -> a.(v)
+
+let distances_and_parents ?alive g ~src =
+  let nv = Graph.n g in
+  let live = check_alive g alive in
+  if src < 0 || src >= nv then invalid_arg "Bfs: source out of range";
+  if not (live src) then invalid_arg "Bfs: source is not alive";
+  let dist = Array.make nv (-1) in
+  let parent = Array.make nv (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v ->
+        if live v && dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+  done;
+  (dist, parent)
+
+let distances ?alive g ~src = fst (distances_and_parents ?alive g ~src)
+
+let path ?alive g ~src ~dst =
+  let dist, parent = distances_and_parents ?alive g ~src in
+  if dst < 0 || dst >= Graph.n g then invalid_arg "Bfs.path: dst out of range";
+  if dist.(dst) < 0 then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end
+
+let eccentricity ?alive g ~src =
+  let live = check_alive g alive in
+  let dist = distances ?alive g ~src in
+  let ecc = ref 0 and complete = ref true in
+  Array.iteri
+    (fun v d ->
+      if live v then if d < 0 then complete := false else if d > !ecc then ecc := d)
+    dist;
+  if !complete then Some !ecc else None
+
+let reachable_count ?alive g ~src =
+  let dist = distances ?alive g ~src in
+  Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 dist

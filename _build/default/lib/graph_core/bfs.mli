@@ -1,0 +1,22 @@
+(** Breadth-first search.
+
+    All functions accept an optional [alive] mask (length [n]); vertices
+    with [alive.(v) = false] are treated as removed — the view used for
+    node-crash experiments. The source must be alive. *)
+
+val distances : ?alive:bool array -> Graph.t -> src:int -> int array
+(** Hop distances from [src]; unreachable (or dead) vertices get [-1]. *)
+
+val distances_and_parents : ?alive:bool array -> Graph.t -> src:int -> int array * int array
+(** As {!distances}, plus a BFS parent array ([-1] for [src] and
+    unreached vertices). *)
+
+val path : ?alive:bool array -> Graph.t -> src:int -> dst:int -> int list option
+(** A shortest path from [src] to [dst] inclusive, if one exists. *)
+
+val eccentricity : ?alive:bool array -> Graph.t -> src:int -> int option
+(** Max finite distance from [src], or [None] when some alive vertex is
+    unreachable (infinite eccentricity). *)
+
+val reachable_count : ?alive:bool array -> Graph.t -> src:int -> int
+(** Number of vertices reachable from [src], including [src] itself. *)

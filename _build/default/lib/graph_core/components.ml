@@ -1,0 +1,51 @@
+let live_fun g alive =
+  match alive with
+  | None -> fun _ -> true
+  | Some a ->
+      if Array.length a <> Graph.n g then invalid_arg "Components: alive mask has wrong length";
+      fun v -> a.(v)
+
+let labels ?alive g =
+  let nv = Graph.n g in
+  let live = live_fun g alive in
+  let label = Array.make nv (-1) in
+  let next = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to nv - 1 do
+    if live s && label.(s) < 0 then begin
+      let c = !next in
+      incr next;
+      label.(s) <- c;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Graph.iter_neighbors g u (fun v ->
+            if live v && label.(v) < 0 then begin
+              label.(v) <- c;
+              Queue.add v q
+            end)
+      done
+    end
+  done;
+  label
+
+let count ?alive g =
+  let l = labels ?alive g in
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 l
+
+let is_connected ?alive g =
+  let live = live_fun g alive in
+  let alive_count = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if live v then incr alive_count
+  done;
+  !alive_count > 0 && count ?alive g = 1
+
+let components ?alive g =
+  let l = labels ?alive g in
+  let nclasses = Array.fold_left (fun acc c -> max acc (c + 1)) 0 l in
+  let buckets = Array.make nclasses [] in
+  for v = Graph.n g - 1 downto 0 do
+    if l.(v) >= 0 then buckets.(l.(v)) <- v :: buckets.(l.(v))
+  done;
+  Array.to_list buckets

@@ -1,0 +1,17 @@
+(** Connected components of an undirected graph. *)
+
+val labels : ?alive:bool array -> Graph.t -> int array
+(** Component label per vertex (labels are arbitrary but consistent);
+    dead vertices get [-1]. *)
+
+val count : ?alive:bool array -> Graph.t -> int
+(** Number of connected components among alive vertices. *)
+
+val is_connected : ?alive:bool array -> Graph.t -> bool
+(** [true] iff the alive vertices form one non-empty connected component.
+    A graph with zero alive vertices is not connected; a single alive
+    vertex is. *)
+
+val components : ?alive:bool array -> Graph.t -> int list list
+(** The components as vertex lists, each ascending, ordered by smallest
+    member. *)

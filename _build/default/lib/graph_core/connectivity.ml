@@ -1,0 +1,177 @@
+let edge_flow_network g =
+  let net = Maxflow.Net.create ~n:(max 1 (Graph.n g)) in
+  Graph.iter_edges g (fun u v -> Maxflow.Net.add_edge_bidir net u v ~cap:1);
+  net
+
+let vertex_split_network g =
+  let nv = Graph.n g in
+  let v_in v = 2 * v and v_out v = (2 * v) + 1 in
+  let net = Maxflow.Net.create ~n:(max 1 (2 * nv)) in
+  for v = 0 to nv - 1 do
+    Maxflow.Net.add_arc net ~src:(v_in v) ~dst:(v_out v) ~cap:1
+  done;
+  (* An undirected edge {u,v} lets flow cross in either direction between
+     the out-side of one endpoint and the in-side of the other. Edge arcs
+     carry effectively infinite capacity: flow is already bounded by the
+     unit interior arcs, and saturating only those guarantees minimum
+     cuts consist of interior arcs — i.e. of vertices. *)
+  let big = max 1 nv in
+  Graph.iter_edges g (fun u v ->
+      Maxflow.Net.add_arc net ~src:(v_out u) ~dst:(v_in v) ~cap:big;
+      Maxflow.Net.add_arc net ~src:(v_out v) ~dst:(v_in u) ~cap:big);
+  (net, v_in, v_out)
+
+let check_pair g s t name =
+  let nv = Graph.n g in
+  if s < 0 || s >= nv || t < 0 || t >= nv then invalid_arg (name ^ ": vertex out of range");
+  if s = t then invalid_arg (name ^ ": s = t")
+
+let local_edge_connectivity ?limit g ~s ~t =
+  check_pair g s t "Connectivity.local_edge_connectivity";
+  let net = edge_flow_network g in
+  Maxflow.max_flow ?limit net ~s ~t
+
+let local_vertex_connectivity ?limit g ~s ~t =
+  check_pair g s t "Connectivity.local_vertex_connectivity";
+  if Graph.has_edge g s t then begin
+    let g' = Graph.without_edge g s t in
+    let net, v_in, v_out = vertex_split_network g' in
+    let limit' = Option.map (fun l -> max 0 (l - 1)) limit in
+    1 + Maxflow.max_flow ?limit:limit' net ~s:(v_out s) ~t:(v_in t)
+  end
+  else begin
+    let net, v_in, v_out = vertex_split_network g in
+    Maxflow.max_flow ?limit net ~s:(v_out s) ~t:(v_in t)
+  end
+
+(* Iterate λ(v0, t) over all t, reusing one network. *)
+let edge_connectivity_upto limit g =
+  let nv = Graph.n g in
+  if nv <= 1 then 0
+  else begin
+    let net = edge_flow_network g in
+    let best = ref limit in
+    let t = ref 1 in
+    while !best > 0 && !t < nv do
+      Maxflow.Net.reset_flow net;
+      let f = Maxflow.max_flow ~limit:!best net ~s:0 ~t:!t in
+      if f < !best then best := f;
+      incr t
+    done;
+    !best
+  end
+
+let edge_connectivity g =
+  let nv = Graph.n g in
+  if nv <= 1 then 0
+  else begin
+    (* λ(G) ≤ δ(G). *)
+    let delta = ref max_int in
+    for v = 0 to nv - 1 do
+      delta := min !delta (Graph.degree g v)
+    done;
+    edge_connectivity_upto !delta g
+  end
+
+let is_k_edge_connected g ~k =
+  if k < 0 then invalid_arg "Connectivity.is_k_edge_connected: negative k";
+  if k = 0 then Graph.n g > 0
+  else if Graph.n g <= 1 then false
+  else edge_connectivity_upto k g >= k
+
+let min_degree_vertex g =
+  let nv = Graph.n g in
+  let best = ref 0 in
+  for v = 1 to nv - 1 do
+    if Graph.degree g v < Graph.degree g !best then best := v
+  done;
+  !best
+
+let is_complete g =
+  let nv = Graph.n g in
+  Graph.m g = nv * (nv - 1) / 2
+
+(* κ(G) capped at [limit], by the min-degree-neighbourhood reduction. *)
+let vertex_connectivity_upto limit g =
+  let nv = Graph.n g in
+  if nv <= 1 then 0
+  else if is_complete g then min limit (nv - 1)
+  else begin
+    let v = min_degree_vertex g in
+    let sources = v :: Graph.neighbors g v in
+    let net, v_in, v_out = vertex_split_network g in
+    let best = ref (min limit (Graph.degree g v)) in
+    List.iter
+      (fun s ->
+        for t = 0 to nv - 1 do
+          if !best > 0 && t <> s && not (Graph.has_edge g s t) then begin
+            Maxflow.Net.reset_flow net;
+            let f = Maxflow.max_flow ~limit:!best net ~s:(v_out s) ~t:(v_in t) in
+            if f < !best then best := f
+          end
+        done)
+      sources;
+    !best
+  end
+
+let vertex_connectivity g = vertex_connectivity_upto max_int g
+
+let min_edge_cut g =
+  let nv = Graph.n g in
+  if nv <= 1 || not (Components.is_connected g) then []
+  else begin
+    (* find the t minimising maxflow(0, t), then read the cut *)
+    let lambda = edge_connectivity g in
+    let net = edge_flow_network g in
+    let best_t = ref (-1) in
+    let t = ref 1 in
+    while !best_t < 0 && !t < nv do
+      Maxflow.Net.reset_flow net;
+      if Maxflow.max_flow ~limit:(lambda + 1) net ~s:0 ~t:!t = lambda then best_t := !t;
+      incr t
+    done;
+    Maxflow.Net.reset_flow net;
+    ignore (Maxflow.max_flow net ~s:0 ~t:!best_t);
+    let side = Maxflow.min_cut_side net ~s:0 in
+    let cut = ref [] in
+    Graph.iter_edges g (fun u v -> if side.(u) <> side.(v) then cut := (u, v) :: !cut);
+    List.rev !cut
+  end
+
+let min_vertex_cut g =
+  let nv = Graph.n g in
+  if nv <= 1 || is_complete g || not (Components.is_connected g) then []
+  else begin
+    let kappa = vertex_connectivity g in
+    let v = min_degree_vertex g in
+    let sources = v :: Graph.neighbors g v in
+    let net, v_in, v_out = vertex_split_network g in
+    (* find an (s,t) pair realising kappa, then cut vertices are the
+       saturated interior arcs crossing the residual cut *)
+    let found = ref [] and done_ = ref false in
+    List.iter
+      (fun s ->
+        if not !done_ then
+          for t = 0 to nv - 1 do
+            if (not !done_) && t <> s && not (Graph.has_edge g s t) then begin
+              Maxflow.Net.reset_flow net;
+              if Maxflow.max_flow ~limit:(kappa + 1) net ~s:(v_out s) ~t:(v_in t) = kappa then begin
+                let side = Maxflow.min_cut_side net ~s:(v_out s) in
+                let cut = ref [] in
+                for u = nv - 1 downto 0 do
+                  if side.(v_in u) && not side.(v_out u) then cut := u :: !cut
+                done;
+                found := !cut;
+                done_ := true
+              end
+            end
+          done)
+      sources;
+    !found
+  end
+
+let is_k_vertex_connected g ~k =
+  if k < 0 then invalid_arg "Connectivity.is_k_vertex_connected: negative k";
+  if k = 0 then Graph.n g > 0
+  else if Graph.n g < k + 1 then false
+  else vertex_connectivity_upto k g >= k

@@ -1,0 +1,64 @@
+(** Vertex and edge connectivity via unit-capacity max-flow.
+
+    Local (pairwise) connectivities follow Menger's theorem:
+    - λ(s,t) = max number of edge-disjoint s–t paths = max-flow with
+      bidirectional unit arcs;
+    - κ(s,t) = max number of internally vertex-disjoint s–t paths =
+      max-flow on the vertex-split network (each vertex v becomes
+      v_in → v_out with capacity 1; s and t are not split).
+
+    Global values:
+    - λ(G) = min over t ≠ v₀ of λ(v₀, t), because every edge cut
+      separates v₀ from some vertex;
+    - κ(G) = min over s ∈ {v} ∪ N(v) (v a minimum-degree vertex) and t
+      non-adjacent to s of κ(s,t). Correctness: a minimum vertex cut C
+      has |C| = κ(G) ≤ δ(G) = |N(v)| < |{v} ∪ N(v)|, so some
+      w ∈ {v} ∪ N(v) avoids C and lies in one component of G − C; any
+      vertex t of another component is non-adjacent to w and
+      κ(w,t) = κ(G). Complete graphs (no non-adjacent pair) have
+      κ(Kₙ) = n − 1 by convention.
+
+    Decision forms cut each flow computation off at [k] and are the ones
+    used by the LHG verifier. *)
+
+val local_edge_connectivity : ?limit:int -> Graph.t -> s:int -> t:int -> int
+(** λ(s,t); with [~limit] the returned value is capped at [limit]. *)
+
+val local_vertex_connectivity : ?limit:int -> Graph.t -> s:int -> t:int -> int
+(** κ(s,t) for non-adjacent s ≠ t. For adjacent s,t the function returns
+    [1 + κ'(s,t)] where κ' is computed in the graph without the edge —
+    the standard extension (the direct edge is one path). *)
+
+val edge_connectivity : Graph.t -> int
+(** Exact λ(G); 0 for disconnected or single-vertex graphs. *)
+
+val vertex_connectivity : Graph.t -> int
+(** Exact κ(G); [n-1] for complete graphs, 0 when disconnected. *)
+
+val is_k_edge_connected : Graph.t -> k:int -> bool
+(** Decision: λ(G) ≥ k, with flows cut off at [k]. [k = 0] is trivially
+    true for non-empty graphs. *)
+
+val is_k_vertex_connected : Graph.t -> k:int -> bool
+(** Decision: κ(G) ≥ k (requires n ≥ k+1 for k ≥ 1, per the standard
+    definition). *)
+
+val min_edge_cut : Graph.t -> (int * int) list
+(** An actual minimum edge cut: λ(G) edges whose removal disconnects G
+    (empty when G is already disconnected or has ≤ 1 vertex). *)
+
+val min_vertex_cut : Graph.t -> int list
+(** An actual minimum vertex cut: κ(G) vertices whose removal
+    disconnects G. Empty when G is complete (no vertex cut exists) or
+    already disconnected. Useful for pinpointing the weak spots of a
+    topology — e.g. which peers an adversary must crash. *)
+
+val edge_flow_network : Graph.t -> Maxflow.Net.t
+(** The reusable bidirectional unit network of a graph (one node per
+    vertex). Exposed for callers issuing many (s,t) queries. *)
+
+val vertex_split_network : Graph.t -> Maxflow.Net.t * (int -> int) * (int -> int)
+(** [(net, v_in, v_out)]: the vertex-split unit network. Terminal
+    vertices of a κ(s,t) query must use [v_out s] as source and
+    [v_in t] as sink; the splitting arc of s and t is effectively
+    bypassed because flow leaves from s_out and enters t_in. *)

@@ -1,0 +1,46 @@
+type stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  histogram : (int * int) list;
+}
+
+let stats g =
+  let nv = Graph.n g in
+  if nv = 0 then invalid_arg "Degree.stats: empty graph";
+  let tbl = Hashtbl.create 16 in
+  let dmin = ref max_int and dmax = ref 0 and total = ref 0 in
+  for v = 0 to nv - 1 do
+    let d = Graph.degree g v in
+    dmin := min !dmin d;
+    dmax := max !dmax d;
+    total := !total + d;
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  let histogram =
+    Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+    |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+  in
+  {
+    min_degree = !dmin;
+    max_degree = !dmax;
+    mean_degree = float_of_int !total /. float_of_int nv;
+    histogram;
+  }
+
+let is_regular g =
+  let nv = Graph.n g in
+  nv <= 1
+  ||
+  let d0 = Graph.degree g 0 in
+  let rec check v = v >= nv || (Graph.degree g v = d0 && check (v + 1)) in
+  check 1
+
+let is_k_regular g ~k =
+  let nv = Graph.n g in
+  let rec check v = v >= nv || (Graph.degree g v = k && check (v + 1)) in
+  check 0
+
+let degree_sequence g =
+  List.init (Graph.n g) (fun v -> Graph.degree g v)
+  |> List.sort (fun a b -> compare b a)

@@ -1,0 +1,19 @@
+(** Degree statistics and regularity predicates. *)
+
+type stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  histogram : (int * int) list;  (** (degree, count), ascending degree *)
+}
+
+val stats : Graph.t -> stats
+(** @raise Invalid_argument on the empty graph. *)
+
+val is_regular : Graph.t -> bool
+(** All vertices share one degree (vacuously true for n ≤ 1). *)
+
+val is_k_regular : Graph.t -> k:int -> bool
+
+val degree_sequence : Graph.t -> int list
+(** Descending degree sequence. *)

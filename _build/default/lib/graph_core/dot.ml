@@ -1,0 +1,20 @@
+let to_dot ?(name = "g") ?label ?color g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  for v = 0 to Graph.n g - 1 do
+    let lbl = match label with Some f -> f v | None -> string_of_int v in
+    let attrs =
+      match Option.bind color (fun f -> f v) with
+      | Some c -> Printf.sprintf " [label=\"%s\", style=filled, fillcolor=\"%s\"]" lbl c
+      | None -> Printf.sprintf " [label=\"%s\"]" lbl
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d%s;\n" v attrs)
+  done;
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,116 @@
+let path_graph n =
+  let g = Graph.create ~n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: n < 3";
+  let g = path_graph n in
+  Graph.add_edge g (n - 1) 0;
+  g
+
+let complete n =
+  let g = Graph.create ~n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = Graph.create ~n:(a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: n < 1";
+  let g = Graph.create ~n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g
+
+let circulant ~n ~jumps =
+  if n < 1 then invalid_arg "Generators.circulant: n < 1";
+  let g = Graph.create ~n in
+  List.iter
+    (fun j ->
+      let j = ((j mod n) + n) mod n in
+      if j = 0 then invalid_arg "Generators.circulant: jump is a multiple of n";
+      for v = 0 to n - 1 do
+        let w = (v + j) mod n in
+        if v <> w then Graph.add_edge g v w
+      done)
+    jumps;
+  g
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let g = Graph.create ~n:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then Graph.add_edge g v (v + 1);
+      if r + 1 < rows then Graph.add_edge g v (v + cols)
+    done
+  done;
+  g
+
+let balanced_tree ~branching ~height =
+  if branching < 1 || height < 0 then invalid_arg "Generators.balanced_tree";
+  (* n = 1 + b + b² + ... + b^h *)
+  let n = ref 1 and level = ref 1 in
+  for _ = 1 to height do
+    level := !level * branching;
+    n := !n + !level
+  done;
+  let g = Graph.create ~n:!n in
+  for v = 1 to !n - 1 do
+    Graph.add_edge g v ((v - 1) / branching)
+  done;
+  g
+
+let gnp rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Generators.gnp: p outside [0,1]";
+  let g = Graph.create ~n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng 1.0 < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let random_tree rng ~n =
+  if n < 1 then invalid_arg "Generators.random_tree: n < 1";
+  if n = 1 then Graph.create ~n:1
+  else if n = 2 then Graph.of_edges ~n:2 [ (0, 1) ]
+  else begin
+    (* Decode a random Prüfer sequence of length n-2. *)
+    let seq = Array.init (n - 2) (fun _ -> Prng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let g = Graph.create ~n in
+    let leaves = Pqueue.create ~cmp:compare in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then Pqueue.push leaves v
+    done;
+    Array.iter
+      (fun v ->
+        let leaf = Pqueue.pop_exn leaves in
+        Graph.add_edge g leaf v;
+        deg.(leaf) <- 0;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then Pqueue.push leaves v)
+      seq;
+    let a = Pqueue.pop_exn leaves in
+    let b = Pqueue.pop_exn leaves in
+    Graph.add_edge g a b;
+    g
+  end

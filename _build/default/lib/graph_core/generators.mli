@@ -1,0 +1,38 @@
+(** Elementary graph generators.
+
+    The LHG and Harary families live in their own libraries
+    ([Harary], [Lhg_core]); these are the generic building blocks and
+    test fixtures. *)
+
+val path_graph : int -> Graph.t
+(** P_n: vertices 0..n-1 in a line. *)
+
+val cycle : int -> Graph.t
+(** C_n, n ≥ 3. *)
+
+val complete : int -> Graph.t
+(** K_n. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** K_{a,b}: vertices 0..a-1 on the left, a..a+b-1 on the right. *)
+
+val star : int -> Graph.t
+(** K_{1,n-1} with centre 0. *)
+
+val circulant : n:int -> jumps:int list -> Graph.t
+(** Circulant graph C_n(jumps): vertex i adjacent to i ± j (mod n) for
+    each jump j. Jumps are taken modulo n; jump 0 and multiples of n are
+    rejected. The backbone of classic Harary graphs. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** 2-D mesh; vertex (r,c) is [r*cols + c]. *)
+
+val balanced_tree : branching:int -> height:int -> Graph.t
+(** Rooted complete [branching]-ary tree of the given height (height 0 is
+    a single vertex); vertices in BFS order with root 0. *)
+
+val gnp : Prng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n,p). *)
+
+val random_tree : Prng.t -> n:int -> Graph.t
+(** Uniform random labelled tree (random Prüfer sequence), n ≥ 1. *)

@@ -1,0 +1,59 @@
+type t = { parent : int array; weight : int array }
+
+let build g =
+  let n = Graph.n g in
+  let parent = Array.make (max 1 n) 0 in
+  let weight = Array.make (max 1 n) 0 in
+  if n > 1 then begin
+    let net = Connectivity.edge_flow_network g in
+    for i = 1 to n - 1 do
+      Maxflow.Net.reset_flow net;
+      let f = Maxflow.max_flow net ~s:i ~t:parent.(i) in
+      weight.(i) <- f;
+      (* re-parent the unprocessed vertices that fall on i's side of the
+         cut: classic Gusfield equivalent-flow-tree step *)
+      let side = Maxflow.min_cut_side net ~s:i in
+      for j = i + 1 to n - 1 do
+        if side.(j) && parent.(j) = parent.(i) then parent.(j) <- i
+      done
+    done
+  end;
+  { parent; weight }
+
+let check t v =
+  if v < 0 || v >= Array.length t.parent then invalid_arg "Gomory_hu: vertex out of range"
+
+let min_cut_value t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Gomory_hu.min_cut_value: u = v";
+  (* walk u to the root recording running minima, then walk v up to the
+     first recorded vertex *)
+  let best_at = Hashtbl.create 32 in
+  let rec up_u x best =
+    Hashtbl.replace best_at x best;
+    if x <> 0 then up_u t.parent.(x) (min best t.weight.(x))
+  in
+  up_u u max_int;
+  let rec up_v x best =
+    match Hashtbl.find_opt best_at x with
+    | Some from_u -> min from_u best
+    | None -> up_v t.parent.(x) (min best t.weight.(x))
+  in
+  up_v v max_int
+
+let tree_edges t =
+  List.init
+    (Array.length t.parent - 1)
+    (fun i ->
+      let v = i + 1 in
+      (v, t.parent.(v), t.weight.(v)))
+
+let bottleneck t =
+  match tree_edges t with
+  | [] -> None
+  | e :: rest ->
+      Some
+        (List.fold_left
+           (fun ((_, _, bw) as best) ((_, _, w) as cand) -> if w < bw then cand else best)
+           e rest)

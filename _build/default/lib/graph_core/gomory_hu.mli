@@ -1,0 +1,24 @@
+(** Gomory–Hu (equivalent-flow) trees via Gusfield's algorithm.
+
+    All-pairs local edge connectivity from n−1 max-flow computations: the
+    tree spans the vertices, and λ(u,v) equals the minimum edge weight on
+    the unique tree path between u and v. Used to map *where* a topology
+    is weakest (every bottleneck appears as a light tree edge), rather
+    than probing pairs one flow at a time. *)
+
+type t
+
+val build : Graph.t -> t
+(** n−1 max-flows. Disconnected inputs are fine: cross-component pairs
+    get value 0. Requires n ≥ 1. *)
+
+val min_cut_value : t -> int -> int -> int
+(** λ(u,v): minimum weight on the tree path. O(n) per query. *)
+
+val tree_edges : t -> (int * int * int) list
+(** The n−1 tree edges as (vertex, parent, weight), for vertices 1..n−1
+    in order. Weight 0 edges join components. *)
+
+val bottleneck : t -> (int * int * int) option
+(** A lightest tree edge (u, parent, λ) — a global weakest cut pair.
+    [None] for graphs with fewer than 2 vertices. *)

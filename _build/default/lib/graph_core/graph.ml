@@ -1,0 +1,130 @@
+module ISet = Set.Make (Int)
+
+(* [adj] may have slack capacity beyond [n] to make vertex appends
+   amortised O(1); only indices < n are live. *)
+type t = { mutable adj : ISet.t array; mutable n : int; mutable m : int }
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  { adj = Array.make (max n 1) ISet.empty; n; m = 0 }
+
+let n g = g.n
+
+let append_vertex g =
+  if g.n = Array.length g.adj then begin
+    let bigger = Array.make (2 * g.n) ISet.empty in
+    Array.blit g.adj 0 bigger 0 g.n;
+    g.adj <- bigger
+  end;
+  let v = g.n in
+  g.adj.(v) <- ISet.empty;
+  g.n <- v + 1;
+  v
+
+let pop_vertex g =
+  if g.n = 0 then invalid_arg "Graph.pop_vertex: empty graph";
+  let v = g.n - 1 in
+  if not (ISet.is_empty g.adj.(v)) then invalid_arg "Graph.pop_vertex: last vertex not isolated";
+  g.n <- v
+
+let m g = g.m
+
+let check_vertex g v name =
+  if v < 0 || v >= n g then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range [0,%d)" name v (n g))
+
+let add_edge g u v =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (ISet.mem v g.adj.(u)) then begin
+    g.adj.(u) <- ISet.add v g.adj.(u);
+    g.adj.(v) <- ISet.add u g.adj.(v);
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  check_vertex g u "remove_edge";
+  check_vertex g v "remove_edge";
+  if ISet.mem v g.adj.(u) then begin
+    g.adj.(u) <- ISet.remove v g.adj.(u);
+    g.adj.(v) <- ISet.remove u g.adj.(v);
+    g.m <- g.m - 1
+  end
+
+let has_edge g u v =
+  check_vertex g u "has_edge";
+  check_vertex g v "has_edge";
+  ISet.mem v g.adj.(u)
+
+let degree g v =
+  check_vertex g v "degree";
+  ISet.cardinal g.adj.(v)
+
+let neighbors g v =
+  check_vertex g v "neighbors";
+  ISet.elements g.adj.(v)
+
+let iter_neighbors g v f =
+  check_vertex g v "iter_neighbors";
+  ISet.iter f g.adj.(v)
+
+let fold_neighbors g v ~init ~f =
+  check_vertex g v "fold_neighbors";
+  ISet.fold (fun w acc -> f acc w) g.adj.(v) init
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    ISet.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let of_edges ~n:nv es =
+  let g = create ~n:nv in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g = { adj = Array.copy g.adj; n = g.n; m = g.m }
+
+let without_edge g u v =
+  let g' = copy g in
+  remove_edge g' u v;
+  g'
+
+let without_vertices g vs =
+  let g' = copy g in
+  List.iter
+    (fun v ->
+      check_vertex g' v "without_vertices";
+      ISet.iter (fun w -> remove_edge g' v w) g'.adj.(v))
+    vs;
+  g'
+
+let complement_degree_sum g =
+  let acc = ref 0 in
+  for v = 0 to g.n - 1 do
+    acc := !acc + ISet.cardinal g.adj.(v)
+  done;
+  !acc
+
+let is_symmetric g =
+  let ok = ref true in
+  for u = 0 to g.n - 1 do
+    ISet.iter (fun v -> if not (ISet.mem u g.adj.(v)) then ok := false) g.adj.(u)
+  done;
+  !ok && complement_degree_sum g = 2 * g.m
+
+let equal g1 g2 =
+  n g1 = n g2 && m g1 = m g2
+  &&
+  let same = ref true in
+  for v = 0 to g1.n - 1 do
+    if not (ISet.equal g1.adj.(v) g2.adj.(v)) then same := false
+  done;
+  !same
+
+let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" (n g) (m g)

@@ -1,0 +1,81 @@
+(** Simple undirected graphs on vertices [0..n-1].
+
+    The vertex set is fixed at creation; edges are mutable. Self-loops
+    and parallel edges are rejected, matching the simple-graph setting of
+    Harary/LHG theory. Adjacency is stored as integer sets, giving
+    O(log d) membership tests and deterministic (ascending) neighbour
+    iteration order — important for reproducible simulations. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is the edgeless graph on [n >= 0] vertices. *)
+
+val append_vertex : t -> int
+(** Add one isolated vertex and return its id (= previous [n]).
+    Amortised O(1). *)
+
+val pop_vertex : t -> unit
+(** Remove the highest-numbered vertex, which must be isolated
+    (degree 0) — the inverse of {!append_vertex}.
+    @raise Invalid_argument on an empty graph or a non-isolated last
+    vertex. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts the undirected edge [{u,v}]. Idempotent.
+    @raise Invalid_argument on self-loops or out-of-range vertices. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove the edge if present; no-op otherwise. *)
+
+val has_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int list
+(** Ascending list of neighbours. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterate neighbours in ascending order without allocating a list. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge visited exactly once, as [u < v], in
+    lexicographic order. *)
+
+val edges : t -> (int * int) list
+(** All edges as [u < v] pairs, lexicographically sorted. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build a graph from an edge list (duplicates ignored). *)
+
+val copy : t -> t
+
+val without_edge : t -> int -> int -> t
+(** Fresh copy with one edge removed. *)
+
+val without_vertices : t -> int list -> t
+(** Fresh copy (same vertex numbering) with all edges incident to the
+    given vertices removed — the standard "node crash" view in which
+    removed vertices remain as isolated placeholders. *)
+
+val complement_degree_sum : t -> int
+(** Sum of degrees; equals [2 * m g]. Exposed for cheap invariant
+    checks in tests. *)
+
+val is_symmetric : t -> bool
+(** Internal-consistency check: adjacency is symmetric. Always [true]
+    unless the representation was corrupted; used by tests. *)
+
+val equal : t -> t -> bool
+(** Same vertex count and same edge set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary ["graph(n=.., m=..)"]. *)

@@ -1,0 +1,164 @@
+module Net = struct
+  (* Arc i and its reverse are stored at indices 2j and 2j+1, so the
+     reverse of arc a is [a lxor 1]. *)
+  type t = {
+    n : int;
+    mutable heads : int array; (* arc -> destination node *)
+    mutable caps : int array; (* arc -> remaining capacity *)
+    mutable orig_caps : int array;
+    mutable arc_count : int;
+    adj : int list array; (* node -> incident arc indices, reversed order *)
+    mutable adj_frozen : int array array option;
+  }
+
+  let create ~n =
+    if n <= 0 then invalid_arg "Maxflow.Net.create";
+    {
+      n;
+      heads = Array.make 16 0;
+      caps = Array.make 16 0;
+      orig_caps = Array.make 16 0;
+      arc_count = 0;
+      adj = Array.make n [];
+      adj_frozen = None;
+    }
+
+  let node_count net = net.n
+
+  let ensure net needed =
+    let capn = Array.length net.heads in
+    if needed > capn then begin
+      let ncap = max needed (2 * capn) in
+      let grow a = Array.append a (Array.make (ncap - Array.length a) 0) in
+      net.heads <- grow net.heads;
+      net.caps <- grow net.caps;
+      net.orig_caps <- grow net.orig_caps
+    end
+
+  let add_arc net ~src ~dst ~cap =
+    if src < 0 || src >= net.n || dst < 0 || dst >= net.n then
+      invalid_arg "Maxflow.Net.add_arc: node out of range";
+    if cap < 0 then invalid_arg "Maxflow.Net.add_arc: negative capacity";
+    net.adj_frozen <- None;
+    ensure net (net.arc_count + 2);
+    let a = net.arc_count in
+    net.heads.(a) <- dst;
+    net.caps.(a) <- cap;
+    net.orig_caps.(a) <- cap;
+    net.heads.(a + 1) <- src;
+    net.caps.(a + 1) <- 0;
+    net.orig_caps.(a + 1) <- 0;
+    net.adj.(src) <- a :: net.adj.(src);
+    net.adj.(dst) <- (a + 1) :: net.adj.(dst);
+    net.arc_count <- net.arc_count + 2
+
+  let add_edge_bidir net u v ~cap =
+    add_arc net ~src:u ~dst:v ~cap;
+    add_arc net ~src:v ~dst:u ~cap
+
+  let reset_flow net = Array.blit net.orig_caps 0 net.caps 0 net.arc_count
+
+  let frozen_adj net =
+    match net.adj_frozen with
+    | Some a -> a
+    | None ->
+        let a = Array.map Array.of_list net.adj in
+        net.adj_frozen <- Some a;
+        a
+end
+
+let infinity_cap = max_int / 4
+
+let max_flow ?(limit = infinity_cap) (net : Net.t) ~s ~t =
+  if s = t then invalid_arg "Maxflow.max_flow: s = t";
+  if s < 0 || s >= net.Net.n || t < 0 || t >= net.Net.n then
+    invalid_arg "Maxflow.max_flow: node out of range";
+  let adj = Net.frozen_adj net in
+  let nn = net.Net.n in
+  let level = Array.make nn (-1) in
+  let iter = Array.make nn 0 in
+  let q = Queue.create () in
+  let build_levels () =
+    Array.fill level 0 nn (-1);
+    Queue.clear q;
+    level.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun a ->
+          let v = net.Net.heads.(a) in
+          if net.Net.caps.(a) > 0 && level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v q
+          end)
+        adj.(u)
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs u pushed =
+    if u = t then pushed
+    else begin
+      let res = ref 0 in
+      let arcs = adj.(u) in
+      let narcs = Array.length arcs in
+      while !res = 0 && iter.(u) < narcs do
+        let a = arcs.(iter.(u)) in
+        let v = net.Net.heads.(a) in
+        if net.Net.caps.(a) > 0 && level.(v) = level.(u) + 1 then begin
+          let d = dfs v (min pushed net.Net.caps.(a)) in
+          if d > 0 then begin
+            net.Net.caps.(a) <- net.Net.caps.(a) - d;
+            net.Net.caps.(a lxor 1) <- net.Net.caps.(a lxor 1) + d;
+            res := d
+          end
+          else iter.(u) <- iter.(u) + 1
+        end
+        else iter.(u) <- iter.(u) + 1
+      done;
+      !res
+    end
+  in
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue && !flow < limit && build_levels () do
+    Array.fill iter 0 nn 0;
+    let pushed = ref (dfs s (limit - !flow)) in
+    while !pushed > 0 do
+      flow := !flow + !pushed;
+      pushed := if !flow < limit then dfs s (limit - !flow) else 0
+    done;
+    if !pushed = 0 && !flow >= limit then continue := false
+  done;
+  !flow
+
+let iter_flow_arcs (net : Net.t) f =
+  let a = ref 0 in
+  while !a < net.Net.arc_count do
+    (* Forward arcs sit at even indices; flow = original - residual. *)
+    let flow = net.Net.orig_caps.(!a) - net.Net.caps.(!a) in
+    if flow > 0 then begin
+      let src = net.Net.heads.(!a + 1) and dst = net.Net.heads.(!a) in
+      f ~src ~dst ~flow
+    end;
+    a := !a + 2
+  done
+
+let min_cut_side (net : Net.t) ~s =
+  let adj = Net.frozen_adj net in
+  let seen = Array.make net.Net.n false in
+  let q = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun a ->
+        let v = net.Net.heads.(a) in
+        if net.Net.caps.(a) > 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  seen

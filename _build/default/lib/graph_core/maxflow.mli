@@ -1,0 +1,44 @@
+(** Dinic's maximum-flow algorithm on integer-capacity networks.
+
+    The connectivity procedures in {!Connectivity} reduce to unit-capacity
+    flows, for which Dinic runs in O(E·√V); in this library flows are
+    additionally cut off at a small limit [k], giving O(k·E) in the
+    decision use-case. *)
+
+module Net : sig
+  type t
+  (** A directed flow network with mutable flow state. *)
+
+  val create : n:int -> t
+  (** [n] nodes, no arcs. *)
+
+  val node_count : t -> int
+
+  val add_arc : t -> src:int -> dst:int -> cap:int -> unit
+  (** Add a forward arc of capacity [cap] and its residual reverse arc of
+      capacity 0. *)
+
+  val add_edge_bidir : t -> int -> int -> cap:int -> unit
+  (** Two arcs of capacity [cap], one in each direction — the standard
+      encoding of an undirected unit edge. *)
+
+  val reset_flow : t -> unit
+  (** Zero all flow, keeping the arc structure, so the same network can be
+      reused for several (s,t) queries. *)
+end
+
+val max_flow : ?limit:int -> Net.t -> s:int -> t:int -> int
+(** Maximum s→t flow. With [~limit], stops as soon as the flow reaches
+    [limit] (returns a value ≤ limit) — the cheap "is flow ≥ k?" decision
+    form. Mutates the network's flow state ({!Net.reset_flow} to reuse).
+    @raise Invalid_argument if [s = t] or either is out of range. *)
+
+val min_cut_side : Net.t -> s:int -> bool array
+(** After {!max_flow} has run (without hitting its limit), the set of
+    nodes reachable from [s] in the residual network — the s-side of a
+    minimum cut. *)
+
+val iter_flow_arcs : Net.t -> (src:int -> dst:int -> flow:int -> unit) -> unit
+(** After a {!max_flow} run, visit every forward arc currently carrying
+    positive flow. Used for flow decomposition (disjoint-path
+    extraction in {!Menger}). *)

@@ -1,0 +1,118 @@
+(* Both extractors run a unit-capacity max-flow, then decompose the flow
+   into arc-disjoint s→t paths. Antiparallel unit flows (u→v and v→u both
+   carrying flow through distinct directional arcs) are cancelled first —
+   they form a 2-cycle that contributes nothing to the s→t value. The
+   decomposition then follows successor lists, consuming one flow unit
+   per step; acyclicity of what remains guarantees termination. *)
+
+(* successor multiset: node -> mutable list of flow successors *)
+let build_succ n_nodes net =
+  let flow_tbl = Hashtbl.create 256 in
+  let key u v = (u * n_nodes) + v in
+  Maxflow.iter_flow_arcs net (fun ~src ~dst ~flow ->
+      let k = key src dst in
+      Hashtbl.replace flow_tbl k (flow + Option.value ~default:0 (Hashtbl.find_opt flow_tbl k)));
+  (* Cancel antiparallel flow. *)
+  let succ = Array.make n_nodes [] in
+  Hashtbl.iter
+    (fun k f ->
+      let u = k / n_nodes and v = k mod n_nodes in
+      let back = Option.value ~default:0 (Hashtbl.find_opt flow_tbl (key v u)) in
+      let net_f = f - back in
+      if net_f > 0 then
+        for _ = 1 to net_f do
+          succ.(u) <- v :: succ.(u)
+        done)
+    flow_tbl;
+  succ
+
+let peel_paths succ ~s ~t ~count =
+  let take u =
+    match succ.(u) with
+    | v :: rest ->
+        succ.(u) <- rest;
+        Some v
+    | [] -> None
+  in
+  let rec walk u acc =
+    if u = t then List.rev (t :: acc)
+    else
+      match take u with
+      | Some v -> walk v (u :: acc)
+      | None -> invalid_arg "Menger: flow decomposition failed (internal error)"
+  in
+  List.init count (fun _ -> walk s [])
+
+(* Drop loops from a walk: on revisiting a vertex, discard the cycle in
+   between. Only removes edges, so pairwise edge-disjointness is kept. *)
+let simplify_walk walk =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        if List.mem v acc then
+          let rec unwind = function
+            | w :: tl when w <> v -> unwind tl
+            | tl -> tl
+          in
+          go (unwind acc) rest
+        else go (v :: acc) rest
+  in
+  go [] walk
+
+let edge_disjoint_paths ?limit g ~s ~t =
+  if s = t then invalid_arg "Menger.edge_disjoint_paths: s = t";
+  let net = Connectivity.edge_flow_network g in
+  let flow = Maxflow.max_flow ?limit net ~s ~t in
+  let succ = build_succ (Graph.n g) net in
+  List.map simplify_walk (peel_paths succ ~s ~t ~count:flow)
+
+let vertex_disjoint_paths ?limit g ~s ~t =
+  if s = t then invalid_arg "Menger.vertex_disjoint_paths: s = t";
+  let direct = Graph.has_edge g s t in
+  let work = if direct then Graph.without_edge g s t else g in
+  let limit' = if direct then Option.map (fun l -> max 0 (l - 1)) limit else limit in
+  let net, v_in, v_out = Connectivity.vertex_split_network work in
+  let flow = Maxflow.max_flow ?limit:limit' net ~s:(v_out s) ~t:(v_in t) in
+  let succ = build_succ (2 * Graph.n work) net in
+  let split_paths = peel_paths succ ~s:(v_out s) ~t:(v_in t) ~count:flow in
+  (* A split-network path alternates v_out → w_in → w_out → ...; original
+     vertices are the in-nodes (even ids) halved, prefixed by s. *)
+  (* in-nodes are the even split ids: [v_in v = 2v]. *)
+  let unsplit p = s :: List.filter_map (fun node -> if node mod 2 = 0 then Some (node / 2) else None) p in
+  let paths = List.map unsplit split_paths in
+  if direct then [ s; t ] :: paths else paths
+
+let check_edge_disjoint paths =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun p ->
+      let rec walk = function
+        | u :: (v :: _ as rest) ->
+            let e = (min u v, max u v) in
+            if Hashtbl.mem seen e then ok := false else Hashtbl.add seen e ();
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk p)
+    paths;
+  !ok
+
+let check_internally_disjoint ~s ~t paths =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun p ->
+      (match p with
+      | first :: _ when first = s -> ()
+      | _ -> ok := false);
+      (match List.rev p with
+      | last :: _ when last = t -> ()
+      | _ -> ok := false);
+      List.iter
+        (fun v ->
+          if v <> s && v <> t then
+            if Hashtbl.mem seen v then ok := false else Hashtbl.add seen v ())
+        p)
+    paths;
+  !ok

@@ -1,0 +1,18 @@
+let edge_is_critical g ~k u v =
+  if not (Graph.has_edge g u v) then invalid_arg "Minimality.edge_is_critical: edge absent";
+  let g' = Graph.without_edge g u v in
+  let lambda = Connectivity.local_edge_connectivity ~limit:k g' ~s:u ~t:v in
+  if lambda < k then true
+  else
+    let kappa = Connectivity.local_vertex_connectivity ~limit:k g' ~s:u ~t:v in
+    kappa < k
+
+let non_critical_edges g ~k =
+  let bad = ref [] in
+  Graph.iter_edges g (fun u v -> if not (edge_is_critical g ~k u v) then bad := (u, v) :: !bad);
+  List.rev !bad
+
+let is_link_minimal g ~k =
+  let ok = ref true in
+  Graph.iter_edges g (fun u v -> if !ok && not (edge_is_critical g ~k u v) then ok := false);
+  !ok

@@ -1,0 +1,20 @@
+(** Link minimality (LHG property P3).
+
+    A k-connected graph is link-minimal when removing any single edge
+    lowers its node or link connectivity below k. Given λ(G) ≥ k and
+    κ(G) ≥ k, removing e = (u,v) creates a sub-k cut iff that cut
+    separates u from t = v (any other cut would already exist in G), so
+    a local flow test at the endpoints of the removed edge is exact. *)
+
+val edge_is_critical : Graph.t -> k:int -> int -> int -> bool
+(** [edge_is_critical g ~k u v]: does removing edge (u,v) drop
+    λ(u,v) or κ(u,v) in [g - (u,v)] below [k]? Requires the edge to be
+    present. *)
+
+val is_link_minimal : Graph.t -> k:int -> bool
+(** Every edge is critical. O(m) local flow computations. *)
+
+val non_critical_edges : Graph.t -> k:int -> (int * int) list
+(** The edges whose removal keeps both connectivities ≥ k — empty iff
+    {!is_link_minimal}. Useful diagnostics in tests and in the
+    verifier's error reports. *)

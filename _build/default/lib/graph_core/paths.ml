@@ -1,0 +1,59 @@
+let live_fun g alive =
+  match alive with
+  | None -> fun _ -> true
+  | Some a ->
+      if Array.length a <> Graph.n g then invalid_arg "Paths: alive mask has wrong length";
+      fun v -> a.(v)
+
+let eccentricities ?alive g =
+  let nv = Graph.n g in
+  let live = live_fun g alive in
+  Array.init nv (fun v -> if live v then Bfs.eccentricity ?alive g ~src:v else None)
+
+(* Fold alive vertices' eccentricities with [f]; None when the graph is
+   empty or some alive vertex has undefined (infinite) eccentricity. *)
+let fold_ecc ?alive g f =
+  let live = live_fun g alive in
+  let eccs = eccentricities ?alive g in
+  let best = ref None and ok = ref true in
+  Array.iteri
+    (fun v e ->
+      if live v then
+        match e with
+        | None -> ok := false
+        | Some e -> best := Some (match !best with None -> e | Some b -> f b e))
+    eccs;
+  if !ok then !best else None
+
+let diameter ?alive g = fold_ecc ?alive g max
+
+let radius ?alive g = fold_ecc ?alive g min
+
+let average_path_length ?alive g =
+  let nv = Graph.n g in
+  let live = live_fun g alive in
+  let total = ref 0 and pairs = ref 0 and ok = ref true in
+  for src = 0 to nv - 1 do
+    if !ok && live src then begin
+      let dist = Bfs.distances ?alive g ~src in
+      Array.iteri
+        (fun v d ->
+          if live v && v <> src then
+            if d < 0 then ok := false
+            else begin
+              total := !total + d;
+              incr pairs
+            end)
+        dist
+    end
+  done;
+  if !ok && !pairs > 0 then Some (float_of_int !total /. float_of_int !pairs) else None
+
+let diameter_lower_bound g ~seeds =
+  if seeds = [] then invalid_arg "Paths.diameter_lower_bound: empty seeds";
+  List.fold_left
+    (fun acc s ->
+      match Bfs.eccentricity g ~src:s with
+      | Some e -> max acc e
+      | None -> invalid_arg "Paths.diameter_lower_bound: graph is disconnected")
+    0 seeds

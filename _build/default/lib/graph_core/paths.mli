@@ -1,0 +1,25 @@
+(** Distance aggregates: diameter, radius, average path length.
+
+    All-pairs quantities run one BFS per vertex — O(n·m) — which is fine
+    for the graph sizes in this repository's experiments (n ≤ ~10⁴). *)
+
+val diameter : ?alive:bool array -> Graph.t -> int option
+(** Exact diameter (max over vertices of eccentricity), or [None] when
+    the (alive part of the) graph is disconnected or empty. *)
+
+val radius : ?alive:bool array -> Graph.t -> int option
+(** Min eccentricity, with the same conventions as {!diameter}. *)
+
+val average_path_length : ?alive:bool array -> Graph.t -> float option
+(** Mean hop distance over all ordered pairs of distinct alive vertices,
+    or [None] when disconnected or fewer than two alive vertices. *)
+
+val eccentricities : ?alive:bool array -> Graph.t -> int option array
+(** Per-vertex eccentricity ([None] for dead vertices or when some alive
+    vertex is unreachable from that vertex). *)
+
+val diameter_lower_bound : Graph.t -> seeds:int list -> int
+(** Cheap lower bound: max eccentricity over the given BFS seed
+    vertices. Useful to confirm "linear diameter" on very large graphs
+    without n BFS passes. Requires a connected graph and non-empty
+    seeds. *)

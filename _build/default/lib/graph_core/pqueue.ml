@@ -1,0 +1,75 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let grow q x =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nd = Array.make ncap x in
+    Array.blit q.data 0 nd 0 q.size;
+    q.data <- nd
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.cmp q.data.(i) q.data.(parent) < 0 then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.cmp q.data.(l) q.data.(!smallest) < 0 then smallest := l;
+  if r < q.size && q.cmp q.data.(r) q.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q x =
+  grow q x;
+  q.data.(q.size) <- x;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let pop_exn q =
+  match pop q with Some x -> x | None -> invalid_arg "Pqueue.pop_exn: empty"
+
+let peek q = if q.size = 0 then None else Some q.data.(0)
+
+let clear q = q.size <- 0
+
+let to_sorted_list q =
+  let copy = { cmp = q.cmp; data = Array.sub q.data 0 q.size; size = q.size } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

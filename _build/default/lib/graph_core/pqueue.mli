@@ -1,0 +1,29 @@
+(** Binary min-heap priority queue.
+
+    Generic over the element type via a comparison function supplied at
+    creation. Used by the discrete-event simulator ({!Netsim.Sim}) and by
+    graph algorithms. Not thread-safe. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty queue ordered by [cmp] (smallest element popped first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: all elements in ascending order. O(n log n). *)

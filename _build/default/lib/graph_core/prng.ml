@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finaliser: advance by the golden gamma, then mix. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed64 = bits64 g in
+  { state = seed64 }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.shift_right_logical (bits64 g) 2 in
+  let v = Int64.to_int mask in
+  if bound land (bound - 1) = 0 then v land (bound - 1)
+  else
+    let max_v = (1 lsl 62) - 1 in
+    let limit = max_v - (max_v mod bound) in
+    let rec loop v = if v >= limit then loop (Int64.to_int (Int64.shift_right_logical (bits64 g) 2)) else v mod bound in
+    loop v
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = ref (float g 1.0) in
+  while !u = 0.0 do
+    u := float g 1.0
+  done;
+  -.mean *. log !u
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  if 3 * k >= n then begin
+    let p = permutation g n in
+    Array.to_list (Array.sub p 0 k)
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let v = int g n in
+        if Hashtbl.mem seen v then draw acc remaining
+        else begin
+          Hashtbl.add seen v ();
+          draw (v :: acc) (remaining - 1)
+        end
+    in
+    draw [] k
+  end

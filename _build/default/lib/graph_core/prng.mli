@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, fast, splittable PRNG (splitmix64 core) used everywhere in
+    the library instead of [Stdlib.Random], so that every simulation,
+    generator and experiment is reproducible from a single integer seed
+    and independent random streams can be derived with {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split g] derives a new generator from [g], advancing [g]. The two
+    subsequent streams are statistically independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive float with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniform random permutation of [0..n-1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int list
+(** [sample_without_replacement g ~k ~n] draws [k] distinct values from
+    [0..n-1]. Requires [0 <= k <= n]. *)

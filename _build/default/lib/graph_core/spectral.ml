@@ -1,0 +1,53 @@
+let second_eigenvalue ?(iterations = 600) ?(seed = 7) g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Spectral.second_eigenvalue: need at least 2 vertices";
+  let inv_sqrt_deg =
+    Array.init n (fun v ->
+        let d = Graph.degree g v in
+        if d = 0 then invalid_arg "Spectral.second_eigenvalue: isolated vertex";
+        1.0 /. sqrt (float_of_int d))
+  in
+  (* top eigenvector of the normalised adjacency: u_v = sqrt(deg v), normalised *)
+  let top = Array.init n (fun v -> 1.0 /. inv_sqrt_deg.(v)) in
+  let norm x = sqrt (Array.fold_left (fun acc xi -> acc +. (xi *. xi)) 0.0 x) in
+  let scale x s = Array.iteri (fun i xi -> x.(i) <- xi *. s) x in
+  scale top (1.0 /. norm top);
+  let deflate x =
+    let proj = ref 0.0 in
+    Array.iteri (fun i xi -> proj := !proj +. (xi *. top.(i))) x;
+    Array.iteri (fun i xi -> x.(i) <- xi -. (!proj *. top.(i))) x
+  in
+  (* y = ((M + I)/2) x  where M = D^{-1/2} A D^{-1/2} *)
+  let apply x y =
+    for v = 0 to n - 1 do
+      let acc = ref 0.0 in
+      Graph.iter_neighbors g v (fun w -> acc := !acc +. (x.(w) *. inv_sqrt_deg.(w)));
+      y.(v) <- 0.5 *. (x.(v) +. (!acc *. inv_sqrt_deg.(v)))
+    done
+  in
+  let rng = Prng.create ~seed in
+  let x = Array.init n (fun _ -> Prng.float rng 2.0 -. 1.0) in
+  deflate x;
+  let nx = norm x in
+  if nx > 0.0 then scale x (1.0 /. nx);
+  let y = Array.make n 0.0 in
+  for _ = 1 to iterations do
+    apply x y;
+    Array.blit y 0 x 0 n;
+    deflate x;
+    let nx = norm x in
+    if nx > 1e-300 then scale x (1.0 /. nx)
+  done;
+  (* Rayleigh quotient of the shifted operator, then undo the shift. *)
+  apply x y;
+  let num = ref 0.0 and den = ref 0.0 in
+  for v = 0 to n - 1 do
+    num := !num +. (x.(v) *. y.(v));
+    den := !den +. (x.(v) *. x.(v))
+  done;
+  if !den < 1e-300 then -1.0 (* x collapsed: spectrum besides the top is -1 (e.g. K2) *)
+  else (2.0 *. (!num /. !den)) -. 1.0
+
+let spectral_gap ?iterations ?seed g =
+  let l2 = second_eigenvalue ?iterations ?seed g in
+  min 1.0 (max 0.0 (1.0 -. l2))

@@ -1,0 +1,22 @@
+(** Spectral expansion estimates.
+
+    λ₂ — the second-largest eigenvalue of the normalised adjacency
+    matrix D^{-1/2} A D^{-1/2} — controls how fast anything spreads:
+    by Cheeger's inequality the conductance of the graph is at least
+    (1 − λ₂)/2, and random processes mix in O(1/(1 − λ₂)) steps. The
+    experiments use it to quantify *why* flooding on a ring-like Harary
+    graph is slow (gap → 0) while LHGs and expanders keep a healthy gap.
+
+    Computed by power iteration on (M + I)/2 with the known top
+    eigenvector (∝ √degree) deflated — the shift makes the spectrum
+    non-negative so the iteration converges to λ₂ itself rather than to
+    whichever eigenvalue has the largest magnitude. *)
+
+val second_eigenvalue : ?iterations:int -> ?seed:int -> Graph.t -> float
+(** λ₂ estimate (default 600 iterations, ~1e-3 accuracy on the test
+    fixtures).
+    @raise Invalid_argument on graphs with < 2 vertices or with isolated
+    vertices (degree 0 breaks the normalisation). *)
+
+val spectral_gap : ?iterations:int -> ?seed:int -> Graph.t -> float
+(** 1 − λ₂, clamped to [0, 1]. *)

@@ -1,0 +1,36 @@
+module Graph = Graph_core.Graph
+module Generators = Graph_core.Generators
+
+let check ~k ~n =
+  if k < 2 then invalid_arg "Harary.make: k must be >= 2";
+  if k >= n then invalid_arg "Harary.make: k must be < n"
+
+let make ~k ~n =
+  check ~k ~n;
+  let r = k / 2 in
+  if k mod 2 = 0 then Generators.circulant ~n ~jumps:(List.init r (fun i -> i + 1))
+  else if n mod 2 = 0 then
+    Generators.circulant ~n ~jumps:((n / 2) :: List.init r (fun i -> i + 1))
+  else begin
+    let g =
+      if r = 0 then Graph.create ~n
+      else Generators.circulant ~n ~jumps:(List.init r (fun i -> i + 1))
+    in
+    let h = (n - 1) / 2 in
+    for i = 0 to h do
+      Graph.add_edge g i (i + h)
+    done;
+    g
+  end
+
+let edge_count ~k ~n =
+  check ~k ~n;
+  ((k * n) + 1) / 2
+
+let diameter_formula ~k ~n =
+  check ~k ~n;
+  let r = max 1 (k / 2) in
+  (* Farthest circulant distance is about n/2 positions, covered r at a
+     time; the odd-k diameter chord halves it once. *)
+  let base = ((n / 2) + r - 1) / r in
+  if k mod 2 = 0 then base else max 1 ((base / 2) + 1)

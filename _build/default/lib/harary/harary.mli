@@ -1,0 +1,28 @@
+(** Classic Harary graphs H(k,n).
+
+    H(k,n) is the canonical minimal k-connected graph on n vertices with
+    exactly ⌈kn/2⌉ edges (Harary, 1962). The construction is
+    circulant-based:
+    - k = 2r: the circulant C_n(1..r);
+    - k = 2r+1, n even: C_n(1..r) plus all "diameters" i ↔ i + n/2;
+    - k = 2r+1, n odd: C_n(1..r) plus the (n+1)/2 chords
+      i ↔ i + (n−1)/2 for i = 0..(n−1)/2 (one vertex ends up with
+      degree k+1).
+
+    These graphs motivate the paper: they are k-connected and
+    link-minimal but their diameter grows as Θ(n/k), making flooding
+    latency linear in n — the problem LHGs solve. *)
+
+val make : k:int -> n:int -> Graph_core.Graph.t
+(** [make ~k ~n] builds H(k,n).
+    @raise Invalid_argument unless [2 <= k] and [k < n]. *)
+
+val edge_count : k:int -> n:int -> int
+(** ⌈kn/2⌉ — the number of edges of H(k,n), which is also the minimum
+    possible for any k-edge-connected graph on n vertices. *)
+
+val diameter_formula : k:int -> n:int -> int
+(** Analytic diameter of the even-k case: ⌈(n/2) / ⌊k/2⌋⌉-style bound
+    used as the "linear diameter" reference curve in the experiments.
+    For odd k the true diameter is within 1 of this value for the n
+    used in the paper's plots. *)

@@ -1,0 +1,1 @@
+lib/lhg/build.ml: Existence Format Graph_core List Option Printf Realize Shape Skeleton

@@ -1,0 +1,1 @@
+lib/lhg/build.mli: Format Graph_core Realize Shape

@@ -1,0 +1,1 @@
+lib/lhg/constraint_check.ml: Format List Shape

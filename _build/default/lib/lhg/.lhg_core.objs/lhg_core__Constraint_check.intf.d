@@ -1,0 +1,1 @@
+lib/lhg/constraint_check.mli: Format Shape

@@ -1,0 +1,1 @@
+lib/lhg/enumerate.ml: Array Build Existence Graph_core List Shape Skeleton

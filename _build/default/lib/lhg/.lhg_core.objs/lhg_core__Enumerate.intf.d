@@ -1,0 +1,1 @@
+lib/lhg/enumerate.mli: Build

@@ -1,0 +1,1 @@
+lib/lhg/existence.ml: Skeleton

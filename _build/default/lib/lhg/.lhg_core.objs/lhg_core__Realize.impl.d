@@ -1,0 +1,1 @@
+lib/lhg/realize.ml: Array Graph_core Shape

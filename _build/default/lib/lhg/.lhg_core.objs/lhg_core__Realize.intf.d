@@ -1,0 +1,1 @@
+lib/lhg/realize.mli: Graph_core Shape

@@ -1,0 +1,1 @@
+lib/lhg/regularity.ml: Existence List

@@ -1,0 +1,1 @@
+lib/lhg/route.ml: Array Build Graph_core List Realize Shape

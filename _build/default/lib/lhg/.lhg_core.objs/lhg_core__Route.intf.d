@@ -1,0 +1,1 @@
+lib/lhg/route.mli: Build

@@ -1,0 +1,1 @@
+lib/lhg/shape.ml: Array Format List Printf

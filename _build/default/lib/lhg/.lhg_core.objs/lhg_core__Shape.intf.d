@@ -1,0 +1,1 @@
+lib/lhg/shape.mli: Format

@@ -1,0 +1,1 @@
+lib/lhg/skeleton.ml: List Queue Shape

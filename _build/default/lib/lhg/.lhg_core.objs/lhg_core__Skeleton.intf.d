@@ -1,0 +1,1 @@
+lib/lhg/skeleton.mli: Shape

@@ -1,0 +1,1 @@
+lib/lhg/verify.ml: Build Format Graph_core Realize

@@ -1,0 +1,1 @@
+lib/lhg/verify.mli: Build Format Graph_core

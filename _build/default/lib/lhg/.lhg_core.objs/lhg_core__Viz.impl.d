@@ -1,0 +1,1 @@
+lib/lhg/viz.ml: Array Build Graph_core Printf Realize Shape

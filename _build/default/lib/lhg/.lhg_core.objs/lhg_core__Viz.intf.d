@@ -1,0 +1,1 @@
+lib/lhg/viz.mli: Build

@@ -1,0 +1,116 @@
+type violation = { rule : string; node : int option; message : string }
+
+let pp_violation fmt v =
+  match v.node with
+  | Some n -> Format.fprintf fmt "[%s] node %d: %s" v.rule n v.message
+  | None -> Format.fprintf fmt "[%s] %s" v.rule v.message
+
+let violation ?node rule fmt = Format.kasprintf (fun message -> { rule; node; message }) fmt
+
+(* Rules shared by all three constraints: rooted-tree skeleton, root with
+   exactly k regular children, internal nodes with exactly k-1 regular
+   children, added leaves only just above the leaves, height balance. *)
+let skeleton_violations ?(added_allowed_on_root = true) shape =
+  let k = Shape.k shape in
+  let errs = ref [] in
+  let push v = errs := v :: !errs in
+  if Shape.size shape = 0 || Shape.kind shape 0 <> Shape.Root then
+    push (violation "skeleton" "node 0 must be the root");
+  for i = 1 to Shape.size shape - 1 do
+    if Shape.kind shape i = Shape.Root then
+      push (violation ~node:i "skeleton" "secondary root")
+  done;
+  for i = 0 to Shape.size shape - 1 do
+    match Shape.kind shape i with
+    | Shape.Root ->
+        let r = List.length (Shape.regular_children shape i) in
+        if r <> k then push (violation ~node:i "3b/5b" "root has %d regular children, wants %d" r k)
+    | Shape.Internal ->
+        let r = List.length (Shape.regular_children shape i) in
+        if r <> k - 1 then
+          push (violation ~node:i "3c/5c" "internal node has %d regular children, wants %d" r (k - 1))
+    | Shape.Shared_leaf | Shape.Unshared_leaf | Shape.Added_leaf ->
+        if Shape.children shape i <> [] then
+          push (violation ~node:i "skeleton" "leaf with children")
+  done;
+  (* added leaves: parent must be just above the leaves *)
+  for i = 0 to Shape.size shape - 1 do
+    if Shape.kind shape i = Shape.Added_leaf then begin
+      let p = Shape.parent shape i in
+      let regular_leaf_child =
+        List.exists
+          (fun c -> Shape.kind shape c <> Shape.Added_leaf && Shape.is_leaf shape c)
+          (Shape.children shape p)
+      in
+      if not regular_leaf_child then
+        push (violation ~node:i "3d/5d" "added leaf on a node that is not just above the leaves");
+      if (not added_allowed_on_root) && Shape.kind shape p = Shape.Root then
+        push (violation ~node:i "jd" "added leaf on the root")
+    end
+  done;
+  if not (Shape.height_balanced shape) then push (violation "3a/5a" "tree is not height-balanced");
+  List.rev !errs
+
+let max_added_violations shape ~cap ~rule =
+  let errs = ref [] in
+  List.iter
+    (fun node ->
+      let a = List.length (Shape.added_children shape node) in
+      if a > cap then
+        errs := violation ~node rule "%d added leaves exceed the cap %d" a cap :: !errs)
+    (Shape.above_leaf_nodes shape);
+  (* Added leaves can only hang off above-leaf nodes; skeleton already
+     checks that, so only caps are verified here. *)
+  List.rev !errs
+
+let no_unshared_violations shape ~rule =
+  let errs = ref [] in
+  for i = 0 to Shape.size shape - 1 do
+    if Shape.kind shape i = Shape.Unshared_leaf then
+      errs := violation ~node:i rule "unshared leaves are not part of this constraint" :: !errs
+  done;
+  List.rev !errs
+
+let check_ktree shape =
+  let k = Shape.k shape in
+  skeleton_violations shape
+  @ no_unshared_violations shape ~rule:"2"
+  @ max_added_violations shape ~cap:(2 * k - 3) ~rule:"3d"
+
+let check_kdiamond shape =
+  let k = Shape.k shape in
+  skeleton_violations shape @ max_added_violations shape ~cap:(k - 2) ~rule:"5d"
+
+let check_jd ~strict shape =
+  let k = Shape.k shape in
+  let base =
+    skeleton_violations ~added_allowed_on_root:false shape
+    @ no_unshared_violations shape ~rule:"jd"
+    @ max_added_violations shape ~cap:2 ~rule:"jd"
+  in
+  let special =
+    List.filter (fun node -> Shape.added_children shape node <> []) (Shape.above_leaf_nodes shape)
+  in
+  let count_err =
+    if List.length special > k then
+      [ violation "jd" "%d special nodes exceed the limit k=%d" (List.length special) k ]
+    else []
+  in
+  let parity_err =
+    if strict then
+      List.filter_map
+        (fun node ->
+          let a = List.length (Shape.added_children shape node) in
+          if a = 1 then
+            Some (violation ~node "jd-strict" "special node carries 1 added leaf; strict reading wants 2")
+          else None)
+        special
+    else []
+  in
+  base @ count_err @ parity_err
+
+let satisfies_ktree shape = check_ktree shape = []
+
+let satisfies_kdiamond shape = check_kdiamond shape = []
+
+let satisfies_jd ~strict shape = check_jd ~strict shape = []

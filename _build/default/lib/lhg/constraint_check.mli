@@ -1,0 +1,42 @@
+(** Validation of the three construction rule-sets against a tree shape.
+
+    The builders in {!Build} produce shapes; these checkers re-verify
+    every structural rule of the corresponding constraint independently,
+    so tests can assert that what was built is what the paper defines.
+
+    Rule numbering follows the constraint definitions: K-TREE rules
+    1–3d, K-DIAMOND rules 1–5d, and JD is the Jenkins–Demers prose rule
+    ("k copies of a tree whose root node has k children, and whose other
+    interior nodes mostly have k−1 children, except for at most k
+    interior nodes just above the leaf nodes, which may have up to k+1
+    children"). Copy-pasting (rules 1–2) is part of the realisation and
+    checked by {!Verify.check_realization}; here we check the shape
+    rules. *)
+
+type violation = { rule : string; node : int option; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_ktree : Shape.t -> violation list
+(** Empty when the shape satisfies K-TREE: no unshared leaves; root has
+    exactly k regular children; internal nodes have exactly k−1 regular
+    children; added leaves only on nodes just above the leaves, at most
+    2k−3 each; height-balanced. *)
+
+val check_kdiamond : Shape.t -> violation list
+(** Empty when the shape satisfies K-DIAMOND: same skeleton rules, added
+    leaves at most k−2 per above-leaf node, unshared leaves allowed. *)
+
+val check_jd : strict:bool -> Shape.t -> violation list
+(** Empty when the shape obeys the Jenkins–Demers rule: no unshared
+    leaves; at most k above-leaf interior (non-root) nodes carry added
+    leaves; each carries at most 2 (bringing it from k−1 to at most k+1
+    children); the root carries none. With [~strict:true] (the reading
+    under which the follow-on paper's impossibility claims hold) a
+    special node carries exactly 2 added leaves, never 1. *)
+
+val satisfies_ktree : Shape.t -> bool
+
+val satisfies_kdiamond : Shape.t -> bool
+
+val satisfies_jd : strict:bool -> Shape.t -> bool

@@ -1,0 +1,74 @@
+let hosts_and_j ~n ~k =
+  match Existence.decompose_ktree ~n ~k with
+  | None -> None
+  | Some (alpha, j) ->
+      let skeleton = Skeleton.make ~k ~alpha in
+      Some (alpha, j, List.length (Shape.above_leaf_nodes skeleton))
+
+let count_ktree ~n ~k =
+  match hosts_and_j ~n ~k with
+  | None -> 0
+  | Some (_, j, hosts) ->
+      if j = 0 then 1
+      else begin
+        let cap = (2 * k) - 3 in
+        (* DP over hosts: ways.(r) = #compositions of r so far *)
+        let ways = Array.make (j + 1) 0 in
+        ways.(0) <- 1;
+        for _ = 1 to hosts do
+          let next = Array.make (j + 1) 0 in
+          for r = 0 to j do
+            if ways.(r) > 0 then
+              for c = 0 to min cap (j - r) do
+                next.(r + c) <- next.(r + c) + ways.(r)
+              done
+          done;
+          Array.blit next 0 ways 0 (j + 1)
+        done;
+        ways.(j)
+      end
+
+let iter_ktree ?(limit = 1000) ~n ~k f =
+  match hosts_and_j ~n ~k with
+  | None -> 0
+  | Some (alpha, j, hosts) ->
+      let cap = (2 * k) - 3 in
+      let produced = ref 0 in
+      let emit distribution =
+        if !produced < limit then begin
+          let shape = Skeleton.make ~k ~alpha in
+          let host_nodes = Shape.above_leaf_nodes shape in
+          List.iteri
+            (fun i count ->
+              let host = List.nth host_nodes i in
+              for _ = 1 to count do
+                Shape.add_added_leaf shape ~parent:host
+              done)
+            distribution;
+          f (Build.of_shape shape);
+          incr produced
+        end
+      in
+      (* generate bounded compositions of j over [hosts] slots *)
+      let rec go slot remaining acc =
+        if !produced >= limit then ()
+        else if slot = hosts then begin
+          if remaining = 0 then emit (List.rev acc)
+        end
+        else
+          for c = 0 to min cap remaining do
+            go (slot + 1) (remaining - c) (c :: acc)
+          done
+      in
+      go 0 j [];
+      !produced
+
+let distinct_graphs ?limit ~n ~k () =
+  let graphs = ref [] in
+  let _ =
+    iter_ktree ?limit ~n ~k (fun b ->
+        let g = b.Build.graph in
+        if not (List.exists (fun g' -> Graph_core.Graph.equal g g') !graphs) then
+          graphs := g :: !graphs)
+  in
+  List.length !graphs

@@ -1,0 +1,25 @@
+(** Enumeration of K-TREE witnesses.
+
+    For a pair (n,k) the skeleton (α breadth-first conversions) is
+    forced, but the j added leaves may sit on any node just above the
+    leaves, up to 2k−3 per host (rule 3d) — every distribution is a
+    distinct valid witness realising a (generally) different graph.
+    This module counts and materialises them: the "how much freedom does
+    the constraint leave" question, and a fuzzing source of
+    non-canonical LHGs for the verifier. *)
+
+val count_ktree : n:int -> k:int -> int
+(** Number of added-leaf distributions (bounded compositions of j over
+    the above-leaf hosts with per-host cap 2k−3); 0 when no witness
+    exists, 1 when j = 0. Computed by dynamic programming — beware the
+    count grows quickly with j and host count. *)
+
+val iter_ktree : ?limit:int -> n:int -> k:int -> (Build.t -> unit) -> int
+(** Materialise witnesses one by one (at most [limit], default 1000) and
+    return how many were produced. Each carries its own shape; all share
+    the same skeleton. *)
+
+val distinct_graphs : ?limit:int -> n:int -> k:int -> unit -> int
+(** Number of distinct realised graphs among the first [limit]
+    enumerated witnesses (exact equality of labelled graphs, not
+    isomorphism). *)

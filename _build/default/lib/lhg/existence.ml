@@ -1,0 +1,28 @@
+let decompose ~step ~j_max ~n ~k =
+  if k < 2 || n < 2 * k then None
+  else begin
+    let rest = n - (2 * k) in
+    let alpha = rest / step and j = rest mod step in
+    assert (j <= j_max);
+    Some (alpha, j)
+  end
+
+let decompose_ktree ~n ~k = decompose ~step:(2 * (k - 1)) ~j_max:((2 * k) - 3) ~n ~k
+
+let decompose_kdiamond ~n ~k = decompose ~step:(k - 1) ~j_max:(k - 2) ~n ~k
+
+let ex_ktree ~n ~k = k >= 2 && n >= 2 * k
+
+let ex_kdiamond ~n ~k = ex_ktree ~n ~k
+
+let jd_added_capacity ~k ~alpha =
+  let shape = Skeleton.make ~k ~alpha in
+  2 * Skeleton.jd_special_capacity shape
+
+let ex_jd ?(strict = true) ~n ~k () =
+  match decompose_ktree ~n ~k with
+  | None -> false
+  | Some (alpha, j) ->
+      if j = 0 then true
+      else if strict && j mod 2 = 1 then false
+      else j <= jd_added_capacity ~k ~alpha

@@ -1,0 +1,37 @@
+(** Characteristic existence functions EX_Π(n,k).
+
+    EX_Π(n,k) is true iff an LHG on n vertices with connectivity k
+    exists satisfying constraint Π. The closed forms are Theorems 2
+    and 5 of the constraint analysis (EX_KTREE = EX_KDIAMOND = [n ≥ 2k]),
+    while EX_JD is computed from the Jenkins–Demers added-leaf capacity
+    and exhibits infinitely many gaps — the motivation for K-TREE.
+
+    Parameter decompositions: every admissible n is written
+    n = 2k + step·α + j with
+    - K-TREE / JD: step = 2(k−1), j ∈ \{0..2k−3\};
+    - K-DIAMOND:  step = k−1,    j ∈ \{0..k−2\};
+    both residue systems are complete, so the decomposition is unique. *)
+
+val decompose_ktree : n:int -> k:int -> (int * int) option
+(** [(alpha, j)] with n = 2k + 2·alpha·(k−1) + j, or [None] when n < 2k
+    or k < 2. *)
+
+val decompose_kdiamond : n:int -> k:int -> (int * int) option
+(** [(alpha, j)] with n = 2k + alpha·(k−1) + j. *)
+
+val ex_ktree : n:int -> k:int -> bool
+(** Theorem 2: true iff k ≥ 2 and n ≥ 2k. *)
+
+val ex_kdiamond : n:int -> k:int -> bool
+(** Theorem 5: same predicate — K-TREE and K-DIAMOND are equivalent for
+    existence (Corollary 1). *)
+
+val ex_jd : ?strict:bool -> n:int -> k:int -> unit -> bool
+(** Existence under the Jenkins–Demers operational rule. [strict]
+    (default [true]) is the reading in which a special node carries
+    exactly two extra children, making every odd j unreachable; either
+    way j is bounded by twice the number of eligible above-leaf interior
+    nodes (≤ 2k). *)
+
+val jd_added_capacity : k:int -> alpha:int -> int
+(** Max total added leaves the JD rule allows on the α-step skeleton. *)

@@ -1,0 +1,55 @@
+module Graph = Graph_core.Graph
+
+type layout = { copies : int; base_vertex : int array; width : int array }
+
+let vertex_of layout ~node ~copy =
+  if copy < 0 || copy >= layout.copies then invalid_arg "Realize.vertex_of: copy out of range";
+  if layout.width.(node) = 1 then layout.base_vertex.(node)
+  else layout.base_vertex.(node) + copy
+
+let realize shape =
+  let k = Shape.k shape in
+  let sz = Shape.size shape in
+  let base_vertex = Array.make sz 0 in
+  let width = Array.make sz 1 in
+  let next = ref 0 in
+  for node = 0 to sz - 1 do
+    let w =
+      match Shape.kind shape node with
+      | Shape.Root | Shape.Internal | Shape.Unshared_leaf -> k
+      | Shape.Shared_leaf | Shape.Added_leaf -> 1
+    in
+    base_vertex.(node) <- !next;
+    width.(node) <- w;
+    next := !next + w
+  done;
+  let layout = { copies = k; base_vertex; width } in
+  let g = Graph.create ~n:!next in
+  for node = 0 to sz - 1 do
+    let p = Shape.parent shape node in
+    if p >= 0 then
+      for copy = 0 to k - 1 do
+        Graph.add_edge g (vertex_of layout ~node:p ~copy) (vertex_of layout ~node ~copy)
+      done;
+    (match Shape.kind shape node with
+    | Shape.Unshared_leaf ->
+        (* rule 4a: the k members form a clique *)
+        for a = 0 to k - 1 do
+          for b = a + 1 to k - 1 do
+            Graph.add_edge g (base_vertex.(node) + a) (base_vertex.(node) + b)
+          done
+        done
+    | Shape.Root | Shape.Internal | Shape.Shared_leaf | Shape.Added_leaf -> ())
+  done;
+  (g, layout)
+
+let shape_node_of_vertex layout ~n_vertices v =
+  if v < 0 || v >= n_vertices then invalid_arg "Realize.shape_node_of_vertex: out of range";
+  (* binary search: greatest node with base_vertex <= v *)
+  let lo = ref 0 and hi = ref (Array.length layout.base_vertex - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if layout.base_vertex.(mid) <= v then lo := mid else hi := mid - 1
+  done;
+  let node = !lo in
+  (node, v - layout.base_vertex.(node))

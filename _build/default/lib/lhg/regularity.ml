@@ -1,0 +1,23 @@
+let reg_ktree ~n ~k =
+  match Existence.decompose_ktree ~n ~k with
+  | Some (_, 0) -> true
+  | Some _ | None -> false
+
+let reg_kdiamond ~n ~k =
+  match Existence.decompose_kdiamond ~n ~k with
+  | Some (_, 0) -> true
+  | Some _ | None -> false
+
+let kdiamond_only ~n ~k = reg_kdiamond ~n ~k && not (reg_ktree ~n ~k)
+
+let regular_sizes ~start ~step ~max_n =
+  let rec go n acc = if n > max_n then List.rev acc else go (n + step) (n :: acc) in
+  if start > max_n then [] else go start []
+
+let regular_sizes_ktree ~k ~max_n =
+  if k < 2 then invalid_arg "Regularity.regular_sizes_ktree: k < 2";
+  regular_sizes ~start:(2 * k) ~step:(2 * (k - 1)) ~max_n
+
+let regular_sizes_kdiamond ~k ~max_n =
+  if k < 2 then invalid_arg "Regularity.regular_sizes_kdiamond: k < 2";
+  regular_sizes ~start:(2 * k) ~step:(k - 1) ~max_n

@@ -1,0 +1,22 @@
+(** Characteristic regularity functions REG_Π(n,k).
+
+    REG_Π(n,k) is true iff a *k-regular* LHG exists for (n,k) under
+    constraint Π — the minimum-edge, i.e. cheapest-flooding, case.
+
+    Theorem 3: REG_KTREE(n,k) ⇔ n = 2k + 2α(k−1).
+    Theorem 6: REG_KDIAMOND(n,k) ⇔ n = 2k + α(k−1).
+    Corollary 2 / Theorem 7: REG_KTREE ⇒ REG_KDIAMOND, and the odd-α
+    values of K-DIAMOND give infinitely many pairs where only K-DIAMOND
+    yields a regular graph. *)
+
+val reg_ktree : n:int -> k:int -> bool
+
+val reg_kdiamond : n:int -> k:int -> bool
+
+val kdiamond_only : n:int -> k:int -> bool
+(** The Theorem-7 set: REG_KDIAMOND true, REG_KTREE false. *)
+
+val regular_sizes_ktree : k:int -> max_n:int -> int list
+(** All n ≤ max_n with REG_KTREE(n,k). *)
+
+val regular_sizes_kdiamond : k:int -> max_n:int -> int list

@@ -1,0 +1,116 @@
+module Graph = Graph_core.Graph
+
+let height (b : Build.t) =
+  let shape = b.Build.shape in
+  List.fold_left (fun acc l -> max acc (Shape.depth shape l)) 0 (Shape.leaves shape)
+
+let max_route_length b = (4 * (height b + 1)) + 4
+
+(* Tree path between two shape nodes as a node list (inclusive):
+   root-first ancestor chains, strip the common prefix, join at the
+   last common ancestor. *)
+let tree_path shape a b =
+  let chain n =
+    let rec go n acc = if n < 0 then acc else go (Shape.parent shape n) (n :: acc) in
+    go n []
+  in
+  let rec strip lca ca cb =
+    match (ca, cb) with
+    | x :: ca', y :: cb' when x = y -> strip x ca' cb'
+    | _ -> (lca, ca, cb)
+  in
+  let lca, below_a, below_b = strip (-1) (chain a) (chain b) in
+  if lca < 0 then invalid_arg "Route.tree_path: nodes in different trees";
+  List.rev below_a @ (lca :: below_b)
+
+(* Nearest descendant leaf by following first regular children. *)
+let rec descend_to_leaf shape node acc =
+  if Shape.is_leaf shape node then (node, List.rev acc)
+  else
+    match Shape.regular_children shape node with
+    | child :: _ -> descend_to_leaf shape child (child :: acc)
+    | [] -> invalid_arg "Route: non-leaf without regular children (corrupt shape)"
+
+(* Map a shape node to its vertex as seen from [copy]. *)
+let vertex_in (b : Build.t) node ~copy = Realize.vertex_of b.Build.layout ~node ~copy
+
+(* Entry of vertex [v] (at shape position (node, own_copy)) into tree
+   copy [copy]: the vertex prefix (starting at v) and the shape node at
+   which the copy-[copy] tree is joined. *)
+let entry (b : Build.t) ~node ~own_copy ~copy v =
+  let shape = b.Build.shape in
+  match Shape.kind shape node with
+  | Shape.Shared_leaf | Shape.Added_leaf -> ([ v ], node)
+  | Shape.Unshared_leaf ->
+      if own_copy = copy then ([ v ], node)
+      else ([ v; vertex_in b node ~copy ], node) (* clique hop *)
+  | Shape.Root | Shape.Internal ->
+      if own_copy = copy then ([ v ], node)
+      else begin
+        (* descend inside own copy to the nearest shared junction *)
+        let leaf, path_nodes = descend_to_leaf shape node [] in
+        let descent = v :: List.map (fun nd -> vertex_in b nd ~copy:own_copy) path_nodes in
+        match Shape.kind shape leaf with
+        | Shape.Unshared_leaf ->
+            (* descent ends on own copy's clique member; hop to copy's *)
+            (descent @ [ vertex_in b leaf ~copy ], leaf)
+        | Shape.Shared_leaf | Shape.Added_leaf -> (descent, leaf)
+        | Shape.Root | Shape.Internal -> assert false
+      end
+
+(* Remove loops: keep the segment up to the *last* occurrence of any
+   repeated vertex. *)
+let simplify path =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+        if List.mem v acc then
+          let rec unwind = function w :: tl when w <> v -> unwind tl | tl -> tl in
+          go (unwind acc) rest
+        else go (v :: acc) rest
+  in
+  go [] path
+
+let dedup_consecutive path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = b then go rest else a :: go rest
+    | tail -> tail
+  in
+  go path
+
+let via_copy (b : Build.t) ~src ~dst ~copy =
+  let n = Graph.n b.Build.graph in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Route.via_copy: vertex out of range";
+  if copy < 0 || copy >= b.Build.k then invalid_arg "Route.via_copy: copy out of range";
+  if src = dst then [ src ]
+  else begin
+    let shape = b.Build.shape in
+    let node_of v = Realize.shape_node_of_vertex b.Build.layout ~n_vertices:n v in
+    let nu, cu = node_of src in
+    let nv, cv = node_of dst in
+    let prefix, enter_node = entry b ~node:nu ~own_copy:cu ~copy src in
+    let suffix_rev, exit_node = entry b ~node:nv ~own_copy:cv ~copy dst in
+    let middle_nodes = tree_path shape enter_node exit_node in
+    let middle = List.map (fun nd -> vertex_in b nd ~copy) middle_nodes in
+    dedup_consecutive (simplify (prefix @ middle @ List.rev suffix_rev))
+  end
+
+let all_routes b ~src ~dst =
+  List.sort_uniq compare (List.init b.Build.k (fun copy -> via_copy b ~src ~dst ~copy))
+
+let route ?avoid (b : Build.t) ~src ~dst =
+  let ok path =
+    match avoid with
+    | None -> true
+    | Some mask -> List.for_all (fun v -> not mask.(v)) path
+  in
+  let structured = List.find_opt ok (List.init b.Build.k (fun copy -> via_copy b ~src ~dst ~copy)) in
+  match structured with
+  | Some p -> Some p
+  | None ->
+      let alive =
+        match avoid with
+        | None -> None
+        | Some mask -> Some (Array.map not mask)
+      in
+      Graph_core.Bfs.path ?alive b.Build.graph ~src ~dst

@@ -1,0 +1,40 @@
+(** Structured point-to-point routing over an LHG witness.
+
+    An LHG is k pasted tree copies, so any vertex can reach any other
+    through a chosen copy without global routing tables: descend to a
+    leaf of your own copy (leaves are shared), switch to the target
+    copy, climb to the lowest common ancestor, descend. Route length is
+    bounded by {!max_route_length} = O(log n), and the k copies give k
+    alternative routes to fail over between — the constructive reading
+    of the k-connectivity proof.
+
+    Per-copy routes through different copies are not guaranteed mutually
+    vertex-disjoint at their shared-leaf junctions, so {!route} falls
+    back to masked BFS when every structured route is blocked; with at
+    most k−1 failed vertices the BFS fallback always succeeds (P1). *)
+
+val via_copy : Build.t -> src:int -> dst:int -> copy:int -> int list
+(** The structured route through tree copy [copy]: a valid vertex path
+    from [src] to [dst] inclusive, using only that copy's tree edges
+    plus at most one clique hop at each end (for unshared-leaf
+    endpoints) and the endpoints' own descent paths.
+    @raise Invalid_argument on bad vertices or copy index. *)
+
+val all_routes : Build.t -> src:int -> dst:int -> int list list
+(** The k structured routes, one per copy, duplicates removed. *)
+
+val route : ?avoid:bool array -> Build.t -> src:int -> dst:int -> int list option
+(** First structured route avoiding the masked vertices, falling back to
+    BFS on the surviving subgraph; [None] only when [src] and [dst] are
+    genuinely disconnected (which needs ≥ k failures). *)
+
+val max_route_length : Build.t -> int
+(** Upper bound on {!via_copy} path length (vertex count): each
+    endpoint may descend to a leaf (≤ height hops each, + a clique hop),
+    and the in-copy leg crosses the root (≤ 2·height hops), so
+    4·(height+1) + 4 is safe — still O(log n). Routes that pick the
+    endpoint's own copy skip the descents and meet the paper's 2·height
+    diameter figure. *)
+
+val height : Build.t -> int
+(** Height of the underlying tree shape (max leaf depth). *)

@@ -1,0 +1,153 @@
+type kind = Root | Internal | Shared_leaf | Unshared_leaf | Added_leaf
+
+type t = {
+  k : int;
+  mutable size : int;
+  mutable parents : int array;
+  mutable kinds : kind array;
+  mutable depths : int array;
+  mutable childs : int list array; (* reverse creation order *)
+}
+
+let grow t =
+  let cap = Array.length t.parents in
+  if t.size = cap then begin
+    let ncap = 2 * cap in
+    let extend a fill = Array.append a (Array.make (ncap - cap) fill) in
+    t.parents <- extend t.parents (-1);
+    t.kinds <- extend t.kinds Shared_leaf;
+    t.depths <- extend t.depths 0;
+    t.childs <- extend t.childs []
+  end
+
+let new_node t ~parent ~kind =
+  grow t;
+  let id = t.size in
+  t.size <- t.size + 1;
+  t.parents.(id) <- parent;
+  t.kinds.(id) <- kind;
+  t.depths.(id) <- (if parent < 0 then 0 else t.depths.(parent) + 1);
+  t.childs.(id) <- [];
+  if parent >= 0 then t.childs.(parent) <- id :: t.childs.(parent);
+  id
+
+let base ~k =
+  if k < 2 then invalid_arg "Shape.base: k must be >= 2";
+  let cap = 4 * k in
+  let t =
+    {
+      k;
+      size = 0;
+      parents = Array.make cap (-1);
+      kinds = Array.make cap Shared_leaf;
+      depths = Array.make cap 0;
+      childs = Array.make cap [];
+    }
+  in
+  let root = new_node t ~parent:(-1) ~kind:Root in
+  for _ = 1 to k do
+    ignore (new_node t ~parent:root ~kind:Shared_leaf)
+  done;
+  t
+
+let k t = t.k
+
+let size t = t.size
+
+let check_node t i name =
+  if i < 0 || i >= t.size then invalid_arg (Printf.sprintf "Shape.%s: node %d out of range" name i)
+
+let kind t i =
+  check_node t i "kind";
+  t.kinds.(i)
+
+let parent t i =
+  check_node t i "parent";
+  t.parents.(i)
+
+let depth t i =
+  check_node t i "depth";
+  t.depths.(i)
+
+let children t i =
+  check_node t i "children";
+  List.rev t.childs.(i)
+
+let is_leaf_kind = function
+  | Shared_leaf | Unshared_leaf | Added_leaf -> true
+  | Root | Internal -> false
+
+let is_leaf t i = is_leaf_kind (kind t i)
+
+let regular_children t i =
+  List.filter (fun c -> t.kinds.(c) <> Added_leaf) (children t i)
+
+let added_children t i = List.filter (fun c -> t.kinds.(c) = Added_leaf) (children t i)
+
+let leaves t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    if is_leaf t i then acc := i :: !acc
+  done;
+  !acc
+
+let convert_leaf t i =
+  check_node t i "convert_leaf";
+  (match t.kinds.(i) with
+  | Shared_leaf | Unshared_leaf -> ()
+  | Root | Internal | Added_leaf -> invalid_arg "Shape.convert_leaf: not a convertible leaf");
+  t.kinds.(i) <- Internal;
+  for _ = 1 to t.k - 1 do
+    ignore (new_node t ~parent:i ~kind:Shared_leaf)
+  done
+
+let add_added_leaf t ~parent =
+  check_node t parent "add_added_leaf";
+  if is_leaf t parent then invalid_arg "Shape.add_added_leaf: parent is a leaf";
+  let has_leaf_child = List.exists (fun c -> is_leaf t c) (children t parent) in
+  if not has_leaf_child then
+    invalid_arg "Shape.add_added_leaf: parent is not just above the leaves";
+  ignore (new_node t ~parent ~kind:Added_leaf)
+
+let mark_unshared t i =
+  check_node t i "mark_unshared";
+  if t.kinds.(i) <> Shared_leaf then invalid_arg "Shape.mark_unshared: not a shared leaf";
+  t.kinds.(i) <- Unshared_leaf
+
+let above_leaf_nodes t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    if (not (is_leaf t i)) && List.exists (fun c -> is_leaf t c) (children t i) then
+      acc := i :: !acc
+  done;
+  !acc
+
+let height_balanced t =
+  let dmin = ref max_int and dmax = ref 0 in
+  for i = 0 to t.size - 1 do
+    if is_leaf t i then begin
+      if t.depths.(i) < !dmin then dmin := t.depths.(i);
+      if t.depths.(i) > !dmax then dmax := t.depths.(i)
+    end
+  done;
+  !dmax - !dmin <= 1
+
+let counts t =
+  let non_leaf = ref 0 and shared = ref 0 and added = ref 0 and unshared = ref 0 in
+  for i = 0 to t.size - 1 do
+    match t.kinds.(i) with
+    | Root | Internal -> incr non_leaf
+    | Shared_leaf -> incr shared
+    | Added_leaf -> incr added
+    | Unshared_leaf -> incr unshared
+  done;
+  (!non_leaf, !shared, !added, !unshared)
+
+let vertex_count t =
+  let non_leaf, shared, added, unshared = counts t in
+  (t.k * non_leaf) + shared + added + (t.k * unshared)
+
+let pp fmt t =
+  let non_leaf, shared, added, unshared = counts t in
+  Format.fprintf fmt "shape(k=%d, nodes=%d, internal=%d, shared=%d, added=%d, unshared=%d, vertices=%d)"
+    t.k t.size non_leaf shared added unshared (vertex_count t)

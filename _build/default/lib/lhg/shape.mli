@@ -1,0 +1,84 @@
+(** The tree T underlying every LHG construction.
+
+    Jenkins & Demers build an LHG as k copies of a tree pasted together
+    at the leaves. This module represents that tree *shape*: a rooted
+    tree whose nodes carry a kind that determines how the realisation
+    ({!Realize}) multiplies them into graph vertices:
+
+    - [Root] / [Internal] — replicated once per copy (k vertices each);
+    - [Shared_leaf] — a single vertex shared by all k copies;
+    - [Added_leaf] — a shared leaf attached beyond the regular k−1
+      children (K-TREE rule 3d / JD's "up to k+1 children" / K-DIAMOND
+      rule 5d);
+    - [Unshared_leaf] — K-DIAMOND rule 4: realised as a k-clique, member
+      i attached to copy i.
+
+    The shape is built incrementally by the constructions in {!Build}:
+    start from {!base} (root plus k shared leaves) and apply
+    {!convert_leaf} / {!add_added_leaf} / {!mark_unshared}. *)
+
+type kind = Root | Internal | Shared_leaf | Unshared_leaf | Added_leaf
+
+type t
+
+val base : k:int -> t
+(** Root node 0 with k shared-leaf children 1..k. Requires [k >= 2]. *)
+
+val k : t -> int
+
+val size : t -> int
+(** Number of shape nodes (not graph vertices). *)
+
+val kind : t -> int -> kind
+
+val parent : t -> int -> int
+(** [-1] for the root. *)
+
+val depth : t -> int -> int
+
+val children : t -> int -> int list
+(** All children in creation order, added leaves included. *)
+
+val regular_children : t -> int -> int list
+(** Children excluding added leaves. *)
+
+val added_children : t -> int -> int list
+
+val is_leaf : t -> int -> bool
+(** Kind is [Shared_leaf], [Unshared_leaf] or [Added_leaf]. *)
+
+val leaves : t -> int list
+(** Ascending ids of all leaf nodes. *)
+
+val convert_leaf : t -> int -> unit
+(** Turn a [Shared_leaf] or [Unshared_leaf] into an [Internal] node with
+    k−1 fresh [Shared_leaf] children.
+    @raise Invalid_argument if the node is not a convertible leaf. *)
+
+val add_added_leaf : t -> parent:int -> unit
+(** Attach one [Added_leaf] to [parent], which must be a non-leaf node
+    that currently has at least one leaf child ("just above the
+    leaves"). Per-constraint caps are the callers' business
+    ({!Constraint_check} enforces them). *)
+
+val mark_unshared : t -> int -> unit
+(** Flip a [Shared_leaf] to an [Unshared_leaf].
+    @raise Invalid_argument otherwise. *)
+
+val above_leaf_nodes : t -> int list
+(** Non-leaf nodes having at least one regular leaf child, ascending.
+    These are the nodes eligible for added leaves. *)
+
+val height_balanced : t -> bool
+(** Max regular-leaf depth − min leaf depth ≤ 1 (K-TREE rule 3a /
+    K-DIAMOND rule 5a). Added leaves sit at frontier depth and are
+    included in the check. *)
+
+val vertex_count : t -> int
+(** Number of graph vertices the realisation will produce:
+    k·(#root + #internal) + #shared + #added + k·(#unshared). *)
+
+val counts : t -> int * int * int * int
+(** [(non_leaf, shared, added, unshared)] node counts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+let make ~k ~alpha =
+  if alpha < 0 then invalid_arg "Skeleton.make: negative alpha";
+  let shape = Shape.base ~k in
+  (* Leaves are created with increasing ids and BFS conversion visits
+     them in id order, so a FIFO of fresh ids is the conversion queue. *)
+  let q = Queue.create () in
+  for leaf = 1 to k do
+    Queue.add leaf q
+  done;
+  for _ = 1 to alpha do
+    let leaf = Queue.pop q in
+    let before = Shape.size shape in
+    Shape.convert_leaf shape leaf;
+    for child = before to Shape.size shape - 1 do
+      Queue.add child q
+    done
+  done;
+  shape
+
+let make_depth_first ~k ~alpha =
+  if alpha < 0 then invalid_arg "Skeleton.make_depth_first: negative alpha";
+  let shape = Shape.base ~k in
+  (* LIFO: always convert the newest leaf. *)
+  let stack = ref (List.rev (List.init k (fun i -> i + 1))) in
+  for _ = 1 to alpha do
+    match !stack with
+    | [] -> invalid_arg "Skeleton.make_depth_first: no leaf left (impossible)"
+    | leaf :: rest ->
+        let before = Shape.size shape in
+        Shape.convert_leaf shape leaf;
+        let fresh = List.rev (List.init (Shape.size shape - before) (fun i -> before + i)) in
+        stack := fresh @ rest
+  done;
+  shape
+
+let conversion_order shape =
+  (* Leaves sorted by (depth, id): creation order within a depth matches
+     id order, so this reproduces the BFS queue. *)
+  Shape.leaves shape
+  |> List.map (fun l -> (Shape.depth shape l, l))
+  |> List.sort compare
+  |> List.map snd
+
+let jd_special_capacity shape =
+  let k = Shape.k shape in
+  let eligible =
+    List.filter (fun nd -> Shape.kind shape nd <> Shape.Root) (Shape.above_leaf_nodes shape)
+  in
+  min k (List.length eligible)
+
+let last_above_leaf shape =
+  match List.rev (Shape.above_leaf_nodes shape) with
+  | last :: _ -> last
+  | [] -> invalid_arg "Skeleton.last_above_leaf: no above-leaf node (corrupt shape)"

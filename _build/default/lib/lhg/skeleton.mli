@@ -1,0 +1,33 @@
+(** Breadth-first tree skeletons.
+
+    Every construction grows the base tree (root + k shared leaves) by
+    converting leaves to internal nodes in breadth-first order — filling
+    a level completely before starting the next — which is what keeps
+    the tree height-balanced and the diameter logarithmic. One
+    conversion replaces a leaf with an internal node carrying k−1 fresh
+    leaves, i.e. adds 2(k−1) graph vertices. *)
+
+val make : k:int -> alpha:int -> Shape.t
+(** Base shape plus [alpha] breadth-first leaf conversions. *)
+
+val make_depth_first : k:int -> alpha:int -> Shape.t
+(** ABLATION ONLY: the same [alpha] conversions applied depth-first
+    (always the most recently created leaf). This deliberately violates
+    the height-balance rule (3a/5a): the tree degenerates towards a
+    (k−1)-ary caterpillar and the realised graph's diameter grows as
+    Θ(n/k) instead of Θ(log n) — the experiment that shows why the
+    breadth-first rule is load-bearing. The realisation is still
+    k-connected and link-minimal. *)
+
+val conversion_order : Shape.t -> int list
+(** The current leaves in BFS order — the order in which further
+    conversions would proceed. *)
+
+val jd_special_capacity : Shape.t -> int
+(** Number of non-root internal nodes just above the leaves, capped at
+    k — the nodes Jenkins–Demers allow to exceed k−1 children. The JD
+    added-leaf capacity is twice this value. *)
+
+val last_above_leaf : Shape.t -> int
+(** Deepest (most recently created) node just above the leaves — the
+    canonical host for added leaves. The base shape's root qualifies. *)

@@ -1,0 +1,59 @@
+module Graph = Graph_core.Graph
+module Connectivity = Graph_core.Connectivity
+module Minimality = Graph_core.Minimality
+module Paths = Graph_core.Paths
+module Degree = Graph_core.Degree
+
+type report = {
+  n : int;
+  k : int;
+  node_connected : bool;
+  link_connected : bool;
+  link_minimal : bool option;
+  diameter : int option;
+  diameter_ok : bool;
+  k_regular : bool;
+}
+
+let diameter_bound ~n ~k =
+  if n <= 1 then 0
+  else if k <= 2 then n
+  else
+    let logb = log (float_of_int n) /. log (float_of_int (k - 1)) in
+    int_of_float (ceil (2.0 *. logb)) + 6
+
+let verify ?(check_minimality = true) g ~k =
+  let n = Graph.n g in
+  let node_connected = Connectivity.is_k_vertex_connected g ~k in
+  let link_connected = Connectivity.is_k_edge_connected g ~k in
+  let link_minimal =
+    if check_minimality then Some (Minimality.is_link_minimal g ~k) else None
+  in
+  let diameter = Paths.diameter g in
+  let diameter_ok =
+    match diameter with Some d -> d <= diameter_bound ~n ~k | None -> false
+  in
+  let k_regular = n > 0 && Degree.is_k_regular g ~k in
+  { n; k; node_connected; link_connected; link_minimal; diameter; diameter_ok; k_regular }
+
+let is_lhg ?check_minimality g ~k =
+  let r = verify ?check_minimality g ~k in
+  r.node_connected && r.link_connected
+  && (match r.link_minimal with Some b -> b | None -> true)
+  && r.diameter_ok
+
+let pp_report fmt r =
+  let pp_bool_opt fmt = function
+    | Some b -> Format.pp_print_bool fmt b
+    | None -> Format.pp_print_string fmt "skipped"
+  in
+  Format.fprintf fmt
+    "@[<v>n=%d k=%d@,P1 node-connectivity: %b@,P2 link-connectivity: %b@,P3 link-minimality: %a@,P4 diameter: %s (bound %d) ok=%b@,P5 k-regular: %b@]"
+    r.n r.k r.node_connected r.link_connected pp_bool_opt r.link_minimal
+    (match r.diameter with Some d -> string_of_int d | None -> "disconnected")
+    (diameter_bound ~n:r.n ~k:r.k)
+    r.diameter_ok r.k_regular
+
+let check_realization (b : Build.t) =
+  let g', layout' = Realize.realize b.Build.shape in
+  layout'.Realize.copies = b.Build.layout.Realize.copies && Graph.equal g' b.Build.graph

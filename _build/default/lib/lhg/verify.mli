@@ -1,0 +1,42 @@
+(** Independent verification of the four LHG properties.
+
+    Everything here works on the raw graph with the max-flow machinery of
+    {!Graph_core.Connectivity} — no knowledge of shapes or witnesses — so
+    that construction bugs cannot hide behind their own bookkeeping.
+
+    - P1 k-node connectivity, P2 k-link connectivity: flow decisions;
+    - P3 link minimality: every edge critical ({!Graph_core.Minimality});
+    - P4 logarithmic diameter: exact BFS diameter against
+      {!diameter_bound}. *)
+
+type report = {
+  n : int;
+  k : int;
+  node_connected : bool;  (** P1 *)
+  link_connected : bool;  (** P2 *)
+  link_minimal : bool option;  (** P3; [None] when skipped *)
+  diameter : int option;  (** exact; [None] when disconnected *)
+  diameter_ok : bool;  (** P4 against {!diameter_bound} *)
+  k_regular : bool;  (** P5, informational *)
+}
+
+val diameter_bound : n:int -> k:int -> int
+(** The P4 threshold: ⌈2·log_{k−1} n⌉ + 6 for k ≥ 3 — a provable bound
+    for the pasted-tree constructions (height ≤ log_{k−1}(n/k) + 2,
+    worst path ≤ 2·height + 2, slack for added leaves and cliques).
+    For k = 2 the bound degenerates to n: no 2-regular graph family has
+    logarithmic diameter, matching the paper's implicit k ≥ 3 scope. *)
+
+val verify : ?check_minimality:bool -> Graph_core.Graph.t -> k:int -> report
+(** Full property check. [check_minimality] defaults to [true]; it is
+    the expensive part (one local flow per edge) and can be disabled for
+    large sweeps. *)
+
+val is_lhg : ?check_minimality:bool -> Graph_core.Graph.t -> k:int -> bool
+(** P1 ∧ P2 ∧ P3 ∧ P4. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_realization : Build.t -> bool
+(** Witness consistency: re-realise the build's shape and compare graphs
+    — guards against accidental divergence between witness and graph. *)

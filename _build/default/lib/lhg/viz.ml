@@ -1,0 +1,29 @@
+module Graph = Graph_core.Graph
+
+let copy_palette = [| "#c6dbef"; "#c7e9c0"; "#fdd0a2"; "#dadaeb"; "#f7b6d2"; "#d9d9d9"; "#fee391"; "#ccebc5" |]
+
+let to_dot ?(name = "lhg") (b : Build.t) =
+  let g = b.Build.graph in
+  let layout = b.Build.layout in
+  let shape = b.Build.shape in
+  let label v =
+    let node, copy = Realize.shape_node_of_vertex layout ~n_vertices:(Graph.n g) v in
+    match Shape.kind shape node with
+    | Shape.Root -> Printf.sprintf "R%d" copy
+    | Shape.Internal -> Printf.sprintf "%d:%d" node copy
+    | Shape.Shared_leaf -> Printf.sprintf "L%d" node
+    | Shape.Added_leaf -> Printf.sprintf "A%d" node
+    | Shape.Unshared_leaf -> Printf.sprintf "U%d:%d" node copy
+  in
+  let color v =
+    let node, copy = Realize.shape_node_of_vertex layout ~n_vertices:(Graph.n g) v in
+    match Shape.kind shape node with
+    | Shape.Root -> Some "gold"
+    | Shape.Internal -> Some copy_palette.(copy mod Array.length copy_palette)
+    | Shape.Shared_leaf -> Some "#d9d9d9"
+    | Shape.Added_leaf -> Some "#9ecae1"
+    | Shape.Unshared_leaf -> Some "#fcae91"
+  in
+  Graph_core.Dot.to_dot ~name ~label ~color:(fun v -> color v) g
+
+let write_file ~path b = Graph_core.Dot.write_file ~path (to_dot b)

@@ -1,0 +1,12 @@
+(** Graphviz rendering of LHG witnesses.
+
+    Colours and labels encode the construction: root copies (gold),
+    internal copies (per-copy pastel), shared leaves (grey), added
+    leaves (light blue), unshared clique members (salmon). Makes the
+    "k trees pasted at the leaves" structure visible at a glance —
+    render with [dot -Tsvg] or [neato]. *)
+
+val to_dot : ?name:string -> Build.t -> string
+(** DOT document with role/copy colouring and [node:copy] labels. *)
+
+val write_file : path:string -> Build.t -> unit

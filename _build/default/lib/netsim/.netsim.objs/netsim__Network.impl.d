@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Float Graph_core Hashtbl Sim Trace

@@ -1,0 +1,142 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+type latency = Prng.t -> src:int -> dst:int -> float
+
+let constant_latency l = fun _ ~src:_ ~dst:_ -> l
+
+let uniform_latency ~lo ~hi =
+  if lo < 0.0 || hi < lo then invalid_arg "Network.uniform_latency";
+  fun rng ~src:_ ~dst:_ -> lo +. Prng.float rng (hi -. lo)
+
+let exponential_latency ~mean =
+  if mean <= 1.0 then invalid_arg "Network.exponential_latency: mean must exceed the 1.0 floor";
+  fun rng ~src:_ ~dst:_ -> 1.0 +. Prng.exponential rng ~mean:(mean -. 1.0)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_link : int;
+  dropped_crash : int;
+  dropped_random : int;
+}
+
+type 'msg t = {
+  sim : Sim.t;
+  graph : Graph.t;
+  latency : latency;
+  loss_rate : float;
+  trace : Trace.t option;
+  processing_delay : float;
+  next_free : float array;  (** per-node receiver availability time *)
+  mutable next_seq : int;
+  rng : Prng.t;
+  crashed : bool array;
+  failed_links : (int * int, unit) Hashtbl.t;
+  mutable receiver : dst:int -> src:int -> 'msg -> unit;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_link : int;
+  mutable dropped_crash : int;
+  mutable dropped_random : int;
+}
+
+let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
+    ?(processing_delay = 0.0) ?trace () =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Network.create: loss_rate outside [0,1)";
+  if processing_delay < 0.0 then invalid_arg "Network.create: negative processing_delay";
+  {
+    sim;
+    graph;
+    latency;
+    loss_rate;
+    trace;
+    processing_delay;
+    next_free = Array.make (Graph.n graph) 0.0;
+    next_seq = 0;
+    rng = Sim.fork_rng sim;
+    crashed = Array.make (Graph.n graph) false;
+    failed_links = Hashtbl.create 16;
+    receiver = (fun ~dst:_ ~src:_ _ -> ());
+    sent = 0;
+    delivered = 0;
+    dropped_link = 0;
+    dropped_crash = 0;
+    dropped_random = 0;
+  }
+
+let graph t = t.graph
+
+let sim t = t.sim
+
+let set_receiver t f = t.receiver <- f
+
+let link_key u v = (min u v, max u v)
+
+let is_crashed t v = t.crashed.(v)
+
+let crash t v =
+  if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.crash: vertex out of range";
+  t.crashed.(v) <- true
+
+let alive_mask t = Array.map not t.crashed
+
+let fail_link t u v =
+  if not (Graph.has_edge t.graph u v) then invalid_arg "Network.fail_link: no such edge";
+  Hashtbl.replace t.failed_links (link_key u v) ()
+
+let link_failed t u v = Hashtbl.mem t.failed_links (link_key u v)
+
+let emit t kind ~src ~dst ~seq =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.time = Sim.now t.sim; kind; src; dst; seq }
+
+let send t ~src ~dst msg =
+  if not (Graph.has_edge t.graph src dst) then invalid_arg "Network.send: no such edge";
+  if t.crashed.(src) then invalid_arg "Network.send: source is crashed";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.sent <- t.sent + 1;
+  emit t Trace.Sent ~src ~dst ~seq;
+  if link_failed t src dst then begin
+    t.dropped_link <- t.dropped_link + 1;
+    emit t Trace.Dropped_link ~src ~dst ~seq
+  end
+  else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
+    t.dropped_random <- t.dropped_random + 1;
+    emit t Trace.Dropped_random ~src ~dst ~seq
+  end
+  else begin
+    let delay = t.latency t.rng ~src ~dst in
+    if delay < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+    let deliver () =
+      if t.crashed.(dst) then begin
+        t.dropped_crash <- t.dropped_crash + 1;
+        emit t Trace.Dropped_crash ~src ~dst ~seq
+      end
+      else begin
+        t.delivered <- t.delivered + 1;
+        emit t Trace.Delivered ~src ~dst ~seq;
+        t.receiver ~dst ~src msg
+      end
+    in
+    Sim.schedule t.sim ~delay (fun () ->
+        if t.processing_delay = 0.0 then deliver ()
+        else begin
+          (* FIFO receiver queue: one message per processing_delay *)
+          let start = Float.max (Sim.now t.sim) t.next_free.(dst) in
+          let finish = start +. t.processing_delay in
+          t.next_free.(dst) <- finish;
+          Sim.schedule_at t.sim ~time:finish deliver
+        end)
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped_link = t.dropped_link;
+    dropped_crash = t.dropped_crash;
+    dropped_random = t.dropped_random;
+  }

@@ -1,0 +1,77 @@
+(** Message-passing network layer over a graph topology.
+
+    Sits on top of {!Sim}: sending enqueues a delivery event after a
+    latency drawn from the latency model. Failure injection covers the
+    crash-stop node model (a crashed node neither sends nor receives —
+    in-flight messages to it are dropped on delivery), fail-stop links,
+    and i.i.d. probabilistic message loss. All drops are counted in
+    {!stats}. The payload type is the caller's ['msg]. *)
+
+type 'msg t
+
+type latency = Graph_core.Prng.t -> src:int -> dst:int -> float
+(** Latency model: virtual time units for one message on one link. *)
+
+val constant_latency : float -> latency
+
+val uniform_latency : lo:float -> hi:float -> latency
+
+val exponential_latency : mean:float -> latency
+(** 1 + Exp(mean−1): a floor of one time unit plus an exponential tail —
+    a common WAN-ish model that keeps causality (strictly positive). *)
+
+type stats = {
+  sent : int;  (** messages handed to the network *)
+  delivered : int;  (** messages that reached a live handler *)
+  dropped_link : int;  (** lost to failed links *)
+  dropped_crash : int;  (** lost to crashed destinations *)
+  dropped_random : int;  (** lost to the loss-rate coin *)
+}
+
+val create :
+  sim:Sim.t ->
+  graph:Graph_core.Graph.t ->
+  ?latency:latency ->
+  ?loss_rate:float ->
+  ?processing_delay:float ->
+  ?trace:Trace.t ->
+  unit ->
+  'msg t
+(** New network; default latency is [constant_latency 1.0], default
+    loss rate 0. With [?trace], every send and terminal outcome is
+    recorded ({!Trace}).
+
+    [?processing_delay] (default 0) models receiver contention: each
+    node handles one message per [processing_delay] time units, queueing
+    arrivals FIFO — so a node's effective latency grows with its degree
+    and message pressure, which is what makes constant-degree topologies
+    attractive beyond edge counts. *)
+
+val graph : 'msg t -> Graph_core.Graph.t
+
+val sim : 'msg t -> Sim.t
+
+val set_receiver : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
+(** Install the protocol's receive handler (one per network). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Send over the edge (src,dst).
+    @raise Invalid_argument if no such edge exists or [src] is crashed.
+    The message is silently dropped (and counted) on link failure, the
+    loss coin, or a crashed/crashing destination at delivery time. *)
+
+val crash : 'msg t -> int -> unit
+(** Crash-stop the node, effective immediately. Idempotent. *)
+
+val is_crashed : 'msg t -> int -> bool
+
+val alive_mask : 'msg t -> bool array
+(** Snapshot: [true] per live vertex. *)
+
+val fail_link : 'msg t -> int -> int -> unit
+(** Fail the undirected link (both directions). Idempotent; the edge
+    must exist in the topology. *)
+
+val link_failed : 'msg t -> int -> int -> bool
+
+val stats : 'msg t -> stats

@@ -1,0 +1,63 @@
+module Prng = Graph_core.Prng
+module Pqueue = Graph_core.Pqueue
+
+type event = { time : float; seq : int; callback : unit -> unit }
+
+type t = {
+  queue : event Pqueue.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+  rng : Prng.t;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(seed = 0x51) () =
+  {
+    queue = Pqueue.create ~cmp:compare_event;
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+    rng = Prng.create ~seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let fork_rng t = Prng.split t.rng
+
+let schedule_at t ~time callback =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time is in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Pqueue.push t.queue { time; seq; callback }
+
+let schedule t ~delay callback =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.callback ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> ( match Pqueue.peek t.queue with Some ev -> ev.time <= limit | None -> false)
+  in
+  while continue () && step t do
+    ()
+  done
+
+let events_processed t = t.processed
+
+let pending t = Pqueue.length t.queue

@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    A classic event-queue simulator: callbacks scheduled at virtual
+    times, executed in (time, insertion-sequence) order, so runs are
+    fully deterministic given a seed — ties never depend on hash or
+    allocation order. The engine knows nothing about networks; see
+    {!Network} for the message-passing layer built on top. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator at time 0 with a deterministic RNG (default seed
+    0x51). *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Graph_core.Prng.t
+(** The simulation's RNG stream. Draw all protocol randomness from here
+    (or from {!fork_rng}) to keep runs reproducible. *)
+
+val fork_rng : t -> Graph_core.Prng.t
+(** An independent RNG stream split off the simulation's. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] time units from now. [delay] must be ≥ 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run a callback at an absolute virtual time ≥ {!now}. *)
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the queue, or stop (without executing further events) once the
+    next event is strictly later than [until]. *)
+
+val events_processed : t -> int
+
+val pending : t -> int
+(** Events still queued. *)

@@ -1,0 +1,39 @@
+type kind = Sent | Delivered | Dropped_link | Dropped_crash | Dropped_random
+
+type event = { time : float; kind : kind; src : int; dst : int; seq : int }
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (** total events ever recorded *)
+}
+
+let create ?(capacity = 1_000_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0 }
+
+let record t ev =
+  t.buf.(t.next mod Array.length t.buf) <- Some ev;
+  t.next <- t.next + 1
+
+let count t = min t.next (Array.length t.buf)
+
+let dropped_events t = max 0 (t.next - Array.length t.buf)
+
+let events t =
+  let cap = Array.length t.buf in
+  let kept = count t in
+  let start = t.next - kept in
+  List.init kept (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some ev -> ev
+      | None -> invalid_arg "Trace.events: buffer corrupt")
+
+let kind_name = function
+  | Sent -> "sent"
+  | Delivered -> "delivered"
+  | Dropped_link -> "dropped-link"
+  | Dropped_crash -> "dropped-crash"
+  | Dropped_random -> "dropped-random"
+
+let pp_event fmt ev =
+  Format.fprintf fmt "[%.3f] #%d %s %d->%d" ev.time ev.seq (kind_name ev.kind) ev.src ev.dst

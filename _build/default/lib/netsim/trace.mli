@@ -1,0 +1,42 @@
+(** Network event traces.
+
+    A recorder that {!Network} writes into when attached: one event per
+    message send and per terminal outcome (delivery or one of the drop
+    reasons), each stamped with virtual time and a per-message sequence
+    number. Used by the test-suite to assert causality (every delivery
+    has an earlier matching send, latencies are respected) and by
+    protocol debugging to reconstruct exactly what happened on the
+    wire. *)
+
+type kind = Sent | Delivered | Dropped_link | Dropped_crash | Dropped_random
+
+type event = {
+  time : float;
+  kind : kind;
+  src : int;
+  dst : int;
+  seq : int;  (** per-network message number, assigned at send *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of the most recent [capacity] events (default 1_000_000).
+    Older events are discarded silently — {!dropped_events} tells how
+    many. *)
+
+val record : t -> event -> unit
+(** Append an event (called by {!Network}). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val count : t -> int
+(** Retained event count. *)
+
+val dropped_events : t -> int
+(** Events evicted by the ring buffer. *)
+
+val kind_name : kind -> string
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/overlay/churn.ml: Diff Format Graph_core List Membership

@@ -1,0 +1,1 @@
+lib/overlay/churn.mli: Format Graph_core Membership

@@ -1,0 +1,1 @@
+lib/overlay/diff.ml: Format Graph_core List

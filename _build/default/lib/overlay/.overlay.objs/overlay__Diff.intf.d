@@ -1,0 +1,1 @@
+lib/overlay/diff.mli: Format Graph_core

@@ -1,0 +1,1 @@
+lib/overlay/incremental.ml: Array Graph_core List

@@ -1,0 +1,1 @@
+lib/overlay/incremental.mli: Graph_core

@@ -1,0 +1,1 @@
+lib/overlay/membership.ml: Diff Graph_core Harary Lhg_core Printf

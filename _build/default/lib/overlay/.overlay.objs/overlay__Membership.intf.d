@@ -1,0 +1,1 @@
+lib/overlay/membership.mli: Diff Graph_core Lhg_core

@@ -1,0 +1,53 @@
+module Prng = Graph_core.Prng
+
+type stats = {
+  ops : int;
+  skipped : int;
+  total_added : int;
+  total_removed : int;
+  mean_cost : float;
+  max_cost : int;
+  final_n : int;
+}
+
+let run rng ~family ~k ~n0 ~steps ?(join_probability = 0.55) () =
+  if steps < 0 then invalid_arg "Churn.run: negative steps";
+  if join_probability < 0.0 || join_probability > 1.0 then
+    invalid_arg "Churn.run: join_probability outside [0,1]";
+  match Membership.create ~family ~k ~n:n0 with
+  | Error e -> Error e
+  | Ok overlay ->
+      let floor = 2 * k in
+      let ops = ref 0 and skipped = ref 0 in
+      let total_added = ref 0 and total_removed = ref 0 and max_cost = ref 0 in
+      for _ = 1 to steps do
+        let joining =
+          Membership.n overlay <= floor || Prng.float rng 1.0 < join_probability
+        in
+        let result = if joining then Membership.join overlay else Membership.leave overlay in
+        match result with
+        | Error _ -> incr skipped
+        | Ok d ->
+            incr ops;
+            let cost = Diff.cost d in
+            total_added := !total_added + List.length d.Diff.added;
+            total_removed := !total_removed + List.length d.Diff.removed;
+            if cost > !max_cost then max_cost := cost
+      done;
+      Ok
+        {
+          ops = !ops;
+          skipped = !skipped;
+          total_added = !total_added;
+          total_removed = !total_removed;
+          mean_cost =
+            (if !ops = 0 then 0.0
+             else float_of_int (!total_added + !total_removed) /. float_of_int !ops);
+          max_cost = !max_cost;
+          final_n = Membership.n overlay;
+        }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "churn(ops=%d, skipped=%d, +%d/-%d edges, mean %.1f per op, max %d, final n=%d)" s.ops
+    s.skipped s.total_added s.total_removed s.mean_cost s.max_cost s.final_n

@@ -1,0 +1,33 @@
+(** Churn simulation: a random join/leave trace against one overlay
+    family, aggregating rewiring cost.
+
+    The trace is a bounded random walk on n: each step joins with the
+    given probability, otherwise leaves; n never drops below the floor.
+    Steps a family cannot serve (JD gaps) are recorded as [skipped] and
+    the walk continues from the unchanged size — exactly the operational
+    pain §4.4 ascribes to the JD rule. *)
+
+type stats = {
+  ops : int;  (** successful membership changes *)
+  skipped : int;  (** changes the family had no topology for *)
+  total_added : int;
+  total_removed : int;
+  mean_cost : float;  (** mean (added+removed) per successful op *)
+  max_cost : int;
+  final_n : int;
+}
+
+val run :
+  Graph_core.Prng.t ->
+  family:Membership.family ->
+  k:int ->
+  n0:int ->
+  steps:int ->
+  ?join_probability:float ->
+  unit ->
+  (stats, string) result
+(** Simulate [steps] membership events starting from n0 (default join
+    probability 0.55, so overlays slowly grow). Fails only if the
+    initial overlay cannot be built. *)
+
+val pp_stats : Format.formatter -> stats -> unit

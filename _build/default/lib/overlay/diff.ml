@@ -1,0 +1,25 @@
+module Graph = Graph_core.Graph
+
+type t = { added : (int * int) list; removed : (int * int) list; kept : int }
+
+let edges ~old_graph ~new_graph =
+  let old_edges = Graph.edges old_graph in
+  let new_edges = Graph.edges new_graph in
+  (* both lists are lexicographically sorted: merge *)
+  let rec merge old_e new_e added removed kept =
+    match (old_e, new_e) with
+    | [], [] -> { added = List.rev added; removed = List.rev removed; kept }
+    | [], e :: rest -> merge [] rest (e :: added) removed kept
+    | e :: rest, [] -> merge rest [] added (e :: removed) kept
+    | o :: orest, n :: nrest ->
+        if o = n then merge orest nrest added removed (kept + 1)
+        else if o < n then merge orest new_e added (o :: removed) kept
+        else merge old_e nrest (n :: added) removed kept
+  in
+  merge old_edges new_edges [] [] 0
+
+let cost d = List.length d.added + List.length d.removed
+
+let pp fmt d =
+  Format.fprintf fmt "diff(+%d edges, -%d edges, %d kept)" (List.length d.added)
+    (List.length d.removed) d.kept

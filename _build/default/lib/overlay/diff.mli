@@ -1,0 +1,23 @@
+(** Structural diffs between overlay topologies.
+
+    When membership changes (n → n±1) the overlay is rebuilt to the
+    canonical topology for the new size; the diff between the two edge
+    sets is the *reconfiguration cost* — the number of connections peers
+    must open and close. Vertices are compared by id: the canonical LHG
+    labelling keeps existing ids stable under added-leaf growth and
+    reshuffles only when the tree shape itself changes, so the diff
+    faithfully exposes both cheap and expensive growth steps. *)
+
+type t = {
+  added : (int * int) list;  (** edges in the new graph only *)
+  removed : (int * int) list;  (** edges in the old graph only *)
+  kept : int;  (** edges present in both *)
+}
+
+val edges : old_graph:Graph_core.Graph.t -> new_graph:Graph_core.Graph.t -> t
+(** Compare edge sets (vertex counts may differ). *)
+
+val cost : t -> int
+(** |added| + |removed|. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,283 @@
+module Graph = Graph_core.Graph
+
+type op = Added_leaf | Group_formed | Group_converted
+
+type join_report = { op : op; new_vertex : int; edges_added : int; edges_removed : int }
+
+let op_name = function
+  | Added_leaf -> "added-leaf"
+  | Group_formed -> "group-formed"
+  | Group_converted -> "group-converted"
+
+(* A leaf position of a frontier parent. [Shared] is one vertex joined
+   to every parent copy; [Group] is a k-clique, member i joined to
+   parent copy i; [Converted] positions have become internal nodes and
+   left the frontier. *)
+type position = Shared of int | Group of int array | Converted
+
+type parent = {
+  copies : int array;  (** k vertex ids, index = tree copy *)
+  positions : position array;
+  mutable added : int list;  (** added-leaf vertex ids, newest first, <= k-2 *)
+}
+
+(* Undo log. Cursor moves are interleaved with operations so that undoing
+   restores the traversal state exactly. *)
+type record =
+  | R_added of { p : parent; v : int }
+  | R_group of { p : parent; idx : int; members : int array; saved_added : int list; v : int }
+  | R_convert of {
+      p : parent;
+      idx : int;
+      members : int array;
+      children : int array;
+      saved_added : int list;
+      v : int;
+      child_parent : parent;
+    }
+  | R_cursor of { prev : parent }
+
+type t = {
+  k : int;
+  g : Graph.t;
+  mutable frontier : parent list;  (** BFS order; head is next to activate *)
+  mutable active : parent;
+  mutable history : record list;
+  mutable rewired : int;
+}
+
+let start ~k =
+  if k < 3 then invalid_arg "Incremental.start: k must be >= 3";
+  let g = Graph.create ~n:0 in
+  let copies = Array.init k (fun _ -> Graph.append_vertex g) in
+  let positions =
+    Array.init k (fun _ ->
+        let leaf = Graph.append_vertex g in
+        Array.iter (fun r -> Graph.add_edge g r leaf) copies;
+        Shared leaf)
+  in
+  let root = { copies; positions; added = [] } in
+  { k; g; frontier = []; active = root; history = []; rewired = 0 }
+
+let graph t = t.g
+
+let n t = Graph.n t.g
+
+let k t = t.k
+
+let find_position p pred =
+  let found = ref (-1) in
+  Array.iteri (fun i pos -> if !found < 0 && pred pos then found := i) p.positions;
+  !found
+
+let add_added_leaf t =
+  let p = t.active in
+  let x = Graph.append_vertex t.g in
+  Array.iter (fun c -> Graph.add_edge t.g c x) p.copies;
+  p.added <- x :: p.added;
+  t.history <- R_added { p; v = x } :: t.history;
+  { op = Added_leaf; new_vertex = x; edges_added = t.k; edges_removed = 0 }
+
+let form_group t idx =
+  let p = t.active in
+  let shared =
+    match p.positions.(idx) with
+    | Shared v -> v
+    | Group _ | Converted -> invalid_arg "Incremental.form_group: not a shared position"
+  in
+  let saved_added = p.added in
+  let x = Graph.append_vertex t.g in
+  (* members, by copy index: the absorbed shared leaf, the added leaves,
+     then the new peer *)
+  let members = Array.make t.k x in
+  members.(0) <- shared;
+  List.iteri (fun i a -> members.(i + 1) <- a) (List.rev p.added);
+  let removed = ref 0 and added_edges = ref 0 in
+  (* absorbed leaves keep exactly the parent edge of their own copy *)
+  Array.iteri
+    (fun i m ->
+      if m <> x then
+        Array.iteri
+          (fun j c ->
+            if j <> i && Graph.has_edge t.g c m then begin
+              Graph.remove_edge t.g c m;
+              incr removed
+            end)
+          p.copies)
+    members;
+  Graph.add_edge t.g p.copies.(t.k - 1) x;
+  incr added_edges;
+  for a = 0 to t.k - 1 do
+    for b = a + 1 to t.k - 1 do
+      Graph.add_edge t.g members.(a) members.(b);
+      incr added_edges
+    done
+  done;
+  p.positions.(idx) <- Group members;
+  p.added <- [];
+  t.history <- R_group { p; idx; members; saved_added; v = x } :: t.history;
+  { op = Group_formed; new_vertex = x; edges_added = !added_edges; edges_removed = !removed }
+
+let convert_group t idx =
+  let p = t.active in
+  let members =
+    match p.positions.(idx) with
+    | Group ms -> ms
+    | Shared _ | Converted -> invalid_arg "Incremental.convert_group: not a group position"
+  in
+  let saved_added = p.added in
+  let x = Graph.append_vertex t.g in
+  let removed = ref 0 and added_edges = ref 0 in
+  (* drop the clique: members become the k copies of an internal node *)
+  for a = 0 to t.k - 1 do
+    for b = a + 1 to t.k - 1 do
+      Graph.remove_edge t.g members.(a) members.(b);
+      incr removed
+    done
+  done;
+  (* children: the k-2 rewired added leaves plus the new peer *)
+  let children = Array.of_list (List.rev p.added @ [ x ]) in
+  Array.iter
+    (fun child ->
+      if child <> x then
+        Array.iter
+          (fun c ->
+            if Graph.has_edge t.g c child then begin
+              Graph.remove_edge t.g c child;
+              incr removed
+            end)
+          p.copies;
+      Array.iter
+        (fun m ->
+          Graph.add_edge t.g m child;
+          incr added_edges)
+        members)
+    children;
+  p.positions.(idx) <- Converted;
+  p.added <- [];
+  (* the ex-group is now a frontier parent with k-1 shared positions *)
+  let child_parent =
+    {
+      copies = Array.copy members;
+      positions = Array.map (fun child -> Shared child) children;
+      added = [];
+    }
+  in
+  t.frontier <- t.frontier @ [ child_parent ];
+  t.history <- R_convert { p; idx; members; children; saved_added; v = x; child_parent } :: t.history;
+  { op = Group_converted; new_vertex = x; edges_added = !added_edges; edges_removed = !removed }
+
+let rec join t =
+  let p = t.active in
+  let shared_idx = find_position p (function Shared _ -> true | _ -> false) in
+  let group_idx = find_position p (function Group _ -> true | _ -> false) in
+  if shared_idx < 0 && group_idx < 0 then begin
+    (* parent exhausted: move the cursor in BFS order *)
+    match t.frontier with
+    | [] -> invalid_arg "Incremental.join: frontier exhausted (impossible for k >= 3)"
+    | next :: rest ->
+        t.history <- R_cursor { prev = t.active } :: t.history;
+        t.active <- next;
+        t.frontier <- rest;
+        join t
+  end
+  else begin
+    let report =
+      if List.length p.added < t.k - 2 then add_added_leaf t
+      else if shared_idx >= 0 then form_group t shared_idx
+      else convert_group t group_idx
+    in
+    t.rewired <- t.rewired + report.edges_added + report.edges_removed;
+    report
+  end
+
+let drop_tail_parent t target =
+  let rec go = function
+    | [] -> invalid_arg "Incremental.leave: frontier bookkeeping corrupt"
+    | [ last ] ->
+        if last != target then invalid_arg "Incremental.leave: frontier bookkeeping corrupt";
+        []
+    | x :: rest -> x :: go rest
+  in
+  t.frontier <- go t.frontier
+
+let rec leave t =
+  match t.history with
+  | [] -> Error "already at the base size 2k"
+  | R_cursor { prev } :: rest ->
+      (* put the active parent back at the head of the frontier *)
+      t.frontier <- t.active :: t.frontier;
+      t.active <- prev;
+      t.history <- rest;
+      leave t
+  | R_added { p; v } :: rest ->
+      (match p.added with
+      | hd :: tl when hd = v -> p.added <- tl
+      | _ -> invalid_arg "Incremental.leave: added-leaf bookkeeping corrupt");
+      Array.iter (fun c -> Graph.remove_edge t.g c v) p.copies;
+      Graph.pop_vertex t.g;
+      t.history <- rest;
+      t.rewired <- t.rewired + t.k;
+      Ok { op = Added_leaf; new_vertex = v; edges_added = 0; edges_removed = t.k }
+  | R_group { p; idx; members; saved_added; v } :: rest ->
+      let removed = ref 0 and added_edges = ref 0 in
+      for a = 0 to t.k - 1 do
+        for b = a + 1 to t.k - 1 do
+          Graph.remove_edge t.g members.(a) members.(b);
+          incr removed
+        done
+      done;
+      Graph.remove_edge t.g p.copies.(t.k - 1) v;
+      incr removed;
+      (* restore full parent links of the absorbed leaves *)
+      Array.iteri
+        (fun i m ->
+          if m <> v then
+            Array.iteri
+              (fun j c ->
+                if j <> i then begin
+                  Graph.add_edge t.g c m;
+                  incr added_edges
+                end)
+              p.copies)
+        members;
+      p.positions.(idx) <- Shared members.(0);
+      p.added <- saved_added;
+      Graph.pop_vertex t.g;
+      t.history <- rest;
+      t.rewired <- t.rewired + !removed + !added_edges;
+      Ok { op = Group_formed; new_vertex = v; edges_added = !added_edges; edges_removed = !removed }
+  | R_convert { p; idx; members; children; saved_added; v; child_parent } :: rest ->
+      drop_tail_parent t child_parent;
+      let removed = ref 0 and added_edges = ref 0 in
+      Array.iter
+        (fun child ->
+          Array.iter
+            (fun m ->
+              Graph.remove_edge t.g m child;
+              incr removed)
+            members;
+          if child <> v then
+            Array.iter
+              (fun c ->
+                Graph.add_edge t.g c child;
+                incr added_edges)
+              p.copies)
+        children;
+      for a = 0 to t.k - 1 do
+        for b = a + 1 to t.k - 1 do
+          Graph.add_edge t.g members.(a) members.(b);
+          incr added_edges
+        done
+      done;
+      p.positions.(idx) <- Group members;
+      p.added <- saved_added;
+      Graph.pop_vertex t.g;
+      t.history <- rest;
+      t.rewired <- t.rewired + !removed + !added_edges;
+      Ok
+        { op = Group_converted; new_vertex = v; edges_added = !added_edges; edges_removed = !removed }
+
+let joins t ~count = List.init count (fun _ -> join t)
+
+let total_rewired t = t.rewired

@@ -1,0 +1,64 @@
+(** In-place incremental LHG growth — one peer per join, stable ids.
+
+    {!Membership} measures the cost of *canonical rebuilds*; this module
+    implements the constructive content of the K-DIAMOND existence proof
+    as actual overlay operations, so a join touches O(k²) edges and no
+    peer ever changes identity. Each join applies exactly one of the
+    proof's steps to the current frontier parent:
+
+    - [Added_leaf] — a new shared leaf under the active parent
+      (+k edges), allowed up to k−2 per parent (rule 5d);
+    - [Group_formed] — the parent's k−2 added leaves, one shared leaf
+      and the new peer fuse into an unshared k-clique leaf (rule 4),
+      dropping each absorbed leaf to a single parent edge;
+    - [Group_converted] — a full parent's next clique leaf becomes the k
+      copies of a new internal node whose k−1 shared-leaf children are
+      the rewired added leaves plus the new peer — the height-growth
+      step, applied in breadth-first parent order so the tree stays
+      balanced.
+
+    Every intermediate graph is a valid LHG for its size (tested against
+    the independent verifier), and the graph is k-regular exactly at the
+    REG_KDIAMOND sizes. *)
+
+type op = Added_leaf | Group_formed | Group_converted
+
+type join_report = {
+  op : op;
+  new_vertex : int;  (** the id assigned to the joining peer *)
+  edges_added : int;
+  edges_removed : int;
+}
+
+type t
+
+val start : k:int -> t
+(** The base overlay: (2k, k) — k root copies fully joined to k shared
+    leaves. Requires k ≥ 3 (k = 2 has no added-leaf budget to drive the
+    state machine). *)
+
+val graph : t -> Graph_core.Graph.t
+(** The live topology. Treat as read-only. *)
+
+val n : t -> int
+
+val k : t -> int
+
+val join : t -> join_report
+(** Admit one peer. *)
+
+val leave : t -> (join_report, string) result
+(** Remove the most recently admitted peer by undoing its join in place
+    (same O(k²) edge budget; the report mirrors the undone operation
+    with added/removed counts swapped). Stack discipline: an arbitrary
+    departure is handled at the application layer by letting the newest
+    peer adopt the departing peer's role, so the overlay only ever
+    retires the newest id. Fails at the base size 2k. *)
+
+val joins : t -> count:int -> join_report list
+(** [count] consecutive joins, reports in order. *)
+
+val total_rewired : t -> int
+(** Cumulative edges added + removed over all joins so far. *)
+
+val op_name : op -> string

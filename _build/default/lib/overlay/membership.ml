@@ -1,0 +1,60 @@
+module Graph = Graph_core.Graph
+module Build = Lhg_core.Build
+
+type family = Ktree | Kdiamond | Jd | Harary_classic
+
+let family_name = function
+  | Ktree -> "ktree"
+  | Kdiamond -> "kdiamond"
+  | Jd -> "jd"
+  | Harary_classic -> "harary"
+
+type t = {
+  family : family;
+  k : int;
+  mutable n : int;
+  mutable graph : Graph.t;
+  mutable witness : Build.t option;
+}
+
+let build_for ~family ~k ~n =
+  let of_result = function
+    | Ok (b : Build.t) -> Ok (b.Build.graph, Some b)
+    | Error e -> Error (Build.error_to_string e)
+  in
+  match family with
+  | Ktree -> of_result (Build.ktree ~n ~k)
+  | Kdiamond -> of_result (Build.kdiamond ~n ~k)
+  | Jd -> of_result (Build.jd ~n ~k ())
+  | Harary_classic -> (
+      if k >= 2 && k < n then Ok (Harary.make ~k ~n, None)
+      else Error (Printf.sprintf "harary: needs 2 <= k < n, got (n=%d, k=%d)" n k))
+
+let create ~family ~k ~n =
+  match build_for ~family ~k ~n with
+  | Ok (graph, witness) -> Ok { family; k; n; graph; witness }
+  | Error e -> Error e
+
+let graph t = t.graph
+
+let n t = t.n
+
+let k t = t.k
+
+let family t = t.family
+
+let witness t = t.witness
+
+let resize t ~target =
+  match build_for ~family:t.family ~k:t.k ~n:target with
+  | Error e -> Error e
+  | Ok (new_graph, new_witness) ->
+      let d = Diff.edges ~old_graph:t.graph ~new_graph in
+      t.n <- target;
+      t.graph <- new_graph;
+      t.witness <- new_witness;
+      Ok d
+
+let join t = resize t ~target:(t.n + 1)
+
+let leave t = resize t ~target:(t.n - 1)

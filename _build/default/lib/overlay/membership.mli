@@ -1,0 +1,41 @@
+(** Overlay membership management.
+
+    The paper targets networks with an *arbitrary* number of processes —
+    peers join and leave. This module maintains the canonical topology
+    of a chosen family across membership changes and reports the
+    reconfiguration cost of each step: the existence results (every
+    n ≥ 2k for K-TREE/K-DIAMOND) are what make this work at every size,
+    where JD gets stuck and hypercubes would need to double. *)
+
+type family = Ktree | Kdiamond | Jd | Harary_classic
+
+val family_name : family -> string
+
+type t
+
+val create : family:family -> k:int -> n:int -> (t, string) result
+(** Initial overlay; fails when the family has no topology for (n,k)
+    (e.g. JD gaps, or n < 2k). *)
+
+val graph : t -> Graph_core.Graph.t
+
+val n : t -> int
+
+val k : t -> int
+
+val family : t -> family
+
+val witness : t -> Lhg_core.Build.t option
+(** The LHG witness for the three constructive families; [None] for
+    classic Harary. *)
+
+val join : t -> (Diff.t, string) result
+(** Grow to n+1, returning the rewiring diff. On failure (a JD gap) the
+    overlay is left unchanged. *)
+
+val leave : t -> (Diff.t, string) result
+(** Shrink to n−1 (the departing peer is the highest-numbered one, as in
+    the canonical labelling). Fails at the family's minimum size. *)
+
+val resize : t -> target:int -> (Diff.t, string) result
+(** Jump directly to [target] vertices, one rebuild, one diff. *)

@@ -1,0 +1,1 @@
+lib/topo/butterfly.mli: Graph_core

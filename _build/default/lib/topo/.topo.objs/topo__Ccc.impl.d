@@ -1,0 +1,1 @@
+lib/topo/ccc.ml: Graph_core List

@@ -1,0 +1,1 @@
+lib/topo/ccc.mli: Graph_core

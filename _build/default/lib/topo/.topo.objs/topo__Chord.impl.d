@@ -1,0 +1,1 @@
+lib/topo/chord.ml: Graph_core List

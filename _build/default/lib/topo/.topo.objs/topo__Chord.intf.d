@@ -1,0 +1,1 @@
+lib/topo/chord.mli: Graph_core

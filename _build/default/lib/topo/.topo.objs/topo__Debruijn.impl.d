@@ -1,0 +1,1 @@
+lib/topo/debruijn.ml: Graph_core List

@@ -1,0 +1,1 @@
+lib/topo/debruijn.mli: Graph_core

@@ -1,0 +1,1 @@
+lib/topo/expander.ml: Array Graph_core

@@ -1,0 +1,1 @@
+lib/topo/expander.mli: Graph_core

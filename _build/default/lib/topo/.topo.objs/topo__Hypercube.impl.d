@@ -1,0 +1,1 @@
+lib/topo/hypercube.ml: Graph_core

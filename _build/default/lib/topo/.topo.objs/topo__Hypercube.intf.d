@@ -1,0 +1,1 @@
+lib/topo/hypercube.mli: Graph_core

@@ -1,0 +1,1 @@
+lib/topo/kautz.ml: Array Graph_core Hashtbl List

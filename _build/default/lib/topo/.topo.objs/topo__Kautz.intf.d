@@ -1,0 +1,1 @@
+lib/topo/kautz.mli: Graph_core

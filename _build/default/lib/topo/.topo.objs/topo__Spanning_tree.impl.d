@@ -1,0 +1,1 @@
+lib/topo/spanning_tree.ml: Array Graph_core List

@@ -1,0 +1,1 @@
+lib/topo/spanning_tree.mli: Graph_core

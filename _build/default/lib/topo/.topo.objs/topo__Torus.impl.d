@@ -1,0 +1,1 @@
+lib/topo/torus.ml: Graph_core

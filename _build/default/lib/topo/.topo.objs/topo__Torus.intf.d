@@ -1,0 +1,1 @@
+lib/topo/torus.mli: Graph_core

@@ -1,0 +1,23 @@
+module Graph = Graph_core.Graph
+
+let make ~dim =
+  if dim < 2 || dim > 24 then invalid_arg "Butterfly.make: dim outside [2, 24]";
+  let rows = 1 lsl dim in
+  let n = dim * rows in
+  let g = Graph.create ~n in
+  let id level row = (level * rows) + row in
+  for level = 0 to dim - 1 do
+    let next = (level + 1) mod dim in
+    for row = 0 to rows - 1 do
+      Graph.add_edge g (id level row) (id next row);
+      Graph.add_edge g (id level row) (id next (row lxor (1 lsl level)))
+    done
+  done;
+  g
+
+let admissible_sizes ~max_n =
+  let rec go d acc =
+    let n = d * (1 lsl d) in
+    if n > max_n then List.rev acc else go (d + 1) (n :: acc)
+  in
+  go 2 []

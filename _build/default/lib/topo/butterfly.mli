@@ -1,0 +1,13 @@
+(** Wrapped butterfly networks BF(d).
+
+    d·2^d vertices arranged in d levels of 2^d rows; vertex (level, row)
+    connects to ((level+1) mod d, row) and ((level+1) mod d,
+    row ⊕ 2^level). 4-regular with Θ(log n) diameter — the Viceroy-style
+    constant-degree overlay baseline. *)
+
+val make : dim:int -> Graph_core.Graph.t
+(** BF(dim) on dim·2^dim vertices; vertex (l, r) has id l·2^dim + r.
+    Requires 2 ≤ dim ≤ 24. *)
+
+val admissible_sizes : max_n:int -> int list
+(** All d·2^d ≤ max_n for d ≥ 2. *)

@@ -1,0 +1,22 @@
+module Graph = Graph_core.Graph
+
+let make ~dim =
+  if dim < 3 || dim > 22 then invalid_arg "Ccc.make: dim outside [3, 22]";
+  let corners = 1 lsl dim in
+  let g = Graph.create ~n:(corners * dim) in
+  let id corner pos = (corner * dim) + pos in
+  for corner = 0 to corners - 1 do
+    for pos = 0 to dim - 1 do
+      Graph.add_edge g (id corner pos) (id corner ((pos + 1) mod dim));
+      let other = corner lxor (1 lsl pos) in
+      if corner < other then Graph.add_edge g (id corner pos) (id other pos)
+    done
+  done;
+  g
+
+let admissible_sizes ~max_n =
+  let rec go d acc =
+    let n = d * (1 lsl d) in
+    if n > max_n then List.rev acc else go (d + 1) (n :: acc)
+  in
+  go 3 []

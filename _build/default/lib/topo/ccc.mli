@@ -1,0 +1,12 @@
+(** Cube-connected cycles CCC(d).
+
+    Replace each hypercube corner with a d-cycle; vertex (corner, pos)
+    links to its cycle neighbours and across dimension [pos]. 3-regular,
+    d·2^d vertices, Θ(d) diameter — the constant-degree cousin of the
+    hypercube, with the same "only at magic sizes" limitation. *)
+
+val make : dim:int -> Graph_core.Graph.t
+(** Requires 3 ≤ dim ≤ 22; vertex (corner, pos) has id corner·dim + pos. *)
+
+val admissible_sizes : max_n:int -> int list
+(** All d·2^d ≤ max_n for d ≥ 3. *)

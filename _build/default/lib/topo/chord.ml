@@ -1,0 +1,15 @@
+module Generators = Graph_core.Generators
+
+let log2_floor n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let make ~n =
+  if n < 3 then invalid_arg "Chord.make: n < 3";
+  let jumps =
+    List.filter (fun j -> j < n)
+      (1 :: List.init (max 0 (log2_floor n - 1)) (fun i -> 1 lsl (i + 1)))
+  in
+  Generators.circulant ~n ~jumps
+
+let expected_degree ~n = max 1 (log2_floor n)

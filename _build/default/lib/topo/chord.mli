@@ -1,0 +1,14 @@
+(** Chord-style finger overlays.
+
+    A ring plus "fingers" at power-of-two distances: vertex i links to
+    i ± 1 and i + 2^j (mod n) for j = 1..⌊log₂ n⌋−1. Exists for every n
+    (like LHGs) with Θ(log n) degree and diameter — but pays Θ(n log n)
+    edges where a k-regular LHG pays kn/2 for the same latency class, a
+    useful cost-comparison baseline. *)
+
+val make : n:int -> Graph_core.Graph.t
+(** Requires n ≥ 3. *)
+
+val expected_degree : n:int -> int
+(** ⌊log₂ n⌋ distinct jump lengths (ring + fingers 2..2^⌊log₂ n⌋−1), so
+    degrees are about twice that. *)

@@ -1,0 +1,31 @@
+module Graph = Graph_core.Graph
+
+let power ~base ~dim =
+  let rec go acc i = if i = 0 then acc else go (acc * base) (i - 1) in
+  go 1 dim
+
+let make ~base ~dim =
+  if base < 2 then invalid_arg "Debruijn.make: base < 2";
+  if dim < 1 then invalid_arg "Debruijn.make: dim < 1";
+  let n = power ~base ~dim in
+  if n > 1 lsl 29 then invalid_arg "Debruijn.make: too large";
+  let g = Graph.create ~n in
+  for v = 0 to n - 1 do
+    for c = 0 to base - 1 do
+      let w = ((v * base) + c) mod n in
+      if v <> w then Graph.add_edge g v w
+    done
+  done;
+  g
+
+let admissible ~n ~base =
+  if base < 2 || n < base then false
+  else begin
+    let rec divide v = if v = 1 then true else v mod base = 0 && divide (v / base) in
+    divide n
+  end
+
+let admissible_sizes ~base ~max_n =
+  if base < 2 then invalid_arg "Debruijn.admissible_sizes: base < 2";
+  let rec go v acc = if v > max_n then List.rev acc else go (v * base) (v :: acc) in
+  go base []

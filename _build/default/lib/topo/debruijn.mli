@@ -1,0 +1,19 @@
+(** Undirected de Bruijn graphs B(b, d).
+
+    The directed de Bruijn graph on b^d vertices connects word
+    w = (x·b + y) mod b^d style shifts; the undirected version used in
+    overlay networks (Koorde-style) identifies v with its shift
+    neighbours, giving degree ≤ 2b, connectivity 2b−2 in the classic
+    analysis, and diameter d = log_b n. Like hypercubes, they exist only
+    for n = b^d — a sparse applicability set. *)
+
+val make : base:int -> dim:int -> Graph_core.Graph.t
+(** Vertices 0..base^dim−1; v is adjacent to (v·base + c) mod base^dim
+    for c = 0..base−1 (self-loops and duplicates dropped). Requires
+    base ≥ 2, dim ≥ 1 and base^dim ≤ 2^29. *)
+
+val admissible : n:int -> base:int -> bool
+(** n is an exact power base^d. *)
+
+val admissible_sizes : base:int -> max_n:int -> int list
+(** All powers of [base] up to [max_n], smallest first. *)

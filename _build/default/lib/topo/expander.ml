@@ -1,0 +1,20 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+let hamiltonian_cycles rng ~n ~cycles =
+  if n < 3 then invalid_arg "Expander.hamiltonian_cycles: n < 3";
+  if cycles < 1 then invalid_arg "Expander.hamiltonian_cycles: cycles < 1";
+  let g = Graph.create ~n in
+  for _ = 1 to cycles do
+    let p = Prng.permutation rng n in
+    for i = 0 to n - 1 do
+      let u = p.(i) and v = p.((i + 1) mod n) in
+      if u <> v then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let random_regular rng ~n ~degree =
+  if degree < 2 || degree mod 2 <> 0 then
+    invalid_arg "Expander.random_regular: degree must be even and >= 2";
+  hamiltonian_cycles rng ~n ~cycles:(degree / 2)

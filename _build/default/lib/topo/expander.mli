@@ -1,0 +1,16 @@
+(** Random regular expander overlays (Law–Siu style).
+
+    A 2c-regular graph built as the union of c independent random
+    Hamiltonian cycles — the randomized baseline for LHGs: logarithmic
+    diameter and good connectivity hold only {e with high probability},
+    which is exactly the qualitative difference from the deterministic
+    LHG guarantees highlighted in the related-work discussion. *)
+
+val hamiltonian_cycles : Graph_core.Prng.t -> n:int -> cycles:int -> Graph_core.Graph.t
+(** Union of [cycles] uniformly random Hamiltonian cycles on n vertices
+    (n ≥ 3). Coinciding edges are merged, so the degree is at most
+    2·cycles. *)
+
+val random_regular : Graph_core.Prng.t -> n:int -> degree:int -> Graph_core.Graph.t
+(** Even-degree wrapper: [degree/2] Hamiltonian cycles.
+    @raise Invalid_argument when [degree] is odd or < 2. *)

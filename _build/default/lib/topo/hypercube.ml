@@ -1,0 +1,17 @@
+module Graph = Graph_core.Graph
+
+let make ~dim =
+  if dim < 0 || dim > 29 then invalid_arg "Hypercube.make: dim outside [0, 29]";
+  let n = 1 lsl dim in
+  let g = Graph.create ~n in
+  for v = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then Graph.add_edge g v w
+    done
+  done;
+  g
+
+let admissible ~n ~k = k >= 0 && k <= 29 && n = 1 lsl k
+
+let admissible_sizes ~k ~max_n = if k >= 0 && k <= 29 && 1 lsl k <= max_n then [ 1 lsl k ] else []

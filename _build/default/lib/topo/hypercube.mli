@@ -1,0 +1,17 @@
+(** Hypercube topologies Q_d.
+
+    The d-dimensional hypercube has 2^d vertices, is d-regular,
+    d-connected and has diameter d = log₂ n — an LHG, but one that exists
+    only when n is a power of two (the applicability limitation the
+    paper's introduction points out). *)
+
+val make : dim:int -> Graph_core.Graph.t
+(** Q_dim on 2^dim vertices; vertices are adjacent iff their ids differ
+    in exactly one bit. [dim] between 0 and 29. *)
+
+val admissible : n:int -> k:int -> bool
+(** True iff a k-connected hypercube on n vertices exists:
+    n = 2^k exactly. *)
+
+val admissible_sizes : k:int -> max_n:int -> int list
+(** The (at most one) admissible n ≤ max_n. *)

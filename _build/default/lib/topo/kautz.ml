@@ -1,0 +1,51 @@
+module Graph = Graph_core.Graph
+
+let size ~b ~d =
+  let rec pow acc i = if i = 0 then acc else pow (acc * b) (i - 1) in
+  (b + 1) * pow 1 d
+
+let make ~b ~d =
+  if b < 2 then invalid_arg "Kautz.make: b < 2";
+  if d < 1 then invalid_arg "Kautz.make: d < 1";
+  let n = size ~b ~d in
+  if n > 1 lsl 22 then invalid_arg "Kautz.make: too large";
+  (* Enumerate admissible words in lexicographic order and index them. *)
+  let words = Array.make n [||] in
+  let index = Hashtbl.create (2 * n) in
+  let count = ref 0 in
+  let rec enumerate word pos =
+    if pos > d then begin
+      words.(!count) <- Array.of_list (List.rev word);
+      Hashtbl.replace index (List.rev word) !count;
+      incr count
+    end
+    else
+      for c = 0 to b do
+        match word with
+        | prev :: _ when prev = c -> ()
+        | _ -> enumerate (c :: word) (pos + 1)
+      done
+  in
+  enumerate [] 0;
+  assert (!count = n);
+  let g = Graph.create ~n in
+  for v = 0 to n - 1 do
+    let w = words.(v) in
+    let shifted = List.init d (fun i -> w.(i + 1)) in
+    for c = 0 to b do
+      if c <> w.(d) then begin
+        let target = shifted @ [ c ] in
+        let u = Hashtbl.find index target in
+        if u <> v then Graph.add_edge g v u
+      end
+    done
+  done;
+  g
+
+let admissible_sizes ~b ~max_n =
+  if b < 2 then invalid_arg "Kautz.admissible_sizes: b < 2";
+  let rec go d acc =
+    let n = size ~b ~d in
+    if n > max_n then List.rev acc else go (d + 1) (n :: acc)
+  in
+  go 1 []

@@ -1,0 +1,15 @@
+(** Kautz graphs K(b, d).
+
+    Vertices are length-(d+1) words over an alphabet of b+1 symbols with
+    no two consecutive symbols equal — (b+1)·b^d of them; edges connect
+    each word to its left-shifts. Degree ≤ 2b, diameter d+1 (the word length): the densest
+    known degree-diameter family and another "exists only at magic
+    sizes" baseline for T5. *)
+
+val size : b:int -> d:int -> int
+(** (b+1)·b^d. *)
+
+val make : b:int -> d:int -> Graph_core.Graph.t
+(** Requires b ≥ 2, d ≥ 1 and size ≤ 2^22. *)
+
+val admissible_sizes : b:int -> max_n:int -> int list

@@ -1,0 +1,45 @@
+module Graph = Graph_core.Graph
+module Bfs = Graph_core.Bfs
+module Prng = Graph_core.Prng
+
+let bfs_tree g ~root =
+  let _, parent = Bfs.distances_and_parents g ~src:root in
+  let t = Graph.create ~n:(Graph.n g) in
+  Array.iteri (fun v p -> if p >= 0 then Graph.add_edge t v p) parent;
+  t
+
+let random_spanning_tree rng g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Spanning_tree.random_spanning_tree: empty graph";
+  let in_tree = Array.make n false in
+  let next = Array.make n (-1) in
+  let root = Prng.int rng n in
+  in_tree.(root) <- true;
+  let random_neighbor v =
+    let ns = Graph.neighbors g v in
+    match ns with
+    | [] -> invalid_arg "Spanning_tree.random_spanning_tree: disconnected graph"
+    | _ -> List.nth ns (Prng.int rng (List.length ns))
+  in
+  for start = 0 to n - 1 do
+    if not in_tree.(start) then begin
+      (* random walk with loop erasure, recorded in [next] *)
+      let v = ref start in
+      while not in_tree.(!v) do
+        next.(!v) <- random_neighbor !v;
+        v := next.(!v)
+      done;
+      let v = ref start in
+      while not in_tree.(!v) do
+        in_tree.(!v) <- true;
+        v := next.(!v)
+      done
+    end
+  done;
+  let t = Graph.create ~n in
+  for v = 0 to n - 1 do
+    if v <> root && next.(v) >= 0 && in_tree.(v) then
+      (* follow the final loop-erased successor chain *)
+      Graph.add_edge t v next.(v)
+  done;
+  t

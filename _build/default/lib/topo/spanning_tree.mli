@@ -1,0 +1,13 @@
+(** Spanning-tree extraction.
+
+    Trees are the message-optimal dissemination topology (n−1 links,
+    n−1 messages) but are 1-connected: a single failure partitions them.
+    They anchor the fragile end of the fault-tolerance experiments. *)
+
+val bfs_tree : Graph_core.Graph.t -> root:int -> Graph_core.Graph.t
+(** The BFS spanning tree of the root's component, as a graph on the
+    same vertex set. *)
+
+val random_spanning_tree : Graph_core.Prng.t -> Graph_core.Graph.t -> Graph_core.Graph.t
+(** A uniformly random spanning tree (Wilson's loop-erased random walk).
+    Requires a connected graph. *)

@@ -1,0 +1,13 @@
+module Graph = Graph_core.Graph
+
+let make ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Torus.make: needs rows >= 3 and cols >= 3";
+  let g = Graph.create ~n:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      Graph.add_edge g v ((r * cols) + ((c + 1) mod cols));
+      Graph.add_edge g v ((((r + 1) mod rows) * cols) + c)
+    done
+  done;
+  g

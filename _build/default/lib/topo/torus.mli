@@ -1,0 +1,10 @@
+(** 2-D torus (wrapped mesh).
+
+    4-regular, 4-connected, diameter (rows+cols)/2 — polynomial, not
+    logarithmic; a useful "in-between" baseline between Harary's linear
+    diameter and the LHG's logarithmic one. *)
+
+val make : rows:int -> cols:int -> Graph_core.Graph.t
+(** Vertex (r,c) is r·cols + c; wrap-around in both dimensions.
+    Requires rows ≥ 3 and cols ≥ 3 (smaller sizes create parallel
+    edges). *)

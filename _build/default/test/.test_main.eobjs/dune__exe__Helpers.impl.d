@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Graph_core List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_api_coverage.ml: Alcotest Flood Format Graph_core Harary Helpers Lhg_core List Netsim Overlay Printf String

@@ -1,0 +1,1 @@
+test/test_articulation.ml: Alcotest Array Fun Graph_core Helpers Lhg_core List QCheck2

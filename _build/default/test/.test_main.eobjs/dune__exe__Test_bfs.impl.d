@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Graph_core Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Fun Graph_core Helpers List QCheck2

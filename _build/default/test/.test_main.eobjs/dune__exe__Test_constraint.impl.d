@@ -1,0 +1,1 @@
+test/test_constraint.ml: Alcotest Format Helpers Lhg_core List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_degree.ml: Alcotest Graph_core Helpers

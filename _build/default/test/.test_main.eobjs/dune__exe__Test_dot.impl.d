@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Filename Graph_core Helpers Printf String Sys

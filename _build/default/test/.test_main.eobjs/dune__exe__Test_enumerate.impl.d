@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Graph_core Helpers Lhg_core List Printf QCheck2

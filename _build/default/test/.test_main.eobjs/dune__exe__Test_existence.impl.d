@@ -1,0 +1,1 @@
+test/test_existence.ml: Alcotest Helpers Lhg_core Printf QCheck2

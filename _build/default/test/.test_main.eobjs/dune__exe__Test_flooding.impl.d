@@ -1,0 +1,1 @@
+test/test_flooding.ml: Alcotest Array Flood Graph_core Helpers Lhg_core List Netsim QCheck2

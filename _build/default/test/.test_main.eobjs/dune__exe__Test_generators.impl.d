@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Graph_core Helpers QCheck2

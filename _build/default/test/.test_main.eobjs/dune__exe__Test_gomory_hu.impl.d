@@ -1,0 +1,1 @@
+test/test_gomory_hu.ml: Alcotest Graph_core Helpers Lhg_core List QCheck2

@@ -1,0 +1,1 @@
+test/test_gossip.ml: Alcotest Array Flood Graph_core Helpers Topo

@@ -1,0 +1,1 @@
+test/test_harary.ml: Alcotest Graph_core Harary Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Graph_core Helpers Lhg_core List Overlay Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Flood Fun Graph_core Helpers Lhg_core List Netsim Overlay Printf

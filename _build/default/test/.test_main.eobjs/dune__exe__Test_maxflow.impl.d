@@ -1,0 +1,1 @@
+test/test_maxflow.ml: Alcotest Array Graph_core Helpers QCheck2

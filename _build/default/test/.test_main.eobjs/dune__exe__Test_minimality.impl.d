@@ -1,0 +1,1 @@
+test/test_minimality.ml: Alcotest Graph_core Helpers List

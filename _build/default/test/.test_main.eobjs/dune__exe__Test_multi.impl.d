@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Flood Graph_core Helpers Lhg_core List

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Graph_core Helpers List Netsim

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Graph_core Helpers List Overlay QCheck2

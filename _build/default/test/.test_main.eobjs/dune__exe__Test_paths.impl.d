@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Graph_core Helpers QCheck2

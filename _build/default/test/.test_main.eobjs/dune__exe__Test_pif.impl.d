@@ -1,0 +1,1 @@
+test/test_pif.ml: Alcotest Array Flood Fun Graph_core Harary Helpers Lhg_core List QCheck2

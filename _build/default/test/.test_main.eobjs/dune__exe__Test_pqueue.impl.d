@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Graph_core Helpers List QCheck2

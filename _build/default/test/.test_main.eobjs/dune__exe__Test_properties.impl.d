@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Flood Graph_core Helpers Lhg_core List Netsim Overlay QCheck2

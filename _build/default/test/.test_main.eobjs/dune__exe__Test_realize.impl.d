@@ -1,0 +1,1 @@
+test/test_realize.ml: Alcotest Graph_core Helpers Lhg_core List Printf

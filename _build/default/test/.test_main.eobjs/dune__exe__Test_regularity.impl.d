@@ -1,0 +1,1 @@
+test/test_regularity.ml: Alcotest Graph_core Helpers Lhg_core List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Flood Graph_core Helpers Lhg_core Printf Topo

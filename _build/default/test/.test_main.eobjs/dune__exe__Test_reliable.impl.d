@@ -1,0 +1,1 @@
+test/test_reliable.ml: Alcotest Flood Graph_core Helpers Lhg_core List Netsim

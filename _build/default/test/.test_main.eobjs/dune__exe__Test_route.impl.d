@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Graph_core Helpers Lhg_core List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Flood Graph_core Helpers Lhg_core List

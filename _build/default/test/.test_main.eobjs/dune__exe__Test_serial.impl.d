@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Filename Graph_core Helpers List QCheck2 String Sys

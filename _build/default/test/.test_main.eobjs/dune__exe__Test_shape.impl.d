@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Helpers Lhg_core Queue

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Graph_core Helpers List Netsim

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Float Graph_core Helpers Lhg_core Printf Topo

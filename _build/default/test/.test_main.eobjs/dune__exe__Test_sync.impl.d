@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Flood Graph_core Harary Helpers Lhg_core List

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Graph_core Helpers List QCheck2 Topo

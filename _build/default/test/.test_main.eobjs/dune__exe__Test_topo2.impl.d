@@ -1,0 +1,1 @@
+test/test_topo2.ml: Alcotest Graph_core Helpers Lhg_core Printf Topo

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Graph_core Helpers List Netsim

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Graph_core Helpers

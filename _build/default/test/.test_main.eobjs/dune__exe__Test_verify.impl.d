@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Format Graph_core Harary Helpers Lhg_core String

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Filename Graph_core Helpers Lhg_core Printf String Sys Unix

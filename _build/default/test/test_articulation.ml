@@ -1,0 +1,97 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Articulation = Graph_core.Articulation
+module Generators = Graph_core.Generators
+module Components = Graph_core.Components
+module Prng = Graph_core.Prng
+
+let test_path_graph () =
+  let g = Generators.path_graph 5 in
+  Alcotest.(check (list int)) "interior vertices cut" [ 1; 2; 3 ] (Articulation.cut_vertices g);
+  Alcotest.(check (list (pair int int))) "every edge a bridge" [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (Articulation.bridges g)
+
+let test_cycle_has_none () =
+  let g = Generators.cycle 7 in
+  Alcotest.(check (list int)) "no cut vertices" [] (Articulation.cut_vertices g);
+  Alcotest.(check (list (pair int int))) "no bridges" [] (Articulation.bridges g);
+  check_bool "biconnected" true (Articulation.is_biconnected g);
+  check_bool "2-edge-connected" true (Articulation.is_two_edge_connected g)
+
+let test_barbell () =
+  let g = barbell () in
+  Alcotest.(check (list int)) "bridge endpoints cut" [ 2; 3 ] (Articulation.cut_vertices g);
+  Alcotest.(check (list (pair int int))) "one bridge" [ (2, 3) ] (Articulation.bridges g);
+  check_bool "not biconnected" false (Articulation.is_biconnected g)
+
+let test_star () =
+  let g = Generators.star 6 in
+  Alcotest.(check (list int)) "centre is cut" [ 0 ] (Articulation.cut_vertices g);
+  check_int "all bridges" 5 (List.length (Articulation.bridges g))
+
+let test_petersen () =
+  check_bool "biconnected" true (Articulation.is_biconnected (petersen ()));
+  Alcotest.(check (list (pair int int))) "no bridges" [] (Articulation.bridges (petersen ()))
+
+let test_disconnected_components_independent () =
+  (* two paths: cut vertices found in both components *)
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5) ] in
+  Alcotest.(check (list int)) "middles of both" [ 1; 4 ] (Articulation.cut_vertices g);
+  check_bool "not biconnected (disconnected)" false (Articulation.is_biconnected g)
+
+let test_deep_path_no_stack_overflow () =
+  let g = Generators.path_graph 200_000 in
+  check_int "cut count" 199_998 (List.length (Articulation.cut_vertices g))
+
+let test_lhg_has_no_cuts () =
+  let b = Lhg_core.Build.kdiamond_exn ~n:40 ~k:3 in
+  check_bool "biconnected" true (Articulation.is_biconnected b.Lhg_core.Build.graph);
+  Alcotest.(check (list (pair int int))) "no bridges" []
+    (Articulation.bridges b.Lhg_core.Build.graph)
+
+(* Brute-force cross-checks. *)
+let brute_cut_vertices g =
+  let n = Graph.n g in
+  let base = Components.count g in
+  List.filter
+    (fun v ->
+      let alive = Array.make n true in
+      alive.(v) <- false;
+      (* a vertex of degree 0 removed doesn't raise the count *)
+      Components.count ~alive g > base - (if Graph.degree g v = 0 then 1 else 0))
+    (List.init n Fun.id)
+
+let brute_bridges g =
+  List.filter
+    (fun (u, v) ->
+      let g' = Graph.without_edge g u v in
+      Components.count g' > Components.count g)
+    (Graph.edges g)
+
+let prop_cut_vertices_match_brute =
+  qcheck ~count:80 "cut vertices = brute force" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 4 + Prng.int rngv 12 in
+      let g = Generators.gnp rngv ~n ~p:0.25 in
+      Articulation.cut_vertices g = brute_cut_vertices g)
+
+let prop_bridges_match_brute =
+  qcheck ~count:80 "bridges = brute force" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 4 + Prng.int rngv 12 in
+      let g = Generators.gnp rngv ~n ~p:0.25 in
+      List.sort compare (Articulation.bridges g) = List.sort compare (brute_bridges g))
+
+let suite =
+  [
+    Alcotest.test_case "path graph" `Quick test_path_graph;
+    Alcotest.test_case "cycle has none" `Quick test_cycle_has_none;
+    Alcotest.test_case "barbell" `Quick test_barbell;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "petersen" `Quick test_petersen;
+    Alcotest.test_case "disconnected" `Quick test_disconnected_components_independent;
+    Alcotest.test_case "deep path (iterative dfs)" `Quick test_deep_path_no_stack_overflow;
+    Alcotest.test_case "lhg has no cuts" `Quick test_lhg_has_no_cuts;
+    prop_cut_vertices_match_brute;
+    prop_bridges_match_brute;
+  ]

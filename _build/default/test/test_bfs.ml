@@ -1,0 +1,122 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Bfs = Graph_core.Bfs
+module Generators = Graph_core.Generators
+
+let test_distances_path () =
+  let g = Generators.path_graph 5 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4 |] (Bfs.distances g ~src:0)
+
+let test_distances_cycle () =
+  let g = Generators.cycle 6 in
+  Alcotest.(check (array int)) "cycle distances" [| 0; 1; 2; 3; 2; 1 |] (Bfs.distances g ~src:0)
+
+let test_unreachable () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let d = Bfs.distances g ~src:0 in
+  check_int "reachable" 1 d.(1);
+  check_int "unreachable" (-1) d.(2)
+
+let test_alive_mask_blocks () =
+  let g = Generators.path_graph 5 in
+  let alive = [| true; true; false; true; true |] in
+  let d = Bfs.distances ~alive g ~src:0 in
+  check_int "before cut" 1 d.(1);
+  check_int "dead vertex" (-1) d.(2);
+  check_int "behind cut" (-1) d.(3)
+
+let test_dead_source_rejected () =
+  let g = Generators.path_graph 3 in
+  let alive = [| false; true; true |] in
+  Alcotest.check_raises "dead source" (Invalid_argument "Bfs: source is not alive") (fun () ->
+      ignore (Bfs.distances ~alive g ~src:0))
+
+let test_wrong_mask_length () =
+  let g = Generators.path_graph 3 in
+  Alcotest.check_raises "mask length" (Invalid_argument "Bfs: alive mask has wrong length")
+    (fun () -> ignore (Bfs.distances ~alive:[| true |] g ~src:0))
+
+let check_valid_path g p ~src ~dst =
+  (match p with
+  | [] -> Alcotest.fail "empty path"
+  | first :: _ -> check_int "starts at src" src first);
+  check_int "ends at dst" dst (List.nth p (List.length p - 1));
+  let rec edges_ok = function
+    | u :: (v :: _ as rest) ->
+        check_bool "consecutive adjacency" true (Graph.has_edge g u v);
+        edges_ok rest
+    | [ _ ] | [] -> ()
+  in
+  edges_ok p
+
+let test_path_valid_and_shortest () =
+  let g = petersen () in
+  let d = Bfs.distances g ~src:0 in
+  for dst = 1 to 9 do
+    match Bfs.path g ~src:0 ~dst with
+    | None -> Alcotest.fail "petersen is connected"
+    | Some p ->
+        check_valid_path g p ~src:0 ~dst;
+        check_int "length matches distance" (d.(dst) + 1) (List.length p)
+  done
+
+let test_path_none () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  check_bool "no path" true (Bfs.path g ~src:0 ~dst:2 = None)
+
+let test_eccentricity () =
+  let g = Generators.path_graph 5 in
+  check_int_opt "end vertex" (Some 4) (Bfs.eccentricity g ~src:0);
+  check_int_opt "middle vertex" (Some 2) (Bfs.eccentricity g ~src:2)
+
+let test_eccentricity_disconnected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  check_int_opt "infinite" None (Bfs.eccentricity g ~src:0)
+
+let test_reachable_count () =
+  let g = barbell () in
+  check_int "all reachable" 6 (Bfs.reachable_count g ~src:0);
+  let alive = [| true; true; true; true; true; true |] in
+  alive.(2) <- false;
+  check_int "triangle only" 2 (Bfs.reachable_count ~alive g ~src:0)
+
+let test_parents_form_tree () =
+  let g = petersen () in
+  let dist, parent = Bfs.distances_and_parents g ~src:0 in
+  check_int "root parent" (-1) parent.(0);
+  Array.iteri
+    (fun v p ->
+      if v <> 0 then begin
+        check_bool "parent edge exists" true (Graph.has_edge g v p);
+        check_int "parent one closer" (dist.(v) - 1) dist.(p)
+      end)
+    parent
+
+let prop_bfs_triangle_inequality =
+  qcheck "dist(src,w) <= dist(src,v)+1 for edges (v,w)" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let rng = Graph_core.Prng.create ~seed in
+      let g = Generators.gnp rng ~n:30 ~p:0.15 in
+      let d = Bfs.distances g ~src:0 in
+      let ok = ref true in
+      Graph.iter_edges g (fun u v ->
+          if d.(u) >= 0 && d.(v) >= 0 && abs (d.(u) - d.(v)) > 1 then ok := false;
+          if (d.(u) >= 0) <> (d.(v) >= 0) then ok := false);
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "distances on path" `Quick test_distances_path;
+    Alcotest.test_case "distances on cycle" `Quick test_distances_cycle;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "alive mask blocks" `Quick test_alive_mask_blocks;
+    Alcotest.test_case "dead source rejected" `Quick test_dead_source_rejected;
+    Alcotest.test_case "wrong mask length" `Quick test_wrong_mask_length;
+    Alcotest.test_case "path valid and shortest" `Quick test_path_valid_and_shortest;
+    Alcotest.test_case "path none" `Quick test_path_none;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "eccentricity disconnected" `Quick test_eccentricity_disconnected;
+    Alcotest.test_case "reachable count" `Quick test_reachable_count;
+    Alcotest.test_case "parents form tree" `Quick test_parents_form_tree;
+    prop_bfs_triangle_inequality;
+  ]

@@ -1,0 +1,168 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Build = Lhg_core.Build
+module Verify = Lhg_core.Verify
+
+let build_ok = function
+  | Ok b -> b
+  | Error e -> Alcotest.fail (Build.error_to_string e)
+
+let test_vertex_count_is_n () =
+  for k = 2 to 6 do
+    for n = 2 * k to (2 * k) + 30 do
+      let b = build_ok (Build.ktree ~n ~k) in
+      check_int (Printf.sprintf "ktree n=%d k=%d" n k) n (Graph.n b.Build.graph);
+      let b = build_ok (Build.kdiamond ~n ~k) in
+      check_int (Printf.sprintf "kdiamond n=%d k=%d" n k) n (Graph.n b.Build.graph)
+    done
+  done
+
+let test_paper_figures () =
+  (* Figure 2 of the constraint paper: (6,3), (9,3), (10,3) via K-TREE *)
+  let b = build_ok (Build.ktree ~n:6 ~k:3) in
+  check_int "fig 2a edges" 9 (Graph.m b.Build.graph);
+  let b = build_ok (Build.ktree ~n:9 ~k:3) in
+  check_int "fig 2b edges" 18 (Graph.m b.Build.graph);
+  let b = build_ok (Build.ktree ~n:10 ~k:3) in
+  check_int "fig 2c edges" 15 (Graph.m b.Build.graph);
+  (* Figure 3: (7,3), (8,3), (13,3), (14,3) via K-DIAMOND *)
+  List.iter
+    (fun n -> ignore (build_ok (Build.kdiamond ~n ~k:3)))
+    [ 7; 8; 13; 14 ]
+
+let test_errors () =
+  (match Build.ktree ~n:5 ~k:3 with
+  | Error (Build.N_too_small { n = 5; minimum = 6 }) -> ()
+  | _ -> Alcotest.fail "expected N_too_small");
+  (match Build.ktree ~n:10 ~k:1 with
+  | Error (Build.K_too_small 1) -> ()
+  | _ -> Alcotest.fail "expected K_too_small");
+  match Build.jd ~n:7 ~k:3 () with
+  | Error (Build.Jd_gap { j = 1; capacity = 0; _ }) -> ()
+  | _ -> Alcotest.fail "expected Jd_gap"
+
+let test_exn_wrappers () =
+  let b = Build.ktree_exn ~n:12 ~k:3 in
+  check_int "exn build works" 12 (Graph.n b.Build.graph);
+  Alcotest.check_raises "ktree_exn"
+    (Invalid_argument
+       "Build.ktree_exn: n = 5 is too small: the smallest graph for this k has 6 nodes")
+    (fun () -> ignore (Build.ktree_exn ~n:5 ~k:3))
+
+let test_witness_consistency () =
+  for n = 8 to 30 do
+    let b = build_ok (Build.kdiamond ~n ~k:4) in
+    check_bool (Printf.sprintf "realization n=%d" n) true (Verify.check_realization b)
+  done
+
+let test_lhg_properties_ktree () =
+  List.iter
+    (fun (n, k) ->
+      let b = build_ok (Build.ktree ~n ~k) in
+      let r = Verify.verify b.Build.graph ~k in
+      check_bool (Printf.sprintf "P1 (%d,%d)" n k) true r.Verify.node_connected;
+      check_bool (Printf.sprintf "P2 (%d,%d)" n k) true r.Verify.link_connected;
+      check_bool (Printf.sprintf "P3 (%d,%d)" n k) true (r.Verify.link_minimal = Some true);
+      check_bool (Printf.sprintf "P4 (%d,%d)" n k) true r.Verify.diameter_ok)
+    [ (6, 3); (9, 3); (10, 3); (23, 3); (40, 3); (8, 4); (30, 4); (64, 4); (12, 5); (50, 5) ]
+
+let test_lhg_properties_kdiamond () =
+  List.iter
+    (fun (n, k) ->
+      let b = build_ok (Build.kdiamond ~n ~k) in
+      check_bool (Printf.sprintf "is_lhg (%d,%d)" n k) true (Verify.is_lhg b.Build.graph ~k))
+    [ (7, 3); (8, 3); (13, 3); (14, 3); (31, 3); (11, 4); (44, 4); (13, 5); (61, 5) ]
+
+let test_lhg_properties_jd () =
+  List.iter
+    (fun (n, k) ->
+      let b = build_ok (Build.jd ~n ~k ()) in
+      check_bool (Printf.sprintf "is_lhg (%d,%d)" n k) true (Verify.is_lhg b.Build.graph ~k))
+    [ (6, 3); (10, 3); (12, 3); (26, 3); (8, 4); (20, 4); (32, 4) ]
+
+
+let test_kdiamond_unshared_rich_matches_paper_figure () =
+  (* (13,3): one root shape position set, all 3 mandatory leaves unshared
+     cliques, one added shared leaf - the constraint paper's own figure *)
+  let b = build_ok (Build.kdiamond_unshared_rich ~n:13 ~k:3) in
+  let shape = b.Build.shape in
+  let non_leaf, shared, added, unshared = Lhg_core.Shape.counts shape in
+  check_int "one non-leaf (the root)" 1 non_leaf;
+  check_int "no plain shared leaves" 0 shared;
+  check_int "one added leaf" 1 added;
+  check_int "three unshared groups" 3 unshared;
+  check_int "13 vertices" 13 (Graph.n b.Build.graph);
+  check_bool "still an LHG" true (Verify.is_lhg b.Build.graph ~k:3)
+
+let test_kdiamond_unshared_rich_properties () =
+  for k = 3 to 5 do
+    for n = 2 * k to (2 * k) + 25 do
+      let b = build_ok (Build.kdiamond_unshared_rich ~n ~k) in
+      check_int (Printf.sprintf "n matches (%d,%d)" n k) n (Graph.n b.Build.graph);
+      check_bool
+        (Printf.sprintf "satisfies K-DIAMOND (%d,%d)" n k)
+        true
+        (Lhg_core.Constraint_check.satisfies_kdiamond b.Build.shape);
+      check_bool
+        (Printf.sprintf "regular iff formula (%d,%d)" n k)
+        (Lhg_core.Regularity.reg_kdiamond ~n ~k)
+        (Graph_core.Degree.is_k_regular b.Build.graph ~k)
+    done
+  done
+
+let test_kdiamond_variants_same_characteristics () =
+  (* both parameterisations: same n, same edge count when regular *)
+  List.iter
+    (fun (n, k) ->
+      let a = build_ok (Build.kdiamond ~n ~k) in
+      let b = build_ok (Build.kdiamond_unshared_rich ~n ~k) in
+      check_int "same n" (Graph.n a.Build.graph) (Graph.n b.Build.graph);
+      if Lhg_core.Regularity.reg_kdiamond ~n ~k then
+        check_int "same m when regular" (Graph.m a.Build.graph) (Graph.m b.Build.graph))
+    [ (8, 3); (14, 3); (20, 4); (26, 5) ]
+
+let test_k2_builds_cycle_like () =
+  (* k=2 realisations are 2-regular and 2-connected (cycles) when j=0 *)
+  let b = build_ok (Build.ktree ~n:8 ~k:2) in
+  let r = Verify.verify b.Build.graph ~k:2 in
+  check_bool "P1" true r.Verify.node_connected;
+  check_bool "P2" true r.Verify.link_connected;
+  check_bool "2-regular" true r.Verify.k_regular
+
+let test_deep_trees () =
+  (* large alpha: forces several complete levels *)
+  let b = build_ok (Build.ktree ~n:(6 + (2 * 40 * 2)) ~k:3) in
+  let r = Verify.verify ~check_minimality:false b.Build.graph ~k:3 in
+  check_bool "deep P1" true r.Verify.node_connected;
+  check_bool "deep P4" true r.Verify.diameter_ok
+
+let prop_built_graphs_are_k_connected =
+  qcheck ~count:40 "random builds are k-connected with logarithmic diameter"
+    QCheck2.Gen.(pair (int_range 3 6) (int_range 0 60))
+    (fun (k, extra) ->
+      let n = (2 * k) + extra in
+      match Build.kdiamond ~n ~k with
+      | Error _ -> false
+      | Ok b ->
+          let r = Verify.verify ~check_minimality:false b.Build.graph ~k in
+          r.Verify.node_connected && r.Verify.link_connected && r.Verify.diameter_ok)
+
+let suite =
+  [
+    Alcotest.test_case "vertex count" `Quick test_vertex_count_is_n;
+    Alcotest.test_case "paper figures" `Quick test_paper_figures;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "exn wrappers" `Quick test_exn_wrappers;
+    Alcotest.test_case "witness consistency" `Quick test_witness_consistency;
+    Alcotest.test_case "LHG properties (ktree)" `Slow test_lhg_properties_ktree;
+    Alcotest.test_case "LHG properties (kdiamond)" `Slow test_lhg_properties_kdiamond;
+    Alcotest.test_case "LHG properties (jd)" `Slow test_lhg_properties_jd;
+    Alcotest.test_case "unshared-rich paper figure" `Quick
+      test_kdiamond_unshared_rich_matches_paper_figure;
+    Alcotest.test_case "unshared-rich properties" `Slow test_kdiamond_unshared_rich_properties;
+    Alcotest.test_case "kdiamond variants agree" `Quick
+      test_kdiamond_variants_same_characteristics;
+    Alcotest.test_case "k=2 cycle-like" `Quick test_k2_builds_cycle_like;
+    Alcotest.test_case "deep trees" `Quick test_deep_trees;
+    prop_built_graphs_are_k_connected;
+  ]

@@ -1,0 +1,68 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Components = Graph_core.Components
+module Generators = Graph_core.Generators
+
+let test_single_component () =
+  check_int "petersen" 1 (Components.count (petersen ()));
+  check_bool "connected" true (Components.is_connected (petersen ()))
+
+let test_isolated_vertices () =
+  let g = Graph.create ~n:4 in
+  check_int "four singletons" 4 (Components.count g);
+  check_bool "not connected" false (Components.is_connected g)
+
+let test_empty_graph () =
+  let g = Graph.create ~n:0 in
+  check_int "zero components" 0 (Components.count g);
+  check_bool "empty not connected" false (Components.is_connected g)
+
+let test_single_vertex_connected () =
+  check_bool "K1 connected" true (Components.is_connected (Graph.create ~n:1))
+
+let test_two_components () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3); (3, 4) ] in
+  check_int "two" 2 (Components.count g);
+  Alcotest.(check (list (list int))) "membership" [ [ 0; 1 ]; [ 2; 3; 4 ] ]
+    (Components.components g)
+
+let test_labels_consistent () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3); (3, 4) ] in
+  let l = Components.labels g in
+  check_bool "0~1" true (l.(0) = l.(1));
+  check_bool "2~3~4" true (l.(2) = l.(3) && l.(3) = l.(4));
+  check_bool "0!~2" true (l.(0) <> l.(2))
+
+let test_alive_mask_splits () =
+  let g = Generators.path_graph 5 in
+  let alive = [| true; true; false; true; true |] in
+  check_int "cut splits path" 2 (Components.count ~alive g);
+  let l = Components.labels ~alive g in
+  check_int "dead label" (-1) l.(2)
+
+let test_bridge_removal () =
+  let g = barbell () in
+  check_bool "barbell connected" true (Components.is_connected g);
+  Graph.remove_edge g 2 3;
+  check_int "two triangles" 2 (Components.count g)
+
+let prop_components_partition =
+  qcheck "components partition the alive vertices" QCheck2.Gen.(int_bound 1000) (fun seed ->
+      let rng = Graph_core.Prng.create ~seed in
+      let g = Generators.gnp rng ~n:25 ~p:0.08 in
+      let comps = Components.components g in
+      let all = List.sort compare (List.concat comps) in
+      all = List.init 25 Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "single component" `Quick test_single_component;
+    Alcotest.test_case "isolated vertices" `Quick test_isolated_vertices;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "single vertex" `Quick test_single_vertex_connected;
+    Alcotest.test_case "two components" `Quick test_two_components;
+    Alcotest.test_case "labels consistent" `Quick test_labels_consistent;
+    Alcotest.test_case "alive mask splits" `Quick test_alive_mask_splits;
+    Alcotest.test_case "bridge removal" `Quick test_bridge_removal;
+    prop_components_partition;
+  ]

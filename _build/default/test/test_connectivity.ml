@@ -1,0 +1,241 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Connectivity = Graph_core.Connectivity
+module Components = Graph_core.Components
+module Generators = Graph_core.Generators
+module Prng = Graph_core.Prng
+
+(* Exhaustive reference implementations, usable for small n / m. *)
+
+let subsets_of_size xs size =
+  let rec go xs size =
+    if size = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest -> List.map (fun s -> x :: s) (go rest (size - 1)) @ go rest size
+  in
+  go xs size
+
+let brute_vertex_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else begin
+    let vertices = List.init n Fun.id in
+    let rec try_size size =
+      if size >= n - 1 then n - 1
+      else begin
+        let disconnects cut =
+          let alive = Array.make n true in
+          List.iter (fun v -> alive.(v) <- false) cut;
+          not (Components.is_connected ~alive g)
+        in
+        if List.exists disconnects (subsets_of_size vertices size) then size else try_size (size + 1)
+      end
+    in
+    try_size 0
+  end
+
+let brute_edge_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else begin
+    let edges = Graph.edges g in
+    let rec try_size size =
+      if size > List.length edges then List.length edges
+      else begin
+        let disconnects cut =
+          let g' = Graph.copy g in
+          List.iter (fun (u, v) -> Graph.remove_edge g' u v) cut;
+          not (Components.is_connected g')
+        in
+        if List.exists disconnects (subsets_of_size edges size) then size else try_size (size + 1)
+      end
+    in
+    try_size 0
+  end
+
+let test_known_vertex_connectivity () =
+  List.iter
+    (fun (name, g, expected) ->
+      check_int name expected (Connectivity.vertex_connectivity g))
+    [
+      ("path", Generators.path_graph 6, 1);
+      ("cycle", Generators.cycle 7, 2);
+      ("complete K5", Generators.complete 5, 4);
+      ("K1", Graph.create ~n:1, 0);
+      ("K2", Generators.complete 2, 1);
+      ("star", Generators.star 6, 1);
+      ("K(3,4)", Generators.complete_bipartite 3 4, 3);
+      ("petersen", petersen (), 3);
+      ("disconnected", Graph.of_edges ~n:4 [ (0, 1); (2, 3) ], 0);
+      ("barbell (cut vertex)", barbell (), 1);
+    ]
+
+let test_known_edge_connectivity () =
+  List.iter
+    (fun (name, g, expected) -> check_int name expected (Connectivity.edge_connectivity g))
+    [
+      ("path", Generators.path_graph 6, 1);
+      ("cycle", Generators.cycle 7, 2);
+      ("complete K5", Generators.complete 5, 4);
+      ("K(3,4)", Generators.complete_bipartite 3 4, 3);
+      ("petersen", petersen (), 3);
+      ("disconnected", Graph.of_edges ~n:4 [ (0, 1); (2, 3) ], 0);
+      ("barbell (bridge)", barbell (), 1);
+    ]
+
+let test_local_vertex_connectivity () =
+  let g = petersen () in
+  (* 3-regular and vertex-transitive: every pair has exactly 3 disjoint paths *)
+  check_int "non-adjacent pair" 3 (Connectivity.local_vertex_connectivity g ~s:0 ~t:7);
+  check_int "adjacent pair" 3 (Connectivity.local_vertex_connectivity g ~s:0 ~t:1)
+
+let test_local_edge_connectivity () =
+  let g = barbell () in
+  check_int "across bridge" 1 (Connectivity.local_edge_connectivity g ~s:0 ~t:5);
+  check_int "inside triangle" 2 (Connectivity.local_edge_connectivity g ~s:0 ~t:1)
+
+let test_local_limit () =
+  let g = Generators.complete 8 in
+  let f = Connectivity.local_edge_connectivity ~limit:3 g ~s:0 ~t:7 in
+  check_int "capped" 3 f
+
+let test_decision_forms () =
+  let g = petersen () in
+  check_bool "3-vertex-connected" true (Connectivity.is_k_vertex_connected g ~k:3);
+  check_bool "not 4-vertex-connected" false (Connectivity.is_k_vertex_connected g ~k:4);
+  check_bool "3-edge-connected" true (Connectivity.is_k_edge_connected g ~k:3);
+  check_bool "not 4-edge-connected" false (Connectivity.is_k_edge_connected g ~k:4)
+
+let test_decision_degenerate () =
+  let g = Generators.complete 4 in
+  check_bool "k=0 true" true (Connectivity.is_k_vertex_connected g ~k:0);
+  check_bool "k=n-1 complete" true (Connectivity.is_k_vertex_connected g ~k:3);
+  check_bool "k=n impossible" false (Connectivity.is_k_vertex_connected g ~k:4);
+  check_bool "edge k=0" true (Connectivity.is_k_edge_connected g ~k:0)
+
+let test_whitney_inequality () =
+  (* kappa <= lambda <= delta on assorted fixtures *)
+  List.iter
+    (fun g ->
+      let kappa = Connectivity.vertex_connectivity g in
+      let lambda = Connectivity.edge_connectivity g in
+      let delta =
+        List.fold_left min max_int (List.init (Graph.n g) (fun v -> Graph.degree g v))
+      in
+      check_bool "kappa<=lambda" true (kappa <= lambda);
+      check_bool "lambda<=delta" true (lambda <= delta))
+    [ petersen (); barbell (); house (); Generators.cycle 9; Generators.complete_bipartite 2 5 ]
+
+let random_graph seed =
+  let rngv = Prng.create ~seed in
+  let n = 5 + Prng.int rngv 4 in
+  let p = 0.25 +. Prng.float rngv 0.5 in
+  Generators.gnp rngv ~n ~p
+
+let prop_vertex_connectivity_matches_brute =
+  qcheck ~count:60 "vertex connectivity = brute force" QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      Connectivity.vertex_connectivity g = brute_vertex_connectivity g)
+
+let prop_edge_connectivity_matches_brute =
+  qcheck ~count:40 "edge connectivity = brute force" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 5 + Prng.int rngv 3 in
+      let g = Generators.gnp rngv ~n ~p:0.4 in
+      Connectivity.edge_connectivity g = brute_edge_connectivity g)
+
+let prop_decision_agrees_with_exact =
+  qcheck ~count:60 "is_k_*_connected agrees with exact values" QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let kappa = Connectivity.vertex_connectivity g in
+      let lambda = Connectivity.edge_connectivity g in
+      let ok = ref true in
+      for k = 0 to Graph.n g do
+        if Connectivity.is_k_vertex_connected g ~k <> (kappa >= k && (k = 0 || Graph.n g >= k + 1))
+        then ok := false;
+        if k > 0 && Connectivity.is_k_edge_connected g ~k <> (lambda >= k) then ok := false
+      done;
+      !ok)
+
+
+let test_min_edge_cut_witness () =
+  let g = barbell () in
+  Alcotest.(check (list (pair int int))) "the bridge" [ (2, 3) ] (Connectivity.min_edge_cut g);
+  let g = Generators.cycle 6 in
+  let cut = Connectivity.min_edge_cut g in
+  check_int "two edges" 2 (List.length cut);
+  let g' = Graph.copy g in
+  List.iter (fun (u, v) -> Graph.remove_edge g' u v) cut;
+  check_bool "removal disconnects" false (Components.is_connected g')
+
+let test_min_edge_cut_degenerate () =
+  Alcotest.(check (list (pair int int))) "disconnected" []
+    (Connectivity.min_edge_cut (Graph.of_edges ~n:4 [ (0, 1) ]));
+  Alcotest.(check (list (pair int int))) "single vertex" []
+    (Connectivity.min_edge_cut (Graph.create ~n:1))
+
+let test_min_vertex_cut_witness () =
+  let g = barbell () in
+  let cut = Connectivity.min_vertex_cut g in
+  check_int "one vertex" 1 (List.length cut);
+  check_bool "a bridge endpoint" true (List.for_all (fun v -> v = 2 || v = 3) cut);
+  let g = petersen () in
+  let cut = Connectivity.min_vertex_cut g in
+  check_int "kappa vertices" 3 (List.length cut);
+  let alive = Array.make 10 true in
+  List.iter (fun v -> alive.(v) <- false) cut;
+  check_bool "removal disconnects" false (Components.is_connected ~alive g)
+
+let test_min_vertex_cut_complete () =
+  Alcotest.(check (list int)) "complete graph has none" []
+    (Connectivity.min_vertex_cut (Generators.complete 5))
+
+let prop_min_cuts_are_real_cuts =
+  qcheck ~count:50 "extracted cuts disconnect and have minimum size"
+    QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let g = random_graph seed in
+      let kappa = Connectivity.vertex_connectivity g in
+      let lambda = Connectivity.edge_connectivity g in
+      let vc_ok =
+        let cut = Connectivity.min_vertex_cut g in
+        if kappa = 0 || kappa = Graph.n g - 1 then cut = []
+        else begin
+          let alive = Array.make (Graph.n g) true in
+          List.iter (fun v -> alive.(v) <- false) cut;
+          List.length cut = kappa && not (Components.is_connected ~alive g)
+        end
+      in
+      let ec_ok =
+        let cut = Connectivity.min_edge_cut g in
+        if lambda = 0 then cut = []
+        else begin
+          let g2 = Graph.copy g in
+          List.iter (fun (u, v) -> Graph.remove_edge g2 u v) cut;
+          List.length cut = lambda && not (Components.is_connected g2)
+        end
+      in
+      vc_ok && ec_ok)
+
+let suite =
+  [
+    Alcotest.test_case "known vertex connectivity" `Quick test_known_vertex_connectivity;
+    Alcotest.test_case "known edge connectivity" `Quick test_known_edge_connectivity;
+    Alcotest.test_case "local vertex connectivity" `Quick test_local_vertex_connectivity;
+    Alcotest.test_case "local edge connectivity" `Quick test_local_edge_connectivity;
+    Alcotest.test_case "local limit" `Quick test_local_limit;
+    Alcotest.test_case "decision forms" `Quick test_decision_forms;
+    Alcotest.test_case "decision degenerate" `Quick test_decision_degenerate;
+    Alcotest.test_case "whitney inequality" `Quick test_whitney_inequality;
+    Alcotest.test_case "min edge cut witness" `Quick test_min_edge_cut_witness;
+    Alcotest.test_case "min edge cut degenerate" `Quick test_min_edge_cut_degenerate;
+    Alcotest.test_case "min vertex cut witness" `Quick test_min_vertex_cut_witness;
+    Alcotest.test_case "min vertex cut complete" `Quick test_min_vertex_cut_complete;
+    prop_min_cuts_are_real_cuts;
+    prop_vertex_connectivity_matches_brute;
+    prop_edge_connectivity_matches_brute;
+    prop_decision_agrees_with_exact;
+  ]

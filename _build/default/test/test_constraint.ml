@@ -1,0 +1,147 @@
+open Helpers
+module Shape = Lhg_core.Shape
+module Skeleton = Lhg_core.Skeleton
+module Build = Lhg_core.Build
+module Constraint_check = Lhg_core.Constraint_check
+
+let build_ok = function
+  | Ok b -> b
+  | Error e -> Alcotest.fail (Build.error_to_string e)
+
+let test_ktree_builds_satisfy_ktree () =
+  for n = 6 to 40 do
+    let b = build_ok (Build.ktree ~n ~k:3) in
+    check_bool
+      (Printf.sprintf "(%d,3) satisfies K-TREE" n)
+      true
+      (Constraint_check.satisfies_ktree b.Build.shape)
+  done
+
+let test_kdiamond_builds_satisfy_kdiamond () =
+  for n = 8 to 44 do
+    let b = build_ok (Build.kdiamond ~n ~k:4) in
+    check_bool
+      (Printf.sprintf "(%d,4) satisfies K-DIAMOND" n)
+      true
+      (Constraint_check.satisfies_kdiamond b.Build.shape)
+  done
+
+let test_jd_builds_satisfy_jd () =
+  for n = 6 to 40 do
+    match Build.jd ~strict:true ~n ~k:3 () with
+    | Error _ -> ()
+    | Ok b ->
+        check_bool
+          (Printf.sprintf "(%d,3) satisfies JD" n)
+          true
+          (Constraint_check.satisfies_jd ~strict:true b.Build.shape)
+  done
+
+let test_jd_shapes_also_satisfy_ktree () =
+  (* every JD graph satisfies K-TREE (the containment claim of §4.4) *)
+  for n = 6 to 60 do
+    match Build.jd ~strict:true ~n ~k:4 () with
+    | Error _ -> ()
+    | Ok b ->
+        check_bool
+          (Printf.sprintf "JD(%d,4) also K-TREE" n)
+          true
+          (Constraint_check.satisfies_ktree b.Build.shape)
+  done
+
+let test_unshared_violates_ktree () =
+  let s = Shape.base ~k:3 in
+  Shape.mark_unshared s 1;
+  check_bool "K-DIAMOND ok" true (Constraint_check.satisfies_kdiamond s);
+  check_bool "K-TREE violated" false (Constraint_check.satisfies_ktree s);
+  let viols = Constraint_check.check_ktree s in
+  check_bool "violation names rule 2" true
+    (List.exists (fun v -> v.Constraint_check.rule = "2") viols)
+
+let test_too_many_added_violates () =
+  let s = Shape.base ~k:3 in
+  (* 2k-3 = 3 allowed; add 4 *)
+  for _ = 1 to 4 do
+    Shape.add_added_leaf s ~parent:0
+  done;
+  check_bool "K-TREE cap exceeded" false (Constraint_check.satisfies_ktree s);
+  (* K-DIAMOND cap is k-2 = 1, so also violated *)
+  check_bool "K-DIAMOND cap exceeded" false (Constraint_check.satisfies_kdiamond s)
+
+let test_kdiamond_added_cap_tighter () =
+  let s = Shape.base ~k:4 in
+  (* 2 added leaves: fine for K-TREE (cap 5), violates K-DIAMOND (cap 2)? k-2=2 -> ok.
+     push to 3 to exceed K-DIAMOND while staying within K-TREE *)
+  for _ = 1 to 3 do
+    Shape.add_added_leaf s ~parent:0
+  done;
+  check_bool "K-TREE fine" true (Constraint_check.satisfies_ktree s);
+  check_bool "K-DIAMOND violated" false (Constraint_check.satisfies_kdiamond s)
+
+let test_jd_rejects_added_on_root () =
+  let s = Shape.base ~k:3 in
+  Shape.add_added_leaf s ~parent:0;
+  check_bool "K-TREE accepts root added leaf" true (Constraint_check.satisfies_ktree s);
+  check_bool "JD rejects root added leaf" false (Constraint_check.satisfies_jd ~strict:false s)
+
+let test_jd_strict_rejects_single_added () =
+  let s = Skeleton.make ~k:3 ~alpha:1 in
+  let host = Skeleton.last_above_leaf s in
+  Shape.add_added_leaf s ~parent:host;
+  check_bool "lax JD accepts one added" true (Constraint_check.satisfies_jd ~strict:false s);
+  check_bool "strict JD rejects one added" false (Constraint_check.satisfies_jd ~strict:true s);
+  Shape.add_added_leaf s ~parent:host;
+  check_bool "strict JD accepts two added" true (Constraint_check.satisfies_jd ~strict:true s)
+
+let test_unbalanced_violates () =
+  let s = Shape.base ~k:3 in
+  Shape.convert_leaf s 1;
+  Shape.convert_leaf s 4;
+  (* depth-2 conversion before finishing depth 1 *)
+  check_bool "unbalanced rejected" false (Constraint_check.satisfies_ktree s);
+  let viols = Constraint_check.check_ktree s in
+  check_bool "balance rule fires" true
+    (List.exists (fun v -> v.Constraint_check.rule = "3a/5a") viols)
+
+let test_violation_printing () =
+  let s = Shape.base ~k:3 in
+  Shape.mark_unshared s 1;
+  match Constraint_check.check_ktree s with
+  | [] -> Alcotest.fail "expected violation"
+  | v :: _ ->
+      let str = Format.asprintf "%a" Constraint_check.pp_violation v in
+      check_bool "mentions node" true (String.length str > 5)
+
+let prop_builders_always_satisfy_their_constraint =
+  qcheck ~count:80 "builders satisfy their own constraints"
+    QCheck2.Gen.(pair (int_range 2 7) (int_range 0 80))
+    (fun (k, extra) ->
+      let n = (2 * k) + extra in
+      let kt =
+        match Build.ktree ~n ~k with
+        | Ok b -> Constraint_check.satisfies_ktree b.Build.shape
+        | Error _ -> false
+      in
+      let kd =
+        match Build.kdiamond ~n ~k with
+        | Ok b -> Constraint_check.satisfies_kdiamond b.Build.shape
+        | Error _ -> false
+      in
+      kt && kd)
+
+let suite =
+  [
+    Alcotest.test_case "ktree builds satisfy K-TREE" `Quick test_ktree_builds_satisfy_ktree;
+    Alcotest.test_case "kdiamond builds satisfy K-DIAMOND" `Quick
+      test_kdiamond_builds_satisfy_kdiamond;
+    Alcotest.test_case "jd builds satisfy JD" `Quick test_jd_builds_satisfy_jd;
+    Alcotest.test_case "jd builds satisfy K-TREE" `Quick test_jd_shapes_also_satisfy_ktree;
+    Alcotest.test_case "unshared violates K-TREE" `Quick test_unshared_violates_ktree;
+    Alcotest.test_case "too many added leaves" `Quick test_too_many_added_violates;
+    Alcotest.test_case "K-DIAMOND tighter cap" `Quick test_kdiamond_added_cap_tighter;
+    Alcotest.test_case "JD rejects root added leaf" `Quick test_jd_rejects_added_on_root;
+    Alcotest.test_case "JD strict parity" `Quick test_jd_strict_rejects_single_added;
+    Alcotest.test_case "unbalanced violates" `Quick test_unbalanced_violates;
+    Alcotest.test_case "violation printing" `Quick test_violation_printing;
+    prop_builders_always_satisfy_their_constraint;
+  ]

@@ -1,0 +1,47 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Degree = Graph_core.Degree
+module Generators = Graph_core.Generators
+
+let test_stats_cycle () =
+  let s = Degree.stats (Generators.cycle 7) in
+  check_int "min" 2 s.Degree.min_degree;
+  check_int "max" 2 s.Degree.max_degree;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.Degree.mean_degree;
+  Alcotest.(check (list (pair int int))) "histogram" [ (2, 7) ] s.Degree.histogram
+
+let test_stats_star () =
+  let s = Degree.stats (Generators.star 6) in
+  check_int "min" 1 s.Degree.min_degree;
+  check_int "max" 5 s.Degree.max_degree;
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 5); (5, 1) ] s.Degree.histogram
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Degree.stats: empty graph") (fun () ->
+      ignore (Degree.stats (Graph.create ~n:0)))
+
+let test_is_regular () =
+  check_bool "cycle regular" true (Degree.is_regular (Generators.cycle 5));
+  check_bool "petersen regular" true (Degree.is_regular (petersen ()));
+  check_bool "star irregular" false (Degree.is_regular (Generators.star 5));
+  check_bool "single vertex" true (Degree.is_regular (Graph.create ~n:1));
+  check_bool "empty" true (Degree.is_regular (Graph.create ~n:0))
+
+let test_is_k_regular () =
+  check_bool "petersen 3-regular" true (Degree.is_k_regular (petersen ()) ~k:3);
+  check_bool "petersen not 2-regular" false (Degree.is_k_regular (petersen ()) ~k:2);
+  check_bool "edgeless 0-regular" true (Degree.is_k_regular (Graph.create ~n:4) ~k:0)
+
+let test_degree_sequence () =
+  Alcotest.(check (list int)) "star sequence" [ 5; 1; 1; 1; 1; 1 ]
+    (Degree.degree_sequence (Generators.star 6))
+
+let suite =
+  [
+    Alcotest.test_case "stats cycle" `Quick test_stats_cycle;
+    Alcotest.test_case "stats star" `Quick test_stats_star;
+    Alcotest.test_case "stats empty rejected" `Quick test_stats_empty_rejected;
+    Alcotest.test_case "is_regular" `Quick test_is_regular;
+    Alcotest.test_case "is_k_regular" `Quick test_is_k_regular;
+    Alcotest.test_case "degree sequence" `Quick test_degree_sequence;
+  ]

@@ -1,0 +1,41 @@
+open Helpers
+module Dot = Graph_core.Dot
+module Generators = Graph_core.Generators
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_structure () =
+  let doc = Dot.to_dot ~name:"test" (Generators.path_graph 3) in
+  check_bool "header" true (contains ~needle:"graph test {" doc);
+  check_bool "edge 0-1" true (contains ~needle:"0 -- 1;" doc);
+  check_bool "edge 1-2" true (contains ~needle:"1 -- 2;" doc);
+  check_bool "closing" true (contains ~needle:"}" doc)
+
+let test_labels_and_colors () =
+  let doc =
+    Dot.to_dot
+      ~label:(fun v -> Printf.sprintf "v%d" v)
+      ~color:(fun v -> if v = 0 then Some "red" else None)
+      (Generators.path_graph 2)
+  in
+  check_bool "label" true (contains ~needle:"label=\"v1\"" doc);
+  check_bool "color" true (contains ~needle:"fillcolor=\"red\"" doc)
+
+let test_write_file () =
+  let path = Filename.temp_file "lhg_dot" ".dot" in
+  Dot.write_file ~path "graph g {}\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "graph g {}" line
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "labels and colors" `Quick test_labels_and_colors;
+    Alcotest.test_case "write file" `Quick test_write_file;
+  ]

@@ -1,0 +1,76 @@
+open Helpers
+module Enumerate = Lhg_core.Enumerate
+module Verify = Lhg_core.Verify
+module Constraint_check = Lhg_core.Constraint_check
+module Build = Lhg_core.Build
+
+let test_count_degenerate () =
+  check_int "no witness below 2k" 0 (Enumerate.count_ktree ~n:5 ~k:3);
+  check_int "unique when j=0" 1 (Enumerate.count_ktree ~n:6 ~k:3);
+  check_int "unique when j=0, deep" 1 (Enumerate.count_ktree ~n:14 ~k:3)
+
+let test_count_small_by_hand () =
+  (* (7,3): alpha=0, j=1, one host (the root): a single distribution *)
+  check_int "(7,3)" 1 (Enumerate.count_ktree ~n:7 ~k:3);
+  (* (11,3): alpha=1, j=1, hosts = {root, converted}: two distributions *)
+  check_int "(11,3)" 2 (Enumerate.count_ktree ~n:11 ~k:3);
+  (* (12,3): alpha=1, j=2, cap=3, hosts=2: 2+0,1+1,0+2 -> 3 *)
+  check_int "(12,3)" 3 (Enumerate.count_ktree ~n:12 ~k:3);
+  (* (13,3): j=3: 3|0, 2|1, 1|2, 0|3 -> 4 *)
+  check_int "(13,3)" 4 (Enumerate.count_ktree ~n:13 ~k:3)
+
+let test_cap_limits_distributions () =
+  (* (9,3): alpha=0, j=3 = cap on a single host: exactly one way *)
+  check_int "(9,3)" 1 (Enumerate.count_ktree ~n:9 ~k:3);
+  (* j above single-host capacity is impossible for alpha=0... but the
+     decomposition never produces j > 2k-3, so count stays positive *)
+  check_bool "all n >= 2k countable" true
+    (List.for_all (fun n -> Enumerate.count_ktree ~n ~k:3 > 0) (List.init 30 (fun i -> 6 + i)))
+
+let test_iter_matches_count () =
+  List.iter
+    (fun (n, k) ->
+      let expected = Enumerate.count_ktree ~n ~k in
+      let seen = Enumerate.iter_ktree ~limit:10_000 ~n ~k (fun _ -> ()) in
+      check_int (Printf.sprintf "(%d,%d)" n k) expected seen)
+    [ (6, 3); (7, 3); (11, 3); (12, 3); (13, 3); (17, 3); (10, 4); (19, 4) ]
+
+let test_every_witness_is_valid () =
+  let checked = ref 0 in
+  let _ =
+    Enumerate.iter_ktree ~limit:50 ~n:17 ~k:3 (fun b ->
+        incr checked;
+        check_int "size" 17 (Graph_core.Graph.n b.Build.graph);
+        check_bool "satisfies K-TREE" true (Constraint_check.satisfies_ktree b.Build.shape);
+        check_bool "is an LHG" true (Verify.is_lhg b.Build.graph ~k:3))
+  in
+  check_bool "several enumerated" true (!checked > 1)
+
+let test_limit_respected () =
+  let produced = Enumerate.iter_ktree ~limit:2 ~n:13 ~k:3 (fun _ -> ()) in
+  check_int "limited" 2 produced
+
+let test_distinct_graphs_several () =
+  (* different added-leaf hosts yield different labelled graphs *)
+  let d = Enumerate.distinct_graphs ~limit:100 ~n:13 ~k:3 () in
+  check_bool "more than one graph" true (d > 1);
+  check_bool "at most the count" true (d <= Enumerate.count_ktree ~n:13 ~k:3)
+
+let prop_count_positive_iff_exists =
+  qcheck ~count:100 "count > 0 iff EX_KTREE"
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 40))
+    (fun (k, extra) ->
+      let n = k + extra in
+      Enumerate.count_ktree ~n ~k > 0 = Lhg_core.Existence.ex_ktree ~n ~k)
+
+let suite =
+  [
+    Alcotest.test_case "count degenerate" `Quick test_count_degenerate;
+    Alcotest.test_case "count small by hand" `Quick test_count_small_by_hand;
+    Alcotest.test_case "cap limits" `Quick test_cap_limits_distributions;
+    Alcotest.test_case "iter matches count" `Quick test_iter_matches_count;
+    Alcotest.test_case "every witness valid" `Quick test_every_witness_is_valid;
+    Alcotest.test_case "limit respected" `Quick test_limit_respected;
+    Alcotest.test_case "distinct graphs" `Quick test_distinct_graphs_several;
+    prop_count_positive_iff_exists;
+  ]

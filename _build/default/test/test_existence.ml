@@ -1,0 +1,120 @@
+open Helpers
+module Existence = Lhg_core.Existence
+module Build = Lhg_core.Build
+
+let test_decompose_ktree_reconstructs () =
+  for k = 2 to 7 do
+    for n = 2 * k to (2 * k) + 60 do
+      match Existence.decompose_ktree ~n ~k with
+      | None -> Alcotest.fail "decomposition must exist for n >= 2k"
+      | Some (alpha, j) ->
+          check_int
+            (Printf.sprintf "n=%d k=%d" n k)
+            n
+            ((2 * k) + (2 * alpha * (k - 1)) + j);
+          check_bool "j in range" true (j >= 0 && j <= (2 * k) - 3)
+    done
+  done
+
+let test_decompose_kdiamond_reconstructs () =
+  for k = 2 to 7 do
+    for n = 2 * k to (2 * k) + 60 do
+      match Existence.decompose_kdiamond ~n ~k with
+      | None -> Alcotest.fail "decomposition must exist for n >= 2k"
+      | Some (alpha, j) ->
+          check_int (Printf.sprintf "n=%d k=%d" n k) n ((2 * k) + (alpha * (k - 1)) + j);
+          check_bool "j in range" true (j >= 0 && j <= k - 2)
+    done
+  done
+
+let test_decompose_below_minimum () =
+  check_bool "n<2k" true (Existence.decompose_ktree ~n:5 ~k:3 = None);
+  check_bool "k<2" true (Existence.decompose_ktree ~n:10 ~k:1 = None);
+  check_bool "diamond n<2k" true (Existence.decompose_kdiamond ~n:7 ~k:4 = None)
+
+let test_ex_threshold () =
+  for k = 2 to 8 do
+    check_bool "below" false (Existence.ex_ktree ~n:((2 * k) - 1) ~k);
+    check_bool "at" true (Existence.ex_ktree ~n:(2 * k) ~k);
+    check_bool "above" true (Existence.ex_ktree ~n:((2 * k) + 17) ~k)
+  done
+
+let test_corollary1_equivalence () =
+  (* EX_KTREE <=> EX_KDIAMOND on a wide grid *)
+  for k = 2 to 8 do
+    for n = 1 to (2 * k) + 50 do
+      check_bool
+        (Printf.sprintf "n=%d k=%d" n k)
+        (Existence.ex_ktree ~n ~k)
+        (Existence.ex_kdiamond ~n ~k)
+    done
+  done
+
+let test_jd_base_gaps () =
+  (* alpha=0: JD has no room for added leaves, so only n=2k works until
+     the next multiple *)
+  check_bool "n=6 ok" true (Existence.ex_jd ~n:6 ~k:3 ());
+  check_bool "n=7 gap" false (Existence.ex_jd ~n:7 ~k:3 ());
+  check_bool "n=8 gap" false (Existence.ex_jd ~n:8 ~k:3 ());
+  check_bool "n=9 gap" false (Existence.ex_jd ~n:9 ~k:3 ());
+  check_bool "n=10 ok" true (Existence.ex_jd ~n:10 ~k:3 ())
+
+let test_jd_odd_j_gap_infinite_family () =
+  (* the follow-on paper's example: n = 2k + 2a(k-1) + 3 is never JD-buildable *)
+  for k = 3 to 6 do
+    for alpha = 0 to 10 do
+      let n = (2 * k) + (2 * alpha * (k - 1)) + 3 in
+      check_bool (Printf.sprintf "JD gap n=%d k=%d" n k) false (Existence.ex_jd ~n ~k ());
+      check_bool (Printf.sprintf "K-TREE fills n=%d k=%d" n k) true (Existence.ex_ktree ~n ~k)
+    done
+  done
+
+let test_jd_lax_fills_odd_j () =
+  (* lax reading allows odd j once capacity exists *)
+  check_bool "strict rejects" false (Existence.ex_jd ~strict:true ~n:13 ~k:3 ());
+  (* n=13,k=3 -> alpha=1, j=3 > capacity 2: even lax rejects *)
+  check_bool "lax still rejects over capacity" false (Existence.ex_jd ~strict:false ~n:13 ~k:3 ());
+  (* n=11,k=3 -> alpha=1, j=1 <= capacity 2: lax accepts, strict rejects *)
+  check_bool "lax accepts j=1" true (Existence.ex_jd ~strict:false ~n:11 ~k:3 ());
+  check_bool "strict rejects j=1" false (Existence.ex_jd ~strict:true ~n:11 ~k:3 ())
+
+let test_jd_capacity_function () =
+  check_int "alpha=0" 0 (Existence.jd_added_capacity ~k:3 ~alpha:0);
+  check_int "alpha=1" 2 (Existence.jd_added_capacity ~k:3 ~alpha:1);
+  check_int "alpha=2" 4 (Existence.jd_added_capacity ~k:3 ~alpha:2);
+  check_int "capped at 2k" 6 (Existence.jd_added_capacity ~k:3 ~alpha:9)
+
+let test_builders_agree_with_ex () =
+  (* the central soundness/completeness check: builder succeeds iff EX *)
+  for k = 2 to 6 do
+    for n = max 2 (2 * k - 3) to (2 * k) + 40 do
+      let built_kt = match Build.ktree ~n ~k with Ok _ -> true | Error _ -> false in
+      check_bool (Printf.sprintf "ktree n=%d k=%d" n k) (Existence.ex_ktree ~n ~k) built_kt;
+      let built_kd = match Build.kdiamond ~n ~k with Ok _ -> true | Error _ -> false in
+      check_bool (Printf.sprintf "kdiamond n=%d k=%d" n k) (Existence.ex_kdiamond ~n ~k) built_kd;
+      let built_jd = match Build.jd ~n ~k () with Ok _ -> true | Error _ -> false in
+      check_bool (Printf.sprintf "jd n=%d k=%d" n k) (Existence.ex_jd ~n ~k ()) built_jd
+    done
+  done
+
+let prop_jd_subset_of_ktree =
+  qcheck ~count:200 "EX_JD implies EX_KTREE"
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 0 200))
+    (fun (k, extra) ->
+      let n = k + 1 + extra in
+      (not (Existence.ex_jd ~n ~k ())) || Existence.ex_ktree ~n ~k)
+
+let suite =
+  [
+    Alcotest.test_case "decompose ktree" `Quick test_decompose_ktree_reconstructs;
+    Alcotest.test_case "decompose kdiamond" `Quick test_decompose_kdiamond_reconstructs;
+    Alcotest.test_case "decompose below minimum" `Quick test_decompose_below_minimum;
+    Alcotest.test_case "EX threshold at 2k" `Quick test_ex_threshold;
+    Alcotest.test_case "corollary 1 equivalence" `Quick test_corollary1_equivalence;
+    Alcotest.test_case "JD base gaps" `Quick test_jd_base_gaps;
+    Alcotest.test_case "JD infinite gap family" `Quick test_jd_odd_j_gap_infinite_family;
+    Alcotest.test_case "JD lax vs strict" `Quick test_jd_lax_fills_odd_j;
+    Alcotest.test_case "JD capacity function" `Quick test_jd_capacity_function;
+    Alcotest.test_case "builders agree with EX" `Quick test_builders_agree_with_ex;
+    prop_jd_subset_of_ktree;
+  ]

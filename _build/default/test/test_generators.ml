@@ -1,0 +1,121 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Generators = Graph_core.Generators
+module Components = Graph_core.Components
+module Degree = Graph_core.Degree
+module Prng = Graph_core.Prng
+
+let test_path () =
+  let g = Generators.path_graph 5 in
+  check_int "edges" 4 (Graph.m g);
+  check_bool "connected" true (Components.is_connected g)
+
+let test_path_trivial () =
+  check_int "P1 no edges" 0 (Graph.m (Generators.path_graph 1));
+  check_int "P0" 0 (Graph.n (Generators.path_graph 0))
+
+let test_cycle () =
+  let g = Generators.cycle 5 in
+  check_int "edges" 5 (Graph.m g);
+  check_bool "2-regular" true (Degree.is_k_regular g ~k:2)
+
+let test_cycle_too_small () =
+  Alcotest.check_raises "n<3" (Invalid_argument "Generators.cycle: n < 3") (fun () ->
+      ignore (Generators.cycle 2))
+
+let test_complete () =
+  let g = Generators.complete 6 in
+  check_int "edges" 15 (Graph.m g);
+  check_bool "5-regular" true (Degree.is_k_regular g ~k:5)
+
+let test_complete_bipartite () =
+  let g = Generators.complete_bipartite 3 4 in
+  check_int "edges" 12 (Graph.m g);
+  check_bool "no left-left edge" false (Graph.has_edge g 0 1);
+  check_bool "cross edge" true (Graph.has_edge g 0 3)
+
+let test_star () =
+  let g = Generators.star 7 in
+  check_int "edges" 6 (Graph.m g);
+  check_int "centre degree" 6 (Graph.degree g 0)
+
+let test_circulant () =
+  let g = Generators.circulant ~n:10 ~jumps:[ 1; 2 ] in
+  check_bool "4-regular" true (Degree.is_k_regular g ~k:4);
+  check_bool "jump-2 edge" true (Graph.has_edge g 0 2);
+  check_bool "wraparound" true (Graph.has_edge g 9 1)
+
+let test_circulant_zero_jump_rejected () =
+  Alcotest.check_raises "zero jump"
+    (Invalid_argument "Generators.circulant: jump is a multiple of n") (fun () ->
+      ignore (Generators.circulant ~n:5 ~jumps:[ 5 ]))
+
+let test_circulant_half_jump () =
+  (* jump n/2 gives a perfect matching contribution: degree 1 per vertex *)
+  let g = Generators.circulant ~n:6 ~jumps:[ 3 ] in
+  check_bool "1-regular" true (Degree.is_k_regular g ~k:1);
+  check_int "three matching edges" 3 (Graph.m g)
+
+let test_grid () =
+  let g = Generators.grid ~rows:3 ~cols:4 in
+  check_int "vertices" 12 (Graph.n g);
+  check_int "edges" ((2 * 4) + (3 * 3)) (Graph.m g);
+  check_bool "connected" true (Components.is_connected g)
+
+let test_balanced_tree () =
+  let g = Generators.balanced_tree ~branching:3 ~height:2 in
+  check_int "1+3+9 vertices" 13 (Graph.n g);
+  check_int "tree edges" 12 (Graph.m g);
+  check_bool "connected" true (Components.is_connected g);
+  check_int "root degree" 3 (Graph.degree g 0)
+
+let test_balanced_tree_height0 () =
+  check_int "single node" 1 (Graph.n (Generators.balanced_tree ~branching:2 ~height:0))
+
+let test_gnp_extremes () =
+  let rngv = rng () in
+  let empty = Generators.gnp rngv ~n:10 ~p:0.0 in
+  check_int "p=0 no edges" 0 (Graph.m empty);
+  let full = Generators.gnp rngv ~n:10 ~p:1.0 in
+  check_int "p=1 complete" 45 (Graph.m full)
+
+let test_gnp_determinism () =
+  let a = Generators.gnp (Prng.create ~seed:7) ~n:20 ~p:0.3 in
+  let b = Generators.gnp (Prng.create ~seed:7) ~n:20 ~p:0.3 in
+  check_bool "same seed same graph" true (Graph.equal a b)
+
+let test_random_tree_is_tree () =
+  let rngv = rng ~salt:1 () in
+  for n = 1 to 30 do
+    let t = Generators.random_tree rngv ~n in
+    check_int "n-1 edges" (n - 1) (Graph.m t);
+    check_bool "connected" true (Components.is_connected t)
+  done
+
+let prop_random_tree_prufer_uniformity_smoke =
+  qcheck ~count:50 "random trees are trees" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 2 + Prng.int rngv 40 in
+      let t = Generators.random_tree rngv ~n in
+      Graph.m t = n - 1 && Components.is_connected t)
+
+let suite =
+  [
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "path trivial" `Quick test_path_trivial;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "cycle too small" `Quick test_cycle_too_small;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "circulant" `Quick test_circulant;
+    Alcotest.test_case "circulant zero jump" `Quick test_circulant_zero_jump_rejected;
+    Alcotest.test_case "circulant half jump" `Quick test_circulant_half_jump;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "balanced tree" `Quick test_balanced_tree;
+    Alcotest.test_case "balanced tree h=0" `Quick test_balanced_tree_height0;
+    Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+    Alcotest.test_case "gnp determinism" `Quick test_gnp_determinism;
+    Alcotest.test_case "random tree is tree" `Quick test_random_tree_is_tree;
+    prop_random_tree_prufer_uniformity_smoke;
+  ]

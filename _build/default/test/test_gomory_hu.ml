@@ -1,0 +1,97 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Gomory_hu = Graph_core.Gomory_hu
+module Connectivity = Graph_core.Connectivity
+module Generators = Graph_core.Generators
+module Prng = Graph_core.Prng
+
+let all_pairs_agree g =
+  let t = Gomory_hu.build g in
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    for v = u + 1 to Graph.n g - 1 do
+      let tree_val = Gomory_hu.min_cut_value t u v in
+      let flow_val = Connectivity.local_edge_connectivity g ~s:u ~t:v in
+      if tree_val <> flow_val then ok := false
+    done
+  done;
+  !ok
+
+let test_cycle () =
+  let t = Gomory_hu.build (Generators.cycle 7) in
+  for u = 0 to 6 do
+    for v = u + 1 to 6 do
+      check_int "all pairs 2" 2 (Gomory_hu.min_cut_value t u v)
+    done
+  done
+
+let test_barbell () =
+  let t = Gomory_hu.build (barbell ()) in
+  check_int "across the bridge" 1 (Gomory_hu.min_cut_value t 0 5);
+  check_int "inside a triangle" 2 (Gomory_hu.min_cut_value t 0 1);
+  match Gomory_hu.bottleneck t with
+  | Some (_, _, w) -> check_int "bottleneck weight" 1 w
+  | None -> Alcotest.fail "bottleneck exists"
+
+let test_complete () =
+  let t = Gomory_hu.build (Generators.complete 6) in
+  check_int "K6 pair" 5 (Gomory_hu.min_cut_value t 1 4)
+
+let test_star () =
+  let t = Gomory_hu.build (Generators.star 6) in
+  check_int "leaf pair" 1 (Gomory_hu.min_cut_value t 1 2)
+
+let test_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let t = Gomory_hu.build g in
+  check_int "cross-component" 0 (Gomory_hu.min_cut_value t 0 2);
+  check_int "same component" 1 (Gomory_hu.min_cut_value t 0 1)
+
+let test_fixtures_all_pairs () =
+  List.iter
+    (fun g -> check_bool "agrees with direct flows" true (all_pairs_agree g))
+    [ petersen (); house (); barbell (); Generators.grid ~rows:3 ~cols:3 ]
+
+let test_tree_edges_count () =
+  let t = Gomory_hu.build (petersen ()) in
+  check_int "n-1 edges" 9 (List.length (Gomory_hu.tree_edges t));
+  check_bool "petersen bottleneck 3" true
+    (match Gomory_hu.bottleneck t with Some (_, _, 3) -> true | _ -> false)
+
+let test_single_vertex () =
+  let t = Gomory_hu.build (Graph.create ~n:1) in
+  check_bool "no bottleneck" true (Gomory_hu.bottleneck t = None)
+
+let test_same_vertex_rejected () =
+  let t = Gomory_hu.build (Generators.cycle 4) in
+  Alcotest.check_raises "u=v" (Invalid_argument "Gomory_hu.min_cut_value: u = v") (fun () ->
+      ignore (Gomory_hu.min_cut_value t 2 2))
+
+let test_lhg_tree_uniform () =
+  (* on a k-regular LHG every pairwise min cut is exactly k *)
+  let b = Lhg_core.Build.kdiamond_exn ~n:20 ~k:4 in
+  let t = Gomory_hu.build b.Lhg_core.Build.graph in
+  List.iter (fun (_, _, w) -> check_int "uniform k" 4 w) (Gomory_hu.tree_edges t)
+
+let prop_tree_matches_flows =
+  qcheck ~count:40 "gomory-hu = pairwise flows on random graphs" QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 4 + Prng.int rngv 8 in
+      let g = Generators.gnp rngv ~n ~p:0.4 in
+      all_pairs_agree g)
+
+let suite =
+  [
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "barbell" `Quick test_barbell;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "fixtures all pairs" `Quick test_fixtures_all_pairs;
+    Alcotest.test_case "tree edges" `Quick test_tree_edges_count;
+    Alcotest.test_case "single vertex" `Quick test_single_vertex;
+    Alcotest.test_case "same vertex rejected" `Quick test_same_vertex_rejected;
+    Alcotest.test_case "lhg tree uniform" `Quick test_lhg_tree_uniform;
+    prop_tree_matches_flows;
+  ]

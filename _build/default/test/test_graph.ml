@@ -1,0 +1,147 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+let test_create_empty () =
+  let g = Graph.create ~n:5 in
+  check_int "n" 5 (Graph.n g);
+  check_int "m" 0 (Graph.m g);
+  for v = 0 to 4 do
+    check_int "degree" 0 (Graph.degree g v)
+  done
+
+let test_create_negative () =
+  Alcotest.check_raises "negative n" (Invalid_argument "Graph.create: negative n") (fun () ->
+      ignore (Graph.create ~n:(-1)))
+
+let test_add_edge () =
+  let g = Graph.create ~n:3 in
+  Graph.add_edge g 0 1;
+  check_bool "has 0-1" true (Graph.has_edge g 0 1);
+  check_bool "has 1-0" true (Graph.has_edge g 1 0);
+  check_bool "no 0-2" false (Graph.has_edge g 0 2);
+  check_int "m" 1 (Graph.m g)
+
+let test_add_edge_idempotent () =
+  let g = Graph.create ~n:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Graph.add_edge g 0 1;
+  check_int "m stays 1" 1 (Graph.m g)
+
+let test_self_loop_rejected () =
+  let g = Graph.create ~n:3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      Graph.add_edge g 1 1)
+
+let test_out_of_range () =
+  let g = Graph.create ~n:3 in
+  Alcotest.check_raises "range" (Invalid_argument "Graph.add_edge: vertex 3 out of range [0,3)")
+    (fun () -> Graph.add_edge g 0 3)
+
+let test_remove_edge () =
+  let g = house () in
+  let m0 = Graph.m g in
+  Graph.remove_edge g 0 2;
+  check_bool "gone" false (Graph.has_edge g 0 2);
+  check_int "m" (m0 - 1) (Graph.m g);
+  Graph.remove_edge g 0 2;
+  check_int "noop" (m0 - 1) (Graph.m g)
+
+let test_neighbors_sorted () =
+  let g = Graph.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3) ] in
+  Alcotest.(check (list int)) "ascending" [ 0; 3; 4 ] (Graph.neighbors g 2)
+
+let test_iter_edges_once_each () =
+  let g = house () in
+  let count = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      incr count;
+      check_bool "u < v" true (u < v));
+  check_int "each edge once" (Graph.m g) !count
+
+let test_edges_list () =
+  let g = Graph.of_edges ~n:4 [ (3, 1); (0, 2) ] in
+  Alcotest.(check (list (pair int int))) "sorted pairs" [ (0, 2); (1, 3) ] (Graph.edges g)
+
+let test_copy_isolated () =
+  let g = house () in
+  let g' = Graph.copy g in
+  Graph.add_edge g' 1 3;
+  check_bool "original unchanged" false (Graph.has_edge g 1 3);
+  check_bool "copy changed" true (Graph.has_edge g' 1 3)
+
+let test_without_edge () =
+  let g = house () in
+  let g' = Graph.without_edge g 0 2 in
+  check_bool "original keeps edge" true (Graph.has_edge g 0 2);
+  check_bool "copy lacks edge" false (Graph.has_edge g' 0 2)
+
+let test_without_vertices () =
+  let g = barbell () in
+  let g' = Graph.without_vertices g [ 2 ] in
+  check_int "same vertex count" (Graph.n g) (Graph.n g');
+  check_int "vertex 2 isolated" 0 (Graph.degree g' 2);
+  check_bool "rest intact" true (Graph.has_edge g' 0 1);
+  check_bool "bridge gone" false (Graph.has_edge g' 2 3)
+
+let test_equal () =
+  let a = house () and b = house () in
+  check_bool "equal fixtures" true (Graph.equal a b);
+  Graph.remove_edge b 0 2;
+  check_bool "different after removal" false (Graph.equal a b)
+
+let test_fold_neighbors () =
+  let g = house () in
+  let sum = Graph.fold_neighbors g 0 ~init:0 ~f:( + ) in
+  check_int "neighbour sum of 0" (1 + 2 + 3) sum
+
+let test_is_symmetric () =
+  check_bool "fixture symmetric" true (Graph.is_symmetric (petersen ()))
+
+let test_degree_sum () =
+  let g = petersen () in
+  check_int "handshake lemma" (2 * Graph.m g) (Graph.complement_degree_sum g)
+
+let prop_of_edges_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_bound 60) (pair (int_bound 19) (int_bound 19))
+      |> map (List.filter (fun (u, v) -> u <> v)))
+  in
+  qcheck "of_edges keeps exactly the distinct edges" gen (fun es ->
+      let g = Graph.of_edges ~n:20 es in
+      let expected = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) es) in
+      sorted_edges g = expected && Graph.m g = List.length expected)
+
+let prop_remove_all_edges_empties =
+  let gen = QCheck2.Gen.(list_size (int_bound 40) (pair (int_bound 9) (int_bound 9))) in
+  qcheck "removing every edge empties the graph" gen (fun es ->
+      let es = List.filter (fun (u, v) -> u <> v) es in
+      let g = Graph.of_edges ~n:10 es in
+      Graph.iter_edges (Graph.copy g) (fun _ _ -> ());
+      List.iter (fun (u, v) -> Graph.remove_edge g u v) (Graph.edges g);
+      Graph.m g = 0 && Graph.complement_degree_sum g = 0)
+
+let suite =
+  [
+    Alcotest.test_case "create empty" `Quick test_create_empty;
+    Alcotest.test_case "create negative" `Quick test_create_negative;
+    Alcotest.test_case "add edge" `Quick test_add_edge;
+    Alcotest.test_case "add edge idempotent" `Quick test_add_edge_idempotent;
+    Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "remove edge" `Quick test_remove_edge;
+    Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "iter_edges visits once" `Quick test_iter_edges_once_each;
+    Alcotest.test_case "edges list" `Quick test_edges_list;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+    Alcotest.test_case "without_edge" `Quick test_without_edge;
+    Alcotest.test_case "without_vertices" `Quick test_without_vertices;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "fold_neighbors" `Quick test_fold_neighbors;
+    Alcotest.test_case "is_symmetric" `Quick test_is_symmetric;
+    Alcotest.test_case "degree sum" `Quick test_degree_sum;
+    prop_of_edges_roundtrip;
+    prop_remove_all_edges_empties;
+  ]

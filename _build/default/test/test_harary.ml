@@ -1,0 +1,120 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Connectivity = Graph_core.Connectivity
+module Minimality = Graph_core.Minimality
+module Paths = Graph_core.Paths
+module Degree = Graph_core.Degree
+
+let test_edge_count_formula () =
+  List.iter
+    (fun (k, n) ->
+      let g = Harary.make ~k ~n in
+      check_int
+        (Printf.sprintf "H(%d,%d) edges" k n)
+        (Harary.edge_count ~k ~n) (Graph.m g))
+    [ (2, 5); (2, 10); (3, 8); (3, 9); (4, 10); (4, 11); (5, 12); (5, 13); (6, 20); (7, 15) ]
+
+let test_k_connectivity () =
+  List.iter
+    (fun (k, n) ->
+      let g = Harary.make ~k ~n in
+      check_bool
+        (Printf.sprintf "H(%d,%d) k-vertex-connected" k n)
+        true
+        (Connectivity.is_k_vertex_connected g ~k);
+      check_bool
+        (Printf.sprintf "H(%d,%d) k-edge-connected" k n)
+        true
+        (Connectivity.is_k_edge_connected g ~k))
+    [ (2, 5); (3, 8); (3, 9); (4, 10); (4, 11); (5, 12); (5, 13); (6, 14) ]
+
+let test_exact_connectivity () =
+  (* edge-minimality implies kappa is exactly k, not more *)
+  List.iter
+    (fun (k, n) ->
+      let g = Harary.make ~k ~n in
+      check_int (Printf.sprintf "kappa H(%d,%d)" k n) k (Connectivity.vertex_connectivity g);
+      check_int (Printf.sprintf "lambda H(%d,%d)" k n) k (Connectivity.edge_connectivity g))
+    [ (2, 7); (3, 8); (3, 9); (4, 10); (5, 12) ]
+
+let test_degrees () =
+  (* even k, or odd k with even n: k-regular; odd k odd n: one vertex of k+1 *)
+  let g = Harary.make ~k:4 ~n:9 in
+  check_bool "H(4,9) regular" true (Degree.is_k_regular g ~k:4);
+  let g = Harary.make ~k:3 ~n:8 in
+  check_bool "H(3,8) regular" true (Degree.is_k_regular g ~k:3);
+  let g = Harary.make ~k:3 ~n:9 in
+  let s = Degree.stats g in
+  check_int "H(3,9) min degree" 3 s.Degree.min_degree;
+  check_int "H(3,9) max degree" 4 s.Degree.max_degree;
+  Alcotest.(check (list (pair int int))) "H(3,9) histogram" [ (3, 8); (4, 1) ] s.Degree.histogram
+
+let test_link_minimality () =
+  List.iter
+    (fun (k, n) ->
+      check_bool
+        (Printf.sprintf "H(%d,%d) link-minimal" k n)
+        true
+        (Minimality.is_link_minimal (Harary.make ~k ~n) ~k))
+    [ (2, 6); (3, 8); (4, 10); (3, 9) ]
+
+let test_linear_diameter_growth () =
+  (* The paper's motivation: diameter of H(k,n) grows linearly in n. *)
+  let diam n =
+    match Paths.diameter (Harary.make ~k:4 ~n) with
+    | Some d -> d
+    | None -> Alcotest.fail "H(4,n) connected"
+  in
+  let d64 = diam 64 and d128 = diam 128 and d256 = diam 256 in
+  check_bool "monotone growth" true (d64 < d128 && d128 < d256);
+  check_bool "roughly doubles" true (d256 >= (2 * d64) - 4);
+  check_int "H(4,64) = n/4" 16 d64
+
+let test_diameter_formula_tracks_truth () =
+  List.iter
+    (fun (k, n) ->
+      match Paths.diameter (Harary.make ~k ~n) with
+      | None -> Alcotest.fail "connected"
+      | Some d ->
+          let est = Harary.diameter_formula ~k ~n in
+          check_bool
+            (Printf.sprintf "estimate within 2 for H(%d,%d): est=%d real=%d" k n est d)
+            true
+            (abs (est - d) <= 2))
+    [ (2, 10); (2, 31); (4, 20); (4, 64); (6, 36); (3, 30); (5, 40) ]
+
+let test_invalid_args () =
+  Alcotest.check_raises "k=1" (Invalid_argument "Harary.make: k must be >= 2") (fun () ->
+      ignore (Harary.make ~k:1 ~n:5));
+  Alcotest.check_raises "k>=n" (Invalid_argument "Harary.make: k must be < n") (fun () ->
+      ignore (Harary.make ~k:5 ~n:5))
+
+let test_smallest_cases () =
+  let g = Harary.make ~k:2 ~n:3 in
+  check_int "H(2,3) = triangle" 3 (Graph.m g);
+  let g = Harary.make ~k:3 ~n:4 in
+  check_int "H(3,4) = K4" 6 (Graph.m g)
+
+let prop_harary_k_connected =
+  qcheck ~count:40 "random H(k,n) is exactly k-connected with ceil(kn/2) edges"
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 25))
+    (fun (k, extra) ->
+      let n = k + 1 + extra in
+      let g = Harary.make ~k ~n in
+      Graph.m g = ((k * n) + 1) / 2
+      && Connectivity.is_k_vertex_connected g ~k
+      && Connectivity.is_k_edge_connected g ~k)
+
+let suite =
+  [
+    Alcotest.test_case "edge count formula" `Quick test_edge_count_formula;
+    Alcotest.test_case "k-connectivity" `Quick test_k_connectivity;
+    Alcotest.test_case "exact connectivity" `Quick test_exact_connectivity;
+    Alcotest.test_case "degrees" `Quick test_degrees;
+    Alcotest.test_case "link minimality" `Slow test_link_minimality;
+    Alcotest.test_case "linear diameter growth" `Quick test_linear_diameter_growth;
+    Alcotest.test_case "diameter formula" `Quick test_diameter_formula_tracks_truth;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "smallest cases" `Quick test_smallest_cases;
+    prop_harary_k_connected;
+  ]

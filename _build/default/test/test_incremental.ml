@@ -1,0 +1,201 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Incremental = Overlay.Incremental
+module Verify = Lhg_core.Verify
+module Regularity = Lhg_core.Regularity
+module Degree = Graph_core.Degree
+
+let test_start_is_base_lhg () =
+  let t = Incremental.start ~k:3 in
+  let g = Incremental.graph t in
+  check_int "n = 2k" 6 (Graph.n g);
+  check_int "m = k*k" 9 (Graph.m g);
+  check_bool "is an LHG" true (Verify.is_lhg g ~k:3)
+
+let test_k2_rejected () =
+  Alcotest.check_raises "k=2" (Invalid_argument "Incremental.start: k must be >= 3") (fun () ->
+      ignore (Incremental.start ~k:2))
+
+let test_every_step_is_lhg_k3 () =
+  let t = Incremental.start ~k:3 in
+  for _ = 1 to 40 do
+    let _ = Incremental.join t in
+    let g = Incremental.graph t in
+    check_bool
+      (Printf.sprintf "n=%d is an LHG" (Graph.n g))
+      true
+      (Verify.is_lhg g ~k:3)
+  done
+
+let test_every_step_connected_k5 () =
+  let t = Incremental.start ~k:5 in
+  for _ = 1 to 60 do
+    let _ = Incremental.join t in
+    let g = Incremental.graph t in
+    check_bool
+      (Printf.sprintf "n=%d 5-connected" (Graph.n g))
+      true
+      (Graph_core.Connectivity.is_k_vertex_connected g ~k:5);
+    check_bool "diameter ok" true
+      (match Graph_core.Paths.diameter g with
+      | Some d -> d <= Verify.diameter_bound ~n:(Graph.n g) ~k:5
+      | None -> false)
+  done
+
+let test_regular_exactly_at_reg_sizes () =
+  List.iter
+    (fun k ->
+      let t = Incremental.start ~k in
+      for _ = 1 to 50 do
+        let _ = Incremental.join t in
+        let g = Incremental.graph t in
+        check_bool
+          (Printf.sprintf "k=%d n=%d regular iff REG" k (Graph.n g))
+          (Regularity.reg_kdiamond ~n:(Graph.n g) ~k)
+          (Degree.is_k_regular g ~k)
+      done)
+    [ 3; 4; 5 ]
+
+let test_join_costs_bounded () =
+  let t = Incremental.start ~k:4 in
+  List.iter
+    (fun r ->
+      let cost = r.Incremental.edges_added + r.Incremental.edges_removed in
+      check_bool "cost O(k^2)" true (cost <= 3 * 4 * 4);
+      match r.Incremental.op with
+      | Incremental.Added_leaf ->
+          check_int "added leaf +k" 4 r.Incremental.edges_added;
+          check_int "added leaf removes none" 0 r.Incremental.edges_removed
+      | Incremental.Group_formed ->
+          (* clique k(k-1)/2 + 1 new parent edge added; (k-1)^2 removed *)
+          check_int "group adds" 7 r.Incremental.edges_added;
+          check_int "group removes" 9 r.Incremental.edges_removed
+      | Incremental.Group_converted ->
+          (* k(k-1)/2 clique + (k-2)k rewired removed; (k-1)k added *)
+          check_int "convert adds" 12 r.Incremental.edges_added;
+          check_int "convert removes" 14 r.Incremental.edges_removed)
+    (Incremental.joins t ~count:80)
+
+let test_vertex_ids_stable () =
+  let t = Incremental.start ~k:3 in
+  (* new vertices get consecutive fresh ids; old ids never vanish *)
+  List.iteri
+    (fun i r -> check_int "fresh sequential id" (6 + i) r.Incremental.new_vertex)
+    (Incremental.joins t ~count:20);
+  check_int "n" 26 (Incremental.n t)
+
+let test_total_rewired_accumulates () =
+  let t = Incremental.start ~k:3 in
+  let reports = Incremental.joins t ~count:15 in
+  let expected =
+    List.fold_left
+      (fun acc r -> acc + r.Incremental.edges_added + r.Incremental.edges_removed)
+      0 reports
+  in
+  check_int "sum matches" expected (Incremental.total_rewired t)
+
+let test_cheaper_than_rebuild_on_average () =
+  (* the point of the module: incremental joins move O(k^2) edges while
+     canonical rebuilds reshuffle large parts of the graph *)
+  let k = 4 in
+  let t = Incremental.start ~k in
+  let _warm = Incremental.joins t ~count:60 in
+  let inc_costs =
+    List.map
+      (fun r -> r.Incremental.edges_added + r.Incremental.edges_removed)
+      (Incremental.joins t ~count:30)
+  in
+  let inc_mean =
+    float_of_int (List.fold_left ( + ) 0 inc_costs) /. float_of_int (List.length inc_costs)
+  in
+  match Overlay.Membership.create ~family:Overlay.Membership.Kdiamond ~k ~n:(Incremental.n t) with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let rebuild_costs =
+        List.init 30 (fun _ ->
+            match Overlay.Membership.join o with
+            | Ok d -> Overlay.Diff.cost d
+            | Error e -> Alcotest.fail e)
+      in
+      let rebuild_mean =
+        float_of_int (List.fold_left ( + ) 0 rebuild_costs) /. 30.0
+      in
+      check_bool
+        (Printf.sprintf "incremental %.1f < rebuild %.1f" inc_mean rebuild_mean)
+        true (inc_mean < rebuild_mean)
+
+let test_deep_growth_stays_balanced () =
+  (* run far enough to convert several levels; diameter must stay logarithmic *)
+  let t = Incremental.start ~k:3 in
+  let _ = Incremental.joins t ~count:400 in
+  let g = Incremental.graph t in
+  check_int "n" 406 (Graph.n g);
+  match Graph_core.Paths.diameter g with
+  | Some d ->
+      check_bool (Printf.sprintf "diameter %d logarithmic" d) true
+        (d <= Verify.diameter_bound ~n:406 ~k:3)
+  | None -> Alcotest.fail "connected"
+
+
+let test_leave_inverts_join () =
+  let t = Incremental.start ~k:3 in
+  let snapshots = ref [] in
+  for _ = 1 to 25 do
+    snapshots := Graph.copy (Incremental.graph t) :: !snapshots;
+    ignore (Incremental.join t)
+  done;
+  (* unwind completely; every intermediate graph must match the forward
+     pass exactly (same vertex ids, same edges) *)
+  List.iter
+    (fun expected ->
+      match Incremental.leave t with
+      | Error e -> Alcotest.fail e
+      | Ok _ ->
+          check_bool "graph restored exactly" true (Graph.equal expected (Incremental.graph t)))
+    !snapshots;
+  check_int "back at base" 6 (Incremental.n t);
+  match Incremental.leave t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "base size must refuse leave"
+
+let test_leave_after_deep_growth () =
+  let t = Incremental.start ~k:4 in
+  let _ = Incremental.joins t ~count:200 in
+  let mark = Graph.copy (Incremental.graph t) in
+  let _ = Incremental.joins t ~count:57 in
+  for _ = 1 to 57 do
+    match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail e
+  done;
+  check_bool "deep unwind exact" true (Graph.equal mark (Incremental.graph t));
+  (* and the overlay is still fully functional going forward *)
+  let _ = Incremental.joins t ~count:10 in
+  check_bool "still an LHG" true
+    (Verify.is_lhg ~check_minimality:false (Incremental.graph t) ~k:4)
+
+let test_mixed_churn_stays_lhg () =
+  let t = Incremental.start ~k:3 in
+  let rngv = rng () in
+  for _ = 1 to 120 do
+    let joining = Incremental.n t <= 7 || Graph_core.Prng.bool rngv in
+    if joining then ignore (Incremental.join t)
+    else match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail e
+  done;
+  check_bool "churned overlay is an LHG" true
+    (Verify.is_lhg (Incremental.graph t) ~k:3)
+
+let suite =
+  [
+    Alcotest.test_case "start is base LHG" `Quick test_start_is_base_lhg;
+    Alcotest.test_case "k=2 rejected" `Quick test_k2_rejected;
+    Alcotest.test_case "every step is LHG (k=3)" `Slow test_every_step_is_lhg_k3;
+    Alcotest.test_case "every step connected (k=5)" `Slow test_every_step_connected_k5;
+    Alcotest.test_case "regular exactly at REG sizes" `Quick test_regular_exactly_at_reg_sizes;
+    Alcotest.test_case "join costs bounded" `Quick test_join_costs_bounded;
+    Alcotest.test_case "vertex ids stable" `Quick test_vertex_ids_stable;
+    Alcotest.test_case "total rewired" `Quick test_total_rewired_accumulates;
+    Alcotest.test_case "cheaper than rebuild" `Quick test_cheaper_than_rebuild_on_average;
+    Alcotest.test_case "deep growth balanced" `Quick test_deep_growth_stays_balanced;
+    Alcotest.test_case "leave inverts join" `Quick test_leave_inverts_join;
+    Alcotest.test_case "leave after deep growth" `Quick test_leave_after_deep_growth;
+    Alcotest.test_case "mixed churn stays LHG" `Quick test_mixed_churn_stays_lhg;
+  ]

@@ -1,0 +1,54 @@
+(* Aggregated test entry point: one Alcotest run, one suite per module. *)
+
+let () =
+  Alcotest.run "lhg"
+    [
+      ("prng", Test_prng.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("union_find", Test_union_find.suite);
+      ("graph", Test_graph.suite);
+      ("bfs", Test_bfs.suite);
+      ("components", Test_components.suite);
+      ("paths", Test_paths.suite);
+      ("maxflow", Test_maxflow.suite);
+      ("gomory_hu", Test_gomory_hu.suite);
+      ("spectral", Test_spectral.suite);
+      ("connectivity", Test_connectivity.suite);
+      ("menger", Test_menger.suite);
+      ("minimality", Test_minimality.suite);
+      ("degree", Test_degree.suite);
+      ("generators", Test_generators.suite);
+      ("dot", Test_dot.suite);
+      ("articulation", Test_articulation.suite);
+      ("serial", Test_serial.suite);
+      ("harary", Test_harary.suite);
+      ("shape", Test_shape.suite);
+      ("skeleton", Test_skeleton.suite);
+      ("realize", Test_realize.suite);
+      ("constraint", Test_constraint.suite);
+      ("existence", Test_existence.suite);
+      ("regularity", Test_regularity.suite);
+      ("build", Test_build.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("verify", Test_verify.suite);
+      ("route", Test_route.suite);
+      ("viz", Test_viz.suite);
+      ("overlay", Test_overlay.suite);
+      ("incremental", Test_incremental.suite);
+      ("topo", Test_topo.suite);
+      ("topo2", Test_topo2.suite);
+      ("sim", Test_sim.suite);
+      ("network", Test_network.suite);
+      ("trace", Test_trace.suite);
+      ("flooding", Test_flooding.suite);
+      ("gossip", Test_gossip.suite);
+      ("sync", Test_sync.suite);
+      ("runner", Test_runner.suite);
+      ("multi", Test_multi.suite);
+      ("reliability", Test_reliability.suite);
+      ("integration", Test_integration.suite);
+      ("api_coverage", Test_api_coverage.suite);
+      ("properties", Test_properties.suite);
+      ("reliable", Test_reliable.suite);
+      ("pif", Test_pif.suite);
+    ]

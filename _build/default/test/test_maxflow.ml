@@ -1,0 +1,127 @@
+open Helpers
+module Maxflow = Graph_core.Maxflow
+
+(* The classic 6-node example: max flow 23. *)
+let classic () =
+  let net = Maxflow.Net.create ~n:6 in
+  Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:16;
+  Maxflow.Net.add_arc net ~src:0 ~dst:2 ~cap:13;
+  Maxflow.Net.add_arc net ~src:1 ~dst:2 ~cap:10;
+  Maxflow.Net.add_arc net ~src:2 ~dst:1 ~cap:4;
+  Maxflow.Net.add_arc net ~src:1 ~dst:3 ~cap:12;
+  Maxflow.Net.add_arc net ~src:3 ~dst:2 ~cap:9;
+  Maxflow.Net.add_arc net ~src:2 ~dst:4 ~cap:14;
+  Maxflow.Net.add_arc net ~src:4 ~dst:3 ~cap:7;
+  Maxflow.Net.add_arc net ~src:3 ~dst:5 ~cap:20;
+  Maxflow.Net.add_arc net ~src:4 ~dst:5 ~cap:4;
+  net
+
+let test_classic () = check_int "CLRS flow" 23 (Maxflow.max_flow (classic ()) ~s:0 ~t:5)
+
+let test_single_arc () =
+  let net = Maxflow.Net.create ~n:2 in
+  Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:7;
+  check_int "single arc" 7 (Maxflow.max_flow net ~s:0 ~t:1)
+
+let test_no_path () =
+  let net = Maxflow.Net.create ~n:3 in
+  Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:5;
+  check_int "no path" 0 (Maxflow.max_flow net ~s:0 ~t:2)
+
+let test_bottleneck () =
+  let net = Maxflow.Net.create ~n:4 in
+  Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:100;
+  Maxflow.Net.add_arc net ~src:1 ~dst:2 ~cap:1;
+  Maxflow.Net.add_arc net ~src:2 ~dst:3 ~cap:100;
+  check_int "bottleneck" 1 (Maxflow.max_flow net ~s:0 ~t:3)
+
+let test_parallel_paths () =
+  let net = Maxflow.Net.create ~n:6 in
+  for mid = 1 to 4 do
+    Maxflow.Net.add_arc net ~src:0 ~dst:mid ~cap:1;
+    Maxflow.Net.add_arc net ~src:mid ~dst:5 ~cap:1
+  done;
+  check_int "four disjoint paths" 4 (Maxflow.max_flow net ~s:0 ~t:5)
+
+let test_limit_cuts_off () =
+  let net = classic () in
+  let f = Maxflow.max_flow ~limit:5 net ~s:0 ~t:5 in
+  check_bool "limited" true (f >= 5 && f <= 23);
+  check_bool "stops early" true (f < 23)
+
+let test_reset_flow () =
+  let net = classic () in
+  check_int "first run" 23 (Maxflow.max_flow net ~s:0 ~t:5);
+  check_int "saturated rerun" 0 (Maxflow.max_flow net ~s:0 ~t:5);
+  Maxflow.Net.reset_flow net;
+  check_int "after reset" 23 (Maxflow.max_flow net ~s:0 ~t:5)
+
+let test_bidir_edge () =
+  let net = Maxflow.Net.create ~n:2 in
+  Maxflow.Net.add_edge_bidir net 0 1 ~cap:3;
+  check_int "forward" 3 (Maxflow.max_flow net ~s:0 ~t:1);
+  Maxflow.Net.reset_flow net;
+  check_int "backward" 3 (Maxflow.max_flow net ~s:1 ~t:0)
+
+let test_invalid_args () =
+  let net = Maxflow.Net.create ~n:3 in
+  Alcotest.check_raises "s=t" (Invalid_argument "Maxflow.max_flow: s = t") (fun () ->
+      ignore (Maxflow.max_flow net ~s:1 ~t:1));
+  Alcotest.check_raises "negative cap" (Invalid_argument "Maxflow.Net.add_arc: negative capacity")
+    (fun () -> Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:(-1))
+
+let test_min_cut_side () =
+  let net = Maxflow.Net.create ~n:4 in
+  Maxflow.Net.add_arc net ~src:0 ~dst:1 ~cap:10;
+  Maxflow.Net.add_arc net ~src:1 ~dst:2 ~cap:1;
+  Maxflow.Net.add_arc net ~src:2 ~dst:3 ~cap:10;
+  ignore (Maxflow.max_flow net ~s:0 ~t:3);
+  let side = Maxflow.min_cut_side net ~s:0 in
+  Alcotest.(check (array bool)) "cut after bottleneck" [| true; true; false; false |] side
+
+let test_flow_conservation () =
+  let net = classic () in
+  let flow_value = Maxflow.max_flow net ~s:0 ~t:5 in
+  let balance = Array.make 6 0 in
+  Maxflow.iter_flow_arcs net (fun ~src ~dst ~flow ->
+      balance.(src) <- balance.(src) - flow;
+      balance.(dst) <- balance.(dst) + flow);
+  check_int "source emits flow" (-flow_value) balance.(0);
+  check_int "sink absorbs flow" flow_value balance.(5);
+  for v = 1 to 4 do
+    check_int "interior balanced" 0 balance.(v)
+  done
+
+let prop_flow_bounded_by_cut =
+  qcheck "flow <= any star cut" QCheck2.Gen.(int_bound 10_000) (fun seed ->
+      let rngv = Graph_core.Prng.create ~seed in
+      let n = 6 in
+      let net = Maxflow.Net.create ~n in
+      let out_cap = Array.make n 0 and in_cap = Array.make n 0 in
+      for _ = 1 to 12 do
+        let s = Graph_core.Prng.int rngv n and t = Graph_core.Prng.int rngv n in
+        if s <> t then begin
+          let cap = Graph_core.Prng.int rngv 10 in
+          Maxflow.Net.add_arc net ~src:s ~dst:t ~cap;
+          out_cap.(s) <- out_cap.(s) + cap;
+          in_cap.(t) <- in_cap.(t) + cap
+        end
+      done;
+      let f = Maxflow.max_flow net ~s:0 ~t:(n - 1) in
+      f <= out_cap.(0) && f <= in_cap.(n - 1))
+
+let suite =
+  [
+    Alcotest.test_case "classic network" `Quick test_classic;
+    Alcotest.test_case "single arc" `Quick test_single_arc;
+    Alcotest.test_case "no path" `Quick test_no_path;
+    Alcotest.test_case "bottleneck" `Quick test_bottleneck;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "limit cuts off" `Quick test_limit_cuts_off;
+    Alcotest.test_case "reset flow" `Quick test_reset_flow;
+    Alcotest.test_case "bidirectional edge" `Quick test_bidir_edge;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+    Alcotest.test_case "flow conservation" `Quick test_flow_conservation;
+    prop_flow_bounded_by_cut;
+  ]

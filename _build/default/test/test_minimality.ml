@@ -1,0 +1,52 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Minimality = Graph_core.Minimality
+module Generators = Graph_core.Generators
+
+let test_cycle_minimal_k2 () =
+  check_bool "C8 minimal at k=2" true (Minimality.is_link_minimal (Generators.cycle 8) ~k:2)
+
+let test_cycle_plus_chord_not_minimal () =
+  let g = Generators.cycle 8 in
+  Graph.add_edge g 0 4;
+  check_bool "chord breaks minimality" false (Minimality.is_link_minimal g ~k:2);
+  let bad = Minimality.non_critical_edges g ~k:2 in
+  check_bool "chord among non-critical" true (List.mem (0, 4) bad)
+
+let test_complete_minimal () =
+  (* K5 is 4-connected and removing any edge drops kappa(u,v) to 3 *)
+  check_bool "K5 minimal at k=4" true (Minimality.is_link_minimal (Generators.complete 5) ~k:4)
+
+let test_tree_minimal_k1 () =
+  check_bool "P6 minimal at k=1" true
+    (Minimality.is_link_minimal (Generators.path_graph 6) ~k:1)
+
+let test_petersen_minimal () =
+  check_bool "petersen minimal at k=3" true (Minimality.is_link_minimal (petersen ()) ~k:3)
+
+let test_edge_is_critical_specific () =
+  let g = Generators.cycle 8 in
+  Graph.add_edge g 0 4;
+  check_bool "cycle edge critical" true (Minimality.edge_is_critical g ~k:2 0 1);
+  check_bool "chord not critical" false (Minimality.edge_is_critical g ~k:2 0 4)
+
+let test_edge_absent_rejected () =
+  let g = Generators.cycle 5 in
+  Alcotest.check_raises "absent edge" (Invalid_argument "Minimality.edge_is_critical: edge absent")
+    (fun () -> ignore (Minimality.edge_is_critical g ~k:2 0 2))
+
+let test_non_critical_empty_on_minimal () =
+  Alcotest.(check (list (pair int int))) "no slack edges" []
+    (Minimality.non_critical_edges (Generators.cycle 6) ~k:2)
+
+let suite =
+  [
+    Alcotest.test_case "cycle minimal k=2" `Quick test_cycle_minimal_k2;
+    Alcotest.test_case "chord not minimal" `Quick test_cycle_plus_chord_not_minimal;
+    Alcotest.test_case "complete minimal" `Quick test_complete_minimal;
+    Alcotest.test_case "tree minimal k=1" `Quick test_tree_minimal_k1;
+    Alcotest.test_case "petersen minimal" `Quick test_petersen_minimal;
+    Alcotest.test_case "edge_is_critical" `Quick test_edge_is_critical_specific;
+    Alcotest.test_case "absent edge rejected" `Quick test_edge_absent_rejected;
+    Alcotest.test_case "non_critical empty" `Quick test_non_critical_empty_on_minimal;
+  ]

@@ -1,0 +1,182 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Generators = Graph_core.Generators
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+
+let make_net ?latency ?loss_rate () =
+  let sim = Sim.create () in
+  let g = Generators.cycle 5 in
+  let net = Network.create ~sim ~graph:g ?latency ?loss_rate () in
+  (sim, net)
+
+let test_basic_delivery () =
+  let sim, net = make_net () in
+  let received = ref [] in
+  Network.set_receiver net (fun ~dst ~src msg -> received := (dst, src, msg) :: !received);
+  Network.send net ~src:0 ~dst:1 "hello";
+  Sim.run sim;
+  Alcotest.(check (list (triple int int string))) "one delivery" [ (1, 0, "hello") ] !received
+
+let test_latency_applied () =
+  let sim, net = make_net ~latency:(Network.constant_latency 2.5) () in
+  let at = ref 0.0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> at := Sim.now sim);
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "arrival time" 2.5 !at
+
+let test_send_requires_edge () =
+  let _, net = make_net () in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Network.send: no such edge") (fun () ->
+      Network.send net ~src:0 ~dst:2 ())
+
+let test_crashed_source_rejected () =
+  let _, net = make_net () in
+  Network.crash net 0;
+  Alcotest.check_raises "crashed source" (Invalid_argument "Network.send: source is crashed")
+    (fun () -> Network.send net ~src:0 ~dst:1 ())
+
+let test_crashed_destination_drops () =
+  let sim, net = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.run sim;
+  check_int "nothing delivered" 0 !received;
+  let s = Network.stats net in
+  check_int "dropped_crash" 1 s.Network.dropped_crash;
+  check_int "sent" 1 s.Network.sent
+
+let test_crash_during_flight_drops () =
+  let sim, net = make_net ~latency:(Network.constant_latency 5.0) () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  Network.send net ~src:0 ~dst:1 ();
+  (* crash the destination while the message is in flight *)
+  Sim.schedule sim ~delay:1.0 (fun () -> Network.crash net 1);
+  Sim.run sim;
+  check_int "dropped mid-flight" 0 !received
+
+let test_failed_link_drops () =
+  let sim, net = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  Network.fail_link net 0 1;
+  check_bool "failed" true (Network.link_failed net 1 0);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:1 ~dst:0 ();
+  Sim.run sim;
+  check_int "both directions dead" 0 !received;
+  check_int "counted" 2 (Network.stats net).Network.dropped_link
+
+let test_fail_link_requires_edge () =
+  let _, net = make_net () in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Network.fail_link: no such edge") (fun () ->
+      Network.fail_link net 0 2)
+
+let test_loss_rate_statistical () =
+  let sim = Sim.create ~seed:7 () in
+  let g = Generators.complete 2 in
+  let net = Network.create ~sim ~graph:g ~loss_rate:0.3 () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  for _ = 1 to 2000 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run sim;
+  let frac = float_of_int !received /. 2000.0 in
+  check_bool "~70% delivered" true (frac > 0.62 && frac < 0.78);
+  let s = Network.stats net in
+  check_int "accounting adds up" 2000 (s.Network.delivered + s.Network.dropped_random)
+
+let test_alive_mask () =
+  let _, net = make_net () in
+  Network.crash net 3;
+  Alcotest.(check (array bool)) "mask" [| true; true; true; false; true |] (Network.alive_mask net)
+
+let test_invalid_loss_rate () =
+  let sim = Sim.create () in
+  let g = Generators.cycle 4 in
+  Alcotest.check_raises "bad rate" (Invalid_argument "Network.create: loss_rate outside [0,1)")
+    (fun () -> ignore (Network.create ~sim ~graph:g ~loss_rate:1.5 () : unit Network.t))
+
+let test_uniform_latency_bounds () =
+  let rngv = rng () in
+  let lat = Network.uniform_latency ~lo:1.0 ~hi:3.0 in
+  for _ = 1 to 200 do
+    let l = lat rngv ~src:0 ~dst:1 in
+    check_bool "in bounds" true (l >= 1.0 && l < 3.0)
+  done
+
+let test_exponential_latency_floor () =
+  let rngv = rng ~salt:1 () in
+  let lat = Network.exponential_latency ~mean:3.0 in
+  for _ = 1 to 200 do
+    check_bool "above floor" true (lat rngv ~src:0 ~dst:1 >= 1.0)
+  done
+
+
+let test_processing_delay_serializes () =
+  (* two messages arrive at node 1 at t=1; with delay 2 they are handled
+     at t=3 and t=5 *)
+  let sim = Sim.create () in
+  let g = Graph_core.Generators.complete 3 in
+  let net = Network.create ~sim ~graph:g ~processing_delay:2.0 () in
+  let times = ref [] in
+  Network.set_receiver net (fun ~dst ~src:_ () -> if dst = 1 then times := Sim.now sim :: !times);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:2 ~dst:1 ();
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "serialized handling" [ 3.0; 5.0 ] (List.rev !times)
+
+let test_processing_delay_zero_is_default () =
+  let sim = Sim.create () in
+  let g = Graph_core.Generators.complete 3 in
+  let net = Network.create ~sim ~graph:g () in
+  let times = ref [] in
+  Network.set_receiver net (fun ~dst ~src:_ () -> if dst = 1 then times := Sim.now sim :: !times);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:2 ~dst:1 ();
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "simultaneous" [ 1.0; 1.0 ] (List.rev !times)
+
+let test_processing_delay_negative_rejected () =
+  let sim = Sim.create () in
+  let g = Graph_core.Generators.cycle 4 in
+  Alcotest.check_raises "negative" (Invalid_argument "Network.create: negative processing_delay")
+    (fun () -> ignore (Network.create ~sim ~graph:g ~processing_delay:(-1.0) () : unit Network.t))
+
+let test_processing_delay_idle_resets () =
+  (* after the queue drains, a later message is handled promptly *)
+  let sim = Sim.create () in
+  let g = Graph_core.Generators.complete 2 in
+  let net = Network.create ~sim ~graph:g ~processing_delay:1.0 () in
+  let times = ref [] in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> times := Sim.now sim :: !times);
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.schedule sim ~delay:10.0 (fun () -> Network.send net ~src:0 ~dst:1 ());
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "no stale backlog" [ 2.0; 12.0 ] (List.rev !times)
+
+let suite =
+  [
+    Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+    Alcotest.test_case "latency applied" `Quick test_latency_applied;
+    Alcotest.test_case "send requires edge" `Quick test_send_requires_edge;
+    Alcotest.test_case "crashed source rejected" `Quick test_crashed_source_rejected;
+    Alcotest.test_case "crashed destination drops" `Quick test_crashed_destination_drops;
+    Alcotest.test_case "crash during flight" `Quick test_crash_during_flight_drops;
+    Alcotest.test_case "failed link drops" `Quick test_failed_link_drops;
+    Alcotest.test_case "fail_link requires edge" `Quick test_fail_link_requires_edge;
+    Alcotest.test_case "loss rate statistical" `Quick test_loss_rate_statistical;
+    Alcotest.test_case "alive mask" `Quick test_alive_mask;
+    Alcotest.test_case "invalid loss rate" `Quick test_invalid_loss_rate;
+    Alcotest.test_case "processing delay serializes" `Quick test_processing_delay_serializes;
+    Alcotest.test_case "processing delay default" `Quick test_processing_delay_zero_is_default;
+    Alcotest.test_case "processing delay negative" `Quick test_processing_delay_negative_rejected;
+    Alcotest.test_case "processing delay idle resets" `Quick test_processing_delay_idle_resets;
+    Alcotest.test_case "uniform latency bounds" `Quick test_uniform_latency_bounds;
+    Alcotest.test_case "exponential latency floor" `Quick test_exponential_latency_floor;
+  ]

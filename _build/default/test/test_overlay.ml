@@ -1,0 +1,166 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Diff = Overlay.Diff
+module Membership = Overlay.Membership
+module Churn = Overlay.Churn
+
+let test_diff_identical () =
+  let g = petersen () in
+  let d = Diff.edges ~old_graph:g ~new_graph:(Graph.copy g) in
+  check_int "no cost" 0 (Diff.cost d);
+  check_int "all kept" (Graph.m g) d.Diff.kept
+
+let test_diff_disjoint () =
+  let a = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let b = Graph.of_edges ~n:4 [ (0, 2); (1, 3) ] in
+  let d = Diff.edges ~old_graph:a ~new_graph:b in
+  Alcotest.(check (list (pair int int))) "added" [ (0, 2); (1, 3) ] d.Diff.added;
+  Alcotest.(check (list (pair int int))) "removed" [ (0, 1); (2, 3) ] d.Diff.removed;
+  check_int "kept" 0 d.Diff.kept;
+  check_int "cost" 4 (Diff.cost d)
+
+let test_diff_partial_overlap () =
+  let a = Graph.of_edges ~n:4 [ (0, 1); (1, 2) ] in
+  let b = Graph.of_edges ~n:5 [ (1, 2); (3, 4) ] in
+  let d = Diff.edges ~old_graph:a ~new_graph:b in
+  Alcotest.(check (list (pair int int))) "added" [ (3, 4) ] d.Diff.added;
+  Alcotest.(check (list (pair int int))) "removed" [ (0, 1) ] d.Diff.removed;
+  check_int "kept" 1 d.Diff.kept
+
+let test_membership_create () =
+  (match Membership.create ~family:Membership.Kdiamond ~k:3 ~n:10 with
+  | Ok o ->
+      check_int "n" 10 (Membership.n o);
+      check_int "k" 3 (Membership.k o);
+      check_bool "witness present" true (Membership.witness o <> None)
+  | Error e -> Alcotest.fail e);
+  match Membership.create ~family:Membership.Harary_classic ~k:3 ~n:10 with
+  | Ok o -> check_bool "no witness for harary" true (Membership.witness o = None)
+  | Error e -> Alcotest.fail e
+
+let test_membership_create_too_small () =
+  match Membership.create ~family:Membership.Ktree ~k:4 ~n:7 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "n < 2k must fail"
+
+let test_join_grows_and_stays_lhg () =
+  match Membership.create ~family:Membership.Kdiamond ~k:3 ~n:8 with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      for expected = 9 to 20 do
+        (match Membership.join o with
+        | Ok d -> check_bool "positive cost" true (Diff.cost d > 0)
+        | Error e -> Alcotest.fail e);
+        check_int "size" expected (Membership.n o);
+        check_bool "still k-connected" true
+          (Graph_core.Connectivity.is_k_vertex_connected (Membership.graph o) ~k:3)
+      done
+
+let test_leave_shrinks () =
+  match Membership.create ~family:Membership.Ktree ~k:3 ~n:12 with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (match Membership.leave o with
+      | Ok _ -> check_int "n" 11 (Membership.n o)
+      | Error e -> Alcotest.fail e);
+      (* shrink to the floor *)
+      for _ = 1 to 5 do
+        match Membership.leave o with Ok _ -> () | Error e -> Alcotest.fail e
+      done;
+      check_int "at floor" 6 (Membership.n o);
+      match Membership.leave o with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "below 2k must fail"
+
+let test_jd_join_hits_gap () =
+  match Membership.create ~family:Membership.Jd ~k:3 ~n:6 with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      (* n=7 is a JD gap: join must fail and leave the overlay intact *)
+      match Membership.join o with
+      | Ok _ -> Alcotest.fail "JD has no (7,3) graph"
+      | Error _ ->
+          check_int "unchanged" 6 (Membership.n o);
+          check_int "graph intact" 9 (Graph.m (Membership.graph o)))
+
+let test_added_leaf_join_is_cheap () =
+  (* (8,3) -> (9,3) under K-TREE is one added leaf: exactly k new edges,
+     nothing removed *)
+  match Membership.create ~family:Membership.Ktree ~k:3 ~n:8 with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match Membership.join o with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+          check_int "k edges added" 3 (List.length d.Diff.added);
+          check_int "none removed" 0 (List.length d.Diff.removed))
+
+let test_resize_jump () =
+  match Membership.create ~family:Membership.Kdiamond ~k:4 ~n:8 with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match Membership.resize o ~target:40 with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+          check_int "n" 40 (Membership.n o);
+          check_bool "big diff" true (Diff.cost d > 30))
+
+let test_churn_runs () =
+  let rngv = rng () in
+  match Churn.run rngv ~family:Membership.Kdiamond ~k:3 ~n0:12 ~steps:60 () with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_int "all ops served" 60 (s.Churn.ops + s.Churn.skipped);
+      check_int "no skips for kdiamond" 0 s.Churn.skipped;
+      check_bool "mean cost positive" true (s.Churn.mean_cost > 0.0);
+      check_bool "final size sane" true (s.Churn.final_n >= 6)
+
+let test_churn_jd_skips () =
+  let rngv = rng ~salt:1 () in
+  match Churn.run rngv ~family:Membership.Jd ~k:3 ~n0:10 ~steps:60 () with
+  | Error e -> Alcotest.fail e
+  | Ok s -> check_bool "JD skips churn events" true (s.Churn.skipped > 0)
+
+let test_churn_harary () =
+  let rngv = rng ~salt:2 () in
+  match Churn.run rngv ~family:Membership.Harary_classic ~k:4 ~n0:20 ~steps:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_int "harary serves everything" 0 s.Churn.skipped;
+      check_bool "cost positive" true (s.Churn.mean_cost > 0.0)
+
+let test_family_names () =
+  Alcotest.(check string) "kdiamond" "kdiamond" (Membership.family_name Membership.Kdiamond);
+  Alcotest.(check string) "harary" "harary" (Membership.family_name Membership.Harary_classic)
+
+let prop_join_preserves_lhg_properties =
+  qcheck ~count:25 "joins preserve k-connectivity across families"
+    QCheck2.Gen.(pair (int_range 3 5) (int_bound 10))
+    (fun (k, extra) ->
+      match Membership.create ~family:Membership.Ktree ~k ~n:((2 * k) + extra) with
+      | Error _ -> false
+      | Ok o -> (
+          match Membership.join o with
+          | Error _ -> false
+          | Ok _ ->
+              Graph_core.Connectivity.is_k_vertex_connected (Membership.graph o) ~k
+              && Graph_core.Connectivity.is_k_edge_connected (Membership.graph o) ~k))
+
+let suite =
+  [
+    Alcotest.test_case "diff identical" `Quick test_diff_identical;
+    Alcotest.test_case "diff disjoint" `Quick test_diff_disjoint;
+    Alcotest.test_case "diff partial overlap" `Quick test_diff_partial_overlap;
+    Alcotest.test_case "membership create" `Quick test_membership_create;
+    Alcotest.test_case "create too small" `Quick test_membership_create_too_small;
+    Alcotest.test_case "join grows, stays LHG" `Quick test_join_grows_and_stays_lhg;
+    Alcotest.test_case "leave shrinks" `Quick test_leave_shrinks;
+    Alcotest.test_case "jd join hits gap" `Quick test_jd_join_hits_gap;
+    Alcotest.test_case "added-leaf join is cheap" `Quick test_added_leaf_join_is_cheap;
+    Alcotest.test_case "resize jump" `Quick test_resize_jump;
+    Alcotest.test_case "churn runs" `Quick test_churn_runs;
+    Alcotest.test_case "churn jd skips" `Quick test_churn_jd_skips;
+    Alcotest.test_case "churn harary" `Quick test_churn_harary;
+    Alcotest.test_case "family names" `Quick test_family_names;
+    prop_join_preserves_lhg_properties;
+  ]

@@ -1,0 +1,92 @@
+open Helpers
+module Pqueue = Graph_core.Pqueue
+module Prng = Graph_core.Prng
+
+let test_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  check_bool "is_empty" true (Pqueue.is_empty q);
+  check_int "length" 0 (Pqueue.length q);
+  Alcotest.(check (option int)) "pop" None (Pqueue.pop q);
+  Alcotest.(check (option int)) "peek" None (Pqueue.peek q)
+
+let test_pop_exn_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Pqueue.pop_exn: empty") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_ordering () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 5; 3; 8; 1; 9; 2 ];
+  let order = List.init 6 (fun _ -> Pqueue.pop_exn q) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 5; 8; 9 ] order
+
+let test_duplicates () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 4; 4; 4; 1; 1 ];
+  let order = List.init 5 (fun _ -> Pqueue.pop_exn q) in
+  Alcotest.(check (list int)) "duplicates preserved" [ 1; 1; 4; 4; 4 ] order
+
+let test_peek_does_not_remove () =
+  let q = Pqueue.create ~cmp:compare in
+  Pqueue.push q 3;
+  Alcotest.(check (option int)) "peek" (Some 3) (Pqueue.peek q);
+  check_int "still there" 1 (Pqueue.length q)
+
+let test_clear () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 1; 2; 3 ];
+  Pqueue.clear q;
+  check_bool "cleared" true (Pqueue.is_empty q)
+
+let test_to_sorted_list_nondestructive () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Pqueue.to_sorted_list q);
+  check_int "unchanged" 3 (Pqueue.length q)
+
+let test_custom_comparator () =
+  let q = Pqueue.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Pqueue.push q) [ 5; 3; 8 ];
+  Alcotest.(check int) "max first" 8 (Pqueue.pop_exn q)
+
+let test_interleaved () =
+  let q = Pqueue.create ~cmp:compare in
+  Pqueue.push q 5;
+  Pqueue.push q 1;
+  check_int "pop min" 1 (Pqueue.pop_exn q);
+  Pqueue.push q 0;
+  Pqueue.push q 7;
+  check_int "pop new min" 0 (Pqueue.pop_exn q);
+  check_int "pop" 5 (Pqueue.pop_exn q);
+  check_int "pop" 7 (Pqueue.pop_exn q)
+
+let test_random_stress () =
+  let g = rng () in
+  let values = List.init 2000 (fun _ -> Prng.int g 1_000) in
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) values;
+  let drained = List.init 2000 (fun _ -> Pqueue.pop_exn q) in
+  Alcotest.(check (list int)) "matches sort" (List.sort compare values) drained
+
+let prop_heap_matches_sort =
+  qcheck "pqueue drain = List.sort"
+    QCheck2.Gen.(list_size (int_bound 200) int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (Pqueue.push q) xs;
+      Pqueue.to_sorted_list q = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "pop_exn on empty" `Quick test_pop_exn_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list_nondestructive;
+    Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    Alcotest.test_case "random stress" `Quick test_random_stress;
+    prop_heap_matches_sort;
+  ]

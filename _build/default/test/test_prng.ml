@@ -1,0 +1,148 @@
+open Helpers
+module Prng = Graph_core.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_int_range () =
+  let g = rng () in
+  for bound = 1 to 50 do
+    for _ = 1 to 20 do
+      let v = Prng.int g bound in
+      check_bool "in range" true (v >= 0 && v < bound)
+    done
+  done
+
+let test_int_bad_bound () =
+  let g = rng () in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_covers_values () =
+  let g = rng ~salt:1 () in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int g 4) <- true
+  done;
+  check_bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = rng ~salt:2 () in
+  for _ = 1 to 200 do
+    let v = Prng.float g 3.0 in
+    check_bool "in [0,3)" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_copy_independent () =
+  let a = rng ~salt:3 () in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies agree" (Prng.bits64 a) (Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  (* advancing [a] must not advance [b]: replay b and compare histories *)
+  let a' = rng ~salt:3 () in
+  ignore (Prng.bits64 a');
+  let b' = Prng.copy a' in
+  ignore (Prng.bits64 b');
+  Alcotest.(check int64) "b unaffected by a" (Prng.bits64 b) (Prng.bits64 b')
+
+let test_split_streams_differ () =
+  let a = rng ~salt:4 () in
+  let b = Prng.split a in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  check_bool "split streams differ" true !differs
+
+let test_exponential_positive () =
+  let g = rng ~salt:5 () in
+  for _ = 1 to 100 do
+    check_bool "positive" true (Prng.exponential g ~mean:2.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let g = rng ~salt:6 () in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential g ~mean:2.0
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "empirical mean near 2" true (abs_float (mean -. 2.0) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let g = rng ~salt:7 () in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation_valid () =
+  let g = rng ~salt:8 () in
+  let p = Prng.permutation g 30 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation of 0..29" (Array.init 30 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let g = rng ~salt:9 () in
+  List.iter
+    (fun (k, n) ->
+      let s = Prng.sample_without_replacement g ~k ~n in
+      check_int "size" k (List.length s);
+      check_int "distinct" k (List.length (List.sort_uniq compare s));
+      List.iter (fun v -> check_bool "in range" true (v >= 0 && v < n)) s)
+    [ (0, 10); (1, 1); (5, 10); (10, 10); (3, 1000); (999, 1000) ]
+
+let test_sample_bad_args () =
+  let g = rng ~salt:10 () in
+  Alcotest.check_raises "k > n" (Invalid_argument "Prng.sample_without_replacement") (fun () ->
+      ignore (Prng.sample_without_replacement g ~k:5 ~n:4))
+
+let test_pick () =
+  let g = rng ~salt:11 () in
+  for _ = 1 to 50 do
+    let v = Prng.pick g [| 7; 8; 9 |] in
+    check_bool "element of array" true (List.mem v [ 7; 8; 9 ])
+  done
+
+let test_bool_balanced () =
+  let g = rng ~salt:12 () in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool g then incr trues
+  done;
+  check_bool "roughly fair" true (!trues > 4_500 && !trues < 5_500)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split streams differ" `Quick test_split_streams_differ;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "permutation valid" `Quick test_permutation_valid;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample bad args" `Quick test_sample_bad_args;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "bool balanced" `Slow test_bool_balanced;
+  ]

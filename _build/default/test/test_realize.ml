@@ -1,0 +1,91 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Shape = Lhg_core.Shape
+module Skeleton = Lhg_core.Skeleton
+module Realize = Lhg_core.Realize
+
+let test_base_realization_is_k33_like () =
+  (* k=3 base: 3 root copies, 3 shared leaves, every root adjacent to
+     every leaf: the complete bipartite K(3,3). *)
+  let g, layout = Realize.realize (Shape.base ~k:3) in
+  check_int "n" 6 (Graph.n g);
+  check_int "m" 9 (Graph.m g);
+  check_int "copies" 3 layout.Realize.copies;
+  for copy = 0 to 2 do
+    for leaf = 1 to 3 do
+      let r = Realize.vertex_of layout ~node:0 ~copy in
+      let l = Realize.vertex_of layout ~node:leaf ~copy:0 in
+      check_bool "root-leaf edge" true (Graph.has_edge g r l)
+    done
+  done
+
+let test_vertex_count_matches_shape () =
+  let s = Skeleton.make ~k:4 ~alpha:3 in
+  Shape.add_added_leaf s ~parent:(Lhg_core.Skeleton.last_above_leaf s);
+  let g, _ = Realize.realize s in
+  check_int "counts agree" (Shape.vertex_count s) (Graph.n g)
+
+let test_shared_leaf_degree () =
+  let g, layout = Realize.realize (Shape.base ~k:5) in
+  let leaf_vertex = Realize.vertex_of layout ~node:1 ~copy:0 in
+  check_int "shared leaf sees k parents" 5 (Graph.degree g leaf_vertex)
+
+let test_unshared_leaf_clique () =
+  let s = Shape.base ~k:3 in
+  Shape.mark_unshared s 1;
+  let g, layout = Realize.realize s in
+  check_int "n = 3 roots + 3 clique + 2 shared" 8 (Graph.n g);
+  let m0 = Realize.vertex_of layout ~node:1 ~copy:0 in
+  let m1 = Realize.vertex_of layout ~node:1 ~copy:1 in
+  let m2 = Realize.vertex_of layout ~node:1 ~copy:2 in
+  check_bool "clique 01" true (Graph.has_edge g m0 m1);
+  check_bool "clique 02" true (Graph.has_edge g m0 m2);
+  check_bool "clique 12" true (Graph.has_edge g m1 m2);
+  (* each member connects to exactly one tree copy *)
+  check_int "member degree k" 3 (Graph.degree g m0);
+  let r0 = Realize.vertex_of layout ~node:0 ~copy:0 in
+  let r1 = Realize.vertex_of layout ~node:0 ~copy:1 in
+  check_bool "member 0 to root copy 0" true (Graph.has_edge g m0 r0);
+  check_bool "member 0 not to root copy 1" false (Graph.has_edge g m0 r1)
+
+let test_copies_are_disjoint_trees () =
+  let s = Skeleton.make ~k:3 ~alpha:1 in
+  let g, layout = Realize.realize s in
+  (* internal node copies in different tree copies are never adjacent *)
+  let i0 = Realize.vertex_of layout ~node:1 ~copy:0 in
+  let i1 = Realize.vertex_of layout ~node:1 ~copy:1 in
+  check_bool "no cross-copy edge" false (Graph.has_edge g i0 i1);
+  let r0 = Realize.vertex_of layout ~node:0 ~copy:0 in
+  check_bool "copy-0 root to copy-0 internal" true (Graph.has_edge g r0 i0);
+  check_bool "copy-0 root not to copy-1 internal" false (Graph.has_edge g r0 i1)
+
+let test_inverse_lookup () =
+  let s = Skeleton.make ~k:4 ~alpha:2 in
+  Shape.mark_unshared s (List.hd (List.rev (Shape.leaves s)));
+  let g, layout = Realize.realize s in
+  for v = 0 to Graph.n g - 1 do
+    let node, copy = Realize.shape_node_of_vertex layout ~n_vertices:(Graph.n g) v in
+    check_int "roundtrip" v (Realize.vertex_of layout ~node ~copy)
+  done
+
+let test_degrees_all_k_when_no_added () =
+  (* pure skeleton realisations are k-regular *)
+  List.iter
+    (fun (k, alpha) ->
+      let g, _ = Realize.realize (Skeleton.make ~k ~alpha) in
+      check_bool
+        (Printf.sprintf "k=%d alpha=%d regular" k alpha)
+        true
+        (Graph_core.Degree.is_k_regular g ~k))
+    [ (2, 0); (3, 0); (3, 3); (4, 5); (5, 2); (6, 7) ]
+
+let suite =
+  [
+    Alcotest.test_case "base is K(3,3)" `Quick test_base_realization_is_k33_like;
+    Alcotest.test_case "vertex count matches" `Quick test_vertex_count_matches_shape;
+    Alcotest.test_case "shared leaf degree" `Quick test_shared_leaf_degree;
+    Alcotest.test_case "unshared leaf clique" `Quick test_unshared_leaf_clique;
+    Alcotest.test_case "copies disjoint" `Quick test_copies_are_disjoint_trees;
+    Alcotest.test_case "inverse lookup" `Quick test_inverse_lookup;
+    Alcotest.test_case "skeletons are regular" `Quick test_degrees_all_k_when_no_added;
+  ]

@@ -1,0 +1,106 @@
+open Helpers
+module Regularity = Lhg_core.Regularity
+module Build = Lhg_core.Build
+module Degree = Graph_core.Degree
+
+let test_reg_ktree_formula () =
+  (* k=3: regular sizes are 6, 10, 14, 18, ... *)
+  List.iter
+    (fun (n, expected) -> check_bool (Printf.sprintf "n=%d" n) expected (Regularity.reg_ktree ~n ~k:3))
+    [ (5, false); (6, true); (7, false); (8, false); (9, false); (10, true); (11, false);
+      (14, true); (16, false); (18, true) ]
+
+let test_reg_kdiamond_formula () =
+  (* k=3: regular sizes are 6, 8, 10, 12, ... every even n >= 6 *)
+  List.iter
+    (fun (n, expected) ->
+      check_bool (Printf.sprintf "n=%d" n) expected (Regularity.reg_kdiamond ~n ~k:3))
+    [ (5, false); (6, true); (7, false); (8, true); (9, false); (10, true); (12, true); (13, false) ]
+
+let test_corollary2_implication () =
+  for k = 2 to 8 do
+    for n = 1 to (2 * k) + 60 do
+      if Regularity.reg_ktree ~n ~k then
+        check_bool (Printf.sprintf "n=%d k=%d" n k) true (Regularity.reg_kdiamond ~n ~k)
+    done
+  done
+
+let test_theorem7_infinite_gap () =
+  (* odd alpha values are K-DIAMOND-only *)
+  for k = 3 to 7 do
+    for alpha = 1 to 15 do
+      if alpha mod 2 = 1 then begin
+        let n = (2 * k) + (alpha * (k - 1)) in
+        check_bool (Printf.sprintf "kdiamond-only n=%d k=%d" n k) true
+          (Regularity.kdiamond_only ~n ~k)
+      end
+    done
+  done
+
+let test_built_graphs_regular_iff_formula () =
+  for k = 3 to 5 do
+    for n = 2 * k to (2 * k) + 40 do
+      (match Build.ktree ~n ~k with
+      | Ok b ->
+          check_bool
+            (Printf.sprintf "ktree n=%d k=%d regular iff formula" n k)
+            (Regularity.reg_ktree ~n ~k)
+            (Degree.is_k_regular b.Build.graph ~k)
+      | Error _ -> Alcotest.fail "ktree must build");
+      match Build.kdiamond ~n ~k with
+      | Ok b ->
+          check_bool
+            (Printf.sprintf "kdiamond n=%d k=%d regular iff formula" n k)
+            (Regularity.reg_kdiamond ~n ~k)
+            (Degree.is_k_regular b.Build.graph ~k)
+      | Error _ -> Alcotest.fail "kdiamond must build"
+    done
+  done
+
+let test_regular_sizes_listing () =
+  Alcotest.(check (list int)) "ktree k=3 up to 20" [ 6; 10; 14; 18 ]
+    (Regularity.regular_sizes_ktree ~k:3 ~max_n:20);
+  Alcotest.(check (list int)) "kdiamond k=3 up to 16" [ 6; 8; 10; 12; 14; 16 ]
+    (Regularity.regular_sizes_kdiamond ~k:3 ~max_n:16);
+  Alcotest.(check (list int)) "ktree k=4 up to 30" [ 8; 14; 20; 26 ]
+    (Regularity.regular_sizes_ktree ~k:4 ~max_n:30);
+  Alcotest.(check (list int)) "empty below 2k" [] (Regularity.regular_sizes_ktree ~k:5 ~max_n:9)
+
+let test_regular_graph_is_minimum_edges () =
+  (* a k-regular k-connected graph has exactly ceil(kn/2) edges - the
+     absolute minimum; check the k-regular builds hit it *)
+  List.iter
+    (fun (n, k) ->
+      match Build.kdiamond ~n ~k with
+      | Ok b ->
+          check_int
+            (Printf.sprintf "minimum edges n=%d k=%d" n k)
+            (((k * n) + 1) / 2)
+            (Graph_core.Graph.m b.Build.graph)
+      | Error _ -> Alcotest.fail "must build")
+    [ (8, 3); (10, 3); (14, 4); (20, 4); (14, 5) ]
+
+let prop_reg_kdiamond_exactly_doubles_ktree_density =
+  qcheck ~count:200 "REG sets: ktree step 2(k-1), kdiamond step (k-1)"
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 300))
+    (fun (k, extra) ->
+      let n = (2 * k) + extra in
+      let kt = Regularity.reg_ktree ~n ~k in
+      let kd = Regularity.reg_kdiamond ~n ~k in
+      let expected_kt = extra mod (2 * (k - 1)) = 0 in
+      let expected_kd = extra mod (k - 1) = 0 in
+      kt = expected_kt && kd = expected_kd)
+
+let suite =
+  [
+    Alcotest.test_case "REG_KTREE formula" `Quick test_reg_ktree_formula;
+    Alcotest.test_case "REG_KDIAMOND formula" `Quick test_reg_kdiamond_formula;
+    Alcotest.test_case "corollary 2" `Quick test_corollary2_implication;
+    Alcotest.test_case "theorem 7 gap" `Quick test_theorem7_infinite_gap;
+    Alcotest.test_case "built graphs regular iff formula" `Quick
+      test_built_graphs_regular_iff_formula;
+    Alcotest.test_case "regular sizes listing" `Quick test_regular_sizes_listing;
+    Alcotest.test_case "regular builds hit minimum edges" `Quick
+      test_regular_graph_is_minimum_edges;
+    prop_reg_kdiamond_exactly_doubles_ktree_density;
+  ]

@@ -1,0 +1,174 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Build = Lhg_core.Build
+module Route = Lhg_core.Route
+module Prng = Graph_core.Prng
+
+let check_valid_path g path ~src ~dst =
+  (match path with
+  | first :: _ -> check_int "starts at src" src first
+  | [] -> Alcotest.fail "empty path");
+  check_int "ends at dst" dst (List.nth path (List.length path - 1));
+  check_int "simple path" (List.length path) (List.length (List.sort_uniq compare path));
+  let rec edges_ok = function
+    | u :: (v :: _ as rest) ->
+        check_bool (Printf.sprintf "edge %d-%d exists" u v) true (Graph.has_edge g u v);
+        edges_ok rest
+    | [ _ ] | [] -> ()
+  in
+  edges_ok path
+
+let test_all_pairs_all_copies_small () =
+  let b = Build.kdiamond_exn ~n:14 ~k:3 in
+  let g = b.Build.graph in
+  let bound = Route.max_route_length b in
+  for src = 0 to Graph.n g - 1 do
+    for dst = 0 to Graph.n g - 1 do
+      if src <> dst then
+        for copy = 0 to 2 do
+          let p = Route.via_copy b ~src ~dst ~copy in
+          check_valid_path g p ~src ~dst;
+          check_bool "length bounded" true (List.length p <= bound)
+        done
+    done
+  done
+
+let test_all_pairs_ktree () =
+  let b = Build.ktree_exn ~n:18 ~k:3 in
+  let g = b.Build.graph in
+  for src = 0 to Graph.n g - 1 do
+    for dst = src + 1 to Graph.n g - 1 do
+      List.iter (fun p -> check_valid_path g p ~src ~dst) (Route.all_routes b ~src ~dst)
+    done
+  done
+
+let test_jd_routes () =
+  let b = Build.jd_exn ~n:20 ~k:4 () in
+  let g = b.Build.graph in
+  for copy = 0 to 3 do
+    let p = Route.via_copy b ~src:0 ~dst:(Graph.n g - 1) ~copy in
+    check_valid_path g p ~src:0 ~dst:(Graph.n g - 1)
+  done
+
+let test_self_route () =
+  let b = Build.kdiamond_exn ~n:10 ~k:3 in
+  Alcotest.(check (list int)) "trivial" [ 4 ] (Route.via_copy b ~src:4 ~dst:4 ~copy:0)
+
+let test_bad_args () =
+  let b = Build.kdiamond_exn ~n:10 ~k:3 in
+  Alcotest.check_raises "copy range" (Invalid_argument "Route.via_copy: copy out of range")
+    (fun () -> ignore (Route.via_copy b ~src:0 ~dst:1 ~copy:3));
+  Alcotest.check_raises "vertex range" (Invalid_argument "Route.via_copy: vertex out of range")
+    (fun () -> ignore (Route.via_copy b ~src:0 ~dst:99 ~copy:0))
+
+let test_route_length_logarithmic () =
+  (* route length stays O(log n) as n grows *)
+  List.iter
+    (fun n ->
+      let b = Build.kdiamond_exn ~n ~k:4 in
+      let bound = Route.max_route_length b in
+      check_bool
+        (Printf.sprintf "bound small at n=%d (got %d)" n bound)
+        true
+        (bound <= (8 * int_of_float (log (float_of_int n) /. log 3.0)) + 14);
+      let p = Route.via_copy b ~src:0 ~dst:(n - 1) ~copy:1 in
+      check_bool "actual route within bound" true (List.length p <= bound))
+    [ 20; 100; 500; 2000 ]
+
+let test_route_avoids_failures () =
+  let b = Build.kdiamond_exn ~n:38 ~k:4 in
+  let g = b.Build.graph in
+  let n = Graph.n g in
+  let rngv = rng () in
+  for trial = 1 to 40 do
+    ignore trial;
+    let avoid = Array.make n false in
+    (* fail k-1 = 3 vertices, never the endpoints *)
+    let src = Prng.int rngv n in
+    let dst = (src + 1 + Prng.int rngv (n - 1)) mod n in
+    let rec crash count =
+      if count > 0 then begin
+        let v = Prng.int rngv n in
+        if v <> src && v <> dst && not avoid.(v) then begin
+          avoid.(v) <- true;
+          crash (count - 1)
+        end
+        else crash count
+      end
+    in
+    crash 3;
+    match Route.route ~avoid b ~src ~dst with
+    | None -> Alcotest.fail "k-1 failures cannot disconnect an LHG"
+    | Some p ->
+        check_valid_path g p ~src ~dst;
+        List.iter (fun v -> check_bool "avoids failed" false avoid.(v)) p
+  done
+
+let test_route_none_when_isolated () =
+  let b = Build.kdiamond_exn ~n:14 ~k:3 in
+  let g = b.Build.graph in
+  (* isolate vertex dst by failing its whole neighbourhood *)
+  let dst = Graph.n g - 1 in
+  let avoid = Array.make (Graph.n g) false in
+  List.iter (fun v -> avoid.(v) <- true) (Graph.neighbors g dst);
+  check_bool "unroutable" true (Route.route ~avoid b ~src:0 ~dst = None)
+
+
+let test_routes_on_unshared_rich_builds () =
+  (* clique-heavy realisations stress the unshared-leaf entry logic *)
+  List.iter
+    (fun (n, k) ->
+      let b =
+        match Build.kdiamond_unshared_rich ~n ~k with
+        | Ok b -> b
+        | Error e -> Alcotest.fail (Build.error_to_string e)
+      in
+      let g = b.Build.graph in
+      for src = 0 to Graph.n g - 1 do
+        let dst = (src + (Graph.n g / 2)) mod Graph.n g in
+        if src <> dst then
+          List.iter (fun p -> check_valid_path g p ~src ~dst) (Route.all_routes b ~src ~dst)
+      done)
+    [ (13, 3); (17, 4); (26, 5) ]
+
+let test_height () =
+  let b = Build.kdiamond_exn ~n:6 ~k:3 in
+  check_int "base height" 1 (Route.height b);
+  let b = Build.ktree_exn ~n:10 ~k:3 in
+  check_int "one conversion" 2 (Route.height b)
+
+let prop_structured_routes_valid =
+  qcheck ~count:60 "structured routes valid on random builds"
+    QCheck2.Gen.(pair (int_range 3 6) (int_range 0 60))
+    (fun (k, extra) ->
+      let n = (2 * k) + extra in
+      let b = Build.kdiamond_exn ~n ~k in
+      let g = b.Build.graph in
+      let src = 0 and dst = n - 1 in
+      List.for_all
+        (fun p ->
+          List.hd p = src
+          && List.nth p (List.length p - 1) = dst
+          && List.length p <= Route.max_route_length b
+          &&
+          let rec ok = function
+            | u :: (v :: _ as rest) -> Graph.has_edge g u v && ok rest
+            | [ _ ] | [] -> true
+          in
+          ok p)
+        (Route.all_routes b ~src ~dst))
+
+let suite =
+  [
+    Alcotest.test_case "all pairs all copies (kdiamond)" `Quick test_all_pairs_all_copies_small;
+    Alcotest.test_case "all pairs (ktree)" `Quick test_all_pairs_ktree;
+    Alcotest.test_case "jd routes" `Quick test_jd_routes;
+    Alcotest.test_case "self route" `Quick test_self_route;
+    Alcotest.test_case "bad args" `Quick test_bad_args;
+    Alcotest.test_case "route length logarithmic" `Quick test_route_length_logarithmic;
+    Alcotest.test_case "route avoids failures" `Quick test_route_avoids_failures;
+    Alcotest.test_case "route none when isolated" `Quick test_route_none_when_isolated;
+    Alcotest.test_case "routes on unshared-rich" `Quick test_routes_on_unshared_rich_builds;
+    Alcotest.test_case "height" `Quick test_height;
+    prop_structured_routes_valid;
+  ]

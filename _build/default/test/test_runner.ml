@@ -1,0 +1,80 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Generators = Graph_core.Generators
+module Runner = Flood.Runner
+
+let test_random_crashes_avoid_source () =
+  let rngv = rng () in
+  for _ = 1 to 50 do
+    let cs = Runner.random_crashes rngv ~n:20 ~count:5 ~avoid:7 in
+    check_int "count" 5 (List.length cs);
+    check_int "distinct" 5 (List.length (List.sort_uniq compare cs));
+    check_bool "avoids source" false (List.mem 7 cs);
+    List.iter (fun v -> check_bool "range" true (v >= 0 && v < 20)) cs
+  done
+
+let test_random_crashes_bad_count () =
+  let rngv = rng ~salt:1 () in
+  Alcotest.check_raises "too many" (Invalid_argument "Runner.random_crashes: bad count")
+    (fun () -> ignore (Runner.random_crashes rngv ~n:5 ~count:5 ~avoid:0))
+
+let test_random_link_failures_are_edges () =
+  let rngv = rng ~salt:2 () in
+  let g = petersen () in
+  let fs = Runner.random_link_failures rngv g ~count:4 in
+  check_int "count" 4 (List.length fs);
+  List.iter (fun (u, v) -> check_bool "is edge" true (Graph.has_edge g u v)) fs
+
+let test_flood_trials_no_failures_full_coverage () =
+  let g = Generators.complete 10 in
+  let a = Runner.flood_trials ~graph:g ~source:0 ~crash_count:0 ~trials:5 ~seed:1 () in
+  Alcotest.(check (float 1e-9)) "mean coverage" 1.0 a.Runner.mean_coverage;
+  Alcotest.(check (float 1e-9)) "all covered" 1.0 a.Runner.all_covered_fraction;
+  check_int "trials" 5 a.Runner.trials
+
+let test_flood_trials_k_minus_1_on_lhg () =
+  let b = Lhg_core.Build.ktree_exn ~n:26 ~k:4 in
+  let a =
+    Runner.flood_trials ~graph:b.Lhg_core.Build.graph ~source:0 ~crash_count:3 ~trials:20 ~seed:2 ()
+  in
+  Alcotest.(check (float 1e-9)) "guaranteed delivery" 1.0 a.Runner.all_covered_fraction
+
+let test_flood_trials_beyond_k_can_fail () =
+  (* a ring (k=2) with many crashes will partition in some trial *)
+  let g = Generators.cycle 30 in
+  let a = Runner.flood_trials ~graph:g ~source:0 ~crash_count:6 ~trials:30 ~seed:3 () in
+  check_bool "some trial partitions" true (a.Runner.all_covered_fraction < 1.0);
+  check_bool "coverage sane" true (a.Runner.mean_coverage > 0.2 && a.Runner.mean_coverage <= 1.0)
+
+let test_flood_trials_with_link_failures () =
+  let b = Lhg_core.Build.kdiamond_exn ~n:20 ~k:4 in
+  let a =
+    Runner.flood_trials ~link_failures:3 ~graph:b.Lhg_core.Build.graph ~source:0 ~crash_count:0
+      ~trials:15 ~seed:4 ()
+  in
+  Alcotest.(check (float 1e-9)) "k-1 link failures harmless" 1.0 a.Runner.all_covered_fraction
+
+let test_gossip_trials_aggregate () =
+  let g = Generators.complete 12 in
+  let a = Runner.gossip_trials ~graph:g ~source:0 ~fanout:11 ~crash_count:0 ~trials:5 ~seed:5 () in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 a.Runner.mean_coverage;
+  check_bool "messages counted" true (a.Runner.mean_messages > 0.0)
+
+let test_min_coverage_le_mean () =
+  let g = Generators.cycle 25 in
+  let a = Runner.flood_trials ~graph:g ~source:0 ~crash_count:4 ~trials:25 ~seed:6 () in
+  check_bool "min <= mean" true (a.Runner.min_coverage <= a.Runner.mean_coverage +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "random crashes" `Quick test_random_crashes_avoid_source;
+    Alcotest.test_case "random crashes bad count" `Quick test_random_crashes_bad_count;
+    Alcotest.test_case "random link failures" `Quick test_random_link_failures_are_edges;
+    Alcotest.test_case "flood trials full coverage" `Quick
+      test_flood_trials_no_failures_full_coverage;
+    Alcotest.test_case "flood trials k-1 guarantee" `Slow test_flood_trials_k_minus_1_on_lhg;
+    Alcotest.test_case "flood trials beyond k" `Quick test_flood_trials_beyond_k_can_fail;
+    Alcotest.test_case "flood trials link failures" `Quick test_flood_trials_with_link_failures;
+    Alcotest.test_case "gossip trials" `Quick test_gossip_trials_aggregate;
+    Alcotest.test_case "min <= mean" `Quick test_min_coverage_le_mean;
+  ]

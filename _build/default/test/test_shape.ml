@@ -1,0 +1,151 @@
+open Helpers
+module Shape = Lhg_core.Shape
+
+let test_base () =
+  let s = Shape.base ~k:3 in
+  check_int "size" 4 (Shape.size s);
+  check_bool "root kind" true (Shape.kind s 0 = Shape.Root);
+  Alcotest.(check (list int)) "root children" [ 1; 2; 3 ] (Shape.children s 0);
+  check_int "root depth" 0 (Shape.depth s 0);
+  check_int "leaf depth" 1 (Shape.depth s 1);
+  check_int "root parent" (-1) (Shape.parent s 0);
+  check_int "vertex count" 6 (Shape.vertex_count s)
+
+let test_base_k_too_small () =
+  Alcotest.check_raises "k=1" (Invalid_argument "Shape.base: k must be >= 2") (fun () ->
+      ignore (Shape.base ~k:1))
+
+let test_convert_leaf () =
+  let s = Shape.base ~k:3 in
+  Shape.convert_leaf s 1;
+  check_bool "now internal" true (Shape.kind s 1 = Shape.Internal);
+  check_int "two new leaves" 6 (Shape.size s);
+  Alcotest.(check (list int)) "children of converted" [ 4; 5 ] (Shape.children s 1);
+  check_int "new leaf depth" 2 (Shape.depth s 4);
+  check_int "vertex count 6+4" 10 (Shape.vertex_count s)
+
+let test_convert_non_leaf_rejected () =
+  let s = Shape.base ~k:3 in
+  Alcotest.check_raises "root" (Invalid_argument "Shape.convert_leaf: not a convertible leaf")
+    (fun () -> Shape.convert_leaf s 0)
+
+let test_convert_added_leaf_rejected () =
+  let s = Shape.base ~k:3 in
+  Shape.add_added_leaf s ~parent:0;
+  let added = Shape.size s - 1 in
+  Alcotest.check_raises "added leaf"
+    (Invalid_argument "Shape.convert_leaf: not a convertible leaf") (fun () ->
+      Shape.convert_leaf s added)
+
+let test_add_added_leaf () =
+  let s = Shape.base ~k:3 in
+  Shape.add_added_leaf s ~parent:0;
+  check_int "size" 5 (Shape.size s);
+  check_bool "kind" true (Shape.kind s 4 = Shape.Added_leaf);
+  Alcotest.(check (list int)) "regular children unchanged" [ 1; 2; 3 ]
+    (Shape.regular_children s 0);
+  Alcotest.(check (list int)) "added children" [ 4 ] (Shape.added_children s 0);
+  check_int "vertex count 6+1" 7 (Shape.vertex_count s)
+
+let test_add_added_leaf_deep_rejected () =
+  let s = Shape.base ~k:3 in
+  Shape.convert_leaf s 1;
+  Shape.convert_leaf s 2;
+  Shape.convert_leaf s 3;
+  (* root's children are all internal now: not just above the leaves *)
+  Alcotest.check_raises "not above leaves"
+    (Invalid_argument "Shape.add_added_leaf: parent is not just above the leaves") (fun () ->
+      Shape.add_added_leaf s ~parent:0)
+
+let test_add_added_leaf_on_leaf_rejected () =
+  let s = Shape.base ~k:3 in
+  Alcotest.check_raises "leaf parent" (Invalid_argument "Shape.add_added_leaf: parent is a leaf")
+    (fun () -> Shape.add_added_leaf s ~parent:1)
+
+let test_mark_unshared () =
+  let s = Shape.base ~k:3 in
+  Shape.mark_unshared s 2;
+  check_bool "kind" true (Shape.kind s 2 = Shape.Unshared_leaf);
+  check_int "vertex count 6+2" 8 (Shape.vertex_count s);
+  Alcotest.check_raises "double mark" (Invalid_argument "Shape.mark_unshared: not a shared leaf")
+    (fun () -> Shape.mark_unshared s 2)
+
+let test_leaves () =
+  let s = Shape.base ~k:4 in
+  Alcotest.(check (list int)) "base leaves" [ 1; 2; 3; 4 ] (Shape.leaves s);
+  Shape.convert_leaf s 1;
+  Alcotest.(check (list int)) "after conversion" [ 2; 3; 4; 5; 6; 7 ] (Shape.leaves s)
+
+let test_above_leaf_nodes () =
+  let s = Shape.base ~k:3 in
+  Alcotest.(check (list int)) "base: root" [ 0 ] (Shape.above_leaf_nodes s);
+  Shape.convert_leaf s 1;
+  Alcotest.(check (list int)) "root and converted" [ 0; 1 ] (Shape.above_leaf_nodes s);
+  Shape.convert_leaf s 2;
+  Shape.convert_leaf s 3;
+  Alcotest.(check (list int)) "only converted nodes" [ 1; 2; 3 ] (Shape.above_leaf_nodes s)
+
+let test_height_balanced () =
+  let s = Shape.base ~k:3 in
+  check_bool "base balanced" true (Shape.height_balanced s);
+  Shape.convert_leaf s 1;
+  check_bool "one conversion ok" true (Shape.height_balanced s);
+  (* converting a depth-2 leaf before finishing depth-1 breaks balance *)
+  let s' = Shape.base ~k:3 in
+  Shape.convert_leaf s' 1;
+  Shape.convert_leaf s' 4;
+  check_bool "depth skip unbalanced" false (Shape.height_balanced s')
+
+let test_counts () =
+  let s = Shape.base ~k:3 in
+  Shape.convert_leaf s 1;
+  Shape.add_added_leaf s ~parent:0;
+  Shape.mark_unshared s 2;
+  let non_leaf, shared, added, unshared = Shape.counts s in
+  check_int "non-leaf" 2 non_leaf;
+  check_int "shared" 3 shared;
+  check_int "added" 1 added;
+  check_int "unshared" 1 unshared;
+  check_int "vertex count" ((3 * 2) + 3 + 1 + 3) (Shape.vertex_count s)
+
+let test_out_of_range () =
+  let s = Shape.base ~k:2 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Shape.kind: node 9 out of range") (fun () ->
+      ignore (Shape.kind s 9))
+
+let test_growth_stress () =
+  (* force many internal array growths *)
+  let s = Shape.base ~k:3 in
+  let q = Queue.create () in
+  for leaf = 1 to 3 do
+    Queue.add leaf q
+  done;
+  for _ = 1 to 500 do
+    let leaf = Queue.pop q in
+    let before = Shape.size s in
+    Shape.convert_leaf s leaf;
+    for child = before to Shape.size s - 1 do
+      Queue.add child q
+    done
+  done;
+  check_int "size" (4 + (500 * 2)) (Shape.size s);
+  check_bool "still balanced" true (Shape.height_balanced s)
+
+let suite =
+  [
+    Alcotest.test_case "base" `Quick test_base;
+    Alcotest.test_case "base k too small" `Quick test_base_k_too_small;
+    Alcotest.test_case "convert leaf" `Quick test_convert_leaf;
+    Alcotest.test_case "convert non-leaf rejected" `Quick test_convert_non_leaf_rejected;
+    Alcotest.test_case "convert added leaf rejected" `Quick test_convert_added_leaf_rejected;
+    Alcotest.test_case "add added leaf" `Quick test_add_added_leaf;
+    Alcotest.test_case "added leaf deep rejected" `Quick test_add_added_leaf_deep_rejected;
+    Alcotest.test_case "added leaf on leaf rejected" `Quick test_add_added_leaf_on_leaf_rejected;
+    Alcotest.test_case "mark unshared" `Quick test_mark_unshared;
+    Alcotest.test_case "leaves" `Quick test_leaves;
+    Alcotest.test_case "above leaf nodes" `Quick test_above_leaf_nodes;
+    Alcotest.test_case "height balanced" `Quick test_height_balanced;
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "growth stress" `Quick test_growth_stress;
+  ]

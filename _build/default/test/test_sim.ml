@@ -1,0 +1,102 @@
+open Helpers
+module Sim = Netsim.Sim
+
+let test_initial_state () =
+  let s = Sim.create () in
+  Alcotest.(check (float 0.0)) "time 0" 0.0 (Sim.now s);
+  check_int "no events" 0 (Sim.pending s);
+  check_bool "step on empty" false (Sim.step s)
+
+let test_time_ordering () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s ~delay:3.0 (fun () -> log := 3 :: !log);
+  Sim.schedule s ~delay:1.0 (fun () -> log := 1 :: !log);
+  Sim.schedule s ~delay:2.0 (fun () -> log := 2 :: !log);
+  Sim.run s;
+  Alcotest.(check (list int)) "chronological" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "final time" 3.0 (Sim.now s)
+
+let test_fifo_tie_break () =
+  let s = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule s ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.run s;
+  Alcotest.(check (list int)) "insertion order at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.schedule s ~delay:1.0 (fun () ->
+      log := "a" :: !log;
+      Sim.schedule s ~delay:0.5 (fun () -> log := "b" :: !log));
+  Sim.schedule s ~delay:2.0 (fun () -> log := "c" :: !log);
+  Sim.run s;
+  Alcotest.(check (list string)) "interleaved" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_zero_delay () =
+  let s = Sim.create () in
+  let fired = ref false in
+  Sim.schedule s ~delay:0.0 (fun () -> fired := true);
+  Sim.run s;
+  check_bool "fires" true !fired
+
+let test_negative_delay_rejected () =
+  let s = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      Sim.schedule s ~delay:(-1.0) (fun () -> ()))
+
+let test_schedule_at_past_rejected () =
+  let s = Sim.create () in
+  Sim.schedule s ~delay:5.0 (fun () -> ());
+  Sim.run s;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time is in the past") (fun () ->
+      Sim.schedule_at s ~time:1.0 (fun () -> ()))
+
+let test_run_until () =
+  let s = Sim.create () in
+  let log = ref [] in
+  List.iter (fun d -> Sim.schedule s ~delay:d (fun () -> log := d :: !log)) [ 1.0; 2.0; 3.0; 4.0 ];
+  Sim.run ~until:2.5 s;
+  Alcotest.(check (list (float 0.0))) "only up to 2.5" [ 1.0; 2.0 ] (List.rev !log);
+  check_int "rest pending" 2 (Sim.pending s);
+  Sim.run s;
+  check_int "drained" 0 (Sim.pending s)
+
+let test_events_processed () =
+  let s = Sim.create () in
+  for _ = 1 to 7 do
+    Sim.schedule s ~delay:1.0 (fun () -> ())
+  done;
+  Sim.run s;
+  check_int "count" 7 (Sim.events_processed s)
+
+let test_rng_determinism () =
+  let draw seed =
+    let s = Sim.create ~seed () in
+    Graph_core.Prng.bits64 (Sim.rng s)
+  in
+  Alcotest.(check int64) "same seed" (draw 9) (draw 9);
+  check_bool "different seed" true (draw 9 <> draw 10)
+
+let test_fork_rng_independent () =
+  let s = Sim.create () in
+  let a = Sim.fork_rng s and b = Sim.fork_rng s in
+  check_bool "forks differ" true (Graph_core.Prng.bits64 a <> Graph_core.Prng.bits64 b)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "time ordering" `Quick test_time_ordering;
+    Alcotest.test_case "fifo tie break" `Quick test_fifo_tie_break;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "zero delay" `Quick test_zero_delay;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "schedule_at past rejected" `Quick test_schedule_at_past_rejected;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "events processed" `Quick test_events_processed;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "fork rng" `Quick test_fork_rng_independent;
+  ]

@@ -1,0 +1,113 @@
+open Helpers
+module Shape = Lhg_core.Shape
+module Skeleton = Lhg_core.Skeleton
+
+let test_alpha_zero_is_base () =
+  let s = Skeleton.make ~k:3 ~alpha:0 in
+  check_int "size" 4 (Shape.size s);
+  check_int "vertices" 6 (Shape.vertex_count s)
+
+let test_alpha_grows_by_2k_minus_2 () =
+  for k = 2 to 6 do
+    for alpha = 0 to 8 do
+      let s = Skeleton.make ~k ~alpha in
+      check_int
+        (Printf.sprintf "vertices k=%d alpha=%d" k alpha)
+        ((2 * k) + (2 * alpha * (k - 1)))
+        (Shape.vertex_count s)
+    done
+  done
+
+let test_bfs_order_fills_levels () =
+  (* k=3: level 1 has 3 positions; alpha=3 converts them all, so every
+     remaining leaf is at depth 2 *)
+  let s = Skeleton.make ~k:3 ~alpha:3 in
+  List.iter (fun l -> check_int "leaf depth" 2 (Shape.depth s l)) (Shape.leaves s);
+  (* alpha=4 starts level 2: leaves at depths 2 and 3 *)
+  let s = Skeleton.make ~k:3 ~alpha:4 in
+  let depths = List.sort_uniq compare (List.map (Shape.depth s) (Shape.leaves s)) in
+  Alcotest.(check (list int)) "two frontier depths" [ 2; 3 ] depths
+
+let test_always_balanced () =
+  for alpha = 0 to 40 do
+    check_bool
+      (Printf.sprintf "alpha=%d balanced" alpha)
+      true
+      (Shape.height_balanced (Skeleton.make ~k:4 ~alpha))
+  done
+
+let test_conversion_order_bfs () =
+  let s = Skeleton.make ~k:3 ~alpha:2 in
+  let order = Skeleton.conversion_order s in
+  (* next conversion target is the remaining depth-1 leaf (id 3) *)
+  check_int "next is shallowest" 3 (List.hd order);
+  let depths = List.map (Shape.depth s) order in
+  check_bool "depths non-decreasing" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length depths - 1) depths)
+       (List.tl depths))
+
+let test_jd_capacity_base_zero () =
+  (* only the root is above the leaves, and JD excludes the root *)
+  check_int "alpha=0" 0 (Skeleton.jd_special_capacity (Skeleton.make ~k:3 ~alpha:0));
+  check_int "alpha=0 k=5" 0 (Skeleton.jd_special_capacity (Skeleton.make ~k:5 ~alpha:0))
+
+let test_jd_capacity_growth () =
+  check_int "alpha=1" 1 (Skeleton.jd_special_capacity (Skeleton.make ~k:3 ~alpha:1));
+  check_int "alpha=2" 2 (Skeleton.jd_special_capacity (Skeleton.make ~k:3 ~alpha:2));
+  check_int "alpha=3" 3 (Skeleton.jd_special_capacity (Skeleton.make ~k:3 ~alpha:3));
+  (* capped at k *)
+  check_int "alpha=5 capped" 3 (Skeleton.jd_special_capacity (Skeleton.make ~k:3 ~alpha:5))
+
+let test_last_above_leaf () =
+  let s = Skeleton.make ~k:3 ~alpha:0 in
+  check_int "base root" 0 (Skeleton.last_above_leaf s);
+  let s = Skeleton.make ~k:3 ~alpha:2 in
+  check_int "deepest converted" 2 (Skeleton.last_above_leaf s)
+
+let test_negative_alpha () =
+  Alcotest.check_raises "negative" (Invalid_argument "Skeleton.make: negative alpha") (fun () ->
+      ignore (Skeleton.make ~k:3 ~alpha:(-1)))
+
+
+let test_depth_first_unbalanced () =
+  let s = Skeleton.make_depth_first ~k:3 ~alpha:6 in
+  check_bool "unbalanced" false (Shape.height_balanced s);
+  check_int "same vertex count as bfs" (Shape.vertex_count (Skeleton.make ~k:3 ~alpha:6))
+    (Shape.vertex_count s)
+
+let test_depth_first_small_alpha_still_balanced () =
+  (* one conversion cannot unbalance anything *)
+  check_bool "alpha=1 fine" true (Shape.height_balanced (Skeleton.make_depth_first ~k:4 ~alpha:1))
+
+let test_depth_first_linear_diameter () =
+  let balanced, _ = Lhg_core.Realize.realize (Skeleton.make ~k:3 ~alpha:40) in
+  let skewed, _ = Lhg_core.Realize.realize (Skeleton.make_depth_first ~k:3 ~alpha:40) in
+  let diam g = match Graph_core.Paths.diameter g with Some d -> d | None -> -1 in
+  check_bool "dfs much deeper" true (diam skewed > 2 * diam balanced);
+  (* connectivity survives the skew - only P4 is lost *)
+  check_bool "still 3-connected" true
+    (Graph_core.Connectivity.is_k_vertex_connected skewed ~k:3)
+
+let prop_skeleton_vertex_arithmetic =
+  qcheck ~count:60 "vertex count arithmetic for random (k, alpha)"
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 60))
+    (fun (k, alpha) ->
+      let s = Skeleton.make ~k ~alpha in
+      Shape.vertex_count s = (2 * k) + (2 * alpha * (k - 1)) && Shape.height_balanced s)
+
+let suite =
+  [
+    Alcotest.test_case "alpha zero is base" `Quick test_alpha_zero_is_base;
+    Alcotest.test_case "alpha growth arithmetic" `Quick test_alpha_grows_by_2k_minus_2;
+    Alcotest.test_case "bfs fills levels" `Quick test_bfs_order_fills_levels;
+    Alcotest.test_case "always balanced" `Quick test_always_balanced;
+    Alcotest.test_case "conversion order bfs" `Quick test_conversion_order_bfs;
+    Alcotest.test_case "jd capacity base" `Quick test_jd_capacity_base_zero;
+    Alcotest.test_case "jd capacity growth" `Quick test_jd_capacity_growth;
+    Alcotest.test_case "last above leaf" `Quick test_last_above_leaf;
+    Alcotest.test_case "negative alpha" `Quick test_negative_alpha;
+    Alcotest.test_case "depth-first unbalanced" `Quick test_depth_first_unbalanced;
+    Alcotest.test_case "depth-first small alpha" `Quick test_depth_first_small_alpha_still_balanced;
+    Alcotest.test_case "depth-first linear diameter" `Quick test_depth_first_linear_diameter;
+    prop_skeleton_vertex_arithmetic;
+  ]

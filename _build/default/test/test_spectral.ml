@@ -1,0 +1,68 @@
+open Helpers
+module Generators = Graph_core.Generators
+module Spectral = Graph_core.Spectral
+
+let close ?(tol = 2e-3) name expected actual =
+  check_bool
+    (Printf.sprintf "%s: expected %.4f got %.4f" name expected actual)
+    true
+    (abs_float (expected -. actual) < tol)
+
+let test_complete_graph () =
+  (* normalised spectrum of K_n: 1 and -1/(n-1) *)
+  close "K6" (-1.0 /. 5.0) (Spectral.second_eigenvalue (Generators.complete 6))
+
+let test_cycle () =
+  (* C_n: eigenvalues cos(2 pi j / n); second largest at j=1 *)
+  let n = 12 in
+  close "C12" (cos (2.0 *. Float.pi /. float_of_int n))
+    (Spectral.second_eigenvalue (Generators.cycle n))
+
+let test_petersen () =
+  (* adjacency spectrum 3, 1 (x5), -2 (x4); normalised second = 1/3 *)
+  close "petersen" (1.0 /. 3.0) (Spectral.second_eigenvalue (petersen ()))
+
+let test_hypercube () =
+  (* Q_4: adjacency eigenvalues 4, 2, ...; normalised second = 1/2 *)
+  close "Q4" 0.5 (Spectral.second_eigenvalue (Topo.Hypercube.make ~dim:4))
+
+let test_complete_bipartite () =
+  (* K_{a,b} normalised spectrum: 1, 0 (multiple), -1 *)
+  close "K(3,4)" 0.0 (Spectral.second_eigenvalue (Generators.complete_bipartite 3 4))
+
+let test_gap_ordering () =
+  (* ring gap ~ (2 pi^2)/n^2 -> tiny; expander gap healthy; LHG in between *)
+  let n = 128 in
+  let ring = Spectral.spectral_gap (Generators.cycle n) in
+  let expander =
+    Spectral.spectral_gap (Topo.Expander.random_regular (rng ()) ~n ~degree:4)
+  in
+  let lhg = Spectral.spectral_gap (Lhg_core.Build.kdiamond_exn ~n:(n + 2) ~k:4).Lhg_core.Build.graph
+  in
+  check_bool "ring nearly gapless" true (ring < 0.02);
+  check_bool "expander gap healthy" true (expander > 0.1);
+  check_bool "lhg beats ring clearly" true (lhg > 5.0 *. ring)
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "isolated vertex"
+    (Invalid_argument "Spectral.second_eigenvalue: isolated vertex") (fun () ->
+      ignore (Spectral.second_eigenvalue (Graph_core.Graph.create ~n:3)));
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Spectral.second_eigenvalue: need at least 2 vertices") (fun () ->
+      ignore (Spectral.second_eigenvalue (Graph_core.Graph.create ~n:1)))
+
+let test_gap_clamped () =
+  let gap = Spectral.spectral_gap (Generators.complete 5) in
+  check_bool "in [0,1]" true (gap >= 0.0 && gap <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "complete graph" `Quick test_complete_graph;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "petersen" `Quick test_petersen;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+    Alcotest.test_case "gap ordering" `Quick test_gap_ordering;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+    Alcotest.test_case "gap clamped" `Quick test_gap_clamped;
+  ]

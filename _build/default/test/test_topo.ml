@@ -1,0 +1,136 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Connectivity = Graph_core.Connectivity
+module Components = Graph_core.Components
+module Degree = Graph_core.Degree
+module Paths = Graph_core.Paths
+module Prng = Graph_core.Prng
+
+let test_hypercube_structure () =
+  let g = Topo.Hypercube.make ~dim:4 in
+  check_int "n" 16 (Graph.n g);
+  check_int "m" 32 (Graph.m g);
+  check_bool "4-regular" true (Degree.is_k_regular g ~k:4);
+  check_int_opt "diameter = dim" (Some 4) (Paths.diameter g)
+
+let test_hypercube_connectivity () =
+  let g = Topo.Hypercube.make ~dim:3 in
+  check_int "kappa = dim" 3 (Connectivity.vertex_connectivity g);
+  check_int "lambda = dim" 3 (Connectivity.edge_connectivity g)
+
+let test_hypercube_trivial () =
+  check_int "Q0" 1 (Graph.n (Topo.Hypercube.make ~dim:0));
+  check_int "Q1 edges" 1 (Graph.m (Topo.Hypercube.make ~dim:1))
+
+let test_hypercube_admissible () =
+  check_bool "16 at k=4" true (Topo.Hypercube.admissible ~n:16 ~k:4);
+  check_bool "17 at k=4" false (Topo.Hypercube.admissible ~n:17 ~k:4);
+  Alcotest.(check (list int)) "sizes k=4" [ 16 ] (Topo.Hypercube.admissible_sizes ~k:4 ~max_n:100);
+  Alcotest.(check (list int)) "too small" [] (Topo.Hypercube.admissible_sizes ~k:8 ~max_n:100)
+
+let test_debruijn_structure () =
+  let g = Topo.Debruijn.make ~base:2 ~dim:3 in
+  check_int "n = 8" 8 (Graph.n g);
+  check_bool "connected" true (Components.is_connected g);
+  let s = Degree.stats g in
+  check_bool "degree bounded by 2*base" true (s.Degree.max_degree <= 4)
+
+let test_debruijn_diameter () =
+  (* de Bruijn diameter = dim (shift in dim steps) *)
+  check_int_opt "B(2,4)" (Some 4) (Paths.diameter (Topo.Debruijn.make ~base:2 ~dim:4));
+  check_int_opt "B(3,3)" (Some 3) (Paths.diameter (Topo.Debruijn.make ~base:3 ~dim:3))
+
+let test_debruijn_admissible () =
+  check_bool "27 = 3^3" true (Topo.Debruijn.admissible ~n:27 ~base:3);
+  check_bool "28" false (Topo.Debruijn.admissible ~n:28 ~base:3);
+  Alcotest.(check (list int)) "powers of 2" [ 2; 4; 8; 16 ]
+    (Topo.Debruijn.admissible_sizes ~base:2 ~max_n:20)
+
+let test_butterfly_structure () =
+  let g = Topo.Butterfly.make ~dim:3 in
+  check_int "n = 3*8" 24 (Graph.n g);
+  check_bool "connected" true (Components.is_connected g);
+  let s = Degree.stats g in
+  check_bool "max degree 4" true (s.Degree.max_degree <= 4);
+  Alcotest.(check (list int)) "sizes" [ 8; 24; 64 ] (Topo.Butterfly.admissible_sizes ~max_n:100)
+
+let test_torus_structure () =
+  let g = Topo.Torus.make ~rows:4 ~cols:5 in
+  check_int "n" 20 (Graph.n g);
+  check_bool "4-regular" true (Degree.is_k_regular g ~k:4);
+  check_int "kappa" 4 (Connectivity.vertex_connectivity g);
+  check_int_opt "diameter" (Some (2 + 2)) (Paths.diameter g)
+
+let test_torus_too_small () =
+  Alcotest.check_raises "2x5" (Invalid_argument "Torus.make: needs rows >= 3 and cols >= 3")
+    (fun () -> ignore (Topo.Torus.make ~rows:2 ~cols:5))
+
+let test_expander_degree_and_connectivity () =
+  let rngv = rng () in
+  let g = Topo.Expander.random_regular rngv ~n:64 ~degree:4 in
+  let s = Degree.stats g in
+  check_bool "max degree <= 4" true (s.Degree.max_degree <= 4);
+  check_bool "connected (hamiltonian backbone)" true (Components.is_connected g);
+  check_bool "2-connected at least" true (Connectivity.is_k_vertex_connected g ~k:2)
+
+let test_expander_logarithmic_diameter_whp () =
+  let rngv = rng ~salt:1 () in
+  let g = Topo.Expander.random_regular rngv ~n:256 ~degree:6 in
+  match Paths.diameter g with
+  | None -> Alcotest.fail "connected"
+  | Some d -> check_bool "small diameter" true (d <= 10)
+
+let test_expander_odd_degree_rejected () =
+  let rngv = rng ~salt:2 () in
+  Alcotest.check_raises "odd degree"
+    (Invalid_argument "Expander.random_regular: degree must be even and >= 2") (fun () ->
+      ignore (Topo.Expander.random_regular rngv ~n:10 ~degree:3))
+
+let test_bfs_tree () =
+  let g = petersen () in
+  let t = Topo.Spanning_tree.bfs_tree g ~root:0 in
+  check_int "n-1 edges" 9 (Graph.m t);
+  check_bool "connected" true (Components.is_connected t);
+  check_bool "subgraph" true (List.for_all (fun (u, v) -> Graph.has_edge g u v) (Graph.edges t))
+
+let test_random_spanning_tree () =
+  let rngv = rng ~salt:3 () in
+  let g = Graph_core.Generators.complete 12 in
+  for _ = 1 to 5 do
+    let t = Topo.Spanning_tree.random_spanning_tree rngv g in
+    check_int "n-1 edges" 11 (Graph.m t);
+    check_bool "connected" true (Components.is_connected t)
+  done
+
+let prop_wilson_on_random_connected =
+  qcheck ~count:40 "wilson produces spanning trees" QCheck2.Gen.(int_bound 100_000) (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 5 + Prng.int rngv 20 in
+      let g = Graph_core.Generators.gnp rngv ~n ~p:0.4 in
+      for v = 0 to n - 1 do
+        Graph.add_edge g v ((v + 1) mod n)
+      done;
+      let t = Topo.Spanning_tree.random_spanning_tree rngv g in
+      Graph.m t = n - 1
+      && Components.is_connected t
+      && List.for_all (fun (u, v) -> Graph.has_edge g u v) (Graph.edges t))
+
+let suite =
+  [
+    Alcotest.test_case "hypercube structure" `Quick test_hypercube_structure;
+    Alcotest.test_case "hypercube connectivity" `Quick test_hypercube_connectivity;
+    Alcotest.test_case "hypercube trivial" `Quick test_hypercube_trivial;
+    Alcotest.test_case "hypercube admissible" `Quick test_hypercube_admissible;
+    Alcotest.test_case "debruijn structure" `Quick test_debruijn_structure;
+    Alcotest.test_case "debruijn diameter" `Quick test_debruijn_diameter;
+    Alcotest.test_case "debruijn admissible" `Quick test_debruijn_admissible;
+    Alcotest.test_case "butterfly structure" `Quick test_butterfly_structure;
+    Alcotest.test_case "torus structure" `Quick test_torus_structure;
+    Alcotest.test_case "torus too small" `Quick test_torus_too_small;
+    Alcotest.test_case "expander degree/connectivity" `Quick test_expander_degree_and_connectivity;
+    Alcotest.test_case "expander diameter whp" `Quick test_expander_logarithmic_diameter_whp;
+    Alcotest.test_case "expander odd degree" `Quick test_expander_odd_degree_rejected;
+    Alcotest.test_case "bfs tree" `Quick test_bfs_tree;
+    Alcotest.test_case "random spanning tree" `Quick test_random_spanning_tree;
+    prop_wilson_on_random_connected;
+  ]

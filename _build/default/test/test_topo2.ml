@@ -1,0 +1,84 @@
+(* Tests for the second wave of baseline topologies: Kautz, CCC, Chord. *)
+open Helpers
+module Graph = Graph_core.Graph
+module Components = Graph_core.Components
+module Connectivity = Graph_core.Connectivity
+module Degree = Graph_core.Degree
+module Paths = Graph_core.Paths
+
+let test_kautz_size () =
+  check_int "K(2,1)" 6 (Topo.Kautz.size ~b:2 ~d:1);
+  check_int "K(2,3)" 24 (Topo.Kautz.size ~b:2 ~d:3);
+  check_int "K(3,2)" 36 (Topo.Kautz.size ~b:3 ~d:2)
+
+let test_kautz_structure () =
+  let g = Topo.Kautz.make ~b:2 ~d:3 in
+  check_int "n" 24 (Graph.n g);
+  check_bool "connected" true (Components.is_connected g);
+  let s = Degree.stats g in
+  check_bool "degree <= 2b" true (s.Degree.max_degree <= 4);
+  (* Kautz diameter is the word length d+1 *)
+  check_int_opt "diameter = d+1" (Some 4) (Paths.diameter g)
+
+let test_kautz_k21_is_small_world () =
+  (* K(2,1): 6 vertices of word length 2, diameter 2 *)
+  let g = Topo.Kautz.make ~b:2 ~d:1 in
+  check_int_opt "diameter 2" (Some 2) (Paths.diameter g)
+
+let test_kautz_admissible () =
+  Alcotest.(check (list int)) "b=2 sizes" [ 6; 12; 24; 48 ]
+    (Topo.Kautz.admissible_sizes ~b:2 ~max_n:50)
+
+let test_ccc_structure () =
+  let g = Topo.Ccc.make ~dim:3 in
+  check_int "n = 3*8" 24 (Graph.n g);
+  check_bool "3-regular" true (Degree.is_k_regular g ~k:3);
+  check_bool "connected" true (Components.is_connected g);
+  check_int "kappa 3" 3 (Connectivity.vertex_connectivity g)
+
+let test_ccc_admissible () =
+  Alcotest.(check (list int)) "sizes" [ 24; 64; 160; 384; 896; 2048 ]
+    (Topo.Ccc.admissible_sizes ~max_n:4000)
+
+let test_ccc_bad_dim () =
+  Alcotest.check_raises "dim 2" (Invalid_argument "Ccc.make: dim outside [3, 22]") (fun () ->
+      ignore (Topo.Ccc.make ~dim:2))
+
+let test_chord_structure () =
+  let g = Topo.Chord.make ~n:64 in
+  check_bool "connected" true (Components.is_connected g);
+  (* ring + fingers 2,4,8,16,32: 6 jump classes -> 12-regular at powers of 2 *)
+  let s = Degree.stats g in
+  check_int "expected degree classes" 6 (Topo.Chord.expected_degree ~n:64);
+  check_bool "degree about 2*classes" true (s.Degree.max_degree <= 12);
+  match Paths.diameter g with
+  | Some d -> check_bool "log diameter" true (d <= 7)
+  | None -> Alcotest.fail "connected"
+
+let test_chord_any_n () =
+  (* unlike hypercubes, chord exists for every n *)
+  for n = 3 to 40 do
+    let g = Topo.Chord.make ~n in
+    check_bool (Printf.sprintf "connected n=%d" n) true (Components.is_connected g)
+  done
+
+let test_chord_edge_cost_vs_lhg () =
+  (* same latency class, much higher edge bill: the T1-style contrast *)
+  let n = 512 in
+  let chord = Topo.Chord.make ~n in
+  let lhg = (Lhg_core.Build.kdiamond_exn ~n:514 ~k:4).Lhg_core.Build.graph in
+  check_bool "chord pays >2x the edges" true (Graph.m chord > 2 * Graph.m lhg)
+
+let suite =
+  [
+    Alcotest.test_case "kautz size" `Quick test_kautz_size;
+    Alcotest.test_case "kautz structure" `Quick test_kautz_structure;
+    Alcotest.test_case "kautz d=1" `Quick test_kautz_k21_is_small_world;
+    Alcotest.test_case "kautz admissible" `Quick test_kautz_admissible;
+    Alcotest.test_case "ccc structure" `Quick test_ccc_structure;
+    Alcotest.test_case "ccc admissible" `Quick test_ccc_admissible;
+    Alcotest.test_case "ccc bad dim" `Quick test_ccc_bad_dim;
+    Alcotest.test_case "chord structure" `Quick test_chord_structure;
+    Alcotest.test_case "chord any n" `Quick test_chord_any_n;
+    Alcotest.test_case "chord vs lhg edges" `Quick test_chord_edge_cost_vs_lhg;
+  ]

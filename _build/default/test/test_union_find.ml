@@ -1,0 +1,42 @@
+open Helpers
+module Uf = Graph_core.Union_find
+
+let test_singletons () =
+  let t = Uf.create 5 in
+  check_int "count" 5 (Uf.count t);
+  for i = 0 to 4 do
+    check_int "own root" i (Uf.find t i)
+  done
+
+let test_union_merges () =
+  let t = Uf.create 4 in
+  check_bool "first union" true (Uf.union t 0 1);
+  check_bool "same" true (Uf.same t 0 1);
+  check_bool "repeat union" false (Uf.union t 1 0);
+  check_int "count" 3 (Uf.count t)
+
+let test_transitivity () =
+  let t = Uf.create 6 in
+  ignore (Uf.union t 0 1);
+  ignore (Uf.union t 1 2);
+  ignore (Uf.union t 3 4);
+  check_bool "0~2" true (Uf.same t 0 2);
+  check_bool "3~4" true (Uf.same t 3 4);
+  check_bool "0!~3" false (Uf.same t 0 3);
+  check_int "count" 3 (Uf.count t)
+
+let test_full_merge () =
+  let t = Uf.create 100 in
+  for i = 0 to 98 do
+    ignore (Uf.union t i (i + 1))
+  done;
+  check_int "one set" 1 (Uf.count t);
+  check_bool "ends connected" true (Uf.same t 0 99)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union merges" `Quick test_union_merges;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    Alcotest.test_case "full merge" `Quick test_full_merge;
+  ]

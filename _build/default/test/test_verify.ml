@@ -1,0 +1,92 @@
+open Helpers
+module Graph = Graph_core.Graph
+module Generators = Graph_core.Generators
+module Verify = Lhg_core.Verify
+
+let test_cycle_fails_k3 () =
+  let r = Verify.verify (Generators.cycle 8) ~k:3 in
+  check_bool "P1 fails" false r.Verify.node_connected;
+  check_bool "P2 fails" false r.Verify.link_connected
+
+let test_cycle_passes_k2_small () =
+  (* small cycles have small diameter, so even P4 passes at tiny n *)
+  let r = Verify.verify (Generators.cycle 6) ~k:2 in
+  check_bool "P1" true r.Verify.node_connected;
+  check_bool "P2" true r.Verify.link_connected;
+  check_bool "P3" true (r.Verify.link_minimal = Some true)
+
+let test_complete_graph () =
+  let g = Generators.complete 6 in
+  let r = Verify.verify g ~k:5 in
+  check_bool "P1" true r.Verify.node_connected;
+  check_bool "P3" true (r.Verify.link_minimal = Some true);
+  check_int_opt "diameter 1" (Some 1) r.Verify.diameter;
+  check_bool "5-regular" true r.Verify.k_regular
+
+let test_harary_passes_small_fails_p4_large () =
+  (* the motivating observation: large Harary graphs break only P4 *)
+  let small = Harary.make ~k:4 ~n:20 in
+  check_bool "H(4,20) is an LHG" true (Verify.is_lhg small ~k:4);
+  let large = Harary.make ~k:4 ~n:600 in
+  let r = Verify.verify ~check_minimality:false large ~k:4 in
+  check_bool "P1 still holds" true r.Verify.node_connected;
+  check_bool "P4 fails at n=600" false r.Verify.diameter_ok
+
+let test_extra_edge_breaks_minimality () =
+  let b = Lhg_core.Build.ktree_exn ~n:10 ~k:3 in
+  let g = Graph.copy b.Lhg_core.Build.graph in
+  (* add a chord between two far vertices *)
+  let added = ref false in
+  for u = 0 to Graph.n g - 1 do
+    for v = u + 1 to Graph.n g - 1 do
+      if (not !added) && not (Graph.has_edge g u v) then begin
+        Graph.add_edge g u v;
+        added := true
+      end
+    done
+  done;
+  let r = Verify.verify g ~k:3 in
+  check_bool "still k-connected" true r.Verify.node_connected;
+  check_bool "not minimal" true (r.Verify.link_minimal = Some false);
+  check_bool "not an LHG" false (Verify.is_lhg g ~k:3)
+
+let test_diameter_bound_shape () =
+  check_int "n=1" 0 (Verify.diameter_bound ~n:1 ~k:3);
+  check_int "k=2 degenerates" 100 (Verify.diameter_bound ~n:100 ~k:2);
+  let b1000 = Verify.diameter_bound ~n:1000 ~k:4 in
+  let b1e6 = Verify.diameter_bound ~n:1_000_000 ~k:4 in
+  check_bool "logarithmic growth" true (b1e6 <= 2 * b1000);
+  check_bool "monotone in n" true (b1e6 > b1000);
+  check_bool "decreasing in k" true
+    (Verify.diameter_bound ~n:10_000 ~k:8 < Verify.diameter_bound ~n:10_000 ~k:3)
+
+let test_skip_minimality () =
+  let r = Verify.verify ~check_minimality:false (Generators.cycle 5) ~k:2 in
+  check_bool "skipped" true (r.Verify.link_minimal = None);
+  (* is_lhg treats skipped as pass *)
+  check_bool "is_lhg without P3" true (Verify.is_lhg ~check_minimality:false (Generators.cycle 5) ~k:2)
+
+let test_disconnected_graph () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (2, 3) ] in
+  let r = Verify.verify g ~k:1 in
+  check_bool "P1 fails" false r.Verify.node_connected;
+  check_int_opt "no diameter" None r.Verify.diameter;
+  check_bool "P4 fails" false r.Verify.diameter_ok
+
+let test_report_printing () =
+  let r = Verify.verify (Generators.cycle 5) ~k:2 in
+  let s = Format.asprintf "%a" Verify.pp_report r in
+  check_bool "mentions P1" true (String.length s > 20)
+
+let suite =
+  [
+    Alcotest.test_case "cycle fails k=3" `Quick test_cycle_fails_k3;
+    Alcotest.test_case "cycle passes k=2" `Quick test_cycle_passes_k2_small;
+    Alcotest.test_case "complete graph" `Quick test_complete_graph;
+    Alcotest.test_case "harary P4 breaks at scale" `Quick test_harary_passes_small_fails_p4_large;
+    Alcotest.test_case "extra edge breaks minimality" `Quick test_extra_edge_breaks_minimality;
+    Alcotest.test_case "diameter bound shape" `Quick test_diameter_bound_shape;
+    Alcotest.test_case "skip minimality" `Quick test_skip_minimality;
+    Alcotest.test_case "disconnected" `Quick test_disconnected_graph;
+    Alcotest.test_case "report printing" `Quick test_report_printing;
+  ]

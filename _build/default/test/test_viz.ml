@@ -1,0 +1,57 @@
+open Helpers
+module Viz = Lhg_core.Viz
+module Build = Lhg_core.Build
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_roles_rendered () =
+  let b = Build.kdiamond_exn ~n:8 ~k:3 in
+  let doc = Viz.to_dot b in
+  check_bool "root label" true (contains ~needle:"R0" doc);
+  check_bool "root colour" true (contains ~needle:"gold" doc);
+  check_bool "unshared members" true (contains ~needle:"U" doc);
+  check_bool "shared leaves" true (contains ~needle:"L" doc)
+
+let test_added_leaves_rendered () =
+  let b = Build.ktree_exn ~n:9 ~k:3 in
+  let doc = Viz.to_dot b in
+  check_bool "added label" true (contains ~needle:"A" doc)
+
+let test_every_vertex_has_a_node_line () =
+  let b = Build.ktree_exn ~n:22 ~k:4 in
+  let doc = Viz.to_dot b in
+  for v = 0 to 21 do
+    check_bool
+      (Printf.sprintf "vertex %d present" v)
+      true
+      (contains ~needle:(Printf.sprintf "\n  %d [" v) doc)
+  done
+
+let test_edge_count_matches () =
+  let b = Build.kdiamond_exn ~n:14 ~k:3 in
+  let doc = Viz.to_dot b in
+  let count = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '-' && i + 1 < String.length doc && doc.[i + 1] = '-' then incr count)
+    doc;
+  check_int "one -- per edge" (Graph_core.Graph.m b.Build.graph) !count
+
+let test_write_file () =
+  let path = Filename.temp_file "lhg_viz" ".dot" in
+  Viz.write_file ~path (Build.kdiamond_exn ~n:10 ~k:3);
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  check_bool "non-trivial file" true (size > 200)
+
+let suite =
+  [
+    Alcotest.test_case "roles rendered" `Quick test_roles_rendered;
+    Alcotest.test_case "added leaves rendered" `Quick test_added_leaves_rendered;
+    Alcotest.test_case "all vertices present" `Quick test_every_vertex_has_a_node_line;
+    Alcotest.test_case "edge count" `Quick test_edge_count_matches;
+    Alcotest.test_case "write file" `Quick test_write_file;
+  ]
