@@ -1,0 +1,157 @@
+(* B3: machine-readable benchmark baseline.
+
+   Writes BENCH_PR1.json — op name → ns/run plus the first six-figure-n
+   flooding experiment — so subsequent PRs have a perf trajectory to
+   regress against. Pure-stdlib timing (monotonic-enough wall clock,
+   best-of-median loop) rather than bechamel, so the output is stable,
+   dependency-light and trivially parseable.
+
+   Usage: dune exec bench/bench_json.exe [-- output.json]
+   LHG_BENCH_MS sets the per-op measuring budget (default 200 ms). *)
+
+module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
+module Bfs = Graph_core.Bfs
+
+let budget_s =
+  (match Sys.getenv_opt "LHG_BENCH_MS" with
+  | Some ms -> (try float_of_string ms with Failure _ -> 200.0)
+  | None -> 200.0)
+  /. 1000.0
+
+(* ns/run: repeat [f] until the time budget is spent (at least 3 runs)
+   and report the mean. *)
+let time_ns f =
+  ignore (Sys.opaque_identity (f ())) (* warmup *);
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < budget_s || !reps < 3 do
+    ignore (Sys.opaque_identity (f ()));
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed *. 1e9 /. float_of_int !reps
+
+let results : (string * float) list ref = ref []
+
+let bench name f =
+  let ns = time_ns f in
+  results := (name, ns) :: !results;
+  Printf.printf "%-34s %12.0f ns/run\n%!" name ns;
+  ns
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> match c with '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c | _ -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR1.json" in
+  print_endline "=== B3  JSON benchmark baseline ===";
+
+  let g1k = (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph in
+  let g16k = (Lhg_core.Build.kdiamond_exn ~n:16386 ~k:4).Lhg_core.Build.graph in
+  let c1k = Csr.of_graph g1k in
+  let c16k = Csr.of_graph g16k in
+  let ws = Bfs.Workspace.create () in
+
+  ignore (bench "build_kdiamond_n1026" (fun () -> Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4));
+  ignore (bench "csr_of_graph_n1026" (fun () -> Csr.of_graph g1k));
+  let bfs_set_1k = bench "bfs_set_n1026" (fun () -> Bfs.distances g1k ~src:0) in
+  let bfs_csr_1k = bench "bfs_csr_n1026" (fun () -> Bfs.csr_distances_into ws c1k ~src:0) in
+  ignore (bench "bfs_set_n16386" (fun () -> Bfs.distances g16k ~src:0));
+  ignore (bench "bfs_csr_n16386" (fun () -> Bfs.csr_distances_into ws c16k ~src:0));
+  let flood_set_1k = bench "sync_flood_graph_n1026" (fun () -> Flood.Sync.flood g1k ~source:0) in
+  let flood_csr_1k =
+    bench "sync_flood_csr_n1026" (fun () -> Flood.Sync.flood_csr ~workspace:ws c1k ~source:0)
+  in
+  ignore
+    (bench "mem_edge_sweep_set_n1026" (fun () ->
+         let acc = ref 0 in
+         for v = 0 to Graph.n g1k - 1 do
+           if Graph.has_edge g1k 0 v then incr acc
+         done;
+         !acc));
+  ignore
+    (bench "mem_edge_sweep_csr_n1026" (fun () ->
+         let acc = ref 0 in
+         for v = 0 to Csr.n c1k - 1 do
+           if Csr.mem_edge c1k 0 v then incr acc
+         done;
+         !acc));
+  ignore
+    (bench "edge_flow_network_csr_n1026" (fun () ->
+         Graph_core.Connectivity.edge_flow_network_csr c1k));
+  let g258 = (Lhg_core.Build.kdiamond_exn ~n:258 ~k:4).Lhg_core.Build.graph in
+  ignore
+    (bench "is_4_connected_n258" (fun () ->
+         Graph_core.Connectivity.is_k_vertex_connected g258 ~k:4));
+
+  (* the first six-figure-n flooding run: build, freeze, flood *)
+  let nbig = 131_074 and k = 4 in
+  Printf.printf "building kdiamond n=%d k=%d ...\n%!" nbig k;
+  let t0 = Unix.gettimeofday () in
+  let gbig = (Lhg_core.Build.kdiamond_exn ~n:nbig ~k).Lhg_core.Build.graph in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let cbig = Csr.of_graph gbig in
+  let bfs_csr_131k = bench "bfs_csr_n131074" (fun () -> Bfs.csr_distances_into ws cbig ~src:0) in
+  let bfs_set_131k = bench "bfs_set_n131074" (fun () -> Bfs.distances gbig ~src:0) in
+  let r = Flood.Sync.flood_csr ~workspace:ws cbig ~source:0 in
+  let ceil_log2 =
+    let rec go p e = if p >= nbig then e else go (2 * p) (e + 1) in
+    go 1 0
+  in
+  Printf.printf
+    "flood n=%d: rounds=%d (limit 2*ceil(log2 n) = %d), messages=%d, covers_all=%b\n%!" nbig
+    r.Flood.Sync.rounds (2 * ceil_log2) r.Flood.Sync.messages r.Flood.Sync.covers_all_alive;
+
+  let speedup_bfs = bfs_set_1k /. bfs_csr_1k in
+  let speedup_flood = flood_set_1k /. flood_csr_1k in
+  Printf.printf "bfs n=1026 csr speedup: %.2fx; sync flood: %.2fx; bfs n=131074: %.2fx\n%!"
+    speedup_bfs speedup_flood (bfs_set_131k /. bfs_csr_131k);
+
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
+  Buffer.add_string buf "  \"pr\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
+  Buffer.add_string buf "  \"ops_ns_per_run\": {\n";
+  let ops = List.rev !results in
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.1f%s\n" (json_escape name) ns
+           (if i = List.length ops - 1 then "" else ",")))
+    ops;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"derived\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_bfs_n1026_csr_vs_set\": %.2f,\n" speedup_bfs);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_bfs_n131074_csr_vs_set\": %.2f,\n"
+       (bfs_set_131k /. bfs_csr_131k));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_sync_flood_n1026_amortised_vs_snapshot_per_call\": %.2f\n" speedup_flood);
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"experiments\": {\n    \"flood_sync_big\": {\n";
+  Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nbig);
+  Buffer.add_string buf (Printf.sprintf "      \"m\": %d,\n" (Graph.m gbig));
+  Buffer.add_string buf (Printf.sprintf "      \"k\": %d,\n" k);
+  Buffer.add_string buf (Printf.sprintf "      \"build_seconds\": %.3f,\n" build_s);
+  Buffer.add_string buf (Printf.sprintf "      \"rounds\": %d,\n" r.Flood.Sync.rounds);
+  Buffer.add_string buf (Printf.sprintf "      \"ceil_log2_n\": %d,\n" ceil_log2);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"rounds_limit_2x_ceil_log2_n\": %d,\n" (2 * ceil_log2));
+  Buffer.add_string buf
+    (Printf.sprintf "      \"rounds_within_limit\": %b,\n" (r.Flood.Sync.rounds <= 2 * ceil_log2));
+  Buffer.add_string buf (Printf.sprintf "      \"messages\": %d,\n" r.Flood.Sync.messages);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"covers_all_alive\": %b\n" r.Flood.Sync.covers_all_alive);
+  Buffer.add_string buf "    }\n  }\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out

@@ -532,6 +532,31 @@ let b2 () =
     (Lhg_core.Route.max_route_length b)
 
 
+(* F12: the first six-figure-n flooding experiment — only feasible on
+   the CSR fast path (Set-based traversal pays O(log d) pointer chasing
+   per neighbour visit at every one of the ~2m visits). *)
+let f12 () =
+  header "F12  flooding at n = 131,074 (k = 4): rounds vs ceil(log2 n)";
+  let n = 131_074 and k = 4 in
+  let t0 = Sys.time () in
+  let g = lhg_graph ~n ~k in
+  let t1 = Sys.time () in
+  let csr = Graph_core.Csr.of_graph g in
+  let t2 = Sys.time () in
+  let r = Sync.flood_csr csr ~source:0 in
+  let t3 = Sys.time () in
+  let ceil_log2 =
+    let rec go p e = if p >= n then e else go (2 * p) (e + 1) in
+    go 1 0
+  in
+  Printf.printf "built:  n=%d m=%d in %.3f s; CSR snapshot in %.3f s\n" (Graph.n g) (Graph.m g)
+    (t1 -. t0) (t2 -. t1);
+  Printf.printf "flood:  %d rounds, %d messages, covers=%b (%.3f s)\n" r.Sync.rounds
+    r.Sync.messages r.Sync.covers_all_alive (t3 -. t2);
+  Printf.printf "bound:  ceil(log2 n) = %d, 2*ceil(log2 n) = %d -> rounds within bound: %b\n"
+    ceil_log2 (2 * ceil_log2)
+    (r.Sync.rounds <= 2 * ceil_log2)
+
 (* A4: incremental joins vs canonical rebuilds. *)
 let a4 () =
   header "A4  join cost: in-place incremental ops vs canonical rebuild (k=4)";
@@ -569,6 +594,6 @@ let a4 () =
   print_endline " regardless of n, while canonical relabelling rebuilds grow with the graph)"
 
 let all = [ ("f1", f1); ("f2", f2); ("t1", t1); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6);
-            ("f7", f7); ("f8", f8); ("f9", f9); ("f10", f10); ("f11", f11);
+            ("f7", f7); ("f8", f8); ("f9", f9); ("f10", f10); ("f11", f11); ("f12", f12);
             ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6); ("t7", t7);
             ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("b2", b2) ]

@@ -1,37 +1,76 @@
 (* B1: bechamel micro-benchmarks — construction and verification cost.
-   One Test.make per operation; results printed as ns/run estimates. *)
+   One Test.make per operation; results printed as ns/run estimates.
+
+   The bfs/flood entries come in Set-vs-CSR pairs at n ∈ {1k, 16k, 131k}
+   so the flat-array fast path (Graph_core.Csr + Bfs.Workspace) is
+   measured against the Set.Make(Int) adjacency walk it replaced.
+   LHG_BENCH_QUOTA_MS shrinks the per-test quota (CI smoke runs). *)
 
 open Bechamel
 open Toolkit
+module Csr = Graph_core.Csr
+module Bfs = Graph_core.Bfs
 
 let graph_1k = lazy ((Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph)
 
+let graph_16k = lazy ((Lhg_core.Build.kdiamond_exn ~n:16386 ~k:4).Lhg_core.Build.graph)
+
+let graph_131k = lazy ((Lhg_core.Build.kdiamond_exn ~n:131074 ~k:4).Lhg_core.Build.graph)
+
 let graph_256 = lazy ((Lhg_core.Build.kdiamond_exn ~n:258 ~k:4).Lhg_core.Build.graph)
+
+let csr_1k = lazy (Csr.of_graph (Lazy.force graph_1k))
+
+let csr_16k = lazy (Csr.of_graph (Lazy.force graph_16k))
+
+let csr_131k = lazy (Csr.of_graph (Lazy.force graph_131k))
+
+let workspace = Bfs.Workspace.create ()
+
+let bfs_pair name graph csr =
+  [
+    Test.make ~name:("bfs set " ^ name) (Staged.stage (fun () ->
+        ignore (Bfs.distances (Lazy.force graph) ~src:0)));
+    Test.make ~name:("bfs csr " ^ name) (Staged.stage (fun () ->
+        ignore (Bfs.csr_distances_into workspace (Lazy.force csr) ~src:0)));
+  ]
 
 let tests =
   Test.make_grouped ~name:"lhg" ~fmt:"%s %s"
-    [
-      Test.make ~name:"build ktree n=1024 k=4" (Staged.stage (fun () ->
-          ignore (Lhg_core.Build.ktree_exn ~n:1024 ~k:4)));
-      Test.make ~name:"build kdiamond n=1026 k=4" (Staged.stage (fun () ->
-          ignore (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4)));
-      Test.make ~name:"build harary n=1024 k=4" (Staged.stage (fun () ->
-          ignore (Harary.make ~k:4 ~n:1024)));
-      Test.make ~name:"bfs n=1026" (Staged.stage (fun () ->
-          ignore (Graph_core.Bfs.distances (Lazy.force graph_1k) ~src:0)));
-      Test.make ~name:"sync flood n=1026" (Staged.stage (fun () ->
-          ignore (Flood.Sync.flood (Lazy.force graph_1k) ~source:0)));
-      Test.make ~name:"is_4_connected n=258" (Staged.stage (fun () ->
-          ignore (Graph_core.Connectivity.is_k_vertex_connected (Lazy.force graph_256) ~k:4)));
-      Test.make ~name:"event flood n=258" (Staged.stage (fun () ->
-          ignore (Flood.Flooding.run ~graph:(Lazy.force graph_256) ~source:0 ())));
-    ]
+    ([
+       Test.make ~name:"build ktree n=1024 k=4" (Staged.stage (fun () ->
+           ignore (Lhg_core.Build.ktree_exn ~n:1024 ~k:4)));
+       Test.make ~name:"build kdiamond n=1026 k=4" (Staged.stage (fun () ->
+           ignore (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4)));
+       Test.make ~name:"build harary n=1024 k=4" (Staged.stage (fun () ->
+           ignore (Harary.make ~k:4 ~n:1024)));
+       Test.make ~name:"csr of_graph n=1026" (Staged.stage (fun () ->
+           ignore (Csr.of_graph (Lazy.force graph_1k))));
+     ]
+    @ bfs_pair "n=1026" graph_1k csr_1k
+    @ bfs_pair "n=16386" graph_16k csr_16k
+    @ bfs_pair "n=131074" graph_131k csr_131k
+    @ [
+        Test.make ~name:"sync flood graph n=1026" (Staged.stage (fun () ->
+            ignore (Flood.Sync.flood (Lazy.force graph_1k) ~source:0)));
+        Test.make ~name:"sync flood csr n=1026" (Staged.stage (fun () ->
+            ignore (Flood.Sync.flood_csr ~workspace (Lazy.force csr_1k) ~source:0)));
+        Test.make ~name:"is_4_connected n=258" (Staged.stage (fun () ->
+            ignore (Graph_core.Connectivity.is_k_vertex_connected (Lazy.force graph_256) ~k:4)));
+        Test.make ~name:"event flood n=258" (Staged.stage (fun () ->
+            ignore (Flood.Flooding.run ~graph:(Lazy.force graph_256) ~source:0 ())));
+      ])
+
+let quota_seconds =
+  match Sys.getenv_opt "LHG_BENCH_QUOTA_MS" with
+  | Some ms -> (try float_of_string ms /. 1000.0 with Failure _ -> 0.5)
+  | None -> 0.5
 
 let run () =
   print_endline "\n=== B1  micro-benchmarks (bechamel, monotonic clock) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in

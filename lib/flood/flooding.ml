@@ -26,8 +26,9 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = [
   let delivered = Array.make n false in
   let delivery_time = Array.make n (-1.0) in
   let hops = Array.make n (-1) in
+  let csr = Network.csr net in
   let forward v ~except ~hop =
-    Graph.iter_neighbors graph v (fun w ->
+    Graph_core.Csr.iter_neighbors csr v (fun w ->
         if w <> except then Network.send net ~src:v ~dst:w { hop })
   in
   Network.set_receiver net (fun ~dst ~src msg ->

@@ -27,12 +27,14 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~source ~fanout ~ttl ()
   let rng = Sim.fork_rng sim in
   let delivered = Array.make n false in
   let delivery_time = Array.make n (-1.0) in
+  let csr = Network.csr net in
+  let off = Graph_core.Csr.offsets csr and nbr = Graph_core.Csr.neighbor_array csr in
   let push v ~ttl =
-    let ns = Array.of_list (Graph.neighbors graph v) in
-    if Array.length ns > 0 then begin
-      let picks = min fanout (Array.length ns) in
-      let chosen = Prng.sample_without_replacement rng ~k:picks ~n:(Array.length ns) in
-      List.iter (fun i -> Network.send net ~src:v ~dst:ns.(i) { ttl }) chosen
+    let deg = off.(v + 1) - off.(v) in
+    if deg > 0 then begin
+      let picks = min fanout deg in
+      let chosen = Prng.sample_without_replacement rng ~k:picks ~n:deg in
+      List.iter (fun i -> Network.send net ~src:v ~dst:nbr.(off.(v) + i) { ttl }) chosen
     end
   in
   Network.set_receiver net (fun ~dst ~src:_ msg ->

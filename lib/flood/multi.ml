@@ -46,8 +46,9 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ~graph ~publ
       true
     end
   in
+  let csr = Network.csr net in
   let forward v ~except ~id ~hop =
-    Graph.iter_neighbors graph v (fun w ->
+    Graph_core.Csr.iter_neighbors csr v (fun w ->
         if w <> except then Network.send net ~src:v ~dst:w { id; hop })
   in
   Network.set_receiver net (fun ~dst ~src msg ->

@@ -33,9 +33,10 @@ let run ?latency ?(crashed = []) ?seed ~graph ~source () =
     end
     else Network.send net ~src:v ~dst:parent.(v) Echo
   in
+  let csr = Network.csr net in
   let propagate_from v ~except =
     let sent = ref 0 in
-    Graph.iter_neighbors graph v (fun w ->
+    Graph_core.Csr.iter_neighbors csr v (fun w ->
         if w <> except then begin
           Network.send net ~src:v ~dst:w Propagate;
           incr sent

@@ -32,9 +32,13 @@ let flood_delivery ~graph ~source ~node_failure_prob ~trials ~seed =
   let rng = Prng.create ~seed in
   let alive = Array.make n true in
   let successes = ref 0 in
+  (* One frozen snapshot and one BFS workspace across all trials: the
+     per-trial work is a flat-array BFS with zero allocation. *)
+  let csr = Graph_core.Csr.of_graph graph in
+  let ws = Graph_core.Bfs.Workspace.create () in
   for _ = 1 to trials do
     draw_failures rng ~n ~source ~p:node_failure_prob alive;
-    let r = Sync.flood ~alive graph ~source in
+    let r = Sync.flood_csr ~workspace:ws ~alive csr ~source in
     if r.Sync.covers_all_alive then incr successes
   done;
   estimate_of ~successes:!successes ~trials

@@ -68,8 +68,10 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_ent
       true
     end
   in
+  let csr = Network.csr net in
   let forward v ~except ~id ~hop =
-    Graph.iter_neighbors graph v (fun w -> if w <> except then send_flood ~src:v ~dst:w id hop)
+    Graph_core.Csr.iter_neighbors csr v (fun w ->
+        if w <> except then send_flood ~src:v ~dst:w id hop)
   in
   Network.set_receiver net (fun ~dst ~src msg ->
       match msg with
@@ -91,9 +93,10 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_ent
   let digest_of v = Hashtbl.fold (fun id () acc -> id :: acc) has.(v) [] in
   let rec tick v () =
     if Sim.now sim < duration && not (Network.is_crashed net v) then begin
-      let ns = Array.of_list (Graph.neighbors graph v) in
-      if Array.length ns > 0 then begin
-        let peer = ns.(Prng.int rng (Array.length ns)) in
+      let deg = Graph_core.Csr.degree csr v in
+      if deg > 0 then begin
+        let off = Graph_core.Csr.offsets csr and nbr = Graph_core.Csr.neighbor_array csr in
+        let peer = nbr.(off.(v) + Prng.int rng deg) in
         send_repair ~src:v ~dst:peer (Digest (digest_of v))
       end;
       Sim.schedule sim ~delay:anti_entropy_period (tick v)

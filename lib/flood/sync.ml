@@ -1,24 +1,29 @@
 module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
 module Bfs = Graph_core.Bfs
 
 type t = { reached : int; rounds : int; messages : int; covers_all_alive : bool }
 
-let flood ?alive g ~source =
-  let dist = Bfs.distances ?alive g ~src:source in
+let flood_csr ?workspace ?alive csr ~source =
+  let ws = match workspace with Some w -> w | None -> Bfs.Workspace.create () in
+  let dist = Bfs.csr_distances_into ws ?alive csr ~src:source in
   let live = match alive with None -> fun _ -> true | Some a -> fun v -> a.(v) in
+  let nv = Csr.n csr in
   let reached = ref 0 and rounds = ref 0 and degree_sum = ref 0 and alive_total = ref 0 in
-  Array.iteri
-    (fun v d ->
-      if live v then incr alive_total;
-      if d >= 0 then begin
-        incr reached;
-        if d > !rounds then rounds := d;
-        degree_sum := !degree_sum + Graph.degree g v
-      end)
-    dist;
+  for v = 0 to nv - 1 do
+    if live v then incr alive_total;
+    let d = dist.(v) in
+    if d >= 0 then begin
+      incr reached;
+      if d > !rounds then rounds := d;
+      degree_sum := !degree_sum + Csr.degree csr v
+    end
+  done;
   (* Every reached vertex sends to all neighbours except its first
      parent; the source has no parent. *)
   let messages = !degree_sum - (!reached - 1) in
   { reached = !reached; rounds = !rounds; messages; covers_all_alive = !reached = !alive_total }
+
+let flood ?alive g ~source = flood_csr ?alive (Csr.of_graph g) ~source
 
 let message_bound g = (2 * Graph.m g) - (Graph.n g - 1)

@@ -17,7 +17,19 @@ type t = {
 val flood : ?alive:bool array -> Graph_core.Graph.t -> source:int -> t
 (** Flood from [source] over the alive part of the graph. Messages sent
     to crashed neighbours are counted as sent (the sender cannot know),
-    matching {!Flooding.run}'s accounting. *)
+    matching {!Flooding.run}'s accounting. Snapshots the graph to CSR
+    once and delegates to {!flood_csr}. *)
+
+val flood_csr :
+  ?workspace:Graph_core.Bfs.Workspace.t ->
+  ?alive:bool array ->
+  Graph_core.Csr.t ->
+  source:int ->
+  t
+(** As {!flood}, over a frozen snapshot. Passing [?workspace] makes
+    repeated calls over the same (or same-sized) topology allocation-free
+    — the path used by {!Reliability}'s Monte-Carlo loops and the large
+    parameter sweeps. *)
 
 val message_bound : Graph_core.Graph.t -> int
 (** The failure-free message count: 2m − (n − 1) — every edge carries

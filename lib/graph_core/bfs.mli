@@ -20,3 +20,37 @@ val eccentricity : ?alive:bool array -> Graph.t -> src:int -> int option
 
 val reachable_count : ?alive:bool array -> Graph.t -> src:int -> int
 (** Number of vertices reachable from [src], including [src] itself. *)
+
+(** {2 CSR fast path}
+
+    The functions below traverse a frozen {!Csr.t} snapshot with flat
+    int arrays and a preallocated queue — no [Queue.t] boxing, no
+    set-tree pointer chasing. Semantics (including [?alive] handling and
+    error messages) match the [Graph.t] functions above exactly. *)
+
+module Workspace : sig
+  type t
+  (** Reusable scratch space (distance, parent and queue arrays) for
+      repeated CSR traversals — eccentricity sweeps, Monte-Carlo
+      flooding — with zero per-call allocation. A workspace grows to the
+      largest graph it has served and is never shrunk. Not thread-safe:
+      one workspace per concurrent traversal. *)
+
+  val create : unit -> t
+end
+
+val csr_run : Workspace.t -> ?alive:bool array -> Csr.t -> src:int -> unit
+(** Run BFS from [src], leaving distances and parents in the workspace
+    (read them via {!csr_distances_into} or the returned arrays of the
+    allocating variants). *)
+
+val csr_distances_into : Workspace.t -> ?alive:bool array -> Csr.t -> src:int -> int array
+(** As {!distances}, but over a CSR snapshot and into the workspace.
+    Returns the workspace's own distance array: it may be longer than
+    [Csr.n csr] (only the first [n] entries are meaningful) and is
+    invalidated by the next run on the same workspace. *)
+
+val csr_distances : ?alive:bool array -> Csr.t -> src:int -> int array
+(** Allocating convenience: exact-length fresh distance array. *)
+
+val csr_distances_and_parents : ?alive:bool array -> Csr.t -> src:int -> int array * int array

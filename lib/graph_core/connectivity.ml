@@ -1,12 +1,23 @@
-let edge_flow_network g =
-  let net = Maxflow.Net.create ~n:(max 1 (Graph.n g)) in
-  Graph.iter_edges g (fun u v -> Maxflow.Net.add_edge_bidir net u v ~cap:1);
+(* All flow-network construction and the global-connectivity search
+   loops run over a frozen CSR snapshot: the builders know the exact arc
+   count up front (zero growth copies) and neighbour scans are flat
+   array reads. The [Graph.t] entry points snapshot once and delegate. *)
+
+let edge_flow_network_csr csr =
+  let net =
+    Maxflow.Net.create_sized ~n:(max 1 (Csr.n csr)) ~arc_capacity:(4 * Csr.m csr)
+  in
+  Csr.iter_edges csr (fun u v -> Maxflow.Net.add_edge_bidir net u v ~cap:1);
   net
 
-let vertex_split_network g =
-  let nv = Graph.n g in
+let edge_flow_network g = edge_flow_network_csr (Csr.of_graph g)
+
+let vertex_split_network_csr csr =
+  let nv = Csr.n csr in
   let v_in v = 2 * v and v_out v = (2 * v) + 1 in
-  let net = Maxflow.Net.create ~n:(max 1 (2 * nv)) in
+  let net =
+    Maxflow.Net.create_sized ~n:(max 1 (2 * nv)) ~arc_capacity:((2 * nv) + (4 * Csr.m csr))
+  in
   for v = 0 to nv - 1 do
     Maxflow.Net.add_arc net ~src:(v_in v) ~dst:(v_out v) ~cap:1
   done;
@@ -16,10 +27,12 @@ let vertex_split_network g =
      unit interior arcs, and saturating only those guarantees minimum
      cuts consist of interior arcs — i.e. of vertices. *)
   let big = max 1 nv in
-  Graph.iter_edges g (fun u v ->
+  Csr.iter_edges csr (fun u v ->
       Maxflow.Net.add_arc net ~src:(v_out u) ~dst:(v_in v) ~cap:big;
       Maxflow.Net.add_arc net ~src:(v_out v) ~dst:(v_in u) ~cap:big);
   (net, v_in, v_out)
+
+let vertex_split_network g = vertex_split_network_csr (Csr.of_graph g)
 
 let check_pair g s t name =
   let nv = Graph.n g in
@@ -45,11 +58,11 @@ let local_vertex_connectivity ?limit g ~s ~t =
   end
 
 (* Iterate λ(v0, t) over all t, reusing one network. *)
-let edge_connectivity_upto limit g =
-  let nv = Graph.n g in
+let edge_connectivity_upto_csr limit csr =
+  let nv = Csr.n csr in
   if nv <= 1 then 0
   else begin
-    let net = edge_flow_network g in
+    let net = edge_flow_network_csr csr in
     let best = ref limit in
     let t = ref 1 in
     while !best > 0 && !t < nv do
@@ -61,50 +74,54 @@ let edge_connectivity_upto limit g =
     !best
   end
 
-let edge_connectivity g =
-  let nv = Graph.n g in
+let edge_connectivity_csr csr =
+  let nv = Csr.n csr in
   if nv <= 1 then 0
   else begin
     (* λ(G) ≤ δ(G). *)
     let delta = ref max_int in
     for v = 0 to nv - 1 do
-      delta := min !delta (Graph.degree g v)
+      delta := min !delta (Csr.degree csr v)
     done;
-    edge_connectivity_upto !delta g
+    edge_connectivity_upto_csr !delta csr
   end
 
-let is_k_edge_connected g ~k =
-  if k < 0 then invalid_arg "Connectivity.is_k_edge_connected: negative k";
-  if k = 0 then Graph.n g > 0
-  else if Graph.n g <= 1 then false
-  else edge_connectivity_upto k g >= k
+let edge_connectivity g = edge_connectivity_csr (Csr.of_graph g)
 
-let min_degree_vertex g =
-  let nv = Graph.n g in
+let is_k_edge_connected_csr csr ~k =
+  if k < 0 then invalid_arg "Connectivity.is_k_edge_connected: negative k";
+  if k = 0 then Csr.n csr > 0
+  else if Csr.n csr <= 1 then false
+  else edge_connectivity_upto_csr k csr >= k
+
+let is_k_edge_connected g ~k = is_k_edge_connected_csr (Csr.of_graph g) ~k
+
+let min_degree_vertex csr =
+  let nv = Csr.n csr in
   let best = ref 0 in
   for v = 1 to nv - 1 do
-    if Graph.degree g v < Graph.degree g !best then best := v
+    if Csr.degree csr v < Csr.degree csr !best then best := v
   done;
   !best
 
-let is_complete g =
-  let nv = Graph.n g in
-  Graph.m g = nv * (nv - 1) / 2
+let is_complete csr =
+  let nv = Csr.n csr in
+  Csr.m csr = nv * (nv - 1) / 2
 
 (* κ(G) capped at [limit], by the min-degree-neighbourhood reduction. *)
-let vertex_connectivity_upto limit g =
-  let nv = Graph.n g in
+let vertex_connectivity_upto_csr limit csr =
+  let nv = Csr.n csr in
   if nv <= 1 then 0
-  else if is_complete g then min limit (nv - 1)
+  else if is_complete csr then min limit (nv - 1)
   else begin
-    let v = min_degree_vertex g in
-    let sources = v :: Graph.neighbors g v in
-    let net, v_in, v_out = vertex_split_network g in
-    let best = ref (min limit (Graph.degree g v)) in
+    let v = min_degree_vertex csr in
+    let sources = v :: Csr.neighbors csr v in
+    let net, v_in, v_out = vertex_split_network_csr csr in
+    let best = ref (min limit (Csr.degree csr v)) in
     List.iter
       (fun s ->
         for t = 0 to nv - 1 do
-          if !best > 0 && t <> s && not (Graph.has_edge g s t) then begin
+          if !best > 0 && t <> s && not (Csr.mem_edge csr s t) then begin
             Maxflow.Net.reset_flow net;
             let f = Maxflow.max_flow ~limit:!best net ~s:(v_out s) ~t:(v_in t) in
             if f < !best then best := f
@@ -114,15 +131,26 @@ let vertex_connectivity_upto limit g =
     !best
   end
 
-let vertex_connectivity g = vertex_connectivity_upto max_int g
+let vertex_connectivity_csr csr = vertex_connectivity_upto_csr max_int csr
+
+let vertex_connectivity g = vertex_connectivity_csr (Csr.of_graph g)
+
+let is_k_vertex_connected_csr csr ~k =
+  if k < 0 then invalid_arg "Connectivity.is_k_vertex_connected: negative k";
+  if k = 0 then Csr.n csr > 0
+  else if Csr.n csr < k + 1 then false
+  else vertex_connectivity_upto_csr k csr >= k
+
+let is_k_vertex_connected g ~k = is_k_vertex_connected_csr (Csr.of_graph g) ~k
 
 let min_edge_cut g =
   let nv = Graph.n g in
   if nv <= 1 || not (Components.is_connected g) then []
   else begin
     (* find the t minimising maxflow(0, t), then read the cut *)
-    let lambda = edge_connectivity g in
-    let net = edge_flow_network g in
+    let csr = Csr.of_graph g in
+    let lambda = edge_connectivity_csr csr in
+    let net = edge_flow_network_csr csr in
     let best_t = ref (-1) in
     let t = ref 1 in
     while !best_t < 0 && !t < nv do
@@ -134,18 +162,19 @@ let min_edge_cut g =
     ignore (Maxflow.max_flow net ~s:0 ~t:!best_t);
     let side = Maxflow.min_cut_side net ~s:0 in
     let cut = ref [] in
-    Graph.iter_edges g (fun u v -> if side.(u) <> side.(v) then cut := (u, v) :: !cut);
+    Csr.iter_edges csr (fun u v -> if side.(u) <> side.(v) then cut := (u, v) :: !cut);
     List.rev !cut
   end
 
 let min_vertex_cut g =
   let nv = Graph.n g in
-  if nv <= 1 || is_complete g || not (Components.is_connected g) then []
+  let csr = Csr.of_graph g in
+  if nv <= 1 || is_complete csr || not (Components.is_connected g) then []
   else begin
-    let kappa = vertex_connectivity g in
-    let v = min_degree_vertex g in
-    let sources = v :: Graph.neighbors g v in
-    let net, v_in, v_out = vertex_split_network g in
+    let kappa = vertex_connectivity_csr csr in
+    let v = min_degree_vertex csr in
+    let sources = v :: Csr.neighbors csr v in
+    let net, v_in, v_out = vertex_split_network_csr csr in
     (* find an (s,t) pair realising kappa, then cut vertices are the
        saturated interior arcs crossing the residual cut *)
     let found = ref [] and done_ = ref false in
@@ -153,7 +182,7 @@ let min_vertex_cut g =
       (fun s ->
         if not !done_ then
           for t = 0 to nv - 1 do
-            if (not !done_) && t <> s && not (Graph.has_edge g s t) then begin
+            if (not !done_) && t <> s && not (Csr.mem_edge csr s t) then begin
               Maxflow.Net.reset_flow net;
               if Maxflow.max_flow ~limit:(kappa + 1) net ~s:(v_out s) ~t:(v_in t) = kappa then begin
                 let side = Maxflow.min_cut_side net ~s:(v_out s) in
@@ -169,9 +198,3 @@ let min_vertex_cut g =
       sources;
     !found
   end
-
-let is_k_vertex_connected g ~k =
-  if k < 0 then invalid_arg "Connectivity.is_k_vertex_connected: negative k";
-  if k = 0 then Graph.n g > 0
-  else if Graph.n g < k + 1 then false
-  else vertex_connectivity_upto k g >= k

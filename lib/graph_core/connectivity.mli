@@ -62,3 +62,23 @@ val vertex_split_network : Graph.t -> Maxflow.Net.t * (int -> int) * (int -> int
     vertices of a κ(s,t) query must use [v_out s] as source and
     [v_in t] as sink; the splitting arc of s and t is effectively
     bypassed because flow leaves from s_out and enters t_in. *)
+
+(** {2 CSR variants}
+
+    The [Graph.t] functions above snapshot the graph once and delegate
+    to these; callers that already hold a {!Csr.t} (e.g. the LHG
+    verifier, which runs several connectivity checks over one frozen
+    topology) should use them directly. Networks are built in one pass
+    with exact arc preallocation. *)
+
+val edge_flow_network_csr : Csr.t -> Maxflow.Net.t
+
+val vertex_split_network_csr : Csr.t -> Maxflow.Net.t * (int -> int) * (int -> int)
+
+val edge_connectivity_csr : Csr.t -> int
+
+val vertex_connectivity_csr : Csr.t -> int
+
+val is_k_edge_connected_csr : Csr.t -> k:int -> bool
+
+val is_k_vertex_connected_csr : Csr.t -> k:int -> bool

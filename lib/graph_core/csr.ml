@@ -1,0 +1,82 @@
+type t = { n : int; m : int; offsets : int array; neighbors : int array }
+
+let of_graph g =
+  let n = Graph.n g in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Graph.degree g v
+  done;
+  let neighbors = Array.make offsets.(n) 0 in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    (* ISet iteration is ascending, so each row comes out sorted. *)
+    Graph.iter_neighbors g v (fun w ->
+        neighbors.(!pos) <- w;
+        incr pos)
+  done;
+  { n; m = Graph.m g; offsets; neighbors }
+
+let n t = t.n
+
+let m t = t.m
+
+let check_vertex t v name =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Csr.%s: vertex %d out of range [0,%d)" name v t.n)
+
+let degree t v =
+  check_vertex t v "degree";
+  t.offsets.(v + 1) - t.offsets.(v)
+
+let neighbors t v =
+  check_vertex t v "neighbors";
+  let acc = ref [] in
+  for i = t.offsets.(v + 1) - 1 downto t.offsets.(v) do
+    acc := t.neighbors.(i) :: !acc
+  done;
+  !acc
+
+let iter_neighbors t v f =
+  check_vertex t v "iter_neighbors";
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.neighbors.(i)
+  done
+
+let fold_neighbors t v ~init ~f =
+  check_vertex t v "fold_neighbors";
+  let acc = ref init in
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    acc := f !acc t.neighbors.(i)
+  done;
+  !acc
+
+let mem_edge t u v =
+  check_vertex t u "mem_edge";
+  check_vertex t v "mem_edge";
+  let lo = ref t.offsets.(u) and hi = ref t.offsets.(u + 1) in
+  (* invariant: the row slot holding v, if any, is in [lo, hi) *)
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.neighbors.(mid) in
+    if w = v then begin
+      lo := mid;
+      hi := mid
+    end
+    else if w < v then lo := mid + 1
+    else hi := mid
+  done;
+  !lo < t.offsets.(u + 1) && t.neighbors.(!lo) = v
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.neighbors.(i) in
+      if u < v then f u v
+    done
+  done
+
+let offsets t = t.offsets
+
+let neighbor_array t = t.neighbors
+
+let degree_sum t = t.offsets.(t.n)

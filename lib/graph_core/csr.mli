@@ -1,0 +1,54 @@
+(** Immutable compressed-sparse-row adjacency snapshots.
+
+    {!Graph.t} is the mutable build-side representation: adjacency sets
+    make edge insertion/removal simple and keep iteration deterministic,
+    but every neighbour visit pays O(log d) pointer chasing. A [Csr.t]
+    freezes a graph into two flat [int array]s — row [offsets] and a
+    concatenated, per-row-sorted [neighbors] stream — so traversals
+    (BFS, flooding, flow-network construction) run over contiguous
+    memory with O(1) neighbour access and zero allocation.
+
+    A snapshot is a value: it never observes later mutations of the
+    source graph. Re-run {!of_graph} after the edge set changes.
+    Neighbour iteration order is ascending, identical to {!Graph}'s. *)
+
+type t
+
+val of_graph : Graph.t -> t
+(** Freeze the current edge set of a graph. O(n + m). *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+(** O(1): [offsets.(v+1) - offsets.(v)]. *)
+
+val neighbors : t -> int -> int list
+(** Ascending list of neighbours (allocates; prefer the iterators). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Visit neighbours in ascending order. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** Edge membership by binary search within the row: O(log d). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge exactly once, as [u < v], lexicographically. *)
+
+val offsets : t -> int array
+(** The raw row-offset array, length [n + 1]: row [v] occupies indices
+    [offsets.(v) .. offsets.(v+1) - 1] of {!neighbor_array}. Exposed for
+    flat hot loops (BFS, flow construction, benchmarks). {b Do not
+    mutate.} *)
+
+val neighbor_array : t -> int array
+(** The raw concatenated neighbour stream, length [2m], each row sorted
+    ascending. {b Do not mutate.} *)
+
+val degree_sum : t -> int
+(** Sum of degrees = [2 * m]. O(1). *)

@@ -104,27 +104,33 @@ let without_vertices g vs =
     vs;
   g'
 
-let complement_degree_sum g =
+let degree_sum g =
   let acc = ref 0 in
   for v = 0 to g.n - 1 do
     acc := !acc + ISet.cardinal g.adj.(v)
   done;
   !acc
 
+exception Asymmetric
+
 let is_symmetric g =
-  let ok = ref true in
-  for u = 0 to g.n - 1 do
-    ISet.iter (fun v -> if not (ISet.mem u g.adj.(v)) then ok := false) g.adj.(u)
-  done;
-  !ok && complement_degree_sum g = 2 * g.m
+  try
+    for u = 0 to g.n - 1 do
+      ISet.iter (fun v -> if not (ISet.mem u g.adj.(v)) then raise Asymmetric) g.adj.(u)
+    done;
+    degree_sum g = 2 * g.m
+  with Asymmetric -> false
+
+exception Unequal
 
 let equal g1 g2 =
   n g1 = n g2 && m g1 = m g2
   &&
-  let same = ref true in
-  for v = 0 to g1.n - 1 do
-    if not (ISet.equal g1.adj.(v) g2.adj.(v)) then same := false
-  done;
-  !same
+  try
+    for v = 0 to g1.n - 1 do
+      if not (ISet.equal g1.adj.(v) g2.adj.(v)) then raise Unequal
+    done;
+    true
+  with Unequal -> false
 
 let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" (n g) (m g)

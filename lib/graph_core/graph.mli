@@ -66,16 +66,18 @@ val without_vertices : t -> int list -> t
     given vertices removed — the standard "node crash" view in which
     removed vertices remain as isolated placeholders. *)
 
-val complement_degree_sum : t -> int
-(** Sum of degrees; equals [2 * m g]. Exposed for cheap invariant
-    checks in tests. *)
+val degree_sum : t -> int
+(** Sum of degrees over all vertices; equals [2 * m g] by the handshake
+    lemma. Exposed for cheap invariant checks in tests. *)
 
 val is_symmetric : t -> bool
 (** Internal-consistency check: adjacency is symmetric. Always [true]
-    unless the representation was corrupted; used by tests. *)
+    unless the representation was corrupted; used by tests.
+    Short-circuits on the first asymmetric pair. *)
 
 val equal : t -> t -> bool
-(** Same vertex count and same edge set. *)
+(** Same vertex count and same edge set. Short-circuits on the first
+    differing adjacency row. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable summary ["graph(n=.., m=..)"]. *)

@@ -1,27 +1,35 @@
 module Net = struct
   (* Arc i and its reverse are stored at indices 2j and 2j+1, so the
-     reverse of arc a is [a lxor 1]. *)
+     reverse of arc a is [a lxor 1]. Per-node incidence is an intrusive
+     linked list over two flat arrays: [first.(v)] is the most recently
+     added arc out of [v] (-1 when none) and [nexts.(a)] chains to the
+     previously added one — the same reverse-insertion iteration order
+     the earlier list-based representation produced, with no boxing and
+     nothing to freeze before a flow run. *)
   type t = {
     n : int;
     mutable heads : int array; (* arc -> destination node *)
     mutable caps : int array; (* arc -> remaining capacity *)
     mutable orig_caps : int array;
+    mutable nexts : int array; (* arc -> next arc out of the same node *)
+    first : int array; (* node -> first arc index, -1 when none *)
     mutable arc_count : int;
-    adj : int list array; (* node -> incident arc indices, reversed order *)
-    mutable adj_frozen : int array array option;
   }
 
-  let create ~n =
+  let create_sized ~n ~arc_capacity =
     if n <= 0 then invalid_arg "Maxflow.Net.create";
+    let cap = max 16 arc_capacity in
     {
       n;
-      heads = Array.make 16 0;
-      caps = Array.make 16 0;
-      orig_caps = Array.make 16 0;
+      heads = Array.make cap 0;
+      caps = Array.make cap 0;
+      orig_caps = Array.make cap 0;
+      nexts = Array.make cap (-1);
+      first = Array.make n (-1);
       arc_count = 0;
-      adj = Array.make n [];
-      adj_frozen = None;
     }
+
+  let create ~n = create_sized ~n ~arc_capacity:16
 
   let node_count net = net.n
 
@@ -29,17 +37,17 @@ module Net = struct
     let capn = Array.length net.heads in
     if needed > capn then begin
       let ncap = max needed (2 * capn) in
-      let grow a = Array.append a (Array.make (ncap - Array.length a) 0) in
-      net.heads <- grow net.heads;
-      net.caps <- grow net.caps;
-      net.orig_caps <- grow net.orig_caps
+      let grow fill a = Array.append a (Array.make (ncap - Array.length a) fill) in
+      net.heads <- grow 0 net.heads;
+      net.caps <- grow 0 net.caps;
+      net.orig_caps <- grow 0 net.orig_caps;
+      net.nexts <- grow (-1) net.nexts
     end
 
   let add_arc net ~src ~dst ~cap =
     if src < 0 || src >= net.n || dst < 0 || dst >= net.n then
       invalid_arg "Maxflow.Net.add_arc: node out of range";
     if cap < 0 then invalid_arg "Maxflow.Net.add_arc: negative capacity";
-    net.adj_frozen <- None;
     ensure net (net.arc_count + 2);
     let a = net.arc_count in
     net.heads.(a) <- dst;
@@ -48,8 +56,10 @@ module Net = struct
     net.heads.(a + 1) <- src;
     net.caps.(a + 1) <- 0;
     net.orig_caps.(a + 1) <- 0;
-    net.adj.(src) <- a :: net.adj.(src);
-    net.adj.(dst) <- (a + 1) :: net.adj.(dst);
+    net.nexts.(a) <- net.first.(src);
+    net.first.(src) <- a;
+    net.nexts.(a + 1) <- net.first.(dst);
+    net.first.(dst) <- a + 1;
     net.arc_count <- net.arc_count + 2
 
   let add_edge_bidir net u v ~cap =
@@ -57,14 +67,6 @@ module Net = struct
     add_arc net ~src:v ~dst:u ~cap
 
   let reset_flow net = Array.blit net.orig_caps 0 net.caps 0 net.arc_count
-
-  let frozen_adj net =
-    match net.adj_frozen with
-    | Some a -> a
-    | None ->
-        let a = Array.map Array.of_list net.adj in
-        net.adj_frozen <- Some a;
-        a
 end
 
 let infinity_cap = max_int / 4
@@ -73,26 +75,33 @@ let max_flow ?(limit = infinity_cap) (net : Net.t) ~s ~t =
   if s = t then invalid_arg "Maxflow.max_flow: s = t";
   if s < 0 || s >= net.Net.n || t < 0 || t >= net.Net.n then
     invalid_arg "Maxflow.max_flow: node out of range";
-  let adj = Net.frozen_adj net in
   let nn = net.Net.n in
+  let heads = net.Net.heads and caps = net.Net.caps in
+  let first = net.Net.first and nexts = net.Net.nexts in
   let level = Array.make nn (-1) in
-  let iter = Array.make nn 0 in
-  let q = Queue.create () in
+  (* [iter.(u)] is the next arc of u to try in the current phase — the
+     current-arc optimisation, holding arc ids directly. *)
+  let iter = Array.make nn (-1) in
+  let queue = Array.make nn 0 in
   let build_levels () =
     Array.fill level 0 nn (-1);
-    Queue.clear q;
     level.(s) <- 0;
-    Queue.add s q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      Array.iter
-        (fun a ->
-          let v = net.Net.heads.(a) in
-          if net.Net.caps.(a) > 0 && level.(v) < 0 then begin
-            level.(v) <- level.(u) + 1;
-            Queue.add v q
-          end)
-        adj.(u)
+    queue.(0) <- s;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      let lv = level.(u) + 1 in
+      let a = ref first.(u) in
+      while !a >= 0 do
+        let v = heads.(!a) in
+        if caps.(!a) > 0 && level.(v) < 0 then begin
+          level.(v) <- lv;
+          queue.(!tail) <- v;
+          incr tail
+        end;
+        a := nexts.(!a)
+      done
     done;
     level.(t) >= 0
   in
@@ -100,21 +109,19 @@ let max_flow ?(limit = infinity_cap) (net : Net.t) ~s ~t =
     if u = t then pushed
     else begin
       let res = ref 0 in
-      let arcs = adj.(u) in
-      let narcs = Array.length arcs in
-      while !res = 0 && iter.(u) < narcs do
-        let a = arcs.(iter.(u)) in
-        let v = net.Net.heads.(a) in
-        if net.Net.caps.(a) > 0 && level.(v) = level.(u) + 1 then begin
-          let d = dfs v (min pushed net.Net.caps.(a)) in
+      while !res = 0 && iter.(u) >= 0 do
+        let a = iter.(u) in
+        let v = heads.(a) in
+        if caps.(a) > 0 && level.(v) = level.(u) + 1 then begin
+          let d = dfs v (min pushed caps.(a)) in
           if d > 0 then begin
-            net.Net.caps.(a) <- net.Net.caps.(a) - d;
-            net.Net.caps.(a lxor 1) <- net.Net.caps.(a lxor 1) + d;
+            caps.(a) <- caps.(a) - d;
+            caps.(a lxor 1) <- caps.(a lxor 1) + d;
             res := d
           end
-          else iter.(u) <- iter.(u) + 1
+          else iter.(u) <- nexts.(a)
         end
-        else iter.(u) <- iter.(u) + 1
+        else iter.(u) <- nexts.(a)
       done;
       !res
     end
@@ -122,7 +129,7 @@ let max_flow ?(limit = infinity_cap) (net : Net.t) ~s ~t =
   let flow = ref 0 in
   let continue = ref true in
   while !continue && !flow < limit && build_levels () do
-    Array.fill iter 0 nn 0;
+    Array.blit first 0 iter 0 nn;
     let pushed = ref (dfs s (limit - !flow)) in
     while !pushed > 0 do
       flow := !flow + !pushed;
@@ -145,20 +152,23 @@ let iter_flow_arcs (net : Net.t) f =
   done
 
 let min_cut_side (net : Net.t) ~s =
-  let adj = Net.frozen_adj net in
   let seen = Array.make net.Net.n false in
-  let q = Queue.create () in
+  let queue = Array.make net.Net.n 0 in
   seen.(s) <- true;
-  Queue.add s q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    Array.iter
-      (fun a ->
-        let v = net.Net.heads.(a) in
-        if net.Net.caps.(a) > 0 && not seen.(v) then begin
-          seen.(v) <- true;
-          Queue.add v q
-        end)
-      adj.(u)
+  queue.(0) <- s;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let a = ref net.Net.first.(u) in
+    while !a >= 0 do
+      let v = net.Net.heads.(!a) in
+      if net.Net.caps.(!a) > 0 && not seen.(v) then begin
+        seen.(v) <- true;
+        queue.(!tail) <- v;
+        incr tail
+      end;
+      a := net.Net.nexts.(!a)
+    done
   done;
   seen

@@ -12,6 +12,13 @@ module Net : sig
   val create : n:int -> t
   (** [n] nodes, no arcs. *)
 
+  val create_sized : n:int -> arc_capacity:int -> t
+  (** As {!create}, but preallocating the flat arc arrays
+      ([arc_capacity] arc slots: each {!add_arc} consumes two, each
+      {!add_edge_bidir} four), so a caller that knows the final arc
+      count — e.g. a CSR-driven network build — pays zero growth
+      copies. *)
+
   val node_count : t -> int
 
   val add_arc : t -> src:int -> dst:int -> cap:int -> unit

@@ -1,59 +1,97 @@
-let live_fun g alive =
-  match alive with
-  | None -> fun _ -> true
-  | Some a ->
-      if Array.length a <> Graph.n g then invalid_arg "Paths: alive mask has wrong length";
-      fun v -> a.(v)
+(* Every aggregate here is a sweep of BFS passes over a fixed topology,
+   so each entry point snapshots the graph to CSR once and reuses one
+   BFS workspace across all sources — zero per-source allocation. *)
 
-let eccentricities ?alive g =
-  let nv = Graph.n g in
-  let live = live_fun g alive in
-  Array.init nv (fun v -> if live v then Bfs.eccentricity ?alive g ~src:v else None)
+let check_mask_csr csr alive =
+  match alive with
+  | None -> ()
+  | Some a ->
+      if Array.length a <> Csr.n csr then invalid_arg "Paths: alive mask has wrong length"
+
+let live_fun alive =
+  match alive with None -> fun _ -> true | Some a -> fun v -> a.(v)
+
+(* Eccentricity of [src] from a workspace run: max finite distance over
+   live vertices, or None when some live vertex is unreachable. *)
+let ecc_of_run ws ?alive csr ~src =
+  let nv = Csr.n csr in
+  let dist = Bfs.csr_distances_into ws ?alive csr ~src in
+  let live = live_fun alive in
+  let ecc = ref 0 and complete = ref true in
+  for v = 0 to nv - 1 do
+    if live v then begin
+      let d = dist.(v) in
+      if d < 0 then complete := false else if d > !ecc then ecc := d
+    end
+  done;
+  if !complete then Some !ecc else None
+
+let eccentricities_csr ?alive csr =
+  check_mask_csr csr alive;
+  let live = live_fun alive in
+  let ws = Bfs.Workspace.create () in
+  Array.init (Csr.n csr) (fun v ->
+      if live v then ecc_of_run ws ?alive csr ~src:v else None)
+
+let eccentricities ?alive g = eccentricities_csr ?alive (Csr.of_graph g)
 
 (* Fold alive vertices' eccentricities with [f]; None when the graph is
    empty or some alive vertex has undefined (infinite) eccentricity. *)
-let fold_ecc ?alive g f =
-  let live = live_fun g alive in
-  let eccs = eccentricities ?alive g in
+let fold_ecc_csr ?alive csr f =
+  check_mask_csr csr alive;
+  let live = live_fun alive in
+  let ws = Bfs.Workspace.create () in
   let best = ref None and ok = ref true in
-  Array.iteri
-    (fun v e ->
-      if live v then
-        match e with
-        | None -> ok := false
-        | Some e -> best := Some (match !best with None -> e | Some b -> f b e))
-    eccs;
+  let v = ref 0 and nv = Csr.n csr in
+  while !ok && !v < nv do
+    if live !v then begin
+      match ecc_of_run ws ?alive csr ~src:!v with
+      | None -> ok := false
+      | Some e -> best := Some (match !best with None -> e | Some b -> f b e)
+    end;
+    incr v
+  done;
   if !ok then !best else None
 
-let diameter ?alive g = fold_ecc ?alive g max
+let diameter_csr ?alive csr = fold_ecc_csr ?alive csr max
 
-let radius ?alive g = fold_ecc ?alive g min
+let radius_csr ?alive csr = fold_ecc_csr ?alive csr min
+
+let diameter ?alive g = diameter_csr ?alive (Csr.of_graph g)
+
+let radius ?alive g = radius_csr ?alive (Csr.of_graph g)
 
 let average_path_length ?alive g =
-  let nv = Graph.n g in
-  let live = live_fun g alive in
+  let csr = Csr.of_graph g in
+  check_mask_csr csr alive;
+  let nv = Csr.n csr in
+  let live = live_fun alive in
+  let ws = Bfs.Workspace.create () in
   let total = ref 0 and pairs = ref 0 and ok = ref true in
   for src = 0 to nv - 1 do
     if !ok && live src then begin
-      let dist = Bfs.distances ?alive g ~src in
-      Array.iteri
-        (fun v d ->
-          if live v && v <> src then
-            if d < 0 then ok := false
-            else begin
-              total := !total + d;
-              incr pairs
-            end)
-        dist
+      let dist = Bfs.csr_distances_into ws ?alive csr ~src in
+      for v = 0 to nv - 1 do
+        if live v && v <> src then begin
+          let d = dist.(v) in
+          if d < 0 then ok := false
+          else begin
+            total := !total + d;
+            incr pairs
+          end
+        end
+      done
     end
   done;
   if !ok && !pairs > 0 then Some (float_of_int !total /. float_of_int !pairs) else None
 
 let diameter_lower_bound g ~seeds =
   if seeds = [] then invalid_arg "Paths.diameter_lower_bound: empty seeds";
+  let csr = Csr.of_graph g in
+  let ws = Bfs.Workspace.create () in
   List.fold_left
     (fun acc s ->
-      match Bfs.eccentricity g ~src:s with
+      match ecc_of_run ws csr ~src:s with
       | Some e -> max acc e
       | None -> invalid_arg "Paths.diameter_lower_bound: graph is disconnected")
     0 seeds

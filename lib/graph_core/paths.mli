@@ -1,7 +1,10 @@
 (** Distance aggregates: diameter, radius, average path length.
 
-    All-pairs quantities run one BFS per vertex — O(n·m) — which is fine
-    for the graph sizes in this repository's experiments (n ≤ ~10⁴). *)
+    All-pairs quantities run one BFS per vertex — O(n·m). Every entry
+    point freezes the graph into one {!Csr.t} snapshot and sweeps it
+    with a single reused {!Bfs.Workspace}, so the per-source cost is a
+    flat-array BFS with no allocation; callers that already hold a
+    snapshot can use the [_csr] variants to skip the freeze. *)
 
 val diameter : ?alive:bool array -> Graph.t -> int option
 (** Exact diameter (max over vertices of eccentricity), or [None] when
@@ -23,3 +26,10 @@ val diameter_lower_bound : Graph.t -> seeds:int list -> int
     vertices. Useful to confirm "linear diameter" on very large graphs
     without n BFS passes. Requires a connected graph and non-empty
     seeds. *)
+
+val diameter_csr : ?alive:bool array -> Csr.t -> int option
+(** {!diameter} over an existing snapshot. *)
+
+val radius_csr : ?alive:bool array -> Csr.t -> int option
+
+val eccentricities_csr : ?alive:bool array -> Csr.t -> int option array

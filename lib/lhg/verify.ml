@@ -24,12 +24,16 @@ let diameter_bound ~n ~k =
 
 let verify ?(check_minimality = true) g ~k =
   let n = Graph.n g in
-  let node_connected = Connectivity.is_k_vertex_connected g ~k in
-  let link_connected = Connectivity.is_k_edge_connected g ~k in
+  (* One frozen snapshot serves both connectivity decisions and the
+     diameter sweep; only the minimality check (which removes edges one
+     at a time) needs the mutable graph. *)
+  let csr = Graph_core.Csr.of_graph g in
+  let node_connected = Connectivity.is_k_vertex_connected_csr csr ~k in
+  let link_connected = Connectivity.is_k_edge_connected_csr csr ~k in
   let link_minimal =
     if check_minimality then Some (Minimality.is_link_minimal g ~k) else None
   in
-  let diameter = Paths.diameter g in
+  let diameter = Paths.diameter_csr csr in
   let diameter_ok =
     match diameter with Some d -> d <= diameter_bound ~n ~k | None -> false
   in

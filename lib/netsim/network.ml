@@ -1,4 +1,5 @@
 module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
 module Prng = Graph_core.Prng
 
 type latency = Prng.t -> src:int -> dst:int -> float
@@ -24,6 +25,7 @@ type stats = {
 type 'msg t = {
   sim : Sim.t;
   graph : Graph.t;
+  csr : Csr.t;  (** topology frozen at creation; every send checks it *)
   latency : latency;
   loss_rate : float;
   trace : Trace.t option;
@@ -48,6 +50,7 @@ let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
   {
     sim;
     graph;
+    csr = Csr.of_graph graph;
     latency;
     loss_rate;
     trace;
@@ -67,6 +70,8 @@ let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
 
 let graph t = t.graph
 
+let csr t = t.csr
+
 let sim t = t.sim
 
 let set_receiver t f = t.receiver <- f
@@ -82,7 +87,7 @@ let crash t v =
 let alive_mask t = Array.map not t.crashed
 
 let fail_link t u v =
-  if not (Graph.has_edge t.graph u v) then invalid_arg "Network.fail_link: no such edge";
+  if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.fail_link: no such edge";
   Hashtbl.replace t.failed_links (link_key u v) ()
 
 let link_failed t u v = Hashtbl.mem t.failed_links (link_key u v)
@@ -93,7 +98,7 @@ let emit t kind ~src ~dst ~seq =
   | Some tr -> Trace.record tr { Trace.time = Sim.now t.sim; kind; src; dst; seq }
 
 let send t ~src ~dst msg =
-  if not (Graph.has_edge t.graph src dst) then invalid_arg "Network.send: no such edge";
+  if not (Csr.mem_edge t.csr src dst) then invalid_arg "Network.send: no such edge";
   if t.crashed.(src) then invalid_arg "Network.send: source is crashed";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;

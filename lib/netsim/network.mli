@@ -48,6 +48,13 @@ val create :
     attractive beyond edge counts. *)
 
 val graph : 'msg t -> Graph_core.Graph.t
+(** The construction-side graph passed to {!create}. The network
+    freezes a CSR snapshot of it at creation; later mutations of this
+    graph are not observed by {!send}/{!fail_link}. *)
+
+val csr : 'msg t -> Graph_core.Csr.t
+(** The frozen topology snapshot. Protocols should iterate neighbours
+    from this (flat arrays) rather than from {!graph}. *)
 
 val sim : 'msg t -> Sim.t
 

@@ -101,7 +101,7 @@ let test_is_symmetric () =
 
 let test_degree_sum () =
   let g = petersen () in
-  check_int "handshake lemma" (2 * Graph.m g) (Graph.complement_degree_sum g)
+  check_int "handshake lemma" (2 * Graph.m g) (Graph.degree_sum g)
 
 let prop_of_edges_roundtrip =
   let gen =
@@ -121,7 +121,7 @@ let prop_remove_all_edges_empties =
       let g = Graph.of_edges ~n:10 es in
       Graph.iter_edges (Graph.copy g) (fun _ _ -> ());
       List.iter (fun (u, v) -> Graph.remove_edge g u v) (Graph.edges g);
-      Graph.m g = 0 && Graph.complement_degree_sum g = 0)
+      Graph.m g = 0 && Graph.degree_sum g = 0)
 
 let suite =
   [

@@ -8,6 +8,7 @@ let () =
       ("union_find", Test_union_find.suite);
       ("graph", Test_graph.suite);
       ("bfs", Test_bfs.suite);
+      ("csr", Test_csr.suite);
       ("components", Test_components.suite);
       ("paths", Test_paths.suite);
       ("maxflow", Test_maxflow.suite);
