@@ -1,10 +1,17 @@
 (* B3: machine-readable benchmark baseline.
 
-   Writes BENCH_PR1.json — op name → ns/run plus the first six-figure-n
-   flooding experiment — so subsequent PRs have a perf trajectory to
+   Writes BENCH_PR2.json — op name → ns/run, the six-figure-n flooding
+   experiment, a metrics-registry dump of one instrumented run, and
+   (when the committed BENCH_PR1.json baseline is readable) per-op
+   ratios against it — so subsequent PRs have a perf trajectory to
    regress against. Pure-stdlib timing (monotonic-enough wall clock,
    best-of-median loop) rather than bechamel, so the output is stable,
    dependency-light and trivially parseable.
+
+   The obs_off/obs_on op pairs quantify the observability layer: the
+   obs_off numbers run with the shared disabled registry (the default
+   everywhere) and must track the PR-1 baseline; the obs_on numbers
+   show what enabling full metrics costs.
 
    Usage: dune exec bench/bench_json.exe [-- output.json]
    LHG_BENCH_MS sets the per-op measuring budget (default 200 ms). *)
@@ -48,8 +55,32 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Baseline ops from a previous BENCH_PR*.json, parsed with the same
+   hand-rolled discipline the writer uses: entries inside
+   "ops_ns_per_run" are one per line, ["name": ns,]. *)
+let read_baseline_ops path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let ops = ref [] and inside = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line >= 18 && String.sub line 0 18 = "\"ops_ns_per_run\": " then
+           inside := true
+         else if !inside then
+           if line = "}," || line = "}" then raise Exit
+           else
+             try Scanf.sscanf line "%S: %f" (fun name ns -> ops := (name, ns) :: !ops)
+             with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with Exit | End_of_file -> ());
+    close_in ic;
+    List.rev !ops
+  end
+
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR1.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR2.json" in
   print_endline "=== B3  JSON benchmark baseline ===";
 
   let g1k = (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph in
@@ -67,6 +98,22 @@ let () =
   let flood_set_1k = bench "sync_flood_graph_n1026" (fun () -> Flood.Sync.flood g1k ~source:0) in
   let flood_csr_1k =
     bench "sync_flood_csr_n1026" (fun () -> Flood.Sync.flood_csr ~workspace:ws c1k ~source:0)
+  in
+
+  (* observability cost: identical runs against the shared disabled
+     registry (the library default — sync_flood_csr_n1026 above is the
+     same path) and against a live one *)
+  let obs_live = Obs.Registry.create () in
+  let sync_obs_on =
+    bench "sync_flood_csr_n1026_obs_on" (fun () ->
+        Flood.Sync.flood_csr ~workspace:ws ~obs:obs_live c1k ~source:0)
+  in
+  let flood_async_off =
+    bench "flood_async_n1026_obs_off" (fun () -> Flood.Flooding.run ~graph:g1k ~source:0 ())
+  in
+  let flood_async_on =
+    bench "flood_async_n1026_obs_on" (fun () ->
+        Flood.Flooding.run ~obs:obs_live ~graph:g1k ~source:0 ())
   in
   ignore
     (bench "mem_edge_sweep_set_n1026" (fun () ->
@@ -113,9 +160,20 @@ let () =
   Printf.printf "bfs n=1026 csr speedup: %.2fx; sync flood: %.2fx; bfs n=131074: %.2fx\n%!"
     speedup_bfs speedup_flood (bfs_set_131k /. bfs_csr_131k);
 
+  (* one instrumented flood on the n=1026 graph, dumped in full — the
+     before/after document every perf PR diffs *)
+  let metrics_dump =
+    let obs = Obs.Registry.create () in
+    ignore (Flood.Flooding.run ~obs ~graph:g1k ~source:0 ());
+    let doc = String.trim (Obs.Export.to_json ~recent_events:8 obs) in
+    (* re-indent the embedded document one level *)
+    String.concat "\n  " (String.split_on_char '\n' doc)
+  in
+  let baseline = read_baseline_ops "BENCH_PR1.json" in
+
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 1,\n";
+  Buffer.add_string buf "  \"pr\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf "  \"ops_ns_per_run\": {\n";
@@ -134,8 +192,37 @@ let () =
     (Printf.sprintf "    \"speedup_bfs_n131074_csr_vs_set\": %.2f,\n"
        (bfs_set_131k /. bfs_csr_131k));
   Buffer.add_string buf
-    (Printf.sprintf "    \"speedup_sync_flood_n1026_amortised_vs_snapshot_per_call\": %.2f\n" speedup_flood);
+    (Printf.sprintf "    \"speedup_sync_flood_n1026_amortised_vs_snapshot_per_call\": %.2f,\n" speedup_flood);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"obs_overhead_sync_flood_on_vs_off\": %.3f,\n"
+       (sync_obs_on /. flood_csr_1k));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"obs_overhead_flood_async_on_vs_off\": %.3f\n"
+       (flood_async_on /. flood_async_off));
   Buffer.add_string buf "  },\n";
+  (* per-op ratio against the committed PR-1 baseline, where ops match;
+     < 1.05 on the obs-off paths is the acceptance bar *)
+  let comparable =
+    List.filter_map
+      (fun (name, old_ns) ->
+        match List.assoc_opt name (List.rev !results) with
+        | Some new_ns when old_ns > 0.0 -> Some (name, new_ns /. old_ns)
+        | _ -> None)
+      baseline
+  in
+  if comparable <> [] then begin
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR1\": {\n";
+    List.iteri
+      (fun i (name, ratio) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": %.3f%s\n" (json_escape name) ratio
+             (if i = List.length comparable - 1 then "" else ",")))
+      comparable;
+    Buffer.add_string buf "  },\n"
+  end;
+  Buffer.add_string buf "  \"metrics\": ";
+  Buffer.add_string buf metrics_dump;
+  Buffer.add_string buf ",\n";
   Buffer.add_string buf "  \"experiments\": {\n    \"flood_sync_big\": {\n";
   Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nbig);
   Buffer.add_string buf (Printf.sprintf "      \"m\": %d,\n" (Graph.m gbig));

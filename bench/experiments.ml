@@ -238,15 +238,15 @@ let f6 () =
           e.Flood.Reliability.lo e.Flood.Reliability.hi
       in
       let a =
-        Flood.Reliability.flood_delivery ~graph:lhg ~source:0 ~node_failure_prob:p ~trials ~seed:71
+        Flood.Reliability.flood_delivery ~graph:lhg ~source:0 ~node_failure_prob:p ~trials ~seed:71 ()
       in
       let t =
         Flood.Reliability.flood_delivery ~graph:tree ~source:0 ~node_failure_prob:p ~trials
-          ~seed:71
+          ~seed:71 ()
       in
       let g =
         Flood.Reliability.gossip_delivery ~graph:lhg ~source:0 ~fanout:4 ~node_failure_prob:p
-          ~trials:(trials / 4) ~seed:71
+          ~trials:(trials / 4) ~seed:71 ()
       in
       Printf.printf "%8.3f | %22s | %22s | %22s\n" p (f a) (f t) (f g))
     [ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1 ]
@@ -562,7 +562,7 @@ let a4 () =
   header "A4  join cost: in-place incremental ops vs canonical rebuild (k=4)";
   Printf.printf "%10s | %14s %14s | %16s\n" "n range" "incremental" "rebuild diff" "ops in window";
   let k = 4 in
-  let inc = Overlay.Incremental.start ~k in
+  let inc = Overlay.Incremental.start ~k () in
   let windows = [ (8, 50); (50, 200); (200, 800) ] in
   List.iter
     (fun (lo, hi) ->

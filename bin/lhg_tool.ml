@@ -5,49 +5,29 @@
      verify    check the four LHG properties of a generated topology
      tables    print EX/REG characteristic tables
      flood     run a flooding simulation with failures
-     diameter  diameter comparison across topologies for one n, k *)
+     metrics   replay a protocol run and print its metrics registry
+     diameter  diameter comparison across topologies for one n, k
+
+   All topology dispatch goes through Topo.Registry — adding a family
+   there makes it available to every subcommand at once. *)
 
 open Cmdliner
 
-let kinds = [ "ktree"; "kdiamond"; "jd"; "harary"; "hypercube"; "expander"; "cycle"; "complete" ]
+let kinds = Topo.Registry.names
 
-let build_graph ~kind ~n ~k ~seed =
-  match kind with
-  | "ktree" -> (
-      match Lhg_core.Build.ktree ~n ~k with
-      | Ok b -> Ok b.Lhg_core.Build.graph
-      | Error e -> Error (Lhg_core.Build.error_to_string e))
-  | "kdiamond" -> (
-      match Lhg_core.Build.kdiamond ~n ~k with
-      | Ok b -> Ok b.Lhg_core.Build.graph
-      | Error e -> Error (Lhg_core.Build.error_to_string e))
-  | "jd" -> (
-      match Lhg_core.Build.jd ~n ~k () with
-      | Ok b -> Ok b.Lhg_core.Build.graph
-      | Error e -> Error (Lhg_core.Build.error_to_string e))
-  | "harary" ->
-      if k >= 2 && k < n then Ok (Harary.make ~k ~n)
-      else Error "harary needs 2 <= k < n"
-  | "hypercube" ->
-      if Topo.Hypercube.admissible ~n ~k then Ok (Topo.Hypercube.make ~dim:k)
-      else Error (Printf.sprintf "hypercube needs n = 2^k (nearest: %d)" (1 lsl k))
-  | "expander" ->
-      if k mod 2 = 0 && k >= 2 then
-        Ok (Topo.Expander.random_regular (Graph_core.Prng.create ~seed) ~n ~degree:k)
-      else Error "expander needs even k"
-  | "cycle" -> if n >= 3 then Ok (Graph_core.Generators.cycle n) else Error "cycle needs n >= 3"
-  | "complete" -> Ok (Graph_core.Generators.complete n)
-  | other -> Error (Printf.sprintf "unknown kind %S (expected one of: %s)" other (String.concat ", " kinds))
+let build_graph ~kind ~n ~k ~seed = Topo.Registry.build_graph ~kind ~n ~k ~seed
 
 (* common args *)
 
 let kind_arg =
   let doc = Printf.sprintf "Topology kind: %s." (String.concat ", " kinds) in
-  Arg.(value & opt string "kdiamond" & info [ "t"; "kind" ] ~docv:"KIND" ~doc)
+  Arg.(value & opt string "kdiamond" & info [ "t"; "topology" ] ~docv:"KIND" ~doc)
 
-let n_arg = Arg.(value & opt int 46 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+(* the long aliases let cmdliner's prefix matching accept --n and --k *)
+let n_arg = Arg.(value & opt int 46 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
 
-let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Connectivity degree.")
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k"; "k-degree" ] ~docv:"K" ~doc:"Connectivity degree.")
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
@@ -60,12 +40,7 @@ let with_graph kind n k seed f =
 
 (* generate *)
 
-let witness_of kind n k =
-  match kind with
-  | "ktree" -> (match Lhg_core.Build.ktree ~n ~k with Ok b -> Some b | Error _ -> None)
-  | "kdiamond" -> (match Lhg_core.Build.kdiamond ~n ~k with Ok b -> Some b | Error _ -> None)
-  | "jd" -> (match Lhg_core.Build.jd ~n ~k () with Ok b -> Some b | Error _ -> None)
-  | _ -> None
+let witness_of kind n k = Topo.Registry.witness ~kind ~n ~k
 
 let generate kind n k seed dot out =
   with_graph kind n k seed (fun g ->
@@ -162,21 +137,45 @@ let tables_cmd =
 
 (* flood *)
 
-let flood kind n k seed crashes links source =
+let metrics_format =
+  Arg.enum [ ("json", `Json); ("text", `Text) ]
+
+let print_metrics ~format obs =
+  match format with
+  | `Json -> print_string (Obs.Export.to_json ~recent_events:32 obs)
+  | `Text -> print_string (Obs.Export.to_text ~recent_events:32 obs)
+
+let flood kind n k seed crashes links source metrics =
   with_graph kind n k seed (fun g ->
       let rng = Graph_core.Prng.create ~seed in
       let crashed =
         Flood.Runner.random_crashes rng ~n:(Graph_core.Graph.n g) ~count:crashes ~avoid:source
       in
       let failed_links = Flood.Runner.random_link_failures rng g ~count:links in
-      let r = Flood.Flooding.run ~crashed ~failed_links ~seed ~graph:g ~source () in
-      Printf.printf "flooded %s(n=%d, k=%d) from node %d with %d crashes, %d link failures\n" kind
-        n k source crashes links;
-      Printf.printf "  messages sent:      %d\n" r.Flood.Flooding.messages_sent;
-      Printf.printf "  rounds (max hops):  %d\n" r.Flood.Flooding.max_hops;
-      Printf.printf "  completion time:    %.2f\n" r.Flood.Flooding.completion_time;
-      Printf.printf "  covered survivors:  %b\n" r.Flood.Flooding.covers_all_alive;
+      let obs =
+        match metrics with None -> Obs.Registry.nil | Some _ -> Obs.Registry.create ()
+      in
+      let r = Flood.Flooding.run ~crashed ~failed_links ~seed ~obs ~graph:g ~source () in
+      (match metrics with
+      | Some `Json ->
+          (* machine-readable mode: the JSON document is the whole output *)
+          print_metrics ~format:`Json obs
+      | Some `Text | None ->
+          Printf.printf "flooded %s(n=%d, k=%d) from node %d with %d crashes, %d link failures\n"
+            kind n k source crashes links;
+          Printf.printf "  messages sent:      %d\n" r.Flood.Flooding.messages_sent;
+          Printf.printf "  rounds (max hops):  %d\n" r.Flood.Flooding.max_hops;
+          Printf.printf "  completion time:    %.2f\n" r.Flood.Flooding.completion_time;
+          Printf.printf "  covered survivors:  %b\n" r.Flood.Flooding.covers_all_alive;
+          if metrics = Some `Text then print_metrics ~format:`Text obs);
       if r.Flood.Flooding.covers_all_alive then 0 else 1)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some metrics_format) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:"Collect run metrics and print them as $(b,json) or $(b,text).")
 
 let flood_cmd =
   let crashes =
@@ -188,7 +187,67 @@ let flood_cmd =
   let source = Arg.(value & opt int 0 & info [ "source" ] ~docv:"V" ~doc:"Flooding source.") in
   Cmd.v
     (Cmd.info "flood" ~doc:"Run one flooding simulation")
-    Term.(const flood $ kind_arg $ n_arg $ k_arg $ seed_arg $ crashes $ links $ source)
+    Term.(const flood $ kind_arg $ n_arg $ k_arg $ seed_arg $ crashes $ links $ source $ metrics_arg)
+
+(* metrics *)
+
+let metrics_run protocol kind n k seed format =
+  with_graph kind n k seed (fun g ->
+      let obs = Obs.Registry.create () in
+      let ok =
+        match protocol with
+        | `Flood ->
+            ignore (Flood.Flooding.run ~seed ~obs ~graph:g ~source:0 ());
+            true
+        | `Gossip ->
+            ignore (Flood.Gossip.run ~seed ~obs ~graph:g ~source:0 ~fanout:(max 1 (k - 1))
+                      ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
+            true
+        | `Pif ->
+            ignore (Flood.Pif.run ~seed ~obs ~graph:g ~source:0 ());
+            true
+        | `Churn -> (
+            let family =
+              match kind with
+              | "ktree" -> Some Overlay.Membership.Ktree
+              | "kdiamond" | "kdiamond_rich" -> Some Overlay.Membership.Kdiamond
+              | "jd" -> Some Overlay.Membership.Jd
+              | "harary" -> Some Overlay.Membership.Harary_classic
+              | _ -> None
+            in
+            match family with
+            | None ->
+                prerr_endline "error: churn metrics support kinds ktree, kdiamond, jd, harary";
+                false
+            | Some family -> (
+                let rng = Graph_core.Prng.create ~seed in
+                match Overlay.Churn.run rng ~family ~k ~n0:n ~steps:50 ~obs () with
+                | Ok _ -> true
+                | Error e ->
+                    prerr_endline ("error: " ^ e);
+                    false))
+      in
+      if not ok then 1
+      else begin
+        print_metrics ~format obs;
+        0
+      end)
+
+let metrics_cmd =
+  let protocol =
+    let doc = "Protocol to replay: flood, gossip, pif or churn." in
+    Arg.(
+      value
+      & opt (enum [ ("flood", `Flood); ("gossip", `Gossip); ("pif", `Pif); ("churn", `Churn) ])
+          `Flood
+      & info [ "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let format =
+    Arg.(value & opt metrics_format `Text & info [ "format" ] ~docv:"FORMAT" ~doc:"json or text.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Replay a protocol run and print its metrics registry")
+    Term.(const metrics_run $ protocol $ kind_arg $ n_arg $ k_arg $ seed_arg $ format)
 
 (* diameter *)
 
@@ -233,33 +292,33 @@ let cut_cmd =
 
 (* route *)
 
+let witnessed_kinds () =
+  List.filter_map
+    (fun e ->
+      match e.Topo.Registry.construction with Some _ -> Some e.Topo.Registry.name | None -> None)
+    Topo.Registry.all
+
 let route_cmd_impl kind n k seed src dst =
-  if kind <> "ktree" && kind <> "kdiamond" && kind <> "jd" then begin
-    prerr_endline "error: route needs a witnessed LHG kind (ktree, kdiamond, jd)";
-    1
-  end
-  else begin
-    let build =
-      match kind with
-      | "ktree" -> Lhg_core.Build.ktree ~n ~k
-      | "kdiamond" -> Lhg_core.Build.kdiamond ~n ~k
-      | _ -> Lhg_core.Build.jd ~n ~k ()
-    in
-    match build with
-    | Error e ->
-        prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
-        1
-    | Ok b ->
-        ignore seed;
-        Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst kind n k;
-        List.iteri
-          (fun i p ->
-            Printf.printf "  route %d (%d hops): %s\n" i
-              (List.length p - 1)
-              (String.concat " -> " (List.map string_of_int p)))
-          (Lhg_core.Route.all_routes b ~src ~dst);
-        0
-  end
+  ignore seed;
+  match Topo.Registry.find kind with
+  | None | Some { Topo.Registry.construction = None; _ } ->
+      Printf.eprintf "error: route needs a witnessed LHG kind (%s)\n"
+        (String.concat ", " (witnessed_kinds ()));
+      1
+  | Some { Topo.Registry.construction = Some c; _ } -> (
+      match Lhg_core.Build.build c ~n ~k with
+      | Error e ->
+          prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
+          1
+      | Ok b ->
+          Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst kind n k;
+          List.iteri
+            (fun i p ->
+              Printf.printf "  route %d (%d hops): %s\n" i
+                (List.length p - 1)
+                (String.concat " -> " (List.map string_of_int p)))
+            (Lhg_core.Route.all_routes b ~src ~dst);
+          0)
 
 let route_cmd =
   let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"V" ~doc:"Source vertex.") in
@@ -305,15 +364,14 @@ let churn_cmd =
 
 let inspect kind n k =
   let build =
-    match kind with
-    | "ktree" -> Some (Lhg_core.Build.ktree ~n ~k)
-    | "kdiamond" -> Some (Lhg_core.Build.kdiamond ~n ~k)
-    | "jd" -> Some (Lhg_core.Build.jd ~n ~k ())
-    | _ -> None
+    match Topo.Registry.find kind with
+    | None | Some { Topo.Registry.construction = None; _ } -> None
+    | Some { Topo.Registry.construction = Some c; _ } -> Some (Lhg_core.Build.build c ~n ~k)
   in
   match build with
   | None ->
-      prerr_endline "error: inspect needs a witnessed LHG kind (ktree, kdiamond, jd)";
+      Printf.eprintf "error: inspect needs a witnessed LHG kind (%s)\n"
+        (String.concat ", " (witnessed_kinds ()));
       1
   | Some (Error e) ->
       prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
@@ -362,7 +420,7 @@ let grow n k verbose =
     1
   end
   else begin
-    let overlay = Overlay.Incremental.start ~k in
+    let overlay = Overlay.Incremental.start ~k () in
     while Overlay.Incremental.n overlay < n do
       let r = Overlay.Incremental.join overlay in
       if verbose then
@@ -393,6 +451,6 @@ let grow_cmd =
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,7 +11,7 @@ module Incremental = Overlay.Incremental
 let k = 4
 
 let () =
-  let overlay = Incremental.start ~k in
+  let overlay = Incremental.start ~k () in
   Printf.printf "bootstrapped LHG overlay with %d peers (k = %d)\n\n" (Incremental.n overlay) k;
   Printf.printf "%6s %18s %8s %8s | %8s %9s %10s\n" "n" "op" "+edges" "-edges" "regular"
     "flood-ok" "rounds";

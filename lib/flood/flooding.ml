@@ -15,12 +15,13 @@ type result = {
 
 type payload = { hop : int }
 
-let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = []) ?seed ~graph ~source () =
+let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = []) ?seed
+    ?(obs = Obs.Registry.nil) ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
   if List.mem source crashed then invalid_arg "Flood.run: source is crashed";
-  let sim = Sim.create ?seed () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay () in
+  let sim = Sim.create ?seed ~obs () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay ~obs () in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) failed_links;
   let delivered = Array.make n false in
@@ -52,6 +53,41 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = [
     !ok
   in
   let stats = Network.stats net in
+  (if Obs.Registry.enabled obs then begin
+     let open Obs.Registry in
+     let h_hops = histogram obs "flood.hops" ~bounds:hop_bounds in
+     let h_completion = histogram obs "flood.completion" ~bounds:time_bounds in
+     let reached = ref 0 in
+     Array.iteri
+       (fun v ok ->
+         if ok then begin
+           reached := !reached + 1;
+           observe h_hops (float_of_int hops.(v));
+           observe h_completion delivery_time.(v)
+         end)
+       delivered;
+     (* reconstruct the hop layers as round spans on the shared
+        timeline: round r closes when its last member first hears *)
+     let layer_count = Array.make (max_hops + 1) 0 in
+     let layer_close = Array.make (max_hops + 1) 0.0 in
+     Array.iteri
+       (fun v h ->
+         if h >= 0 then begin
+           layer_count.(h) <- layer_count.(h) + 1;
+           if delivery_time.(v) > layer_close.(h) then layer_close.(h) <- delivery_time.(v)
+         end)
+       hops;
+     for h = 1 to max_hops do
+       event_at obs ~at:layer_close.(h - 1) Round_start ~node:layer_count.(h) ~info:h;
+       event_at obs ~at:layer_close.(h) Round_end ~node:layer_count.(h) ~info:h
+     done;
+     add (counter obs "flood.delivered_nodes") !reached;
+     set (gauge obs "flood.rounds") (float_of_int max_hops);
+     set (gauge obs "flood.completion_time") completion_time;
+     let alive_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+     set (gauge obs "flood.coverage")
+       (float_of_int !reached /. float_of_int (max 1 alive_count))
+   end);
   {
     delivered;
     delivery_time;

@@ -24,10 +24,19 @@ val run :
   ?crashed:int list ->
   ?failed_links:(int * int) list ->
   ?seed:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   unit ->
   result
 (** One flooding execution. Failures are injected before the first send;
     the source must not be in [crashed].
+
+    With [?obs], the run publishes — on top of the network-layer
+    [net.*] metrics — the [flood.hops] and [flood.completion]
+    histograms (per-node first-arrival hop count and virtual time, so
+    the exporter's p50/p95/p99 are completion percentiles across
+    nodes), gauges [flood.rounds], [flood.completion_time] and
+    [flood.coverage], counter [flood.delivered_nodes], and
+    [Round_start]/[Round_end] span pairs for each hop layer.
     @raise Invalid_argument on a crashed or out-of-range source. *)

@@ -15,14 +15,15 @@ type payload = { ttl : int }
 let default_ttl ~n =
   if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.0)) + 4
 
-let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~source ~fanout ~ttl () =
+let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~source
+    ~fanout ~ttl () =
   if fanout < 1 then invalid_arg "Gossip.run: fanout < 1";
   if ttl < 1 then invalid_arg "Gossip.run: ttl < 1";
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
   if List.mem source crashed then invalid_arg "Gossip.run: source is crashed";
-  let sim = Sim.create ?seed () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate () in
+  let sim = Sim.create ?seed ~obs () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ~obs () in
   List.iter (fun v -> Network.crash net v) crashed;
   let rng = Sim.fork_rng sim in
   let delivered = Array.make n false in
@@ -51,9 +52,13 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~source ~fanout ~ttl ()
   let alive_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 alive in
   let reached = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 delivered in
   let stats = Network.stats net in
-  {
-    delivered;
-    messages_sent = stats.Network.sent;
-    completion_time = Array.fold_left max 0.0 delivery_time;
-    coverage_of_alive = float_of_int reached /. float_of_int (max 1 alive_count);
-  }
+  let completion_time = Array.fold_left max 0.0 delivery_time in
+  let coverage = float_of_int reached /. float_of_int (max 1 alive_count) in
+  (if Obs.Registry.enabled obs then begin
+     let h = Obs.Registry.histogram obs "gossip.completion" ~bounds:Obs.Registry.time_bounds in
+     Array.iter (fun t -> if t >= 0.0 then Obs.Registry.observe h t) delivery_time;
+     Obs.Registry.add (Obs.Registry.counter obs "gossip.delivered_nodes") reached;
+     Obs.Registry.set (Obs.Registry.gauge obs "gossip.coverage") coverage;
+     Obs.Registry.set (Obs.Registry.gauge obs "gossip.completion_time") completion_time
+   end);
+  { delivered; messages_sent = stats.Network.sent; completion_time; coverage_of_alive = coverage }

@@ -19,12 +19,17 @@ val run :
   ?loss_rate:float ->
   ?crashed:int list ->
   ?seed:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   fanout:int ->
   ttl:int ->
   unit ->
   result
+(** With [?obs], publishes the [gossip.completion] per-node delivery
+    histogram, the [gossip.delivered_nodes] counter and the
+    [gossip.coverage]/[gossip.completion_time] gauges on top of the
+    network-layer [net.*] metrics. *)
 
 val default_ttl : n:int -> int
 (** ⌈log₂ n⌉ + 4 — enough rounds for gossip to plausibly saturate. *)

@@ -16,7 +16,8 @@ type result = { per_message : message_stats list; total_messages : int; all_cove
 
 type payload = { id : int; hop : int }
 
-let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ~graph ~publications () =
+let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ?(obs = Obs.Registry.nil)
+    ~graph ~publications () =
   let n = Graph.n graph in
   let ids = List.map (fun (p : publication) -> p.payload_id) publications in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
@@ -27,8 +28,8 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ~graph ~publ
       if List.mem p.origin crashed then invalid_arg "Multi.run: origin is crashed";
       if p.inject_time < 0.0 then invalid_arg "Multi.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay () in
+  let sim = Sim.create ?seed ~obs () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay ~obs () in
   List.iter (fun v -> Network.crash net v) crashed;
   (* per payload: delivery flags and latest first-delivery time *)
   let seen : (int, bool array) Hashtbl.t = Hashtbl.create 16 in
@@ -85,6 +86,11 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ~graph ~publ
              covers_all_alive = covers;
            })
   in
+  (if Obs.Registry.enabled obs then begin
+     let h = Obs.Registry.histogram obs "multi.completion" ~bounds:Obs.Registry.time_bounds in
+     List.iter (fun m -> Obs.Registry.observe h m.completion) per_message;
+     Obs.Registry.add (Obs.Registry.counter obs "multi.payloads") (List.length per_message)
+   end);
   {
     per_message;
     total_messages = (Network.stats net).Network.sent;

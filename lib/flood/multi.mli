@@ -32,10 +32,13 @@ val run :
   ?processing_delay:float ->
   ?crashed:int list ->
   ?seed:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   publications:publication list ->
   unit ->
   result
-(** Simulate the schedule.
+(** Simulate the schedule. With [?obs], publishes the
+    [multi.completion] per-payload completion histogram and the
+    [multi.payloads] counter on top of the network-layer metrics.
     @raise Invalid_argument on duplicate payload ids, crashed or
     out-of-range origins, or negative injection times. *)

@@ -12,12 +12,13 @@ type result = {
 
 type message = Propagate | Echo
 
-let run ?latency ?(crashed = []) ?seed ~graph ~source () =
+let run ?latency ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Pif.run: source out of range";
   if List.mem source crashed then invalid_arg "Pif.run: source is crashed";
-  let sim = Sim.create ?seed () in
-  let net = Network.create ~sim ~graph ?latency () in
+  let sim = Sim.create ?seed ~obs () in
+  let net = Network.create ~sim ~graph ?latency ~obs () in
+  let m_echoes = Obs.Registry.counter obs "pif.echoes" in
   List.iter (fun v -> Network.crash net v) crashed;
   let informed = Array.make n false in
   let parent = Array.make n (-1) in
@@ -57,11 +58,17 @@ let run ?latency ?(crashed = []) ?seed ~graph ~source () =
             propagate_from dst ~except:src
           end
       | Echo ->
+          Obs.Registry.incr m_echoes;
           pending.(dst) <- pending.(dst) - 1;
           if pending.(dst) = 0 && informed.(dst) then close_node dst);
   informed.(source) <- true;
   propagate_from source ~except:(-1);
   Sim.run sim;
+  (if Obs.Registry.enabled obs then begin
+     Obs.Registry.set (Obs.Registry.gauge obs "pif.completed") (if !completed then 1.0 else 0.0);
+     Obs.Registry.set (Obs.Registry.gauge obs "pif.completion_detected_at") !completion_at;
+     Obs.Registry.set (Obs.Registry.gauge obs "pif.last_delivery_at") !last_delivery
+   end);
   {
     informed;
     completed = !completed;

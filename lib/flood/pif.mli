@@ -27,10 +27,13 @@ val run :
   ?latency:Netsim.Network.latency ->
   ?crashed:int list ->
   ?seed:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   unit ->
   result
 (** One PIF execution. No loss support: the echo accounting is only
-    meaningful on reliable channels.
+    meaningful on reliable channels. With [?obs], publishes the
+    [pif.echoes] counter and [pif.completed] /
+    [pif.completion_detected_at] / [pif.last_delivery_at] gauges.
     @raise Invalid_argument on a crashed or out-of-range source. *)

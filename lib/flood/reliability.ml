@@ -18,13 +18,22 @@ let estimate_of ~successes ~trials =
   let lo, hi = wilson_interval ~successes ~trials in
   { probability = float_of_int successes /. float_of_int trials; lo; hi; trials }
 
+let publish obs ~successes e =
+  if Obs.Registry.enabled obs then begin
+    Obs.Registry.add (Obs.Registry.counter obs "reliability.successes") successes;
+    Obs.Registry.add (Obs.Registry.counter obs "reliability.trials") e.trials;
+    Obs.Registry.set (Obs.Registry.gauge obs "reliability.probability") e.probability;
+    Obs.Registry.set (Obs.Registry.gauge obs "reliability.lo") e.lo;
+    Obs.Registry.set (Obs.Registry.gauge obs "reliability.hi") e.hi
+  end
+
 let draw_failures rng ~n ~source ~p alive =
   Array.fill alive 0 n true;
   for v = 0 to n - 1 do
     if v <> source && Prng.float rng 1.0 < p then alive.(v) <- false
   done
 
-let flood_delivery ~graph ~source ~node_failure_prob ~trials ~seed =
+let flood_delivery ?(obs = Obs.Registry.nil) ~graph ~source ~node_failure_prob ~trials ~seed () =
   if trials < 1 then invalid_arg "Reliability.flood_delivery: trials < 1";
   if node_failure_prob < 0.0 || node_failure_prob > 1.0 then
     invalid_arg "Reliability.flood_delivery: probability outside [0,1]";
@@ -41,9 +50,12 @@ let flood_delivery ~graph ~source ~node_failure_prob ~trials ~seed =
     let r = Sync.flood_csr ~workspace:ws ~alive csr ~source in
     if r.Sync.covers_all_alive then incr successes
   done;
-  estimate_of ~successes:!successes ~trials
+  let e = estimate_of ~successes:!successes ~trials in
+  publish obs ~successes:!successes e;
+  e
 
-let gossip_delivery ~graph ~source ~fanout ~node_failure_prob ~trials ~seed =
+let gossip_delivery ?(obs = Obs.Registry.nil) ~graph ~source ~fanout ~node_failure_prob ~trials
+    ~seed () =
   if trials < 1 then invalid_arg "Reliability.gossip_delivery: trials < 1";
   let n = Graph.n graph in
   let rng = Prng.create ~seed in
@@ -57,4 +69,6 @@ let gossip_delivery ~graph ~source ~fanout ~node_failure_prob ~trials ~seed =
     let r = Gossip.run ~crashed:!crashed ~seed:(seed + (7919 * t)) ~graph ~source ~fanout ~ttl () in
     if r.Gossip.coverage_of_alive >= 1.0 then incr successes
   done;
-  estimate_of ~successes:!successes ~trials
+  let e = estimate_of ~successes:!successes ~trials in
+  publish obs ~successes:!successes e;
+  e

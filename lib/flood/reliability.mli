@@ -21,23 +21,31 @@ val wilson_interval : successes:int -> trials:int -> float * float
 (** 95% Wilson score interval. *)
 
 val flood_delivery :
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   node_failure_prob:float ->
   trials:int ->
   seed:int ->
+  unit ->
   estimate
 (** Probability that flooding from [source] reaches every survivor,
     estimated over [trials] independent failure draws. Uses the
-    closed-form synchronous analysis per draw (exact for flooding). *)
+    closed-form synchronous analysis per draw (exact for flooding).
+    With [?obs], publishes [reliability.successes]/[reliability.trials]
+    counters and the [reliability.probability]/[.lo]/[.hi] gauges; the
+    per-draw Monte-Carlo loop itself stays uninstrumented (it is the
+    allocation-free hot path). *)
 
 val gossip_delivery :
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   fanout:int ->
   node_failure_prob:float ->
   trials:int ->
   seed:int ->
+  unit ->
   estimate
 (** Same success event for push gossip with the given fanout and TTL
     {!Gossip.default_ttl}; each trial also re-randomises the gossip

@@ -17,8 +17,8 @@ type message =
   | Digest of int list  (** payload ids the sender holds *)
   | Data of int
 
-let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_entropy_period
-    ~duration () =
+let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~publications
+    ~anti_entropy_period ~duration () =
   if anti_entropy_period <= 0.0 then invalid_arg "Reliable.run: non-positive period";
   if duration <= 0.0 then invalid_arg "Reliable.run: non-positive duration";
   let n = Graph.n graph in
@@ -32,8 +32,10 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_ent
       if List.mem p.Multi.origin crashed then invalid_arg "Reliable.run: origin is crashed";
       if p.Multi.inject_time < 0.0 then invalid_arg "Reliable.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate () in
+  let sim = Sim.create ?seed ~obs () in
+  let net = Network.create ~sim ~graph ?latency ?loss_rate ~obs () in
+  let m_flood = Obs.Registry.counter obs "reliable.flood_messages" in
+  let m_repair = Obs.Registry.counter obs "reliable.repair_messages" in
   List.iter (fun v -> Network.crash net v) crashed;
   let rng = Sim.fork_rng sim in
   let payload_count = List.length publications in
@@ -48,10 +50,17 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_ent
   let holds v id = Hashtbl.mem has.(v) id in
   let send_flood ~src ~dst id hop =
     incr flood_messages;
+    Obs.Registry.incr m_flood;
     Network.send net ~src ~dst (Flood { id; hop })
   in
   let send_repair ~src ~dst msg =
     incr repair_messages;
+    Obs.Registry.incr m_repair;
+    (* a [Data] repair is a retransmission of the payload proper;
+       digests are control traffic *)
+    (match msg with
+    | Data id -> Obs.Registry.event obs Obs.Registry.Retransmit ~node:src ~info:id
+    | Flood _ | Digest _ -> ());
     Network.send net ~src ~dst msg
   in
   let record v id =
@@ -116,10 +125,18 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ~graph ~publications ~anti_ent
     done;
     !total
   in
+  let delivered_fraction =
+    if alive_count * payload_count = 0 then 1.0
+    else float_of_int delivered /. float_of_int (alive_count * payload_count)
+  in
+  (if Obs.Registry.enabled obs then begin
+     Obs.Registry.set (Obs.Registry.gauge obs "reliable.delivered_fraction") delivered_fraction;
+     Obs.Registry.set
+       (Obs.Registry.gauge obs "reliable.completion_time")
+       (match !completion_time with Some t -> t | None -> -1.0)
+   end);
   {
-    delivered_fraction =
-      (if alive_count * payload_count = 0 then 1.0
-       else float_of_int delivered /. float_of_int (alive_count * payload_count));
+    delivered_fraction;
     complete = !remaining = 0;
     completion_time = !completion_time;
     flood_messages = !flood_messages;

@@ -29,6 +29,7 @@ val run :
   ?loss_rate:float ->
   ?crashed:int list ->
   ?seed:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   publications:Multi.publication list ->
   anti_entropy_period:float ->
@@ -37,4 +38,8 @@ val run :
   result
 (** Run the stack until [duration] (virtual time). Anti-entropy ticks
     start phase-shifted per node to avoid synchronisation artefacts.
-    Same argument validation as {!Multi.run}. *)
+    Same argument validation as {!Multi.run}. With [?obs], publishes
+    the [reliable.flood_messages]/[reliable.repair_messages] counters,
+    the [reliable.delivered_fraction]/[reliable.completion_time]
+    gauges, and a [Retransmit] span event per anti-entropy [Data]
+    resend. *)

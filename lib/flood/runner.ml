@@ -9,6 +9,10 @@ type aggregate = {
   mean_messages : float;
   mean_completion : float;
   mean_max_hops : float;
+  p50_completion : float;
+  p95_completion : float;
+  p99_completion : float;
+  hop_counts : int array;
 }
 
 let random_crashes rng ~n ~count ~avoid =
@@ -36,11 +40,44 @@ let coverage_of ~delivered ~crashed ~n =
   done;
   float_of_int !covered /. float_of_int (max 1 !alive)
 
-let aggregate_of results =
+(* Exact percentile of a non-empty trial sample: the smallest value
+   such that at least ⌈q·n⌉ samples are ≤ it. *)
+let percentile_of sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    sorted.(min (n - 1) (rank - 1))
+  end
+
+(* Per-trial hop histograms accumulate in [obs] under "flood.hops"
+   (linear buckets: index = hop count); flatten the prefix up to the
+   last non-empty bucket into a plain array. *)
+let hop_counts_of_registry obs =
+  if not (Obs.Registry.enabled obs) then [||]
+  else
+    match Obs.Registry.find_histogram obs "flood.hops" with
+    | None -> [||]
+    | Some h ->
+        let counts = Obs.Registry.histogram_counts h in
+        let last = ref (-1) in
+        (* drop the overflow bucket: hops beyond the bounds are absent
+           on any graph these trials run on *)
+        for i = 0 to Array.length counts - 2 do
+          if counts.(i) > 0 then last := i
+        done;
+        Array.init (!last + 1) (fun i -> counts.(i))
+
+let aggregate_of ~obs results =
   let trials = List.length results in
   let ft = float_of_int trials in
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 results in
   let covs = List.map (fun (c, _, _, _) -> c) results in
+  let completions =
+    let a = Array.of_list (List.map (fun (_, _, t, _) -> t) results) in
+    Array.sort compare a;
+    a
+  in
   {
     trials;
     mean_coverage = sum (fun (c, _, _, _) -> c) /. ft;
@@ -50,12 +87,31 @@ let aggregate_of results =
     mean_messages = sum (fun (_, m, _, _) -> float_of_int m) /. ft;
     mean_completion = sum (fun (_, _, t, _) -> t) /. ft;
     mean_max_hops = sum (fun (_, _, _, h) -> float_of_int h) /. ft;
+    p50_completion = percentile_of completions 0.50;
+    p95_completion = percentile_of completions 0.95;
+    p99_completion = percentile_of completions 0.99;
+    hop_counts = hop_counts_of_registry obs;
   }
 
-let flood_trials ?latency ?loss_rate ?(link_failures = 0) ~graph ~source ~crash_count ~trials ~seed () =
+let publish_aggregate obs a =
+  if Obs.Registry.enabled obs then begin
+    Obs.Registry.add (Obs.Registry.counter obs "runner.trials") a.trials;
+    Obs.Registry.set (Obs.Registry.gauge obs "runner.mean_coverage") a.mean_coverage;
+    Obs.Registry.set (Obs.Registry.gauge obs "runner.all_covered_fraction") a.all_covered_fraction;
+    Obs.Registry.set (Obs.Registry.gauge obs "runner.p50_completion") a.p50_completion;
+    Obs.Registry.set (Obs.Registry.gauge obs "runner.p95_completion") a.p95_completion;
+    Obs.Registry.set (Obs.Registry.gauge obs "runner.p99_completion") a.p99_completion
+  end
+
+let flood_trials ?latency ?loss_rate ?(link_failures = 0) ?obs ~graph ~source ~crash_count
+    ~trials ~seed () =
   if trials < 1 then invalid_arg "Runner.flood_trials: trials < 1";
+  let obs = match obs with Some o -> o | None -> Obs.Registry.create () in
   let rng = Prng.create ~seed in
   let n = Graph.n graph in
+  let h_completion =
+    Obs.Registry.histogram obs "runner.completion" ~bounds:Obs.Registry.time_bounds
+  in
   let results =
     List.init trials (fun t ->
         let crashed = random_crashes rng ~n ~count:crash_count ~avoid:source in
@@ -63,29 +119,41 @@ let flood_trials ?latency ?loss_rate ?(link_failures = 0) ~graph ~source ~crash_
           if link_failures = 0 then [] else random_link_failures rng graph ~count:link_failures
         in
         let r =
-          Flooding.run ?latency ?loss_rate ~crashed ~failed_links ~seed:(seed + (1000 * t)) ~graph ~source ()
+          Flooding.run ?latency ?loss_rate ~crashed ~failed_links ~seed:(seed + (1000 * t)) ~obs
+            ~graph ~source ()
         in
+        Obs.Registry.observe h_completion r.Flooding.completion_time;
         ( coverage_of ~delivered:r.Flooding.delivered ~crashed ~n,
           r.Flooding.messages_sent,
           r.Flooding.completion_time,
           r.Flooding.max_hops ))
   in
-  aggregate_of results
+  let a = aggregate_of ~obs results in
+  publish_aggregate obs a;
+  a
 
-let gossip_trials ?latency ?loss_rate ~graph ~source ~fanout ~crash_count ~trials ~seed () =
+let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~trials ~seed () =
   if trials < 1 then invalid_arg "Runner.gossip_trials: trials < 1";
+  let obs = match obs with Some o -> o | None -> Obs.Registry.create () in
   let rng = Prng.create ~seed in
   let n = Graph.n graph in
   let ttl = Gossip.default_ttl ~n in
+  let h_completion =
+    Obs.Registry.histogram obs "runner.completion" ~bounds:Obs.Registry.time_bounds
+  in
   let results =
     List.init trials (fun t ->
         let crashed = random_crashes rng ~n ~count:crash_count ~avoid:source in
         let r =
-          Gossip.run ?latency ?loss_rate ~crashed ~seed:(seed + (1000 * t)) ~graph ~source ~fanout ~ttl ()
+          Gossip.run ?latency ?loss_rate ~crashed ~seed:(seed + (1000 * t)) ~obs ~graph ~source
+            ~fanout ~ttl ()
         in
+        Obs.Registry.observe h_completion r.Gossip.completion_time;
         ( coverage_of ~delivered:r.Gossip.delivered ~crashed ~n,
           r.Gossip.messages_sent,
           r.Gossip.completion_time,
           0 ))
   in
-  aggregate_of results
+  let a = aggregate_of ~obs results in
+  publish_aggregate obs a;
+  a

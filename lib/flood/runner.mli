@@ -12,6 +12,14 @@ type aggregate = {
   mean_messages : float;
   mean_completion : float;
   mean_max_hops : float;
+  p50_completion : float;  (** exact percentiles over the per-trial completion times *)
+  p95_completion : float;
+  p99_completion : float;
+  hop_counts : int array;
+      (** [hop_counts.(h)] = deliveries at hop distance [h], accumulated
+          across all trials from the per-run [flood.hops] histogram.
+          Empty for gossip trials (no hop counter on the wire) and when
+          the caller passes a disabled registry. *)
 }
 
 val random_crashes : Graph_core.Prng.t -> n:int -> count:int -> avoid:int -> int list
@@ -24,6 +32,7 @@ val flood_trials :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
   ?link_failures:int ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   crash_count:int ->
@@ -33,11 +42,18 @@ val flood_trials :
   aggregate
 (** Repeated flooding runs, fresh random failure sets per trial.
     Coverage counts delivered alive nodes over all alive nodes, so a
-    partitioned survivor graph shows up as < 1 coverage. *)
+    partitioned survivor graph shows up as < 1 coverage.
+
+    Every trial records into the same registry — by default a private
+    enabled one, so [hop_counts] and the percentile fields are always
+    populated; pass [?obs] to publish into a caller-owned registry
+    instead (the per-trial flood metrics, the [runner.completion]
+    histogram and the [runner.*] summary gauges all land there). *)
 
 val gossip_trials :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
+  ?obs:Obs.Registry.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   fanout:int ->

@@ -4,7 +4,7 @@ module Bfs = Graph_core.Bfs
 
 type t = { reached : int; rounds : int; messages : int; covers_all_alive : bool }
 
-let flood_csr ?workspace ?alive csr ~source =
+let flood_csr ?workspace ?alive ?(obs = Obs.Registry.nil) csr ~source =
   let ws = match workspace with Some w -> w | None -> Bfs.Workspace.create () in
   let dist = Bfs.csr_distances_into ws ?alive csr ~src:source in
   let live = match alive with None -> fun _ -> true | Some a -> fun v -> a.(v) in
@@ -22,8 +22,25 @@ let flood_csr ?workspace ?alive csr ~source =
   (* Every reached vertex sends to all neighbours except its first
      parent; the source has no parent. *)
   let messages = !degree_sum - (!reached - 1) in
+  (if Obs.Registry.enabled obs then begin
+     let h_rounds = Obs.Registry.histogram obs "sync.rounds" ~bounds:Obs.Registry.hop_bounds in
+     Obs.Registry.observe h_rounds (float_of_int !rounds);
+     Obs.Registry.add (Obs.Registry.counter obs "sync.reached") !reached;
+     Obs.Registry.add (Obs.Registry.counter obs "sync.messages") messages;
+     (* synchronous rounds on the virtual timeline: round r spans (r-1, r] *)
+     let width = Array.make (!rounds + 1) 0 in
+     for v = 0 to nv - 1 do
+       if dist.(v) >= 0 then width.(dist.(v)) <- width.(dist.(v)) + 1
+     done;
+     for r = 1 to !rounds do
+       Obs.Registry.event_at obs ~at:(float_of_int (r - 1)) Obs.Registry.Round_start
+         ~node:width.(r) ~info:r;
+       Obs.Registry.event_at obs ~at:(float_of_int r) Obs.Registry.Round_end ~node:width.(r)
+         ~info:r
+     done
+   end);
   { reached = !reached; rounds = !rounds; messages; covers_all_alive = !reached = !alive_total }
 
-let flood ?alive g ~source = flood_csr ?alive (Csr.of_graph g) ~source
+let flood ?alive ?obs g ~source = flood_csr ?alive ?obs (Csr.of_graph g) ~source
 
 let message_bound g = (2 * Graph.m g) - (Graph.n g - 1)

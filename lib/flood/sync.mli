@@ -14,7 +14,7 @@ type t = {
   covers_all_alive : bool;
 }
 
-val flood : ?alive:bool array -> Graph_core.Graph.t -> source:int -> t
+val flood : ?alive:bool array -> ?obs:Obs.Registry.t -> Graph_core.Graph.t -> source:int -> t
 (** Flood from [source] over the alive part of the graph. Messages sent
     to crashed neighbours are counted as sent (the sender cannot know),
     matching {!Flooding.run}'s accounting. Snapshots the graph to CSR
@@ -23,13 +23,19 @@ val flood : ?alive:bool array -> Graph_core.Graph.t -> source:int -> t
 val flood_csr :
   ?workspace:Graph_core.Bfs.Workspace.t ->
   ?alive:bool array ->
+  ?obs:Obs.Registry.t ->
   Graph_core.Csr.t ->
   source:int ->
   t
 (** As {!flood}, over a frozen snapshot. Passing [?workspace] makes
     repeated calls over the same (or same-sized) topology allocation-free
     — the path used by {!Reliability}'s Monte-Carlo loops and the large
-    parameter sweeps. *)
+    parameter sweeps. With an enabled [?obs], the run publishes the
+    [sync.rounds] histogram, [sync.reached]/[sync.messages] counters
+    and per-round [Round_start]/[Round_end] spans (round r spans
+    virtual time (r−1, r], its [node] field the number of vertices
+    first reached in that round); the disabled default records
+    nothing and allocates nothing. *)
 
 val message_bound : Graph_core.Graph.t -> int
 (** The failure-free message count: 2m − (n − 1) — every edge carries

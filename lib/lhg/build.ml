@@ -47,7 +47,7 @@ let distribute_added shape ~j ~cap =
   in
   place j (List.rev (Shape.above_leaf_nodes shape))
 
-let ktree ~n ~k =
+let build_ktree ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -56,7 +56,7 @@ let ktree ~n ~k =
       distribute_added shape ~j ~cap:((2 * k) - 3);
       Ok (of_shape shape)
 
-let kdiamond ~n ~k =
+let build_kdiamond ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -93,7 +93,7 @@ let mark_unshared_leaves shape ~count =
     invalid_arg "Build.mark_unshared_leaves: not enough shared leaves (internal error)";
   List.iteri (fun i l -> if i < count then Shape.mark_unshared shape l) shared
 
-let kdiamond_unshared_rich ~n ~k =
+let build_kdiamond_rich ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -107,7 +107,7 @@ let kdiamond_unshared_rich ~n ~k =
       distribute_added shape ~j ~cap:(k - 2);
       Ok (of_shape shape)
 
-let jd ?(strict = true) ~n ~k () =
+let build_jd ~strict ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -135,12 +135,42 @@ let jd ?(strict = true) ~n ~k () =
         Ok (of_shape shape)
       end
 
+type construction = Ktree | Kdiamond | Kdiamond_rich | Jd of { strict : bool }
+
+let construction_name = function
+  | Ktree -> "ktree"
+  | Kdiamond -> "kdiamond"
+  | Kdiamond_rich -> "kdiamond-rich"
+  | Jd { strict = true } -> "jd"
+  | Jd { strict = false } -> "jd-lenient"
+
+let build construction ~n ~k =
+  match construction with
+  | Ktree -> build_ktree ~n ~k
+  | Kdiamond -> build_kdiamond ~n ~k
+  | Kdiamond_rich -> build_kdiamond_rich ~n ~k
+  | Jd { strict } -> build_jd ~strict ~n ~k
+
+let ktree ~n ~k = build Ktree ~n ~k
+
+let kdiamond ~n ~k = build Kdiamond ~n ~k
+
+let kdiamond_unshared_rich ~n ~k = build Kdiamond_rich ~n ~k
+
+let jd ?(strict = true) ~n ~k () = build (Jd { strict }) ~n ~k
+
 let get_exn name = function
   | Ok t -> t
   | Error e -> invalid_arg (Printf.sprintf "Build.%s: %s" name (error_to_string e))
+
+let build_exn construction ~n ~k =
+  get_exn (construction_name construction) (build construction ~n ~k)
 
 let jd_exn ?strict ~n ~k () = get_exn "jd_exn" (jd ?strict ~n ~k ())
 
 let ktree_exn ~n ~k = get_exn "ktree_exn" (ktree ~n ~k)
 
 let kdiamond_exn ~n ~k = get_exn "kdiamond_exn" (kdiamond ~n ~k)
+
+let kdiamond_unshared_rich_exn ~n ~k =
+  get_exn "kdiamond_unshared_rich_exn" (kdiamond_unshared_rich ~n ~k)

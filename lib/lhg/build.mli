@@ -23,6 +23,29 @@ val pp_error : Format.formatter -> error -> unit
 
 val error_to_string : error -> string
 
+(** {1 The unified entry point}
+
+    All four constructions behind one closed variant, so callers that
+    pick a construction at runtime (CLI, registry, experiments) dispatch
+    on data instead of threading function values. *)
+
+type construction =
+  | Ktree
+  | Kdiamond
+  | Kdiamond_rich  (** {!kdiamond_unshared_rich}'s clique-heavy shape *)
+  | Jd of { strict : bool }
+
+val construction_name : construction -> string
+(** Stable lower-case name ("ktree", "kdiamond", "kdiamond-rich", "jd",
+    "jd-lenient") — used in error messages and exporter output. *)
+
+val build : construction -> n:int -> k:int -> (t, error) result
+(** Build the given construction. The named functions below are thin
+    wrappers over this. *)
+
+val build_exn : construction -> n:int -> k:int -> t
+(** @raise Invalid_argument on builder errors. *)
+
 val jd : ?strict:bool -> n:int -> k:int -> unit -> (t, error) result
 (** The Jenkins–Demers operational construction. [strict] defaults to
     [true] (special nodes carry exactly two added leaves); see
@@ -46,6 +69,8 @@ val kdiamond_unshared_rich : n:int -> k:int -> (t, error) result
 val jd_exn : ?strict:bool -> n:int -> k:int -> unit -> t
 val ktree_exn : n:int -> k:int -> t
 val kdiamond_exn : n:int -> k:int -> t
+
+val kdiamond_unshared_rich_exn : n:int -> k:int -> t
 (** @raise Invalid_argument on builder errors. *)
 
 val of_shape : Shape.t -> t

@@ -41,10 +41,18 @@ type 'msg t = {
   mutable dropped_link : int;
   mutable dropped_crash : int;
   mutable dropped_random : int;
+  obs : Obs.Registry.t;
+  m_sent : Obs.Registry.counter;
+  m_delivered : Obs.Registry.counter;
+  m_dropped_link : Obs.Registry.counter;
+  m_dropped_crash : Obs.Registry.counter;
+  m_dropped_random : Obs.Registry.counter;
+  h_latency : Obs.Registry.histogram;
+  h_queue_depth : Obs.Registry.histogram;
 }
 
 let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
-    ?(processing_delay = 0.0) ?trace () =
+    ?(processing_delay = 0.0) ?trace ?(obs = Obs.Registry.nil) () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Network.create: loss_rate outside [0,1)";
   if processing_delay < 0.0 then invalid_arg "Network.create: negative processing_delay";
   {
@@ -66,6 +74,15 @@ let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
     dropped_link = 0;
     dropped_crash = 0;
     dropped_random = 0;
+    obs;
+    m_sent = Obs.Registry.counter obs "net.sent";
+    m_delivered = Obs.Registry.counter obs "net.delivered";
+    m_dropped_link = Obs.Registry.counter obs "net.dropped_link";
+    m_dropped_crash = Obs.Registry.counter obs "net.dropped_crash";
+    m_dropped_random = Obs.Registry.counter obs "net.dropped_random";
+    h_latency = Obs.Registry.histogram obs "net.latency" ~bounds:Obs.Registry.time_bounds;
+    h_queue_depth =
+      Obs.Registry.histogram obs "net.queue_depth" ~bounds:Obs.Registry.depth_bounds;
   }
 
 let graph t = t.graph
@@ -73,6 +90,8 @@ let graph t = t.graph
 let csr t = t.csr
 
 let sim t = t.sim
+
+let obs t = t.obs
 
 let set_receiver t f = t.receiver <- f
 
@@ -82,12 +101,15 @@ let is_crashed t v = t.crashed.(v)
 
 let crash t v =
   if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.crash: vertex out of range";
+  if not t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Crash ~node:v ~info:0;
   t.crashed.(v) <- true
 
 let alive_mask t = Array.map not t.crashed
 
 let fail_link t u v =
   if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.fail_link: no such edge";
+  if not (Hashtbl.mem t.failed_links (link_key u v)) then
+    Obs.Registry.event t.obs Obs.Registry.Link_down ~node:u ~info:v;
   Hashtbl.replace t.failed_links (link_key u v) ()
 
 let link_failed t u v = Hashtbl.mem t.failed_links (link_key u v)
@@ -103,25 +125,31 @@ let send t ~src ~dst msg =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.sent <- t.sent + 1;
+  Obs.Registry.incr t.m_sent;
   emit t Trace.Sent ~src ~dst ~seq;
   if link_failed t src dst then begin
     t.dropped_link <- t.dropped_link + 1;
+    Obs.Registry.incr t.m_dropped_link;
     emit t Trace.Dropped_link ~src ~dst ~seq
   end
   else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
     t.dropped_random <- t.dropped_random + 1;
+    Obs.Registry.incr t.m_dropped_random;
     emit t Trace.Dropped_random ~src ~dst ~seq
   end
   else begin
     let delay = t.latency t.rng ~src ~dst in
     if delay < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+    if Obs.Registry.enabled t.obs then Obs.Registry.observe t.h_latency delay;
     let deliver () =
       if t.crashed.(dst) then begin
         t.dropped_crash <- t.dropped_crash + 1;
+        Obs.Registry.incr t.m_dropped_crash;
         emit t Trace.Dropped_crash ~src ~dst ~seq
       end
       else begin
         t.delivered <- t.delivered + 1;
+        Obs.Registry.incr t.m_delivered;
         emit t Trace.Delivered ~src ~dst ~seq;
         t.receiver ~dst ~src msg
       end
@@ -132,6 +160,9 @@ let send t ~src ~dst msg =
           (* FIFO receiver queue: one message per processing_delay *)
           let start = Float.max (Sim.now t.sim) t.next_free.(dst) in
           let finish = start +. t.processing_delay in
+          if Obs.Registry.enabled t.obs then
+            Obs.Registry.observe t.h_queue_depth
+              ((start -. Sim.now t.sim) /. t.processing_delay);
           t.next_free.(dst) <- finish;
           Sim.schedule_at t.sim ~time:finish deliver
         end)

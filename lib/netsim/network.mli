@@ -35,11 +35,20 @@ val create :
   ?loss_rate:float ->
   ?processing_delay:float ->
   ?trace:Trace.t ->
+  ?obs:Obs.Registry.t ->
   unit ->
   'msg t
 (** New network; default latency is [constant_latency 1.0], default
     loss rate 0. With [?trace], every send and terminal outcome is
     recorded ({!Trace}).
+
+    With [?obs] (default {!Obs.Registry.nil}), the network publishes
+    into the registry as it runs: counters [net.sent], [net.delivered]
+    and the three [net.dropped_*] reasons, the [net.latency] histogram
+    of drawn link delays, the [net.queue_depth] histogram of receiver
+    backlog (when [processing_delay > 0]), and [Crash]/[Link_down] span
+    events for failure injection. A disabled registry costs one branch
+    per record and allocates nothing.
 
     [?processing_delay] (default 0) models receiver contention: each
     node handles one message per [processing_delay] time units, queueing
@@ -57,6 +66,9 @@ val csr : 'msg t -> Graph_core.Csr.t
     from this (flat arrays) rather than from {!graph}. *)
 
 val sim : 'msg t -> Sim.t
+
+val obs : 'msg t -> Obs.Registry.t
+(** The registry passed to {!create} ({!Obs.Registry.nil} if none). *)
 
 val set_receiver : 'msg t -> (dst:int -> src:int -> 'msg -> unit) -> unit
 (** Install the protocol's receive handler (one per network). *)

@@ -9,19 +9,25 @@ type t = {
   mutable next_seq : int;
   mutable processed : int;
   rng : Prng.t;
+  m_events : Obs.Registry.counter;
 }
 
 let compare_event a b =
   match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
 
-let create ?(seed = 0x51) () =
-  {
-    queue = Pqueue.create ~cmp:compare_event;
-    clock = 0.0;
-    next_seq = 0;
-    processed = 0;
-    rng = Prng.create ~seed;
-  }
+let create ?(seed = 0x51) ?(obs = Obs.Registry.nil) () =
+  let t =
+    {
+      queue = Pqueue.create ~cmp:compare_event;
+      clock = 0.0;
+      next_seq = 0;
+      processed = 0;
+      rng = Prng.create ~seed;
+      m_events = Obs.Registry.counter obs "sim.events";
+    }
+  in
+  Obs.Registry.set_clock obs (fun () -> t.clock);
+  t
 
 let now t = t.clock
 
@@ -45,6 +51,7 @@ let step t =
   | Some ev ->
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
+      Obs.Registry.incr t.m_events;
       ev.callback ();
       true
 

@@ -8,9 +8,12 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?obs:Obs.Registry.t -> unit -> t
 (** Fresh simulator at time 0 with a deterministic RNG (default seed
-    0x51). *)
+    0x51). With [?obs], the registry's span-event clock is pointed at
+    this simulation's virtual time and every executed event bumps the
+    ["sim.events"] counter — the shared timeline that lets protocol
+    spans, wire traces and metrics line up. *)
 
 val now : t -> float
 (** Current virtual time. *)

@@ -1,0 +1,183 @@
+(** Per-run metrics registry: counters, gauges, fixed-bucket histograms
+    and span-style protocol events.
+
+    One registry accompanies one simulation run (or one experiment
+    aggregating several runs). Instrumented modules register named
+    metrics at setup time and record into them on the hot path; the
+    exporters ({!Export}) turn the registry into a JSON or text
+    document afterwards.
+
+    {2 Cost model}
+
+    Recording is O(1) and allocation-free: counters mutate an int
+    field, gauges and histogram sums write into pre-allocated float
+    arrays (avoiding boxed-float stores), histogram bucket selection is
+    a binary search over the fixed bounds, and span events write into a
+    pre-allocated struct-of-arrays ring buffer. On a disabled registry
+    ({!nil}, or [create ~enabled:false]) registration hands back
+    detached dummy metrics and {!event} returns after one branch, so an
+    uninstrumented run pays a few stray stores and nothing else —
+    instrumented code never needs [match] arms around its recording
+    calls. Registration itself (name lookup) allocates and is meant for
+    run setup, not for inner loops. *)
+
+type t
+
+val create : ?enabled:bool -> ?event_capacity:int -> unit -> t
+(** Fresh registry; [enabled] defaults to [true]. [event_capacity]
+    (default 65536) bounds the span-event ring buffer; older events are
+    evicted silently and counted in {!events_dropped}. *)
+
+val nil : t
+(** The shared disabled registry. Passing it to instrumented code turns
+    all recording into no-ops without any [option] plumbing. *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the virtual-time clock used to stamp span events —
+    {!Netsim.Sim.create} points it at the simulation clock so protocol
+    events and wire-level {!Netsim.Trace} events share one timeline.
+    No-op on a disabled registry. *)
+
+val now : t -> float
+(** Current reading of the installed clock (0.0 before {!set_clock}). *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Register (or look up) the counter named [name]. Returning the same
+    value for the same name lets several runs publish into one registry
+    cumulatively.
+    @raise Invalid_argument if the name is registered as another type. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val counter_name : counter -> string
+
+(** {1 Gauges} — last-write-wins floats. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the running maximum of all values recorded so far. *)
+
+val gauge_value : gauge -> float
+
+val gauge_name : gauge -> string
+
+(** {1 Histograms} — fixed upper-bound buckets plus an overflow bucket. *)
+
+type histogram
+
+val histogram : t -> string -> bounds:float array -> histogram
+(** Register (or look up) a histogram with the given strictly increasing
+    finite upper bounds. The registry keeps a reference to [bounds] —
+    callers must not mutate it; use the shared constants below for hot
+    call sites so no per-call array is built.
+    @raise Invalid_argument on empty, non-increasing or non-finite
+    bounds, or if [name] exists with a different bucket count. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+(** Number of observations. *)
+
+val histogram_sum : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for q ∈ \[0,1\]: the smallest bucket upper bound
+    such that at least ⌈q·count⌉ observations fall at or below it.
+    Observations beyond the last bound report the last bound (the
+    overflow bucket has no finite upper edge). 0.0 on an empty
+    histogram.
+    @raise Invalid_argument if q is outside \[0,1\]. *)
+
+val histogram_name : histogram -> string
+
+val histogram_bounds : histogram -> float array
+(** The upper bounds (do not mutate). *)
+
+val histogram_counts : histogram -> int array
+(** Per-bucket counts, length [bounds + 1] (last = overflow); a copy. *)
+
+val linear_bounds : lo:float -> step:float -> count:int -> float array
+(** [lo, lo+step, …] — [count] bounds. *)
+
+val exponential_bounds : lo:float -> factor:float -> count:int -> float array
+(** [lo, lo·factor, …] — [count] bounds; [factor > 1]. *)
+
+val hop_bounds : float array
+(** 0, 1, …, 63 — hop counts and round numbers. *)
+
+val time_bounds : float array
+(** 1, 2, 4, …, 2²³ — virtual-time latencies and completion times. *)
+
+val depth_bounds : float array
+(** 0, 1, …, 31 — receiver queue depths. *)
+
+(** {1 Span events} — timestamped protocol-level happenings, layered
+    over the wire-level {!Netsim.Trace}. *)
+
+type span_kind =
+  | Round_start
+  | Round_end
+  | Retransmit  (** an anti-entropy repair resend *)
+  | Crash
+  | Link_down
+  | Churn_join
+  | Churn_leave
+
+val span_kind_name : span_kind -> string
+
+val all_span_kinds : span_kind list
+
+val event : t -> span_kind -> node:int -> info:int -> unit
+(** Record one event stamped with the registry clock. [node] is the
+    subject vertex (or a protocol-defined scalar), [info] a free
+    per-kind payload (round number, payload id, peer vertex, edge
+    delta…). No-op when disabled. *)
+
+val event_at : t -> at:float -> span_kind -> node:int -> info:int -> unit
+(** As {!event} with an explicit timestamp — for modules that replay or
+    post-process a run (e.g. round reconstruction) rather than record
+    live. *)
+
+type event_view = { at : float; kind : span_kind; node : int; info : int }
+
+val events : t -> event_view list
+(** Retained events, oldest first. *)
+
+val events_recorded : t -> int
+(** Total events ever recorded (evicted ones included). *)
+
+val events_dropped : t -> int
+(** Events evicted by the ring buffer. *)
+
+val event_kind_count : t -> span_kind -> int
+(** Per-kind totals; eviction-proof (kept outside the ring). *)
+
+(** {1 Introspection} — used by the exporters. *)
+
+val counters : t -> counter list
+(** In registration order; likewise below. *)
+
+val gauges : t -> gauge list
+
+val histograms : t -> histogram list
+
+val find_histogram : t -> string -> histogram option
+
+val clear : t -> unit
+(** Reset every value, count and event while keeping registrations —
+    reuse one registry across runs without re-plumbing metrics. *)

@@ -10,7 +10,7 @@ type stats = {
   final_n : int;
 }
 
-let run rng ~family ~k ~n0 ~steps ?(join_probability = 0.55) () =
+let run rng ~family ~k ~n0 ~steps ?(join_probability = 0.55) ?(obs = Obs.Registry.nil) () =
   if steps < 0 then invalid_arg "Churn.run: negative steps";
   if join_probability < 0.0 || join_probability > 1.0 then
     invalid_arg "Churn.run: join_probability outside [0,1]";
@@ -20,20 +20,35 @@ let run rng ~family ~k ~n0 ~steps ?(join_probability = 0.55) () =
       let floor = 2 * k in
       let ops = ref 0 and skipped = ref 0 in
       let total_added = ref 0 and total_removed = ref 0 and max_cost = ref 0 in
-      for _ = 1 to steps do
+      let m_ops = Obs.Registry.counter obs "churn.ops" in
+      let m_skipped = Obs.Registry.counter obs "churn.skipped" in
+      let h_cost = Obs.Registry.histogram obs "churn.cost" ~bounds:Obs.Registry.hop_bounds in
+      for step = 1 to steps do
         let joining =
           Membership.n overlay <= floor || Prng.float rng 1.0 < join_probability
         in
         let result = if joining then Membership.join overlay else Membership.leave overlay in
         match result with
-        | Error _ -> incr skipped
+        | Error _ -> incr skipped; Obs.Registry.incr m_skipped
         | Ok d ->
             incr ops;
+            Obs.Registry.incr m_ops;
             let cost = Diff.cost d in
             total_added := !total_added + List.length d.Diff.added;
             total_removed := !total_removed + List.length d.Diff.removed;
-            if cost > !max_cost then max_cost := cost
+            if cost > !max_cost then max_cost := cost;
+            if Obs.Registry.enabled obs then begin
+              Obs.Registry.observe h_cost (float_of_int cost);
+              (* the churn walk has no simulated clock; stamp events with
+                 the step number so traces order correctly *)
+              Obs.Registry.event_at obs ~at:(float_of_int step)
+                (if joining then Obs.Registry.Churn_join else Obs.Registry.Churn_leave)
+                ~node:(Membership.n overlay) ~info:cost
+            end
       done;
+      if Obs.Registry.enabled obs then
+        Obs.Registry.set (Obs.Registry.gauge obs "churn.final_n")
+          (float_of_int (Membership.n overlay));
       Ok
         {
           ops = !ops;

@@ -24,10 +24,17 @@ val run :
   n0:int ->
   steps:int ->
   ?join_probability:float ->
+  ?obs:Obs.Registry.t ->
   unit ->
   (stats, string) result
 (** Simulate [steps] membership events starting from n0 (default join
     probability 0.55, so overlays slowly grow). Fails only if the
-    initial overlay cannot be built. *)
+    initial overlay cannot be built.
+
+    With [?obs], publishes the [churn.ops]/[churn.skipped] counters, a
+    [churn.cost] rewiring-cost histogram, the [churn.final_n] gauge, and
+    one [Churn_join]/[Churn_leave] span event per successful op stamped
+    with the step number (the walk has no virtual clock of its own);
+    [node] carries the post-op overlay size and [info] the edge cost. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -44,9 +44,11 @@ type t = {
   mutable active : parent;
   mutable history : record list;
   mutable rewired : int;
+  obs : Obs.Registry.t;
+  h_cost : Obs.Registry.histogram;  (** incremental.cost *)
 }
 
-let start ~k =
+let start ?(obs = Obs.Registry.nil) ~k () =
   if k < 3 then invalid_arg "Incremental.start: k must be >= 3";
   let g = Graph.create ~n:0 in
   let copies = Array.init k (fun _ -> Graph.append_vertex g) in
@@ -57,7 +59,8 @@ let start ~k =
         Shared leaf)
   in
   let root = { copies; positions; added = [] } in
-  { k; g; frontier = []; active = root; history = []; rewired = 0 }
+  let h_cost = Obs.Registry.histogram obs "incremental.cost" ~bounds:Obs.Registry.hop_bounds in
+  { k; g; frontier = []; active = root; history = []; rewired = 0; obs; h_cost }
 
 let graph t = t.g
 
@@ -167,7 +170,16 @@ let convert_group t idx =
   t.history <- R_convert { p; idx; members; children; saved_added; v = x; child_parent } :: t.history;
   { op = Group_converted; new_vertex = x; edges_added = !added_edges; edges_removed = !removed }
 
-let rec join t =
+let publish_op t kind report =
+  if Obs.Registry.enabled t.obs then begin
+    Obs.Registry.observe t.h_cost (float_of_int (report.edges_added + report.edges_removed));
+    (* no virtual clock here either: stamp with the post-op overlay size
+       so a join/leave trace reads as a walk on n *)
+    Obs.Registry.event_at t.obs ~at:(float_of_int (Graph.n t.g)) kind ~node:report.new_vertex
+      ~info:(report.edges_added + report.edges_removed)
+  end
+
+let rec join_inner t =
   let p = t.active in
   let shared_idx = find_position p (function Shared _ -> true | _ -> false) in
   let group_idx = find_position p (function Group _ -> true | _ -> false) in
@@ -179,7 +191,7 @@ let rec join t =
         t.history <- R_cursor { prev = t.active } :: t.history;
         t.active <- next;
         t.frontier <- rest;
-        join t
+        join_inner t
   end
   else begin
     let report =
@@ -191,6 +203,11 @@ let rec join t =
     report
   end
 
+let join t =
+  let report = join_inner t in
+  publish_op t Obs.Registry.Churn_join report;
+  report
+
 let drop_tail_parent t target =
   let rec go = function
     | [] -> invalid_arg "Incremental.leave: frontier bookkeeping corrupt"
@@ -201,7 +218,7 @@ let drop_tail_parent t target =
   in
   t.frontier <- go t.frontier
 
-let rec leave t =
+let rec leave_inner t =
   match t.history with
   | [] -> Error "already at the base size 2k"
   | R_cursor { prev } :: rest ->
@@ -209,7 +226,7 @@ let rec leave t =
       t.frontier <- t.active :: t.frontier;
       t.active <- prev;
       t.history <- rest;
-      leave t
+      leave_inner t
   | R_added { p; v } :: rest ->
       (match p.added with
       | hd :: tl when hd = v -> p.added <- tl
@@ -277,6 +294,13 @@ let rec leave t =
       t.rewired <- t.rewired + !removed + !added_edges;
       Ok
         { op = Group_converted; new_vertex = v; edges_added = !added_edges; edges_removed = !removed }
+
+let leave t =
+  match leave_inner t with
+  | Error _ as e -> e
+  | Ok report ->
+      publish_op t Obs.Registry.Churn_leave report;
+      Ok report
 
 let joins t ~count = List.init count (fun _ -> join t)
 

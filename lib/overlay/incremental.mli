@@ -32,10 +32,13 @@ type join_report = {
 
 type t
 
-val start : k:int -> t
+val start : ?obs:Obs.Registry.t -> k:int -> unit -> t
 (** The base overlay: (2k, k) — k root copies fully joined to k shared
     leaves. Requires k ≥ 3 (k = 2 has no added-leaf budget to drive the
-    state machine). *)
+    state machine). With [?obs], every join/leave records into the
+    [incremental.cost] rewiring histogram and emits a
+    [Churn_join]/[Churn_leave] span event stamped with the post-op
+    overlay size ([node] = the peer's id, [info] = edges touched). *)
 
 val graph : t -> Graph_core.Graph.t
 (** The live topology. Treat as read-only. *)

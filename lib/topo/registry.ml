@@ -1,0 +1,90 @@
+module Graph = Graph_core.Graph
+module Build = Lhg_core.Build
+
+type entry = {
+  name : string;
+  doc : string;
+  admissible : n:int -> k:int -> bool;
+  requirement : string;
+  build : n:int -> k:int -> seed:int -> (Graph.t, string) result;
+  construction : Build.construction option;
+}
+
+let lhg_entry name doc construction =
+  {
+    name;
+    doc;
+    admissible =
+      (fun ~n ~k -> match Build.build construction ~n ~k with Ok _ -> true | Error _ -> false);
+    requirement = "n >= 2k with k >= 2 (JD additionally has parity gaps)";
+    build =
+      (fun ~n ~k ~seed:_ ->
+        match Build.build construction ~n ~k with
+        | Ok b -> Ok b.Build.graph
+        | Error e -> Error (Build.error_to_string e));
+    construction = Some construction;
+  }
+
+let plain_entry name doc ~admissible ~requirement f =
+  {
+    name;
+    doc;
+    admissible;
+    requirement;
+    build =
+      (fun ~n ~k ~seed ->
+        if admissible ~n ~k then Ok (f ~n ~k ~seed) else Error requirement);
+    construction = None;
+  }
+
+let all =
+  [
+    lhg_entry "ktree" "K-TREE construction (Theorem 2)" Build.Ktree;
+    lhg_entry "kdiamond" "K-DIAMOND construction, canonical shape (Theorem 5)" Build.Kdiamond;
+    lhg_entry "kdiamond_rich" "K-DIAMOND with maximal unshared-leaf groups (the paper's figures)"
+      Build.Kdiamond_rich;
+    lhg_entry "jd" "Jenkins-Demers operational construction (strict rule)"
+      (Build.Jd { strict = true });
+    plain_entry "harary" "classic Harary graph H(k, n)"
+      ~admissible:(fun ~n ~k -> k >= 2 && k < n)
+      ~requirement:"harary needs 2 <= k < n"
+      (fun ~n ~k ~seed:_ -> Harary.make ~k ~n);
+    plain_entry "hypercube" "k-dimensional hypercube (n = 2^k)"
+      ~admissible:(fun ~n ~k -> Hypercube.admissible ~n ~k)
+      ~requirement:"hypercube needs n = 2^k"
+      (fun ~n:_ ~k ~seed:_ -> Hypercube.make ~dim:k);
+    plain_entry "expander" "random k-regular expander"
+      ~admissible:(fun ~n ~k -> k mod 2 = 0 && k >= 2 && n > k)
+      ~requirement:"expander needs even k >= 2 and n > k"
+      (fun ~n ~k ~seed -> Expander.random_regular (Graph_core.Prng.create ~seed) ~n ~degree:k);
+    plain_entry "cycle" "simple cycle (k ignored)"
+      ~admissible:(fun ~n ~k:_ -> n >= 3)
+      ~requirement:"cycle needs n >= 3"
+      (fun ~n ~k:_ ~seed:_ -> Graph_core.Generators.cycle n);
+    plain_entry "complete" "complete graph (k ignored)"
+      ~admissible:(fun ~n:_ ~k:_ -> true)
+      ~requirement:""
+      (fun ~n ~k:_ ~seed:_ -> Graph_core.Generators.complete n);
+  ]
+
+let () =
+  let ns = List.map (fun e -> e.name) all in
+  if List.length (List.sort_uniq compare ns) <> List.length ns then
+    invalid_arg "Topo.Registry: duplicate entry names"
+
+let names = List.map (fun e -> e.name) all
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let build_graph ~kind ~n ~k ~seed =
+  match find kind with
+  | None ->
+      Error
+        (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
+  | Some e -> e.build ~n ~k ~seed
+
+let witness ~kind ~n ~k =
+  match find kind with
+  | None | Some { construction = None; _ } -> None
+  | Some { construction = Some c; _ } -> (
+      match Build.build c ~n ~k with Ok b -> Some b | Error _ -> None)

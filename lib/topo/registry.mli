@@ -1,0 +1,36 @@
+(** The topology catalogue: every graph family the CLI and experiment
+    drivers can name, behind one record type.
+
+    Each entry bundles the admissibility predicate, the builder and (for
+    the witnessed LHG constructions) the {!Lhg_core.Build.construction}
+    it dispatches to, so front ends match on data instead of duplicating
+    string-dispatch tables. *)
+
+type entry = {
+  name : string;
+  doc : string;  (** one line, for listings and [--help] *)
+  admissible : n:int -> k:int -> bool;
+      (** Whether the family has a member at these parameters. *)
+  requirement : string;  (** human-readable admissibility rule *)
+  build : n:int -> k:int -> seed:int -> (Graph_core.Graph.t, string) result;
+      (** [seed] only matters for randomised families (expander). *)
+  construction : Lhg_core.Build.construction option;
+      (** The LHG construction behind this entry, when there is one —
+          gateway to witnesses, routes and shape inspection. *)
+}
+
+val all : entry list
+(** In presentation order; names are unique. *)
+
+val names : string list
+
+val find : string -> entry option
+
+val build_graph :
+  kind:string -> n:int -> k:int -> seed:int -> (Graph_core.Graph.t, string) result
+(** Look up and build in one step. Unknown kinds report the known names;
+    inadmissible parameters report the entry's requirement. *)
+
+val witness : kind:string -> n:int -> k:int -> Lhg_core.Build.t option
+(** The structural witness, for entries backed by an LHG construction
+    that succeeds at (n, k); [None] otherwise. *)

@@ -6,7 +6,7 @@ module Regularity = Lhg_core.Regularity
 module Degree = Graph_core.Degree
 
 let test_start_is_base_lhg () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   let g = Incremental.graph t in
   check_int "n = 2k" 6 (Graph.n g);
   check_int "m = k*k" 9 (Graph.m g);
@@ -14,10 +14,10 @@ let test_start_is_base_lhg () =
 
 let test_k2_rejected () =
   Alcotest.check_raises "k=2" (Invalid_argument "Incremental.start: k must be >= 3") (fun () ->
-      ignore (Incremental.start ~k:2))
+      ignore (Incremental.start ~k:2 ()))
 
 let test_every_step_is_lhg_k3 () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   for _ = 1 to 40 do
     let _ = Incremental.join t in
     let g = Incremental.graph t in
@@ -28,7 +28,7 @@ let test_every_step_is_lhg_k3 () =
   done
 
 let test_every_step_connected_k5 () =
-  let t = Incremental.start ~k:5 in
+  let t = Incremental.start ~k:5 () in
   for _ = 1 to 60 do
     let _ = Incremental.join t in
     let g = Incremental.graph t in
@@ -45,7 +45,7 @@ let test_every_step_connected_k5 () =
 let test_regular_exactly_at_reg_sizes () =
   List.iter
     (fun k ->
-      let t = Incremental.start ~k in
+      let t = Incremental.start ~k () in
       for _ = 1 to 50 do
         let _ = Incremental.join t in
         let g = Incremental.graph t in
@@ -57,7 +57,7 @@ let test_regular_exactly_at_reg_sizes () =
     [ 3; 4; 5 ]
 
 let test_join_costs_bounded () =
-  let t = Incremental.start ~k:4 in
+  let t = Incremental.start ~k:4 () in
   List.iter
     (fun r ->
       let cost = r.Incremental.edges_added + r.Incremental.edges_removed in
@@ -77,7 +77,7 @@ let test_join_costs_bounded () =
     (Incremental.joins t ~count:80)
 
 let test_vertex_ids_stable () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   (* new vertices get consecutive fresh ids; old ids never vanish *)
   List.iteri
     (fun i r -> check_int "fresh sequential id" (6 + i) r.Incremental.new_vertex)
@@ -85,7 +85,7 @@ let test_vertex_ids_stable () =
   check_int "n" 26 (Incremental.n t)
 
 let test_total_rewired_accumulates () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   let reports = Incremental.joins t ~count:15 in
   let expected =
     List.fold_left
@@ -98,7 +98,7 @@ let test_cheaper_than_rebuild_on_average () =
   (* the point of the module: incremental joins move O(k^2) edges while
      canonical rebuilds reshuffle large parts of the graph *)
   let k = 4 in
-  let t = Incremental.start ~k in
+  let t = Incremental.start ~k () in
   let _warm = Incremental.joins t ~count:60 in
   let inc_costs =
     List.map
@@ -126,7 +126,7 @@ let test_cheaper_than_rebuild_on_average () =
 
 let test_deep_growth_stays_balanced () =
   (* run far enough to convert several levels; diameter must stay logarithmic *)
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   let _ = Incremental.joins t ~count:400 in
   let g = Incremental.graph t in
   check_int "n" 406 (Graph.n g);
@@ -138,7 +138,7 @@ let test_deep_growth_stays_balanced () =
 
 
 let test_leave_inverts_join () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   let snapshots = ref [] in
   for _ = 1 to 25 do
     snapshots := Graph.copy (Incremental.graph t) :: !snapshots;
@@ -159,7 +159,7 @@ let test_leave_inverts_join () =
   | Ok _ -> Alcotest.fail "base size must refuse leave"
 
 let test_leave_after_deep_growth () =
-  let t = Incremental.start ~k:4 in
+  let t = Incremental.start ~k:4 () in
   let _ = Incremental.joins t ~count:200 in
   let mark = Graph.copy (Incremental.graph t) in
   let _ = Incremental.joins t ~count:57 in
@@ -173,7 +173,7 @@ let test_leave_after_deep_growth () =
     (Verify.is_lhg ~check_minimality:false (Incremental.graph t) ~k:4)
 
 let test_mixed_churn_stays_lhg () =
-  let t = Incremental.start ~k:3 in
+  let t = Incremental.start ~k:3 () in
   let rngv = rng () in
   for _ = 1 to 120 do
     let joining = Incremental.n t <= 7 || Graph_core.Prng.bool rngv in

@@ -18,7 +18,7 @@ let test_build_serialize_verify_roundtrip () =
 
 let test_grown_overlay_full_stack () =
   (* grow incrementally, then run every protocol on the result *)
-  let overlay = Overlay.Incremental.start ~k:3 in
+  let overlay = Overlay.Incremental.start ~k:3 () in
   let _ = Overlay.Incremental.joins overlay ~count:44 in
   let g = Overlay.Incremental.graph overlay in
   check_int "n" 50 (Graph.n g);

@@ -52,4 +52,6 @@ let () =
       ("properties", Test_properties.suite);
       ("reliable", Test_reliable.suite);
       ("pif", Test_pif.suite);
+      ("obs", Test_obs.suite);
+      ("topo_registry", Test_topo_registry.suite);
     ]

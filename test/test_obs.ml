@@ -1,0 +1,189 @@
+(* Obs.Registry and Obs.Export: metric semantics, the disabled path,
+   percentiles, the event ring, and exporter well-formedness. *)
+
+module R = Obs.Registry
+
+let test_counter_basics () =
+  let r = R.create () in
+  let c = R.counter r "a" in
+  R.incr c;
+  R.incr c;
+  R.add c 5;
+  Alcotest.(check int) "value" 7 (R.counter_value c);
+  (* same name -> same counter *)
+  let c' = R.counter r "a" in
+  R.incr c';
+  Alcotest.(check int) "shared" 8 (R.counter_value c);
+  Alcotest.(check int) "one registration" 1 (List.length (R.counters r))
+
+let test_gauge_semantics () =
+  let r = R.create () in
+  let g = R.gauge r "g" in
+  R.set g 3.0;
+  R.set g 1.5;
+  Alcotest.(check (float 0.0)) "last write wins" 1.5 (R.gauge_value g);
+  R.set_max g 4.0;
+  R.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "running max" 4.0 (R.gauge_value g)
+
+let test_type_clash_rejected () =
+  let r = R.create () in
+  ignore (R.counter r "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Registry: x is registered with another metric type") (fun () ->
+      ignore (R.gauge r "x"))
+
+let test_histogram_percentiles () =
+  let r = R.create () in
+  let h = R.histogram r "h" ~bounds:R.hop_bounds in
+  (* 100 observations at hop values 1..100 clamp into 0..63 + overflow *)
+  for i = 1 to 100 do
+    R.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (R.histogram_count h);
+  Alcotest.(check (float 0.0)) "p50" 50.0 (R.percentile h 0.50);
+  Alcotest.(check (float 0.0)) "p0 = min bucket" 1.0 (R.percentile h 0.0);
+  (* overflow observations report the last finite bound *)
+  Alcotest.(check (float 0.0)) "p100 hits overflow" 63.0 (R.percentile h 1.0);
+  let empty = R.histogram r "h2" ~bounds:R.hop_bounds in
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0 (R.percentile empty 0.5)
+
+let test_histogram_bad_bounds () =
+  let r = R.create () in
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Registry.histogram: empty bounds") (fun () ->
+      ignore (R.histogram r "e" ~bounds:[||]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Registry.histogram: bounds must be strictly increasing") (fun () ->
+      ignore (R.histogram r "ni" ~bounds:[| 1.0; 1.0 |]))
+
+let test_disabled_registry_is_inert () =
+  let r = R.nil in
+  let c = R.counter r "dead" in
+  R.incr c;
+  R.add c 10;
+  let g = R.gauge r "deadg" in
+  R.set g 5.0;
+  let h = R.histogram r "deadh" ~bounds:R.hop_bounds in
+  R.observe h 3.0;
+  R.event r R.Crash ~node:1 ~info:0;
+  (* nothing registers, nothing retains *)
+  Alcotest.(check int) "no counters" 0 (List.length (R.counters r));
+  Alcotest.(check int) "no gauges" 0 (List.length (R.gauges r));
+  Alcotest.(check int) "no histograms" 0 (List.length (R.histograms r));
+  Alcotest.(check int) "no events" 0 (R.events_recorded r);
+  Alcotest.(check bool) "disabled" false (R.enabled r)
+
+let test_event_ring_eviction () =
+  let r = R.create ~event_capacity:4 () in
+  for i = 1 to 10 do
+    R.event_at r ~at:(float_of_int i) R.Round_start ~node:i ~info:i
+  done;
+  Alcotest.(check int) "recorded" 10 (R.events_recorded r);
+  Alcotest.(check int) "dropped" 6 (R.events_dropped r);
+  let evs = R.events r in
+  Alcotest.(check int) "retained" 4 (List.length evs);
+  Alcotest.(check int) "oldest retained" 7 (List.hd evs).R.node;
+  (* per-kind totals survive eviction *)
+  Alcotest.(check int) "kind count" 10 (R.event_kind_count r R.Round_start)
+
+let test_clock_shared_with_sim () =
+  let r = R.create () in
+  let sim = Netsim.Sim.create ~obs:r () in
+  Netsim.Sim.schedule_at sim ~time:7.5 (fun () -> R.event r R.Crash ~node:0 ~info:0);
+  Netsim.Sim.run sim;
+  match R.events r with
+  | [ ev ] -> Alcotest.(check (float 1e-9)) "stamped with sim clock" 7.5 ev.R.at
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_clear_keeps_registrations () =
+  let r = R.create () in
+  let c = R.counter r "c" in
+  R.incr c;
+  let h = R.histogram r "h" ~bounds:R.hop_bounds in
+  R.observe h 1.0;
+  R.event r R.Crash ~node:0 ~info:0;
+  R.clear r;
+  Alcotest.(check int) "counter reset" 0 (R.counter_value c);
+  Alcotest.(check int) "histogram reset" 0 (R.histogram_count h);
+  Alcotest.(check int) "events reset" 0 (R.events_recorded r);
+  Alcotest.(check int) "registrations kept" 1 (List.length (R.counters r));
+  R.incr c;
+  Alcotest.(check int) "still live" 1 (R.counter_value c)
+
+(* A tiny structural JSON validator: balanced braces/brackets outside
+   strings — catches the usual hand-rolled-emitter mistakes (trailing
+   commas are caught by the CI python parse; here we check nesting). *)
+let check_balanced s =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if ch = '\\' then escaped := true else if ch = '"' then in_string := false
+      end
+      else
+        match ch with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' -> decr depth
+        | _ -> ())
+    s;
+  Alcotest.(check int) "balanced json nesting" 0 !depth;
+  Alcotest.(check bool) "string closed" false !in_string
+
+let test_export_json_structure () =
+  let r = R.create () in
+  let g = (Lhg_core.Build.kdiamond_exn ~n:22 ~k:3).Lhg_core.Build.graph in
+  ignore (Flood.Flooding.run ~obs:r ~graph:g ~source:0 ());
+  let doc = Obs.Export.to_json ~recent_events:4 r in
+  check_balanced doc;
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true
+      (let nl = String.length needle and dl = String.length doc in
+       let rec go i = i + nl <= dl && (String.sub doc i nl = needle || go (i + 1)) in
+       go 0)
+  in
+  has "\"schema\": \"lhg-obs/1\"";
+  has "\"net.sent\"";
+  has "\"flood.rounds\"";
+  has "\"flood.completion\"";
+  has "\"p95\"";
+  has "\"round-start\"";
+  (* the text exporter covers the same registry without raising *)
+  let txt = Obs.Export.to_text ~recent_events:4 r in
+  Alcotest.(check bool) "text non-empty" true (String.length txt > 0)
+
+let test_runner_percentiles () =
+  let g = (Lhg_core.Build.kdiamond_exn ~n:30 ~k:3).Lhg_core.Build.graph in
+  let a = Flood.Runner.flood_trials ~graph:g ~source:0 ~crash_count:0 ~trials:9 ~seed:3 () in
+  (* failure-free deterministic flooding: every trial identical *)
+  Alcotest.(check (float 1e-9)) "p50 = mean" a.Flood.Runner.mean_completion
+    a.Flood.Runner.p50_completion;
+  Alcotest.(check (float 1e-9)) "p99 = p50" a.Flood.Runner.p50_completion
+    a.Flood.Runner.p99_completion;
+  Alcotest.(check bool) "hop histogram populated" true
+    (Array.length a.Flood.Runner.hop_counts > 0);
+  Alcotest.(check int) "hop counts sum to deliveries" (9 * 30)
+    (Array.fold_left ( + ) 0 a.Flood.Runner.hop_counts);
+  (* a disabled caller-supplied registry suppresses hop collection *)
+  let a' =
+    Flood.Runner.flood_trials ~obs:Obs.Registry.nil ~graph:g ~source:0 ~crash_count:0 ~trials:3
+      ~seed:3 ()
+  in
+  Alcotest.(check int) "disabled -> no hop histogram" 0 (Array.length a'.Flood.Runner.hop_counts)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "type clash rejected" `Quick test_type_clash_rejected;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram bad bounds" `Quick test_histogram_bad_bounds;
+    Alcotest.test_case "disabled registry is inert" `Quick test_disabled_registry_is_inert;
+    Alcotest.test_case "event ring eviction" `Quick test_event_ring_eviction;
+    Alcotest.test_case "clock shared with sim" `Quick test_clock_shared_with_sim;
+    Alcotest.test_case "clear keeps registrations" `Quick test_clear_keeps_registrations;
+    Alcotest.test_case "export json structure" `Quick test_export_json_structure;
+    Alcotest.test_case "runner percentiles" `Quick test_runner_percentiles;
+  ]

@@ -8,7 +8,7 @@ let prop_incremental_tracks_canonical_count =
   qcheck ~count:30 "incremental overlay sizes track join/leave arithmetic"
     QCheck2.Gen.(pair (int_range 3 5) (int_bound 10_000))
     (fun (k, seed) ->
-      let t = Overlay.Incremental.start ~k in
+      let t = Overlay.Incremental.start ~k () in
       let rngv = Prng.create ~seed in
       let expected = ref (2 * k) in
       let ok = ref true in
