@@ -31,6 +31,30 @@ let k_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domains to verify with: 1 = sequential (default), 0 = auto \
+           ($(b,LHG_DOMAINS) or the machine's recommended domain count), N = a pool of N \
+           domains. Results are identical at any setting.")
+
+(* [f] gets [None] for a sequential run; a fresh pool is shut down on
+   the way out, the shared default pool is joined at exit. *)
+let with_jobs jobs f =
+  if jobs < 0 then begin
+    prerr_endline "error: --jobs must be >= 0";
+    1
+  end
+  else if jobs = 0 then f (Some (Par.Pool.default ()))
+  else if jobs = 1 then f None
+  else begin
+    let pool = Par.Pool.create ~domains:jobs in
+    Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
+  end
+
 let with_graph kind n k seed f =
   match build_graph ~kind ~n ~k ~seed with
   | Error msg ->
@@ -76,18 +100,20 @@ let generate_cmd =
 
 (* verify *)
 
-let verify kind n k seed skip_minimality input =
+let verify kind n k seed skip_minimality input jobs =
   let checked g =
-      let report = Lhg_core.Verify.verify ~check_minimality:(not skip_minimality) g ~k in
-      Format.printf "%a@." Lhg_core.Verify.pp_report report;
-      if Lhg_core.Verify.is_lhg ~check_minimality:(not skip_minimality) g ~k then begin
-        print_endline "verdict: this graph is a Logarithmic Harary Graph";
-        0
-      end
-      else begin
-        print_endline "verdict: NOT an LHG";
-        1
-      end
+    with_jobs jobs (fun pool ->
+        let check_minimality = not skip_minimality in
+        let report = Lhg_core.Verify.verify ~check_minimality ?pool g ~k in
+        Format.printf "%a@." Lhg_core.Verify.pp_report report;
+        if Lhg_core.Verify.is_lhg ~check_minimality ?pool g ~k then begin
+          print_endline "verdict: this graph is a Logarithmic Harary Graph";
+          0
+        end
+        else begin
+          print_endline "verdict: NOT an LHG";
+          1
+        end)
   in
   match input with
   | Some path -> (
@@ -110,7 +136,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check the four LHG properties")
-    Term.(const verify $ kind_arg $ n_arg $ k_arg $ seed_arg $ skip $ input)
+    Term.(const verify $ kind_arg $ n_arg $ k_arg $ seed_arg $ skip $ input $ jobs_arg)
 
 (* tables *)
 

@@ -15,6 +15,9 @@ let wilson_interval ~successes ~trials =
   (max 0.0 ((centre -. spread) /. denom), min 1.0 ((centre +. spread) /. denom))
 
 let estimate_of ~successes ~trials =
+  if trials <= 0 then invalid_arg "Reliability.estimate_of: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Reliability.estimate_of: successes outside [0, trials]";
   let lo, hi = wilson_interval ~successes ~trials in
   { probability = float_of_int successes /. float_of_int trials; lo; hi; trials }
 
@@ -33,25 +36,53 @@ let draw_failures rng ~n ~source ~p alive =
     if v <> source && Prng.float rng 1.0 < p then alive.(v) <- false
   done
 
-let flood_delivery ?(obs = Obs.Registry.nil) ~graph ~source ~node_failure_prob ~trials ~seed () =
+(* Trials are cut into fixed-size shards, one splitmix stream per shard
+   derived from the root seed by deterministic splitting. The shard
+   grid and every shard's stream depend only on (seed, trials) — never
+   on the domain count — and successes are an order-independent integer
+   sum, so the estimate is bit-identical whether the shards run
+   sequentially or fan out over any number of domains. *)
+let shard_size = 512
+
+let flood_delivery ?(obs = Obs.Registry.nil) ?pool ~graph ~source ~node_failure_prob ~trials
+    ~seed () =
   if trials < 1 then invalid_arg "Reliability.flood_delivery: trials < 1";
   if node_failure_prob < 0.0 || node_failure_prob > 1.0 then
     invalid_arg "Reliability.flood_delivery: probability outside [0,1]";
   let n = Graph.n graph in
-  let rng = Prng.create ~seed in
-  let alive = Array.make n true in
-  let successes = ref 0 in
-  (* One frozen snapshot and one BFS workspace across all trials: the
-     per-trial work is a flat-array BFS with zero allocation. *)
+  (* One frozen snapshot shared by every domain; one BFS workspace and
+     one alive mask per domain, so the per-trial work stays a
+     flat-array BFS with zero allocation. *)
   let csr = Graph_core.Csr.of_graph graph in
-  let ws = Graph_core.Bfs.Workspace.create () in
-  for _ = 1 to trials do
-    draw_failures rng ~n ~source ~p:node_failure_prob alive;
-    let r = Sync.flood_csr ~workspace:ws ~alive csr ~source in
-    if r.Sync.covers_all_alive then incr successes
-  done;
-  let e = estimate_of ~successes:!successes ~trials in
-  publish obs ~successes:!successes e;
+  let nshards = (trials + shard_size - 1) / shard_size in
+  let root = Prng.create ~seed in
+  let rngs = Array.init nshards (fun _ -> Prng.split root) in
+  let per_shard = Array.make nshards 0 in
+  let domains = match pool with Some p -> Par.Pool.size p | None -> 1 in
+  let scratch =
+    Array.init domains (fun _ -> (Graph_core.Bfs.Workspace.create (), Array.make n true))
+  in
+  let run_shard ~worker s =
+    let ws, alive = scratch.(worker) in
+    let rng = rngs.(s) in
+    let count = min shard_size (trials - (s * shard_size)) in
+    let succ = ref 0 in
+    for _ = 1 to count do
+      draw_failures rng ~n ~source ~p:node_failure_prob alive;
+      let r = Sync.flood_csr ~workspace:ws ~alive csr ~source in
+      if r.Sync.covers_all_alive then incr succ
+    done;
+    per_shard.(s) <- !succ
+  in
+  (match pool with
+  | Some p when Par.Pool.size p > 1 -> Par.Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:nshards run_shard
+  | _ ->
+      for s = 0 to nshards - 1 do
+        run_shard ~worker:0 s
+      done);
+  let successes = Array.fold_left ( + ) 0 per_shard in
+  let e = estimate_of ~successes ~trials in
+  publish obs ~successes e;
   e
 
 let gossip_delivery ?(obs = Obs.Registry.nil) ~graph ~source ~fanout ~node_failure_prob ~trials

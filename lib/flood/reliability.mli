@@ -20,8 +20,15 @@ type estimate = {
 val wilson_interval : successes:int -> trials:int -> float * float
 (** 95% Wilson score interval. *)
 
+val estimate_of : successes:int -> trials:int -> estimate
+(** Package a raw success count as an {!estimate} with its Wilson
+    interval.
+    @raise Invalid_argument when [trials <= 0] or [successes] is
+    outside [\[0, trials\]]. *)
+
 val flood_delivery :
   ?obs:Obs.Registry.t ->
+  ?pool:Par.Pool.t ->
   graph:Graph_core.Graph.t ->
   source:int ->
   node_failure_prob:float ->
@@ -32,6 +39,14 @@ val flood_delivery :
 (** Probability that flooding from [source] reaches every survivor,
     estimated over [trials] independent failure draws. Uses the
     closed-form synchronous analysis per draw (exact for flooding).
+
+    Trials run in fixed-size shards, each on its own PRNG stream
+    derived from [seed] by deterministic splitting ({!Graph_core.Prng.split});
+    with [?pool] the shards fan out across domains. Because the shard
+    plan depends only on [(seed, trials)] and successes sum
+    order-independently, the estimate is bit-identical for a given
+    [(seed, trials)] at any domain count (pool or no pool).
+
     With [?obs], publishes [reliability.successes]/[reliability.trials]
     counters and the [reliability.probability]/[.lo]/[.hi] gauges; the
     per-draw Monte-Carlo loop itself stays uninstrumented (it is the

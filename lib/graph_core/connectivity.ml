@@ -88,13 +88,35 @@ let edge_connectivity_csr csr =
 
 let edge_connectivity g = edge_connectivity_csr (Csr.of_graph g)
 
-let is_k_edge_connected_csr csr ~k =
+(* Decision probes are independent maxflows capped at k (a fixed limit,
+   unlike the exact-value loops whose shrinking limit is a sequential
+   optimisation): with [?pool] they distribute across domains, one
+   private flow network per domain. The verdict — "every probe ≥ k" —
+   is the same at any domain count. *)
+
+let use_pool pool =
+  match pool with Some p when Par.Pool.size p > 1 -> Some p | _ -> None
+
+let is_k_edge_connected_csr ?pool csr ~k =
   if k < 0 then invalid_arg "Connectivity.is_k_edge_connected: negative k";
   if k = 0 then Csr.n csr > 0
   else if Csr.n csr <= 1 then false
-  else edge_connectivity_upto_csr k csr >= k
+  else
+    match use_pool pool with
+    | Some p ->
+        let nv = Csr.n csr in
+        let nets = Array.init (Par.Pool.size p) (fun _ -> edge_flow_network_csr csr) in
+        let ok = Atomic.make true in
+        Par.Pool.parallel_for ~chunk:1 p ~lo:1 ~hi:nv (fun ~worker t ->
+            if Atomic.get ok then begin
+              let net = nets.(worker) in
+              Maxflow.Net.reset_flow net;
+              if Maxflow.max_flow ~limit:k net ~s:0 ~t < k then Atomic.set ok false
+            end);
+        Atomic.get ok
+    | None -> edge_connectivity_upto_csr k csr >= k
 
-let is_k_edge_connected g ~k = is_k_edge_connected_csr (Csr.of_graph g) ~k
+let is_k_edge_connected ?pool g ~k = is_k_edge_connected_csr ?pool (Csr.of_graph g) ~k
 
 let min_degree_vertex csr =
   let nv = Csr.n csr in
@@ -135,13 +157,48 @@ let vertex_connectivity_csr csr = vertex_connectivity_upto_csr max_int csr
 
 let vertex_connectivity g = vertex_connectivity_csr (Csr.of_graph g)
 
-let is_k_vertex_connected_csr csr ~k =
+let is_k_vertex_connected_csr ?pool csr ~k =
   if k < 0 then invalid_arg "Connectivity.is_k_vertex_connected: negative k";
   if k = 0 then Csr.n csr > 0
   else if Csr.n csr < k + 1 then false
-  else vertex_connectivity_upto_csr k csr >= k
+  else
+    match use_pool pool with
+    | Some p ->
+        let nv = Csr.n csr in
+        if is_complete csr then nv - 1 >= k
+        else begin
+          let v = min_degree_vertex csr in
+          (* κ(G) ≤ δ(G): the sequential path's initial bound. *)
+          if Csr.degree csr v < k then false
+          else begin
+            let sources = v :: Csr.neighbors csr v in
+            let pairs = ref [] and npairs = ref 0 in
+            List.iter
+              (fun s ->
+                for t = 0 to nv - 1 do
+                  if t <> s && not (Csr.mem_edge csr s t) then begin
+                    pairs := (s, t) :: !pairs;
+                    incr npairs
+                  end
+                done)
+              sources;
+            let pairs = Array.of_list (List.rev !pairs) in
+            let nets = Array.init (Par.Pool.size p) (fun _ -> vertex_split_network_csr csr) in
+            let ok = Atomic.make true in
+            Par.Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:!npairs (fun ~worker i ->
+                if Atomic.get ok then begin
+                  let s, t = pairs.(i) in
+                  let net, v_in, v_out = nets.(worker) in
+                  Maxflow.Net.reset_flow net;
+                  if Maxflow.max_flow ~limit:k net ~s:(v_out s) ~t:(v_in t) < k then
+                    Atomic.set ok false
+                end);
+            Atomic.get ok
+          end
+        end
+    | None -> vertex_connectivity_upto_csr k csr >= k
 
-let is_k_vertex_connected g ~k = is_k_vertex_connected_csr (Csr.of_graph g) ~k
+let is_k_vertex_connected ?pool g ~k = is_k_vertex_connected_csr ?pool (Csr.of_graph g) ~k
 
 let min_edge_cut g =
   let nv = Graph.n g in

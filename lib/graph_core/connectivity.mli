@@ -19,7 +19,12 @@
       κ(Kₙ) = n − 1 by convention.
 
     Decision forms cut each flow computation off at [k] and are the ones
-    used by the LHG verifier. *)
+    used by the LHG verifier. They take [?pool]: the (s,t) probes of a
+    decision are independent fixed-limit maxflows over the immutable
+    snapshot, so a {!Par.Pool.t} distributes them across domains with
+    one private flow network per domain — same verdict at any domain
+    count. (The exact-value searches keep their sequential
+    shrinking-limit loops.) *)
 
 val local_edge_connectivity : ?limit:int -> Graph.t -> s:int -> t:int -> int
 (** λ(s,t); with [~limit] the returned value is capped at [limit]. *)
@@ -35,11 +40,11 @@ val edge_connectivity : Graph.t -> int
 val vertex_connectivity : Graph.t -> int
 (** Exact κ(G); [n-1] for complete graphs, 0 when disconnected. *)
 
-val is_k_edge_connected : Graph.t -> k:int -> bool
+val is_k_edge_connected : ?pool:Par.Pool.t -> Graph.t -> k:int -> bool
 (** Decision: λ(G) ≥ k, with flows cut off at [k]. [k = 0] is trivially
     true for non-empty graphs. *)
 
-val is_k_vertex_connected : Graph.t -> k:int -> bool
+val is_k_vertex_connected : ?pool:Par.Pool.t -> Graph.t -> k:int -> bool
 (** Decision: κ(G) ≥ k (requires n ≥ k+1 for k ≥ 1, per the standard
     definition). *)
 
@@ -79,6 +84,6 @@ val edge_connectivity_csr : Csr.t -> int
 
 val vertex_connectivity_csr : Csr.t -> int
 
-val is_k_edge_connected_csr : Csr.t -> k:int -> bool
+val is_k_edge_connected_csr : ?pool:Par.Pool.t -> Csr.t -> k:int -> bool
 
-val is_k_vertex_connected_csr : Csr.t -> k:int -> bool
+val is_k_vertex_connected_csr : ?pool:Par.Pool.t -> Csr.t -> k:int -> bool

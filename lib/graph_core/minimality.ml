@@ -1,3 +1,9 @@
+(* Per-edge criticality checks are independent of one another: each
+   builds its own edge-deleted copy and flow networks, and only reads
+   the shared graph. With [?pool] the edge sweep fans out across
+   domains; the edge order of [non_critical_edges] is preserved by
+   writing verdicts into a slot per edge index. *)
+
 let edge_is_critical g ~k u v =
   if not (Graph.has_edge g u v) then invalid_arg "Minimality.edge_is_critical: edge absent";
   let g' = Graph.without_edge g u v in
@@ -7,12 +13,52 @@ let edge_is_critical g ~k u v =
     let kappa = Connectivity.local_vertex_connectivity ~limit:k g' ~s:u ~t:v in
     kappa < k
 
-let non_critical_edges g ~k =
-  let bad = ref [] in
-  Graph.iter_edges g (fun u v -> if not (edge_is_critical g ~k u v) then bad := (u, v) :: !bad);
-  List.rev !bad
+let edge_array g =
+  let edges = Array.make (Graph.m g) (0, 0) in
+  let i = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      edges.(!i) <- (u, v);
+      incr i);
+  edges
 
-let is_link_minimal g ~k =
-  let ok = ref true in
-  Graph.iter_edges g (fun u v -> if !ok && not (edge_is_critical g ~k u v) then ok := false);
-  !ok
+let use_pool pool m =
+  match pool with Some p when Par.Pool.size p > 1 && m > 1 -> Some p | _ -> None
+
+let non_critical_edges ?pool g ~k =
+  match use_pool pool (Graph.m g) with
+  | Some p ->
+      let edges = edge_array g in
+      let m = Array.length edges in
+      let bad = Array.make m false in
+      Par.Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:m (fun ~worker:_ i ->
+          let u, v = edges.(i) in
+          if not (edge_is_critical g ~k u v) then bad.(i) <- true);
+      let out = ref [] in
+      for i = m - 1 downto 0 do
+        if bad.(i) then out := edges.(i) :: !out
+      done;
+      !out
+  | None ->
+      let bad = ref [] in
+      Graph.iter_edges g (fun u v ->
+          if not (edge_is_critical g ~k u v) then bad := (u, v) :: !bad);
+      List.rev !bad
+
+let is_link_minimal ?pool g ~k =
+  match use_pool pool (Graph.m g) with
+  | Some p ->
+      let edges = edge_array g in
+      (* One non-critical edge settles the answer; the flag only ever
+         goes false, so the verdict is schedule-independent and late
+         iterations merely skip their flow computations. *)
+      let ok = Atomic.make true in
+      Par.Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:(Array.length edges) (fun ~worker:_ i ->
+          if Atomic.get ok then begin
+            let u, v = edges.(i) in
+            if not (edge_is_critical g ~k u v) then Atomic.set ok false
+          end);
+      Atomic.get ok
+  | None ->
+      let ok = ref true in
+      Graph.iter_edges g (fun u v -> if !ok && not (edge_is_critical g ~k u v) then ok := false);
+      !ok

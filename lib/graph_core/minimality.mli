@@ -4,17 +4,23 @@
     lowers its node or link connectivity below k. Given λ(G) ≥ k and
     κ(G) ≥ k, removing e = (u,v) creates a sub-k cut iff that cut
     separates u from t = v (any other cut would already exist in G), so
-    a local flow test at the endpoints of the removed edge is exact. *)
+    a local flow test at the endpoints of the removed edge is exact.
+
+    The per-edge tests are independent (each builds its own
+    edge-deleted copy and flow networks), so the sweep entry points
+    take [?pool] and distribute edges across domains; answers are
+    identical at any domain count. *)
 
 val edge_is_critical : Graph.t -> k:int -> int -> int -> bool
 (** [edge_is_critical g ~k u v]: does removing edge (u,v) drop
     λ(u,v) or κ(u,v) in [g - (u,v)] below [k]? Requires the edge to be
     present. *)
 
-val is_link_minimal : Graph.t -> k:int -> bool
+val is_link_minimal : ?pool:Par.Pool.t -> Graph.t -> k:int -> bool
 (** Every edge is critical. O(m) local flow computations. *)
 
-val non_critical_edges : Graph.t -> k:int -> (int * int) list
+val non_critical_edges : ?pool:Par.Pool.t -> Graph.t -> k:int -> (int * int) list
 (** The edges whose removal keeps both connectivities ≥ k — empty iff
-    {!is_link_minimal}. Useful diagnostics in tests and in the
+    {!is_link_minimal}. Edge order matches {!Graph.iter_edges}
+    regardless of [pool]. Useful diagnostics in tests and in the
     verifier's error reports. *)

@@ -1,6 +1,9 @@
 (* Every aggregate here is a sweep of BFS passes over a fixed topology,
    so each entry point snapshots the graph to CSR once and reuses one
-   BFS workspace across all sources — zero per-source allocation. *)
+   BFS workspace across all sources — zero per-source allocation. With
+   [?pool] the per-source passes fan out across domains (the snapshot
+   is immutable, so sharing it is free) with one workspace per domain;
+   results are identical to the sequential sweep at any domain count. *)
 
 let check_mask_csr csr alive =
   match alive with
@@ -26,40 +29,76 @@ let ecc_of_run ws ?alive csr ~src =
   done;
   if !complete then Some !ecc else None
 
-let eccentricities_csr ?alive csr =
+let use_pool pool n =
+  match pool with Some p when Par.Pool.size p > 1 && n > 1 -> Some p | _ -> None
+
+let eccentricities_csr ?pool ?alive csr =
   check_mask_csr csr alive;
   let live = live_fun alive in
-  let ws = Bfs.Workspace.create () in
-  Array.init (Csr.n csr) (fun v ->
-      if live v then ecc_of_run ws ?alive csr ~src:v else None)
+  let nv = Csr.n csr in
+  match use_pool pool nv with
+  | Some p ->
+      let wss = Array.init (Par.Pool.size p) (fun _ -> Bfs.Workspace.create ()) in
+      let out = Array.make nv None in
+      Par.Pool.parallel_for p ~lo:0 ~hi:nv (fun ~worker v ->
+          if live v then out.(v) <- ecc_of_run wss.(worker) ?alive csr ~src:v);
+      out
+  | None ->
+      let ws = Bfs.Workspace.create () in
+      Array.init nv (fun v -> if live v then ecc_of_run ws ?alive csr ~src:v else None)
 
-let eccentricities ?alive g = eccentricities_csr ?alive (Csr.of_graph g)
+let eccentricities ?pool ?alive g = eccentricities_csr ?pool ?alive (Csr.of_graph g)
 
 (* Fold alive vertices' eccentricities with [f]; None when the graph is
    empty or some alive vertex has undefined (infinite) eccentricity. *)
-let fold_ecc_csr ?alive csr f =
+let fold_ecc_csr ?pool ?alive csr f =
   check_mask_csr csr alive;
   let live = live_fun alive in
-  let ws = Bfs.Workspace.create () in
-  let best = ref None and ok = ref true in
-  let v = ref 0 and nv = Csr.n csr in
-  while !ok && !v < nv do
-    if live !v then begin
-      match ecc_of_run ws ?alive csr ~src:!v with
-      | None -> ok := false
-      | Some e -> best := Some (match !best with None -> e | Some b -> f b e)
-    end;
-    incr v
-  done;
-  if !ok then !best else None
+  let nv = Csr.n csr in
+  match use_pool pool nv with
+  | Some p ->
+      let wss = Array.init (Par.Pool.size p) (fun _ -> Bfs.Workspace.create ()) in
+      (* Disconnection anywhere forces the overall None, so the flag
+         only ever goes false — scheduling order cannot change the
+         result, it only saves work after the verdict is known. *)
+      let connected = Atomic.make true in
+      let join a b =
+        match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (f a b)
+      in
+      let best =
+        Par.Pool.parallel_fold p ~lo:0 ~hi:nv ~init:None
+          ~body:(fun ~worker v acc ->
+            if (not (Atomic.get connected)) || not (live v) then acc
+            else
+              match ecc_of_run wss.(worker) ?alive csr ~src:v with
+              | None ->
+                  Atomic.set connected false;
+                  acc
+              | Some e -> join acc (Some e))
+          ~combine:join
+      in
+      if Atomic.get connected then best else None
+  | None ->
+      let ws = Bfs.Workspace.create () in
+      let best = ref None and ok = ref true in
+      let v = ref 0 in
+      while !ok && !v < nv do
+        if live !v then begin
+          match ecc_of_run ws ?alive csr ~src:!v with
+          | None -> ok := false
+          | Some e -> best := Some (match !best with None -> e | Some b -> f b e)
+        end;
+        incr v
+      done;
+      if !ok then !best else None
 
-let diameter_csr ?alive csr = fold_ecc_csr ?alive csr max
+let diameter_csr ?pool ?alive csr = fold_ecc_csr ?pool ?alive csr max
 
-let radius_csr ?alive csr = fold_ecc_csr ?alive csr min
+let radius_csr ?pool ?alive csr = fold_ecc_csr ?pool ?alive csr min
 
-let diameter ?alive g = diameter_csr ?alive (Csr.of_graph g)
+let diameter ?pool ?alive g = diameter_csr ?pool ?alive (Csr.of_graph g)
 
-let radius ?alive g = radius_csr ?alive (Csr.of_graph g)
+let radius ?pool ?alive g = radius_csr ?pool ?alive (Csr.of_graph g)
 
 let average_path_length ?alive g =
   let csr = Csr.of_graph g in

@@ -4,20 +4,27 @@
     point freezes the graph into one {!Csr.t} snapshot and sweeps it
     with a single reused {!Bfs.Workspace}, so the per-source cost is a
     flat-array BFS with no allocation; callers that already hold a
-    snapshot can use the [_csr] variants to skip the freeze. *)
+    snapshot can use the [_csr] variants to skip the freeze.
 
-val diameter : ?alive:bool array -> Graph.t -> int option
+    The sweep entry points also take [?pool]: per-source BFS passes are
+    independent reads of the immutable snapshot, so with a
+    {!Par.Pool.t} they fan out across domains (one workspace per
+    domain). Results are identical to the sequential sweep at any
+    domain count; omitting [pool] (or passing a 1-domain pool) runs the
+    original sequential code. *)
+
+val diameter : ?pool:Par.Pool.t -> ?alive:bool array -> Graph.t -> int option
 (** Exact diameter (max over vertices of eccentricity), or [None] when
     the (alive part of the) graph is disconnected or empty. *)
 
-val radius : ?alive:bool array -> Graph.t -> int option
+val radius : ?pool:Par.Pool.t -> ?alive:bool array -> Graph.t -> int option
 (** Min eccentricity, with the same conventions as {!diameter}. *)
 
 val average_path_length : ?alive:bool array -> Graph.t -> float option
 (** Mean hop distance over all ordered pairs of distinct alive vertices,
     or [None] when disconnected or fewer than two alive vertices. *)
 
-val eccentricities : ?alive:bool array -> Graph.t -> int option array
+val eccentricities : ?pool:Par.Pool.t -> ?alive:bool array -> Graph.t -> int option array
 (** Per-vertex eccentricity ([None] for dead vertices or when some alive
     vertex is unreachable from that vertex). *)
 
@@ -27,9 +34,9 @@ val diameter_lower_bound : Graph.t -> seeds:int list -> int
     without n BFS passes. Requires a connected graph and non-empty
     seeds. *)
 
-val diameter_csr : ?alive:bool array -> Csr.t -> int option
+val diameter_csr : ?pool:Par.Pool.t -> ?alive:bool array -> Csr.t -> int option
 (** {!diameter} over an existing snapshot. *)
 
-val radius_csr : ?alive:bool array -> Csr.t -> int option
+val radius_csr : ?pool:Par.Pool.t -> ?alive:bool array -> Csr.t -> int option
 
-val eccentricities_csr : ?alive:bool array -> Csr.t -> int option array
+val eccentricities_csr : ?pool:Par.Pool.t -> ?alive:bool array -> Csr.t -> int option array

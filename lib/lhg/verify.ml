@@ -22,26 +22,28 @@ let diameter_bound ~n ~k =
     let logb = log (float_of_int n) /. log (float_of_int (k - 1)) in
     int_of_float (ceil (2.0 *. logb)) + 6
 
-let verify ?(check_minimality = true) g ~k =
+let verify ?(check_minimality = true) ?pool g ~k =
   let n = Graph.n g in
   (* One frozen snapshot serves both connectivity decisions and the
      diameter sweep; only the minimality check (which removes edges one
-     at a time) needs the mutable graph. *)
+     at a time) needs the mutable graph. All four property checks are
+     parallel sweeps when a pool is supplied — each runs its own
+     parallel section in turn (the pool is not reentrant). *)
   let csr = Graph_core.Csr.of_graph g in
-  let node_connected = Connectivity.is_k_vertex_connected_csr csr ~k in
-  let link_connected = Connectivity.is_k_edge_connected_csr csr ~k in
+  let node_connected = Connectivity.is_k_vertex_connected_csr ?pool csr ~k in
+  let link_connected = Connectivity.is_k_edge_connected_csr ?pool csr ~k in
   let link_minimal =
-    if check_minimality then Some (Minimality.is_link_minimal g ~k) else None
+    if check_minimality then Some (Minimality.is_link_minimal ?pool g ~k) else None
   in
-  let diameter = Paths.diameter_csr csr in
+  let diameter = Paths.diameter_csr ?pool csr in
   let diameter_ok =
     match diameter with Some d -> d <= diameter_bound ~n ~k | None -> false
   in
   let k_regular = n > 0 && Degree.is_k_regular g ~k in
   { n; k; node_connected; link_connected; link_minimal; diameter; diameter_ok; k_regular }
 
-let is_lhg ?check_minimality g ~k =
-  let r = verify ?check_minimality g ~k in
+let is_lhg ?check_minimality ?pool g ~k =
+  let r = verify ?check_minimality ?pool g ~k in
   r.node_connected && r.link_connected
   && (match r.link_minimal with Some b -> b | None -> true)
   && r.diameter_ok

@@ -27,12 +27,16 @@ val diameter_bound : n:int -> k:int -> int
     For k = 2 the bound degenerates to n: no 2-regular graph family has
     logarithmic diameter, matching the paper's implicit k ≥ 3 scope. *)
 
-val verify : ?check_minimality:bool -> Graph_core.Graph.t -> k:int -> report
+val verify :
+  ?check_minimality:bool -> ?pool:Par.Pool.t -> Graph_core.Graph.t -> k:int -> report
 (** Full property check. [check_minimality] defaults to [true]; it is
     the expensive part (one local flow per edge) and can be disabled for
-    large sweeps. *)
+    large sweeps. With [?pool] every property check fans its
+    independent probes (per-pair flows, per-edge criticality tests,
+    per-source BFS) across the pool's domains — the report is identical
+    at any domain count. *)
 
-val is_lhg : ?check_minimality:bool -> Graph_core.Graph.t -> k:int -> bool
+val is_lhg : ?check_minimality:bool -> ?pool:Par.Pool.t -> Graph_core.Graph.t -> k:int -> bool
 (** P1 ∧ P2 ∧ P3 ∧ P4. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -285,6 +285,42 @@ let histograms t = List.rev t.rev_histograms
 let find_histogram t name =
   match Hashtbl.find_opt t.by_name name with Some (M_histogram h) -> Some h | _ -> None
 
+let merge dst src =
+  if dst.enabled && src.enabled && dst != src then begin
+    List.iter (fun c -> add (counter dst c.c_name) c.c_value) (counters src);
+    List.iter
+      (fun g ->
+        let d = gauge dst g.g_name in
+        if g.g_cell.(0) > d.g_cell.(0) then d.g_cell.(0) <- g.g_cell.(0))
+      (gauges src);
+    List.iter
+      (fun h ->
+        (* [histogram] only checks bucket count; merging also needs the
+           bound values themselves to line up. *)
+        let d = histogram dst h.h_name ~bounds:h.h_bounds in
+        if d.h_bounds != h.h_bounds && d.h_bounds <> h.h_bounds then
+          invalid_arg ("Registry.merge: " ^ h.h_name ^ " exists with different bounds");
+        for i = 0 to Array.length h.h_counts - 1 do
+          d.h_counts.(i) <- d.h_counts.(i) + h.h_counts.(i)
+        done;
+        d.h_sum.(0) <- d.h_sum.(0) +. h.h_sum.(0);
+        d.h_total <- d.h_total + h.h_total)
+      (histograms src);
+    (* Replay retained events (event_at also bumps the per-kind
+       totals), then account for the events src's ring had already
+       evicted so the eviction-proof totals still add up. *)
+    let replayed = Array.make span_kind_count 0 in
+    List.iter
+      (fun e ->
+        let ki = span_kind_index e.kind in
+        replayed.(ki) <- replayed.(ki) + 1;
+        event_at dst ~at:e.at e.kind ~node:e.node ~info:e.info)
+      (events src);
+    for ki = 0 to span_kind_count - 1 do
+      dst.kind_counts.(ki) <- dst.kind_counts.(ki) + (src.kind_counts.(ki) - replayed.(ki))
+    done
+  end
+
 let clear t =
   List.iter (fun c -> c.c_value <- 0) t.rev_counters;
   List.iter (fun g -> g.g_cell.(0) <- 0.0) t.rev_gauges;

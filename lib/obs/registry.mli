@@ -178,6 +178,24 @@ val histograms : t -> histogram list
 
 val find_histogram : t -> string -> histogram option
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s recordings into [dst] — the export
+    step of per-domain registries: give each domain of a parallel run
+    its own registry (recording stays unsynchronised and
+    allocation-free), then merge them into one for {!Export}.
+
+    Semantics per metric (matched by name): counters add; histograms
+    add pointwise (the bounds must be identical — bucket count {e and}
+    values); gauges keep the maximum of the two readings (the only
+    order-independent combination available for last-write-wins cells —
+    re-[set] summary gauges after merging if max is not the intent).
+    [src]'s span events are re-recorded into [dst] with their original
+    timestamps, subject to [dst]'s ring capacity; eviction-proof
+    per-kind totals add. [src] is unchanged. No-op when either registry
+    is disabled or both are the same registry.
+    @raise Invalid_argument on a name registered with another metric
+    type or a histogram with different bounds. *)
+
 val clear : t -> unit
 (** Reset every value, count and event while keeping registrations —
     reuse one registry across runs without re-plumbing metrics. *)

@@ -1,0 +1,200 @@
+(* One mutex/condvar pair drives the whole pool: jobs are rare (one per
+   parallel section) and coarse, so handoff cost is irrelevant next to
+   the work; what matters is that workers park in [Condition.wait]
+   between jobs instead of spinning. Intra-job distribution uses an
+   atomic chunk cursor — claiming a chunk is one fetch-and-add. *)
+
+type job = worker:int -> unit
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  start : Condition.t;  (* signalled when [epoch] advances or [stop] flips *)
+  finished : Condition.t;  (* signalled when [pending] hits 0 *)
+  mutable epoch : int;  (* job generation counter *)
+  mutable job : job option;
+  mutable pending : int;  (* workers still inside the current job *)
+  mutable failure : exn option;  (* first worker exception of the job *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;  (* length [size - 1]; [] after shutdown *)
+}
+
+let worker_loop t id =
+  let seen = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    while (not t.stop) && t.epoch = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let error = (try job ~worker:id; None with e -> Some e) in
+      Mutex.lock t.mutex;
+      (match error with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 || domains > 1024 then
+    invalid_arg "Par.Pool.create: domains must be in [1, 1024]";
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      job = None;
+      pending = 0;
+      failure = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let run t f =
+  if t.size = 1 then begin
+    if t.stop then invalid_arg "Par.Pool.run: pool is shut down";
+    f ~worker:0
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Par.Pool.run: pool is shut down"
+    end;
+    (* Serialise submissions from other domains: wait out any running job. *)
+    while t.job <> None do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- Some f;
+    t.failure <- None;
+    t.pending <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    let caller_error = (try f ~worker:0; None with e -> Some e) in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let worker_error = t.failure in
+    t.failure <- None;
+    Condition.broadcast t.finished;
+    Mutex.unlock t.mutex;
+    match caller_error, worker_error with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let check_range name lo hi =
+  if hi < lo then invalid_arg (name ^ ": hi < lo")
+
+let chunk_size name chunk ~n ~size =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg (name ^ ": chunk must be positive")
+  | None -> max 1 (n / (8 * size))
+
+let parallel_for ?chunk t ~lo ~hi f =
+  check_range "Par.Pool.parallel_for" lo hi;
+  let n = hi - lo in
+  if n = 0 then ()
+  else if t.size = 1 || n = 1 then
+    for i = lo to hi - 1 do
+      f ~worker:0 i
+    done
+  else begin
+    let chunk = chunk_size "Par.Pool.parallel_for" chunk ~n ~size:t.size in
+    let nchunks = (n + chunk - 1) / chunk in
+    let cursor = Atomic.make 0 in
+    run t (fun ~worker ->
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c >= nchunks then continue := false
+          else begin
+            let clo = lo + (c * chunk) in
+            let chi = min hi (clo + chunk) in
+            for i = clo to chi - 1 do
+              f ~worker i
+            done
+          end
+        done)
+  end
+
+let parallel_fold ?chunk t ~lo ~hi ~init ~body ~combine =
+  check_range "Par.Pool.parallel_fold" lo hi;
+  let n = hi - lo in
+  if n = 0 then init
+  else if t.size = 1 then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := body ~worker:0 i !acc
+    done;
+    !acc
+  end
+  else begin
+    let chunk = chunk_size "Par.Pool.parallel_fold" chunk ~n ~size:t.size in
+    let nchunks = (n + chunk - 1) / chunk in
+    let slots = Array.make nchunks init in
+    let cursor = Atomic.make 0 in
+    run t (fun ~worker ->
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c >= nchunks then continue := false
+          else begin
+            let clo = lo + (c * chunk) in
+            let chi = min hi (clo + chunk) in
+            let acc = ref init in
+            for i = clo to chi - 1 do
+              acc := body ~worker i !acc
+            done;
+            slots.(c) <- !acc
+          end
+        done);
+    Array.fold_left combine init slots
+  end
+
+let default_domains () =
+  match Sys.getenv_opt "LHG_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> min d 1024
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_pool =
+  lazy
+    (let p = create ~domains:(default_domains ()) in
+     (* Worker domains must be joined before the runtime tears down. *)
+     at_exit (fun () -> shutdown p);
+     p)
+
+let default () = Lazy.force default_pool

@@ -1,0 +1,83 @@
+(** A fixed-size domain pool for embarrassingly parallel sweeps.
+
+    The pool owns [domains - 1] persistent worker domains (the calling
+    domain is always participant 0), woken per job through one
+    mutex/condition pair — no work stealing, no per-task allocation
+    beyond one closure per job. Work distribution inside a job is
+    dynamic: participants claim fixed-size index chunks from a shared
+    atomic cursor, so uneven per-index cost (maxflow probes, BFS from
+    high-eccentricity sources) balances without a scheduler.
+
+    The library's parallel entry points are all of the form
+    "independent reads over an immutable {!Graph_core.Csr} snapshot
+    with per-participant scratch state" — see the DESIGN chapter on
+    multicore execution. They take [?pool] and run sequentially when
+    the pool has one domain (or when no pool is given), with
+    bit-identical results either way.
+
+    Pools are not reentrant: a job must not submit another job to the
+    same pool (run nested sections sequentially instead). One pool may
+    be shared by any number of call sites, but only one job runs at a
+    time; concurrent submissions from other domains block. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains that idle
+    until jobs arrive. [domains] must be between 1 and 1024; a pool of
+    1 runs everything in the caller and spawns nothing.
+    @raise Invalid_argument outside that range. *)
+
+val size : t -> int
+(** Number of participants (workers + the caller). *)
+
+val shutdown : t -> unit
+(** Join and free the worker domains. Subsequent jobs raise
+    [Invalid_argument]. Idempotent. Pools are also safe to abandon to
+    the GC only at process exit — prefer explicit shutdown. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_domains} domains and joined automatically at exit. *)
+
+val default_domains : unit -> int
+(** Domain budget for {!default}: [LHG_DOMAINS] when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val run : t -> (worker:int -> unit) -> unit
+(** [run pool f] executes [f ~worker] once on every participant
+    (worker ids [0 .. size - 1]; id 0 is the caller) and returns when
+    all have finished. If any participant raises, one of the raised
+    exceptions is re-raised in the caller after the barrier.
+    @raise Invalid_argument on a shut-down pool. *)
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (worker:int -> int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] calls [f ~worker i] exactly once for
+    every [i] in [lo .. hi - 1], distributing chunks of indices over
+    the participants. [worker] identifies the executing participant —
+    use it to index per-participant scratch (workspaces, flow
+    networks). [chunk] (default: [max 1 ((hi - lo) / (8 * size))])
+    trades scheduling overhead against load balance. Iterations must
+    be independent: they may write to disjoint data (e.g. slot [i] of
+    a result array) but must not order-depend on each other. On a
+    1-domain pool this is a plain sequential loop. *)
+
+val parallel_fold :
+  ?chunk:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  body:(worker:int -> int -> 'a -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** Deterministic ordered reduction. The index range is cut into
+    chunks; each chunk is folded left-to-right with [body] starting
+    from [init]; chunk results are then combined left-to-right, in
+    index order, with [combine] starting from [init]. The result is
+    therefore independent of how chunks were scheduled across domains.
+    For the result to also be independent of the {e chunk grid} (and
+    thus equal to a plain sequential fold), [combine] must be
+    associative with identity [init] and satisfy
+    [body ~worker i acc = combine acc (body ~worker i init)] — true
+    for the min/max/sum/and reductions used in this library. *)

@@ -19,6 +19,17 @@ Verify accepts its own output:
   $ lhg_tool verify -t kdiamond --n 22 --k 3 | tail -1
   verdict: this graph is a Logarithmic Harary Graph
 
+Parallel verification gives the same verdict (--jobs N runs the
+checks on an N-domain pool; --jobs 0 auto-sizes from LHG_DOMAINS):
+
+  $ lhg_tool verify --jobs 4 -t kdiamond --n 22 --k 3 | tail -1
+  verdict: this graph is a Logarithmic Harary Graph
+  $ LHG_DOMAINS=2 lhg_tool verify --jobs 0 -t kdiamond --n 22 --k 3 | tail -1
+  verdict: this graph is a Logarithmic Harary Graph
+  $ lhg_tool verify --jobs=-1 -t kdiamond --n 22 --k 3
+  error: --jobs must be >= 0
+  [1]
+
 An unknown kind reports the catalogue and fails:
 
   $ lhg_tool generate -t moebius --n 10 --k 3

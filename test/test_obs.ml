@@ -173,9 +173,87 @@ let test_runner_percentiles () =
   in
   Alcotest.(check int) "disabled -> no hop histogram" 0 (Array.length a'.Flood.Runner.hop_counts)
 
+(* merge: the per-domain-registries -> one-export path *)
+
+let test_merge_counters_gauges_histograms () =
+  let a = R.create () and b = R.create () in
+  R.add (R.counter a "hits") 3;
+  R.add (R.counter b "hits") 4;
+  R.add (R.counter b "only_b") 9;
+  R.set (R.gauge a "peak") 2.5;
+  R.set (R.gauge b "peak") 1.5;
+  let bounds = R.linear_bounds ~lo:0.0 ~step:1.0 ~count:4 in
+  let ha = R.histogram a "lat" ~bounds and hb = R.histogram b "lat" ~bounds in
+  R.observe ha 0.5;
+  R.observe hb 1.5;
+  R.observe hb 100.0;
+  R.merge a b;
+  Alcotest.(check int) "counters add" 7 (R.counter_value (R.counter a "hits"));
+  Alcotest.(check int) "missing counters appear" 9 (R.counter_value (R.counter a "only_b"));
+  Alcotest.(check (float 1e-9)) "gauges keep max" 2.5 (R.gauge_value (R.gauge a "peak"));
+  Alcotest.(check int) "histogram totals add" 3 (R.histogram_count ha);
+  Alcotest.(check (float 1e-9)) "histogram sums add" 102.0 (R.histogram_sum ha);
+  let counts = R.histogram_counts ha in
+  Alcotest.(check int) "bucket 0.5" 1 counts.(1);
+  Alcotest.(check int) "overflow bucket" 1 counts.(Array.length counts - 1);
+  (* src unchanged *)
+  Alcotest.(check int) "src counter untouched" 4 (R.counter_value (R.counter b "hits"));
+  Alcotest.(check int) "src histogram untouched" 2 (R.histogram_count hb)
+
+let test_merge_events_and_kind_counts () =
+  let a = R.create () and b = R.create () in
+  R.event_at a ~at:1.0 R.Crash ~node:1 ~info:0;
+  R.event_at b ~at:2.0 R.Crash ~node:2 ~info:0;
+  R.event_at b ~at:3.0 R.Retransmit ~node:3 ~info:7;
+  R.merge a b;
+  Alcotest.(check int) "crash total" 2 (R.event_kind_count a R.Crash);
+  Alcotest.(check int) "retransmit total" 1 (R.event_kind_count a R.Retransmit);
+  let times = List.map (fun e -> e.R.at) (R.events a) in
+  Alcotest.(check (list (float 1e-9))) "timestamps preserved" [ 1.0; 2.0; 3.0 ] times
+
+let test_merge_mismatched_histogram_rejected () =
+  let a = R.create () and b = R.create () in
+  ignore (R.histogram a "lat" ~bounds:(R.linear_bounds ~lo:0.0 ~step:1.0 ~count:4));
+  ignore (R.histogram b "lat" ~bounds:(R.linear_bounds ~lo:0.0 ~step:2.0 ~count:4));
+  R.observe (R.histogram b "lat" ~bounds:(R.linear_bounds ~lo:0.0 ~step:2.0 ~count:4)) 1.0;
+  Alcotest.check_raises "different bound values"
+    (Invalid_argument "Registry.merge: lat exists with different bounds") (fun () ->
+      R.merge a b)
+
+let test_merge_disabled_is_noop () =
+  let a = R.create () and b = R.create () in
+  R.add (R.counter b "x") 5;
+  R.merge R.nil b;
+  R.merge a R.nil;
+  R.merge a a;
+  Alcotest.(check (list int)) "dst stayed empty" []
+    (List.map R.counter_value (R.counters a))
+
+let test_merge_folds_per_domain_registries () =
+  (* the intended parallel-run shape: one registry per domain, one
+     merged export *)
+  let shards = Array.init 4 (fun i ->
+      let r = R.create () in
+      R.add (R.counter r "reliability.successes") (10 + i);
+      R.observe (R.histogram r "rounds" ~bounds:R.hop_bounds) (float_of_int i);
+      r)
+  in
+  let total = R.create () in
+  Array.iter (fun r -> R.merge total r) shards;
+  Alcotest.(check int) "counter folded" (10 + 11 + 12 + 13)
+    (R.counter_value (R.counter total "reliability.successes"));
+  Alcotest.(check int) "histogram folded" 4
+    (R.histogram_count (R.histogram total "rounds" ~bounds:R.hop_bounds))
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "merge values" `Quick test_merge_counters_gauges_histograms;
+    Alcotest.test_case "merge events" `Quick test_merge_events_and_kind_counts;
+    Alcotest.test_case "merge rejects mismatched bounds" `Quick
+      test_merge_mismatched_histogram_rejected;
+    Alcotest.test_case "merge disabled no-op" `Quick test_merge_disabled_is_noop;
+    Alcotest.test_case "merge per-domain registries" `Quick test_merge_folds_per_domain_registries;
     Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
     Alcotest.test_case "type clash rejected" `Quick test_type_clash_rejected;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;

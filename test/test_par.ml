@@ -1,0 +1,158 @@
+(* The domain pool itself: every index visited exactly once, worker ids
+   in range, deterministic ordered folds, exception propagation, job
+   reuse after failures, the LHG_DOMAINS-driven default sizing. Pools
+   of several domains run fine on any machine — domains are OS threads
+   when cores are scarce. *)
+
+open Helpers
+module Pool = Par.Pool
+
+let with_pool domains f =
+  let p = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_create_bounds () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Par.Pool.create: domains must be in [1, 1024]")
+    (fun () -> ignore (Pool.create ~domains:0));
+  Alcotest.check_raises "negative" (Invalid_argument "Par.Pool.create: domains must be in [1, 1024]")
+    (fun () -> ignore (Pool.create ~domains:(-3)))
+
+let test_size () =
+  with_pool 1 (fun p -> check_int "one" 1 (Pool.size p));
+  with_pool 3 (fun p -> check_int "three" 3 (Pool.size p))
+
+let test_run_executes_all_workers () =
+  with_pool 4 (fun p ->
+      let hits = Array.make 4 0 in
+      Pool.run p (fun ~worker -> hits.(worker) <- hits.(worker) + 1);
+      Alcotest.(check (array int)) "each participant ran once" [| 1; 1; 1; 1 |] hits)
+
+let test_parallel_for_covers_each_index_once () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let n = 1000 in
+          let counts = Array.make n 0 in
+          (* counts.(i) is written only by the participant that claimed
+             i's chunk, so unsynchronised increments are race-free *)
+          Pool.parallel_for p ~lo:0 ~hi:n (fun ~worker:_ i -> counts.(i) <- counts.(i) + 1);
+          Alcotest.(check (array int)) "once each" (Array.make n 1) counts))
+    [ 1; 2; 4 ]
+
+let test_parallel_for_empty_and_offset_ranges () =
+  with_pool 2 (fun p ->
+      Pool.parallel_for p ~lo:5 ~hi:5 (fun ~worker:_ _ -> Alcotest.fail "empty range ran");
+      let seen = Array.make 10 false in
+      Pool.parallel_for p ~lo:3 ~hi:10 (fun ~worker:_ i -> seen.(i) <- true);
+      Alcotest.(check (array bool))
+        "exactly [3,10)"
+        [| false; false; false; true; true; true; true; true; true; true |]
+        seen;
+      Alcotest.check_raises "hi < lo" (Invalid_argument "Par.Pool.parallel_for: hi < lo")
+        (fun () -> Pool.parallel_for p ~lo:1 ~hi:0 (fun ~worker:_ _ -> ())))
+
+let test_worker_ids_in_range () =
+  with_pool 3 (fun p ->
+      let ok = Atomic.make true in
+      Pool.parallel_for p ~lo:0 ~hi:500 (fun ~worker _ ->
+          if worker < 0 || worker >= 3 then Atomic.set ok false);
+      check_bool "ids within [0, size)" true (Atomic.get ok))
+
+let test_fold_sums () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let total =
+            Pool.parallel_fold p ~lo:1 ~hi:101 ~init:0
+              ~body:(fun ~worker:_ i acc -> acc + i)
+              ~combine:( + )
+          in
+          check_int (Printf.sprintf "1+..+100 at %d domains" domains) 5050 total))
+    [ 1; 2; 4 ]
+
+let test_fold_ordered_deterministic () =
+  (* list concatenation is associative but NOT commutative: the ordered
+     reduction must return chunks in index order at any domain count *)
+  let expected = List.init 200 (fun i -> i) in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let got =
+            Pool.parallel_fold ~chunk:7 p ~lo:0 ~hi:200 ~init:[]
+              ~body:(fun ~worker:_ i acc -> acc @ [ i ])
+              ~combine:( @ )
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "in order at %d domains" domains)
+            expected got))
+    [ 1; 2; 4 ]
+
+let test_exception_propagates_and_pool_survives () =
+  with_pool 4 (fun p ->
+      (try
+         Pool.parallel_for p ~lo:0 ~hi:100 (fun ~worker:_ i ->
+             if i = 57 then failwith "boom");
+         Alcotest.fail "expected exception"
+       with Failure msg -> Alcotest.(check string) "payload" "boom" msg);
+      (* the pool must still work after a failed job *)
+      let total =
+        Pool.parallel_fold p ~lo:0 ~hi:10 ~init:0
+          ~body:(fun ~worker:_ i acc -> acc + i)
+          ~combine:( + )
+      in
+      check_int "pool survives" 45 total)
+
+let test_shutdown_idempotent_and_rejects_jobs () =
+  let p = Pool.create ~domains:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown" (Invalid_argument "Par.Pool.run: pool is shut down")
+    (fun () -> Pool.run p (fun ~worker:_ -> ()))
+
+let test_default_domains_env () =
+  (* LHG_DOMAINS is read per call, so this does not disturb the shared
+     default pool (sized once, lazily) *)
+  let old = Sys.getenv_opt "LHG_DOMAINS" in
+  let restore () =
+    match old with Some v -> Unix.putenv "LHG_DOMAINS" v | None -> Unix.putenv "LHG_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "LHG_DOMAINS" "3";
+      check_int "env honoured" 3 (Pool.default_domains ());
+      Unix.putenv "LHG_DOMAINS" "not-a-number";
+      check_bool "garbage falls back to >= 1" true (Pool.default_domains () >= 1);
+      Unix.putenv "LHG_DOMAINS" "0";
+      check_bool "non-positive falls back to >= 1" true (Pool.default_domains () >= 1))
+
+let test_default_pool_shared () =
+  let a = Pool.default () and b = Pool.default () in
+  check_bool "same pool" true (a == b);
+  check_bool "live" true (Pool.size a >= 1)
+
+let prop_parallel_for_matches_sequential_map =
+  qcheck ~count:30 "parallel map equals sequential map"
+    QCheck2.Gen.(pair (int_range 0 300) (int_range 1 4))
+    (fun (n, domains) ->
+      let f i = (31 * i) + (i * i mod 97) in
+      let expected = Array.init n f in
+      with_pool domains (fun p ->
+          let got = Array.make n 0 in
+          Pool.parallel_for p ~lo:0 ~hi:n (fun ~worker:_ i -> got.(i) <- f i);
+          got = expected))
+
+let suite =
+  [
+    Alcotest.test_case "create bounds" `Quick test_create_bounds;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "run executes all workers" `Quick test_run_executes_all_workers;
+    Alcotest.test_case "for covers indices once" `Quick test_parallel_for_covers_each_index_once;
+    Alcotest.test_case "for empty/offset ranges" `Quick test_parallel_for_empty_and_offset_ranges;
+    Alcotest.test_case "worker ids in range" `Quick test_worker_ids_in_range;
+    Alcotest.test_case "fold sums" `Quick test_fold_sums;
+    Alcotest.test_case "fold ordered deterministic" `Quick test_fold_ordered_deterministic;
+    Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_rejects_jobs;
+    Alcotest.test_case "default domains env" `Quick test_default_domains_env;
+    Alcotest.test_case "default pool shared" `Quick test_default_pool_shared;
+    prop_parallel_for_matches_sequential_map;
+  ]

@@ -66,6 +66,63 @@ let test_split_streams_differ () =
   done;
   check_bool "split streams differ" true !differs
 
+(* The multicore Monte-Carlo sharding leans on split streams being (a)
+   a pure function of the parent state and (b) collision-free in
+   practice: shard results must be reproducible and statistically
+   independent. 10^6 draws across the split streams makes any
+   state-reuse bug (two streams sharing a splitmix trajectory) a
+   guaranteed collision storm, while honest 62-bit outputs collide with
+   probability ~1e-7. *)
+let prop_split_reproducible =
+  Helpers.qcheck ~count:20 "split streams reproducible"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let streams_of () =
+        let root = Prng.create ~seed in
+        Array.init 4 (fun _ -> Prng.split root)
+      in
+      let a = streams_of () and b = streams_of () in
+      let ok = ref true in
+      Array.iteri
+        (fun i ga ->
+          for _ = 1 to 50 do
+            if Prng.bits64 ga <> Prng.bits64 b.(i) then ok := false
+          done)
+        a;
+      !ok)
+
+let prop_split_streams_non_overlapping =
+  (* 8 split streams x 125k draws = 10^6 draws total per case; any
+     duplicate draw across (or within) streams fails *)
+  Helpers.qcheck ~count:3 "split streams pairwise non-overlapping on 1e6 draws"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let root = Prng.create ~seed in
+      let streams = Array.init 8 (fun _ -> Prng.split root) in
+      let draws_per_stream = 125_000 in
+      let seen = Hashtbl.create (8 * draws_per_stream) in
+      let clash = ref false in
+      Array.iter
+        (fun g ->
+          for _ = 1 to draws_per_stream do
+            let v = Prng.bits64 g in
+            if Hashtbl.mem seen v then clash := true else Hashtbl.add seen v ()
+          done)
+        streams;
+      not !clash)
+
+let test_split_independent_of_parent_advance () =
+  (* the child stream is seeded from the parent's output at split time
+     and shares no state afterwards *)
+  let p1 = Prng.create ~seed:99 and p2 = Prng.create ~seed:99 in
+  let c1 = Prng.split p1 and c2 = Prng.split p2 in
+  for _ = 1 to 10 do
+    ignore (Prng.bits64 p1)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "child unaffected by parent" (Prng.bits64 c1) (Prng.bits64 c2)
+  done
+
 let test_exponential_positive () =
   let g = rng ~salt:5 () in
   for _ = 1 to 100 do
@@ -137,6 +194,9 @@ let suite =
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "split streams differ" `Quick test_split_streams_differ;
+    prop_split_reproducible;
+    prop_split_streams_non_overlapping;
+    Alcotest.test_case "split independent of parent" `Quick test_split_independent_of_parent_advance;
     Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
     Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
     Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_is_permutation;

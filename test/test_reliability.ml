@@ -75,9 +75,31 @@ let test_estimate_bounds_order () =
   check_bool "lo <= p <= hi" true
     (e.Reliability.lo <= e.Reliability.probability && e.Reliability.probability <= e.Reliability.hi)
 
+let test_estimate_of_valid () =
+  let e = Reliability.estimate_of ~successes:30 ~trials:100 in
+  Alcotest.(check (float 1e-9)) "ratio" 0.3 e.Reliability.probability;
+  check_int "trials carried" 100 e.Reliability.trials;
+  check_bool "interval brackets" true (e.Reliability.lo <= 0.3 && 0.3 <= e.Reliability.hi)
+
+let test_estimate_of_rejects_bad_args () =
+  Alcotest.check_raises "zero trials"
+    (Invalid_argument "Reliability.estimate_of: trials must be positive") (fun () ->
+      ignore (Reliability.estimate_of ~successes:0 ~trials:0));
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Reliability.estimate_of: trials must be positive") (fun () ->
+      ignore (Reliability.estimate_of ~successes:0 ~trials:(-5)));
+  Alcotest.check_raises "successes above trials"
+    (Invalid_argument "Reliability.estimate_of: successes outside [0, trials]") (fun () ->
+      ignore (Reliability.estimate_of ~successes:11 ~trials:10));
+  Alcotest.check_raises "negative successes"
+    (Invalid_argument "Reliability.estimate_of: successes outside [0, trials]") (fun () ->
+      ignore (Reliability.estimate_of ~successes:(-1) ~trials:10))
+
 let suite =
   [
     Alcotest.test_case "wilson basic" `Quick test_wilson_interval_basic;
+    Alcotest.test_case "estimate_of valid" `Quick test_estimate_of_valid;
+    Alcotest.test_case "estimate_of rejects bad args" `Quick test_estimate_of_rejects_bad_args;
     Alcotest.test_case "wilson narrows" `Quick test_wilson_narrows_with_trials;
     Alcotest.test_case "flood p=0 certain" `Quick test_flood_p0_is_certain;
     Alcotest.test_case "flood p=1 vacuous" `Quick test_flood_p1_only_source_survives;
