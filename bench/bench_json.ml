@@ -1,15 +1,18 @@
-(* B3 → PR 3: machine-readable benchmark with multicore scaling curves.
+(* B4 → PR 4: machine-readable benchmark, now with the chaos audit.
 
-   Writes BENCH_PR3.json — op name → ns/run for the PR-2 sequential op
-   set (names kept identical so the committed BENCH_PR2.json baseline
-   stays comparable), plus 1/2/4/8-domain scaling curves for the four
+   Writes BENCH_PR4.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR3.json baseline stays
+   comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths (eccentricity sweep, link-minimality sweep,
-   k-vertex-connectivity decision, Monte-Carlo flood reliability), the
-   six-figure-n flooding experiment, a metrics-registry dump, per-op
-   ratios against BENCH_PR2.json and the inverse speedup_vs_pr2 view
-   that CI asserts on. Pure-stdlib timing (monotonic-enough wall clock,
-   budgeted repetition loop) rather than bechamel, so the output is
-   stable, dependency-light and trivially parseable.
+   k-vertex-connectivity decision, Monte-Carlo flood reliability), a
+   chaos section timing a min-cut audit sweep sequentially and on a
+   4-domain pool (plans/sec plus its delivery matrix — the PR-4
+   headline), the six-figure-n flooding experiment, a metrics-registry
+   dump, per-op ratios against BENCH_PR3.json and the inverse
+   speedup_vs_pr3 view that CI asserts on. Pure-stdlib timing
+   (monotonic-enough wall clock, budgeted repetition loop) rather than
+   bechamel, so the output is stable, dependency-light and trivially
+   parseable.
 
    The scaling numbers are honest: [domains_available] records what the
    machine actually offers (a 1-core container timeshares its domains
@@ -105,8 +108,8 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR3.json" in
-  print_endline "=== B3  JSON benchmark: sequential baseline + domain scaling ===";
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR4.json" in
+  print_endline "=== B4  JSON benchmark: sequential baseline + domain scaling + chaos audit ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
 
   let g1k = (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph in
@@ -207,6 +210,49 @@ let () =
     (rel_seq = rel_par);
   if rel_seq <> rel_par then failwith "reliability estimate differs across domain counts";
 
+  (* ------------------------------------------------------------------
+     Chaos audit throughput: one min-cut sweep (every fault budget up
+     to k) audited sequentially and on a 4-domain pool; same plans,
+     same seeds, so the reports must be bit-identical. *)
+  print_endline "--- chaos audit ---";
+  let gch = (Lhg_core.Build.kdiamond_exn ~n:258 ~k:4).Lhg_core.Build.graph in
+  let chaos_k = 4 in
+  let chaos_source =
+    let cut = Graph_core.Connectivity.min_vertex_cut gch in
+    let rec first v = if List.mem v cut then first (v + 1) else v in
+    first 0
+  in
+  let chaos_plans =
+    let rng = Graph_core.Prng.create ~seed:5 in
+    Chaos.Gen.sweep ~plans_per_level:4 ~rng ~graph:gch ~source:chaos_source ~max_faults:chaos_k
+      Chaos.Gen.Min_vertex_cut
+  in
+  let nplans = List.length chaos_plans in
+  let audit_at pool =
+    let env = Flood.Env.default |> Flood.Env.with_seed 5 |> Flood.Env.with_pool pool in
+    Chaos.Audit.run ~env ~graph:gch ~k:chaos_k ~source:chaos_source ~plans:chaos_plans
+  in
+  let chaos_report = audit_at None in
+  let fingerprint r =
+    List.map
+      (fun p ->
+        Chaos.Audit.(p.index, p.weight, p.complete, p.delivered, p.completion_time, p.messages))
+      r.Chaos.Audit.reports
+  in
+  let chaos_seq_ns = bench ~min_reps:2 "chaos_audit_min_cut_n258_seq" (fun () -> audit_at None) in
+  let chaos_pool = Pool.create ~domains:4 in
+  let chaos_par_ns, chaos_deterministic =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown chaos_pool)
+      (fun () ->
+        let det = fingerprint (audit_at (Some chaos_pool)) = fingerprint chaos_report in
+        (bench ~min_reps:2 "chaos_audit_min_cut_n258_d4" (fun () -> audit_at (Some chaos_pool)),
+         det))
+  in
+  Printf.printf "chaos audit: %d plans, boundary_ok=%b, deterministic across domains=%b\n%!"
+    nplans chaos_report.Chaos.Audit.boundary_ok chaos_deterministic;
+  if not chaos_deterministic then failwith "chaos audit differs across domain counts";
+
   (* the first six-figure-n flooding run: build, freeze, flood *)
   let nbig = 131_074 and k = 4 in
   Printf.printf "building kdiamond n=%d k=%d ...\n%!" nbig k;
@@ -239,11 +285,11 @@ let () =
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR2.json" in
+  let baseline = read_baseline_ops "BENCH_PR3.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 3,\n";
+  Buffer.add_string buf "  \"pr\": 4,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -296,9 +342,45 @@ let () =
     (Printf.sprintf "    \"reliability_deterministic_across_domains\": %b\n"
        (rel_seq = rel_par));
   Buffer.add_string buf "  },\n";
-  (* two views of the same comparison against the committed PR-2
+  (* the chaos audit section: throughput both ways, plans/sec, and the
+     delivery matrix CI asserts on (all rows at <= k-1 faults complete) *)
+  Buffer.add_string buf "  \"chaos\": {\n";
+  Buffer.add_string buf "    \"graph\": \"kdiamond\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"n\": %d,\n" (Graph.n gch));
+  Buffer.add_string buf (Printf.sprintf "    \"k\": %d,\n" chaos_k);
+  Buffer.add_string buf (Printf.sprintf "    \"source\": %d,\n" chaos_source);
+  Buffer.add_string buf "    \"adversary\": \"min-cut\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"plans\": %d,\n" nplans);
+  Buffer.add_string buf (Printf.sprintf "    \"audit_seq_ns\": %.1f,\n" chaos_seq_ns);
+  Buffer.add_string buf (Printf.sprintf "    \"audit_d4_ns\": %.1f,\n" chaos_par_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"plans_per_sec_seq\": %.1f,\n"
+       (float_of_int nplans *. 1e9 /. chaos_seq_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"plans_per_sec_d4\": %.1f,\n"
+       (float_of_int nplans *. 1e9 /. chaos_par_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_d4_vs_seq\": %.3f,\n" (chaos_seq_ns /. chaos_par_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"boundary_ok\": %b,\n" chaos_report.Chaos.Audit.boundary_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"deterministic_across_domains\": %b,\n" chaos_deterministic);
+  Buffer.add_string buf "    \"delivery_matrix\": [\n";
+  let matrix = chaos_report.Chaos.Audit.matrix in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"faults\": %d, \"plans\": %d, \"complete\": %d, \"stochastic\": %d}%s\n"
+           row.Chaos.Audit.faults row.Chaos.Audit.plans row.Chaos.Audit.complete_plans
+           row.Chaos.Audit.stochastic_plans
+           (if i = List.length matrix - 1 then "" else ",")))
+    matrix;
+  Buffer.add_string buf "    ]\n";
+  Buffer.add_string buf "  },\n";
+  (* two views of the same comparison against the committed PR-3
      baseline, where op names match: vs_baseline_* is new/old (< 1.05
-     means no regression), speedup_vs_pr2 is old/new (what CI asserts
+     means no regression), speedup_vs_pr3 is old/new (what CI asserts
      >= 1.0 on for at least one op) *)
   let comparable =
     List.filter_map
@@ -309,7 +391,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr2\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr3\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -317,7 +399,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR2\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR3\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf

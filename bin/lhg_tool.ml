@@ -5,11 +5,17 @@
      verify    check the four LHG properties of a generated topology
      tables    print EX/REG characteristic tables
      flood     run a flooding simulation with failures
+     chaos     audit flooding against adversarial fault plans
      metrics   replay a protocol run and print its metrics registry
      diameter  diameter comparison across topologies for one n, k
 
    All topology dispatch goes through Topo.Registry — adding a family
-   there makes it available to every subcommand at once. *)
+   there makes it available to every subcommand at once.
+
+   Every subcommand accepts the same six common long options —
+   --topology, --nodes, --k-degree, --seed, --jobs, --metrics — with
+   cmdliner's uniform prefix matching; they are wired where meaningful
+   and accepted for CLI uniformity elsewhere. *)
 
 open Cmdliner
 
@@ -17,7 +23,18 @@ let kinds = Topo.Registry.names
 
 let build_graph ~kind ~n ~k ~seed = Topo.Registry.build_graph ~kind ~n ~k ~seed
 
-(* common args *)
+(* common args — one record threaded through every subcommand *)
+
+type common = {
+  kind : string;
+  n : int;
+  k : int;
+  seed : int;
+  jobs : int;
+  metrics : [ `Json | `Text ] option;
+}
+
+let metrics_format = Arg.enum [ ("json", `Json); ("text", `Text) ]
 
 let kind_arg =
   let doc = Printf.sprintf "Topology kind: %s." (String.concat ", " kinds) in
@@ -37,9 +54,20 @@ let jobs_arg =
     & opt int 1
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~doc:
-          "Domains to verify with: 1 = sequential (default), 0 = auto \
-           ($(b,LHG_DOMAINS) or the machine's recommended domain count), N = a pool of N \
+          "Domains for the parallel subcommands (verify, chaos): 1 = sequential (default), 0 = \
+           auto ($(b,LHG_DOMAINS) or the machine's recommended domain count), N = a pool of N \
            domains. Results are identical at any setting.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some metrics_format) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:"Report format where a subcommand produces one: $(b,json) or $(b,text).")
+
+let common_term =
+  let make kind n k seed jobs metrics = { kind; n; k; seed; jobs; metrics } in
+  Term.(const make $ kind_arg $ n_arg $ k_arg $ seed_arg $ jobs_arg $ metrics_arg)
 
 (* [f] gets [None] for a sequential run; a fresh pool is shut down on
    the way out, the shared default pool is joined at exit. *)
@@ -55,8 +83,8 @@ let with_jobs jobs f =
     Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
   end
 
-let with_graph kind n k seed f =
-  match build_graph ~kind ~n ~k ~seed with
+let with_graph c f =
+  match build_graph ~kind:c.kind ~n:c.n ~k:c.k ~seed:c.seed with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       1
@@ -66,17 +94,18 @@ let with_graph kind n k seed f =
 
 let witness_of kind n k = Topo.Registry.witness ~kind ~n ~k
 
-let generate kind n k seed dot out =
-  with_graph kind n k seed (fun g ->
+let generate c dot out =
+  with_graph c (fun g ->
       let doc =
         if dot then
-          match witness_of kind n k with
-          | Some b -> Lhg_core.Viz.to_dot ~name:kind b
-          | None -> Graph_core.Dot.to_dot ~name:kind g
+          match witness_of c.kind c.n c.k with
+          | Some b -> Lhg_core.Viz.to_dot ~name:c.kind b
+          | None -> Graph_core.Dot.to_dot ~name:c.kind g
         else begin
           let buf = Buffer.create 1024 in
           Buffer.add_string buf
-            (Printf.sprintf "# %s n=%d m=%d\n" kind (Graph_core.Graph.n g) (Graph_core.Graph.m g));
+            (Printf.sprintf "# %s n=%d m=%d\n" c.kind (Graph_core.Graph.n g)
+               (Graph_core.Graph.m g));
           Graph_core.Graph.iter_edges g (fun u v ->
               Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
           Buffer.contents buf
@@ -96,17 +125,17 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Build a topology and print it")
-    Term.(const generate $ kind_arg $ n_arg $ k_arg $ seed_arg $ dot $ out)
+    Term.(const generate $ common_term $ dot $ out)
 
 (* verify *)
 
-let verify kind n k seed skip_minimality input jobs =
+let verify c skip_minimality input =
   let checked g =
-    with_jobs jobs (fun pool ->
+    with_jobs c.jobs (fun pool ->
         let check_minimality = not skip_minimality in
-        let report = Lhg_core.Verify.verify ~check_minimality ?pool g ~k in
+        let report = Lhg_core.Verify.verify ~check_minimality ?pool g ~k:c.k in
         Format.printf "%a@." Lhg_core.Verify.pp_report report;
-        if Lhg_core.Verify.is_lhg ~check_minimality ?pool g ~k then begin
+        if Lhg_core.Verify.is_lhg ~check_minimality ?pool g ~k:c.k then begin
           print_endline "verdict: this graph is a Logarithmic Harary Graph";
           0
         end
@@ -122,7 +151,7 @@ let verify kind n k seed skip_minimality input jobs =
       | Error msg ->
           prerr_endline ("error: " ^ msg);
           1)
-  | None -> with_graph kind n k seed checked
+  | None -> with_graph c checked
 
 let verify_cmd =
   let skip =
@@ -136,11 +165,12 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check the four LHG properties")
-    Term.(const verify $ kind_arg $ n_arg $ k_arg $ seed_arg $ skip $ input $ jobs_arg)
+    Term.(const verify $ common_term $ skip $ input)
 
 (* tables *)
 
-let tables k span =
+let tables c span =
+  let k = c.k in
   Printf.printf "k = %d, n from %d to %d\n" k (2 * k) ((2 * k) + span);
   Printf.printf "%6s %6s %8s %10s %10s %12s\n" "n" "EX_jd" "EX_ktree" "EX_kdiam" "REG_ktree"
     "REG_kdiam";
@@ -159,49 +189,42 @@ let tables_cmd =
   let span = Arg.(value & opt int 30 & info [ "span" ] ~docv:"SPAN" ~doc:"Rows past n = 2k.") in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print existence/regularity characteristic tables")
-    Term.(const tables $ k_arg $ span)
+    Term.(const tables $ common_term $ span)
 
 (* flood *)
-
-let metrics_format =
-  Arg.enum [ ("json", `Json); ("text", `Text) ]
 
 let print_metrics ~format obs =
   match format with
   | `Json -> print_string (Obs.Export.to_json ~recent_events:32 obs)
   | `Text -> print_string (Obs.Export.to_text ~recent_events:32 obs)
 
-let flood kind n k seed crashes links source metrics =
-  with_graph kind n k seed (fun g ->
-      let rng = Graph_core.Prng.create ~seed in
+let flood c crashes links source =
+  with_graph c (fun g ->
+      let rng = Graph_core.Prng.create ~seed:c.seed in
       let crashed =
         Flood.Runner.random_crashes rng ~n:(Graph_core.Graph.n g) ~count:crashes ~avoid:source
       in
       let failed_links = Flood.Runner.random_link_failures rng g ~count:links in
       let obs =
-        match metrics with None -> Obs.Registry.nil | Some _ -> Obs.Registry.create ()
+        match c.metrics with None -> Obs.Registry.nil | Some _ -> Obs.Registry.create ()
       in
-      let r = Flood.Flooding.run ~crashed ~failed_links ~seed ~obs ~graph:g ~source () in
-      (match metrics with
+      let env =
+        Flood.Env.make ~crashed ~failed_links ~seed:c.seed ~obs ()
+      in
+      let r = Flood.Flooding.run_env ~env ~graph:g ~source () in
+      (match c.metrics with
       | Some `Json ->
           (* machine-readable mode: the JSON document is the whole output *)
           print_metrics ~format:`Json obs
       | Some `Text | None ->
           Printf.printf "flooded %s(n=%d, k=%d) from node %d with %d crashes, %d link failures\n"
-            kind n k source crashes links;
+            c.kind c.n c.k source crashes links;
           Printf.printf "  messages sent:      %d\n" r.Flood.Flooding.messages_sent;
           Printf.printf "  rounds (max hops):  %d\n" r.Flood.Flooding.max_hops;
           Printf.printf "  completion time:    %.2f\n" r.Flood.Flooding.completion_time;
           Printf.printf "  covered survivors:  %b\n" r.Flood.Flooding.covers_all_alive;
-          if metrics = Some `Text then print_metrics ~format:`Text obs);
+          if c.metrics = Some `Text then print_metrics ~format:`Text obs);
       if r.Flood.Flooding.covers_all_alive then 0 else 1)
-
-let metrics_arg =
-  Arg.(
-    value
-    & opt (some metrics_format) None
-    & info [ "metrics" ] ~docv:"FORMAT"
-        ~doc:"Collect run metrics and print them as $(b,json) or $(b,text).")
 
 let flood_cmd =
   let crashes =
@@ -213,20 +236,218 @@ let flood_cmd =
   let source = Arg.(value & opt int 0 & info [ "source" ] ~docv:"V" ~doc:"Flooding source.") in
   Cmd.v
     (Cmd.info "flood" ~doc:"Run one flooding simulation")
-    Term.(const flood $ kind_arg $ n_arg $ k_arg $ seed_arg $ crashes $ links $ source $ metrics_arg)
+    Term.(const flood $ common_term $ crashes $ links $ source)
+
+(* chaos *)
+
+let ints_or l ~empty = if l = [] then empty else String.concat " " (List.map string_of_int l)
+
+let links_or l ~empty =
+  if l = [] then empty
+  else String.concat " " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) l)
+
+let chaos_text c ~adversary_name ~nplans report =
+  let open Chaos.Audit in
+  Printf.printf "chaos audit: %s(n=%d, k=%d) from source %d\n" c.kind c.n c.k report.source;
+  Printf.printf "  adversary: %s, %d plans, seed %d\n" adversary_name nplans c.seed;
+  Printf.printf "  %6s %6s %9s %11s\n" "faults" "plans" "complete" "stochastic";
+  List.iter
+    (fun row ->
+      Printf.printf "  %6d %6d %9d %11d\n" row.faults row.plans row.complete_plans
+        row.stochastic_plans)
+    report.matrix;
+  if report.boundary_ok then
+    Printf.printf "boundary: OK - every deterministic plan with <= %d faults delivered\n"
+      (report.k - 1)
+  else begin
+    Printf.printf "boundary: VIOLATED - %d plan(s) with <= %d faults failed to deliver\n"
+      (List.length report.violations) (report.k - 1);
+    List.iter
+      (fun r ->
+        match r.witness with
+        | None -> ()
+        | Some w ->
+            Printf.printf "  violation (plan %d, %d faults): crashed %s; links down %s; unreached %s\n"
+              r.index r.weight
+              (ints_or w.crashed_nodes ~empty:"(none)")
+              (links_or w.downed_links ~empty:"(none)")
+              (ints_or w.unreached ~empty:"(none)"))
+      report.violations
+  end;
+  match first_witness report with
+  | Some r when report.boundary_ok -> (
+      match r.witness with
+      | None -> ()
+      | Some w ->
+          Printf.printf "witness (plan %d, %d faults): crashed %s; links down %s; unreached %s\n"
+            r.index r.weight
+            (ints_or w.crashed_nodes ~empty:"(none)")
+            (links_or w.downed_links ~empty:"(none)")
+            (ints_or w.unreached ~empty:"(none)"))
+  | _ -> ()
+
+let chaos_json c ~adversary_name ~nplans report =
+  let open Chaos.Audit in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let json_ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]" in
+  let json_links l =
+    "[" ^ String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "[%d, %d]" u v) l) ^ "]"
+  in
+  add "{\n";
+  add "  \"schema\": \"lhg-chaos/1\",\n";
+  add "  \"topology\": %S,\n" c.kind;
+  add "  \"n\": %d,\n" c.n;
+  add "  \"k\": %d,\n" report.k;
+  add "  \"source\": %d,\n" report.source;
+  add "  \"seed\": %d,\n" c.seed;
+  add "  \"adversary\": %S,\n" adversary_name;
+  add "  \"plans\": %d,\n" nplans;
+  add "  \"boundary_ok\": %b,\n" report.boundary_ok;
+  add "  \"matrix\": [\n";
+  List.iteri
+    (fun i row ->
+      add "    {\"faults\": %d, \"plans\": %d, \"complete\": %d, \"stochastic\": %d}%s\n"
+        row.faults row.plans row.complete_plans row.stochastic_plans
+        (if i = List.length report.matrix - 1 then "" else ","))
+    report.matrix;
+  add "  ],\n";
+  add "  \"reports\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"index\": %d, \"weight\": %d, \"stochastic\": %b, \"complete\": %b, \"delivered\": \
+         %d, \"obligated\": %d, \"completion_time\": %g, \"messages\": %d}%s\n"
+        r.index r.weight r.stochastic r.complete r.delivered r.obligated r.completion_time
+        r.messages
+        (if i = List.length report.reports - 1 then "" else ","))
+    report.reports;
+  add "  ],\n";
+  (match first_witness report with
+  | Some ({ witness = Some w; _ } as r) ->
+      add "  \"witness\": {\"plan\": %d, \"weight\": %d, \"crashed\": %s, \"links_down\": %s, \
+           \"unreached\": %s}\n"
+        r.index r.weight (json_ints w.crashed_nodes) (json_links w.downed_links)
+        (json_ints w.unreached)
+  | _ -> add "  \"witness\": null\n");
+  add "}\n";
+  print_string (Buffer.contents buf)
+
+(* default source: the first vertex outside the adversary's prime
+   targets, so crash plans never have to spare their strongest victim *)
+let resolve_source ~requested ~avoid ~n =
+  if requested >= 0 then requested
+  else
+    let in_avoid = Array.make n false in
+    List.iter (fun v -> if v >= 0 && v < n then in_avoid.(v) <- true) avoid;
+    let rec first v = if v >= n then 0 else if in_avoid.(v) then first (v + 1) else v in
+    first 0
+
+let chaos c adversary plan_file source max_faults plans_per_level =
+  with_graph c (fun g ->
+      let n = Graph_core.Graph.n g in
+      let max_faults = match max_faults with Some f -> f | None -> c.k in
+      match
+        match plan_file with
+        | Some path -> Result.map (fun p -> `File p) (Chaos.Plan.of_file path)
+        | None -> Result.map (fun a -> `Sweep a) (Chaos.Gen.of_string adversary)
+      with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok plan_src -> (
+          let avoid =
+            match plan_src with
+            | `File p -> Chaos.Plan.crash_victims p
+            | `Sweep Chaos.Gen.Min_vertex_cut -> Graph_core.Connectivity.min_vertex_cut g
+            | `Sweep Chaos.Gen.Min_edge_cut ->
+                (* a source incident to the cut leaks in-flight messages
+                   across it before a t=0 link_down fires *)
+                List.concat_map (fun (u, v) -> [ u; v ]) (Graph_core.Connectivity.min_edge_cut g)
+            | `Sweep _ -> []
+          in
+          let source = resolve_source ~requested:source ~avoid ~n in
+          let adversary_name, plans =
+            match plan_src with
+            | `File p -> (Printf.sprintf "plan file %s" (Option.get plan_file), [ p ])
+            | `Sweep adv ->
+                let rng = Graph_core.Prng.create ~seed:c.seed in
+                ( Chaos.Gen.to_string adv,
+                  Chaos.Gen.sweep ~plans_per_level ~rng ~graph:g ~source ~max_faults adv )
+          in
+          with_jobs c.jobs (fun pool ->
+              let env =
+                Flood.Env.default |> Flood.Env.with_seed c.seed |> Flood.Env.with_pool pool
+              in
+              match Chaos.Audit.run ~env ~graph:g ~k:c.k ~source ~plans with
+              | exception Invalid_argument msg ->
+                  prerr_endline ("error: " ^ msg);
+                  1
+              | report ->
+                  let nplans = List.length plans in
+                  (match c.metrics with
+                  | Some `Json -> chaos_json c ~adversary_name ~nplans report
+                  | Some `Text | None -> chaos_text c ~adversary_name ~nplans report);
+                  if report.Chaos.Audit.boundary_ok then 0 else 1)))
+
+let chaos_cmd =
+  let adversary =
+    let doc =
+      "Plan generator: $(b,min-cut) (crash minimum vertex cuts), $(b,min-edge-cut), \
+       $(b,high-degree), $(b,random) (static crash sets), $(b,dynamic) (timed faults with \
+       recovery)."
+    in
+    Arg.(value & opt string "min-cut" & info [ "a"; "adversary" ] ~docv:"ADV" ~doc)
+  in
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:"Audit a single fault plan from a file (see lib/chaos for the format) instead of \
+                generating a sweep.")
+  in
+  let source =
+    Arg.(
+      value
+      & opt int (-1)
+      & info [ "source" ] ~docv:"V"
+          ~doc:"Flooding source; -1 (default) picks the first vertex outside the adversary's \
+                target set.")
+  in
+  let max_faults =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-faults" ] ~docv:"F"
+          ~doc:"Largest fault budget to sweep (default: the connectivity degree $(b,k), one past \
+                the guarantee).")
+  in
+  let plans_per_level =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "plans-per-level" ] ~docv:"P" ~doc:"Plans generated per fault budget (default 3).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Audit flooding against adversarial fault plans and report the k-1 guarantee boundary")
+    Term.(
+      const chaos $ common_term $ adversary $ plan_file $ source $ max_faults $ plans_per_level)
 
 (* metrics *)
 
-let metrics_run protocol kind n k seed format =
-  with_graph kind n k seed (fun g ->
+let metrics_run c protocol format =
+  with_graph c (fun g ->
       let obs = Obs.Registry.create () in
+      let seed = c.seed in
       let ok =
         match protocol with
         | `Flood ->
             ignore (Flood.Flooding.run ~seed ~obs ~graph:g ~source:0 ());
             true
         | `Gossip ->
-            ignore (Flood.Gossip.run ~seed ~obs ~graph:g ~source:0 ~fanout:(max 1 (k - 1))
+            ignore (Flood.Gossip.run ~seed ~obs ~graph:g ~source:0 ~fanout:(max 1 (c.k - 1))
                       ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
             true
         | `Pif ->
@@ -234,7 +455,7 @@ let metrics_run protocol kind n k seed format =
             true
         | `Churn -> (
             let family =
-              match kind with
+              match c.kind with
               | "ktree" -> Some Overlay.Membership.Ktree
               | "kdiamond" | "kdiamond_rich" -> Some Overlay.Membership.Kdiamond
               | "jd" -> Some Overlay.Membership.Jd
@@ -247,7 +468,7 @@ let metrics_run protocol kind n k seed format =
                 false
             | Some family -> (
                 let rng = Graph_core.Prng.create ~seed in
-                match Overlay.Churn.run rng ~family ~k ~n0:n ~steps:50 ~obs () with
+                match Overlay.Churn.run rng ~family ~k:c.k ~n0:c.n ~steps:50 ~obs () with
                 | Ok _ -> true
                 | Error e ->
                     prerr_endline ("error: " ^ e);
@@ -255,6 +476,11 @@ let metrics_run protocol kind n k seed format =
       in
       if not ok then 1
       else begin
+        let format =
+          match format with
+          | Some f -> f
+          | None -> ( match c.metrics with Some f -> f | None -> `Text)
+        in
         print_metrics ~format obs;
         0
       end)
@@ -269,19 +495,22 @@ let metrics_cmd =
       & info [ "protocol" ] ~docv:"PROTO" ~doc)
   in
   let format =
-    Arg.(value & opt metrics_format `Text & info [ "format" ] ~docv:"FORMAT" ~doc:"json or text.")
+    Arg.(
+      value
+      & opt (some metrics_format) None
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"json or text (alias of --metrics; default text).")
   in
   Cmd.v
     (Cmd.info "metrics" ~doc:"Replay a protocol run and print its metrics registry")
-    Term.(const metrics_run $ protocol $ kind_arg $ n_arg $ k_arg $ seed_arg $ format)
+    Term.(const metrics_run $ common_term $ protocol $ format)
 
 (* diameter *)
 
-let diameter n k seed =
+let diameter c =
   Printf.printf "%12s %8s %8s %10s\n" "topology" "edges" "diam" "flood-rounds";
   List.iter
     (fun kind ->
-      match build_graph ~kind ~n ~k ~seed with
+      match build_graph ~kind ~n:c.n ~k:c.k ~seed:c.seed with
       | Error msg -> Printf.printf "%12s %s\n" kind ("(" ^ msg ^ ")")
       | Ok g ->
           let d =
@@ -295,12 +524,12 @@ let diameter n k seed =
 let diameter_cmd =
   Cmd.v
     (Cmd.info "diameter" ~doc:"Compare diameters across topologies")
-    Term.(const diameter $ n_arg $ k_arg $ seed_arg)
+    Term.(const diameter $ common_term)
 
 (* cut *)
 
-let cut kind n k seed =
-  with_graph kind n k seed (fun g ->
+let cut c =
+  with_graph c (fun g ->
       let vc = Graph_core.Connectivity.min_vertex_cut g in
       let ec = Graph_core.Connectivity.min_edge_cut g in
       let ints l = String.concat ", " (List.map string_of_int l) in
@@ -314,7 +543,7 @@ let cut kind n k seed =
 let cut_cmd =
   Cmd.v
     (Cmd.info "cut" ~doc:"Show a minimum vertex/edge cut (the adversary's target set)")
-    Term.(const cut $ kind_arg $ n_arg $ k_arg $ seed_arg)
+    Term.(const cut $ common_term)
 
 (* route *)
 
@@ -324,20 +553,19 @@ let witnessed_kinds () =
       match e.Topo.Registry.construction with Some _ -> Some e.Topo.Registry.name | None -> None)
     Topo.Registry.all
 
-let route_cmd_impl kind n k seed src dst =
-  ignore seed;
-  match Topo.Registry.find kind with
+let route_cmd_impl c src dst =
+  match Topo.Registry.find c.kind with
   | None | Some { Topo.Registry.construction = None; _ } ->
       Printf.eprintf "error: route needs a witnessed LHG kind (%s)\n"
         (String.concat ", " (witnessed_kinds ()));
       1
-  | Some { Topo.Registry.construction = Some c; _ } -> (
-      match Lhg_core.Build.build c ~n ~k with
+  | Some { Topo.Registry.construction = Some cns; _ } -> (
+      match Lhg_core.Build.build cns ~n:c.n ~k:c.k with
       | Error e ->
           prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
           1
       | Ok b ->
-          Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst kind n k;
+          Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst c.kind c.n c.k;
           List.iteri
             (fun i p ->
               Printf.printf "  route %d (%d hops): %s\n" i
@@ -351,13 +579,13 @@ let route_cmd =
   let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"V" ~doc:"Destination vertex.") in
   Cmd.v
     (Cmd.info "route" ~doc:"Print the k structured tree-copy routes between two vertices")
-    Term.(const route_cmd_impl $ kind_arg $ n_arg $ k_arg $ seed_arg $ src $ dst)
+    Term.(const route_cmd_impl $ common_term $ src $ dst)
 
 (* churn *)
 
-let churn kind n k seed steps =
+let churn c steps =
   let family =
-    match kind with
+    match c.kind with
     | "ktree" -> Some Overlay.Membership.Ktree
     | "kdiamond" -> Some Overlay.Membership.Kdiamond
     | "jd" -> Some Overlay.Membership.Jd
@@ -369,8 +597,8 @@ let churn kind n k seed steps =
       prerr_endline "error: churn supports kinds ktree, kdiamond, jd, harary";
       1
   | Some family -> (
-      let rng = Graph_core.Prng.create ~seed in
-      match Overlay.Churn.run rng ~family ~k ~n0:n ~steps () with
+      let rng = Graph_core.Prng.create ~seed:c.seed in
+      match Overlay.Churn.run rng ~family ~k:c.k ~n0:c.n ~steps () with
       | Error e ->
           prerr_endline ("error: " ^ e);
           1
@@ -384,15 +612,15 @@ let churn_cmd =
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"Simulate join/leave churn and report rewiring cost")
-    Term.(const churn $ kind_arg $ n_arg $ k_arg $ seed_arg $ steps)
+    Term.(const churn $ common_term $ steps)
 
 (* inspect *)
 
-let inspect kind n k =
+let inspect c =
   let build =
-    match Topo.Registry.find kind with
+    match Topo.Registry.find c.kind with
     | None | Some { Topo.Registry.construction = None; _ } -> None
-    | Some { Topo.Registry.construction = Some c; _ } -> Some (Lhg_core.Build.build c ~n ~k)
+    | Some { Topo.Registry.construction = Some cns; _ } -> Some (Lhg_core.Build.build cns ~n:c.n ~k:c.k)
   in
   match build with
   | None ->
@@ -403,9 +631,10 @@ let inspect kind n k =
       prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
       1
   | Some (Ok b) ->
+      let n = c.n and k = c.k in
       let shape = b.Lhg_core.Build.shape in
       let non_leaf, shared, added, unshared = Lhg_core.Shape.counts shape in
-      Printf.printf "%s witness for (n=%d, k=%d)\n" kind n k;
+      Printf.printf "%s witness for (n=%d, k=%d)\n" c.kind n k;
       Printf.printf "  tree nodes:       %d (%d internal/root, %d shared leaves, %d added, %d unshared groups)\n"
         (Lhg_core.Shape.size shape) non_leaf shared added unshared;
       Printf.printf "  tree height:      %d\n" (Lhg_core.Route.height b);
@@ -432,11 +661,12 @@ let inspect kind n k =
 let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Print the structural witness of an LHG construction")
-    Term.(const inspect $ kind_arg $ n_arg $ k_arg)
+    Term.(const inspect $ common_term)
 
 (* grow *)
 
-let grow n k verbose =
+let grow c verbose =
+  let n = c.n and k = c.k in
   if k < 3 then begin
     prerr_endline "error: grow needs k >= 3";
     1
@@ -472,11 +702,11 @@ let grow_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every join operation.") in
   Cmd.v
     (Cmd.info "grow" ~doc:"Grow an overlay one peer at a time with incremental proof-step joins")
-    Term.(const grow $ n_arg $ k_arg $ verbose)
+    Term.(const grow $ common_term $ verbose)
 
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

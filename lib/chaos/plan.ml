@@ -1,0 +1,187 @@
+module Csr = Graph_core.Csr
+
+type event =
+  | Crash of int
+  | Recover of int
+  | Link_down of int * int
+  | Link_up of int * int
+  | Partition of int list
+  | Heal
+  | Loss_rate of float
+
+type timed = { at : float; event : event }
+
+type t = timed list (* sorted by [at], stable *)
+
+let make evs = List.stable_sort (fun a b -> compare a.at b.at) evs
+let empty = []
+let events t = t
+let is_empty t = t = []
+
+let norm_link u v = if u <= v then (u, v) else (v, u)
+
+module Iset = Set.Make (Int)
+
+module Lset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let crash_victims t =
+  List.fold_left
+    (fun acc { event; _ } -> match event with Crash v -> Iset.add v acc | _ -> acc)
+    Iset.empty t
+  |> Iset.elements
+
+(* the edges between [vs] and its complement *)
+let cut_edges csr vs =
+  let inside = Array.make (Csr.n csr) false in
+  List.iter (fun v -> if v >= 0 && v < Csr.n csr then inside.(v) <- true) vs;
+  let acc = ref [] in
+  Csr.iter_edges csr (fun u v -> if inside.(u) <> inside.(v) then acc := (u, v) :: !acc);
+  List.rev !acc
+
+let downed_links csr t =
+  List.fold_left
+    (fun acc { event; _ } ->
+      match event with
+      | Link_down (u, v) -> Lset.add (norm_link u v) acc
+      | Partition vs -> List.fold_left (fun acc e -> Lset.add e acc) acc (cut_edges csr vs)
+      | _ -> acc)
+    Lset.empty t
+  |> Lset.elements
+
+let weight csr t = List.length (crash_victims t) + List.length (downed_links csr t)
+
+let stochastic t =
+  List.exists (fun { event; _ } -> match event with Loss_rate r -> r > 0.0 | _ -> false) t
+
+let validate csr t =
+  let n = Csr.n csr in
+  let check_vertex what v =
+    if v < 0 || v >= n then Error (Printf.sprintf "%s: vertex %d out of range [0,%d)" what v n)
+    else Ok ()
+  in
+  let check_link what u v =
+    match (check_vertex what u, check_vertex what v) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok (), Ok () ->
+        if not (Csr.mem_edge csr u v) then
+          Error (Printf.sprintf "%s: no edge (%d,%d) in topology" what u v)
+        else Ok ()
+  in
+  let check_event { at; event } =
+    if not (Float.is_finite at) || at < 0.0 then
+      Error (Printf.sprintf "event at %g: time must be finite and >= 0" at)
+    else
+      match event with
+      | Crash v -> check_vertex "crash" v
+      | Recover v -> check_vertex "recover" v
+      | Link_down (u, v) -> check_link "link_down" u v
+      | Link_up (u, v) -> check_link "link_up" u v
+      | Partition vs -> (
+          if vs = [] then Error "partition: empty vertex set"
+          else
+            match List.find_opt (fun v -> v < 0 || v >= n) vs with
+            | Some v -> check_vertex "partition" v
+            | None ->
+                let distinct = Iset.of_list vs in
+                if Iset.cardinal distinct >= n then
+                  Error "partition: set must be a proper subset of the vertices"
+                else Ok ())
+      | Heal -> Ok ()
+      | Loss_rate r ->
+          if Float.is_finite r && r >= 0.0 && r < 1.0 then Ok ()
+          else Error (Printf.sprintf "loss_rate: %g outside [0,1)" r)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest -> ( match check_event e with Ok () -> go rest | Error _ as err -> err)
+  in
+  go t
+
+(* text format *)
+
+let string_of_event = function
+  | Crash v -> Printf.sprintf "crash %d" v
+  | Recover v -> Printf.sprintf "recover %d" v
+  | Link_down (u, v) -> Printf.sprintf "link_down %d %d" u v
+  | Link_up (u, v) -> Printf.sprintf "link_up %d %d" u v
+  | Partition vs -> "partition " ^ String.concat " " (List.map string_of_int vs)
+  | Heal -> "heal"
+  | Loss_rate r -> Printf.sprintf "loss_rate %g" r
+
+let to_string t =
+  String.concat "" (List.map (fun { at; event } -> Printf.sprintf "%g %s\n" at (string_of_event event)) t)
+
+let parse_line lineno line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let tokens =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun s -> s <> "")
+  in
+  let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
+  let int_arg what s =
+    match int_of_string_opt s with Some v -> Ok v | None -> fail "%s: not an integer: %s" what s
+  in
+  match tokens with
+  | [] -> Ok None
+  | time :: keyword :: args -> (
+      match float_of_string_opt time with
+      | None -> fail "bad time: %s" time
+      | Some at -> (
+          let ( let* ) = Result.bind in
+          let timed event = Ok (Some { at; event }) in
+          match (keyword, args) with
+          | "crash", [ v ] ->
+              let* v = int_arg "crash" v in
+              timed (Crash v)
+          | "recover", [ v ] ->
+              let* v = int_arg "recover" v in
+              timed (Recover v)
+          | "link_down", [ u; v ] ->
+              let* u = int_arg "link_down" u in
+              let* v = int_arg "link_down" v in
+              timed (Link_down (u, v))
+          | "link_up", [ u; v ] ->
+              let* u = int_arg "link_up" u in
+              let* v = int_arg "link_up" v in
+              timed (Link_up (u, v))
+          | "partition", (_ :: _ as vs) ->
+              let* vs =
+                List.fold_left
+                  (fun acc s ->
+                    let* acc = acc in
+                    let* v = int_arg "partition" s in
+                    Ok (v :: acc))
+                  (Ok []) vs
+              in
+              timed (Partition (List.rev vs))
+          | "heal", [] -> timed Heal
+          | "loss_rate", [ r ] -> (
+              match float_of_string_opt r with
+              | Some r -> timed (Loss_rate r)
+              | None -> fail "loss_rate: not a number: %s" r)
+          | ("crash" | "recover" | "link_down" | "link_up" | "partition" | "heal" | "loss_rate"), _
+            ->
+              fail "wrong number of arguments for %s" keyword
+          | kw, _ -> fail "unknown event: %s" kw))
+  | [ _ ] -> fail "missing event keyword"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (make (List.rev acc))
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some ev) -> go (lineno + 1) (ev :: acc) rest
+        | Error _ as err -> err)
+  in
+  go 1 [] lines
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,99 @@
+(** Declarative fault plans: a timeline of faults and heals.
+
+    A plan is what an adversary does to one run: crash nodes, bring
+    them back, cut links, partition a vertex set away, heal everything,
+    or turn on probabilistic message loss — each at a virtual time.
+    Plans are pure data; {!Exec} schedules them on a live simulation
+    and {!Audit} sweeps a protocol against batches of them.
+
+    {2 Weight — the currency of the guarantee}
+
+    The LHG guarantee is about {e how much} an adversary breaks, not
+    when: a k-connected topology floods through any k−1 failures. The
+    {!weight} of a plan is the number of distinct fault {e elements} it
+    ever touches — distinct crashed nodes plus distinct downed links
+    (partitions expanded to the edges they cut) — regardless of timing
+    or later recovery. A real execution under a plan delivers at least
+    as much as flooding on the residual graph with every ever-crashed
+    node and ever-downed link removed, so [weight ≤ k−1] on a
+    k-connected graph implies every never-crashed node is reached even
+    when faults flap mid-flood. {!Loss_rate} events carry no weight:
+    they make the plan {!stochastic} and exempt it from the
+    deterministic boundary instead.
+
+    {2 Text format}
+
+    One event per line, [<time> <keyword> <args…>]; blank lines and
+    [#] comments ignored:
+    {v
+    # crash node 3 at t=0, cut a link at t=1.5, heal later
+    0.0  crash 3
+    1.5  link_down 0 4
+    2.0  recover 3
+    2.5  partition 1 2 3
+    4.0  link_up 0 4
+    5.0  heal
+    0.0  loss_rate 0.05
+    v} *)
+
+type event =
+  | Crash of int  (** node stops sending and receiving *)
+  | Recover of int  (** crashed node comes back (no state replay) *)
+  | Link_down of int * int  (** undirected link fails *)
+  | Link_up of int * int  (** failed link comes back *)
+  | Partition of int list
+      (** every edge between the set and its complement fails *)
+  | Heal  (** all currently failed links come back *)
+  | Loss_rate of float  (** i.i.d. message loss switches to this rate *)
+
+type timed = { at : float; event : event }
+
+type t
+(** A plan: timed events, kept sorted by time (stable — same-time
+    events keep their given order). *)
+
+val make : timed list -> t
+(** Sort the events by time (stable) into a plan. Structural validity
+    against a topology is {!validate}'s business. *)
+
+val empty : t
+
+val events : t -> timed list
+(** Ascending by [at]. *)
+
+val is_empty : t -> bool
+
+val crash_victims : t -> int list
+(** Distinct nodes ever crashed, ascending. *)
+
+val cut_edges : Graph_core.Csr.t -> int list -> (int * int) list
+(** The edges between a vertex set and its complement, as [u < v]
+    lexicographic — what a [Partition] of that set downs. Out-of-range
+    vertices in the set are ignored. *)
+
+val downed_links : Graph_core.Csr.t -> t -> (int * int) list
+(** Distinct links ever downed — explicit [Link_down]s plus the cut
+    edges of every [Partition], expanded against the topology —
+    normalised to [u < v], ascending. *)
+
+val weight : Graph_core.Csr.t -> t -> int
+(** [|crash_victims| + |downed_links|] — the plan's fault count for
+    the k−1 boundary (see the module preamble). *)
+
+val stochastic : t -> bool
+(** The plan sets a positive loss rate somewhere, so delivery is
+    probabilistic and the deterministic boundary does not apply. *)
+
+val validate : Graph_core.Csr.t -> t -> (unit, string) result
+(** Structural check against a topology: vertices in range, downed and
+    restored links are real edges, partitions are proper non-empty
+    vertex subsets, loss rates in [\[0,1)], times finite and ≥ 0. *)
+
+val to_string : t -> string
+(** Render in the text format above (one event per line). *)
+
+val of_string : string -> (t, string) result
+(** Parse the text format; errors carry the offending line number. *)
+
+val of_file : string -> (t, string) result
+(** {!of_string} on a file's contents; [Error] on unreadable files. *)

@@ -1,0 +1,53 @@
+type prepare = { prepare : 'msg. 'msg Netsim.Network.t -> unit }
+
+type t = {
+  latency : Netsim.Network.latency option;
+  loss_rate : float;
+  processing_delay : float;
+  crashed : int list;
+  failed_links : (int * int) list;
+  seed : int option;
+  obs : Obs.Registry.t;
+  pool : Par.Pool.t option;
+  prepare : prepare option;
+}
+
+let default =
+  {
+    latency = None;
+    loss_rate = 0.0;
+    processing_delay = 0.0;
+    crashed = [];
+    failed_links = [];
+    seed = None;
+    obs = Obs.Registry.nil;
+    pool = None;
+    prepare = None;
+  }
+
+let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?(crashed = [])
+    ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool ?prepare () =
+  { latency; loss_rate; processing_delay; crashed; failed_links; seed; obs; pool; prepare }
+
+let with_latency l t = { t with latency = Some l }
+
+let with_loss_rate loss_rate t = { t with loss_rate }
+
+let with_processing_delay processing_delay t = { t with processing_delay }
+
+let with_crashed crashed t = { t with crashed }
+
+let with_failed_links failed_links t = { t with failed_links }
+
+let with_seed seed t = { t with seed = Some seed }
+
+let with_obs obs t = { t with obs }
+
+let with_pool pool t = { t with pool }
+
+let with_prepare p t = { t with prepare = Some p }
+
+(* must match Netsim.Sim.create's default seed *)
+let default_seed = 0x51
+
+let seed_value t = match t.seed with Some s -> s | None -> default_seed

@@ -1,0 +1,96 @@
+(** The unified run environment for every flood-family protocol.
+
+    PR by PR the protocol entry points accreted the same optional
+    arguments — [?latency], [?loss_rate], [?crashed], [?seed], [?obs],
+    [?pool], … — each module spelling a subset of them. [Env.t] bundles
+    the whole run environment into one value with a {!default} and
+    [with_*] builders, so experiment drivers configure once and thread
+    one value through {!Flooding.run_env}, {!Sync.flood_env},
+    {!Multi.run_env}, {!Reliable.run_env}, {!Gossip.run_env},
+    {!Pif.run_env} and {!Runner.flood_trials_env} — and so the chaos
+    auditor can inject a fault plan into any protocol without that
+    protocol knowing what a plan is ({!prepare}).
+
+    The legacy optional-argument [run]s remain as thin wrappers over
+    the [run_env] entry points; no caller breaks. New code should build
+    an [Env.t]:
+
+    {[
+      let env =
+        Flood.Env.default
+        |> Flood.Env.with_seed 42
+        |> Flood.Env.with_loss_rate 0.05
+        |> Flood.Env.with_obs registry
+      in
+      Flood.Flooding.run_env ~env ~graph ~source ()
+    ]}
+
+    Each protocol documents which fields it consumes; unused fields are
+    ignored except where noted (e.g. {!Pif.run_env} rejects a non-zero
+    [loss_rate] because its echo accounting assumes reliable
+    channels). *)
+
+type prepare = { prepare : 'msg. 'msg Netsim.Network.t -> unit }
+(** A hook run against the freshly created network — after static
+    [crashed]/[failed_links] injection, before the protocol's first
+    send. Polymorphic in the payload so one hook serves every protocol;
+    {!Chaos.Exec} uses it to schedule a fault plan's timeline on the
+    run's simulator. *)
+
+type t = {
+  latency : Netsim.Network.latency option;
+      (** [None] = the network default ([constant_latency 1.0]). *)
+  loss_rate : float;  (** initial i.i.d. loss probability; default 0. *)
+  processing_delay : float;  (** receiver service time; default 0. *)
+  crashed : int list;  (** nodes down before t = 0. *)
+  failed_links : (int * int) list;  (** links down before t = 0. *)
+  seed : int option;  (** [None] = the simulator default seed. *)
+  obs : Obs.Registry.t;  (** default {!Obs.Registry.nil}. *)
+  pool : Par.Pool.t option;
+      (** domain pool for entry points that fan out (trial sweeps,
+          chaos audits); single runs ignore it. *)
+  prepare : prepare option;  (** fault-plan / instrumentation hook. *)
+}
+
+val default : t
+(** No failures, no loss, unit latency, disabled observability,
+    sequential. *)
+
+val make :
+  ?latency:Netsim.Network.latency ->
+  ?loss_rate:float ->
+  ?processing_delay:float ->
+  ?crashed:int list ->
+  ?failed_links:(int * int) list ->
+  ?seed:int ->
+  ?obs:Obs.Registry.t ->
+  ?pool:Par.Pool.t ->
+  ?prepare:prepare ->
+  unit ->
+  t
+(** {!default} with the given fields replaced — the bridge the legacy
+    optional-argument wrappers go through. *)
+
+val with_latency : Netsim.Network.latency -> t -> t
+
+val with_loss_rate : float -> t -> t
+
+val with_processing_delay : float -> t -> t
+
+val with_crashed : int list -> t -> t
+
+val with_failed_links : (int * int) list -> t -> t
+
+val with_seed : int -> t -> t
+
+val with_obs : Obs.Registry.t -> t -> t
+
+val with_pool : Par.Pool.t option -> t -> t
+(** Takes an option so call sites can thread a maybe-pool verbatim
+    ([with_pool pool_opt]); [with_pool None] restores sequential. *)
+
+val with_prepare : prepare -> t -> t
+
+val seed_value : t -> int
+(** The seed, defaulted to the simulator's default (0x51) — for entry
+    points that must derive per-trial streams from a concrete seed. *)

@@ -15,15 +15,19 @@ type result = {
 
 type payload = { hop : int }
 
-let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = []) ?seed
-    ?(obs = Obs.Registry.nil) ~graph ~source () =
+let run_env ~env ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
-  if List.mem source crashed then invalid_arg "Flood.run: source is crashed";
-  let sim = Sim.create ?seed ~obs () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay ~obs () in
-  List.iter (fun v -> Network.crash net v) crashed;
-  List.iter (fun (u, v) -> Network.fail_link net u v) failed_links;
+  if List.mem source env.Env.crashed then invalid_arg "Flood.run: source is crashed";
+  let obs = env.Env.obs in
+  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ~obs ()
+  in
+  List.iter (fun v -> Network.crash net v) env.Env.crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   let delivered = Array.make n false in
   let delivery_time = Array.make n (-1.0) in
   let hops = Array.make n (-1) in
@@ -98,3 +102,9 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?(failed_links = [
     max_hops;
     covers_all_alive;
   }
+
+let run ?latency ?loss_rate ?processing_delay ?crashed ?failed_links ?seed ?obs ~graph ~source
+    () =
+  run_env
+    ~env:(Env.make ?latency ?loss_rate ?processing_delay ?crashed ?failed_links ?seed ?obs ())
+    ~graph ~source ()

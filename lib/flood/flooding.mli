@@ -17,6 +17,15 @@ type result = {
   covers_all_alive : bool;
 }
 
+val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> result
+(** One flooding execution under the given environment. Consumes every
+    {!Env.t} field except [pool] (a single run is sequential): static
+    failures ([crashed], [failed_links]) are injected before the first
+    send, then the [prepare] hook runs (a fault plan schedules its
+    timeline here), then the source floods. The source must not be in
+    [env.crashed]; a plan may still crash it mid-run.
+    @raise Invalid_argument on a crashed or out-of-range source. *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
@@ -29,8 +38,9 @@ val run :
   source:int ->
   unit ->
   result
-(** One flooding execution. Failures are injected before the first send;
-    the source must not be in [crashed].
+(** Legacy optional-argument entry point: builds an {!Env.t} with
+    {!Env.make} and delegates to {!run_env}. Prefer {!run_env} in new
+    code.
 
     With [?obs], the run publishes — on top of the network-layer
     [net.*] metrics — the [flood.hops] and [flood.completion]

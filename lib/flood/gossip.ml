@@ -15,16 +15,22 @@ type payload = { ttl : int }
 let default_ttl ~n =
   if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.0)) + 4
 
-let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~source
-    ~fanout ~ttl () =
+let run_env ~env ~graph ~source ~fanout ~ttl () =
   if fanout < 1 then invalid_arg "Gossip.run: fanout < 1";
   if ttl < 1 then invalid_arg "Gossip.run: ttl < 1";
+  let crashed = env.Env.crashed in
+  let obs = env.Env.obs in
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
   if List.mem source crashed then invalid_arg "Gossip.run: source is crashed";
-  let sim = Sim.create ?seed ~obs () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ~obs ()
+  in
   List.iter (fun v -> Network.crash net v) crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   let rng = Sim.fork_rng sim in
   let delivered = Array.make n false in
   let delivery_time = Array.make n (-1.0) in
@@ -62,3 +68,6 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~gra
      Obs.Registry.set (Obs.Registry.gauge obs "gossip.completion_time") completion_time
    end);
   { delivered; messages_sent = stats.Network.sent; completion_time; coverage_of_alive = coverage }
+
+let run ?latency ?loss_rate ?crashed ?seed ?obs ~graph ~source ~fanout ~ttl () =
+  run_env ~env:(Env.make ?latency ?loss_rate ?crashed ?seed ?obs ()) ~graph ~source ~fanout ~ttl ()

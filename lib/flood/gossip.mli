@@ -14,6 +14,22 @@ type result = {
   coverage_of_alive : float;  (** delivered / alive, in (0,1] *)
 }
 
+val run_env :
+  env:Env.t ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  fanout:int ->
+  ttl:int ->
+  unit ->
+  result
+(** One gossip execution under the given environment (every {!Env.t}
+    field except [pool] is consumed; the [prepare] hook runs before the
+    first push). With an enabled [env.obs], publishes the
+    [gossip.completion] per-node delivery histogram, the
+    [gossip.delivered_nodes] counter and the
+    [gossip.coverage]/[gossip.completion_time] gauges on top of the
+    network-layer [net.*] metrics. *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
@@ -26,10 +42,7 @@ val run :
   ttl:int ->
   unit ->
   result
-(** With [?obs], publishes the [gossip.completion] per-node delivery
-    histogram, the [gossip.delivered_nodes] counter and the
-    [gossip.coverage]/[gossip.completion_time] gauges on top of the
-    network-layer [net.*] metrics. *)
+(** Legacy optional-argument wrapper over {!run_env}. *)
 
 val default_ttl : n:int -> int
 (** ⌈log₂ n⌉ + 4 — enough rounds for gossip to plausibly saturate. *)

@@ -16,8 +16,9 @@ type result = { per_message : message_stats list; total_messages : int; all_cove
 
 type payload = { id : int; hop : int }
 
-let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ?(obs = Obs.Registry.nil)
-    ~graph ~publications () =
+let run_env ~env ~graph ~publications () =
+  let crashed = env.Env.crashed in
+  let obs = env.Env.obs in
   let n = Graph.n graph in
   let ids = List.map (fun (p : publication) -> p.payload_id) publications in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
@@ -28,9 +29,14 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ?(obs = Obs.
       if List.mem p.origin crashed then invalid_arg "Multi.run: origin is crashed";
       if p.inject_time < 0.0 then invalid_arg "Multi.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed ~obs () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ?processing_delay ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ~obs ()
+  in
   List.iter (fun v -> Network.crash net v) crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   (* per payload: delivery flags and latest first-delivery time *)
   let seen : (int, bool array) Hashtbl.t = Hashtbl.create 16 in
   let last_delivery : (int, float) Hashtbl.t = Hashtbl.create 16 in
@@ -96,3 +102,8 @@ let run ?latency ?loss_rate ?processing_delay ?(crashed = []) ?seed ?(obs = Obs.
     total_messages = (Network.stats net).Network.sent;
     all_covered = List.for_all (fun m -> m.covers_all_alive) per_message;
   }
+
+let run ?latency ?loss_rate ?processing_delay ?crashed ?seed ?obs ~graph ~publications () =
+  run_env
+    ~env:(Env.make ?latency ?loss_rate ?processing_delay ?crashed ?seed ?obs ())
+    ~graph ~publications ()

@@ -26,6 +26,16 @@ type result = {
   all_covered : bool;
 }
 
+val run_env :
+  env:Env.t -> graph:Graph_core.Graph.t -> publications:publication list -> unit -> result
+(** Simulate the schedule under the given environment (every {!Env.t}
+    field except [pool] is consumed; the [prepare] hook runs before the
+    first injection). With an enabled [env.obs], publishes the
+    [multi.completion] per-payload completion histogram and the
+    [multi.payloads] counter on top of the network-layer metrics.
+    @raise Invalid_argument on duplicate payload ids, crashed or
+    out-of-range origins, or negative injection times. *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
@@ -37,8 +47,4 @@ val run :
   publications:publication list ->
   unit ->
   result
-(** Simulate the schedule. With [?obs], publishes the
-    [multi.completion] per-payload completion histogram and the
-    [multi.payloads] counter on top of the network-layer metrics.
-    @raise Invalid_argument on duplicate payload ids, crashed or
-    out-of-range origins, or negative injection times. *)
+(** Legacy optional-argument wrapper over {!run_env}. *)

@@ -12,14 +12,23 @@ type result = {
 
 type message = Propagate | Echo
 
-let run ?latency ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~source () =
+let run_env ~env ~graph ~source () =
+  if env.Env.loss_rate > 0.0 then
+    invalid_arg "Pif.run: loss_rate unsupported (echo accounting assumes reliable channels)";
+  let crashed = env.Env.crashed in
+  let obs = env.Env.obs in
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Pif.run: source out of range";
   if List.mem source crashed then invalid_arg "Pif.run: source is crashed";
-  let sim = Sim.create ?seed ~obs () in
-  let net = Network.create ~sim ~graph ?latency ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency
+      ~processing_delay:env.Env.processing_delay ~obs ()
+  in
   let m_echoes = Obs.Registry.counter obs "pif.echoes" in
   List.iter (fun v -> Network.crash net v) crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   let informed = Array.make n false in
   let parent = Array.make n (-1) in
   let pending = Array.make n 0 in
@@ -76,3 +85,6 @@ let run ?latency ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~source 
     last_delivery_at = !last_delivery;
     messages = (Network.stats net).Network.sent;
   }
+
+let run ?latency ?crashed ?seed ?obs ~graph ~source () =
+  run_env ~env:(Env.make ?latency ?crashed ?seed ?obs ()) ~graph ~source ()

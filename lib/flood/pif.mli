@@ -23,6 +23,17 @@ type result = {
   messages : int;  (** propagates + echoes *)
 }
 
+val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> result
+(** One PIF execution under the given environment. Rejects a non-zero
+    [env.loss_rate] — the echo accounting is only meaningful on
+    reliable channels; crash-style chaos (through [env.crashed] or a
+    [prepare]-installed plan) is fair game and shows up as a
+    never-closing feedback wave. With an enabled [env.obs], publishes
+    the [pif.echoes] counter and [pif.completed] /
+    [pif.completion_detected_at] / [pif.last_delivery_at] gauges.
+    @raise Invalid_argument on a crashed or out-of-range source, or a
+    positive loss rate. *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?crashed:int list ->
@@ -32,8 +43,4 @@ val run :
   source:int ->
   unit ->
   result
-(** One PIF execution. No loss support: the echo accounting is only
-    meaningful on reliable channels. With [?obs], publishes the
-    [pif.echoes] counter and [pif.completed] /
-    [pif.completion_detected_at] / [pif.last_delivery_at] gauges.
-    @raise Invalid_argument on a crashed or out-of-range source. *)
+(** Legacy optional-argument wrapper over {!run_env}. *)

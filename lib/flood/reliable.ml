@@ -17,10 +17,11 @@ type message =
   | Digest of int list  (** payload ids the sender holds *)
   | Data of int
 
-let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~graph ~publications
-    ~anti_entropy_period ~duration () =
+let run_env ~env ~graph ~publications ~anti_entropy_period ~duration () =
   if anti_entropy_period <= 0.0 then invalid_arg "Reliable.run: non-positive period";
   if duration <= 0.0 then invalid_arg "Reliable.run: non-positive duration";
+  let crashed = env.Env.crashed in
+  let obs = env.Env.obs in
   let n = Graph.n graph in
   let ids = List.map (fun (p : Multi.publication) -> p.Multi.payload_id) publications in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
@@ -32,11 +33,16 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~gra
       if List.mem p.Multi.origin crashed then invalid_arg "Reliable.run: origin is crashed";
       if p.Multi.inject_time < 0.0 then invalid_arg "Reliable.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed ~obs () in
-  let net = Network.create ~sim ~graph ?latency ?loss_rate ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ~obs ()
+  in
   let m_flood = Obs.Registry.counter obs "reliable.flood_messages" in
   let m_repair = Obs.Registry.counter obs "reliable.repair_messages" in
   List.iter (fun v -> Network.crash net v) crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   let rng = Sim.fork_rng sim in
   let payload_count = List.length publications in
   (* has.(v) maps payload id -> unit for node v *)
@@ -100,22 +106,24 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~gra
     publications;
   (* anti-entropy timers, phase-shifted per node *)
   let digest_of v = Hashtbl.fold (fun id () acc -> id :: acc) has.(v) [] in
+  (* the timer survives crash windows (sends are skipped while the
+     node is down) so a node a chaos plan recovers resumes advertising
+     its digest and gets repaired *)
   let rec tick v () =
-    if Sim.now sim < duration && not (Network.is_crashed net v) then begin
-      let deg = Graph_core.Csr.degree csr v in
-      if deg > 0 then begin
-        let off = Graph_core.Csr.offsets csr and nbr = Graph_core.Csr.neighbor_array csr in
-        let peer = nbr.(off.(v) + Prng.int rng deg) in
-        send_repair ~src:v ~dst:peer (Digest (digest_of v))
-      end;
+    if Sim.now sim < duration then begin
+      (if not (Network.is_crashed net v) then
+         let deg = Graph_core.Csr.degree csr v in
+         if deg > 0 then begin
+           let off = Graph_core.Csr.offsets csr and nbr = Graph_core.Csr.neighbor_array csr in
+           let peer = nbr.(off.(v) + Prng.int rng deg) in
+           send_repair ~src:v ~dst:peer (Digest (digest_of v))
+         end);
       Sim.schedule sim ~delay:anti_entropy_period (tick v)
     end
   in
   for v = 0 to n - 1 do
-    if not (Network.is_crashed net v) then begin
-      let phase = Prng.float rng anti_entropy_period in
-      Sim.schedule sim ~delay:phase (tick v)
-    end
+    let phase = Prng.float rng anti_entropy_period in
+    Sim.schedule sim ~delay:phase (tick v)
   done;
   Sim.run ~until:duration sim;
   let delivered =
@@ -143,3 +151,9 @@ let run ?latency ?loss_rate ?(crashed = []) ?seed ?(obs = Obs.Registry.nil) ~gra
     repair_messages = !repair_messages;
     repair_messages_at_completion = !repair_at_completion;
   }
+
+let run ?latency ?loss_rate ?crashed ?seed ?obs ~graph ~publications ~anti_entropy_period
+    ~duration () =
+  run_env
+    ~env:(Env.make ?latency ?loss_rate ?crashed ?seed ?obs ())
+    ~graph ~publications ~anti_entropy_period ~duration ()

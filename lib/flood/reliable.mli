@@ -24,6 +24,30 @@ type result = {
           afterwards since nodes cannot observe global completion) *)
 }
 
+val run_env :
+  env:Env.t ->
+  graph:Graph_core.Graph.t ->
+  publications:Multi.publication list ->
+  anti_entropy_period:float ->
+  duration:float ->
+  unit ->
+  result
+(** Run the stack until [duration] (virtual time) under the given
+    environment (every {!Env.t} field except [pool] is consumed).
+    Anti-entropy ticks start phase-shifted per node to avoid
+    synchronisation artefacts. Same argument validation as
+    {!Multi.run}. With an enabled [env.obs], publishes the
+    [reliable.flood_messages]/[reliable.repair_messages] counters,
+    the [reliable.delivered_fraction]/[reliable.completion_time]
+    gauges, and a [Retransmit] span event per anti-entropy [Data]
+    resend.
+
+    Completeness accounting targets the nodes alive at t = 0: this is
+    the protocol whose anti-entropy actually repairs chaos-plan
+    recoveries, but a node crashed by a plan mid-run keeps its
+    obligations (the run then reports [complete = false] unless repair
+    reaches it after recovery). *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
@@ -36,10 +60,4 @@ val run :
   duration:float ->
   unit ->
   result
-(** Run the stack until [duration] (virtual time). Anti-entropy ticks
-    start phase-shifted per node to avoid synchronisation artefacts.
-    Same argument validation as {!Multi.run}. With [?obs], publishes
-    the [reliable.flood_messages]/[reliable.repair_messages] counters,
-    the [reliable.delivered_fraction]/[reliable.completion_time]
-    gauges, and a [Retransmit] span event per anti-entropy [Data]
-    resend. *)
+(** Legacy optional-argument wrapper over {!run_env}. *)

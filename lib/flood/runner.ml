@@ -103,10 +103,10 @@ let publish_aggregate obs a =
     Obs.Registry.set (Obs.Registry.gauge obs "runner.p99_completion") a.p99_completion
   end
 
-let flood_trials ?latency ?loss_rate ?(link_failures = 0) ?obs ~graph ~source ~crash_count
-    ~trials ~seed () =
+let flood_trials_env ?(link_failures = 0) ~env ~graph ~source ~crash_count ~trials () =
   if trials < 1 then invalid_arg "Runner.flood_trials: trials < 1";
-  let obs = match obs with Some o -> o | None -> Obs.Registry.create () in
+  let seed = Env.seed_value env in
+  let obs = env.Env.obs in
   let rng = Prng.create ~seed in
   let n = Graph.n graph in
   let h_completion =
@@ -118,10 +118,14 @@ let flood_trials ?latency ?loss_rate ?(link_failures = 0) ?obs ~graph ~source ~c
         let failed_links =
           if link_failures = 0 then [] else random_link_failures rng graph ~count:link_failures
         in
-        let r =
-          Flooding.run ?latency ?loss_rate ~crashed ~failed_links ~seed:(seed + (1000 * t)) ~obs
-            ~graph ~source ()
+        let trial_env =
+          env
+          |> Env.with_crashed crashed
+          |> Env.with_failed_links failed_links
+          |> Env.with_seed (seed + (1000 * t))
+          |> Env.with_obs obs
         in
+        let r = Flooding.run_env ~env:trial_env ~graph ~source () in
         Obs.Registry.observe h_completion r.Flooding.completion_time;
         ( coverage_of ~delivered:r.Flooding.delivered ~crashed ~n,
           r.Flooding.messages_sent,
@@ -132,9 +136,20 @@ let flood_trials ?latency ?loss_rate ?(link_failures = 0) ?obs ~graph ~source ~c
   publish_aggregate obs a;
   a
 
-let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~trials ~seed () =
+(* the legacy default: with no caller registry, trials record into a
+   fresh enabled one so hop_counts and percentiles are populated *)
+let legacy_obs = function Some o -> o | None -> Obs.Registry.create ()
+
+let flood_trials ?latency ?loss_rate ?link_failures ?obs ~graph ~source ~crash_count ~trials
+    ~seed () =
+  flood_trials_env ?link_failures
+    ~env:(Env.make ?latency ?loss_rate ~seed ~obs:(legacy_obs obs) ())
+    ~graph ~source ~crash_count ~trials ()
+
+let gossip_trials_env ~env ~graph ~source ~fanout ~crash_count ~trials () =
   if trials < 1 then invalid_arg "Runner.gossip_trials: trials < 1";
-  let obs = match obs with Some o -> o | None -> Obs.Registry.create () in
+  let seed = Env.seed_value env in
+  let obs = env.Env.obs in
   let rng = Prng.create ~seed in
   let n = Graph.n graph in
   let ttl = Gossip.default_ttl ~n in
@@ -144,10 +159,10 @@ let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~
   let results =
     List.init trials (fun t ->
         let crashed = random_crashes rng ~n ~count:crash_count ~avoid:source in
-        let r =
-          Gossip.run ?latency ?loss_rate ~crashed ~seed:(seed + (1000 * t)) ~obs ~graph ~source
-            ~fanout ~ttl ()
+        let trial_env =
+          env |> Env.with_crashed crashed |> Env.with_seed (seed + (1000 * t)) |> Env.with_obs obs
         in
+        let r = Gossip.run_env ~env:trial_env ~graph ~source ~fanout ~ttl () in
         Obs.Registry.observe h_completion r.Gossip.completion_time;
         ( coverage_of ~delivered:r.Gossip.delivered ~crashed ~n,
           r.Gossip.messages_sent,
@@ -157,3 +172,8 @@ let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~
   let a = aggregate_of ~obs results in
   publish_aggregate obs a;
   a
+
+let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~trials ~seed () =
+  gossip_trials_env
+    ~env:(Env.make ?latency ?loss_rate ~seed ~obs:(legacy_obs obs) ())
+    ~graph ~source ~fanout ~crash_count ~trials ()

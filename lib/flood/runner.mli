@@ -28,6 +28,30 @@ val random_crashes : Graph_core.Prng.t -> n:int -> count:int -> avoid:int -> int
 val random_link_failures : Graph_core.Prng.t -> Graph_core.Graph.t -> count:int -> (int * int) list
 (** [count] distinct edges of the graph. *)
 
+val flood_trials_env :
+  ?link_failures:int ->
+  env:Env.t ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  crash_count:int ->
+  trials:int ->
+  unit ->
+  aggregate
+(** Repeated flooding runs, fresh random failure sets per trial.
+    Coverage counts delivered alive nodes over all alive nodes, so a
+    partitioned survivor graph shows up as < 1 coverage.
+
+    [env] supplies latency, loss rate, base seed and registry; its
+    [crashed]/[failed_links] fields are overwritten per trial with
+    freshly sampled failure sets ([crash_count] crash victims avoiding
+    the source, plus [link_failures] downed edges). Every trial records
+    into [env.obs] verbatim — with a disabled registry (the {!Env.default})
+    [hop_counts] stays empty; pass an enabled one to collect the
+    per-trial flood metrics, the [runner.completion] histogram and the
+    [runner.*] summary gauges. The legacy {!flood_trials} wrapper keeps
+    its historical default of a private enabled registry when [?obs] is
+    omitted, so its [hop_counts] are always populated. *)
+
 val flood_trials :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
@@ -40,15 +64,20 @@ val flood_trials :
   seed:int ->
   unit ->
   aggregate
-(** Repeated flooding runs, fresh random failure sets per trial.
-    Coverage counts delivered alive nodes over all alive nodes, so a
-    partitioned survivor graph shows up as < 1 coverage.
+(** Legacy optional-argument wrapper over {!flood_trials_env}. *)
 
-    Every trial records into the same registry — by default a private
-    enabled one, so [hop_counts] and the percentile fields are always
-    populated; pass [?obs] to publish into a caller-owned registry
-    instead (the per-trial flood metrics, the [runner.completion]
-    histogram and the [runner.*] summary gauges all land there). *)
+val gossip_trials_env :
+  env:Env.t ->
+  graph:Graph_core.Graph.t ->
+  source:int ->
+  fanout:int ->
+  crash_count:int ->
+  trials:int ->
+  unit ->
+  aggregate
+(** Same aggregation for the gossip baseline (TTL
+    {!Gossip.default_ttl}). [mean_max_hops] is reported as 0 — gossip
+    payloads carry no hop counter. *)
 
 val gossip_trials :
   ?latency:Netsim.Network.latency ->
@@ -62,6 +91,4 @@ val gossip_trials :
   seed:int ->
   unit ->
   aggregate
-(** Same aggregation for the gossip baseline (TTL
-    {!Gossip.default_ttl}). [mean_max_hops] is reported as 0 — gossip
-    payloads carry no hop counter. *)
+(** Legacy optional-argument wrapper over {!gossip_trials_env}. *)

@@ -43,4 +43,15 @@ let flood_csr ?workspace ?alive ?(obs = Obs.Registry.nil) csr ~source =
 
 let flood ?alive ?obs g ~source = flood_csr ?alive ?obs (Csr.of_graph g) ~source
 
+let flood_env ~env g ~source =
+  let alive =
+    match env.Env.crashed with
+    | [] -> None
+    | crashed ->
+        let a = Array.make (Graph.n g) true in
+        List.iter (fun v -> a.(v) <- false) crashed;
+        Some a
+  in
+  flood ?alive ~obs:env.Env.obs g ~source
+
 let message_bound g = (2 * Graph.m g) - (Graph.n g - 1)

@@ -37,6 +37,12 @@ val flood_csr :
     first reached in that round); the disabled default records
     nothing and allocates nothing. *)
 
+val flood_env : env:Env.t -> Graph_core.Graph.t -> source:int -> t
+(** {!flood} under a unified environment: [env.crashed] becomes the
+    alive mask, [env.obs] the registry. The closed-form analysis is
+    deterministic and synchronous, so the latency / loss / seed / pool
+    fields are ignored by construction. *)
+
 val message_bound : Graph_core.Graph.t -> int
 (** The failure-free message count: 2m − (n − 1) — every edge carries
     the payload in both directions except the n−1 first-delivery tree

@@ -27,7 +27,7 @@ type 'msg t = {
   graph : Graph.t;
   csr : Csr.t;  (** topology frozen at creation; every send checks it *)
   latency : latency;
-  loss_rate : float;
+  mutable loss_rate : float;
   trace : Trace.t option;
   processing_delay : float;
   next_free : float array;  (** per-node receiver availability time *)
@@ -104,6 +104,11 @@ let crash t v =
   if not t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Crash ~node:v ~info:0;
   t.crashed.(v) <- true
 
+let recover t v =
+  if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.recover: vertex out of range";
+  if t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Recover ~node:v ~info:0;
+  t.crashed.(v) <- false
+
 let alive_mask t = Array.map not t.crashed
 
 let fail_link t u v =
@@ -112,7 +117,28 @@ let fail_link t u v =
     Obs.Registry.event t.obs Obs.Registry.Link_down ~node:u ~info:v;
   Hashtbl.replace t.failed_links (link_key u v) ()
 
+let restore_link t u v =
+  if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.restore_link: no such edge";
+  if Hashtbl.mem t.failed_links (link_key u v) then begin
+    Obs.Registry.event t.obs Obs.Registry.Link_up ~node:u ~info:v;
+    Hashtbl.remove t.failed_links (link_key u v)
+  end
+
+let heal t =
+  (* sorted so the Link_up event order is independent of hash layout *)
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) t.failed_links [] in
+  List.iter (fun (u, v) -> restore_link t u v) (List.sort compare keys)
+
 let link_failed t u v = Hashtbl.mem t.failed_links (link_key u v)
+
+let loss_rate t = t.loss_rate
+
+let set_loss_rate t r =
+  if r < 0.0 || r >= 1.0 then invalid_arg "Network.set_loss_rate: loss_rate outside [0,1)";
+  if r <> t.loss_rate then
+    Obs.Registry.event t.obs Obs.Registry.Loss_rate ~node:0
+      ~info:(int_of_float (Float.round (r *. 1e6)));
+  t.loss_rate <- r
 
 let emit t kind ~src ~dst ~seq =
   match t.trace with

@@ -2,10 +2,22 @@
 
     Sits on top of {!Sim}: sending enqueues a delivery event after a
     latency drawn from the latency model. Failure injection covers the
-    crash-stop node model (a crashed node neither sends nor receives —
-    in-flight messages to it are dropped on delivery), fail-stop links,
-    and i.i.d. probabilistic message loss. All drops are counted in
-    {!stats}. The payload type is the caller's ['msg]. *)
+    crash-recover node model (a crashed node neither sends nor receives
+    until it {!recover}s), fail-stop links that can come back up
+    ({!restore_link}, {!heal}), and i.i.d. probabilistic message loss
+    whose rate can change mid-run ({!set_loss_rate}). All drops are
+    counted in {!stats}; every fault and heal is emitted as an
+    {!Obs.Registry} span event. The payload type is the caller's ['msg].
+
+    {2 Recovery semantics}
+
+    Crash state is evaluated {e at delivery time}, not at send time. A
+    message in flight to a node that is crashed when the message lands
+    is dropped and counted [dropped_crash]; a message in flight to a
+    node that has {!recover}ed before its delivery event fires is
+    delivered normally and counted [delivered] — the crash window only
+    swallows what actually lands inside it. Senders are checked at send
+    time: {!send} from a currently crashed source raises. *)
 
 type 'msg t
 
@@ -46,8 +58,9 @@ val create :
     into the registry as it runs: counters [net.sent], [net.delivered]
     and the three [net.dropped_*] reasons, the [net.latency] histogram
     of drawn link delays, the [net.queue_depth] histogram of receiver
-    backlog (when [processing_delay > 0]), and [Crash]/[Link_down] span
-    events for failure injection. A disabled registry costs one branch
+    backlog (when [processing_delay > 0]), and
+    [Crash]/[Recover]/[Link_down]/[Link_up]/[Loss_rate] span events for
+    fault injection and healing. A disabled registry costs one branch
     per record and allocates nothing.
 
     [?processing_delay] (default 0) models receiver contention: each
@@ -80,17 +93,51 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     loss coin, or a crashed/crashing destination at delivery time. *)
 
 val crash : 'msg t -> int -> unit
-(** Crash-stop the node, effective immediately. Idempotent. *)
+(** Crash the node, effective immediately. Idempotent (only the first
+    call emits a [Crash] span event). Messages already in flight to it
+    are dropped only if they land while it is down — see the recovery
+    semantics above. *)
+
+val recover : 'msg t -> int -> unit
+(** Bring a crashed node back up, effective immediately. Idempotent
+    (only a transition emits a [Recover] span event). The node resumes
+    receiving — including messages still in flight from before or
+    during its crash window — and may send again. It does {e not}
+    replay anything it missed; catch-up is the protocol's business
+    (e.g. {!Flood.Reliable}'s anti-entropy). *)
 
 val is_crashed : 'msg t -> int -> bool
 
 val alive_mask : 'msg t -> bool array
-(** Snapshot: [true] per live vertex. *)
+(** Snapshot: [true] per currently live vertex. *)
 
 val fail_link : 'msg t -> int -> int -> unit
 (** Fail the undirected link (both directions). Idempotent; the edge
     must exist in the topology. *)
 
+val restore_link : 'msg t -> int -> int -> unit
+(** Bring a failed link back up (both directions). Idempotent (only a
+    transition emits a [Link_up] span event); the edge must exist in
+    the topology. Messages dropped while the link was down stay lost. *)
+
+val heal : 'msg t -> unit
+(** Restore every currently failed link, in sorted link order (so the
+    [Link_up] event sequence is deterministic). *)
+
 val link_failed : 'msg t -> int -> int -> bool
 
+val loss_rate : 'msg t -> float
+(** The current i.i.d. message-loss probability. *)
+
+val set_loss_rate : 'msg t -> float -> unit
+(** Change the loss rate, effective for subsequent {!send}s (messages
+    already in flight keep the coin they were tossed). Emits a
+    [Loss_rate] span event when the value changes; [info] carries the
+    new rate in parts per million.
+    @raise Invalid_argument outside [\[0,1)]. *)
+
 val stats : 'msg t -> stats
+(** Cumulative counters. Under recovery, [dropped_crash] counts only
+    messages that landed inside a crash window; deliveries after a
+    {!recover} count as [delivered] (see the recovery semantics
+    above). *)

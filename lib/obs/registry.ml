@@ -18,7 +18,10 @@ type span_kind =
   | Round_end
   | Retransmit
   | Crash
+  | Recover
   | Link_down
+  | Link_up
+  | Loss_rate
   | Churn_join
   | Churn_leave
 
@@ -27,12 +30,26 @@ let span_kind_index = function
   | Round_end -> 1
   | Retransmit -> 2
   | Crash -> 3
-  | Link_down -> 4
-  | Churn_join -> 5
-  | Churn_leave -> 6
+  | Recover -> 4
+  | Link_down -> 5
+  | Link_up -> 6
+  | Loss_rate -> 7
+  | Churn_join -> 8
+  | Churn_leave -> 9
 
 let all_span_kinds =
-  [ Round_start; Round_end; Retransmit; Crash; Link_down; Churn_join; Churn_leave ]
+  [
+    Round_start;
+    Round_end;
+    Retransmit;
+    Crash;
+    Recover;
+    Link_down;
+    Link_up;
+    Loss_rate;
+    Churn_join;
+    Churn_leave;
+  ]
 
 let span_kind_count = List.length all_span_kinds
 
@@ -41,7 +58,10 @@ let span_kind_name = function
   | Round_end -> "round-end"
   | Retransmit -> "retransmit"
   | Crash -> "crash"
+  | Recover -> "recover"
   | Link_down -> "link-down"
+  | Link_up -> "link-up"
+  | Loss_rate -> "loss-rate"
   | Churn_join -> "churn-join"
   | Churn_leave -> "churn-leave"
 

@@ -134,7 +134,10 @@ type span_kind =
   | Round_end
   | Retransmit  (** an anti-entropy repair resend *)
   | Crash
+  | Recover  (** a crashed node coming back up *)
   | Link_down
+  | Link_up  (** a failed link restored *)
+  | Loss_rate  (** the network loss rate changed; [info] is the new rate in ppm *)
   | Churn_join
   | Churn_leave
 

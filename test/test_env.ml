@@ -1,0 +1,143 @@
+(* Flood.Env: the unified run environment. The builders must be plain
+   field updates, and every legacy optional-argument [run] must be an
+   exact wrapper over its [run_env] — same arguments, same answer. *)
+
+open Helpers
+module Graph = Graph_core.Graph
+module Env = Flood.Env
+module Network = Netsim.Network
+
+let graph () = (Lhg_core.Build.kdiamond_exn ~n:18 ~k:3).Lhg_core.Build.graph
+
+let test_builders () =
+  let reg = Obs.Registry.create () in
+  let env =
+    Env.default |> Env.with_loss_rate 0.1 |> Env.with_processing_delay 0.25
+    |> Env.with_crashed [ 2; 5 ]
+    |> Env.with_failed_links [ (0, 3) ]
+    |> Env.with_seed 99 |> Env.with_obs reg
+  in
+  check_bool "loss_rate" true (env.Env.loss_rate = 0.1);
+  check_bool "processing_delay" true (env.Env.processing_delay = 0.25);
+  check_bool "crashed" true (env.Env.crashed = [ 2; 5 ]);
+  check_bool "failed_links" true (env.Env.failed_links = [ (0, 3) ]);
+  check_bool "seed set" true (env.Env.seed = Some 99);
+  check_bool "obs replaced" true (env.Env.obs == reg);
+  check_int "seed_value reads the seed" 99 (Env.seed_value env);
+  check_int "seed_value default is the sim default" 0x51 (Env.seed_value Env.default);
+  check_bool "default has no hook" true (Env.default.Env.prepare = None);
+  check_bool "default obs disabled" false (Obs.Registry.enabled Env.default.Env.obs)
+
+let test_flooding_wrapper () =
+  let g = graph () in
+  let legacy =
+    Flood.Flooding.run ~loss_rate:0.2 ~crashed:[ 4 ]
+      ~failed_links:[ (0, 3) ]
+      ~seed:7 ~graph:g ~source:0 ()
+  in
+  let env =
+    Env.make ~loss_rate:0.2 ~crashed:[ 4 ] ~failed_links:[ (0, 3) ] ~seed:7 ()
+  in
+  let r = Flood.Flooding.run_env ~env ~graph:g ~source:0 () in
+  check_bool "flooding run = run_env" true (legacy = r)
+
+let test_sync_wrapper () =
+  let g = graph () in
+  let alive = Array.init (Graph.n g) (fun v -> v <> 4) in
+  let legacy = Flood.Sync.flood ~alive g ~source:0 in
+  let r = Flood.Sync.flood_env ~env:(Env.make ~crashed:[ 4 ] ()) g ~source:0 in
+  check_bool "sync flood = flood_env" true (legacy = r)
+
+let test_multi_reliable_wrapper () =
+  let g = graph () in
+  let pubs =
+    [
+      { Flood.Multi.origin = 0; inject_time = 0.0; payload_id = 0 };
+      { Flood.Multi.origin = 5; inject_time = 1.5; payload_id = 1 };
+    ]
+  in
+  let legacy = Flood.Multi.run ~loss_rate:0.1 ~seed:3 ~graph:g ~publications:pubs () in
+  let env = Env.make ~loss_rate:0.1 ~seed:3 () in
+  check_bool "multi run = run_env" true
+    (legacy = Flood.Multi.run_env ~env ~graph:g ~publications:pubs ());
+  let legacy =
+    Flood.Reliable.run ~loss_rate:0.3 ~seed:3 ~graph:g ~publications:pubs
+      ~anti_entropy_period:2.0 ~duration:40.0 ()
+  in
+  let env = Env.make ~loss_rate:0.3 ~seed:3 () in
+  check_bool "reliable run = run_env" true
+    (legacy
+    = Flood.Reliable.run_env ~env ~graph:g ~publications:pubs ~anti_entropy_period:2.0
+        ~duration:40.0 ())
+
+let test_gossip_pif_wrapper () =
+  let g = graph () in
+  let legacy = Flood.Gossip.run ~seed:5 ~crashed:[ 2 ] ~graph:g ~source:0 ~fanout:3 ~ttl:8 () in
+  let env = Env.make ~seed:5 ~crashed:[ 2 ] () in
+  check_bool "gossip run = run_env" true
+    (legacy = Flood.Gossip.run_env ~env ~graph:g ~source:0 ~fanout:3 ~ttl:8 ());
+  let legacy = Flood.Pif.run ~seed:5 ~graph:g ~source:1 () in
+  check_bool "pif run = run_env" true
+    (legacy = Flood.Pif.run_env ~env:(Env.make ~seed:5 ()) ~graph:g ~source:1 ());
+  Alcotest.check_raises "pif rejects lossy channels"
+    (Invalid_argument "Pif.run: loss_rate unsupported (echo accounting assumes reliable channels)")
+    (fun () ->
+      ignore (Flood.Pif.run_env ~env:(Env.make ~loss_rate:0.1 ()) ~graph:g ~source:0 ()))
+
+let test_runner_wrapper () =
+  let g = graph () in
+  let legacy =
+    Flood.Runner.flood_trials ~loss_rate:0.05 ~link_failures:1 ~graph:g ~source:0
+      ~crash_count:2 ~trials:12 ~seed:9 ()
+  in
+  (* the legacy wrapper defaults to a private enabled registry; match it *)
+  let env = Env.make ~loss_rate:0.05 ~seed:9 ~obs:(Obs.Registry.create ()) () in
+  let r =
+    Flood.Runner.flood_trials_env ~link_failures:1 ~env ~graph:g ~source:0 ~crash_count:2
+      ~trials:12 ()
+  in
+  check_bool "runner flood_trials = flood_trials_env" true (legacy = r);
+  check_bool "hop_counts populated via enabled registry" true
+    (legacy.Flood.Runner.hop_counts <> [||]);
+  (* with the disabled default registry the env path records no hops *)
+  let bare =
+    Flood.Runner.flood_trials_env ~link_failures:1 ~env:(Env.make ~loss_rate:0.05 ~seed:9 ())
+      ~graph:g ~source:0 ~crash_count:2 ~trials:12 ()
+  in
+  check_bool "disabled registry -> no hop_counts" true (bare.Flood.Runner.hop_counts = [||]);
+  check_bool "same trials otherwise" true
+    (bare.Flood.Runner.mean_coverage = legacy.Flood.Runner.mean_coverage);
+  let legacy_g =
+    Flood.Runner.gossip_trials ~graph:g ~source:0 ~fanout:3 ~crash_count:1 ~trials:8 ~seed:4 ()
+  in
+  let env = Env.make ~seed:4 ~obs:(Obs.Registry.create ()) () in
+  check_bool "runner gossip_trials = gossip_trials_env" true
+    (legacy_g
+    = Flood.Runner.gossip_trials_env ~env ~graph:g ~source:0 ~fanout:3 ~crash_count:1
+        ~trials:8 ())
+
+let test_prepare_hook_runs () =
+  (* a hook that crashes a node before the first send is equivalent to
+     a static crash of the same node *)
+  let g = graph () in
+  let hook = { Env.prepare = (fun net -> Network.crash net 4) } in
+  let hooked =
+    Flood.Flooding.run_env ~env:Env.(default |> with_seed 2 |> with_prepare hook) ~graph:g
+      ~source:0 ()
+  in
+  let static =
+    Flood.Flooding.run_env ~env:(Env.make ~seed:2 ~crashed:[ 4 ] ()) ~graph:g ~source:0 ()
+  in
+  check_bool "hook crash = static crash" true
+    (hooked.Flood.Flooding.delivered = static.Flood.Flooding.delivered)
+
+let suite =
+  [
+    Alcotest.test_case "builders are field updates" `Quick test_builders;
+    Alcotest.test_case "flooding wrapper" `Quick test_flooding_wrapper;
+    Alcotest.test_case "sync wrapper" `Quick test_sync_wrapper;
+    Alcotest.test_case "multi + reliable wrappers" `Quick test_multi_reliable_wrapper;
+    Alcotest.test_case "gossip + pif wrappers" `Quick test_gossip_pif_wrapper;
+    Alcotest.test_case "runner wrappers" `Quick test_runner_wrapper;
+    Alcotest.test_case "prepare hook" `Quick test_prepare_hook_runs;
+  ]

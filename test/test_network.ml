@@ -160,9 +160,104 @@ let test_processing_delay_idle_resets () =
   Sim.run sim;
   Alcotest.(check (list (float 1e-9))) "no stale backlog" [ 2.0; 12.0 ] (List.rev !times)
 
+(* the recovery-semantics pin: crash state is evaluated at delivery
+   time, so an in-flight message to a node that recovers before the
+   delivery event fires is delivered, not counted dropped_crash *)
+let test_recover_delivers_in_flight () =
+  let sim, net = make_net ~latency:(Network.constant_latency 5.0) () in
+  let received = ref [] in
+  Network.set_receiver net (fun ~dst ~src:_ () -> received := (Sim.now sim, dst) :: !received);
+  Network.crash net 1;
+  Sim.schedule sim ~delay:1.0 (fun () -> Network.send net ~src:0 ~dst:1 ());
+  (* recovery at t=3 < delivery at t=6: the crash window never sees
+     the message land *)
+  Sim.schedule sim ~delay:3.0 (fun () -> Network.recover net 1);
+  Sim.run sim;
+  Alcotest.(check (list (pair (float 1e-9) int))) "delivered after recovery" [ (6.0, 1) ]
+    !received;
+  let s = Network.stats net in
+  check_int "delivered" 1 s.Network.delivered;
+  check_int "dropped_crash" 0 s.Network.dropped_crash
+
+let test_recover_misses_crash_window () =
+  (* same shape, but the message lands inside the crash window *)
+  let sim, net = make_net ~latency:(Network.constant_latency 1.0) () in
+  let received = ref [] in
+  Network.set_receiver net (fun ~dst ~src:_ () -> received := dst :: !received);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.schedule sim ~delay:3.0 (fun () -> Network.recover net 1);
+  Sim.run sim;
+  Alcotest.(check (list int)) "nothing delivered" [] !received;
+  let s = Network.stats net in
+  check_int "dropped_crash" 1 s.Network.dropped_crash;
+  check_bool "recovered and receiving again" false (Network.is_crashed net 1)
+
+let test_recover_validates_and_is_idempotent () =
+  let _, net = make_net () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Network.recover: vertex out of range")
+    (fun () -> Network.recover net 99);
+  Network.recover net 2 (* never crashed: a no-op *);
+  Network.crash net 2;
+  Network.recover net 2;
+  Network.recover net 2;
+  check_bool "up" false (Network.is_crashed net 2)
+
+let test_restore_link () =
+  let sim, net = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  Network.fail_link net 0 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Network.restore_link net 0 1;
+  check_bool "link back up" false (Network.link_failed net 0 1);
+  Network.send net ~src:0 ~dst:1 ();
+  Sim.run sim;
+  (* the drop before the restore stays lost *)
+  check_int "one delivery" 1 !received;
+  check_int "one link drop" 1 (Network.stats net).Network.dropped_link;
+  Alcotest.check_raises "restore needs an edge"
+    (Invalid_argument "Network.restore_link: no such edge") (fun () ->
+      Network.restore_link net 0 2)
+
+let test_heal_restores_everything () =
+  let _, net = make_net () in
+  Network.fail_link net 0 1;
+  Network.fail_link net 2 3;
+  Network.heal net;
+  check_bool "0-1 up" false (Network.link_failed net 0 1);
+  check_bool "2-3 up" false (Network.link_failed net 2 3)
+
+let test_set_loss_rate_mid_run () =
+  let sim, net = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net (fun ~dst:_ ~src:_ () -> incr received);
+  check_bool "initial rate" true (Network.loss_rate net = 0.0);
+  Network.set_loss_rate net 0.999999;
+  for _ = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Network.set_loss_rate net 0.0;
+  for _ = 1 to 10 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run sim;
+  (* at 0.999999 essentially everything drops; at 0 nothing does *)
+  check_bool "lossy phase dropped" true ((Network.stats net).Network.dropped_random >= 45);
+  check_bool "clean phase delivered" true (!received >= 10);
+  Alcotest.check_raises "rate must be < 1"
+    (Invalid_argument "Network.set_loss_rate: loss_rate outside [0,1)") (fun () ->
+      Network.set_loss_rate net 1.0)
+
 let suite =
   [
     Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+    Alcotest.test_case "recover delivers in-flight" `Quick test_recover_delivers_in_flight;
+    Alcotest.test_case "recover misses crash window" `Quick test_recover_misses_crash_window;
+    Alcotest.test_case "recover validates, idempotent" `Quick test_recover_validates_and_is_idempotent;
+    Alcotest.test_case "restore_link" `Quick test_restore_link;
+    Alcotest.test_case "heal restores everything" `Quick test_heal_restores_everything;
+    Alcotest.test_case "set_loss_rate mid-run" `Quick test_set_loss_rate_mid_run;
     Alcotest.test_case "latency applied" `Quick test_latency_applied;
     Alcotest.test_case "send requires edge" `Quick test_send_requires_edge;
     Alcotest.test_case "crashed source rejected" `Quick test_crashed_source_rejected;

@@ -126,6 +126,39 @@ let prop_flood_delivery_equiv =
           && e.Reliability.trials = expected.Reliability.trials)
         (pools ()))
 
+let prop_chaos_audit_equiv =
+  qcheck ~count:6 "Chaos.Audit bit-identical at 1/2/4 domains"
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      let b = Lhg_core.Build.kdiamond_exn ~n:22 ~k:3 in
+      let g = b.Lhg_core.Build.graph in
+      (* source outside the min vertex cut so adversarial plans can
+         actually separate it from somebody *)
+      let cut = Connectivity.min_vertex_cut g in
+      let source =
+        let rec pick v = if List.mem v cut then pick (v + 1) else v in
+        pick 0
+      in
+      let plans =
+        Chaos.Gen.sweep ~plans_per_level:2
+          ~rng:(Graph_core.Prng.create ~seed)
+          ~graph:g ~source ~max_faults:3 Chaos.Gen.Min_vertex_cut
+      in
+      let fingerprint (a : Chaos.Audit.t) =
+        ( a.Chaos.Audit.boundary_ok,
+          a.Chaos.Audit.matrix,
+          List.map
+            (fun (r : Chaos.Audit.plan_report) ->
+              (r.index, r.weight, r.complete, r.delivered, r.completion_time, r.messages, r.witness))
+            a.Chaos.Audit.reports )
+      in
+      let audit pool =
+        let env = Flood.Env.(default |> with_seed seed |> with_pool pool) in
+        Chaos.Audit.run ~env ~graph:g ~k:3 ~source ~plans
+      in
+      let expected = fingerprint (audit None) in
+      List.for_all (fun (_, pool) -> fingerprint (audit pool) = expected) (pools ()))
+
 let test_verify_equiv () =
   let b = Lhg_core.Build.kdiamond_exn ~n:34 ~k:4 in
   let g = b.Lhg_core.Build.graph in
@@ -153,6 +186,7 @@ let suite =
     prop_k_connectivity_equiv;
     prop_k_connectivity_equiv_structured;
     prop_flood_delivery_equiv;
+    prop_chaos_audit_equiv;
     Alcotest.test_case "verify report equal" `Quick test_verify_equiv;
     Alcotest.test_case "verify on default pool" `Quick test_default_pool_usable_in_verify;
   ]
