@@ -1,15 +1,18 @@
-(* B4 → PR 4: machine-readable benchmark, now with the chaos audit.
+(* B5 → PR 5: machine-readable benchmark, now with the reconfiguration
+   controller.
 
-   Writes BENCH_PR4.json — op name → ns/run for the established op set
-   (names kept identical so the committed BENCH_PR3.json baseline stays
+   Writes BENCH_PR5.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR4.json baseline stays
    comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths (eccentricity sweep, link-minimality sweep,
    k-vertex-connectivity decision, Monte-Carlo flood reliability), a
    chaos section timing a min-cut audit sweep sequentially and on a
-   4-domain pool (plans/sec plus its delivery matrix — the PR-4
-   headline), the six-figure-n flooding experiment, a metrics-registry
-   dump, per-op ratios against BENCH_PR3.json and the inverse
-   speedup_vs_pr3 view that CI asserts on. Pure-stdlib timing
+   4-domain pool, a controller section driving the same 200-event churn
+   trace through certificate-cached and full-verify-per-epoch modes
+   (the amortized_speedup is the PR-5 headline), the six-figure-n
+   flooding experiment, a metrics-registry dump, per-op ratios against
+   BENCH_PR4.json and the inverse speedup_vs_pr4 view that CI asserts
+   on. Pure-stdlib timing
    (monotonic-enough wall clock, budgeted repetition loop) rather than
    bechamel, so the output is stable, dependency-light and trivially
    parseable.
@@ -108,8 +111,9 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR4.json" in
-  print_endline "=== B4  JSON benchmark: sequential baseline + domain scaling + chaos audit ===";
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR5.json" in
+  print_endline
+    "=== B5  JSON benchmark: sequential baseline + domain scaling + chaos + controller ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
 
   let g1k = (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph in
@@ -124,7 +128,7 @@ let () =
   let bfs_csr_1k = bench "bfs_csr_n1026" (fun () -> Bfs.csr_distances_into ws c1k ~src:0) in
   ignore (bench "bfs_set_n16386" (fun () -> Bfs.distances g16k ~src:0));
   ignore (bench "bfs_csr_n16386" (fun () -> Bfs.csr_distances_into ws c16k ~src:0));
-  let flood_set_1k = bench "sync_flood_graph_n1026" (fun () -> Flood.Sync.flood g1k ~source:0) in
+  let flood_set_1k = bench "sync_flood_graph_n1026" (fun () -> Flood.Sync.flood_env ~env:Flood.Env.default g1k ~source:0) in
   let flood_csr_1k =
     bench "sync_flood_csr_n1026" (fun () -> Flood.Sync.flood_csr ~workspace:ws c1k ~source:0)
   in
@@ -138,11 +142,11 @@ let () =
         Flood.Sync.flood_csr ~workspace:ws ~obs:obs_live c1k ~source:0)
   in
   let flood_async_off =
-    bench "flood_async_n1026_obs_off" (fun () -> Flood.Flooding.run ~graph:g1k ~source:0 ())
+    bench "flood_async_n1026_obs_off" (fun () -> Flood.Flooding.run_env ~env:Flood.Env.default ~graph:g1k ~source:0 ())
   in
   let flood_async_on =
     bench "flood_async_n1026_obs_on" (fun () ->
-        Flood.Flooding.run ~obs:obs_live ~graph:g1k ~source:0 ())
+        Flood.Flooding.run_env ~env:(Flood.Env.make ~obs:obs_live ()) ~graph:g1k ~source:0 ())
   in
   ignore
     (bench "mem_edge_sweep_set_n1026" (fun () ->
@@ -253,6 +257,80 @@ let () =
     nplans chaos_report.Chaos.Audit.boundary_ok chaos_deterministic;
   if not chaos_deterministic then failwith "chaos audit differs across domain counts";
 
+  (* ------------------------------------------------------------------
+     Reconfiguration controller: the same 200-event churn trace at
+     batch 1 (one epoch per event — the worst case for verification),
+     once with the certificate cache and once re-running the full
+     verifier every epoch. amortized_speedup = full / cached is the
+     PR-5 headline. *)
+  print_endline "--- controller ---";
+  let ctrl_family = Overlay.Membership.Kdiamond and ctrl_k = 4 and ctrl_n0 = 24 in
+  let ctrl_events = 200 in
+  let ctrl_trace =
+    Overlay.Controller.random_trace ~seed:5 ~family:ctrl_family ~k:ctrl_k ~n0:ctrl_n0
+      ~steps:ctrl_events ()
+  in
+  let ctrl_run ?pool ~verify () =
+    match
+      Overlay.Controller.create ?pool ~verify ~family:ctrl_family ~k:ctrl_k ~n:ctrl_n0 ()
+    with
+    | Error e -> failwith (Overlay.Error.to_string e)
+    | Ok t -> (
+        match Overlay.Controller.run ~batch:1 t ctrl_trace with
+        | Error e -> failwith (Overlay.Error.to_string e)
+        | Ok epochs -> (t, epochs))
+  in
+  let _, ctrl_epochs = ctrl_run ~verify:Overlay.Controller.Cached () in
+  let ctrl_sum f = List.fold_left (fun a e -> a + f e) 0 ctrl_epochs in
+  let ctrl_cached_epochs =
+    ctrl_sum (fun e ->
+        if e.Overlay.Controller.verification.Overlay.Controller.mode = `Cached then 1 else 0)
+  in
+  let ctrl_all_verified = List.for_all Overlay.Controller.epoch_verified ctrl_epochs in
+  let ctrl_cached_ns =
+    bench ~min_reps:2 "controller_200ev_cached_verify" (fun () ->
+        ctrl_run ~verify:Overlay.Controller.Cached ())
+  in
+  let ctrl_full_ns =
+    bench ~min_reps:2 "controller_200ev_full_verify" (fun () ->
+        ctrl_run ~verify:Overlay.Controller.Full ())
+  in
+  let ctrl_speedup = ctrl_full_ns /. ctrl_cached_ns in
+  (* the lhg-reconfig/1 stream must be byte-identical at any pool size *)
+  let ctrl_doc pool =
+    let t, epochs = ctrl_run ?pool ~verify:Overlay.Controller.Cached () in
+    Overlay.Controller.run_to_json t epochs
+  in
+  let ctrl_doc_seq = ctrl_doc None in
+  let ctrl_doc_at domains =
+    let p = Pool.create ~domains in
+    Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> ctrl_doc (Some p))
+  in
+  let ctrl_deterministic = ctrl_doc_seq = ctrl_doc_at 2 && ctrl_doc_seq = ctrl_doc_at 4 in
+  (* chaos audits during epochs: a shorter trace with a min-cut sweep
+     replayed against every committed overlay *)
+  let ctrl_boundary_ok =
+    match
+      Overlay.Controller.create
+        ~chaos:(Overlay.Controller.chaos ~plans_per_level:2 ~seed:9 Chaos.Gen.Min_vertex_cut)
+        ~family:ctrl_family ~k:ctrl_k ~n:ctrl_n0 ()
+    with
+    | Error e -> failwith (Overlay.Error.to_string e)
+    | Ok t -> (
+        match
+          Overlay.Controller.run ~batch:4 t
+            (Overlay.Controller.random_trace ~seed:6 ~family:ctrl_family ~k:ctrl_k
+               ~n0:ctrl_n0 ~steps:40 ())
+        with
+        | Error e -> failwith (Overlay.Error.to_string e)
+        | Ok epochs -> epochs <> [] && List.for_all Overlay.Controller.epoch_ok epochs)
+  in
+  Printf.printf
+    "controller: %d epochs (%d cached), amortized speedup %.2fx, deterministic=%b, chaos boundary_ok=%b\n%!"
+    (List.length ctrl_epochs) ctrl_cached_epochs ctrl_speedup ctrl_deterministic
+    ctrl_boundary_ok;
+  if not ctrl_deterministic then failwith "controller output differs across pool sizes";
+
   (* the first six-figure-n flooding run: build, freeze, flood *)
   let nbig = 131_074 and k = 4 in
   Printf.printf "building kdiamond n=%d k=%d ...\n%!" nbig k;
@@ -280,16 +358,16 @@ let () =
      before/after document every perf PR diffs *)
   let metrics_dump =
     let obs = Obs.Registry.create () in
-    ignore (Flood.Flooding.run ~obs ~graph:g1k ~source:0 ());
+    ignore (Flood.Flooding.run_env ~env:(Flood.Env.make ~obs ()) ~graph:g1k ~source:0 ());
     let doc = String.trim (Obs.Export.to_json ~recent_events:8 obs) in
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR3.json" in
+  let baseline = read_baseline_ops "BENCH_PR4.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 4,\n";
+  Buffer.add_string buf "  \"pr\": 5,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -378,9 +456,46 @@ let () =
     matrix;
   Buffer.add_string buf "    ]\n";
   Buffer.add_string buf "  },\n";
-  (* two views of the same comparison against the committed PR-3
+  (* the controller section: amortized certificate-cached verification
+     vs the full-verify-per-epoch baseline on the same trace — the
+     committed file must show amortized_speedup >= 3 (CI asserts) *)
+  Buffer.add_string buf "  \"controller\": {\n";
+  Buffer.add_string buf "    \"family\": \"kdiamond\",\n";
+  Buffer.add_string buf (Printf.sprintf "    \"k\": %d,\n" ctrl_k);
+  Buffer.add_string buf (Printf.sprintf "    \"n0\": %d,\n" ctrl_n0);
+  Buffer.add_string buf (Printf.sprintf "    \"events\": %d,\n" ctrl_events);
+  Buffer.add_string buf "    \"batch\": 1,\n";
+  Buffer.add_string buf (Printf.sprintf "    \"epochs\": %d,\n" (List.length ctrl_epochs));
+  Buffer.add_string buf (Printf.sprintf "    \"cached_epochs\": %d,\n" ctrl_cached_epochs);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"fallback_epochs\": %d,\n"
+       (List.length ctrl_epochs - ctrl_cached_epochs));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"certs_reused\": %d,\n"
+       (ctrl_sum (fun e -> e.Overlay.Controller.verification.Overlay.Controller.reused)));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"certs_revalidated\": %d,\n"
+       (ctrl_sum (fun e -> e.Overlay.Controller.verification.Overlay.Controller.revalidated)));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"certs_recomputed\": %d,\n"
+       (ctrl_sum (fun e -> e.Overlay.Controller.verification.Overlay.Controller.recomputed)));
+  Buffer.add_string buf (Printf.sprintf "    \"cached_run_ns\": %.1f,\n" ctrl_cached_ns);
+  Buffer.add_string buf (Printf.sprintf "    \"full_verify_run_ns\": %.1f,\n" ctrl_full_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"events_per_sec_cached\": %.1f,\n"
+       (float_of_int ctrl_events *. 1e9 /. ctrl_cached_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"events_per_sec_full\": %.1f,\n"
+       (float_of_int ctrl_events *. 1e9 /. ctrl_full_ns));
+  Buffer.add_string buf (Printf.sprintf "    \"amortized_speedup\": %.3f,\n" ctrl_speedup);
+  Buffer.add_string buf (Printf.sprintf "    \"all_verified\": %b,\n" ctrl_all_verified);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"deterministic_across_jobs\": %b,\n" ctrl_deterministic);
+  Buffer.add_string buf (Printf.sprintf "    \"boundary_ok\": %b\n" ctrl_boundary_ok);
+  Buffer.add_string buf "  },\n";
+  (* two views of the same comparison against the committed PR-4
      baseline, where op names match: vs_baseline_* is new/old (< 1.05
-     means no regression), speedup_vs_pr3 is old/new (what CI asserts
+     means no regression), speedup_vs_pr4 is old/new (what CI asserts
      >= 1.0 on for at least one op) *)
   let comparable =
     List.filter_map
@@ -391,7 +506,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr3\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr4\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -399,7 +514,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR3\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR4\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf

@@ -53,7 +53,7 @@ let f2 () =
   Printf.printf "%8s %10s %10s %10s %10s\n" "n" "harary" "kdiamond" "expander" "hypercube";
   List.iter
     (fun n ->
-      let rounds g = (Sync.flood g ~source:0).Sync.rounds in
+      let rounds g = (Sync.flood_env ~env:Flood.Env.default g ~source:0).Sync.rounds in
       let h = rounds (Harary.make ~k:4 ~n) in
       let kd = rounds (lhg_graph ~n ~k:4) in
       let ex = rounds (Topo.Expander.random_regular (Prng.create ~seed:n) ~n ~degree:4) in
@@ -93,10 +93,10 @@ let f3 () =
   Printf.printf "%8s | %21s | %21s | %21s | %10s\n" "crashes" "LHG cover% / all-ok%"
     "Harary cover% / ok%" "gossip cover% / ok%" "LHG advrs";
   for f = 0 to 12 do
-    let a = Runner.flood_trials ~graph:lhg ~source:0 ~crash_count:f ~trials ~seed:21 () in
-    let h = Runner.flood_trials ~graph:harary ~source:0 ~crash_count:f ~trials ~seed:21 () in
+    let a = Runner.flood_trials_env ~env:(Flood.Env.make ~seed:21 ()) ~graph:lhg ~source:0 ~crash_count:f ~trials () in
+    let h = Runner.flood_trials_env ~env:(Flood.Env.make ~seed:21 ()) ~graph:harary ~source:0 ~crash_count:f ~trials () in
     let g =
-      Runner.gossip_trials ~graph:lhg ~source:0 ~fanout:k ~crash_count:f ~trials ~seed:21 ()
+      Runner.gossip_trials_env ~env:(Flood.Env.make ~seed:21 ()) ~graph:lhg ~source:0 ~fanout:k ~crash_count:f ~trials ()
     in
     (* adversarial: crash f members of the neighbourhood of victim 1 *)
     let adversarial =
@@ -104,7 +104,7 @@ let f3 () =
       let crashed =
         List.filteri (fun i _ -> i < f) (Graph.neighbors lhg victim)
       in
-      let r = Flood.Flooding.run ~crashed ~graph:lhg ~source:0 () in
+      let r = Flood.Flooding.run_env ~env:(Flood.Env.make ~crashed ()) ~graph:lhg ~source:0 () in
       if r.Flood.Flooding.covers_all_alive then "ok" else "PARTITION"
     in
     Printf.printf "%8d | %9.2f%% / %6.0f%% | %9.2f%% / %6.0f%% | %9.2f%% / %6.0f%% | %10s%s\n" f
@@ -126,8 +126,8 @@ let f4 () =
   List.iter
     (fun n ->
       let g = lhg_graph ~n ~k:4 in
-      let flood_msgs = (Sync.flood g ~source:0).Sync.messages in
-      let agg = Runner.gossip_trials ~graph:g ~source:0 ~fanout:4 ~crash_count:0 ~trials:10 ~seed:33 () in
+      let flood_msgs = (Sync.flood_env ~env:Flood.Env.default g ~source:0).Sync.messages in
+      let agg = Runner.gossip_trials_env ~env:(Flood.Env.make ~seed:33 ()) ~graph:g ~source:0 ~fanout:4 ~crash_count:0 ~trials:10 () in
       Printf.printf "%8d %12d %12d %12.0f %14.2f\n" n flood_msgs (Sync.message_bound g)
         agg.Runner.mean_messages
         (agg.Runner.mean_messages /. float_of_int flood_msgs))
@@ -138,11 +138,11 @@ let f5 () =
   header "F5  flooding latency under f < k failures (n=512, k=4, 30 trials)";
   let n = 514 and k = 4 and trials = 30 in
   let lhg = lhg_graph ~n ~k in
-  let base = (Sync.flood lhg ~source:0).Sync.rounds in
+  let base = (Sync.flood_env ~env:Flood.Env.default lhg ~source:0).Sync.rounds in
   Printf.printf "failure-free rounds: %d\n" base;
   Printf.printf "%8s %12s %14s %12s\n" "crashes" "mean hops" "mean time" "coverage";
   for f = 0 to k - 1 do
-    let a = Runner.flood_trials ~graph:lhg ~source:0 ~crash_count:f ~trials ~seed:55 () in
+    let a = Runner.flood_trials_env ~env:(Flood.Env.make ~seed:55 ()) ~graph:lhg ~source:0 ~crash_count:f ~trials () in
     Printf.printf "%8d %12.2f %14.2f %11.1f%%\n" f a.Runner.mean_max_hops a.Runner.mean_completion
       (100.0 *. a.Runner.mean_coverage)
   done
@@ -281,15 +281,14 @@ let f8 () =
     (fun loss ->
       (* flood-only baseline: fraction of (node, payload) delivered *)
       let base =
-        let r = Flood.Multi.run ~loss_rate:loss ~seed:3 ~graph:g ~publications:pubs () in
+        let r = Flood.Multi.run_env ~env:(Flood.Env.make ~loss_rate:loss ~seed:3 ()) ~graph:g ~publications:pubs () in
         let total =
           List.fold_left (fun acc s -> acc + s.Flood.Multi.delivered_count) 0 r.Flood.Multi.per_message
         in
         float_of_int total /. float_of_int (Graph.n g * 5)
       in
       let r =
-        Flood.Reliable.run ~loss_rate:loss ~seed:3 ~graph:g ~publications:pubs
-          ~anti_entropy_period:3.0 ~duration:2000.0 ()
+        Flood.Reliable.run_env ~env:(Flood.Env.make ~loss_rate:loss ~seed:3 ()) ~graph:g ~publications:pubs ~anti_entropy_period:3.0 ~duration:2000.0 ()
       in
       Printf.printf "%8.2f | %11.2f%% | %10b %12s %12d %18s\n" loss (100.0 *. base)
         r.Flood.Reliable.complete
@@ -312,8 +311,8 @@ let f9 () =
     (fun n ->
       let lhg = lhg_graph ~n ~k:4 in
       let h = Harary.make ~k:4 ~n in
-      let rl = Flood.Pif.run ~graph:lhg ~source:0 () in
-      let rh = Flood.Pif.run ~graph:h ~source:0 () in
+      let rl = Flood.Pif.run_env ~env:Flood.Env.default ~graph:lhg ~source:0 () in
+      let rh = Flood.Pif.run_env ~env:Flood.Env.default ~graph:h ~source:0 () in
       Printf.printf "%8d | %10.0f %12.0f | %10.0f %12.0f | %12d\n" n
         rl.Flood.Pif.last_delivery_at rl.Flood.Pif.completion_detected_at
         rh.Flood.Pif.last_delivery_at rh.Flood.Pif.completion_detected_at rl.Flood.Pif.messages)
@@ -400,8 +399,8 @@ let f11 () =
         List.fold_left (fun acc s -> Float.max acc s.Flood.Multi.completion) 0.0
           r.Flood.Multi.per_message
       in
-      let plain = Flood.Multi.run ~graph:g ~publications:pubs () in
-      let contended = Flood.Multi.run ~processing_delay:0.5 ~graph:g ~publications:pubs () in
+      let plain = Flood.Multi.run_env ~env:Flood.Env.default ~graph:g ~publications:pubs () in
+      let contended = Flood.Multi.run_env ~env:(Flood.Env.make ~processing_delay:0.5 ()) ~graph:g ~publications:pubs () in
       let s = Degree.stats g in
       Printf.printf "%14s %8d %10d | %12.1f %14.1f %14.1f\n" name (Graph.m g) s.Degree.max_degree
         (mean_completion plain) (mean_completion contended) (max_completion contended))
@@ -517,7 +516,7 @@ let b2 () =
   let t1 = Sys.time () in
   let g = b.Build.graph in
   Printf.printf "built: n=%d m=%d in %.3f s\n" (Graph.n g) (Graph.m g) (t1 -. t0);
-  let s = Sync.flood g ~source:0 in
+  let s = Sync.flood_env ~env:Flood.Env.default g ~source:0 in
   let t2 = Sys.time () in
   Printf.printf "sync flood: %d rounds, %d messages, covers=%b (%.3f s)\n" s.Sync.rounds
     s.Sync.messages s.Sync.covers_all_alive (t2 -. t1);

@@ -52,13 +52,13 @@ let tests =
     @ bfs_pair "n=131074" graph_131k csr_131k
     @ [
         Test.make ~name:"sync flood graph n=1026" (Staged.stage (fun () ->
-            ignore (Flood.Sync.flood (Lazy.force graph_1k) ~source:0)));
+            ignore (Flood.Sync.flood_env ~env:Flood.Env.default (Lazy.force graph_1k) ~source:0)));
         Test.make ~name:"sync flood csr n=1026" (Staged.stage (fun () ->
             ignore (Flood.Sync.flood_csr ~workspace (Lazy.force csr_1k) ~source:0)));
         Test.make ~name:"is_4_connected n=258" (Staged.stage (fun () ->
             ignore (Graph_core.Connectivity.is_k_vertex_connected (Lazy.force graph_256) ~k:4)));
         Test.make ~name:"event flood n=258" (Staged.stage (fun () ->
-            ignore (Flood.Flooding.run ~graph:(Lazy.force graph_256) ~source:0 ())));
+            ignore (Flood.Flooding.run_env ~env:Flood.Env.default ~graph:(Lazy.force graph_256) ~source:0 ())));
       ])
 
 let quota_seconds =

@@ -444,14 +444,13 @@ let metrics_run c protocol format =
       let ok =
         match protocol with
         | `Flood ->
-            ignore (Flood.Flooding.run ~seed ~obs ~graph:g ~source:0 ());
+            ignore (Flood.Flooding.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ());
             true
         | `Gossip ->
-            ignore (Flood.Gossip.run ~seed ~obs ~graph:g ~source:0 ~fanout:(max 1 (c.k - 1))
-                      ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
+            ignore (Flood.Gossip.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ~fanout:(max 1 (c.k - 1)) ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
             true
         | `Pif ->
-            ignore (Flood.Pif.run ~seed ~obs ~graph:g ~source:0 ());
+            ignore (Flood.Pif.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ());
             true
         | `Churn -> (
             let family =
@@ -471,7 +470,7 @@ let metrics_run c protocol format =
                 match Overlay.Churn.run rng ~family ~k:c.k ~n0:c.n ~steps:50 ~obs () with
                 | Ok _ -> true
                 | Error e ->
-                    prerr_endline ("error: " ^ e);
+                    prerr_endline ("error: " ^ Overlay.Error.to_string e);
                     false))
       in
       if not ok then 1
@@ -516,7 +515,7 @@ let diameter c =
           let d =
             match Graph_core.Paths.diameter g with Some d -> string_of_int d | None -> "inf"
           in
-          let rounds = (Flood.Sync.flood g ~source:0).Flood.Sync.rounds in
+          let rounds = (Flood.Sync.flood_env ~env:Flood.Env.default g ~source:0).Flood.Sync.rounds in
           Printf.printf "%12s %8d %8s %10d\n" kind (Graph_core.Graph.m g) d rounds)
     [ "harary"; "ktree"; "kdiamond"; "jd"; "expander"; "hypercube" ];
   0
@@ -600,7 +599,7 @@ let churn c steps =
       let rng = Graph_core.Prng.create ~seed:c.seed in
       match Overlay.Churn.run rng ~family ~k:c.k ~n0:c.n ~steps () with
       | Error e ->
-          prerr_endline ("error: " ^ e);
+          prerr_endline ("error: " ^ Overlay.Error.to_string e);
           1
       | Ok stats ->
           Format.printf "%a@." Overlay.Churn.pp_stats stats;
@@ -704,9 +703,165 @@ let grow_cmd =
     (Cmd.info "grow" ~doc:"Grow an overlay one peer at a time with incremental proof-step joins")
     Term.(const grow $ common_term $ verbose)
 
+(* controller *)
+
+let controller_family kind =
+  match kind with
+  | "ktree" -> Some Overlay.Membership.Ktree
+  | "kdiamond" -> Some Overlay.Membership.Kdiamond
+  | "jd" -> Some Overlay.Membership.Jd
+  | "harary" -> Some Overlay.Membership.Harary_classic
+  | _ -> None
+
+let controller c steps trace_file batch join_probability chaos_adversary plans_per_level
+    max_faults full_verify =
+  match controller_family c.kind with
+  | None ->
+      prerr_endline "error: controller supports kinds ktree, kdiamond, jd, harary";
+      1
+  | Some family -> (
+      let chaos =
+        match chaos_adversary with
+        | None -> Ok None
+        | Some name -> (
+            match Chaos.Gen.of_string name with
+            | Ok adv ->
+                Ok
+                  (Some
+                     (Overlay.Controller.chaos ~plans_per_level ?max_faults ~seed:c.seed adv))
+            | Error e -> Error e)
+      in
+      match chaos with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok chaos -> (
+          let trace =
+            match trace_file with
+            | Some path -> (
+                match In_channel.with_open_text path In_channel.input_all with
+                | text -> (
+                    match Overlay.Controller.parse_trace text with
+                    | Ok reqs -> Ok reqs
+                    | Error e -> Error (Overlay.Error.to_string e))
+                | exception Sys_error msg -> Error msg)
+            | None ->
+                Ok
+                  (Overlay.Controller.random_trace ~seed:c.seed ?join_probability ~family
+                     ~k:c.k ~n0:c.n ~steps ())
+          in
+          match trace with
+          | Error e ->
+              prerr_endline ("error: " ^ e);
+              1
+          | Ok trace ->
+              with_jobs c.jobs (fun pool ->
+                  let verify =
+                    if full_verify then Overlay.Controller.Full else Overlay.Controller.Cached
+                  in
+                  match
+                    Overlay.Controller.create ?pool ~verify ?chaos ~family ~k:c.k ~n:c.n ()
+                  with
+                  | Error e ->
+                      prerr_endline ("error: " ^ Overlay.Error.to_string e);
+                      1
+                  | Ok t -> (
+                      match Overlay.Controller.run ~batch t trace with
+                      | Error e ->
+                          prerr_endline ("error: " ^ Overlay.Error.to_string e);
+                          1
+                      | Ok epochs ->
+                          let ok = List.for_all Overlay.Controller.epoch_ok epochs in
+                          (match c.metrics with
+                          | Some `Json ->
+                              print_string (Overlay.Controller.run_to_json t epochs)
+                          | Some `Text | None ->
+                              List.iter
+                                (fun e ->
+                                  Format.printf "%a@." Overlay.Controller.pp_epoch e)
+                                epochs;
+                              let applied =
+                                List.fold_left
+                                  (fun a (e : Overlay.Controller.epoch) ->
+                                    a + e.Overlay.Controller.applied)
+                                  0 epochs
+                              in
+                              Printf.printf
+                                "controller: %d epochs, %d events applied, final n=%d, %s\n"
+                                (List.length epochs) applied (Overlay.Controller.n t)
+                                (if ok then "all epochs verified"
+                                 else "VERIFICATION OR BOUNDARY FAILURE"));
+                          if ok then 0 else 1))))
+
+let controller_cmd =
+  let steps =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "steps" ] ~docv:"N" ~doc:"Length of the generated random request trace.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Request trace file (one request per line: $(b,join), $(b,leave) or $(b,resize \
+             N); # comments) instead of a generated trace.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Requests batched into one epoch.")
+  in
+  let join_probability =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "join-probability" ] ~docv:"P"
+          ~doc:"Join probability of the generated trace (default 0.55).")
+  in
+  let chaos_adversary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"ADVERSARY"
+          ~doc:
+            "Run a chaos audit against the overlay after every epoch (min-cut, min-edge-cut, \
+             high-degree, random, dynamic).")
+  in
+  let plans_per_level =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "plans-per-level" ] ~docv:"P" ~doc:"Chaos plans per fault level and epoch.")
+  in
+  let max_faults =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-faults" ] ~docv:"F" ~doc:"Chaos fault budget per epoch (default k).")
+  in
+  let full_verify =
+    Arg.(
+      value
+      & flag
+      & info [ "full-verify" ]
+          ~doc:
+            "Run the full verifier every epoch instead of the certificate cache (the \
+             baseline the cache is benchmarked against).")
+  in
+  Cmd.v
+    (Cmd.info "controller"
+       ~doc:
+         "Run the epoch-based reconfiguration controller over a request trace, emitting \
+          lhg-reconfig/1 epoch diffs")
+    Term.(
+      const controller $ common_term $ steps $ trace_file $ batch $ join_probability
+      $ chaos_adversary $ plans_per_level $ max_faults $ full_verify)
+
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; grow_cmd; inspect_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

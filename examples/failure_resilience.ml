@@ -20,8 +20,8 @@ let () =
   Printf.printf "%8s | %12s %10s | %12s %10s\n" "crashes" "LHG cover%" "all-ok%" "tree cover%"
     "all-ok%";
   for crash_count = 0 to 2 * k do
-    let a = Flood.Runner.flood_trials ~graph:lhg ~source:0 ~crash_count ~trials ~seed:11 () in
-    let t = Flood.Runner.flood_trials ~graph:tree ~source:0 ~crash_count ~trials ~seed:11 () in
+    let a = Flood.Runner.flood_trials_env ~env:(Flood.Env.make ~seed:11 ()) ~graph:lhg ~source:0 ~crash_count ~trials () in
+    let t = Flood.Runner.flood_trials_env ~env:(Flood.Env.make ~seed:11 ()) ~graph:tree ~source:0 ~crash_count ~trials () in
     Printf.printf "%8d | %11.2f%% %9.0f%% | %11.2f%% %9.0f%%%s\n" crash_count
       (100.0 *. a.Flood.Runner.mean_coverage)
       (100.0 *. a.Flood.Runner.all_covered_fraction)
@@ -35,8 +35,7 @@ let () =
   Printf.printf "%8s | %12s %10s\n" "links" "LHG cover%" "all-ok%";
   for link_failures = 0 to 2 * k do
     let a =
-      Flood.Runner.flood_trials ~link_failures ~graph:lhg ~source:0 ~crash_count:0 ~trials
-        ~seed:13 ()
+      Flood.Runner.flood_trials_env ~env:(Flood.Env.make ~seed:13 ()) ~link_failures ~graph:lhg ~source:0 ~crash_count:0 ~trials ()
     in
     Printf.printf "%8d | %11.2f%% %9.0f%%%s\n" link_failures
       (100.0 *. a.Flood.Runner.mean_coverage)

@@ -29,7 +29,7 @@ let () =
         (* broadcast with k-1 random crashes at every epoch *)
         let rng = Graph_core.Prng.create ~seed:n in
         let crashed = Flood.Runner.random_crashes rng ~n ~count:(k - 1) ~avoid:0 in
-        let f = Flood.Flooding.run ~crashed ~seed:n ~graph:g ~source:0 () in
+        let f = Flood.Flooding.run_env ~env:(Flood.Env.make ~crashed ~seed:n ()) ~graph:g ~source:0 () in
         Printf.printf "%6d %18s %8d %8d | %8b %9b %10d\n" n
           (Incremental.op_name r.Incremental.op)
           r.Incremental.edges_added r.Incremental.edges_removed
@@ -50,8 +50,8 @@ let () =
   (* flooding latency stayed logarithmic throughout: compare ends *)
   let rounds n' =
     let b = Lhg_core.Build.kdiamond_exn ~n:n' ~k in
-    (Flood.Sync.flood b.Lhg_core.Build.graph ~source:0).Flood.Sync.rounds
+    (Flood.Sync.flood_env ~env:Flood.Env.default b.Lhg_core.Build.graph ~source:0).Flood.Sync.rounds
   in
   Printf.printf "canonical build at n=320 floods in %d rounds; the grown overlay in %d\n"
     (rounds 320)
-    (Flood.Sync.flood g ~source:0).Flood.Sync.rounds
+    (Flood.Sync.flood_env ~env:Flood.Env.default g ~source:0).Flood.Sync.rounds

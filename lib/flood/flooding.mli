@@ -38,6 +38,7 @@ val run :
   source:int ->
   unit ->
   result
+[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument entry point: builds an {!Env.t} with
     {!Env.make} and delegates to {!run_env}. Prefer {!run_env} in new
     code.

@@ -42,6 +42,7 @@ val run :
   ttl:int ->
   unit ->
   result
+[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!run_env}. *)
 
 val default_ttl : n:int -> int

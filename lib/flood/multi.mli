@@ -47,4 +47,5 @@ val run :
   publications:publication list ->
   unit ->
   result
+[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!run_env}. *)

@@ -43,4 +43,5 @@ val run :
   source:int ->
   unit ->
   result
+[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!run_env}. *)

@@ -97,7 +97,8 @@ let gossip_delivery ?(obs = Obs.Registry.nil) ~graph ~source ~fanout ~node_failu
     draw_failures rng ~n ~source ~p:node_failure_prob alive;
     let crashed = ref [] in
     Array.iteri (fun v live -> if not live then crashed := v :: !crashed) alive;
-    let r = Gossip.run ~crashed:!crashed ~seed:(seed + (7919 * t)) ~graph ~source ~fanout ~ttl () in
+    let env = Env.default |> Env.with_crashed !crashed |> Env.with_seed (seed + (7919 * t)) in
+    let r = Gossip.run_env ~env ~graph ~source ~fanout ~ttl () in
     if r.Gossip.coverage_of_alive >= 1.0 then incr successes
   done;
   let e = estimate_of ~successes:!successes ~trials in

@@ -60,4 +60,5 @@ val run :
   duration:float ->
   unit ->
   result
+[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!run_env}. *)

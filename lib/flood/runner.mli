@@ -64,6 +64,7 @@ val flood_trials :
   seed:int ->
   unit ->
   aggregate
+[@@alert legacy "Use flood_trials_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!flood_trials_env}. *)
 
 val gossip_trials_env :
@@ -91,4 +92,5 @@ val gossip_trials :
   seed:int ->
   unit ->
   aggregate
+[@@alert legacy "Use gossip_trials_env: Flood.Env is the sole run configuration"]
 (** Legacy optional-argument wrapper over {!gossip_trials_env}. *)

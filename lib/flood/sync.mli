@@ -15,7 +15,8 @@ type t = {
 }
 
 val flood : ?alive:bool array -> ?obs:Obs.Registry.t -> Graph_core.Graph.t -> source:int -> t
-(** Flood from [source] over the alive part of the graph. Messages sent
+[@@alert legacy "Use flood_env: Flood.Env is the sole run configuration"]
+(** Legacy optional-argument wrapper over {!flood_env}. Flood from [source] over the alive part of the graph. Messages sent
     to crashed neighbours are counted as sent (the sender cannot know),
     matching {!Flooding.run}'s accounting. Snapshots the graph to CSR
     once and delegates to {!flood_csr}. *)

@@ -82,6 +82,39 @@ let vertex_disjoint_paths ?limit g ~s ~t =
   let paths = List.map unsplit split_paths in
   if direct then [ s; t ] :: paths else paths
 
+let fan_paths ?limit g ~sources ~t =
+  let n = Graph.n g in
+  if t < 0 || t >= n then invalid_arg "Menger.fan_paths: t out of range";
+  if List.exists (fun s -> s < 0 || s >= n) sources then
+    invalid_arg "Menger.fan_paths: source out of range";
+  if List.mem t sources then invalid_arg "Menger.fan_paths: t among sources";
+  if List.length (List.sort_uniq compare sources) <> List.length sources then
+    invalid_arg "Menger.fan_paths: duplicate source";
+  (* Vertex-split unit network plus one super-source. Arcs super → s_in
+     consume each source's own split arc, so every source lies on at most
+     one path and never appears as an internal vertex of another; the
+     sink is t_in, so paths may share only t. *)
+  let v_in v = 2 * v and v_out v = (2 * v) + 1 in
+  let super = 2 * n in
+  let net = Maxflow.Net.create ~n:((2 * n) + 1) in
+  for v = 0 to n - 1 do
+    Maxflow.Net.add_arc net ~src:(v_in v) ~dst:(v_out v) ~cap:1
+  done;
+  Graph.iter_edges g (fun u v ->
+      Maxflow.Net.add_arc net ~src:(v_out u) ~dst:(v_in v) ~cap:1;
+      Maxflow.Net.add_arc net ~src:(v_out v) ~dst:(v_in u) ~cap:1);
+  List.iter (fun s -> Maxflow.Net.add_arc net ~src:super ~dst:(v_in s) ~cap:1) sources;
+  let flow = Maxflow.max_flow ?limit net ~s:super ~t:(v_in t) in
+  let succ = build_succ ((2 * n) + 1) net in
+  let split_paths = peel_paths succ ~s:super ~t:(v_in t) ~count:flow in
+  (* Original vertices are the in-nodes (even ids) halved; drop super. *)
+  List.map
+    (fun p ->
+      List.filter_map
+        (fun node -> if node <> super && node mod 2 = 0 then Some (node / 2) else None)
+        p)
+    split_paths
+
 let check_edge_disjoint paths =
   let seen = Hashtbl.create 64 in
   let ok = ref true in

@@ -13,6 +13,15 @@ val vertex_disjoint_paths : ?limit:int -> Graph.t -> s:int -> t:int -> int list 
     When s and t are adjacent, the direct edge [\[s; t\]] is one of the
     returned paths. *)
 
+val fan_paths : ?limit:int -> Graph.t -> sources:int list -> t:int -> int list list
+(** A maximum (or capped) family of paths, each from a *distinct* member
+    of [sources] to [t], pairwise vertex-disjoint except at [t] (a
+    "fan" rooted at [t]). Each path reads [s_i; ...; t]. At most
+    [List.length sources] paths exist; the certificate cache caps with
+    [~limit:k] for its k-fan probes.
+    @raise Invalid_argument on duplicate sources, out-of-range vertices,
+    or [t] listed among the sources. *)
+
 val check_edge_disjoint : int list list -> bool
 (** [true] iff no undirected edge appears in two paths. Test helper. *)
 

@@ -48,6 +48,10 @@ let is_lhg ?check_minimality ?pool g ~k =
   && (match r.link_minimal with Some b -> b | None -> true)
   && r.diameter_ok
 
+let quick ?pool g ~k =
+  let r = verify ~check_minimality:false ?pool g ~k in
+  r.node_connected && r.link_connected && r.diameter_ok
+
 let pp_report fmt r =
   let pp_bool_opt fmt = function
     | Some b -> Format.pp_print_bool fmt b

@@ -39,6 +39,12 @@ val verify :
 val is_lhg : ?check_minimality:bool -> ?pool:Par.Pool.t -> Graph_core.Graph.t -> k:int -> bool
 (** P1 ∧ P2 ∧ P3 ∧ P4. *)
 
+val quick : ?pool:Par.Pool.t -> Graph_core.Graph.t -> k:int -> bool
+(** P1 ∧ P2 ∧ P4, skipping the (quadratic) minimality sweep — the
+    membership fast path used as the reconfiguration controller's
+    full-verification fallback: is this still a k-connected,
+    logarithmic-diameter overlay? *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val check_realization : Build.t -> bool

@@ -24,6 +24,8 @@ type span_kind =
   | Loss_rate
   | Churn_join
   | Churn_leave
+  | Epoch_start
+  | Epoch_end
 
 let span_kind_index = function
   | Round_start -> 0
@@ -36,6 +38,8 @@ let span_kind_index = function
   | Loss_rate -> 7
   | Churn_join -> 8
   | Churn_leave -> 9
+  | Epoch_start -> 10
+  | Epoch_end -> 11
 
 let all_span_kinds =
   [
@@ -49,6 +53,8 @@ let all_span_kinds =
     Loss_rate;
     Churn_join;
     Churn_leave;
+    Epoch_start;
+    Epoch_end;
   ]
 
 let span_kind_count = List.length all_span_kinds
@@ -64,6 +70,8 @@ let span_kind_name = function
   | Loss_rate -> "loss-rate"
   | Churn_join -> "churn-join"
   | Churn_leave -> "churn-leave"
+  | Epoch_start -> "epoch-start"
+  | Epoch_end -> "epoch-end"
 
 type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
 

@@ -140,6 +140,8 @@ type span_kind =
   | Loss_rate  (** the network loss rate changed; [info] is the new rate in ppm *)
   | Churn_join
   | Churn_leave
+  | Epoch_start  (** a reconfiguration epoch opened; [info] is the epoch index *)
+  | Epoch_end  (** the epoch committed; [info] is the chosen diff cost *)
 
 val span_kind_name : span_kind -> string
 

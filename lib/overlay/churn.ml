@@ -11,9 +11,12 @@ type stats = {
 }
 
 let run rng ~family ~k ~n0 ~steps ?(join_probability = 0.55) ?(obs = Obs.Registry.nil) () =
-  if steps < 0 then invalid_arg "Churn.run: negative steps";
-  if join_probability < 0.0 || join_probability > 1.0 then
-    invalid_arg "Churn.run: join_probability outside [0,1]";
+  (* written as a double negation so NaN (which fails every comparison)
+     is rejected too *)
+  if not (join_probability >= 0.0 && join_probability <= 1.0) then
+    Error (Error.Invalid_probability join_probability)
+  else if steps < 0 then Error (Error.Invalid_steps steps)
+  else
   match Membership.create ~family ~k ~n:n0 with
   | Error e -> Error e
   | Ok overlay ->

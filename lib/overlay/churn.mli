@@ -26,10 +26,12 @@ val run :
   ?join_probability:float ->
   ?obs:Obs.Registry.t ->
   unit ->
-  (stats, string) result
+  (stats, Error.t) result
 (** Simulate [steps] membership events starting from n0 (default join
-    probability 0.55, so overlays slowly grow). Fails only if the
-    initial overlay cannot be built.
+    probability 0.55, so overlays slowly grow). Fails when the initial
+    overlay cannot be built, when [steps] is negative
+    ({!Error.Invalid_steps}) or when [join_probability] is outside
+    [0,1] — including NaN ({!Error.Invalid_probability}).
 
     With [?obs], publishes the [churn.ops]/[churn.skipped] counters, a
     [churn.cost] rewiring-cost histogram, the [churn.final_n] gauge, and

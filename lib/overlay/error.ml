@@ -1,0 +1,22 @@
+type t =
+  | No_topology of { family : string; n : int; k : int; reason : string }
+  | Below_floor of { family : string; target : int; floor : int }
+  | At_base_size of { k : int }
+  | Invalid_probability of float
+  | Invalid_steps of int
+  | Invalid_trace of { line : int; reason : string }
+
+let pp fmt = function
+  | No_topology { family; n; k; reason } ->
+      Format.fprintf fmt "%s has no topology at (n=%d, k=%d): %s" family n k reason
+  | Below_floor { family; target; floor } ->
+      Format.fprintf fmt "%s cannot shrink to n=%d (floor is %d)" family target floor
+  | At_base_size { k } ->
+      Format.fprintf fmt "already at the base size 2k = %d" (2 * k)
+  | Invalid_probability p ->
+      Format.fprintf fmt "join_probability %g outside [0,1]" p
+  | Invalid_steps s -> Format.fprintf fmt "steps must be >= 0, got %d" s
+  | Invalid_trace { line; reason } ->
+      Format.fprintf fmt "trace line %d: %s" line reason
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,24 @@
+(** The one error type of the overlay layer.
+
+    Every fallible overlay operation — building a topology, resizing it,
+    running a churn walk, feeding the reconfiguration controller — fails
+    with a value of this type, so callers match on structure instead of
+    parsing strings, and the CLI prints every failure uniformly. *)
+
+type t =
+  | No_topology of { family : string; n : int; k : int; reason : string }
+      (** The family has no graph at (n,k): JD gaps, n < 2k, k < 2 —
+          [reason] carries the construction's own diagnosis. *)
+  | Below_floor of { family : string; target : int; floor : int }
+      (** A shrink request would take the overlay below its minimum
+          size (2k for the constructive families). *)
+  | At_base_size of { k : int }
+      (** {!Incremental.leave} on an engine already at its 2k base. *)
+  | Invalid_probability of float  (** [join_probability] outside [0,1] (or NaN). *)
+  | Invalid_steps of int  (** negative step count. *)
+  | Invalid_trace of { line : int; reason : string }
+      (** A controller request trace that does not parse. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -220,7 +220,7 @@ let drop_tail_parent t target =
 
 let rec leave_inner t =
   match t.history with
-  | [] -> Error "already at the base size 2k"
+  | [] -> Error (Error.At_base_size { k = t.k })
   | R_cursor { prev } :: rest ->
       (* put the active parent back at the head of the frontier *)
       t.frontier <- t.active :: t.frontier;

@@ -50,13 +50,14 @@ val k : t -> int
 val join : t -> join_report
 (** Admit one peer. *)
 
-val leave : t -> (join_report, string) result
+val leave : t -> (join_report, Error.t) result
 (** Remove the most recently admitted peer by undoing its join in place
     (same O(k²) edge budget; the report mirrors the undone operation
     with added/removed counts swapped). Stack discipline: an arbitrary
     departure is handled at the application layer by letting the newest
     peer adopt the departing peer's role, so the overlay only ever
-    retires the newest id. Fails at the base size 2k. *)
+    retires the newest id. Fails with {!Error.At_base_size} at the base
+    size 2k. *)
 
 val joins : t -> count:int -> join_report list
 (** [count] consecutive joins, reports in order. *)

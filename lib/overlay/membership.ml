@@ -18,17 +18,17 @@ type t = {
 }
 
 let build_for ~family ~k ~n =
+  let fail reason = Error (Error.No_topology { family = family_name family; n; k; reason }) in
   let of_result = function
     | Ok (b : Build.t) -> Ok (b.Build.graph, Some b)
-    | Error e -> Error (Build.error_to_string e)
+    | Error e -> fail (Build.error_to_string e)
   in
   match family with
   | Ktree -> of_result (Build.ktree ~n ~k)
   | Kdiamond -> of_result (Build.kdiamond ~n ~k)
   | Jd -> of_result (Build.jd ~n ~k ())
-  | Harary_classic -> (
-      if k >= 2 && k < n then Ok (Harary.make ~k ~n, None)
-      else Error (Printf.sprintf "harary: needs 2 <= k < n, got (n=%d, k=%d)" n k))
+  | Harary_classic ->
+      if k >= 2 && k < n then Ok (Harary.make ~k ~n, None) else fail "needs 2 <= k < n"
 
 let create ~family ~k ~n =
   match build_for ~family ~k ~n with

@@ -13,7 +13,7 @@ val family_name : family -> string
 
 type t
 
-val create : family:family -> k:int -> n:int -> (t, string) result
+val create : family:family -> k:int -> n:int -> (t, Error.t) result
 (** Initial overlay; fails when the family has no topology for (n,k)
     (e.g. JD gaps, or n < 2k). *)
 
@@ -29,13 +29,13 @@ val witness : t -> Lhg_core.Build.t option
 (** The LHG witness for the three constructive families; [None] for
     classic Harary. *)
 
-val join : t -> (Diff.t, string) result
+val join : t -> (Diff.t, Error.t) result
 (** Grow to n+1, returning the rewiring diff. On failure (a JD gap) the
     overlay is left unchanged. *)
 
-val leave : t -> (Diff.t, string) result
+val leave : t -> (Diff.t, Error.t) result
 (** Shrink to n−1 (the departing peer is the highest-numbered one, as in
     the canonical labelling). Fails at the family's minimum size. *)
 
-val resize : t -> target:int -> (Diff.t, string) result
+val resize : t -> target:int -> (Diff.t, Error.t) result
 (** Jump directly to [target] vertices, one rebuild, one diff. *)

@@ -109,3 +109,46 @@ Bad inputs fail with a diagnosis:
   $ lhg_tool chaos -t kdiamond --n 22 --k 3 --plan bad.plan
   error: Audit.run: plan 0: crash: vertex 99 out of range [0,22)
   [1]
+
+The reconfiguration controller: batch a churn trace into epochs, pick
+repair or rebuild per epoch by diff cost, and re-verify each commit via
+the certificate cache.
+
+  $ lhg_tool controller -t kdiamond --n 24 --k 4 --steps 12 --batch 6
+  epoch 0: n 24 -> 22 via repair (cost 30; repair 30 vs rebuild 74), 6 applied, 0 rejected, verified (cached)
+  epoch 1: n 22 -> 22 via repair (cost 0; repair 0 vs rebuild 84), 6 applied, 0 rejected, verified (cached)
+  controller: 2 epochs, 12 events applied, final n=22, all epochs verified
+
+A trace file drives explicit requests, and --chaos audits every epoch's
+overlay against an adversarial fault sweep:
+
+  $ printf 'join\njoin\nleave\nresize 20\n' > reconfig.trace
+  $ lhg_tool controller -t kdiamond --n 16 --k 3 --trace reconfig.trace --batch 2 --chaos min-cut
+  epoch 0: n 16 -> 18 via repair (cost 9; repair 9 vs rebuild 37), 2 applied, 0 rejected, verified (cached), chaos boundary ok
+  epoch 1: n 18 -> 20 via repair (cost 7; repair 7 vs rebuild 47), 2 applied, 0 rejected, verified (cached), chaos boundary ok
+  controller: 2 epochs, 4 events applied, final n=20, all epochs verified
+
+JSON output is one lhg-reconfig/1 document, byte-identical at any
+--jobs count:
+
+  $ lhg_tool controller --metrics json -t kdiamond --n 24 --k 4 --steps 20 > reconfig.json
+  $ lhg_tool controller --metrics json --jobs 4 -t kdiamond --n 24 --k 4 --steps 20 > reconfig4.json
+  $ cmp reconfig.json reconfig4.json && grep -c '"schema": "lhg-reconfig/1"' reconfig.json
+  4
+  $ grep -o '"strategy": "[a-z]*"' reconfig.json | sort -u
+  "strategy": "repair"
+  $ grep -o '"all_verified": [a-z]*' reconfig.json
+  "all_verified": true
+
+Bad controller inputs fail with a diagnosis:
+
+  $ lhg_tool controller -t hypercube --n 16 --k 4
+  error: controller supports kinds ktree, kdiamond, jd, harary
+  [1]
+  $ printf 'join\nfrobnicate\n' > bad.trace
+  $ lhg_tool controller -t kdiamond --n 16 --k 3 --trace bad.trace
+  error: trace line 2: unknown request "frobnicate"
+  [1]
+  $ lhg_tool controller -t kdiamond --n 16 --k 3 --chaos gremlins
+  error: unknown adversary "gremlins" (expected min-cut, min-edge-cut, high-degree, random, dynamic)
+  [1]

@@ -65,7 +65,7 @@ let test_overlay_printers () =
   | Ok s ->
       let str = Format.asprintf "%a" Overlay.Churn.pp_stats s in
       check_bool "churn renders" true (String.length str > 10)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
 
 let test_build_pp_error_variants () =
   List.iter
@@ -92,8 +92,7 @@ let test_harary_even_diameter_exact () =
 let test_gossip_latency_model_used () =
   let g = Generators.complete 8 in
   let r =
-    Flood.Gossip.run ~latency:(Netsim.Network.constant_latency 3.0) ~seed:1 ~graph:g ~source:0
-      ~fanout:7 ~ttl:4 ()
+    Flood.Gossip.run_env ~env:(Flood.Env.make ~latency:(Netsim.Network.constant_latency 3.0) ~seed:1 ()) ~graph:g ~source:0 ~fanout:7 ~ttl:4 ()
   in
   Alcotest.(check (float 1e-9)) "one 3.0 hop suffices" 3.0 r.Flood.Gossip.completion_time
 

@@ -1,6 +1,9 @@
 (* Flood.Env: the unified run environment. The builders must be plain
    field updates, and every legacy optional-argument [run] must be an
-   exact wrapper over its [run_env] — same arguments, same answer. *)
+   exact wrapper over its [run_env] — same arguments, same answer.
+   This is the one file allowed to call the [@@alert legacy] wrappers:
+   pinning the equivalence is its whole point. *)
+[@@@alert "-legacy"]
 
 open Helpers
 module Graph = Graph_core.Graph

@@ -109,13 +109,13 @@ let test_cheaper_than_rebuild_on_average () =
     float_of_int (List.fold_left ( + ) 0 inc_costs) /. float_of_int (List.length inc_costs)
   in
   match Overlay.Membership.create ~family:Overlay.Membership.Kdiamond ~k ~n:(Incremental.n t) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o ->
       let rebuild_costs =
         List.init 30 (fun _ ->
             match Overlay.Membership.join o with
             | Ok d -> Overlay.Diff.cost d
-            | Error e -> Alcotest.fail e)
+            | Error e -> Alcotest.fail (Overlay.Error.to_string e))
       in
       let rebuild_mean =
         float_of_int (List.fold_left ( + ) 0 rebuild_costs) /. 30.0
@@ -149,7 +149,7 @@ let test_leave_inverts_join () =
   List.iter
     (fun expected ->
       match Incremental.leave t with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Overlay.Error.to_string e)
       | Ok _ ->
           check_bool "graph restored exactly" true (Graph.equal expected (Incremental.graph t)))
     !snapshots;
@@ -164,7 +164,7 @@ let test_leave_after_deep_growth () =
   let mark = Graph.copy (Incremental.graph t) in
   let _ = Incremental.joins t ~count:57 in
   for _ = 1 to 57 do
-    match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail e
+    match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   done;
   check_bool "deep unwind exact" true (Graph.equal mark (Incremental.graph t));
   (* and the overlay is still fully functional going forward *)
@@ -178,7 +178,7 @@ let test_mixed_churn_stays_lhg () =
   for _ = 1 to 120 do
     let joining = Incremental.n t <= 7 || Graph_core.Prng.bool rngv in
     if joining then ignore (Incremental.join t)
-    else match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail e
+    else match Incremental.leave t with Ok _ -> () | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   done;
   check_bool "churned overlay is an LHG" true
     (Verify.is_lhg (Incremental.graph t) ~k:3)

@@ -23,16 +23,14 @@ let test_grown_overlay_full_stack () =
   let g = Overlay.Incremental.graph overlay in
   check_int "n" 50 (Graph.n g);
   (* flooding with k-1 crashes *)
-  let f = Flood.Flooding.run ~crashed:[ 9; 21 ] ~graph:g ~source:0 () in
+  let f = Flood.Flooding.run_env ~env:(Flood.Env.make ~crashed:[ 9; 21 ] ()) ~graph:g ~source:0 () in
   check_bool "flood covers" true f.Flood.Flooding.covers_all_alive;
   (* PIF completes and detects *)
-  let p = Flood.Pif.run ~graph:g ~source:0 () in
+  let p = Flood.Pif.run_env ~env:Flood.Env.default ~graph:g ~source:0 () in
   check_bool "pif completes" true p.Flood.Pif.completed;
   (* reliable broadcast under heavy loss *)
   let r =
-    Flood.Reliable.run ~loss_rate:0.3 ~seed:4 ~graph:g
-      ~publications:[ { Flood.Multi.origin = 0; inject_time = 0.0; payload_id = 1 } ]
-      ~anti_entropy_period:2.0 ~duration:3000.0 ()
+    Flood.Reliable.run_env ~env:(Flood.Env.make ~loss_rate:0.3 ~seed:4 ()) ~graph:g ~publications:[ { Flood.Multi.origin = 0; inject_time = 0.0; payload_id = 1 } ] ~anti_entropy_period:2.0 ~duration:3000.0 ()
   in
   check_bool "reliable completes" true r.Flood.Reliable.complete
 
@@ -40,17 +38,17 @@ let test_membership_and_flooding_agree () =
   (* canonical rebuild overlay: after arbitrary resizes the graph still
      floods everyone under k-1 link failures *)
   match Overlay.Membership.create ~family:Overlay.Membership.Ktree ~k:4 ~n:20 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o ->
       List.iter
         (fun target ->
           (match Overlay.Membership.resize o ~target with
           | Ok _ -> ()
-          | Error e -> Alcotest.fail e);
+          | Error e -> Alcotest.fail (Overlay.Error.to_string e));
           let g = Overlay.Membership.graph o in
           let rng = rng ~salt:target () in
           let failed_links = Flood.Runner.random_link_failures rng g ~count:3 in
-          let f = Flood.Flooding.run ~failed_links ~graph:g ~source:0 () in
+          let f = Flood.Flooding.run_env ~env:(Flood.Env.make ~failed_links ()) ~graph:g ~source:0 () in
           check_bool (Printf.sprintf "covers at n=%d" target) true
             f.Flood.Flooding.covers_all_alive)
         [ 33; 97; 64; 21 ]
@@ -64,7 +62,7 @@ let test_cut_witness_is_the_adversary_plan () =
   check_int "cut size = k" 3 (List.length cut);
   if List.mem 0 cut then ()
   else begin
-    let f = Flood.Flooding.run ~crashed:cut ~graph:g ~source:0 () in
+    let f = Flood.Flooding.run_env ~env:(Flood.Env.make ~crashed:cut ()) ~graph:g ~source:0 () in
     check_bool "partition realised" false f.Flood.Flooding.covers_all_alive
   end
 

@@ -135,7 +135,7 @@ let check_balanced s =
 let test_export_json_structure () =
   let r = R.create () in
   let g = (Lhg_core.Build.kdiamond_exn ~n:22 ~k:3).Lhg_core.Build.graph in
-  ignore (Flood.Flooding.run ~obs:r ~graph:g ~source:0 ());
+  ignore (Flood.Flooding.run_env ~env:(Flood.Env.make ~obs:r ()) ~graph:g ~source:0 ());
   let doc = Obs.Export.to_json ~recent_events:4 r in
   check_balanced doc;
   let has needle =
@@ -156,7 +156,12 @@ let test_export_json_structure () =
 
 let test_runner_percentiles () =
   let g = (Lhg_core.Build.kdiamond_exn ~n:30 ~k:3).Lhg_core.Build.graph in
-  let a = Flood.Runner.flood_trials ~graph:g ~source:0 ~crash_count:0 ~trials:9 ~seed:3 () in
+  (* the env path collects hop_counts only into an enabled registry *)
+  let a =
+    Flood.Runner.flood_trials_env
+      ~env:(Flood.Env.make ~seed:3 ~obs:(Obs.Registry.create ()) ())
+      ~graph:g ~source:0 ~crash_count:0 ~trials:9 ()
+  in
   (* failure-free deterministic flooding: every trial identical *)
   Alcotest.(check (float 1e-9)) "p50 = mean" a.Flood.Runner.mean_completion
     a.Flood.Runner.p50_completion;
@@ -168,8 +173,7 @@ let test_runner_percentiles () =
     (Array.fold_left ( + ) 0 a.Flood.Runner.hop_counts);
   (* a disabled caller-supplied registry suppresses hop collection *)
   let a' =
-    Flood.Runner.flood_trials ~obs:Obs.Registry.nil ~graph:g ~source:0 ~crash_count:0 ~trials:3
-      ~seed:3 ()
+    Flood.Runner.flood_trials_env ~env:(Flood.Env.make ~obs:Obs.Registry.nil ~seed:3 ()) ~graph:g ~source:0 ~crash_count:0 ~trials:3 ()
   in
   Alcotest.(check int) "disabled -> no hop histogram" 0 (Array.length a'.Flood.Runner.hop_counts)
 

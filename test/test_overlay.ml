@@ -33,10 +33,10 @@ let test_membership_create () =
       check_int "n" 10 (Membership.n o);
       check_int "k" 3 (Membership.k o);
       check_bool "witness present" true (Membership.witness o <> None)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e));
   match Membership.create ~family:Membership.Harary_classic ~k:3 ~n:10 with
   | Ok o -> check_bool "no witness for harary" true (Membership.witness o = None)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
 
 let test_membership_create_too_small () =
   match Membership.create ~family:Membership.Ktree ~k:4 ~n:7 with
@@ -45,12 +45,12 @@ let test_membership_create_too_small () =
 
 let test_join_grows_and_stays_lhg () =
   match Membership.create ~family:Membership.Kdiamond ~k:3 ~n:8 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o ->
       for expected = 9 to 20 do
         (match Membership.join o with
         | Ok d -> check_bool "positive cost" true (Diff.cost d > 0)
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Overlay.Error.to_string e));
         check_int "size" expected (Membership.n o);
         check_bool "still k-connected" true
           (Graph_core.Connectivity.is_k_vertex_connected (Membership.graph o) ~k:3)
@@ -58,14 +58,14 @@ let test_join_grows_and_stays_lhg () =
 
 let test_leave_shrinks () =
   match Membership.create ~family:Membership.Ktree ~k:3 ~n:12 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o ->
       (match Membership.leave o with
       | Ok _ -> check_int "n" 11 (Membership.n o)
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Overlay.Error.to_string e));
       (* shrink to the floor *)
       for _ = 1 to 5 do
-        match Membership.leave o with Ok _ -> () | Error e -> Alcotest.fail e
+        match Membership.leave o with Ok _ -> () | Error e -> Alcotest.fail (Overlay.Error.to_string e)
       done;
       check_int "at floor" 6 (Membership.n o);
       match Membership.leave o with
@@ -74,7 +74,7 @@ let test_leave_shrinks () =
 
 let test_jd_join_hits_gap () =
   match Membership.create ~family:Membership.Jd ~k:3 ~n:6 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o -> (
       (* n=7 is a JD gap: join must fail and leave the overlay intact *)
       match Membership.join o with
@@ -87,20 +87,20 @@ let test_added_leaf_join_is_cheap () =
   (* (8,3) -> (9,3) under K-TREE is one added leaf: exactly k new edges,
      nothing removed *)
   match Membership.create ~family:Membership.Ktree ~k:3 ~n:8 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o -> (
       match Membership.join o with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Overlay.Error.to_string e)
       | Ok d ->
           check_int "k edges added" 3 (List.length d.Diff.added);
           check_int "none removed" 0 (List.length d.Diff.removed))
 
 let test_resize_jump () =
   match Membership.create ~family:Membership.Kdiamond ~k:4 ~n:8 with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok o -> (
       match Membership.resize o ~target:40 with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Overlay.Error.to_string e)
       | Ok d ->
           check_int "n" 40 (Membership.n o);
           check_bool "big diff" true (Diff.cost d > 30))
@@ -108,7 +108,7 @@ let test_resize_jump () =
 let test_churn_runs () =
   let rngv = rng () in
   match Churn.run rngv ~family:Membership.Kdiamond ~k:3 ~n0:12 ~steps:60 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok s ->
       check_int "all ops served" 60 (s.Churn.ops + s.Churn.skipped);
       check_int "no skips for kdiamond" 0 s.Churn.skipped;
@@ -118,13 +118,13 @@ let test_churn_runs () =
 let test_churn_jd_skips () =
   let rngv = rng ~salt:1 () in
   match Churn.run rngv ~family:Membership.Jd ~k:3 ~n0:10 ~steps:60 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok s -> check_bool "JD skips churn events" true (s.Churn.skipped > 0)
 
 let test_churn_harary () =
   let rngv = rng ~salt:2 () in
   match Churn.run rngv ~family:Membership.Harary_classic ~k:4 ~n0:20 ~steps:40 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok s ->
       check_int "harary serves everything" 0 s.Churn.skipped;
       check_bool "cost positive" true (s.Churn.mean_cost > 0.0)

@@ -35,9 +35,7 @@ let prop_pif_detection_after_last_delivery_random_latency =
       | Error _ -> false
       | Ok b ->
           let r =
-            Flood.Pif.run
-              ~latency:(Netsim.Network.uniform_latency ~lo:0.5 ~hi:2.5)
-              ~seed ~graph:b.Build.graph ~source:0 ()
+            Flood.Pif.run_env ~env:(Flood.Env.make ~latency:(Netsim.Network.uniform_latency ~lo:0.5 ~hi:2.5) ~seed ()) ~graph:b.Build.graph ~source:0 ()
           in
           r.Flood.Pif.completed
           && r.Flood.Pif.completion_detected_at >= r.Flood.Pif.last_delivery_at)
@@ -104,11 +102,9 @@ let prop_flood_messages_invariant_under_latency =
       match Build.ktree ~n ~k:4 with
       | Error _ -> true
       | Ok b ->
-          let unit_lat = Flood.Flooding.run ~graph:b.Build.graph ~source:0 () in
+          let unit_lat = Flood.Flooding.run_env ~env:Flood.Env.default ~graph:b.Build.graph ~source:0 () in
           let rand_lat =
-            Flood.Flooding.run
-              ~latency:(Netsim.Network.uniform_latency ~lo:0.1 ~hi:5.0)
-              ~seed ~graph:b.Build.graph ~source:0 ()
+            Flood.Flooding.run_env ~env:(Flood.Env.make ~latency:(Netsim.Network.uniform_latency ~lo:0.1 ~hi:5.0) ~seed ()) ~graph:b.Build.graph ~source:0 ()
           in
           unit_lat.Flood.Flooding.messages_sent = rand_lat.Flood.Flooding.messages_sent)
 
