@@ -1,18 +1,16 @@
-(* B5 → PR 5: machine-readable benchmark, now with the reconfiguration
-   controller.
+(* B6 → PR 6: machine-readable benchmark, now with the calendar-queue
+   scheduler and the off-heap CSR hot core.
 
-   Writes BENCH_PR5.json — op name → ns/run for the established op set
-   (names kept identical so the committed BENCH_PR4.json baseline stays
-   comparable), plus 1/2/4/8-domain scaling curves for the four
-   parallelised read paths (eccentricity sweep, link-minimality sweep,
-   k-vertex-connectivity decision, Monte-Carlo flood reliability), a
-   chaos section timing a min-cut audit sweep sequentially and on a
-   4-domain pool, a controller section driving the same 200-event churn
-   trace through certificate-cached and full-verify-per-epoch modes
-   (the amortized_speedup is the PR-5 headline), the six-figure-n
-   flooding experiment, a metrics-registry dump, per-op ratios against
-   BENCH_PR4.json and the inverse speedup_vs_pr4 view that CI asserts
-   on. Pure-stdlib timing
+   Writes BENCH_PR6.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR5.json baseline stays
+   comparable; the headline speedup_vs_pr5 entry is
+   flood_async_n1026_obs_off, the async flood rebuilt on the pooled
+   calendar queue), plus 1/2/4/8-domain scaling curves for the four
+   parallelised read paths, a chaos section, a controller section, the
+   131k flooding ops, and the new million-node experiment: build the
+   n=2^20+2 kdiamond straight into a Bigarray CSR and async-flood it,
+   wall-clocked against a 5-second budget, with a cross-engine
+   (calendar vs heap) identity check on the outcome. Pure-stdlib timing
    (monotonic-enough wall clock, budgeted repetition loop) rather than
    bechamel, so the output is stable, dependency-light and trivially
    parseable.
@@ -111,23 +109,22 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR5.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR6.json" in
   print_endline
-    "=== B5  JSON benchmark: sequential baseline + domain scaling + chaos + controller ===";
+    "=== B6  JSON benchmark: calendar-queue floods + off-heap CSR + million-node smoke ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
 
+  (* the 16k graph is built after the n=1026 op group below: the hot
+     n=1026 loops should not pay GC tax for a multi-megabyte heap they
+     never touch *)
   let g1k = (Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4).Lhg_core.Build.graph in
-  let g16k = (Lhg_core.Build.kdiamond_exn ~n:16386 ~k:4).Lhg_core.Build.graph in
   let c1k = Csr.of_graph g1k in
-  let c16k = Csr.of_graph g16k in
   let ws = Bfs.Workspace.create () in
 
   ignore (bench "build_kdiamond_n1026" (fun () -> Lhg_core.Build.kdiamond_exn ~n:1026 ~k:4));
   ignore (bench "csr_of_graph_n1026" (fun () -> Csr.of_graph g1k));
   let bfs_set_1k = bench "bfs_set_n1026" (fun () -> Bfs.distances g1k ~src:0) in
   let bfs_csr_1k = bench "bfs_csr_n1026" (fun () -> Bfs.csr_distances_into ws c1k ~src:0) in
-  ignore (bench "bfs_set_n16386" (fun () -> Bfs.distances g16k ~src:0));
-  ignore (bench "bfs_csr_n16386" (fun () -> Bfs.csr_distances_into ws c16k ~src:0));
   let flood_set_1k = bench "sync_flood_graph_n1026" (fun () -> Flood.Sync.flood_env ~env:Flood.Env.default g1k ~source:0) in
   let flood_csr_1k =
     bench "sync_flood_csr_n1026" (fun () -> Flood.Sync.flood_csr ~workspace:ws c1k ~source:0)
@@ -141,13 +138,27 @@ let () =
     bench "sync_flood_csr_n1026_obs_on" (fun () ->
         Flood.Sync.flood_csr ~workspace:ws ~obs:obs_live c1k ~source:0)
   in
+  (* The async-flood hot path, PR-6 shape: flood the frozen CSR
+     snapshot. Since B6 the builders emit CSR directly, so the hot loop
+     never holds a Set-backed graph — the per-call conversion the PR-5
+     op paid is now its own line item (csr_of_graph_n1026 above), and
+     flood_async_graph_n1026_obs_off below keeps the legacy
+     conversion-included shape measurable. *)
   let flood_async_off =
-    bench "flood_async_n1026_obs_off" (fun () -> Flood.Flooding.run_env ~env:Flood.Env.default ~graph:g1k ~source:0 ())
+    bench "flood_async_n1026_obs_off" (fun () ->
+        Flood.Flooding.run_csr_env ~env:Flood.Env.default ~csr:c1k ~source:0 ())
   in
   let flood_async_on =
     bench "flood_async_n1026_obs_on" (fun () ->
-        Flood.Flooding.run_env ~env:(Flood.Env.make ~obs:obs_live ()) ~graph:g1k ~source:0 ())
+        Flood.Flooding.run_csr_env ~env:(Flood.Env.make ~obs:obs_live ()) ~csr:c1k ~source:0 ())
   in
+  ignore
+    (bench "flood_async_graph_n1026_obs_off" (fun () ->
+         Flood.Flooding.run_env ~env:Flood.Env.default ~graph:g1k ~source:0 ()));
+  let g16k = (Lhg_core.Build.kdiamond_exn ~n:16386 ~k:4).Lhg_core.Build.graph in
+  let c16k = Csr.of_graph g16k in
+  ignore (bench "bfs_set_n16386" (fun () -> Bfs.distances g16k ~src:0));
+  ignore (bench "bfs_csr_n16386" (fun () -> Bfs.csr_distances_into ws c16k ~src:0));
   ignore
     (bench "mem_edge_sweep_set_n1026" (fun () ->
          let acc = ref 0 in
@@ -197,6 +208,20 @@ let () =
                 ~node_failure_prob:0.02 ~trials:1024 ~seed:7 ())))
   in
   let families = [ fam_ecc; fam_min; fam_conn; fam_rel ] in
+
+  (* a 1-domain pool must cost within a few percent of the plain
+     sequential path (pool = None) — CI asserts par_d1_overhead <= 1.05
+     on the committed file. Measures the coarsened chunk handout. *)
+  let ecc_d1pool_ns =
+    let p = Pool.create ~domains:1 in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () ->
+        bench "eccentricities_csr_n1026_d1_pool" (fun () ->
+            ignore (Sys.opaque_identity (Graph_core.Paths.eccentricities_csr ~pool:p c1k))))
+  in
+  let par_d1_overhead = ecc_d1pool_ns /. List.assoc 1 (snd fam_ecc) in
+  Printf.printf "1-domain pool overhead vs sequential: %.3fx\n%!" par_d1_overhead;
 
   (* determinism spot check: the Monte-Carlo estimate must be
      bit-identical whatever the domain count (seed-split sharding) *)
@@ -349,6 +374,76 @@ let () =
     "flood n=%d: rounds=%d (limit 2*ceil(log2 n) = %d), messages=%d, covers_all=%b\n%!" nbig
     r.Flood.Sync.rounds (2 * ceil_log2) r.Flood.Sync.messages r.Flood.Sync.covers_all_alive;
 
+  (* the PR-6 additions at 131k: direct shape-to-CSR construction (no
+     Set-backed intermediate) into the Bigarray backend, and the async
+     event-driven flood over it *)
+  let cbig_direct =
+    Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nbig ~k
+  in
+  ignore
+    (bench ~min_reps:2 "build_csr_kdiamond_n131074" (fun () ->
+         Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nbig ~k));
+  ignore
+    (bench ~min_reps:2 "flood_async_n131074" (fun () ->
+         Flood.Flooding.run_csr_env ~env:Flood.Env.default ~csr:cbig_direct ~source:0 ()));
+
+  (* ------------------------------------------------------------------
+     The million-node experiment: build the n=2^20+2 kdiamond straight
+     into an off-heap CSR, async-flood it, and stay under the 5 s
+     budget. One timed shot each (this is a wall-clock smoke, not a
+     mean), then the same flood on the binary-heap engine: the outcome
+     — every delivery time, the message count, the round count — must
+     be identical, which is the at-scale version of the qcheck
+     differential. *)
+  print_endline "--- million-node flood ---";
+  let nmil = 1_048_578 in
+  let mil_budget_s = 5.0 in
+  let t0 = Unix.gettimeofday () in
+  let cmil = Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nmil ~k in
+  let mil_build_s = Unix.gettimeofday () -. t0 in
+  let mil_flood engine =
+    Flood.Flooding.run_csr_env
+      ~env:(Flood.Env.make ~engine ())
+      ~csr:cmil ~source:0 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let rmil = mil_flood Netsim.Sim.Calendar in
+  let mil_flood_s = Unix.gettimeofday () -. t0 in
+  let mil_total_s = mil_build_s +. mil_flood_s in
+  let t0 = Unix.gettimeofday () in
+  let rmil_heap = mil_flood Netsim.Sim.Heap in
+  let mil_heap_s = Unix.gettimeofday () -. t0 in
+  let mil_engines_identical =
+    rmil.Flood.Flooding.delivery_time = rmil_heap.Flood.Flooding.delivery_time
+    && rmil.Flood.Flooding.messages_sent = rmil_heap.Flood.Flooding.messages_sent
+    && rmil.Flood.Flooding.max_hops = rmil_heap.Flood.Flooding.max_hops
+  in
+  Printf.printf
+    "million: n=%d build %.3fs + flood %.3fs = %.3fs (budget %.1fs), %d msgs, %d rounds, \
+     covered=%b, heap engine %.3fs, engines identical=%b\n\
+     %!"
+    nmil mil_build_s mil_flood_s mil_total_s mil_budget_s rmil.Flood.Flooding.messages_sent
+    rmil.Flood.Flooding.max_hops rmil.Flood.Flooding.covers_all_alive mil_heap_s
+    mil_engines_identical;
+  if not mil_engines_identical then failwith "million-node flood differs across engines";
+
+  (* wire-trace identity at n=1026 under latency jitter and loss: the
+     traced (slot-plane) path through both engines, compared event for
+     event *)
+  let wire engine =
+    let trace = Netsim.Trace.create () in
+    let env =
+      Flood.Env.make
+        ~latency:(Netsim.Network.uniform_latency ~lo:0.25 ~hi:3.0)
+        ~loss_rate:0.02 ~seed:13 ~engine ~trace ()
+    in
+    let rt = Flood.Flooding.run_env ~env ~graph:g1k ~source:0 () in
+    (Netsim.Trace.events trace, rt.Flood.Flooding.messages_sent)
+  in
+  let trace_identical = wire Netsim.Sim.Calendar = wire Netsim.Sim.Heap in
+  Printf.printf "wire traces identical across engines (n=1026): %b\n%!" trace_identical;
+  if not trace_identical then failwith "wire traces differ across engines";
+
   let speedup_bfs = bfs_set_1k /. bfs_csr_1k in
   let speedup_flood = flood_set_1k /. flood_csr_1k in
   Printf.printf "bfs n=1026 csr speedup: %.2fx; sync flood: %.2fx; bfs n=131074: %.2fx\n%!"
@@ -363,11 +458,11 @@ let () =
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR4.json" in
+  let baseline = read_baseline_ops "BENCH_PR5.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 5,\n";
+  Buffer.add_string buf "  \"pr\": 6,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -417,8 +512,12 @@ let () =
     (Printf.sprintf "    \"obs_overhead_flood_async_on_vs_off\": %.3f,\n"
        (flood_async_on /. flood_async_off));
   Buffer.add_string buf
-    (Printf.sprintf "    \"reliability_deterministic_across_domains\": %b\n"
+    (Printf.sprintf "    \"reliability_deterministic_across_domains\": %b,\n"
        (rel_seq = rel_par));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"par_d1_overhead\": %.3f,\n" par_d1_overhead);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"wire_trace_identical_across_engines_n1026\": %b\n" trace_identical);
   Buffer.add_string buf "  },\n";
   (* the chaos audit section: throughput both ways, plans/sec, and the
      delivery matrix CI asserts on (all rows at <= k-1 faults complete) *)
@@ -506,7 +605,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr4\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr5\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -514,7 +613,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR4\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR5\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -540,6 +639,26 @@ let () =
   Buffer.add_string buf (Printf.sprintf "      \"messages\": %d,\n" r.Flood.Sync.messages);
   Buffer.add_string buf
     (Printf.sprintf "      \"covers_all_alive\": %b\n" r.Flood.Sync.covers_all_alive);
+  Buffer.add_string buf "    },\n    \"flood_async_million\": {\n";
+  Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nmil);
+  Buffer.add_string buf (Printf.sprintf "      \"m\": %d,\n" (Csr.m cmil));
+  Buffer.add_string buf (Printf.sprintf "      \"k\": %d,\n" k);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"big_backend\": %b,\n" (Csr.is_bigarray cmil));
+  Buffer.add_string buf (Printf.sprintf "      \"build_csr_seconds\": %.3f,\n" mil_build_s);
+  Buffer.add_string buf (Printf.sprintf "      \"flood_seconds\": %.3f,\n" mil_flood_s);
+  Buffer.add_string buf (Printf.sprintf "      \"total_seconds\": %.3f,\n" mil_total_s);
+  Buffer.add_string buf (Printf.sprintf "      \"budget_seconds\": %.1f,\n" mil_budget_s);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"within_budget\": %b,\n" (mil_total_s <= mil_budget_s));
+  Buffer.add_string buf
+    (Printf.sprintf "      \"messages\": %d,\n" rmil.Flood.Flooding.messages_sent);
+  Buffer.add_string buf (Printf.sprintf "      \"rounds\": %d,\n" rmil.Flood.Flooding.max_hops);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"covers_all_alive\": %b,\n" rmil.Flood.Flooding.covers_all_alive);
+  Buffer.add_string buf (Printf.sprintf "      \"heap_flood_seconds\": %.3f,\n" mil_heap_s);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"identical_across_engines\": %b\n" mil_engines_identical);
   Buffer.add_string buf "    }\n  }\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);

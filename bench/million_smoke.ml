@@ -1,0 +1,42 @@
+(* Million-node smoke: build a >=2^20-node kdiamond straight into
+   off-heap CSR and async-flood it, asserting a wall-clock budget.
+
+     dune exec bench/million_smoke.exe            # default n=1048578, budget 5 s
+     LHG_SMOKE_NODES=262146 LHG_SMOKE_BUDGET_S=3 dune exec bench/million_smoke.exe
+
+   Exits non-zero if the flood misses a node or the budget is blown —
+   the CI guard for the calendar-queue + CSR-builder hot core. *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let () =
+  let n = getenv_int "LHG_SMOKE_NODES" 1_048_578 in
+  let k = getenv_int "LHG_SMOKE_K" 4 in
+  let budget_s = getenv_float "LHG_SMOKE_BUDGET_S" 5.0 in
+  let t0 = Unix.gettimeofday () in
+  let csr = Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n ~k in
+  let t1 = Unix.gettimeofday () in
+  let result = Flood.Flooding.run_csr_env ~env:Flood.Env.default ~csr ~source:0 () in
+  let t2 = Unix.gettimeofday () in
+  let build_s = t1 -. t0 and flood_s = t2 -. t1 in
+  Printf.printf "million_smoke: n=%d k=%d m=%d big=%b\n" (Graph_core.Csr.n csr) k
+    (Graph_core.Csr.m csr)
+    (Graph_core.Csr.is_bigarray csr);
+  Printf.printf "  build_csr      %.3f s\n" build_s;
+  Printf.printf "  async flood    %.3f s  (%d msgs, %d rounds, covered=%b)\n" flood_s
+    result.Flood.Flooding.messages_sent result.Flood.Flooding.max_hops
+    result.Flood.Flooding.covers_all_alive;
+  Printf.printf "  total          %.3f s  (budget %.1f s)\n" (build_s +. flood_s) budget_s;
+  if not result.Flood.Flooding.covers_all_alive then begin
+    prerr_endline "million_smoke: FAIL flood did not reach every node";
+    exit 1
+  end;
+  if build_s +. flood_s > budget_s then begin
+    Printf.eprintf "million_smoke: FAIL %.3f s over the %.1f s budget\n" (build_s +. flood_s)
+      budget_s;
+    exit 1
+  end

@@ -83,8 +83,26 @@ let with_jobs jobs f =
     Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
   end
 
+(* An adjacency-set graph costs hundreds of bytes per node; above this
+   many nodes the build would thrash or OOM long before finishing, so
+   refuse up front with a typed error instead. *)
+let default_node_cap = 16_777_216
+
+let node_cap () =
+  match Sys.getenv_opt "LHG_MAX_NODES" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some cap when cap >= 1 -> cap
+      | Some _ | None -> default_node_cap)
+  | None -> default_node_cap
+
+let check_node_cap n =
+  let cap = node_cap () in
+  if n > cap then Error (Overlay.Error.to_string (Overlay.Error.Node_cap { requested = n; cap }))
+  else Ok ()
+
 let with_graph c f =
-  match build_graph ~kind:c.kind ~n:c.n ~k:c.k ~seed:c.seed with
+  match Result.bind (check_node_cap c.n) (fun () -> build_graph ~kind:c.kind ~n:c.n ~k:c.k ~seed:c.seed) with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       1
@@ -509,7 +527,9 @@ let diameter c =
   Printf.printf "%12s %8s %8s %10s\n" "topology" "edges" "diam" "flood-rounds";
   List.iter
     (fun kind ->
-      match build_graph ~kind ~n:c.n ~k:c.k ~seed:c.seed with
+      match
+        Result.bind (check_node_cap c.n) (fun () -> build_graph ~kind ~n:c.n ~k:c.k ~seed:c.seed)
+      with
       | Error msg -> Printf.printf "%12s %s\n" kind ("(" ^ msg ^ ")")
       | Ok g ->
           let d =

@@ -135,26 +135,40 @@ let run ~env ~graph ~k ~source ~plans =
   let static_crashed = Iset.of_list env.Env.crashed in
   let static_links = Lset.of_list (List.map norm_link env.Env.failed_links) in
   let nplans = Array.length plans in
-  (* per-plan seeds and registries derive sequentially up front, so the
-     sweep is bit-identical at any domain count *)
+  (* per-plan seeds derive sequentially up front, so the sweep is
+     bit-identical at any domain count *)
   let rng = Prng.create ~seed:(Env.seed_value env) in
   let seeds = Array.init nplans (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int) in
   let observed = Obs.Registry.enabled env.Env.obs in
-  let registries =
-    Array.init nplans (fun _ -> if observed then Obs.Registry.create () else Obs.Registry.nil)
-  in
   let reports = Array.make nplans None in
-  let one i =
+  let one ~obs i =
     reports.(i) <-
       Some
-        (run_one ~env ~graph ~source ~csr ~static_crashed ~static_links ~seed:seeds.(i)
-           ~obs:registries.(i) ~index:i plans.(i))
+        (run_one ~env ~graph ~source ~csr ~static_crashed ~static_links ~seed:seeds.(i) ~obs
+           ~index:i plans.(i))
   in
   (match env.Env.pool with
   | Some pool when Par.Pool.size pool > 1 && nplans > 1 ->
-      Par.Pool.parallel_for pool ~lo:0 ~hi:nplans (fun ~worker:_ i -> one i)
-  | _ -> Array.iteri (fun i _ -> one i) plans);
-  if observed then Array.iter (fun r -> Obs.Registry.merge env.Env.obs r) registries;
+      (* domains must not share a registry, so the parallel sweep pays
+         one registry per plan; merging in plan order keeps the
+         aggregate identical to the sequential path *)
+      let registries =
+        Array.init nplans (fun _ -> if observed then Obs.Registry.create () else Obs.Registry.nil)
+      in
+      Par.Pool.parallel_for pool ~lo:0 ~hi:nplans (fun ~worker:_ i -> one ~obs:registries.(i) i);
+      if observed then Array.iter (fun r -> Obs.Registry.merge env.Env.obs r) registries
+  | _ ->
+      (* sequential sweeps reuse one scratch registry: merge after each
+         plan, clear, go again — no per-plan allocation *)
+      let scratch = if observed then Obs.Registry.create () else Obs.Registry.nil in
+      Array.iteri
+        (fun i _ ->
+          one ~obs:scratch i;
+          if observed then begin
+            Obs.Registry.merge env.Env.obs scratch;
+            Obs.Registry.clear scratch
+          end)
+        plans);
   let reports = Array.to_list reports |> List.filter_map Fun.id in
   let violations =
     List.filter (fun r -> (not r.stochastic) && r.weight <= k - 1 && not r.complete) reports

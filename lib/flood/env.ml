@@ -10,6 +10,8 @@ type t = {
   obs : Obs.Registry.t;
   pool : Par.Pool.t option;
   prepare : prepare option;
+  engine : Netsim.Sim.engine option;
+  trace : Netsim.Trace.t option;
 }
 
 let default =
@@ -23,11 +25,25 @@ let default =
     obs = Obs.Registry.nil;
     pool = None;
     prepare = None;
+    engine = None;
+    trace = None;
   }
 
 let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?(crashed = [])
-    ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool ?prepare () =
-  { latency; loss_rate; processing_delay; crashed; failed_links; seed; obs; pool; prepare }
+    ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool ?prepare ?engine ?trace () =
+  {
+    latency;
+    loss_rate;
+    processing_delay;
+    crashed;
+    failed_links;
+    seed;
+    obs;
+    pool;
+    prepare;
+    engine;
+    trace;
+  }
 
 let with_latency l t = { t with latency = Some l }
 
@@ -46,6 +62,10 @@ let with_obs obs t = { t with obs }
 let with_pool pool t = { t with pool }
 
 let with_prepare p t = { t with prepare = Some p }
+
+let with_engine e t = { t with engine = Some e }
+
+let with_trace tr t = { t with trace = Some tr }
 
 (* must match Netsim.Sim.create's default seed *)
 let default_seed = 0x51

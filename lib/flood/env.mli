@@ -50,6 +50,13 @@ type t = {
       (** domain pool for entry points that fan out (trial sweeps,
           chaos audits); single runs ignore it. *)
   prepare : prepare option;  (** fault-plan / instrumentation hook. *)
+  engine : Netsim.Sim.engine option;
+      (** [None] = the simulator default ({!Netsim.Sim.Calendar}).
+          {!Netsim.Sim.Heap} selects the reference scheduler — both
+          produce identical executions; this exists for differential
+          testing and benchmarking. *)
+  trace : Netsim.Trace.t option;
+      (** wire trace to record every send and terminal outcome into. *)
 }
 
 val default : t
@@ -66,6 +73,8 @@ val make :
   ?obs:Obs.Registry.t ->
   ?pool:Par.Pool.t ->
   ?prepare:prepare ->
+  ?engine:Netsim.Sim.engine ->
+  ?trace:Netsim.Trace.t ->
   unit ->
   t
 (** {!default} with the given fields replaced — the bridge the legacy
@@ -90,6 +99,10 @@ val with_pool : Par.Pool.t option -> t -> t
     ([with_pool pool_opt]); [with_pool None] restores sequential. *)
 
 val with_prepare : prepare -> t -> t
+
+val with_engine : Netsim.Sim.engine -> t -> t
+
+val with_trace : Netsim.Trace.t -> t -> t
 
 val seed_value : t -> int
 (** The seed, defaulted to the simulator's default (0x51) — for entry

@@ -1,4 +1,5 @@
 module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
 module Sim = Netsim.Sim
 module Network = Netsim.Network
 
@@ -13,40 +14,30 @@ type result = {
   covers_all_alive : bool;
 }
 
-type payload = { hop : int }
+(* the payload is the bare hop count: together with the pooled event
+   core underneath, one flooded message costs zero allocation *)
 
-let run_env ~env ~graph ~source () =
-  let n = Graph.n graph in
-  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+let flood_core ~env ~sim ~(net : int Network.t) ~n ~source =
   if List.mem source env.Env.crashed then invalid_arg "Flood.run: source is crashed";
   let obs = env.Env.obs in
-  let sim = Sim.create ?seed:env.Env.seed ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ~obs ()
-  in
   List.iter (fun v -> Network.crash net v) env.Env.crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
   (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   let delivered = Array.make n false in
   let delivery_time = Array.make n (-1.0) in
   let hops = Array.make n (-1) in
-  let csr = Network.csr net in
-  let forward v ~except ~hop =
-    Graph_core.Csr.iter_neighbors csr v (fun w ->
-        if w <> except then Network.send net ~src:v ~dst:w { hop })
-  in
-  Network.set_receiver net (fun ~dst ~src msg ->
-      if not delivered.(dst) then begin
-        delivered.(dst) <- true;
-        delivery_time.(dst) <- Sim.now sim;
-        hops.(dst) <- msg.hop;
-        forward dst ~except:src ~hop:(msg.hop + 1)
+  (* [dst] is always in range — it came off the network's own CSR row *)
+  Network.set_int_receiver net (fun ~dst ~src hop ->
+      if not (Array.unsafe_get delivered dst) then begin
+        Array.unsafe_set delivered dst true;
+        Array.unsafe_set delivery_time dst (Sim.now sim);
+        Array.unsafe_set hops dst hop;
+        Network.send_neighbors_int net ~except:src ~src:dst (hop + 1)
       end);
   delivered.(source) <- true;
   delivery_time.(source) <- 0.0;
   hops.(source) <- 0;
-  forward source ~except:(-1) ~hop:1;
+  Network.send_neighbors_int net ~src:source ~except:(-1) 1;
   Sim.run sim;
   let completion_time = Array.fold_left max 0.0 delivery_time in
   let max_hops = Array.fold_left max 0 hops in
@@ -102,6 +93,28 @@ let run_env ~env ~graph ~source () =
     max_hops;
     covers_all_alive;
   }
+
+let run_env ~env ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  let obs = env.Env.obs in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
+  let net =
+    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
+  in
+  flood_core ~env ~sim ~net ~n ~source
+
+let run_csr_env ~env ~csr ~source () =
+  let n = Csr.n csr in
+  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  let obs = env.Env.obs in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
+  let net =
+    Network.create_csr ~sim ~csr ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
+  in
+  flood_core ~env ~sim ~net ~n ~source
 
 let run ?latency ?loss_rate ?processing_delay ?crashed ?failed_links ?seed ?obs ~graph ~source
     () =

@@ -26,6 +26,15 @@ val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> res
     [env.crashed]; a plan may still crash it mid-run.
     @raise Invalid_argument on a crashed or out-of-range source. *)
 
+val run_csr_env : env:Env.t -> csr:Graph_core.Csr.t -> source:int -> unit -> result
+(** {!run_env} straight over a frozen CSR snapshot — no mutable
+    adjacency-set graph is ever materialised, which is what lets a
+    million-node topology from {!Lhg_core.Build.build_csr} flood within
+    seconds. Identical protocol, environment handling and result; with
+    matching seeds the wire trace is byte-identical to {!run_env} on
+    the same topology.
+    @raise Invalid_argument on a crashed or out-of-range source. *)
+
 val run :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->

@@ -23,10 +23,10 @@ let run_env ~env ~graph ~source ~fanout ~ttl () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
   if List.mem source crashed then invalid_arg "Gossip.run: source is crashed";
-  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
   let net =
     Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ~obs ()
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
   in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;

@@ -29,10 +29,10 @@ let run_env ~env ~graph ~publications () =
       if List.mem p.origin crashed then invalid_arg "Multi.run: origin is crashed";
       if p.inject_time < 0.0 then invalid_arg "Multi.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
   let net =
     Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ~obs ()
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
   in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;

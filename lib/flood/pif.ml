@@ -20,10 +20,10 @@ let run_env ~env ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Pif.run: source out of range";
   if List.mem source crashed then invalid_arg "Pif.run: source is crashed";
-  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
   let net =
     Network.create ~sim ~graph ?latency:env.Env.latency
-      ~processing_delay:env.Env.processing_delay ~obs ()
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
   in
   let m_echoes = Obs.Registry.counter obs "pif.echoes" in
   List.iter (fun v -> Network.crash net v) crashed;

@@ -33,10 +33,10 @@ let run_env ~env ~graph ~publications ~anti_entropy_period ~duration () =
       if List.mem p.Multi.origin crashed then invalid_arg "Reliable.run: origin is crashed";
       if p.Multi.inject_time < 0.0 then invalid_arg "Reliable.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed:env.Env.seed ~obs () in
+  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
   let net =
     Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ~obs ()
+      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
   in
   let m_flood = Obs.Registry.counter obs "reliable.flood_messages" in
   let m_repair = Obs.Registry.counter obs "reliable.repair_messages" in

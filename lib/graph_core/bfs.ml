@@ -83,12 +83,13 @@ let csr_run ws ?alive csr ~src =
   let dist = ws.Workspace.dist and parent = ws.Workspace.parent and queue = ws.Workspace.queue in
   Array.fill dist 0 nv (-1);
   Array.fill parent 0 nv (-1);
-  let off = Csr.offsets csr and nbr = Csr.neighbor_array csr in
   let head = ref 0 and tail = ref 1 in
   dist.(src) <- 0;
   queue.(0) <- src;
-  (match alive with
-  | None ->
+  (* the loop is written out once per (storage, mask) combination so the
+     hot path reads its arrays without per-visit dispatch or closures *)
+  (match Csr.storage csr, alive with
+  | Csr.Ints { offsets = off; neighbors = nbr }, None ->
       while !head < !tail do
         let u = queue.(!head) in
         incr head;
@@ -103,13 +104,43 @@ let csr_run ws ?alive csr ~src =
           end
         done
       done
-  | Some a ->
+  | Csr.Ints { offsets = off; neighbors = nbr }, Some a ->
       while !head < !tail do
         let u = queue.(!head) in
         incr head;
         let du1 = dist.(u) + 1 in
         for i = off.(u) to off.(u + 1) - 1 do
           let v = nbr.(i) in
+          if dist.(v) < 0 && a.(v) then begin
+            dist.(v) <- du1;
+            parent.(v) <- u;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
+      done
+  | Csr.Big { offsets = off; neighbors = nbr }, None ->
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        let du1 = dist.(u) + 1 in
+        for i = Bigarray.Array1.unsafe_get off u to Bigarray.Array1.unsafe_get off (u + 1) - 1 do
+          let v = Bigarray.Array1.unsafe_get nbr i in
+          if dist.(v) < 0 then begin
+            dist.(v) <- du1;
+            parent.(v) <- u;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
+      done
+  | Csr.Big { offsets = off; neighbors = nbr }, Some a ->
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        let du1 = dist.(u) + 1 in
+        for i = Bigarray.Array1.unsafe_get off u to Bigarray.Array1.unsafe_get off (u + 1) - 1 do
+          let v = Bigarray.Array1.unsafe_get nbr i in
           if dist.(v) < 0 && a.(v) then begin
             dist.(v) <- du1;
             parent.(v) <- u;

@@ -1,24 +1,54 @@
-type t = { n : int; m : int; offsets : int array; neighbors : int array }
+type bigints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-let of_graph g =
+type storage =
+  | Ints of { offsets : int array; neighbors : int array }
+  | Big of { offsets : bigints; neighbors : bigints }
+
+type t = { n : int; m : int; storage : storage }
+
+let big_of_array (a : int array) : bigints =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i x -> Bigarray.Array1.unsafe_set b i x) a;
+  b
+
+let of_graph ?(big = false) g =
   let n = Graph.n g in
   let offsets = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     offsets.(v + 1) <- offsets.(v) + Graph.degree g v
   done;
-  let neighbors = Array.make offsets.(n) 0 in
-  let pos = ref 0 in
-  for v = 0 to n - 1 do
-    (* ISet iteration is ascending, so each row comes out sorted. *)
-    Graph.iter_neighbors g v (fun w ->
-        neighbors.(!pos) <- w;
-        incr pos)
-  done;
-  { n; m = Graph.m g; offsets; neighbors }
+  let storage =
+    if big then begin
+      let neighbors = Bigarray.Array1.create Bigarray.int Bigarray.c_layout offsets.(n) in
+      let pos = ref 0 in
+      for v = 0 to n - 1 do
+        (* ISet iteration is ascending, so each row comes out sorted. *)
+        Graph.iter_neighbors g v (fun w ->
+            Bigarray.Array1.unsafe_set neighbors !pos w;
+            incr pos)
+      done;
+      Big { offsets = big_of_array offsets; neighbors }
+    end
+    else begin
+      let neighbors = Array.make offsets.(n) 0 in
+      let pos = ref 0 in
+      for v = 0 to n - 1 do
+        Graph.iter_neighbors g v (fun w ->
+            neighbors.(!pos) <- w;
+            incr pos)
+      done;
+      Ints { offsets; neighbors }
+    end
+  in
+  { n; m = Graph.m g; storage }
 
 let n t = t.n
 
 let m t = t.m
+
+let storage t = t.storage
+
+let is_bigarray t = match t.storage with Big _ -> true | Ints _ -> false
 
 let check_vertex t v name =
   if v < 0 || v >= t.n then
@@ -26,57 +56,228 @@ let check_vertex t v name =
 
 let degree t v =
   check_vertex t v "degree";
-  t.offsets.(v + 1) - t.offsets.(v)
+  match t.storage with
+  | Ints { offsets; _ } -> offsets.(v + 1) - offsets.(v)
+  | Big { offsets; _ } ->
+      Bigarray.Array1.unsafe_get offsets (v + 1) - Bigarray.Array1.unsafe_get offsets v
 
 let neighbors t v =
   check_vertex t v "neighbors";
-  let acc = ref [] in
-  for i = t.offsets.(v + 1) - 1 downto t.offsets.(v) do
-    acc := t.neighbors.(i) :: !acc
-  done;
-  !acc
+  match t.storage with
+  | Ints { offsets; neighbors } ->
+      let acc = ref [] in
+      for i = offsets.(v + 1) - 1 downto offsets.(v) do
+        acc := neighbors.(i) :: !acc
+      done;
+      !acc
+  | Big { offsets; neighbors } ->
+      let acc = ref [] in
+      for i = Bigarray.Array1.unsafe_get offsets (v + 1) - 1
+            downto Bigarray.Array1.unsafe_get offsets v do
+        acc := Bigarray.Array1.unsafe_get neighbors i :: !acc
+      done;
+      !acc
 
 let iter_neighbors t v f =
   check_vertex t v "iter_neighbors";
-  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-    f t.neighbors.(i)
-  done
+  match t.storage with
+  | Ints { offsets; neighbors } ->
+      for i = offsets.(v) to offsets.(v + 1) - 1 do
+        f neighbors.(i)
+      done
+  | Big { offsets; neighbors } ->
+      for i = Bigarray.Array1.unsafe_get offsets v
+            to Bigarray.Array1.unsafe_get offsets (v + 1) - 1 do
+        f (Bigarray.Array1.unsafe_get neighbors i)
+      done
 
 let fold_neighbors t v ~init ~f =
   check_vertex t v "fold_neighbors";
   let acc = ref init in
-  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-    acc := f !acc t.neighbors.(i)
-  done;
+  iter_neighbors t v (fun w -> acc := f !acc w);
   !acc
 
+(* binary search for [v] inside row [u]; the row is sorted ascending *)
 let mem_edge t u v =
   check_vertex t u "mem_edge";
   check_vertex t v "mem_edge";
-  let lo = ref t.offsets.(u) and hi = ref t.offsets.(u + 1) in
-  (* invariant: the row slot holding v, if any, is in [lo, hi) *)
-  while !hi - !lo > 0 do
-    let mid = (!lo + !hi) / 2 in
-    let w = t.neighbors.(mid) in
-    if w = v then begin
-      lo := mid;
-      hi := mid
-    end
-    else if w < v then lo := mid + 1
-    else hi := mid
-  done;
-  !lo < t.offsets.(u + 1) && t.neighbors.(!lo) = v
+  match t.storage with
+  | Ints { offsets; neighbors } ->
+      let lo = ref offsets.(u) and hi = ref offsets.(u + 1) in
+      (* invariant: the row slot holding v, if any, is in [lo, hi) *)
+      while !hi - !lo > 0 do
+        let mid = (!lo + !hi) / 2 in
+        let w = neighbors.(mid) in
+        if w = v then begin
+          lo := mid;
+          hi := mid
+        end
+        else if w < v then lo := mid + 1
+        else hi := mid
+      done;
+      !lo < offsets.(u + 1) && neighbors.(!lo) = v
+  | Big { offsets; neighbors } ->
+      let row_end = Bigarray.Array1.unsafe_get offsets (u + 1) in
+      let lo = ref (Bigarray.Array1.unsafe_get offsets u) and hi = ref row_end in
+      while !hi - !lo > 0 do
+        let mid = (!lo + !hi) / 2 in
+        let w = Bigarray.Array1.unsafe_get neighbors mid in
+        if w = v then begin
+          lo := mid;
+          hi := mid
+        end
+        else if w < v then lo := mid + 1
+        else hi := mid
+      done;
+      !lo < row_end && Bigarray.Array1.unsafe_get neighbors !lo = v
 
 let iter_edges t f =
-  for u = 0 to t.n - 1 do
-    for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-      let v = t.neighbors.(i) in
-      if u < v then f u v
+  match t.storage with
+  | Ints { offsets; neighbors } ->
+      for u = 0 to t.n - 1 do
+        for i = offsets.(u) to offsets.(u + 1) - 1 do
+          let v = neighbors.(i) in
+          if u < v then f u v
+        done
+      done
+  | Big { offsets; neighbors } ->
+      for u = 0 to t.n - 1 do
+        for i = Bigarray.Array1.unsafe_get offsets u
+              to Bigarray.Array1.unsafe_get offsets (u + 1) - 1 do
+          let v = Bigarray.Array1.unsafe_get neighbors i in
+          if u < v then f u v
+        done
+      done
+
+let offsets t =
+  match t.storage with
+  | Ints { offsets; _ } -> offsets
+  | Big _ -> invalid_arg "Csr.offsets: Bigarray-backed snapshot (match on storage instead)"
+
+let neighbor_array t =
+  match t.storage with
+  | Ints { neighbors; _ } -> neighbors
+  | Big _ ->
+      invalid_arg "Csr.neighbor_array: Bigarray-backed snapshot (match on storage instead)"
+
+let degree_sum t =
+  match t.storage with
+  | Ints { offsets; _ } -> offsets.(t.n)
+  | Big { offsets; _ } -> Bigarray.Array1.unsafe_get offsets t.n
+
+(* -- direct construction ------------------------------------------------ *)
+
+module Builder = struct
+  type csr = t
+
+  type store = SI of int array | SB of bigints
+
+  type t = {
+    bn : int;
+    big : bool;
+    deg : int array;  (** degree counts, re-used as fill cursors after [ready] *)
+    offs : int array;  (** row offsets, length n+1, valid after [ready] *)
+    mutable store : store option;
+    mutable counting : bool;
+  }
+
+  let create ?(big = false) ~n () =
+    if n < 0 then invalid_arg "Csr.Builder.create: negative n";
+    { bn = n; big; deg = Array.make n 0; offs = Array.make (n + 1) 0;
+      store = None; counting = true }
+
+  let check b u v name =
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg (Printf.sprintf "Csr.Builder.%s: endpoint out of range [0,%d)" name b.bn);
+    if u = v then invalid_arg (Printf.sprintf "Csr.Builder.%s: self-loop" name)
+
+  let count_edge b u v =
+    if not b.counting then invalid_arg "Csr.Builder.count_edge: already in the fill phase";
+    check b u v "count_edge";
+    b.deg.(u) <- b.deg.(u) + 1;
+    b.deg.(v) <- b.deg.(v) + 1
+
+  let ready b =
+    if not b.counting then invalid_arg "Csr.Builder.ready: already called";
+    b.counting <- false;
+    for v = 0 to b.bn - 1 do
+      b.offs.(v + 1) <- b.offs.(v) + b.deg.(v)
+    done;
+    let total = b.offs.(b.bn) in
+    b.store <-
+      Some
+        (if b.big then SB (Bigarray.Array1.create Bigarray.int Bigarray.c_layout total)
+         else SI (Array.make total 0));
+    (* degrees become the per-row fill cursors *)
+    Array.blit b.offs 0 b.deg 0 b.bn
+
+  let place b u v =
+    let p = b.deg.(u) in
+    b.deg.(u) <- p + 1;
+    match b.store with
+    | Some (SI a) -> a.(p) <- v
+    | Some (SB a) -> Bigarray.Array1.set a p v
+    | None -> assert false
+
+  let add_edge b u v =
+    if b.counting then invalid_arg "Csr.Builder.add_edge: call ready first";
+    check b u v "add_edge";
+    place b u v;
+    place b v u
+
+  (* rows are short for the graphs built this way (degree ~ 2k), so a
+     per-row insertion sort beats setting up anything fancier *)
+  let sort_row_ints (a : int array) lo hi =
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
     done
-  done
 
-let offsets t = t.offsets
+  let sort_row_big (a : bigints) lo hi =
+    for i = lo + 1 to hi - 1 do
+      let x = Bigarray.Array1.unsafe_get a i in
+      let j = ref (i - 1) in
+      while !j >= lo && Bigarray.Array1.unsafe_get a !j > x do
+        Bigarray.Array1.unsafe_set a (!j + 1) (Bigarray.Array1.unsafe_get a !j);
+        decr j
+      done;
+      Bigarray.Array1.unsafe_set a (!j + 1) x
+    done
 
-let neighbor_array t = t.neighbors
-
-let degree_sum t = t.offsets.(t.n)
+  let finish b =
+    if b.counting then invalid_arg "Csr.Builder.finish: call ready first";
+    for v = 0 to b.bn - 1 do
+      if b.deg.(v) <> b.offs.(v + 1) then
+        invalid_arg "Csr.Builder.finish: add_edge calls do not match count_edge"
+    done;
+    let total = b.offs.(b.bn) in
+    let dup = ref false in
+    let storage =
+      match b.store with
+      | Some (SI a) ->
+          for v = 0 to b.bn - 1 do
+            sort_row_ints a b.offs.(v) b.offs.(v + 1);
+            for i = b.offs.(v) + 1 to b.offs.(v + 1) - 1 do
+              if a.(i) = a.(i - 1) then dup := true
+            done
+          done;
+          Ints { offsets = b.offs; neighbors = a }
+      | Some (SB a) ->
+          for v = 0 to b.bn - 1 do
+            sort_row_big a b.offs.(v) b.offs.(v + 1);
+            for i = b.offs.(v) + 1 to b.offs.(v + 1) - 1 do
+              if Bigarray.Array1.unsafe_get a i = Bigarray.Array1.unsafe_get a (i - 1) then
+                dup := true
+            done
+          done;
+          Big { offsets = big_of_array b.offs; neighbors = a }
+      | None -> assert false
+    in
+    if !dup then invalid_arg "Csr.Builder.finish: duplicate edge";
+    { n = b.bn; m = total / 2; storage }
+end

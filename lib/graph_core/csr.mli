@@ -3,25 +3,49 @@
     {!Graph.t} is the mutable build-side representation: adjacency sets
     make edge insertion/removal simple and keep iteration deterministic,
     but every neighbour visit pays O(log d) pointer chasing. A [Csr.t]
-    freezes a graph into two flat [int array]s — row [offsets] and a
+    freezes a graph into two flat arrays — row [offsets] and a
     concatenated, per-row-sorted [neighbors] stream — so traversals
     (BFS, flooding, flow-network construction) run over contiguous
     memory with O(1) neighbour access and zero allocation.
 
+    Two storage backends carry those arrays:
+
+    - [Ints] — plain [int array]s on the OCaml heap, the default;
+    - [Big] — [Bigarray] arrays outside the OCaml heap, so multi-million
+      entry adjacency never inflates major-GC marking work. Pick it with
+      [~big:true] at construction ({!of_graph}, {!Builder.create}).
+
     A snapshot is a value: it never observes later mutations of the
     source graph. Re-run {!of_graph} after the edge set changes.
-    Neighbour iteration order is ascending, identical to {!Graph}'s. *)
+    Neighbour iteration order is ascending, identical to {!Graph}'s,
+    whatever the backend. *)
+
+type bigints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type storage =
+  | Ints of { offsets : int array; neighbors : int array }
+  | Big of { offsets : bigints; neighbors : bigints }
+      (** Row [v] occupies indices [offsets.(v) .. offsets.(v+1) - 1] of
+          [neighbors] in either backend. {b Do not mutate.} *)
 
 type t
 
-val of_graph : Graph.t -> t
-(** Freeze the current edge set of a graph. O(n + m). *)
+val of_graph : ?big:bool -> Graph.t -> t
+(** Freeze the current edge set of a graph. O(n + m). [~big] (default
+    false) selects the off-heap Bigarray backend. *)
 
 val n : t -> int
 (** Number of vertices. *)
 
 val m : t -> int
 (** Number of (undirected) edges. *)
+
+val storage : t -> storage
+(** The raw backing arrays, for flat hot loops (BFS, flow construction,
+    benchmarks) that want to specialise per backend. {b Do not
+    mutate.} *)
+
+val is_bigarray : t -> bool
 
 val degree : t -> int -> int
 (** O(1): [offsets.(v+1) - offsets.(v)]. *)
@@ -41,14 +65,55 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 (** Each undirected edge exactly once, as [u < v], lexicographically. *)
 
 val offsets : t -> int array
-(** The raw row-offset array, length [n + 1]: row [v] occupies indices
-    [offsets.(v) .. offsets.(v+1) - 1] of {!neighbor_array}. Exposed for
-    flat hot loops (BFS, flow construction, benchmarks). {b Do not
-    mutate.} *)
+(** The raw row-offset array of an [Ints] snapshot, length [n + 1].
+    {b Do not mutate.}
+    @raise Invalid_argument on a Bigarray-backed snapshot — hot loops
+    that must handle both backends match on {!storage} instead. *)
 
 val neighbor_array : t -> int array
-(** The raw concatenated neighbour stream, length [2m], each row sorted
-    ascending. {b Do not mutate.} *)
+(** The raw concatenated neighbour stream of an [Ints] snapshot, length
+    [2m], each row sorted ascending. {b Do not mutate.}
+    @raise Invalid_argument on a Bigarray-backed snapshot. *)
 
 val degree_sum : t -> int
 (** Sum of degrees = [2 * m]. O(1). *)
+
+(** Direct CSR construction, skipping the Set-backed {!Graph.t}
+    entirely — the path that makes million-node topologies cheap.
+    Callers enumerate their edges twice:
+
+    {[
+      let b = Csr.Builder.create ~n () in
+      iter_edges (Csr.Builder.count_edge b);
+      Csr.Builder.ready b;
+      iter_edges (Csr.Builder.add_edge b);
+      let csr = Csr.Builder.finish b
+    ]}
+
+    Both passes must produce the same multiset of edges (checked), with
+    no self-loops and no duplicates (checked at {!Builder.finish}). *)
+module Builder : sig
+  type csr = t
+
+  type t
+
+  val create : ?big:bool -> n:int -> unit -> t
+  (** A builder for an [n]-vertex graph; [~big] picks the backend of the
+      finished snapshot. *)
+
+  val count_edge : t -> int -> int -> unit
+  (** Phase 1: account one undirected edge (both endpoint degrees). *)
+
+  val ready : t -> unit
+  (** Close the counting phase: prefix-sums the offsets and allocates
+      the neighbour store. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Phase 2: place one undirected edge (both directions). *)
+
+  val finish : t -> csr
+  (** Sort each row ascending (insertion sort — rows are short for the
+      bounded-degree constructions this serves) and seal the snapshot.
+      @raise Invalid_argument if the fill phase did not replay the
+      counting phase exactly, or on a duplicate edge. *)
+end

@@ -47,16 +47,16 @@ let distribute_added shape ~j ~cap =
   in
   place j (List.rev (Shape.above_leaf_nodes shape))
 
-let build_ktree ~n ~k =
+let shape_ktree ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
       let alpha, j = Option.get (Existence.decompose_ktree ~n ~k) in
       let shape = Skeleton.make ~k ~alpha in
       distribute_added shape ~j ~cap:((2 * k) - 3);
-      Ok (of_shape shape)
+      Ok shape
 
-let build_kdiamond ~n ~k =
+let shape_kdiamond ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -79,7 +79,7 @@ let build_kdiamond ~n ~k =
         Shape.mark_unshared shape leaf
       end;
       distribute_added shape ~j ~cap:(k - 2);
-      Ok (of_shape shape)
+      Ok shape
 
 (* Deepest shared leaves first, so unshared groups sit on the frontier. *)
 let mark_unshared_leaves shape ~count =
@@ -93,7 +93,7 @@ let mark_unshared_leaves shape ~count =
     invalid_arg "Build.mark_unshared_leaves: not enough shared leaves (internal error)";
   List.iteri (fun i l -> if i < count then Shape.mark_unshared shape l) shared
 
-let build_kdiamond_rich ~n ~k =
+let shape_kdiamond_rich ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -105,9 +105,9 @@ let build_kdiamond_rich ~n ~k =
       let shape = Skeleton.make ~k ~alpha:conversions in
       mark_unshared_leaves shape ~count:unshared;
       distribute_added shape ~j ~cap:(k - 2);
-      Ok (of_shape shape)
+      Ok shape
 
-let build_jd ~strict ~n ~k =
+let shape_jd ~strict ~n ~k =
   match check_bounds ~n ~k with
   | Error e -> Error e
   | Ok () ->
@@ -132,7 +132,7 @@ let build_jd ~strict ~n ~k =
                 place (remaining - here) rest
         in
         place j (List.rev hosts);
-        Ok (of_shape shape)
+        Ok shape
       end
 
 type construction = Ktree | Kdiamond | Kdiamond_rich | Jd of { strict : bool }
@@ -144,12 +144,18 @@ let construction_name = function
   | Jd { strict = true } -> "jd"
   | Jd { strict = false } -> "jd-lenient"
 
-let build construction ~n ~k =
+(* the shape is the construction; graph vs CSR is just realisation *)
+let shape_for construction ~n ~k =
   match construction with
-  | Ktree -> build_ktree ~n ~k
-  | Kdiamond -> build_kdiamond ~n ~k
-  | Kdiamond_rich -> build_kdiamond_rich ~n ~k
-  | Jd { strict } -> build_jd ~strict ~n ~k
+  | Ktree -> shape_ktree ~n ~k
+  | Kdiamond -> shape_kdiamond ~n ~k
+  | Kdiamond_rich -> shape_kdiamond_rich ~n ~k
+  | Jd { strict } -> shape_jd ~strict ~n ~k
+
+let build construction ~n ~k = Result.map of_shape (shape_for construction ~n ~k)
+
+let build_csr ?big construction ~n ~k =
+  Result.map (fun shape -> fst (Realize.realize_csr ?big shape)) (shape_for construction ~n ~k)
 
 let ktree ~n ~k = build Ktree ~n ~k
 
@@ -165,6 +171,9 @@ let get_exn name = function
 
 let build_exn construction ~n ~k =
   get_exn (construction_name construction) (build construction ~n ~k)
+
+let build_csr_exn ?big construction ~n ~k =
+  get_exn (construction_name construction) (build_csr ?big construction ~n ~k)
 
 let jd_exn ?strict ~n ~k () = get_exn "jd_exn" (jd ?strict ~n ~k ())
 

@@ -22,11 +22,39 @@ type stats = {
   dropped_random : int;
 }
 
+(* In-flight messages ride the Sim event pool as packed ints; the
+   ['msg] itself and its trace seq are parked in a recycled slot store,
+   with the slot id as the event payload. Event tags encode the
+   delivery phase: [tag_arrival] fires when the link latency has
+   elapsed, [tag_deliver] when a positive processing delay has also
+   elapsed. Like the Sim pool, the slot store is chunked — growth never
+   copies or frees, so backlog memory is touched exactly once. *)
+let tag_arrival = 0
+
+let tag_deliver = 1
+
+(* The int plane: an [int t]'s message can ride the event payload word
+   itself, skipping the slot store round trip. Only reachable through
+   [send_neighbors_int], which the interface restricts to [int t], and
+   only taken when tracing is off (the slot store is what parks a
+   message's trace seq). *)
+let tag_int_arrival = 2
+
+let tag_int_deliver = 3
+
+let chunk_bits = 10
+
+let chunk_len = 1 lsl chunk_bits
+
+let chunk_mask = chunk_len - 1
+
 type 'msg t = {
   sim : Sim.t;
-  graph : Graph.t;
+  graph : Graph.t option;  (** only when built from a mutable graph *)
   csr : Csr.t;  (** topology frozen at creation; every send checks it *)
   latency : latency;
+  unit_latency : bool;  (** no model given: constant 1.0 without the closure call *)
+  obs_on : bool;  (** cached [Obs.Registry.enabled obs] — registries never toggle *)
   mutable loss_rate : float;
   trace : Trace.t option;
   processing_delay : float;
@@ -35,7 +63,16 @@ type 'msg t = {
   rng : Prng.t;
   crashed : bool array;
   failed_links : (int * int, unit) Hashtbl.t;
+  mutable failed_count : int;  (** = Hashtbl.length failed_links, kept for the send fast path *)
+  tracing : bool;  (** trace <> None — gates the per-slot seq bookkeeping *)
   mutable receiver : dst:int -> src:int -> 'msg -> unit;
+  mutable int_receiver : dst:int -> src:int -> int -> unit;
+      (** the int plane's sink — only installed on [int t] networks *)
+  mutable slots : 'msg array array;
+  mutable slot_seq : int array array;
+  mutable slot_nchunks : int;
+  mutable slot_free : int array array;
+  mutable slot_free_top : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped_link : int;
@@ -51,41 +88,167 @@ type 'msg t = {
   h_queue_depth : Obs.Registry.histogram;
 }
 
-let create ~sim ~graph ?(latency = constant_latency 1.0) ?(loss_rate = 0.0)
+(* -- payload slot store ------------------------------------------------- *)
+
+(* only reached with an empty free list; [msg] doubles as the new
+   chunk's fill element so no dummy ['msg] is ever needed *)
+let add_slot_chunk t msg =
+  let c = t.slot_nchunks in
+  if c = Array.length t.slots then begin
+    let spine a = Array.append a (Array.make (max 8 c) [||]) in
+    t.slots <- spine t.slots;
+    t.slot_seq <- spine t.slot_seq;
+    t.slot_free <- spine t.slot_free
+  end;
+  t.slots.(c) <- Array.make chunk_len msg;
+  t.slot_seq.(c) <- (if t.tracing then Array.make chunk_len 0 else [||]);
+  t.slot_free.(c) <- Array.make chunk_len 0;
+  t.slot_nchunks <- c + 1;
+  (* empty free list: the fresh ids occupy stack positions
+     0..chunk_len-1 in free chunk 0, descending so the lowest pops
+     first *)
+  let base = c lsl chunk_bits in
+  let f0 = t.slot_free.(0) in
+  for i = 0 to chunk_len - 1 do
+    f0.(i) <- base + chunk_len - 1 - i
+  done;
+  t.slot_free_top <- chunk_len
+
+let alloc_slot t msg seq =
+  if t.slot_free_top = 0 then add_slot_chunk t msg;
+  let p = t.slot_free_top - 1 in
+  t.slot_free_top <- p;
+  let s =
+    Array.unsafe_get (Array.unsafe_get t.slot_free (p lsr chunk_bits)) (p land chunk_mask)
+  in
+  Array.unsafe_set (Array.unsafe_get t.slots (s lsr chunk_bits)) (s land chunk_mask) msg;
+  if t.tracing then
+    Array.unsafe_set (Array.unsafe_get t.slot_seq (s lsr chunk_bits)) (s land chunk_mask) seq;
+  s
+
+(* -- delivery sink ------------------------------------------------------ *)
+
+let emit t kind ~src ~dst ~seq =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.time = Sim.now t.sim; kind; src; dst; seq }
+
+let deliver t ~src ~dst slot =
+  let msg = Array.unsafe_get (Array.unsafe_get t.slots (slot lsr chunk_bits)) (slot land chunk_mask) in
+  let seq =
+    if t.tracing then
+      Array.unsafe_get (Array.unsafe_get t.slot_seq (slot lsr chunk_bits)) (slot land chunk_mask)
+    else 0
+  in
+  let p = t.slot_free_top in
+  Array.unsafe_set (Array.unsafe_get t.slot_free (p lsr chunk_bits)) (p land chunk_mask) slot;
+  t.slot_free_top <- p + 1;
+  (* [dst] came off a CSR row, so it is in range *)
+  if Array.unsafe_get t.crashed dst then begin
+    t.dropped_crash <- t.dropped_crash + 1;
+    Obs.Registry.incr t.m_dropped_crash;
+    emit t Trace.Dropped_crash ~src ~dst ~seq
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    if t.obs_on then Obs.Registry.incr t.m_delivered;
+    if t.tracing then emit t Trace.Delivered ~src ~dst ~seq;
+    t.receiver ~dst ~src msg
+  end
+
+(* same accounting as [deliver], minus the slot round trip; never
+   reached with tracing on, so no seq and no emits *)
+let deliver_int t ~src ~dst hop =
+  if Array.unsafe_get t.crashed dst then begin
+    t.dropped_crash <- t.dropped_crash + 1;
+    Obs.Registry.incr t.m_dropped_crash
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    if t.obs_on then Obs.Registry.incr t.m_delivered;
+    t.int_receiver ~dst ~src hop
+  end
+
+(* FIFO receiver queue: one message per processing_delay *)
+let queue_processing t ~src ~dst ~tag ~payload =
+  let now = Sim.now t.sim in
+  let start = Float.max now t.next_free.(dst) in
+  let finish = start +. t.processing_delay in
+  if Obs.Registry.enabled t.obs then
+    Obs.Registry.observe t.h_queue_depth ((start -. now) /. t.processing_delay);
+  t.next_free.(dst) <- finish;
+  Sim.schedule_message t.sim ~time:finish ~src ~dst ~tag ~payload
+
+let handle t ~src ~dst ~tag ~payload =
+  if tag >= tag_int_arrival then begin
+    if tag = tag_int_arrival && t.processing_delay > 0.0 then
+      queue_processing t ~src ~dst ~tag:tag_int_deliver ~payload
+    else deliver_int t ~src ~dst payload
+  end
+  else if tag = tag_arrival && t.processing_delay > 0.0 then
+    queue_processing t ~src ~dst ~tag:tag_deliver ~payload
+  else deliver t ~src ~dst payload
+
+let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
     ?(processing_delay = 0.0) ?trace ?(obs = Obs.Registry.nil) () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Network.create: loss_rate outside [0,1)";
   if processing_delay < 0.0 then invalid_arg "Network.create: negative processing_delay";
-  {
-    sim;
-    graph;
-    csr = Csr.of_graph graph;
-    latency;
-    loss_rate;
-    trace;
-    processing_delay;
-    next_free = Array.make (Graph.n graph) 0.0;
-    next_seq = 0;
-    rng = Sim.fork_rng sim;
-    crashed = Array.make (Graph.n graph) false;
-    failed_links = Hashtbl.create 16;
-    receiver = (fun ~dst:_ ~src:_ _ -> ());
-    sent = 0;
-    delivered = 0;
-    dropped_link = 0;
-    dropped_crash = 0;
-    dropped_random = 0;
-    obs;
-    m_sent = Obs.Registry.counter obs "net.sent";
-    m_delivered = Obs.Registry.counter obs "net.delivered";
-    m_dropped_link = Obs.Registry.counter obs "net.dropped_link";
-    m_dropped_crash = Obs.Registry.counter obs "net.dropped_crash";
-    m_dropped_random = Obs.Registry.counter obs "net.dropped_random";
-    h_latency = Obs.Registry.histogram obs "net.latency" ~bounds:Obs.Registry.time_bounds;
-    h_queue_depth =
-      Obs.Registry.histogram obs "net.queue_depth" ~bounds:Obs.Registry.depth_bounds;
-  }
+  let t =
+    {
+      sim;
+      graph;
+      csr;
+      latency = (match latency with Some l -> l | None -> constant_latency 1.0);
+      unit_latency = latency = None;
+      obs_on = Obs.Registry.enabled obs;
+      loss_rate;
+      trace;
+      processing_delay;
+      next_free = Array.make (Csr.n csr) 0.0;
+      next_seq = 0;
+      rng = Sim.fork_rng sim;
+      crashed = Array.make (Csr.n csr) false;
+      failed_links = Hashtbl.create 16;
+      failed_count = 0;
+      tracing = trace <> None;
+      receiver = (fun ~dst:_ ~src:_ _ -> ());
+      int_receiver = (fun ~dst:_ ~src:_ _ -> ());
+      slots = [||];
+      slot_seq = [||];
+      slot_nchunks = 0;
+      slot_free = [||];
+      slot_free_top = 0;
+      sent = 0;
+      delivered = 0;
+      dropped_link = 0;
+      dropped_crash = 0;
+      dropped_random = 0;
+      obs;
+      m_sent = Obs.Registry.counter obs "net.sent";
+      m_delivered = Obs.Registry.counter obs "net.delivered";
+      m_dropped_link = Obs.Registry.counter obs "net.dropped_link";
+      m_dropped_crash = Obs.Registry.counter obs "net.dropped_crash";
+      m_dropped_random = Obs.Registry.counter obs "net.dropped_random";
+      h_latency = Obs.Registry.histogram obs "net.latency" ~bounds:Obs.Registry.time_bounds;
+      h_queue_depth =
+        Obs.Registry.histogram obs "net.queue_depth" ~bounds:Obs.Registry.depth_bounds;
+    }
+  in
+  (* one network per simulator: the Sim message sink is ours alone *)
+  Sim.set_message_handler sim (fun ~src ~dst ~tag ~payload -> handle t ~src ~dst ~tag ~payload);
+  t
 
-let graph t = t.graph
+let create ~sim ~graph ?latency ?loss_rate ?processing_delay ?trace ?obs () =
+  make ~sim ~graph:(Some graph) ~csr:(Csr.of_graph graph) ?latency ?loss_rate ?processing_delay
+    ?trace ?obs ()
+
+let create_csr ~sim ~csr ?latency ?loss_rate ?processing_delay ?trace ?obs () =
+  make ~sim ~graph:None ~csr ?latency ?loss_rate ?processing_delay ?trace ?obs ()
+
+let graph t =
+  match t.graph with
+  | Some g -> g
+  | None -> invalid_arg "Network.graph: network was created from a CSR snapshot (use Network.csr)"
 
 let csr t = t.csr
 
@@ -95,17 +258,23 @@ let obs t = t.obs
 
 let set_receiver t f = t.receiver <- f
 
+(* installing on both planes keeps delivery uniform whether a given
+   message rode the int plane or (tracing) fell back to the slot plane *)
+let set_int_receiver t f =
+  t.receiver <- f;
+  t.int_receiver <- f
+
 let link_key u v = (min u v, max u v)
 
 let is_crashed t v = t.crashed.(v)
 
 let crash t v =
-  if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.crash: vertex out of range";
+  if v < 0 || v >= Csr.n t.csr then invalid_arg "Network.crash: vertex out of range";
   if not t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Crash ~node:v ~info:0;
   t.crashed.(v) <- true
 
 let recover t v =
-  if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.recover: vertex out of range";
+  if v < 0 || v >= Csr.n t.csr then invalid_arg "Network.recover: vertex out of range";
   if t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Recover ~node:v ~info:0;
   t.crashed.(v) <- false
 
@@ -113,15 +282,18 @@ let alive_mask t = Array.map not t.crashed
 
 let fail_link t u v =
   if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.fail_link: no such edge";
-  if not (Hashtbl.mem t.failed_links (link_key u v)) then
+  if not (Hashtbl.mem t.failed_links (link_key u v)) then begin
     Obs.Registry.event t.obs Obs.Registry.Link_down ~node:u ~info:v;
-  Hashtbl.replace t.failed_links (link_key u v) ()
+    Hashtbl.replace t.failed_links (link_key u v) ();
+    t.failed_count <- t.failed_count + 1
+  end
 
 let restore_link t u v =
   if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.restore_link: no such edge";
   if Hashtbl.mem t.failed_links (link_key u v) then begin
     Obs.Registry.event t.obs Obs.Registry.Link_up ~node:u ~info:v;
-    Hashtbl.remove t.failed_links (link_key u v)
+    Hashtbl.remove t.failed_links (link_key u v);
+    t.failed_count <- t.failed_count - 1
   end
 
 let heal t =
@@ -140,20 +312,17 @@ let set_loss_rate t r =
       ~info:(int_of_float (Float.round (r *. 1e6)));
   t.loss_rate <- r
 
-let emit t kind ~src ~dst ~seq =
-  match t.trace with
-  | None -> ()
-  | Some tr -> Trace.record tr { Trace.time = Sim.now t.sim; kind; src; dst; seq }
-
-let send t ~src ~dst msg =
-  if not (Csr.mem_edge t.csr src dst) then invalid_arg "Network.send: no such edge";
-  if t.crashed.(src) then invalid_arg "Network.send: source is crashed";
+(* The edge and source-crash preconditions are the caller's; everything
+   after is the steady-state hot path — no closures, no tuples (the
+   failed-links probe is skipped while the table is empty), no
+   allocation once the slot and event pools are warm. *)
+let unchecked_send t ~src ~dst msg =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.sent <- t.sent + 1;
-  Obs.Registry.incr t.m_sent;
-  emit t Trace.Sent ~src ~dst ~seq;
-  if link_failed t src dst then begin
+  if t.obs_on then Obs.Registry.incr t.m_sent;
+  if t.tracing then emit t Trace.Sent ~src ~dst ~seq;
+  if t.failed_count > 0 && link_failed t src dst then begin
     t.dropped_link <- t.dropped_link + 1;
     Obs.Registry.incr t.m_dropped_link;
     emit t Trace.Dropped_link ~src ~dst ~seq
@@ -164,34 +333,96 @@ let send t ~src ~dst msg =
     emit t Trace.Dropped_random ~src ~dst ~seq
   end
   else begin
-    let delay = t.latency t.rng ~src ~dst in
-    if delay < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
-    if Obs.Registry.enabled t.obs then Obs.Registry.observe t.h_latency delay;
-    let deliver () =
-      if t.crashed.(dst) then begin
-        t.dropped_crash <- t.dropped_crash + 1;
-        Obs.Registry.incr t.m_dropped_crash;
-        emit t Trace.Dropped_crash ~src ~dst ~seq
-      end
+    let delay =
+      if t.unit_latency then 1.0
       else begin
-        t.delivered <- t.delivered + 1;
-        Obs.Registry.incr t.m_delivered;
-        emit t Trace.Delivered ~src ~dst ~seq;
-        t.receiver ~dst ~src msg
+        let d = t.latency t.rng ~src ~dst in
+        if d < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+        d
       end
     in
-    Sim.schedule t.sim ~delay (fun () ->
-        if t.processing_delay = 0.0 then deliver ()
-        else begin
-          (* FIFO receiver queue: one message per processing_delay *)
-          let start = Float.max (Sim.now t.sim) t.next_free.(dst) in
-          let finish = start +. t.processing_delay in
-          if Obs.Registry.enabled t.obs then
-            Obs.Registry.observe t.h_queue_depth
-              ((start -. Sim.now t.sim) /. t.processing_delay);
-          t.next_free.(dst) <- finish;
-          Sim.schedule_at t.sim ~time:finish deliver
-        end)
+    if t.obs_on then Obs.Registry.observe t.h_latency delay;
+    let slot = alloc_slot t msg seq in
+    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_arrival ~payload:slot
+  end
+
+let send t ~src ~dst msg =
+  if not (Csr.mem_edge t.csr src dst) then invalid_arg "Network.send: no such edge";
+  if t.crashed.(src) then invalid_arg "Network.send: source is crashed";
+  unchecked_send t ~src ~dst msg
+
+(* Non-optional variant: the flooding hot loop calls this once per
+   delivered message, and an optional [?except] would box a [Some] on
+   every call. Pass [-1] for no exclusion. *)
+let send_neighbors_except t ~src ~except msg =
+  if src < 0 || src >= Csr.n t.csr then invalid_arg "Network.send_neighbors: vertex out of range";
+  if Array.unsafe_get t.crashed src then invalid_arg "Network.send_neighbors: source is crashed";
+  (* edges come from our own frozen CSR row, so the per-neighbour edge
+     membership check that [send] must do is free here *)
+  match Csr.storage t.csr with
+  | Csr.Ints { offsets; neighbors } ->
+      for i = offsets.(src) to offsets.(src + 1) - 1 do
+        let dst = neighbors.(i) in
+        if dst <> except then unchecked_send t ~src ~dst msg
+      done
+  | Csr.Big { offsets; neighbors } ->
+      for i = Bigarray.Array1.unsafe_get offsets src
+            to Bigarray.Array1.unsafe_get offsets (src + 1) - 1 do
+        let dst = Bigarray.Array1.unsafe_get neighbors i in
+        if dst <> except then unchecked_send t ~src ~dst msg
+      done
+
+let send_neighbors ?(except = -1) t ~src msg = send_neighbors_except t ~src ~except msg
+
+(* [unchecked_send] with the hop riding the event payload word: same
+   seq consumption, same counters, same drop decisions and RNG draws,
+   so stats agree with the slot plane message for message *)
+let unchecked_send_int t ~src ~dst hop =
+  t.next_seq <- t.next_seq + 1;
+  t.sent <- t.sent + 1;
+  if t.obs_on then Obs.Registry.incr t.m_sent;
+  if t.failed_count > 0 && link_failed t src dst then begin
+    t.dropped_link <- t.dropped_link + 1;
+    Obs.Registry.incr t.m_dropped_link
+  end
+  else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
+    t.dropped_random <- t.dropped_random + 1;
+    Obs.Registry.incr t.m_dropped_random
+  end
+  else begin
+    let delay =
+      if t.unit_latency then 1.0
+      else begin
+        let d = t.latency t.rng ~src ~dst in
+        if d < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+        d
+      end
+    in
+    if t.obs_on then Obs.Registry.observe t.h_latency delay;
+    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_int_arrival ~payload:hop
+  end
+
+let send_neighbors_int t ~src ~except hop =
+  if t.tracing then
+    (* trace seqs live in the slot store; take the slow plane *)
+    send_neighbors_except t ~src ~except hop
+  else begin
+    if src < 0 || src >= Csr.n t.csr then
+      invalid_arg "Network.send_neighbors: vertex out of range";
+    if Array.unsafe_get t.crashed src then
+      invalid_arg "Network.send_neighbors: source is crashed";
+    match Csr.storage t.csr with
+    | Csr.Ints { offsets; neighbors } ->
+        for i = offsets.(src) to offsets.(src + 1) - 1 do
+          let dst = neighbors.(i) in
+          if dst <> except then unchecked_send_int t ~src ~dst hop
+        done
+    | Csr.Big { offsets; neighbors } ->
+        for i = Bigarray.Array1.unsafe_get offsets src
+              to Bigarray.Array1.unsafe_get offsets (src + 1) - 1 do
+          let dst = Bigarray.Array1.unsafe_get neighbors i in
+          if dst <> except then unchecked_send_int t ~src ~dst hop
+        done
   end
 
 let stats t =

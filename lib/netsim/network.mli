@@ -17,7 +17,17 @@
     node that has {!recover}ed before its delivery event fires is
     delivered normally and counted [delivered] — the crash window only
     swallows what actually lands inside it. Senders are checked at send
-    time: {!send} from a currently crashed source raises. *)
+    time: {!send} from a currently crashed source raises.
+
+    {2 Cost model}
+
+    In-flight messages ride {!Sim}'s struct-of-arrays event pool as
+    four integers; the ['msg] payload is parked in a recycled slot
+    store. With tracing off and an [Obs] registry disabled, a
+    steady-state {!send} (or {!send_neighbors} fan-out) allocates
+    nothing. A simulator hosts at most one network: creation installs
+    the simulator's single message sink, so a second [create] on the
+    same [sim] raises. *)
 
 type 'msg t
 
@@ -69,10 +79,25 @@ val create :
     and message pressure, which is what makes constant-degree topologies
     attractive beyond edge counts. *)
 
+val create_csr :
+  sim:Sim.t ->
+  csr:Graph_core.Csr.t ->
+  ?latency:latency ->
+  ?loss_rate:float ->
+  ?processing_delay:float ->
+  ?trace:Trace.t ->
+  ?obs:Obs.Registry.t ->
+  unit ->
+  'msg t
+(** Like {!create}, but directly over a frozen CSR snapshot — the
+    million-node path, where no mutable adjacency-set graph ever
+    exists. {!graph} raises on such a network. *)
+
 val graph : 'msg t -> Graph_core.Graph.t
 (** The construction-side graph passed to {!create}. The network
     freezes a CSR snapshot of it at creation; later mutations of this
-    graph are not observed by {!send}/{!fail_link}. *)
+    graph are not observed by {!send}/{!fail_link}.
+    @raise Invalid_argument on a network built with {!create_csr}. *)
 
 val csr : 'msg t -> Graph_core.Csr.t
 (** The frozen topology snapshot. Protocols should iterate neighbours
@@ -91,6 +116,34 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     @raise Invalid_argument if no such edge exists or [src] is crashed.
     The message is silently dropped (and counted) on link failure, the
     loss coin, or a crashed/crashing destination at delivery time. *)
+
+val send_neighbors : ?except:int -> 'msg t -> src:int -> 'msg -> unit
+(** Send [msg] over every edge incident to [src], in ascending
+    neighbour order — exactly [send] per neighbour, minus the
+    per-neighbour edge-membership check (the edges come from the
+    network's own topology snapshot). [?except] skips one neighbour —
+    the don't-echo-back rule of flooding. The flooding hot path.
+    @raise Invalid_argument if [src] is out of range or crashed. *)
+
+val send_neighbors_except : 'msg t -> src:int -> except:int -> 'msg -> unit
+(** [send_neighbors] with a mandatory exclusion ([-1] for none). The
+    optional argument above boxes a [Some] per call; per-delivery hot
+    loops should use this variant instead. *)
+
+val set_int_receiver : int t -> (dst:int -> src:int -> int -> unit) -> unit
+(** Install the receive handler of an int-message network on both
+    delivery planes: the slot plane of {!send}/{!send_neighbors} and
+    the int plane of {!send_neighbors_int}. *)
+
+val send_neighbors_int : int t -> src:int -> except:int -> int -> unit
+(** {!send_neighbors_except} for networks whose message is a bare
+    non-negative int (a hop count, a round number): the message rides
+    the pooled event's payload word directly, skipping the slot-store
+    round trip — the million-node flooding fast path. Seq numbers,
+    counters, drop decisions and RNG draws match the slot plane message
+    for message, and when the network is tracing the call transparently
+    degrades to {!send_neighbors_except} so trace seqs are preserved.
+    Deliveries arrive at the {!set_int_receiver} handler. *)
 
 val crash : 'msg t -> int -> unit
 (** Crash the node, effective immediately. Idempotent (only the first

@@ -1,33 +1,158 @@
 module Prng = Graph_core.Prng
 module Pqueue = Graph_core.Pqueue
 
-type event = { time : float; seq : int; callback : unit -> unit }
+type engine = Calendar | Heap
+
+(* The event pool is chunked: capacity grows one fixed-size chunk at a
+   time and chunks are never copied or freed, so a long run's memory is
+   touched exactly once — no doubling copies, no munmap churn (page
+   faults, not instructions, dominate at million-event scale). An event
+   id is [chunk lsl chunk_bits lor offset]. 4096-entry chunks keep a
+   short-lived simulator's setup cost at a few tens of KB while a
+   million-event backlog still fits in a few hundred chunks. *)
+let chunk_bits = 10
+
+let chunk_len = 1 lsl chunk_bits
+
+let chunk_mask = chunk_len - 1
+
+(* Two ints carry a message event: [link] packs src/dst (31 bits each,
+   [-1] marks a closure event), [tagpay] packs the payload over the
+   2-bit tag. *)
+let link_bits = 31
+
+let link_mask = (1 lsl link_bits) - 1
+
+let tag_bits = 2
+
+let tag_mask = (1 lsl tag_bits) - 1
+
+(* The calendar queue serves events year by year: the service window is
+   [year*width, (year+1)*width). Entering a window partitions the home
+   bucket's ids into [serving] (this year) and the compacted remainder
+   (later years, same bucket modulo nbuckets). [serving] is kept sorted
+   lazily: appends that arrive already in (time, seq) order — the
+   steady state of constant-latency flooding — never trigger a sort. *)
+type calendar = {
+  width : float;
+  nbuckets : int;  (* rounded up to a power of two *)
+  bmask : int;  (* nbuckets - 1 *)
+  bdata : int array array;  (* per-bucket event ids; inner arrays grow by doubling *)
+  blen : int array;
+  mutable year : int;
+  mutable w0 : float;  (* width *. year — cached window bounds *)
+  mutable w1 : float;  (* width *. (year + 1) *)
+  mutable w2 : float;  (* width *. (year + 2): the next window, the steady-state insert target *)
+  lt : float array;  (* length 1: time of the last serving append (float-array cell, unboxed) *)
+  mutable last_id : int;  (* id of that append, for (time, seq) tie checks *)
+  mutable serving : int array;
+  mutable serve_len : int;
+  mutable serve_pos : int;
+  mutable sorted : bool;  (* [serving.(serve_pos .. serve_len-1)] ascending? *)
+}
+
+type queue = Cal of calendar | Hp of (float * int * int) Pqueue.t
 
 type t = {
-  queue : event Pqueue.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  mutable pending : int;
   rng : Prng.t;
   m_events : Obs.Registry.counter;
+  counting : bool;  (* cached [Obs.Registry.enabled obs] *)
+  queue : queue;
+  mutable handler : src:int -> dst:int -> tag:int -> payload:int -> unit;
+  mutable handler_set : bool;
+  (* chunked struct-of-arrays event pool, indexed by event id; a
+     free-list stack recycles ids so steady-state message traffic
+     allocates nothing *)
+  mutable ev_time : float array array;
+  mutable ev_seq : int array array;
+  mutable ev_link : int array array;
+  mutable ev_tagpay : int array array;
+  mutable nchunks : int;
+  mutable free : int array array;  (* id stack, chunked like the pool *)
+  mutable free_top : int;
+  (* closure events are the rare case: callbacks live in a small side
+     table, referenced through [tagpay] *)
+  mutable cbs : (unit -> unit) array;
+  mutable cb_free : int array;
+  mutable cb_free_top : int;
 }
 
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+let no_callback () = ()
 
-let create ?(seed = 0x51) ?(obs = Obs.Registry.nil) () =
+let default_handler ~src:_ ~dst:_ ~tag:_ ~payload:_ =
+  invalid_arg "Sim: message event fired with no handler installed (set_message_handler)"
+
+let create ?(seed = 0x51) ?(obs = Obs.Registry.nil) ?(engine = Calendar)
+    ?(bucket_width = 1.0) ?(buckets = 512) () =
+  if not (bucket_width > 0.0) then invalid_arg "Sim.create: bucket_width must be positive";
+  if buckets < 1 then invalid_arg "Sim.create: buckets must be positive";
+  let queue =
+    match engine with
+    | Calendar ->
+        (* a power-of-two bucket count turns the per-event modulo into a
+           mask; rounding up only changes the hash spread, never order *)
+        let nbuckets =
+          let b = ref 1 in
+          while !b < buckets do
+            b := 2 * !b
+          done;
+          !b
+        in
+        Cal
+          {
+            width = bucket_width;
+            nbuckets;
+            bmask = nbuckets - 1;
+            bdata = Array.make nbuckets [||];
+            blen = Array.make nbuckets 0;
+            year = 0;
+            w0 = 0.0;
+            w1 = bucket_width;
+            w2 = bucket_width *. 2.0;
+            lt = [| 0.0 |];
+            last_id = -1;
+            serving = [||];
+            serve_len = 0;
+            serve_pos = 0;
+            sorted = true;
+          }
+    | Heap ->
+        Hp
+          (Pqueue.create ~cmp:(fun (t1, s1, _) (t2, s2, _) ->
+               match Float.compare t1 t2 with 0 -> compare (s1 : int) s2 | c -> c))
+  in
   let t =
     {
-      queue = Pqueue.create ~cmp:compare_event;
       clock = 0.0;
       next_seq = 0;
       processed = 0;
+      pending = 0;
       rng = Prng.create ~seed;
       m_events = Obs.Registry.counter obs "sim.events";
+      counting = Obs.Registry.enabled obs;
+      queue;
+      handler = default_handler;
+      handler_set = false;
+      ev_time = [||];
+      ev_seq = [||];
+      ev_link = [||];
+      ev_tagpay = [||];
+      nchunks = 0;
+      free = [||];
+      free_top = 0;
+      cbs = [||];
+      cb_free = [||];
+      cb_free_top = 0;
     }
   in
   Obs.Registry.set_clock obs (fun () -> t.clock);
   t
+
+let engine t = match t.queue with Cal _ -> Calendar | Hp _ -> Heap
 
 let now t = t.clock
 
@@ -35,36 +160,367 @@ let rng t = t.rng
 
 let fork_rng t = Prng.split t.rng
 
+(* -- event pool --------------------------------------------------------- *)
+
+let[@inline] time_of t id =
+  Array.unsafe_get (Array.unsafe_get t.ev_time (id lsr chunk_bits)) (id land chunk_mask)
+
+let[@inline] seq_of t id =
+  Array.unsafe_get (Array.unsafe_get t.ev_seq (id lsr chunk_bits)) (id land chunk_mask)
+
+(* only reached with an empty free list *)
+let add_chunk t =
+  let c = t.nchunks in
+  if c = Array.length t.ev_time then begin
+    (* double the chunk spine (pointer arrays, a few hundred bytes) *)
+    let spine a = Array.append a (Array.make (max 8 c) [||]) in
+    t.ev_time <- spine t.ev_time;
+    t.ev_seq <- spine t.ev_seq;
+    t.ev_link <- spine t.ev_link;
+    t.ev_tagpay <- spine t.ev_tagpay;
+    t.free <- spine t.free
+  end;
+  t.ev_time.(c) <- Array.make chunk_len 0.0;
+  t.ev_seq.(c) <- Array.make chunk_len 0;
+  t.ev_link.(c) <- Array.make chunk_len (-1);
+  t.ev_tagpay.(c) <- Array.make chunk_len 0;
+  t.free.(c) <- Array.make chunk_len 0;
+  t.nchunks <- c + 1;
+  (* the free list is empty here, so the fresh ids occupy stack
+     positions 0..chunk_len-1 — all inside free chunk 0 — stacked
+     descending so the lowest id pops first *)
+  let base = c lsl chunk_bits in
+  let f0 = t.free.(0) in
+  for i = 0 to chunk_len - 1 do
+    f0.(i) <- base + chunk_len - 1 - i
+  done;
+  t.free_top <- chunk_len
+
+let alloc_event t ~time =
+  if t.free_top = 0 then add_chunk t;
+  let p = t.free_top - 1 in
+  t.free_top <- p;
+  let id = Array.unsafe_get (Array.unsafe_get t.free (p lsr chunk_bits)) (p land chunk_mask) in
+  Array.unsafe_set (Array.unsafe_get t.ev_time (id lsr chunk_bits)) (id land chunk_mask) time;
+  Array.unsafe_set (Array.unsafe_get t.ev_seq (id lsr chunk_bits)) (id land chunk_mask) t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.pending <- t.pending + 1;
+  id
+
+let[@inline] release_event t id =
+  let p = t.free_top in
+  Array.unsafe_set (Array.unsafe_get t.free (p lsr chunk_bits)) (p land chunk_mask) id;
+  t.free_top <- p + 1;
+  t.pending <- t.pending - 1
+
+let alloc_cb t cb =
+  if t.cb_free_top = 0 then begin
+    let cap = Array.length t.cbs in
+    let ncap = if cap = 0 then 64 else 2 * cap in
+    let ncbs = Array.make ncap no_callback in
+    Array.blit t.cbs 0 ncbs 0 cap;
+    t.cbs <- ncbs;
+    let nf = Array.make ncap 0 in
+    for i = 0 to ncap - cap - 1 do
+      nf.(i) <- ncap - 1 - i
+    done;
+    t.cb_free <- nf;
+    t.cb_free_top <- ncap - cap
+  end;
+  t.cb_free_top <- t.cb_free_top - 1;
+  let s = t.cb_free.(t.cb_free_top) in
+  t.cbs.(s) <- cb;
+  s
+
+(* -- calendar queue ----------------------------------------------------- *)
+
+let ev_less t a b =
+  let ta = time_of t a and tb = time_of t b in
+  ta < tb || (ta = tb && seq_of t a < seq_of t b)
+
+(* move the service window to [year], keeping the cached bounds in step.
+   [w2] must equal the [w1] this window computes for [year + 1] exactly —
+   same multiplication, same operands — so the steady-state insert fast
+   path below agrees bit-for-bit with the serving filter. *)
+let[@inline] cal_set_year cal year =
+  cal.year <- year;
+  cal.w0 <- cal.width *. float_of_int year;
+  cal.w1 <- cal.width *. float_of_int (year + 1);
+  cal.w2 <- cal.width *. float_of_int (year + 2)
+
+let cal_push_bucket cal id b =
+  let arr = Array.unsafe_get cal.bdata b in
+  let len = Array.unsafe_get cal.blen b in
+  if len = Array.length arr then begin
+    let narr = Array.make (max 8 (2 * len)) 0 in
+    Array.blit arr 0 narr 0 len;
+    cal.bdata.(b) <- narr;
+    narr.(len) <- id
+  end
+  else Array.unsafe_set arr len id;
+  Array.unsafe_set cal.blen b (len + 1)
+
+(* [time] is [time_of t id], already loaded by every caller. The sorted
+   check compares against the previous append through the [lt]/[last_id]
+   cache, so the monotone fast path never re-reads pool chunks. *)
+let cal_push_serving t cal id time =
+  if cal.serve_pos = cal.serve_len then begin
+    cal.serve_pos <- 0;
+    cal.serve_len <- 0;
+    cal.sorted <- true
+  end;
+  let len = cal.serve_len in
+  if len = Array.length cal.serving then begin
+    let narr = Array.make (max 16 (2 * len)) 0 in
+    Array.blit cal.serving 0 narr 0 len;
+    cal.serving <- narr
+  end;
+  (if cal.sorted && len > cal.serve_pos then begin
+     let lt = Array.unsafe_get cal.lt 0 in
+     if time < lt then cal.sorted <- false
+     else if time = lt && seq_of t id < seq_of t cal.last_id then cal.sorted <- false
+   end);
+  Array.unsafe_set cal.lt 0 time;
+  cal.last_id <- id;
+  Array.unsafe_set cal.serving len id;
+  cal.serve_len <- len + 1
+
+(* pull this year's events out of the window's home bucket *)
+let cal_load_bucket t cal =
+  let b = cal.year land cal.bmask in
+  let len = Array.unsafe_get cal.blen b in
+  if len > 0 then begin
+    let w1 = cal.w1 in
+    let arr = Array.unsafe_get cal.bdata b in
+    let keep = ref 0 in
+    for i = 0 to len - 1 do
+      let id = Array.unsafe_get arr i in
+      let tm = time_of t id in
+      if tm < w1 then cal_push_serving t cal id tm
+      else begin
+        Array.unsafe_set arr !keep id;
+        incr keep
+      end
+    done;
+    Array.unsafe_set cal.blen b !keep
+  end
+
+(* The service window advanced past [time]'s year (peeks walk it forward
+   over empty stretches): fold the unserved tail back into its home
+   bucket and restart at [time]'s year. Time never runs backwards past
+   the clock, so served events are unaffected. *)
+let cal_rewind t cal time =
+  let b = cal.year land cal.bmask in
+  for i = cal.serve_pos to cal.serve_len - 1 do
+    cal_push_bucket cal cal.serving.(i) b
+  done;
+  cal.serve_pos <- 0;
+  cal.serve_len <- 0;
+  cal.sorted <- true;
+  cal_set_year cal (int_of_float (time /. cal.width));
+  cal_load_bucket t cal
+
+let cal_insert t cal id =
+  let time = time_of t id in
+  if time < cal.w0 then cal_rewind t cal time;
+  if time < cal.w1 then cal_push_serving t cal id time
+  else if time < cal.w2 then
+    (* next year's window — the steady state of unit-latency flooding;
+       [w2] matches the filter bound bit-for-bit, so no division *)
+    cal_push_bucket cal id ((cal.year + 1) land cal.bmask)
+  else cal_push_bucket cal id (int_of_float (time /. cal.width) land cal.bmask)
+
+(* sort serving.(serve_pos .. serve_len-1) by (time, seq): quicksort down
+   to short runs, then one insertion pass. Keys are distinct (seq is
+   unique), so strict-less partitioning is safe. *)
+let cal_sort t cal =
+  let a = cal.serving in
+  let rec quick lo hi =
+    if hi - lo > 16 then begin
+      let mid = lo + ((hi - lo) / 2) in
+      let p1 = a.(lo) and p2 = a.(mid) and p3 = a.(hi - 1) in
+      let pivot =
+        if ev_less t p1 p2 then
+          if ev_less t p2 p3 then p2 else if ev_less t p1 p3 then p3 else p1
+        else if ev_less t p1 p3 then p1
+        else if ev_less t p2 p3 then p3
+        else p2
+      in
+      let i = ref lo and j = ref (hi - 1) in
+      while !i <= !j do
+        while ev_less t a.(!i) pivot do
+          incr i
+        done;
+        while ev_less t pivot a.(!j) do
+          decr j
+        done;
+        if !i <= !j then begin
+          let tmp = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- tmp;
+          incr i;
+          decr j
+        end
+      done;
+      quick lo (!j + 1);
+      quick !i hi
+    end
+  in
+  quick cal.serve_pos cal.serve_len;
+  for i = cal.serve_pos + 1 to cal.serve_len - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= cal.serve_pos && ev_less t x a.(!j) do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done;
+  cal.sorted <- true;
+  (* the append-monotonicity cache tracks the buffer's last element,
+     which the sort has just moved — refresh it or the next append
+     would compare against a mid-buffer key and miss an inversion *)
+  let last = a.(cal.serve_len - 1) in
+  Array.unsafe_set cal.lt 0 (time_of t last);
+  cal.last_id <- last
+
+(* the id of the earliest pending event, advancing the service window as
+   needed; -1 when the queue is empty. Does not consume. *)
+let cal_locate t cal =
+  if t.pending = 0 then -1
+  else if cal.serve_pos < cal.serve_len then begin
+    if not cal.sorted then cal_sort t cal;
+    cal.serving.(cal.serve_pos)
+  end
+  else begin
+    let scanned = ref 0 in
+    while cal.serve_pos >= cal.serve_len do
+      if !scanned >= cal.nbuckets then begin
+        (* a whole year of empty windows: jump straight to the earliest
+           pending event instead of stepping bucket by bucket *)
+        let best = ref infinity in
+        for b = 0 to cal.nbuckets - 1 do
+          let arr = Array.unsafe_get cal.bdata b in
+          for i = 0 to Array.unsafe_get cal.blen b - 1 do
+            let tm = time_of t (Array.unsafe_get arr i) in
+            if tm < !best then best := tm
+          done
+        done;
+        cal_set_year cal (int_of_float (!best /. cal.width));
+        scanned := 0
+      end
+      else begin
+        cal_set_year cal (cal.year + 1);
+        incr scanned
+      end;
+      cal_load_bucket t cal
+    done;
+    if not cal.sorted then cal_sort t cal;
+    cal.serving.(cal.serve_pos)
+  end
+
+(* -- scheduling --------------------------------------------------------- *)
+
+let enqueue t id =
+  match t.queue with
+  | Cal cal -> cal_insert t cal id
+  | Hp q -> Pqueue.push q (time_of t id, seq_of t id, id)
+
+let[@inline] set_link t id v =
+  Array.unsafe_set (Array.unsafe_get t.ev_link (id lsr chunk_bits)) (id land chunk_mask) v
+
+let[@inline] set_tagpay t id v =
+  Array.unsafe_set (Array.unsafe_get t.ev_tagpay (id lsr chunk_bits)) (id land chunk_mask) v
+
 let schedule_at t ~time callback =
   if time < t.clock then invalid_arg "Sim.schedule_at: time is in the past";
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  Pqueue.push t.queue { time; seq; callback }
+  let slot = alloc_cb t callback in
+  let id = alloc_event t ~time in
+  set_link t id (-1);
+  set_tagpay t id slot;
+  enqueue t id
 
 let schedule t ~delay callback =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) callback
 
+let set_message_handler t f =
+  if t.handler_set then invalid_arg "Sim.set_message_handler: handler already installed";
+  t.handler_set <- true;
+  t.handler <- f
+
+let[@inline] message_core t ~time ~src ~dst ~tag ~payload =
+  (* negative values have high bits set, so the shifts also catch them *)
+  if (src lor dst) lsr link_bits <> 0 then
+    invalid_arg "Sim.schedule_message: src/dst outside [0, 2^31)";
+  if tag lsr tag_bits <> 0 then invalid_arg "Sim.schedule_message: tag outside [0, 4)";
+  if payload < 0 then invalid_arg "Sim.schedule_message: negative payload";
+  let id = alloc_event t ~time in
+  set_link t id ((src lsl link_bits) lor dst);
+  set_tagpay t id ((payload lsl tag_bits) lor tag);
+  enqueue t id
+
+let schedule_message t ~time ~src ~dst ~tag ~payload =
+  if time < t.clock then invalid_arg "Sim.schedule_message: time is in the past";
+  message_core t ~time ~src ~dst ~tag ~payload
+
+(* The per-message hot path: saves the caller a [now] round trip (and
+   the boxed float it would pass back) on every send. *)
+let schedule_message_after t ~delay ~src ~dst ~tag ~payload =
+  if delay < 0.0 then invalid_arg "Sim.schedule_message_after: negative delay";
+  message_core t ~time:(t.clock +. delay) ~src ~dst ~tag ~payload
+
+(* -- execution ---------------------------------------------------------- *)
+
+let pop_next t =
+  match t.queue with
+  | Cal cal ->
+      let id = cal_locate t cal in
+      if id >= 0 then cal.serve_pos <- cal.serve_pos + 1;
+      id
+  | Hp q -> ( match Pqueue.pop q with Some (_, _, id) -> id | None -> -1)
+
+let peek_id t =
+  match t.queue with
+  | Cal cal -> cal_locate t cal
+  | Hp q -> ( match Pqueue.peek q with Some (_, _, id) -> id | None -> -1)
+
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.time;
-      t.processed <- t.processed + 1;
-      Obs.Registry.incr t.m_events;
-      ev.callback ();
-      true
+  let id = pop_next t in
+  if id < 0 then false
+  else begin
+    let c = id lsr chunk_bits and o = id land chunk_mask in
+    t.clock <- Array.unsafe_get (Array.unsafe_get t.ev_time c) o;
+    t.processed <- t.processed + 1;
+    if t.counting then Obs.Registry.incr t.m_events;
+    let link = Array.unsafe_get (Array.unsafe_get t.ev_link c) o in
+    let tp = Array.unsafe_get (Array.unsafe_get t.ev_tagpay c) o in
+    (* recycle before dispatch: the handler may schedule into this slot *)
+    release_event t id;
+    if link >= 0 then
+      t.handler ~src:(link lsr link_bits) ~dst:(link land link_mask) ~tag:(tp land tag_mask)
+        ~payload:(tp lsr tag_bits)
+    else begin
+      let cb = t.cbs.(tp) in
+      t.cbs.(tp) <- no_callback;
+      t.cb_free.(t.cb_free_top) <- tp;
+      t.cb_free_top <- t.cb_free_top + 1;
+      cb ()
+    end;
+    true
+  end
 
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> true
-    | Some limit -> ( match Pqueue.peek t.queue with Some ev -> ev.time <= limit | None -> false)
-  in
-  while continue () && step t do
-    ()
-  done
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        let id = peek_id t in
+        if id < 0 || time_of t id > limit then continue := false
+        else ignore (step t : bool)
+      done
 
 let events_processed t = t.processed
 
-let pending t = Pqueue.length t.queue
+let pending t = t.pending

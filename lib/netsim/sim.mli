@@ -1,19 +1,53 @@
 (** Discrete-event simulation engine.
 
-    A classic event-queue simulator: callbacks scheduled at virtual
-    times, executed in (time, insertion-sequence) order, so runs are
-    fully deterministic given a seed — ties never depend on hash or
-    allocation order. The engine knows nothing about networks; see
-    {!Network} for the message-passing layer built on top. *)
+    Callbacks and messages scheduled at virtual times, executed in
+    (time, insertion-sequence) order, so runs are fully deterministic
+    given a seed — ties never depend on hash or allocation order. The
+    engine knows nothing about networks; see {!Network} for the
+    message-passing layer built on top.
+
+    Two interchangeable queue engines produce the identical execution
+    order:
+
+    - {!Calendar} (default) — a calendar queue: events hash into time
+      buckets of [bucket_width], and only the current service window is
+      ever sorted. Constant-latency flooding appends in near-sorted
+      order, so the common case is O(1) per event with zero allocation
+      (event fields live in a recycled struct-of-arrays pool).
+    - {!Heap} — the classic binary-heap ordering, kept as the reference
+      implementation for differential tests.
+
+    Messages are the allocation-free fast path: four integer fields
+    ([src]/[dst]/[tag]/[payload]) delivered to a single pre-installed
+    handler ({!set_message_handler}), instead of one closure per
+    event. *)
 
 type t
 
-val create : ?seed:int -> ?obs:Obs.Registry.t -> unit -> t
+type engine =
+  | Calendar  (** bucketed calendar queue — the default *)
+  | Heap  (** reference binary heap, for differential testing *)
+
+val create :
+  ?seed:int ->
+  ?obs:Obs.Registry.t ->
+  ?engine:engine ->
+  ?bucket_width:float ->
+  ?buckets:int ->
+  unit ->
+  t
 (** Fresh simulator at time 0 with a deterministic RNG (default seed
     0x51). With [?obs], the registry's span-event clock is pointed at
     this simulation's virtual time and every executed event bumps the
     ["sim.events"] counter — the shared timeline that lets protocol
-    spans, wire traces and metrics line up. *)
+    spans, wire traces and metrics line up.
+
+    [bucket_width] (default 1.0) and [buckets] (default 512) shape the
+    calendar queue; they affect performance only, never ordering. The
+    defaults suit unit-latency networks, where one bucket holds one
+    flood round. *)
+
+val engine : t -> engine
 
 val now : t -> float
 (** Current virtual time. *)
@@ -30,6 +64,28 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time ≥ {!now}. *)
+
+val set_message_handler :
+  t -> (src:int -> dst:int -> tag:int -> payload:int -> unit) -> unit
+(** Install the sink for message events. One handler per simulator — a
+    second install raises — because messages carry no closure: whoever
+    owns the handler owns the meaning of [tag]/[payload]. *)
+
+val schedule_message :
+  t -> time:float -> src:int -> dst:int -> tag:int -> payload:int -> unit
+(** Schedule a message event at an absolute virtual time ≥ {!now}, to be
+    delivered to the {!set_message_handler} sink. The four fields are
+    packed into two pooled integers, so [src] and [dst] must lie in
+    [0, 2^31), [tag] in [0, 4), and [payload] must be ≥ 0 (below 2^60).
+    Allocation-free in steady state: the pool grows chunk-wise and never
+    copies, so memory is touched once however large the backlog. *)
+
+val schedule_message_after :
+  t -> delay:float -> src:int -> dst:int -> tag:int -> payload:int -> unit
+(** [schedule_message] at [now + delay]. The per-message hot path for
+    senders that think in delays: one call instead of a {!now} round
+    trip, and a constant [delay] costs no float boxing at the call
+    site. @raise Invalid_argument on a negative [delay]. *)
 
 val step : t -> bool
 (** Execute the next event; [false] when the queue is empty. *)

@@ -5,6 +5,7 @@ type t =
   | Invalid_probability of float
   | Invalid_steps of int
   | Invalid_trace of { line : int; reason : string }
+  | Node_cap of { requested : int; cap : int }
 
 let pp fmt = function
   | No_topology { family; n; k; reason } ->
@@ -18,5 +19,8 @@ let pp fmt = function
   | Invalid_steps s -> Format.fprintf fmt "steps must be >= 0, got %d" s
   | Invalid_trace { line; reason } ->
       Format.fprintf fmt "trace line %d: %s" line reason
+  | Node_cap { requested; cap } ->
+      Format.fprintf fmt "n=%d exceeds the node cap %d (raise LHG_MAX_NODES to override)"
+        requested cap
 
 let to_string e = Format.asprintf "%a" pp e

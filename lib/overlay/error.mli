@@ -18,6 +18,10 @@ type t =
   | Invalid_steps of int  (** negative step count. *)
   | Invalid_trace of { line : int; reason : string }
       (** A controller request trace that does not parse. *)
+  | Node_cap of { requested : int; cap : int }
+      (** A size request above the configured node cap — refused up
+          front instead of letting the build run the machine out of
+          memory. The CLI cap comes from [LHG_MAX_NODES]. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -56,7 +56,7 @@ val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (worker:int -> int -> 
     every [i] in [lo .. hi - 1], distributing chunks of indices over
     the participants. [worker] identifies the executing participant —
     use it to index per-participant scratch (workspaces, flow
-    networks). [chunk] (default: [max 1 ((hi - lo) / (8 * size))])
+    networks). [chunk] (default: [max 1 ((hi - lo) / (4 * size))])
     trades scheduling overhead against load balance. Iterations must
     be independent: they may write to disjoint data (e.g. slot [i] of
     a result array) but must not order-depend on each other. On a

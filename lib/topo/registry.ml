@@ -1,4 +1,5 @@
 module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
 module Build = Lhg_core.Build
 
 type entry = {
@@ -7,6 +8,7 @@ type entry = {
   admissible : n:int -> k:int -> bool;
   requirement : string;
   build : n:int -> k:int -> seed:int -> (Graph.t, string) result;
+  build_csr : (big:bool -> n:int -> k:int -> seed:int -> (Csr.t, string) result) option;
   construction : Build.construction option;
 }
 
@@ -22,6 +24,12 @@ let lhg_entry name doc construction =
         match Build.build construction ~n ~k with
         | Ok b -> Ok b.Build.graph
         | Error e -> Error (Build.error_to_string e));
+    build_csr =
+      Some
+        (fun ~big ~n ~k ~seed:_ ->
+          match Build.build_csr ~big construction ~n ~k with
+          | Ok csr -> Ok csr
+          | Error e -> Error (Build.error_to_string e));
     construction = Some construction;
   }
 
@@ -34,6 +42,7 @@ let plain_entry name doc ~admissible ~requirement f =
     build =
       (fun ~n ~k ~seed ->
         if admissible ~n ~k then Ok (f ~n ~k ~seed) else Error requirement);
+    build_csr = None;
     construction = None;
   }
 
@@ -82,6 +91,14 @@ let build_graph ~kind ~n ~k ~seed =
       Error
         (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
   | Some e -> e.build ~n ~k ~seed
+
+let build_csr_graph ?(big = false) ~kind ~n ~k ~seed () =
+  match find kind with
+  | None ->
+      Error
+        (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
+  | Some { build_csr = Some f; _ } -> f ~big ~n ~k ~seed
+  | Some e -> Result.map (Csr.of_graph ~big) (e.build ~n ~k ~seed)
 
 let witness ~kind ~n ~k =
   match find kind with

@@ -14,6 +14,12 @@ type entry = {
   requirement : string;  (** human-readable admissibility rule *)
   build : n:int -> k:int -> seed:int -> (Graph_core.Graph.t, string) result;
       (** [seed] only matters for randomised families (expander). *)
+  build_csr :
+    (big:bool -> n:int -> k:int -> seed:int -> (Graph_core.Csr.t, string) result) option;
+      (** Direct-to-CSR builder ({!Lhg_core.Build.build_csr}) for
+          entries that can realise without an adjacency-set graph —
+          the LHG constructions. [None] means go through [build] and
+          freeze (what {!build_csr_graph} does for you). *)
   construction : Lhg_core.Build.construction option;
       (** The LHG construction behind this entry, when there is one —
           gateway to witnesses, routes and shape inspection. *)
@@ -30,6 +36,19 @@ val build_graph :
   kind:string -> n:int -> k:int -> seed:int -> (Graph_core.Graph.t, string) result
 (** Look up and build in one step. Unknown kinds report the known names;
     inadmissible parameters report the entry's requirement. *)
+
+val build_csr_graph :
+  ?big:bool ->
+  kind:string ->
+  n:int ->
+  k:int ->
+  seed:int ->
+  unit ->
+  (Graph_core.Csr.t, string) result
+(** Look up and build a CSR snapshot in one step: the entry's direct
+    [build_csr] when it has one, otherwise [build] followed by
+    [Csr.of_graph]. [~big] (default false) selects off-heap Bigarray
+    adjacency. *)
 
 val witness : kind:string -> n:int -> k:int -> Lhg_core.Build.t option
 (** The structural witness, for entries backed by an LHG construction

@@ -108,6 +108,27 @@ let prop_flooding_covers_any_connected_graph =
       let r = Flooding.run_env ~env:Flood.Env.default ~graph:g ~source:(Prng.int rngv n) () in
       r.Flooding.covers_all_alive)
 
+let prop_engines_identical_wire_traces =
+  qcheck ~count:25 "calendar and heap engines leave byte-identical wire traces"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rngv = Prng.create ~seed in
+      let n = 8 + Prng.int rngv 40 in
+      match Lhg_core.Build.kdiamond ~n ~k:4 with
+      | Error _ -> false
+      | Ok b ->
+          let flood engine =
+            let trace = Netsim.Trace.create () in
+            let env =
+              Flood.Env.make
+                ~latency:(Netsim.Network.uniform_latency ~lo:0.25 ~hi:3.0)
+                ~loss_rate:0.05 ~processing_delay:0.125 ~seed ~engine ~trace ()
+            in
+            let r = Flooding.run_env ~env ~graph:b.Lhg_core.Build.graph ~source:0 () in
+            (Netsim.Trace.events trace, r.Flooding.messages_sent, r.Flooding.delivery_time)
+          in
+          flood Netsim.Sim.Calendar = flood Netsim.Sim.Heap)
+
 let suite =
   [
     Alcotest.test_case "full coverage" `Quick test_full_coverage_no_failures;
@@ -123,4 +144,5 @@ let suite =
     Alcotest.test_case "latency variation" `Quick test_latency_variation_still_covers;
     Alcotest.test_case "determinism" `Quick test_determinism_same_seed;
     prop_flooding_covers_any_connected_graph;
+    prop_engines_identical_wire_traces;
   ]

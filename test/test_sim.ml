@@ -86,6 +86,88 @@ let test_fork_rng_independent () =
   let a = Sim.fork_rng s and b = Sim.fork_rng s in
   check_bool "forks differ" true (Graph_core.Prng.bits64 a <> Graph_core.Prng.bits64 b)
 
+let test_message_handler () =
+  let s = Sim.create () in
+  let log = ref [] in
+  Sim.set_message_handler s (fun ~src ~dst ~tag ~payload -> log := (src, dst, tag, payload) :: !log);
+  Sim.schedule_message s ~time:2.0 ~src:7 ~dst:9 ~tag:3 ~payload:41;
+  Sim.schedule_message s ~time:1.0 ~src:1 ~dst:2 ~tag:0 ~payload:0;
+  Sim.run s;
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "messages in time order"
+    [ ((1, 2), (0, 0)); ((7, 9), (3, 41)) ]
+    (List.rev_map (fun (a, b, c, d) -> ((a, b), (c, d))) !log);
+  let again () = Sim.set_message_handler s (fun ~src:_ ~dst:_ ~tag:_ ~payload:_ -> ()) in
+  Alcotest.check_raises "second handler rejected"
+    (Invalid_argument "Sim.set_message_handler: handler already installed") again
+
+let test_message_field_validation () =
+  let s = Sim.create () in
+  Sim.set_message_handler s (fun ~src:_ ~dst:_ ~tag:_ ~payload:_ -> ());
+  let reject msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  reject "Sim.schedule_message: src/dst outside [0, 2^31)" (fun () ->
+      Sim.schedule_message s ~time:0.0 ~src:(-1) ~dst:0 ~tag:0 ~payload:0);
+  reject "Sim.schedule_message: src/dst outside [0, 2^31)" (fun () ->
+      Sim.schedule_message s ~time:0.0 ~src:0 ~dst:(1 lsl 31) ~tag:0 ~payload:0);
+  reject "Sim.schedule_message: tag outside [0, 4)" (fun () ->
+      Sim.schedule_message s ~time:0.0 ~src:0 ~dst:0 ~tag:4 ~payload:0);
+  reject "Sim.schedule_message: negative payload" (fun () ->
+      Sim.schedule_message s ~time:0.0 ~src:0 ~dst:0 ~tag:0 ~payload:(-1));
+  reject "Sim.schedule_message: time is in the past" (fun () ->
+      Sim.schedule_message s ~time:(-1.0) ~src:0 ~dst:0 ~tag:0 ~payload:0)
+
+(* Differential harness: replay one random nested timeline on a given
+   engine and log every execution. Callbacks reschedule more work, so
+   any ordering divergence between engines derails the shared RNG and
+   shows up as a different log. Bucket geometry is randomised to hit the
+   calendar's rewind and empty-window scan paths, not just the
+   monotone-append fast path. *)
+let run_workload ~engine ~seed ~bucket_width ~buckets =
+  let s = Sim.create ~engine ~bucket_width ~buckets () in
+  let rng = Graph_core.Prng.create ~seed in
+  let log = Buffer.create 1024 in
+  Sim.set_message_handler s (fun ~src ~dst ~tag ~payload ->
+      Buffer.add_string log
+        (Printf.sprintf "m %.17g %d %d %d %d;" (Sim.now s) src dst tag payload));
+  let next = ref 0 in
+  let rec spawn depth =
+    let id = !next in
+    incr next;
+    let delay = float_of_int (Graph_core.Prng.int rng 400) /. 16.0 in
+    match Graph_core.Prng.int rng 3 with
+    | 0 ->
+        Sim.schedule s ~delay (fun () ->
+            Buffer.add_string log (Printf.sprintf "c %.17g %d;" (Sim.now s) id);
+            if depth > 0 then
+              for _ = 1 to Graph_core.Prng.int rng 3 do
+                spawn (depth - 1)
+              done)
+    | 1 ->
+        Sim.schedule_at s
+          ~time:(Sim.now s +. delay)
+          (fun () ->
+            Buffer.add_string log (Printf.sprintf "a %.17g %d;" (Sim.now s) id);
+            if depth > 0 then spawn (depth - 1))
+    | _ ->
+        Sim.schedule_message s
+          ~time:(Sim.now s +. delay)
+          ~src:(Graph_core.Prng.int rng 1000) ~dst:(Graph_core.Prng.int rng 1000)
+          ~tag:(Graph_core.Prng.int rng 4) ~payload:id
+  in
+  for _ = 1 to 25 do
+    spawn 2
+  done;
+  Sim.run s;
+  (Buffer.contents log, Sim.events_processed s, Sim.now s)
+
+let prop_calendar_matches_heap =
+  qcheck ~count:60 "calendar engine replays the heap engine's order exactly"
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 64) (int_range 2 64))
+    (fun (seed, w16, buckets) ->
+      let bucket_width = float_of_int w16 /. 16.0 in
+      run_workload ~engine:Sim.Heap ~seed ~bucket_width ~buckets
+      = run_workload ~engine:Sim.Calendar ~seed ~bucket_width ~buckets)
+
 let suite =
   [
     Alcotest.test_case "initial state" `Quick test_initial_state;
@@ -99,4 +181,7 @@ let suite =
     Alcotest.test_case "events processed" `Quick test_events_processed;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "fork rng" `Quick test_fork_rng_independent;
+    Alcotest.test_case "message handler" `Quick test_message_handler;
+    Alcotest.test_case "message field validation" `Quick test_message_field_validation;
+    prop_calendar_matches_heap;
   ]
