@@ -1,19 +1,21 @@
-(* B6 → PR 6: machine-readable benchmark, now with the calendar-queue
-   scheduler and the off-heap CSR hot core.
+(* B7 → PR 7: machine-readable benchmark, now with the sustained-
+   traffic engine on top of the calendar-queue + off-heap CSR core.
 
-   Writes BENCH_PR6.json — op name → ns/run for the established op set
-   (names kept identical so the committed BENCH_PR5.json baseline stays
-   comparable; the headline speedup_vs_pr5 entry is
-   flood_async_n1026_obs_off, the async flood rebuilt on the pooled
-   calendar queue), plus 1/2/4/8-domain scaling curves for the four
+   Writes BENCH_PR7.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR6.json baseline stays
+   comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths, a chaos section, a controller section, the
-   131k flooding ops, and the new million-node experiment: build the
-   n=2^20+2 kdiamond straight into a Bigarray CSR and async-flood it,
-   wall-clocked against a 5-second budget, with a cross-engine
-   (calendar vs heap) identity check on the outcome. Pure-stdlib timing
-   (monotonic-enough wall clock, budgeted repetition loop) rather than
-   bechamel, so the output is stable, dependency-light and trivially
-   parseable.
+   131k flooding ops, the million-node flood experiment (n=2^20+2
+   kdiamond, 5-second budget, cross-engine identity), and the new
+   traffic section: multi-source streams through capacity-limited
+   links at n=1026 — LHG kdiamond against the random k-regular pairing
+   model at matched degree (the Kim–Srikant comparison), with delay
+   percentiles, queue maxima and a Calendar-vs-Heap byte-identity
+   check on the lhg-traffic/1 document — and a million-message
+   sustained stream on the n=2^17+2 kdiamond CSR, wall-clocked against
+   a 10-second budget. Pure-stdlib timing (monotonic-enough wall
+   clock, budgeted repetition loop) rather than bechamel, so the
+   output is stable, dependency-light and trivially parseable.
 
    The scaling numbers are honest: [domains_available] records what the
    machine actually offers (a 1-core container timeshares its domains
@@ -109,9 +111,9 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR6.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR7.json" in
   print_endline
-    "=== B6  JSON benchmark: calendar-queue floods + off-heap CSR + million-node smoke ===";
+    "=== B7  JSON benchmark: sustained traffic + calendar-queue floods + million-node smoke ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
 
   (* the 16k graph is built after the n=1026 op group below: the hot
@@ -444,6 +446,101 @@ let () =
   Printf.printf "wire traces identical across engines (n=1026): %b\n%!" trace_identical;
   if not trace_identical then failwith "wire traces differ across engines";
 
+  (* ------------------------------------------------------------------
+     Sustained traffic (PR 7). Two halves:
+
+     1. The Kim–Srikant comparison at n=1026, matched degree k=4:
+        the same multi-source workload drummed through capacity-
+        limited links on the LHG kdiamond and on the random k-regular
+        pairing model, reporting delay percentiles, queue maxima and
+        wall-clock message throughput, plus a Calendar-vs-Heap
+        byte-identity check on the whole lhg-traffic/1 document.
+
+     2. The million-message stream: the n=2^17+2 kdiamond CSR already
+        frozen above, 4 sources x 2 chunks (> 4M wire messages), one
+        wall-clocked shot against a 10 s budget. *)
+  print_endline "--- sustained traffic ---";
+  let traffic_seed = 7 in
+  let traffic_workload =
+    Traffic.Workload.default
+    |> Traffic.Workload.with_source_count 4
+    |> Traffic.Workload.with_chunks_per_source 8
+    |> Traffic.Workload.with_rate 0.05
+  in
+  let traffic_capacity = 1.0 and traffic_queue_cap = 8 in
+  let traffic_env engine =
+    Flood.Env.default |> Flood.Env.with_seed traffic_seed
+    |> Flood.Env.with_link_capacity traffic_capacity
+    |> Flood.Env.with_queue_cap traffic_queue_cap
+    |> Flood.Env.with_engine engine
+  in
+  let traffic_run ?(engine = Netsim.Sim.Calendar) csr =
+    Traffic.Driver.run_csr_env ~env:(traffic_env engine) ~csr ~workload:traffic_workload ()
+  in
+  let c_rr =
+    match
+      Topo.Random_regular.make (Graph_core.Prng.create ~seed:traffic_seed) ~n:1026 ~k:4
+    with
+    | Ok g -> Csr.of_graph g
+    | Error e -> failwith e
+  in
+  let traffic_contenders = [ ("kdiamond", c1k); ("random_regular", c_rr) ] in
+  let traffic_rows =
+    List.map
+      (fun (topology, csr) ->
+        let r = traffic_run csr in
+        let ns =
+          bench ~min_reps:2 (Printf.sprintf "traffic_%s_n1026" topology) (fun () ->
+              traffic_run csr)
+        in
+        let wall_msgs_per_sec = float_of_int r.Traffic.Driver.wire_messages *. 1e9 /. ns in
+        (topology, r, ns, wall_msgs_per_sec))
+      traffic_contenders
+  in
+  List.iter
+    (fun (topology, r, _, mps) ->
+      Printf.printf
+        "traffic %-15s delivery=%.4f p50=%.2f p95=%.2f p99=%.2f backlog=%d %.0f msgs/s\n%!"
+        topology r.Traffic.Driver.delivery_fraction r.Traffic.Driver.p50_delay
+        r.Traffic.Driver.p95_delay r.Traffic.Driver.p99_delay
+        r.Traffic.Driver.max_queue_backlog mps)
+    traffic_rows;
+  (* the whole queued-stream document must not depend on the engine *)
+  let traffic_doc engine =
+    Traffic.Driver.to_json ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
+      (traffic_run ~engine c1k)
+  in
+  let traffic_engines_identical =
+    String.equal (traffic_doc Netsim.Sim.Calendar) (traffic_doc Netsim.Sim.Heap)
+  in
+  Printf.printf "traffic lhg-traffic/1 identical across engines: %b\n%!"
+    traffic_engines_identical;
+  if not traffic_engines_identical then
+    failwith "lhg-traffic/1 differs across event engines";
+  (* million-message stream: free-running (no capacity) so the number
+     measures raw sustained flooding throughput, one timed shot *)
+  let mil_traffic_workload =
+    Traffic.Workload.default
+    |> Traffic.Workload.with_source_count 4
+    |> Traffic.Workload.with_chunks_per_source 2
+    |> Traffic.Workload.with_rate 0.05
+  in
+  let mil_traffic_budget_s = 10.0 in
+  let t0 = Unix.gettimeofday () in
+  let mil_traffic =
+    Traffic.Driver.run_csr_env
+      ~env:(Flood.Env.default |> Flood.Env.with_seed traffic_seed)
+      ~csr:cbig_direct ~workload:mil_traffic_workload ()
+  in
+  let mil_traffic_s = Unix.gettimeofday () -. t0 in
+  let mil_traffic_mps = float_of_int mil_traffic.Traffic.Driver.wire_messages /. mil_traffic_s in
+  Printf.printf
+    "traffic million: n=%d, %d wire msgs in %.3fs (budget %.1fs) = %.0f msgs/s, covered=%b\n%!"
+    nbig mil_traffic.Traffic.Driver.wire_messages mil_traffic_s mil_traffic_budget_s
+    mil_traffic_mps mil_traffic.Traffic.Driver.all_covered;
+  if not mil_traffic.Traffic.Driver.all_covered then
+    failwith "million-message stream missed a node";
+
   let speedup_bfs = bfs_set_1k /. bfs_csr_1k in
   let speedup_flood = flood_set_1k /. flood_csr_1k in
   Printf.printf "bfs n=1026 csr speedup: %.2fx; sync flood: %.2fx; bfs n=131074: %.2fx\n%!"
@@ -458,11 +555,11 @@ let () =
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR5.json" in
+  let baseline = read_baseline_ops "BENCH_PR6.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 6,\n";
+  Buffer.add_string buf "  \"pr\": 7,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -592,10 +689,95 @@ let () =
     (Printf.sprintf "    \"deterministic_across_jobs\": %b,\n" ctrl_deterministic);
   Buffer.add_string buf (Printf.sprintf "    \"boundary_ok\": %b\n" ctrl_boundary_ok);
   Buffer.add_string buf "  },\n";
-  (* two views of the same comparison against the committed PR-4
+  (* the sustained-traffic section: the Kim–Srikant comparison table
+     (LHG kdiamond vs random k-regular at matched degree through the
+     same capacity-limited links) and the million-message stream — the
+     PR-7 headline CI asserts on *)
+  Buffer.add_string buf "  \"traffic\": {\n";
+  Buffer.add_string buf "    \"n\": 1026,\n";
+  Buffer.add_string buf "    \"k\": 4,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"link_capacity\": %g,\n" traffic_capacity);
+  Buffer.add_string buf (Printf.sprintf "    \"queue_cap\": %d,\n" traffic_queue_cap);
+  Buffer.add_string buf "    \"workload\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      \"arrival\": \"%s\",\n"
+       (Traffic.Workload.arrival_name traffic_workload.Traffic.Workload.arrival));
+  Buffer.add_string buf
+    (Printf.sprintf "      \"sources\": %d,\n" traffic_workload.Traffic.Workload.source_count);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"chunks_per_source\": %d,\n"
+       traffic_workload.Traffic.Workload.chunks_per_source);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"rate\": %g\n" traffic_workload.Traffic.Workload.rate);
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"deterministic_across_engines\": %b,\n" traffic_engines_identical);
+  Buffer.add_string buf "    \"comparison\": [\n";
+  List.iteri
+    (fun i (topology, (r : Traffic.Driver.result), ns, mps) ->
+      Buffer.add_string buf "      {\n";
+      Buffer.add_string buf (Printf.sprintf "        \"topology\": \"%s\",\n" topology);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"wire_messages\": %d,\n" r.Traffic.Driver.wire_messages);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"deliveries\": %d,\n" r.Traffic.Driver.deliveries);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"dropped_queue\": %d,\n" r.Traffic.Driver.dropped_queue);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"delivery_fraction\": %.6f,\n"
+           r.Traffic.Driver.delivery_fraction);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"p50_delay\": %.3f,\n" r.Traffic.Driver.p50_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"p95_delay\": %.3f,\n" r.Traffic.Driver.p95_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"p99_delay\": %.3f,\n" r.Traffic.Driver.p99_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"max_delay\": %.3f,\n" r.Traffic.Driver.max_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"max_queue_backlog\": %d,\n"
+           r.Traffic.Driver.max_queue_backlog);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"duration_virtual\": %.3f,\n" r.Traffic.Driver.duration);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"throughput_virtual\": %.3f,\n" r.Traffic.Driver.throughput);
+      Buffer.add_string buf (Printf.sprintf "        \"run_ns\": %.1f,\n" ns);
+      Buffer.add_string buf (Printf.sprintf "        \"wall_msgs_per_sec\": %.1f\n" mps);
+      Buffer.add_string buf
+        (Printf.sprintf "      }%s\n" (if i = List.length traffic_rows - 1 then "" else ",")))
+    traffic_rows;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf "    \"million_message_stream\": {\n";
+  Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nbig);
+  Buffer.add_string buf "      \"k\": 4,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      \"sources\": %d,\n"
+       mil_traffic_workload.Traffic.Workload.source_count);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"chunks_per_source\": %d,\n"
+       mil_traffic_workload.Traffic.Workload.chunks_per_source);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"wire_messages\": %d,\n" mil_traffic.Traffic.Driver.wire_messages);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"deliveries\": %d,\n" mil_traffic.Traffic.Driver.deliveries);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"all_covered\": %b,\n" mil_traffic.Traffic.Driver.all_covered);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"p99_delay\": %.3f,\n" mil_traffic.Traffic.Driver.p99_delay);
+  Buffer.add_string buf (Printf.sprintf "      \"wall_seconds\": %.3f,\n" mil_traffic_s);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"wall_msgs_per_sec\": %.1f,\n" mil_traffic_mps);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"budget_seconds\": %.1f,\n" mil_traffic_budget_s);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"within_budget\": %b\n" (mil_traffic_s <= mil_traffic_budget_s));
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  },\n";
+  (* two views of the same comparison against the committed PR-6
      baseline, where op names match: vs_baseline_* is new/old (< 1.05
-     means no regression), speedup_vs_pr4 is old/new (what CI asserts
-     >= 1.0 on for at least one op) *)
+     means no regression), speedup_vs_pr6 is old/new (CI asserts the
+     async flood has not regressed) *)
   let comparable =
     List.filter_map
       (fun (name, old_ns) ->
@@ -605,7 +787,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr5\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr6\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -613,7 +795,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR5\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR6\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf

@@ -8,6 +8,7 @@
      chaos     audit flooding against adversarial fault plans
      metrics   replay a protocol run and print its metrics registry
      diameter  diameter comparison across topologies for one n, k
+     traffic   sustained multi-source streams over capacity-limited links
 
    All topology dispatch goes through Topo.Registry — adding a family
    there makes it available to every subcommand at once.
@@ -306,50 +307,52 @@ let chaos_text c ~adversary_name ~nplans report =
 
 let chaos_json c ~adversary_name ~nplans report =
   let open Chaos.Audit in
-  let buf = Buffer.create 4096 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let module S = Obs.Stream in
   let json_ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]" in
   let json_links l =
     "[" ^ String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "[%d, %d]" u v) l) ^ "]"
   in
-  add "{\n";
-  add "  \"schema\": \"lhg-chaos/1\",\n";
-  add "  \"topology\": %S,\n" c.kind;
-  add "  \"n\": %d,\n" c.n;
-  add "  \"k\": %d,\n" report.k;
-  add "  \"source\": %d,\n" report.source;
-  add "  \"seed\": %d,\n" c.seed;
-  add "  \"adversary\": %S,\n" adversary_name;
-  add "  \"plans\": %d,\n" nplans;
-  add "  \"boundary_ok\": %b,\n" report.boundary_ok;
-  add "  \"matrix\": [\n";
-  List.iteri
-    (fun i row ->
-      add "    {\"faults\": %d, \"plans\": %d, \"complete\": %d, \"stochastic\": %d}%s\n"
-        row.faults row.plans row.complete_plans row.stochastic_plans
-        (if i = List.length report.matrix - 1 then "" else ","))
-    report.matrix;
-  add "  ],\n";
-  add "  \"reports\": [\n";
-  List.iteri
-    (fun i r ->
-      add
-        "    {\"index\": %d, \"weight\": %d, \"stochastic\": %b, \"complete\": %b, \"delivered\": \
-         %d, \"obligated\": %d, \"completion_time\": %g, \"messages\": %d}%s\n"
-        r.index r.weight r.stochastic r.complete r.delivered r.obligated r.completion_time
-        r.messages
-        (if i = List.length report.reports - 1 then "" else ","))
-    report.reports;
-  add "  ],\n";
+  let s = S.create ~schema:"lhg-chaos/1" () in
+  S.str s "topology" c.kind;
+  S.int s "n" c.n;
+  S.int s "k" report.k;
+  S.int s "source" report.source;
+  S.int s "seed" c.seed;
+  S.str s "adversary" adversary_name;
+  S.int s "plans" nplans;
+  S.bool s "boundary_ok" report.boundary_ok;
+  S.arr s "matrix" (fun s ->
+      List.iter
+        (fun row ->
+          S.element s (fun s ->
+              S.int s "faults" row.faults;
+              S.int s "plans" row.plans;
+              S.int s "complete" row.complete_plans;
+              S.int s "stochastic" row.stochastic_plans))
+        report.matrix);
+  S.arr s "reports" (fun s ->
+      List.iter
+        (fun r ->
+          S.element s (fun s ->
+              S.int s "index" r.index;
+              S.int s "weight" r.weight;
+              S.bool s "stochastic" r.stochastic;
+              S.bool s "complete" r.complete;
+              S.int s "delivered" r.delivered;
+              S.int s "obligated" r.obligated;
+              S.float s "completion_time" r.completion_time;
+              S.int s "messages" r.messages))
+        report.reports);
   (match first_witness report with
   | Some ({ witness = Some w; _ } as r) ->
-      add "  \"witness\": {\"plan\": %d, \"weight\": %d, \"crashed\": %s, \"links_down\": %s, \
-           \"unreached\": %s}\n"
-        r.index r.weight (json_ints w.crashed_nodes) (json_links w.downed_links)
-        (json_ints w.unreached)
-  | _ -> add "  \"witness\": null\n");
-  add "}\n";
-  print_string (Buffer.contents buf)
+      S.obj s "witness" (fun s ->
+          S.int s "plan" r.index;
+          S.int s "weight" r.weight;
+          S.raw s "crashed" (json_ints w.crashed_nodes);
+          S.raw s "links_down" (json_links w.downed_links);
+          S.raw s "unreached" (json_ints w.unreached))
+  | _ -> S.null s "witness");
+  print_string (S.contents s)
 
 (* default source: the first vertex outside the adversary's prime
    targets, so crash plans never have to spare their strongest victim *)
@@ -879,9 +882,172 @@ let controller_cmd =
       const controller $ common_term $ steps $ trace_file $ batch $ join_probability
       $ chaos_adversary $ plans_per_level $ max_faults $ full_verify)
 
+(* traffic *)
+
+let traffic c sources chunks rate arrival capacity queue_cap queue_policy plan_file engine
+    min_delivery max_p95 =
+  let workload =
+    Traffic.Workload.default
+    |> Traffic.Workload.with_source_count sources
+    |> Traffic.Workload.with_chunks_per_source chunks
+    |> Traffic.Workload.with_rate rate
+    |> Traffic.Workload.with_arrival arrival
+  in
+  match
+    match plan_file with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (Chaos.Plan.of_file path)
+  with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok plan ->
+      with_graph c (fun g ->
+          match Traffic.Workload.validate workload ~n:(Graph_core.Graph.n g) with
+          | Error e ->
+              prerr_endline ("error: " ^ e);
+              1
+          | Ok () -> (
+              let env =
+                Flood.Env.default |> Flood.Env.with_seed c.seed
+                |> (match capacity with
+                   | Some r -> Flood.Env.with_link_capacity r
+                   | None -> Fun.id)
+                |> (match queue_cap with
+                   | Some q -> Flood.Env.with_queue_cap q
+                   | None -> Fun.id)
+                |> (match queue_policy with
+                   | Some p -> Flood.Env.with_queue_policy p
+                   | None -> Fun.id)
+                |> match engine with Some e -> Flood.Env.with_engine e | None -> Fun.id
+              in
+              (* the driver is single-simulator; --jobs is accepted for
+                 CLI uniformity and must not change a byte *)
+              with_jobs c.jobs (fun _pool ->
+                  match Traffic.Driver.run_env ~env ?plan ~graph:g ~workload () with
+                  | exception Invalid_argument msg ->
+                      prerr_endline ("error: " ^ msg);
+                      1
+                  | r ->
+                      let slo_ok =
+                        r.Traffic.Driver.delivery_fraction +. 1e-9 >= min_delivery
+                        && r.Traffic.Driver.p95_delay <= max_p95
+                      in
+                      (match c.metrics with
+                      | Some `Json ->
+                          print_string
+                            (Traffic.Driver.to_json ~topology:c.kind ~n:c.n ~k:c.k
+                               ~seed:c.seed r)
+                      | Some `Text | None ->
+                          let open Traffic.Driver in
+                          Printf.printf
+                            "traffic %s(n=%d, k=%d): %d sources x %d chunks, %s rate %g\n"
+                            c.kind c.n c.k
+                            (List.length r.sources)
+                            workload.Traffic.Workload.chunks_per_source
+                            (Traffic.Workload.arrival_name workload.Traffic.Workload.arrival)
+                            workload.Traffic.Workload.rate;
+                          Printf.printf "  wire messages:      %d\n" r.wire_messages;
+                          Printf.printf "  deliveries:         %d\n" r.deliveries;
+                          Printf.printf "  dropped q/l/c/r:    %d/%d/%d/%d\n" r.dropped_queue
+                            r.dropped_link r.dropped_crash r.dropped_random;
+                          Printf.printf "  duration:           %.2f\n" r.duration;
+                          Printf.printf "  throughput:         %.3f msgs/unit\n" r.throughput;
+                          Printf.printf "  delivery fraction:  %.4f\n" r.delivery_fraction;
+                          Printf.printf "  delay p50/p95/p99:  %.2f/%.2f/%.2f\n" r.p50_delay
+                            r.p95_delay r.p99_delay;
+                          Printf.printf "  max queue backlog:  %d\n" r.max_queue_backlog;
+                          if plan <> None then
+                            Printf.printf "  recovery time:      %.2f\n" r.recovery_time;
+                          Printf.printf "  SLO:                %s\n"
+                            (if slo_ok then "ok" else "VIOLATED"));
+                      if slo_ok then 0 else 1)))
+
+let traffic_cmd =
+  let sources =
+    Arg.(value & opt int 4 & info [ "sources" ] ~docv:"S" ~doc:"Source nodes (spread evenly).")
+  in
+  let chunks =
+    Arg.(value & opt int 8 & info [ "chunks" ] ~docv:"C" ~doc:"Chunks injected per source.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "rate" ] ~docv:"R" ~doc:"Chunks per time unit, per source.")
+  in
+  let arrival =
+    let arrival_conv =
+      Arg.enum [ ("periodic", Traffic.Workload.Periodic); ("poisson", Traffic.Workload.Poisson) ]
+    in
+    Arg.(
+      value
+      & opt arrival_conv Traffic.Workload.Periodic
+      & info [ "arrival" ] ~docv:"PROCESS" ~doc:"Arrival process: $(b,periodic) or $(b,poisson).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "capacity" ] ~docv:"R"
+          ~doc:"Per-link service rate (messages per time unit); default infinite bandwidth.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ] ~docv:"Q" ~doc:"Bound on each link FIFO's backlog (default unbounded).")
+  in
+  let queue_policy =
+    let policy_conv =
+      Arg.enum
+        [ ("drop-tail", Netsim.Network.Drop_tail); ("block", Netsim.Network.Block) ]
+    in
+    Arg.(
+      value
+      & opt (some policy_conv) None
+      & info [ "queue-policy" ] ~docv:"POLICY"
+          ~doc:"What a full link queue does: $(b,drop-tail) (default) or $(b,block).")
+  in
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE" ~doc:"Chaos plan to schedule mid-stream.")
+  in
+  let engine =
+    let engine_conv = Arg.enum [ ("calendar", Netsim.Sim.Calendar); ("heap", Netsim.Sim.Heap) ] in
+    Arg.(
+      value
+      & opt (some engine_conv) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Event engine: $(b,calendar) (default) or $(b,heap). Results are identical.")
+  in
+  let min_delivery =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "min-delivery" ] ~docv:"F"
+          ~doc:"SLO: minimum delivery fraction (default 1.0 — full coverage).")
+  in
+  let max_p95 =
+    Arg.(
+      value
+      & opt float infinity
+      & info [ "max-p95" ] ~docv:"T" ~doc:"SLO: maximum p95 delivery delay (default unbounded).")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Drive a sustained multi-source traffic stream through the topology, with optional \
+          per-link capacity and bounded FIFO queues, and check delivery SLOs")
+    Term.(
+      const traffic $ common_term $ sources $ chunks $ rate $ arrival $ capacity $ queue_cap
+      $ queue_policy $ plan_file $ engine $ min_delivery $ max_p95)
+
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd; traffic_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -4,6 +4,9 @@ type t = {
   latency : Netsim.Network.latency option;
   loss_rate : float;
   processing_delay : float;
+  link_capacity : float option;
+  queue_cap : int option;
+  queue_policy : Netsim.Network.queue_policy option;
   crashed : int list;
   failed_links : (int * int) list;
   seed : int option;
@@ -19,6 +22,9 @@ let default =
     latency = None;
     loss_rate = 0.0;
     processing_delay = 0.0;
+    link_capacity = None;
+    queue_cap = None;
+    queue_policy = None;
     crashed = [];
     failed_links = [];
     seed = None;
@@ -29,12 +35,16 @@ let default =
     trace = None;
   }
 
-let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?(crashed = [])
-    ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool ?prepare ?engine ?trace () =
+let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?link_capacity ?queue_cap
+    ?queue_policy ?(crashed = []) ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool
+    ?prepare ?engine ?trace () =
   {
     latency;
     loss_rate;
     processing_delay;
+    link_capacity;
+    queue_cap;
+    queue_policy;
     crashed;
     failed_links;
     seed;
@@ -50,6 +60,14 @@ let with_latency l t = { t with latency = Some l }
 let with_loss_rate loss_rate t = { t with loss_rate }
 
 let with_processing_delay processing_delay t = { t with processing_delay }
+
+let with_link_capacity c t = { t with link_capacity = Some c }
+
+let with_queue_cap c t = { t with queue_cap = Some c }
+
+let with_queue_policy p t = { t with queue_policy = Some p }
+
+let without_link_capacity t = { t with link_capacity = None; queue_cap = None; queue_policy = None }
 
 let with_crashed crashed t = { t with crashed }
 
@@ -71,3 +89,19 @@ let with_trace tr t = { t with trace = Some tr }
 let default_seed = 0x51
 
 let seed_value t = match t.seed with Some s -> s | None -> default_seed
+
+(* The one place the environment is lowered onto a simulator + network
+   pair: every protocol's [run_env] goes through here, so a new Env
+   knob (capacity, queue policy, …) reaches all run surfaces at once
+   instead of being re-threaded call site by call site. *)
+let sim_of t = Netsim.Sim.create ?seed:t.seed ?engine:t.engine ~obs:t.obs ()
+
+let network_of_graph t ~sim ~graph =
+  Netsim.Network.create ~sim ~graph ?latency:t.latency ~loss_rate:t.loss_rate
+    ~processing_delay:t.processing_delay ?link_capacity:t.link_capacity ?queue_cap:t.queue_cap
+    ?queue_policy:t.queue_policy ?trace:t.trace ~obs:t.obs ()
+
+let network_of_csr t ~sim ~csr =
+  Netsim.Network.create_csr ~sim ~csr ?latency:t.latency ~loss_rate:t.loss_rate
+    ~processing_delay:t.processing_delay ?link_capacity:t.link_capacity ?queue_cap:t.queue_cap
+    ?queue_policy:t.queue_policy ?trace:t.trace ~obs:t.obs ()

@@ -11,9 +11,12 @@
     auditor can inject a fault plan into any protocol without that
     protocol knowing what a plan is ({!prepare}).
 
-    The legacy optional-argument [run]s remain as thin wrappers over
-    the [run_env] entry points; no caller breaks. New code should build
-    an [Env.t]:
+    {b The Env-only contract.} The [run_env] entry points are the only
+    way to run a protocol: the legacy optional-argument [run] wrappers
+    that used to shadow them were deleted once every caller had moved
+    (they re-spelled a drifting subset of these fields per module,
+    which is exactly the disease this record cures). All code builds an
+    [Env.t]:
 
     {[
       let env =
@@ -42,6 +45,15 @@ type t = {
       (** [None] = the network default ([constant_latency 1.0]). *)
   loss_rate : float;  (** initial i.i.d. loss probability; default 0. *)
   processing_delay : float;  (** receiver service time; default 0. *)
+  link_capacity : float option;
+      (** per-directed-link service rate (messages per time unit);
+          [None] = infinite bandwidth. See {!Netsim.Network}'s
+          link-capacity section. *)
+  queue_cap : int option;
+      (** bound on each link FIFO's backlog; [None] = unbounded. *)
+  queue_policy : Netsim.Network.queue_policy option;
+      (** what a full link queue does; [None] = the network default
+          ({!Netsim.Network.Drop_tail}). *)
   crashed : int list;  (** nodes down before t = 0. *)
   failed_links : (int * int) list;  (** links down before t = 0. *)
   seed : int option;  (** [None] = the simulator default seed. *)
@@ -67,6 +79,9 @@ val make :
   ?latency:Netsim.Network.latency ->
   ?loss_rate:float ->
   ?processing_delay:float ->
+  ?link_capacity:float ->
+  ?queue_cap:int ->
+  ?queue_policy:Netsim.Network.queue_policy ->
   ?crashed:int list ->
   ?failed_links:(int * int) list ->
   ?seed:int ->
@@ -85,6 +100,18 @@ val with_latency : Netsim.Network.latency -> t -> t
 val with_loss_rate : float -> t -> t
 
 val with_processing_delay : float -> t -> t
+
+val with_link_capacity : float -> t -> t
+(** Give every directed link a finite service rate — the sustained
+    traffic knob. Combine with {!with_queue_cap}/{!with_queue_policy}
+    for bounded lossy queues. *)
+
+val with_queue_cap : int -> t -> t
+
+val with_queue_policy : Netsim.Network.queue_policy -> t -> t
+
+val without_link_capacity : t -> t
+(** Back to infinite links (clears capacity, cap, and policy). *)
 
 val with_crashed : int list -> t -> t
 
@@ -107,3 +134,17 @@ val with_trace : Netsim.Trace.t -> t -> t
 val seed_value : t -> int
 (** The seed, defaulted to the simulator's default (0x51) — for entry
     points that must derive per-trial streams from a concrete seed. *)
+
+val sim_of : t -> Netsim.Sim.t
+(** A fresh simulator configured from the environment (seed, engine,
+    registry). *)
+
+val network_of_graph : t -> sim:Netsim.Sim.t -> graph:Graph_core.Graph.t -> 'msg Netsim.Network.t
+
+val network_of_csr : t -> sim:Netsim.Sim.t -> csr:Graph_core.Csr.t -> 'msg Netsim.Network.t
+(** Lower the environment onto a network: latency, loss, processing
+    delay, link capacity/queueing, trace and registry all applied in
+    one place. Every protocol's [run_env] builds its network through
+    these, which is what makes the Env record the {e single} workload
+    surface — a knob added here reaches flooding, gossip, PIF,
+    reliable broadcast and the traffic driver identically. *)

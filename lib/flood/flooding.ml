@@ -97,27 +97,13 @@ let flood_core ~env ~sim ~(net : int Network.t) ~n ~source =
 let run_env ~env ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
-  let obs = env.Env.obs in
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_graph env ~sim ~graph in
   flood_core ~env ~sim ~net ~n ~source
 
 let run_csr_env ~env ~csr ~source () =
   let n = Csr.n csr in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
-  let obs = env.Env.obs in
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create_csr ~sim ~csr ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_csr env ~sim ~csr in
   flood_core ~env ~sim ~net ~n ~source
-
-let run ?latency ?loss_rate ?processing_delay ?crashed ?failed_links ?seed ?obs ~graph ~source
-    () =
-  run_env
-    ~env:(Env.make ?latency ?loss_rate ?processing_delay ?crashed ?failed_links ?seed ?obs ())
-    ~graph ~source ()

@@ -18,12 +18,23 @@ type result = {
 }
 
 val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> result
-(** One flooding execution under the given environment. Consumes every
-    {!Env.t} field except [pool] (a single run is sequential): static
-    failures ([crashed], [failed_links]) are injected before the first
-    send, then the [prepare] hook runs (a fault plan schedules its
-    timeline here), then the source floods. The source must not be in
+(** One flooding execution under the given environment — the sole entry
+    point ({!Env} documents the Env-only contract; the legacy
+    optional-argument wrapper is gone). Consumes every {!Env.t} field
+    except [pool] (a single run is sequential): static failures
+    ([crashed], [failed_links]) are injected before the first send,
+    then the [prepare] hook runs (a fault plan schedules its timeline
+    here), then the source floods. The source must not be in
     [env.crashed]; a plan may still crash it mid-run.
+
+    With an enabled [env.obs], the run publishes — on top of the
+    network-layer [net.*] metrics — the [flood.hops] and
+    [flood.completion] histograms (per-node first-arrival hop count and
+    virtual time, so the exporter's p50/p95/p99 are completion
+    percentiles across nodes), gauges [flood.rounds],
+    [flood.completion_time] and [flood.coverage], counter
+    [flood.delivered_nodes], and [Round_start]/[Round_end] span pairs
+    for each hop layer.
     @raise Invalid_argument on a crashed or out-of-range source. *)
 
 val run_csr_env : env:Env.t -> csr:Graph_core.Csr.t -> source:int -> unit -> result
@@ -33,30 +44,4 @@ val run_csr_env : env:Env.t -> csr:Graph_core.Csr.t -> source:int -> unit -> res
     seconds. Identical protocol, environment handling and result; with
     matching seeds the wire trace is byte-identical to {!run_env} on
     the same topology.
-    @raise Invalid_argument on a crashed or out-of-range source. *)
-
-val run :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?processing_delay:float ->
-  ?crashed:int list ->
-  ?failed_links:(int * int) list ->
-  ?seed:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  source:int ->
-  unit ->
-  result
-[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument entry point: builds an {!Env.t} with
-    {!Env.make} and delegates to {!run_env}. Prefer {!run_env} in new
-    code.
-
-    With [?obs], the run publishes — on top of the network-layer
-    [net.*] metrics — the [flood.hops] and [flood.completion]
-    histograms (per-node first-arrival hop count and virtual time, so
-    the exporter's p50/p95/p99 are completion percentiles across
-    nodes), gauges [flood.rounds], [flood.completion_time] and
-    [flood.coverage], counter [flood.delivered_nodes], and
-    [Round_start]/[Round_end] span pairs for each hop layer.
     @raise Invalid_argument on a crashed or out-of-range source. *)

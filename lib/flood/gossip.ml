@@ -23,11 +23,8 @@ let run_env ~env ~graph ~source ~fanout ~ttl () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Gossip.run: source out of range";
   if List.mem source crashed then invalid_arg "Gossip.run: source is crashed";
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_graph env ~sim ~graph in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
   (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
@@ -68,6 +65,3 @@ let run_env ~env ~graph ~source ~fanout ~ttl () =
      Obs.Registry.set (Obs.Registry.gauge obs "gossip.completion_time") completion_time
    end);
   { delivered; messages_sent = stats.Network.sent; completion_time; coverage_of_alive = coverage }
-
-let run ?latency ?loss_rate ?crashed ?seed ?obs ~graph ~source ~fanout ~ttl () =
-  run_env ~env:(Env.make ?latency ?loss_rate ?crashed ?seed ?obs ()) ~graph ~source ~fanout ~ttl ()

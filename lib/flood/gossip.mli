@@ -22,28 +22,13 @@ val run_env :
   ttl:int ->
   unit ->
   result
-(** One gossip execution under the given environment (every {!Env.t}
-    field except [pool] is consumed; the [prepare] hook runs before the
-    first push). With an enabled [env.obs], publishes the
-    [gossip.completion] per-node delivery histogram, the
-    [gossip.delivered_nodes] counter and the
-    [gossip.coverage]/[gossip.completion_time] gauges on top of the
-    network-layer [net.*] metrics. *)
-
-val run :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?crashed:int list ->
-  ?seed:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  source:int ->
-  fanout:int ->
-  ttl:int ->
-  unit ->
-  result
-[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!run_env}. *)
+(** One gossip execution under the given environment — the sole entry
+    point (see {!Env} for the Env-only contract). Every {!Env.t} field
+    except [pool] is consumed; the [prepare] hook runs before the first
+    push. With an enabled [env.obs], publishes the [gossip.completion]
+    per-node delivery histogram, the [gossip.delivered_nodes] counter
+    and the [gossip.coverage]/[gossip.completion_time] gauges on top of
+    the network-layer [net.*] metrics. *)
 
 val default_ttl : n:int -> int
 (** ⌈log₂ n⌉ + 4 — enough rounds for gossip to plausibly saturate. *)

@@ -29,11 +29,8 @@ let run_env ~env ~graph ~publications () =
       if List.mem p.origin crashed then invalid_arg "Multi.run: origin is crashed";
       if p.inject_time < 0.0 then invalid_arg "Multi.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_graph env ~sim ~graph in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
   (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
@@ -102,8 +99,3 @@ let run_env ~env ~graph ~publications () =
     total_messages = (Network.stats net).Network.sent;
     all_covered = List.for_all (fun m -> m.covers_all_alive) per_message;
   }
-
-let run ?latency ?loss_rate ?processing_delay ?crashed ?seed ?obs ~graph ~publications () =
-  run_env
-    ~env:(Env.make ?latency ?loss_rate ?processing_delay ?crashed ?seed ?obs ())
-    ~graph ~publications ()

@@ -28,24 +28,11 @@ type result = {
 
 val run_env :
   env:Env.t -> graph:Graph_core.Graph.t -> publications:publication list -> unit -> result
-(** Simulate the schedule under the given environment (every {!Env.t}
-    field except [pool] is consumed; the [prepare] hook runs before the
-    first injection). With an enabled [env.obs], publishes the
+(** Simulate the schedule under the given environment — the sole entry
+    point (see {!Env} for the Env-only contract). Every {!Env.t} field
+    except [pool] is consumed; the [prepare] hook runs before the first
+    injection. With an enabled [env.obs], publishes the
     [multi.completion] per-payload completion histogram and the
     [multi.payloads] counter on top of the network-layer metrics.
     @raise Invalid_argument on duplicate payload ids, crashed or
     out-of-range origins, or negative injection times. *)
-
-val run :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?processing_delay:float ->
-  ?crashed:int list ->
-  ?seed:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  publications:publication list ->
-  unit ->
-  result
-[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!run_env}. *)

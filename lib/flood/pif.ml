@@ -20,11 +20,8 @@ let run_env ~env ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Pif.run: source out of range";
   if List.mem source crashed then invalid_arg "Pif.run: source is crashed";
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_graph env ~sim ~graph in
   let m_echoes = Obs.Registry.counter obs "pif.echoes" in
   List.iter (fun v -> Network.crash net v) crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
@@ -85,6 +82,3 @@ let run_env ~env ~graph ~source () =
     last_delivery_at = !last_delivery;
     messages = (Network.stats net).Network.sent;
   }
-
-let run ?latency ?crashed ?seed ?obs ~graph ~source () =
-  run_env ~env:(Env.make ?latency ?crashed ?seed ?obs ()) ~graph ~source ()

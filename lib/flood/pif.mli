@@ -24,7 +24,8 @@ type result = {
 }
 
 val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> result
-(** One PIF execution under the given environment. Rejects a non-zero
+(** One PIF execution under the given environment — the sole entry
+    point (see {!Env} for the Env-only contract). Rejects a non-zero
     [env.loss_rate] — the echo accounting is only meaningful on
     reliable channels; crash-style chaos (through [env.crashed] or a
     [prepare]-installed plan) is fair game and shows up as a
@@ -33,15 +34,3 @@ val run_env : env:Env.t -> graph:Graph_core.Graph.t -> source:int -> unit -> res
     [pif.completion_detected_at] / [pif.last_delivery_at] gauges.
     @raise Invalid_argument on a crashed or out-of-range source, or a
     positive loss rate. *)
-
-val run :
-  ?latency:Netsim.Network.latency ->
-  ?crashed:int list ->
-  ?seed:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  source:int ->
-  unit ->
-  result
-[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!run_env}. *)

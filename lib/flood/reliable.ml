@@ -33,11 +33,8 @@ let run_env ~env ~graph ~publications ~anti_entropy_period ~duration () =
       if List.mem p.Multi.origin crashed then invalid_arg "Reliable.run: origin is crashed";
       if p.Multi.inject_time < 0.0 then invalid_arg "Reliable.run: negative injection time")
     publications;
-  let sim = Sim.create ?seed:env.Env.seed ?engine:env.Env.engine ~obs () in
-  let net =
-    Network.create ~sim ~graph ?latency:env.Env.latency ~loss_rate:env.Env.loss_rate
-      ~processing_delay:env.Env.processing_delay ?trace:env.Env.trace ~obs ()
-  in
+  let sim = Env.sim_of env in
+  let net = Env.network_of_graph env ~sim ~graph in
   let m_flood = Obs.Registry.counter obs "reliable.flood_messages" in
   let m_repair = Obs.Registry.counter obs "reliable.repair_messages" in
   List.iter (fun v -> Network.crash net v) crashed;
@@ -151,9 +148,3 @@ let run_env ~env ~graph ~publications ~anti_entropy_period ~duration () =
     repair_messages = !repair_messages;
     repair_messages_at_completion = !repair_at_completion;
   }
-
-let run ?latency ?loss_rate ?crashed ?seed ?obs ~graph ~publications ~anti_entropy_period
-    ~duration () =
-  run_env
-    ~env:(Env.make ?latency ?loss_rate ?crashed ?seed ?obs ())
-    ~graph ~publications ~anti_entropy_period ~duration ()

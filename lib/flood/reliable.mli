@@ -33,10 +33,11 @@ val run_env :
   unit ->
   result
 (** Run the stack until [duration] (virtual time) under the given
-    environment (every {!Env.t} field except [pool] is consumed).
+    environment — the sole entry point (see {!Env} for the Env-only
+    contract). Every {!Env.t} field except [pool] is consumed.
     Anti-entropy ticks start phase-shifted per node to avoid
     synchronisation artefacts. Same argument validation as
-    {!Multi.run}. With an enabled [env.obs], publishes the
+    {!Multi.run_env}. With an enabled [env.obs], publishes the
     [reliable.flood_messages]/[reliable.repair_messages] counters,
     the [reliable.delivered_fraction]/[reliable.completion_time]
     gauges, and a [Retransmit] span event per anti-entropy [Data]
@@ -47,18 +48,3 @@ val run_env :
     recoveries, but a node crashed by a plan mid-run keeps its
     obligations (the run then reports [complete = false] unless repair
     reaches it after recovery). *)
-
-val run :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?crashed:int list ->
-  ?seed:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  publications:Multi.publication list ->
-  anti_entropy_period:float ->
-  duration:float ->
-  unit ->
-  result
-[@@alert legacy "Use run_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!run_env}. *)

@@ -136,16 +136,6 @@ let flood_trials_env ?(link_failures = 0) ~env ~graph ~source ~crash_count ~tria
   publish_aggregate obs a;
   a
 
-(* the legacy default: with no caller registry, trials record into a
-   fresh enabled one so hop_counts and percentiles are populated *)
-let legacy_obs = function Some o -> o | None -> Obs.Registry.create ()
-
-let flood_trials ?latency ?loss_rate ?link_failures ?obs ~graph ~source ~crash_count ~trials
-    ~seed () =
-  flood_trials_env ?link_failures
-    ~env:(Env.make ?latency ?loss_rate ~seed ~obs:(legacy_obs obs) ())
-    ~graph ~source ~crash_count ~trials ()
-
 let gossip_trials_env ~env ~graph ~source ~fanout ~crash_count ~trials () =
   if trials < 1 then invalid_arg "Runner.gossip_trials: trials < 1";
   let seed = Env.seed_value env in
@@ -172,8 +162,3 @@ let gossip_trials_env ~env ~graph ~source ~fanout ~crash_count ~trials () =
   let a = aggregate_of ~obs results in
   publish_aggregate obs a;
   a
-
-let gossip_trials ?latency ?loss_rate ?obs ~graph ~source ~fanout ~crash_count ~trials ~seed () =
-  gossip_trials_env
-    ~env:(Env.make ?latency ?loss_rate ~seed ~obs:(legacy_obs obs) ())
-    ~graph ~source ~fanout ~crash_count ~trials ()

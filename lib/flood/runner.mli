@@ -48,24 +48,9 @@ val flood_trials_env :
     into [env.obs] verbatim — with a disabled registry (the {!Env.default})
     [hop_counts] stays empty; pass an enabled one to collect the
     per-trial flood metrics, the [runner.completion] histogram and the
-    [runner.*] summary gauges. The legacy {!flood_trials} wrapper keeps
-    its historical default of a private enabled registry when [?obs] is
-    omitted, so its [hop_counts] are always populated. *)
-
-val flood_trials :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?link_failures:int ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  source:int ->
-  crash_count:int ->
-  trials:int ->
-  seed:int ->
-  unit ->
-  aggregate
-[@@alert legacy "Use flood_trials_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!flood_trials_env}. *)
+    [runner.*] summary gauges. This is the sole trial driver — the
+    legacy optional-argument wrappers (and their private-registry
+    default) are gone; see {!Env} for the Env-only contract. *)
 
 val gossip_trials_env :
   env:Env.t ->
@@ -79,18 +64,3 @@ val gossip_trials_env :
 (** Same aggregation for the gossip baseline (TTL
     {!Gossip.default_ttl}). [mean_max_hops] is reported as 0 — gossip
     payloads carry no hop counter. *)
-
-val gossip_trials :
-  ?latency:Netsim.Network.latency ->
-  ?loss_rate:float ->
-  ?obs:Obs.Registry.t ->
-  graph:Graph_core.Graph.t ->
-  source:int ->
-  fanout:int ->
-  crash_count:int ->
-  trials:int ->
-  seed:int ->
-  unit ->
-  aggregate
-[@@alert legacy "Use gossip_trials_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!gossip_trials_env}. *)

@@ -41,8 +41,6 @@ let flood_csr ?workspace ?alive ?(obs = Obs.Registry.nil) csr ~source =
    end);
   { reached = !reached; rounds = !rounds; messages; covers_all_alive = !reached = !alive_total }
 
-let flood ?alive ?obs g ~source = flood_csr ?alive ?obs (Csr.of_graph g) ~source
-
 let flood_env ~env g ~source =
   let alive =
     match env.Env.crashed with
@@ -52,6 +50,6 @@ let flood_env ~env g ~source =
         List.iter (fun v -> a.(v) <- false) crashed;
         Some a
   in
-  flood ?alive ~obs:env.Env.obs g ~source
+  flood_csr ?alive ~obs:env.Env.obs (Csr.of_graph g) ~source
 
 let message_bound g = (2 * Graph.m g) - (Graph.n g - 1)

@@ -14,13 +14,6 @@ type t = {
   covers_all_alive : bool;
 }
 
-val flood : ?alive:bool array -> ?obs:Obs.Registry.t -> Graph_core.Graph.t -> source:int -> t
-[@@alert legacy "Use flood_env: Flood.Env is the sole run configuration"]
-(** Legacy optional-argument wrapper over {!flood_env}. Flood from [source] over the alive part of the graph. Messages sent
-    to crashed neighbours are counted as sent (the sender cannot know),
-    matching {!Flooding.run}'s accounting. Snapshots the graph to CSR
-    once and delegates to {!flood_csr}. *)
-
 val flood_csr :
   ?workspace:Graph_core.Bfs.Workspace.t ->
   ?alive:bool array ->
@@ -28,7 +21,10 @@ val flood_csr :
   Graph_core.Csr.t ->
   source:int ->
   t
-(** As {!flood}, over a frozen snapshot. Passing [?workspace] makes
+(** Flood from [source] over the alive part of a frozen snapshot.
+    Messages sent to crashed neighbours are counted as sent (the sender
+    cannot know), matching {!Flooding.run_env}'s accounting. Passing
+    [?workspace] makes
     repeated calls over the same (or same-sized) topology allocation-free
     — the path used by {!Reliability}'s Monte-Carlo loops and the large
     parameter sweeps. With an enabled [?obs], the run publishes the
@@ -39,10 +35,12 @@ val flood_csr :
     nothing and allocates nothing. *)
 
 val flood_env : env:Env.t -> Graph_core.Graph.t -> source:int -> t
-(** {!flood} under a unified environment: [env.crashed] becomes the
-    alive mask, [env.obs] the registry. The closed-form analysis is
-    deterministic and synchronous, so the latency / loss / seed / pool
-    fields are ignored by construction. *)
+(** {!flood_csr} on a one-shot snapshot of the graph, under a unified
+    environment — the sole graph entry point (the legacy
+    optional-argument wrapper is gone; see {!Env}): [env.crashed]
+    becomes the alive mask, [env.obs] the registry. The closed-form
+    analysis is deterministic and synchronous, so the latency / loss /
+    seed / pool fields are ignored by construction. *)
 
 val message_bound : Graph_core.Graph.t -> int
 (** The failure-free message count: 2m − (n − 1) — every edge carries

@@ -131,6 +131,42 @@ let mem_edge t u v =
       done;
       !lo < row_end && Bigarray.Array1.unsafe_get neighbors !lo = v
 
+(* same binary search as [mem_edge], but returning the slot index of
+   the directed edge (u,v) inside the neighbor array — the natural
+   dense key for per-directed-link state (capacities, queues) *)
+let edge_index t u v =
+  check_vertex t u "edge_index";
+  check_vertex t v "edge_index";
+  match t.storage with
+  | Ints { offsets; neighbors } ->
+      let row_end = offsets.(u + 1) in
+      let lo = ref offsets.(u) and hi = ref row_end in
+      while !hi - !lo > 0 do
+        let mid = (!lo + !hi) / 2 in
+        let w = neighbors.(mid) in
+        if w = v then begin
+          lo := mid;
+          hi := mid
+        end
+        else if w < v then lo := mid + 1
+        else hi := mid
+      done;
+      if !lo < row_end && neighbors.(!lo) = v then !lo else -1
+  | Big { offsets; neighbors } ->
+      let row_end = Bigarray.Array1.unsafe_get offsets (u + 1) in
+      let lo = ref (Bigarray.Array1.unsafe_get offsets u) and hi = ref row_end in
+      while !hi - !lo > 0 do
+        let mid = (!lo + !hi) / 2 in
+        let w = Bigarray.Array1.unsafe_get neighbors mid in
+        if w = v then begin
+          lo := mid;
+          hi := mid
+        end
+        else if w < v then lo := mid + 1
+        else hi := mid
+      done;
+      if !lo < row_end && Bigarray.Array1.unsafe_get neighbors !lo = v then !lo else -1
+
 let iter_edges t f =
   match t.storage with
   | Ints { offsets; neighbors } ->

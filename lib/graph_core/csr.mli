@@ -61,6 +61,13 @@ val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
 val mem_edge : t -> int -> int -> bool
 (** Edge membership by binary search within the row: O(log d). *)
 
+val edge_index : t -> int -> int -> int
+(** The slot index of the directed edge (u,v) inside the concatenated
+    neighbour stream, or [-1] if absent — O(log d). Every directed edge
+    owns one dense slot in [\[0, degree_sum)], which makes the result
+    the natural key for per-link state (capacities, FIFO queues) kept
+    in flat arrays alongside the snapshot. *)
+
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Each undirected edge exactly once, as [u < v], lexicographically. *)
 

@@ -14,12 +14,15 @@ let exponential_latency ~mean =
   if mean <= 1.0 then invalid_arg "Network.exponential_latency: mean must exceed the 1.0 floor";
   fun rng ~src:_ ~dst:_ -> 1.0 +. Prng.exponential rng ~mean:(mean -. 1.0)
 
+type queue_policy = Drop_tail | Block
+
 type stats = {
   sent : int;
   delivered : int;
   dropped_link : int;
   dropped_crash : int;
   dropped_random : int;
+  dropped_queue : int;
 }
 
 (* In-flight messages ride the Sim event pool as packed ints; the
@@ -59,6 +62,16 @@ type 'msg t = {
   trace : Trace.t option;
   processing_delay : float;
   next_free : float array;  (** per-node receiver availability time *)
+  cap_on : bool;  (** a finite link capacity was given *)
+  service : float;  (** per-message service time = 1 / capacity (0 when [cap_on] is false) *)
+  capacity : float;  (** messages per time unit per directed link (0 = infinite) *)
+  queue_cap : int;  (** max backlog per directed link, in-service message included *)
+  queue_policy : queue_policy;
+  link_free : float array;
+      (** per-directed-edge (CSR slot) time the link finishes its
+          current backlog; occupancy is implicit —
+          [ceil ((free - now) / service)] — so a bounded FIFO costs no
+          events and no allocation *)
   mutable next_seq : int;
   rng : Prng.t;
   crashed : bool array;
@@ -78,14 +91,18 @@ type 'msg t = {
   mutable dropped_link : int;
   mutable dropped_crash : int;
   mutable dropped_random : int;
+  mutable dropped_queue : int;
+  mutable max_backlog : int;  (** high-water mark of any link's FIFO occupancy *)
   obs : Obs.Registry.t;
   m_sent : Obs.Registry.counter;
   m_delivered : Obs.Registry.counter;
   m_dropped_link : Obs.Registry.counter;
   m_dropped_crash : Obs.Registry.counter;
   m_dropped_random : Obs.Registry.counter;
+  m_dropped_queue : Obs.Registry.counter;
   h_latency : Obs.Registry.histogram;
   h_queue_depth : Obs.Registry.histogram;
+  h_link_queue : Obs.Registry.histogram;
 }
 
 (* -- payload slot store ------------------------------------------------- *)
@@ -190,9 +207,17 @@ let handle t ~src ~dst ~tag ~payload =
   else deliver t ~src ~dst payload
 
 let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
-    ?(processing_delay = 0.0) ?trace ?(obs = Obs.Registry.nil) () =
+    ?(processing_delay = 0.0) ?link_capacity ?(queue_cap = max_int)
+    ?(queue_policy = Drop_tail) ?trace ?(obs = Obs.Registry.nil) () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Network.create: loss_rate outside [0,1)";
   if processing_delay < 0.0 then invalid_arg "Network.create: negative processing_delay";
+  let capacity = match link_capacity with Some c -> c | None -> 0.0 in
+  (match link_capacity with
+  | Some c when not (c > 0.0) || not (Float.is_finite c) ->
+      invalid_arg "Network.create: link_capacity must be a positive finite rate"
+  | _ -> ());
+  if queue_cap < 1 then invalid_arg "Network.create: queue_cap must be at least 1";
+  let cap_on = capacity > 0.0 in
   let t =
     {
       sim;
@@ -205,6 +230,12 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       trace;
       processing_delay;
       next_free = Array.make (Csr.n csr) 0.0;
+      cap_on;
+      service = (if cap_on then 1.0 /. capacity else 0.0);
+      capacity;
+      queue_cap;
+      queue_policy;
+      link_free = (if cap_on then Array.make (Csr.degree_sum csr) 0.0 else [||]);
       next_seq = 0;
       rng = Sim.fork_rng sim;
       crashed = Array.make (Csr.n csr) false;
@@ -223,27 +254,35 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       dropped_link = 0;
       dropped_crash = 0;
       dropped_random = 0;
+      dropped_queue = 0;
+      max_backlog = 0;
       obs;
       m_sent = Obs.Registry.counter obs "net.sent";
       m_delivered = Obs.Registry.counter obs "net.delivered";
       m_dropped_link = Obs.Registry.counter obs "net.dropped_link";
       m_dropped_crash = Obs.Registry.counter obs "net.dropped_crash";
       m_dropped_random = Obs.Registry.counter obs "net.dropped_random";
+      m_dropped_queue = Obs.Registry.counter obs "net.dropped_queue";
       h_latency = Obs.Registry.histogram obs "net.latency" ~bounds:Obs.Registry.time_bounds;
       h_queue_depth =
         Obs.Registry.histogram obs "net.queue_depth" ~bounds:Obs.Registry.depth_bounds;
+      h_link_queue =
+        Obs.Registry.histogram obs "net.link_queue" ~bounds:Obs.Registry.depth_bounds;
     }
   in
   (* one network per simulator: the Sim message sink is ours alone *)
   Sim.set_message_handler sim (fun ~src ~dst ~tag ~payload -> handle t ~src ~dst ~tag ~payload);
   t
 
-let create ~sim ~graph ?latency ?loss_rate ?processing_delay ?trace ?obs () =
+let create ~sim ~graph ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
+    ?queue_policy ?trace ?obs () =
   make ~sim ~graph:(Some graph) ~csr:(Csr.of_graph graph) ?latency ?loss_rate ?processing_delay
-    ?trace ?obs ()
+    ?link_capacity ?queue_cap ?queue_policy ?trace ?obs ()
 
-let create_csr ~sim ~csr ?latency ?loss_rate ?processing_delay ?trace ?obs () =
-  make ~sim ~graph:None ~csr ?latency ?loss_rate ?processing_delay ?trace ?obs ()
+let create_csr ~sim ~csr ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
+    ?queue_policy ?trace ?obs () =
+  make ~sim ~graph:None ~csr ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
+    ?queue_policy ?trace ?obs ()
 
 let graph t =
   match t.graph with
@@ -312,11 +351,40 @@ let set_loss_rate t r =
       ~info:(int_of_float (Float.round (r *. 1e6)));
   t.loss_rate <- r
 
+(* -- bounded per-link FIFO ---------------------------------------------- *)
+
+(* With a finite capacity, directed edge [eidx] serves one message per
+   [service] time units; [link_free.(eidx)] is when its current backlog
+   drains. Occupancy is recovered arithmetically from that single float
+   — no departure events, no allocation — and the admission decision
+   depends only on [now] and prior sends on the same link, both of
+   which the Calendar and Heap engines agree on, so queued streams stay
+   byte-identical across engines. *)
+let link_backlog t ~eidx ~now =
+  let free = Array.unsafe_get t.link_free eidx in
+  if free > now then int_of_float (Float.ceil (((free -. now) /. t.service) -. 1e-9)) else 0
+
+(* Departure time of the admitted message, or [-1.0] for a drop-tail
+   rejection (full queue under [Drop_tail]; [Block] always admits). *)
+let link_admit t ~eidx ~now =
+  let backlog = link_backlog t ~eidx ~now in
+  if backlog >= t.queue_cap && t.queue_policy = Drop_tail then -1.0
+  else begin
+    if backlog > t.max_backlog then t.max_backlog <- backlog;
+    if t.obs_on then Obs.Registry.observe t.h_link_queue (float_of_int backlog);
+    let free = Array.unsafe_get t.link_free eidx in
+    let depart = (if free > now then free else now) +. t.service in
+    Array.unsafe_set t.link_free eidx depart;
+    depart
+  end
+
 (* The edge and source-crash preconditions are the caller's; everything
    after is the steady-state hot path — no closures, no tuples (the
    failed-links probe is skipped while the table is empty), no
-   allocation once the slot and event pools are warm. *)
-let unchecked_send t ~src ~dst msg =
+   allocation once the slot and event pools are warm. [eidx] is the
+   directed edge's CSR slot, consulted only under a finite
+   [link_capacity]. *)
+let unchecked_send t ~src ~dst ~eidx msg =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.sent <- t.sent + 1;
@@ -331,6 +399,28 @@ let unchecked_send t ~src ~dst msg =
     t.dropped_random <- t.dropped_random + 1;
     Obs.Registry.incr t.m_dropped_random;
     emit t Trace.Dropped_random ~src ~dst ~seq
+  end
+  else if t.cap_on then begin
+    let now = Sim.now t.sim in
+    let depart = link_admit t ~eidx ~now in
+    if depart < 0.0 then begin
+      t.dropped_queue <- t.dropped_queue + 1;
+      Obs.Registry.incr t.m_dropped_queue;
+      emit t Trace.Dropped_queue ~src ~dst ~seq
+    end
+    else begin
+      let delay =
+        if t.unit_latency then 1.0
+        else begin
+          let d = t.latency t.rng ~src ~dst in
+          if d < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+          d
+        end
+      in
+      if t.obs_on then Obs.Registry.observe t.h_latency delay;
+      let slot = alloc_slot t msg seq in
+      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_arrival ~payload:slot
+    end
   end
   else begin
     let delay =
@@ -349,7 +439,8 @@ let unchecked_send t ~src ~dst msg =
 let send t ~src ~dst msg =
   if not (Csr.mem_edge t.csr src dst) then invalid_arg "Network.send: no such edge";
   if t.crashed.(src) then invalid_arg "Network.send: source is crashed";
-  unchecked_send t ~src ~dst msg
+  let eidx = if t.cap_on then Csr.edge_index t.csr src dst else -1 in
+  unchecked_send t ~src ~dst ~eidx msg
 
 (* Non-optional variant: the flooding hot loop calls this once per
    delivered message, and an optional [?except] would box a [Some] on
@@ -359,17 +450,19 @@ let send_neighbors_except t ~src ~except msg =
   if Array.unsafe_get t.crashed src then invalid_arg "Network.send_neighbors: source is crashed";
   (* edges come from our own frozen CSR row, so the per-neighbour edge
      membership check that [send] must do is free here *)
+  (* the loop index [i] is the directed edge's CSR slot — the per-link
+     queue key comes for free on the fan-out path *)
   match Csr.storage t.csr with
   | Csr.Ints { offsets; neighbors } ->
       for i = offsets.(src) to offsets.(src + 1) - 1 do
         let dst = neighbors.(i) in
-        if dst <> except then unchecked_send t ~src ~dst msg
+        if dst <> except then unchecked_send t ~src ~dst ~eidx:i msg
       done
   | Csr.Big { offsets; neighbors } ->
       for i = Bigarray.Array1.unsafe_get offsets src
             to Bigarray.Array1.unsafe_get offsets (src + 1) - 1 do
         let dst = Bigarray.Array1.unsafe_get neighbors i in
-        if dst <> except then unchecked_send t ~src ~dst msg
+        if dst <> except then unchecked_send t ~src ~dst ~eidx:i msg
       done
 
 let send_neighbors ?(except = -1) t ~src msg = send_neighbors_except t ~src ~except msg
@@ -377,7 +470,7 @@ let send_neighbors ?(except = -1) t ~src msg = send_neighbors_except t ~src ~exc
 (* [unchecked_send] with the hop riding the event payload word: same
    seq consumption, same counters, same drop decisions and RNG draws,
    so stats agree with the slot plane message for message *)
-let unchecked_send_int t ~src ~dst hop =
+let unchecked_send_int t ~src ~dst ~eidx hop =
   t.next_seq <- t.next_seq + 1;
   t.sent <- t.sent + 1;
   if t.obs_on then Obs.Registry.incr t.m_sent;
@@ -388,6 +481,27 @@ let unchecked_send_int t ~src ~dst hop =
   else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
     t.dropped_random <- t.dropped_random + 1;
     Obs.Registry.incr t.m_dropped_random
+  end
+  else if t.cap_on then begin
+    let now = Sim.now t.sim in
+    let depart = link_admit t ~eidx ~now in
+    if depart < 0.0 then begin
+      t.dropped_queue <- t.dropped_queue + 1;
+      Obs.Registry.incr t.m_dropped_queue
+    end
+    else begin
+      let delay =
+        if t.unit_latency then 1.0
+        else begin
+          let d = t.latency t.rng ~src ~dst in
+          if d < 0.0 then invalid_arg "Network.send: latency model produced a negative delay";
+          d
+        end
+      in
+      if t.obs_on then Obs.Registry.observe t.h_latency delay;
+      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_int_arrival
+        ~payload:hop
+    end
   end
   else begin
     let delay =
@@ -415,13 +529,13 @@ let send_neighbors_int t ~src ~except hop =
     | Csr.Ints { offsets; neighbors } ->
         for i = offsets.(src) to offsets.(src + 1) - 1 do
           let dst = neighbors.(i) in
-          if dst <> except then unchecked_send_int t ~src ~dst hop
+          if dst <> except then unchecked_send_int t ~src ~dst ~eidx:i hop
         done
     | Csr.Big { offsets; neighbors } ->
         for i = Bigarray.Array1.unsafe_get offsets src
               to Bigarray.Array1.unsafe_get offsets (src + 1) - 1 do
           let dst = Bigarray.Array1.unsafe_get neighbors i in
-          if dst <> except then unchecked_send_int t ~src ~dst hop
+          if dst <> except then unchecked_send_int t ~src ~dst ~eidx:i hop
         done
   end
 
@@ -432,4 +546,21 @@ let stats t =
     dropped_link = t.dropped_link;
     dropped_crash = t.dropped_crash;
     dropped_random = t.dropped_random;
+    dropped_queue = t.dropped_queue;
   }
+
+let link_capacity t = if t.cap_on then Some t.capacity else None
+
+let queue_cap t = t.queue_cap
+
+let queue_policy t = t.queue_policy
+
+let max_queue_backlog t = t.max_backlog
+
+let link_backlog_now t ~src ~dst =
+  if not t.cap_on then 0
+  else begin
+    let eidx = Csr.edge_index t.csr src dst in
+    if eidx < 0 then invalid_arg "Network.link_backlog_now: no such edge";
+    link_backlog t ~eidx ~now:(Sim.now t.sim)
+  end

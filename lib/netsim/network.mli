@@ -9,6 +9,28 @@
     counted in {!stats}; every fault and heal is emitted as an
     {!Obs.Registry} span event. The payload type is the caller's ['msg].
 
+    {2 Link capacity and FIFO queues}
+
+    By default every link has infinite bandwidth: messages only pay the
+    latency model. With a finite [?link_capacity] (messages per time
+    unit, per directed link), each directed edge becomes a
+    FIFO-serviced channel: a message entering a busy link waits behind
+    the backlog, departs one service time ([1/capacity]) after its
+    predecessor, and arrives at departure + latency. [?queue_cap]
+    bounds the backlog (the in-service message included); an arrival
+    finding the queue full is either drop-tailed and counted
+    [dropped_queue] ({!Drop_tail}, the default) or admitted anyway
+    ({!Block} — an infinite buffer whose pressure shows up as delay and
+    in the [net.link_queue] histogram rather than as loss).
+
+    Queue state is one float per directed edge — the time the link
+    drains — and occupancy is recovered arithmetically from it, so the
+    bounded FIFO adds no events, no allocation, and is byte-identical
+    across the Calendar and Heap engines. FIFO order holds per link:
+    two messages sent on the same directed edge are delivered in send
+    order (under a deterministic latency model; a random latency model
+    can still reorder them in flight, exactly as without capacity).
+
     {2 Recovery semantics}
 
     Crash state is evaluated {e at delivery time}, not at send time. A
@@ -42,12 +64,19 @@ val exponential_latency : mean:float -> latency
 (** 1 + Exp(mean−1): a floor of one time unit plus an exponential tail —
     a common WAN-ish model that keeps causality (strictly positive). *)
 
+type queue_policy =
+  | Drop_tail  (** a full link queue rejects the arrival (counted [dropped_queue]) *)
+  | Block
+      (** a full link queue admits anyway: no loss, unbounded buffer,
+          pressure visible as queueing delay instead *)
+
 type stats = {
   sent : int;  (** messages handed to the network *)
   delivered : int;  (** messages that reached a live handler *)
   dropped_link : int;  (** lost to failed links *)
   dropped_crash : int;  (** lost to crashed destinations *)
   dropped_random : int;  (** lost to the loss-rate coin *)
+  dropped_queue : int;  (** drop-tailed by a full bounded link FIFO *)
 }
 
 val create :
@@ -56,6 +85,9 @@ val create :
   ?latency:latency ->
   ?loss_rate:float ->
   ?processing_delay:float ->
+  ?link_capacity:float ->
+  ?queue_cap:int ->
+  ?queue_policy:queue_policy ->
   ?trace:Trace.t ->
   ?obs:Obs.Registry.t ->
   unit ->
@@ -77,7 +109,17 @@ val create :
     node handles one message per [processing_delay] time units, queueing
     arrivals FIFO — so a node's effective latency grows with its degree
     and message pressure, which is what makes constant-degree topologies
-    attractive beyond edge counts. *)
+    attractive beyond edge counts.
+
+    [?link_capacity] (default infinite) turns each directed edge into a
+    bounded FIFO channel serving [link_capacity] messages per time
+    unit; [?queue_cap] (default unbounded, must be ≥ 1) bounds its
+    backlog and [?queue_policy] (default {!Drop_tail}) picks what a
+    full queue does — see the link-capacity section above. The
+    [net.link_queue] histogram records the occupancy seen by each
+    admitted message.
+    @raise Invalid_argument if [link_capacity] is not a positive finite
+    rate or [queue_cap < 1]. *)
 
 val create_csr :
   sim:Sim.t ->
@@ -85,6 +127,9 @@ val create_csr :
   ?latency:latency ->
   ?loss_rate:float ->
   ?processing_delay:float ->
+  ?link_capacity:float ->
+  ?queue_cap:int ->
+  ?queue_policy:queue_policy ->
   ?trace:Trace.t ->
   ?obs:Obs.Registry.t ->
   unit ->
@@ -194,3 +239,21 @@ val stats : 'msg t -> stats
     messages that landed inside a crash window; deliveries after a
     {!recover} count as [delivered] (see the recovery semantics
     above). *)
+
+val link_capacity : 'msg t -> float option
+(** The per-link service rate, [None] when links are infinite. *)
+
+val queue_cap : 'msg t -> int
+
+val queue_policy : 'msg t -> queue_policy
+
+val max_queue_backlog : 'msg t -> int
+(** High-water mark of any single link FIFO's occupancy over the run
+    (0 without a finite capacity) — the queue-depth maximum that bench
+    tables report. *)
+
+val link_backlog_now : 'msg t -> src:int -> dst:int -> int
+(** Current occupancy of the directed link's FIFO (messages admitted
+    but not yet departed, the in-service one included). Always 0
+    without a finite capacity.
+    @raise Invalid_argument if the edge does not exist. *)

@@ -1,4 +1,4 @@
-type kind = Sent | Delivered | Dropped_link | Dropped_crash | Dropped_random
+type kind = Sent | Delivered | Dropped_link | Dropped_crash | Dropped_random | Dropped_queue
 
 type event = { time : float; kind : kind; src : int; dst : int; seq : int }
 
@@ -34,6 +34,7 @@ let kind_name = function
   | Dropped_link -> "dropped-link"
   | Dropped_crash -> "dropped-crash"
   | Dropped_random -> "dropped-random"
+  | Dropped_queue -> "dropped-queue"
 
 let pp_event fmt ev =
   Format.fprintf fmt "[%.3f] #%d %s %d->%d" ev.time ev.seq (kind_name ev.kind) ev.src ev.dst

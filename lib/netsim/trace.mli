@@ -8,7 +8,13 @@
     protocol debugging to reconstruct exactly what happened on the
     wire. *)
 
-type kind = Sent | Delivered | Dropped_link | Dropped_crash | Dropped_random
+type kind =
+  | Sent
+  | Delivered
+  | Dropped_link
+  | Dropped_crash
+  | Dropped_random
+  | Dropped_queue  (** drop-tail: the link's bounded FIFO was full at send *)
 
 type event = {
   time : float;

@@ -6,6 +6,13 @@
     walk the registry in registration order, so diffs between two runs
     line up. *)
 
+val escape : string -> string
+(** JSON string-body escaping (backslash, quote, control chars). *)
+
+val fl : float -> string
+(** Float formatting for every JSON surface: [%g], with non-finite
+    values clamped to ["0"] so the output always parses. *)
+
 val to_json : ?recent_events:int -> Registry.t -> string
 (** The registry as one JSON document. Histograms carry their bounds,
     per-bucket counts, count, sum, mean and p50/p95/p99; the events

@@ -447,71 +447,64 @@ let schema = "lhg-reconfig/1"
 
 let mode_name = function `Cached -> "cached" | `Fallback -> "full-fallback" | `Full -> "full"
 
-let buf_edges b edges =
-  Buffer.add_char b '[';
-  List.iteri
-    (fun i (u, v) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b (Printf.sprintf "[%d, %d]" u v))
-    edges;
-  Buffer.add_char b ']'
+let edges_json edges =
+  "["
+  ^ String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "[%d, %d]" u v) edges)
+  ^ "]"
 
-let buf_epoch b e =
-  let add = Buffer.add_string b in
-  add "{\n";
-  add (Printf.sprintf "  \"schema\": %S,\n" schema);
-  add (Printf.sprintf "  \"epoch\": %d,\n" e.index);
-  add (Printf.sprintf "  \"n_before\": %d,\n" e.n_before);
-  add (Printf.sprintf "  \"n_after\": %d,\n" e.n_after);
-  add (Printf.sprintf "  \"strategy\": %S,\n" (strategy_name e.strategy));
-  add "  \"cost\": {";
-  let opt = function None -> "null" | Some c -> string_of_int c in
-  add
-    (Printf.sprintf "\"repair\": %s, \"rebuild\": %s, \"chosen\": %d},\n" (opt e.cost_repair)
-       (opt e.cost_rebuild) (Diff.cost e.diff));
-  add
-    (Printf.sprintf "  \"requests\": {\"applied\": %d, \"rejected\": %d},\n" e.applied
-       (List.length e.rejections));
-  add "  \"diff\": {\"added\": ";
-  buf_edges b e.diff.Diff.added;
-  add ", \"removed\": ";
-  buf_edges b e.diff.Diff.removed;
-  add (Printf.sprintf ", \"kept\": %d},\n" e.diff.Diff.kept);
-  add
-    (Printf.sprintf
-       "  \"verification\": {\"mode\": %S, \"verified\": %b, \"reused\": %d, \"revalidated\": \
-        %d, \"recomputed\": %d}"
-       (mode_name e.verification.mode) e.verification.verified e.verification.reused
-       e.verification.revalidated e.verification.recomputed);
-  (match e.audit with
-  | None -> add ",\n  \"chaos\": null\n"
+(* every epoch object carries its own schema field, so a single epoch
+   cut out of the run document is still a self-describing lhg-reconfig/1
+   record *)
+let epoch_fields s e =
+  let module S = Obs.Stream in
+  S.int s "epoch" e.index;
+  S.int s "n_before" e.n_before;
+  S.int s "n_after" e.n_after;
+  S.str s "strategy" (strategy_name e.strategy);
+  S.obj s "cost" (fun s ->
+      let opt k = function None -> S.null s k | Some c -> S.int s k c in
+      opt "repair" e.cost_repair;
+      opt "rebuild" e.cost_rebuild;
+      S.int s "chosen" (Diff.cost e.diff));
+  S.obj s "requests" (fun s ->
+      S.int s "applied" e.applied;
+      S.int s "rejected" (List.length e.rejections));
+  S.obj s "diff" (fun s ->
+      S.raw s "added" (edges_json e.diff.Diff.added);
+      S.raw s "removed" (edges_json e.diff.Diff.removed);
+      S.int s "kept" e.diff.Diff.kept);
+  S.obj s "verification" (fun s ->
+      S.str s "mode" (mode_name e.verification.mode);
+      S.bool s "verified" e.verification.verified;
+      S.int s "reused" e.verification.reused;
+      S.int s "revalidated" e.verification.revalidated;
+      S.int s "recomputed" e.verification.recomputed);
+  match e.audit with
+  | None -> S.null s "chaos"
   | Some a ->
-      add
-        (Printf.sprintf ",\n  \"chaos\": {\"plans\": %d, \"boundary_ok\": %b}\n"
-           (List.length a.Chaos.Audit.reports) a.Chaos.Audit.boundary_ok));
-  add "}"
+      S.obj s "chaos" (fun s ->
+          S.int s "plans" (List.length a.Chaos.Audit.reports);
+          S.bool s "boundary_ok" a.Chaos.Audit.boundary_ok)
 
 let epoch_to_json e =
-  let b = Buffer.create 512 in
-  buf_epoch b e;
-  Buffer.contents b
+  let s = Obs.Stream.create ~schema () in
+  epoch_fields s e;
+  Obs.Stream.contents s
 
 let run_to_json t epochs =
-  let b = Buffer.create 4096 in
-  let add = Buffer.add_string b in
-  add "{\n";
-  add (Printf.sprintf "\"schema\": %S,\n" schema);
-  add (Printf.sprintf "\"family\": %S,\n" (Membership.family_name t.family));
-  add (Printf.sprintf "\"k\": %d,\n" t.k);
-  add (Printf.sprintf "\"n0\": %d,\n" t.n0);
-  add (Printf.sprintf "\"n\": %d,\n" t.n);
-  add "\"epochs\": [\n";
-  List.iteri
-    (fun i e ->
-      if i > 0 then add ",\n";
-      buf_epoch b e)
-    epochs;
-  add "\n],\n";
+  let module S = Obs.Stream in
+  let s = S.create ~schema () in
+  S.str s "family" (Membership.family_name t.family);
+  S.int s "k" t.k;
+  S.int s "n0" t.n0;
+  S.int s "n" t.n;
+  S.arr s "epochs" (fun s ->
+      List.iter
+        (fun e ->
+          S.element s (fun s ->
+              S.str s "schema" schema;
+              epoch_fields s e))
+        epochs);
   let applied = List.fold_left (fun a e -> a + e.applied) 0 epochs in
   let rejected = List.fold_left (fun a e -> a + List.length e.rejections) 0 epochs in
   let cost = List.fold_left (fun a e -> a + Diff.cost e.diff) 0 epochs in
@@ -527,14 +520,16 @@ let run_to_json t epochs =
       (fun e -> match e.audit with None -> true | Some a -> a.Chaos.Audit.boundary_ok)
       epochs
   in
-  add
-    (Printf.sprintf
-       "\"summary\": {\"epochs\": %d, \"applied\": %d, \"rejected\": %d, \"total_cost\": %d, \
-        \"cached_epochs\": %d, \"full_verifies\": %d, \"all_verified\": %b, \"boundary_ok\": \
-        %b}\n"
-       (List.length epochs) applied rejected cost cached full all_verified boundary_ok);
-  add "}\n";
-  Buffer.contents b
+  S.summary s (fun s ->
+      S.int s "epochs" (List.length epochs);
+      S.int s "applied" applied;
+      S.int s "rejected" rejected;
+      S.int s "total_cost" cost;
+      S.int s "cached_epochs" cached;
+      S.int s "full_verifies" full;
+      S.bool s "all_verified" all_verified;
+      S.bool s "boundary_ok" boundary_ok);
+  S.contents s
 
 let pp_epoch fmt e =
   Format.fprintf fmt "epoch %d: n %d -> %d via %s (cost %d%s), %d applied, %d rejected, %s%s"

@@ -1,0 +1,62 @@
+module Graph = Graph_core.Graph
+module Prng = Graph_core.Prng
+
+(* Configuration (pairing) model: n*k half-edge stubs matched uniformly
+   at random, resampled until the multigraph comes out simple and
+   connected. Distinct from Expander.random_regular (a union of k/2
+   Hamiltonian cycles, which is 2-connected by construction and only
+   exists for even k): the pairing model is the uniform-ish k-regular
+   baseline the random-graph literature compares against, and it covers
+   odd k whenever n*k is even. *)
+
+let admissible ~n ~k = k >= 2 && k < n && (n * k) mod 2 = 0
+
+(* One pairing attempt, Steger–Wormald style: draw stub pairs and
+   reject self-loops and duplicate edges pair-by-pair (re-drawing just
+   the offending pair) instead of restarting the whole matching — the
+   naive restart-on-any-collision sampler succeeds with probability
+   ~exp((1-k^2)/4) per attempt, which is hopeless already at k = 5.
+   The attempt fails only when the leftover stubs admit no valid pair
+   (rare), detected by a re-draw budget. *)
+let attempt rng ~n ~k =
+  let g = Graph.create ~n in
+  let stubs = Array.init (n * k) (fun i -> i / k) in
+  let len = ref (n * k) in
+  let swap_remove i =
+    decr len;
+    stubs.(i) <- stubs.(!len)
+  in
+  let rejects = ref 0 in
+  let budget = 50 * n * k in
+  let stuck = ref false in
+  while !len > 0 && not !stuck do
+    let i = Prng.int rng !len in
+    let j = Prng.int rng !len in
+    let u = stubs.(i) and v = stubs.(j) in
+    if i <> j && u <> v && not (Graph.has_edge g u v) then begin
+      Graph.add_edge g u v;
+      (* higher index first so the lower one stays in place *)
+      swap_remove (max i j);
+      swap_remove (min i j)
+    end
+    else begin
+      incr rejects;
+      if !rejects > budget then stuck := true
+    end
+  done;
+  if (not !stuck) && Graph_core.Components.is_connected g then Some g else None
+
+let default_attempts = 200
+
+let make ?(attempts = default_attempts) rng ~n ~k =
+  if not (admissible ~n ~k) then
+    invalid_arg "Random_regular.make: need 2 <= k < n with n*k even";
+  let rec go i =
+    if i >= attempts then
+      Error
+        (Printf.sprintf
+           "random_regular: no simple connected pairing found in %d attempts (n=%d, k=%d)"
+           attempts n k)
+    else match attempt rng ~n ~k with Some g -> Ok g | None -> go (i + 1)
+  in
+  go 0

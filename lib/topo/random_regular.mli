@@ -1,0 +1,33 @@
+(** Random k-regular graphs by the configuration (pairing) model.
+
+    The competitor topology for the sustained-traffic comparison: the
+    paper's LHG constructions against the uniform random k-regular
+    baseline (the Kim–Srikant style comparison point). [n*k] half-edge
+    stubs are matched into edges by drawing random stub pairs and
+    re-drawing just the pairs that would form a self-loop or duplicate
+    edge (Steger–Wormald style — the whole-matching restart sampler
+    has success probability ~[exp((1-k^2)/4)] per attempt and dies at
+    moderate [k]); an attempt is abandoned and resampled only when the
+    leftover stubs admit no valid pair or the result is disconnected,
+    both rare.
+
+    Distinct from {!Expander.random_regular}: that one unions [k/2]
+    random Hamiltonian cycles (always 2-connected, even [k] only);
+    this one is the unstructured pairing model and admits odd [k]
+    whenever [n*k] is even. *)
+
+val admissible : n:int -> k:int -> bool
+(** [2 <= k < n] and [n*k] even. *)
+
+val default_attempts : int
+
+val make :
+  ?attempts:int ->
+  Graph_core.Prng.t ->
+  n:int ->
+  k:int ->
+  (Graph_core.Graph.t, string) result
+(** Sample until simple and connected, at most [?attempts] (default
+    {!default_attempts}) resamples; [Error] reports exhaustion.
+    Deterministic in the rng state.
+    @raise Invalid_argument when not {!admissible}. *)

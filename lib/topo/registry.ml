@@ -66,6 +66,19 @@ let all =
       ~admissible:(fun ~n ~k -> k mod 2 = 0 && k >= 2 && n > k)
       ~requirement:"expander needs even k >= 2 and n > k"
       (fun ~n ~k ~seed -> Expander.random_regular (Graph_core.Prng.create ~seed) ~n ~degree:k);
+    {
+      name = "random_regular";
+      doc = "random k-regular graph (configuration model)";
+      admissible = (fun ~n ~k -> Random_regular.admissible ~n ~k);
+      requirement = "random_regular needs 2 <= k < n with n*k even";
+      build =
+        (fun ~n ~k ~seed ->
+          if Random_regular.admissible ~n ~k then
+            Random_regular.make (Graph_core.Prng.create ~seed) ~n ~k
+          else Error "random_regular needs 2 <= k < n with n*k even");
+      build_csr = None;
+      construction = None;
+    };
     plain_entry "cycle" "simple cycle (k ignored)"
       ~admissible:(fun ~n ~k:_ -> n >= 3)
       ~requirement:"cycle needs n >= 3"

@@ -1,0 +1,281 @@
+module Csr = Graph_core.Csr
+module Prng = Graph_core.Prng
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+module Env = Flood.Env
+
+type result = {
+  workload : Workload.t;
+  sources : int list;
+  chunks_injected : int;
+  chunks_skipped : int;
+  deliveries : int;
+  wire_messages : int;
+  dropped_queue : int;
+  dropped_link : int;
+  dropped_crash : int;
+  dropped_random : int;
+  duration : float;
+  throughput : float;
+  delivery_fraction : float;
+  all_covered : bool;
+  p50_delay : float;
+  p95_delay : float;
+  p99_delay : float;
+  max_delay : float;
+  max_queue_backlog : int;
+  recovery_time : float;
+}
+
+(* same convention as Runner: smallest sample at or above the rank *)
+let percentile_of sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    sorted.(min (n - 1) (rank - 1))
+  end
+
+(* the dedup table is one byte per (chunk, node) pair; refuse workloads
+   that would need more than 256 MB of it *)
+let max_pairs = 1 lsl 28
+
+let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
+  let n = Csr.n csr in
+  (match Workload.validate workload ~n with
+  | Error e -> invalid_arg ("Traffic.run: " ^ e)
+  | Ok () -> ());
+  let sources = Workload.resolve_sources workload ~n in
+  List.iter
+    (fun s ->
+      if List.mem s env.Env.crashed then
+        invalid_arg (Printf.sprintf "Traffic.run: source %d is crashed at t = 0" s))
+    sources;
+  (match plan with
+  | Some p -> (
+      match Chaos.Plan.validate csr p with
+      | Error e -> invalid_arg ("Traffic.run: invalid plan: " ^ e)
+      | Ok () -> ())
+  | None -> ());
+  let nsources = List.length sources in
+  let chunks = workload.Workload.chunks_per_source in
+  let total = nsources * chunks in
+  if total > max_pairs / n then
+    invalid_arg
+      (Printf.sprintf "Traffic.run: %d chunks x %d nodes exceeds the dedup budget (2^28 pairs)"
+         total n);
+  (* precomputed injection schedule: one rng stream per source, split
+     off the run seed in source order, so the schedule depends only on
+     (seed, workload) — never on engine or execution order *)
+  let src_of = Array.make total 0 in
+  let inject_time = Array.make total 0.0 in
+  let root = Prng.create ~seed:(Env.seed_value env lxor 0x74726166 (* "traf" *)) in
+  List.iteri
+    (fun si src ->
+      let r = Prng.split root in
+      let t = ref 0.0 in
+      for j = 0 to chunks - 1 do
+        (match workload.Workload.arrival with
+        | Workload.Periodic -> t := float_of_int (j + 1) /. workload.Workload.rate
+        | Workload.Poisson ->
+            t := !t +. Prng.exponential r ~mean:(1.0 /. workload.Workload.rate));
+        let g = (si * chunks) + j in
+        src_of.(g) <- src;
+        inject_time.(g) <- !t
+      done)
+    sources;
+  let sim = Env.sim_of env in
+  let net : int Network.t = Env.network_of_csr env ~sim ~csr in
+  List.iter (fun v -> Network.crash net v) env.Env.crashed;
+  List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
+  (match plan with Some p -> Chaos.Exec.install net p | None -> ());
+  let obs = env.Env.obs in
+  let obs_on = Obs.Registry.enabled obs in
+  let h_delay =
+    if obs_on then Some (Obs.Registry.histogram obs "traffic.delay" ~bounds:Obs.Registry.time_bounds)
+    else None
+  in
+  (* per-(chunk, node) first-delivery flags, per-chunk progress *)
+  let seen = Bytes.make (total * n) '\000' in
+  let delivered_count = Array.make total 0 in
+  let last_delivery = Array.make total 0.0 in
+  let injected = Array.make total false in
+  let skipped = ref 0 in
+  let delays = ref (Array.make 1024 0.0) in
+  let ndelays = ref 0 in
+  let push d =
+    if !ndelays = Array.length !delays then begin
+      let grown = Array.make (2 * Array.length !delays) 0.0 in
+      Array.blit !delays 0 grown 0 !ndelays;
+      delays := grown
+    end;
+    !delays.(!ndelays) <- d;
+    incr ndelays
+  in
+  Network.set_int_receiver net (fun ~dst ~src chunk ->
+      let idx = (chunk * n) + dst in
+      if Bytes.unsafe_get seen idx = '\000' then begin
+        Bytes.unsafe_set seen idx '\001';
+        delivered_count.(chunk) <- delivered_count.(chunk) + 1;
+        let now = Sim.now sim in
+        last_delivery.(chunk) <- now;
+        let d = now -. inject_time.(chunk) in
+        push d;
+        (match h_delay with Some h -> Obs.Registry.observe h d | None -> ());
+        Network.send_neighbors_int net ~src:dst ~except:src chunk
+      end);
+  for g = 0 to total - 1 do
+    Sim.schedule_at sim ~time:inject_time.(g) (fun () ->
+        let src = src_of.(g) in
+        (* a chunk whose source a chaos plan has crashed by its arrival
+           instant is simply never offered — counted, not raised *)
+        if Network.is_crashed net src then incr skipped
+        else begin
+          injected.(g) <- true;
+          Bytes.unsafe_set seen ((g * n) + src) '\001';
+          delivered_count.(g) <- 1;
+          last_delivery.(g) <- inject_time.(g);
+          Network.send_neighbors_int net ~src ~except:(-1) g
+        end)
+  done;
+  Sim.run sim;
+  let duration = Sim.now sim in
+  let alive = Network.alive_mask net in
+  let alive_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+  let chunks_injected = total - !skipped in
+  (* coverage against the nodes alive at the end of the run *)
+  let covers = Array.make total false in
+  let covered_pairs = ref 0 in
+  for g = 0 to total - 1 do
+    if injected.(g) then begin
+      let full = ref true in
+      for v = 0 to n - 1 do
+        if alive.(v) then
+          if Bytes.unsafe_get seen ((g * n) + v) <> '\000' then incr covered_pairs
+          else full := false
+      done;
+      covers.(g) <- !full
+    end
+  done;
+  let obligated = chunks_injected * alive_count in
+  let delivery_fraction =
+    if obligated = 0 then 0.0 else float_of_int !covered_pairs /. float_of_int obligated
+  in
+  let all_covered =
+    chunks_injected > 0
+    && Array.for_all (fun c -> c) (Array.init total (fun g -> (not injected.(g)) || covers.(g)))
+  in
+  (* recovery time: among chunks injected after the plan's last event,
+     the earliest one to fully cover the survivors, measured from the
+     last degrading event — how long the stream takes to run clean
+     again once the faults stop coming *)
+  let recovery_time =
+    match plan with
+    | None -> -1.0
+    | Some p ->
+        let evs = Chaos.Plan.events p in
+        if evs = [] then -1.0
+        else
+          let degrade (e : Chaos.Plan.timed) =
+            match e.Chaos.Plan.event with
+            | Chaos.Plan.Crash _ | Chaos.Plan.Link_down _ | Chaos.Plan.Partition _ -> true
+            | Chaos.Plan.Loss_rate r -> r > 0.0
+            | Chaos.Plan.Recover _ | Chaos.Plan.Link_up _ | Chaos.Plan.Heal -> false
+          in
+          let last_event =
+            List.fold_left (fun a (e : Chaos.Plan.timed) -> max a e.Chaos.Plan.at) 0.0 evs
+          in
+          let last_degrade =
+            List.fold_left
+              (fun a (e : Chaos.Plan.timed) -> if degrade e then max a e.Chaos.Plan.at else a)
+              (-1.0) evs
+          in
+          if last_degrade < 0.0 then -1.0
+          else begin
+            let best = ref infinity in
+            for g = 0 to total - 1 do
+              if
+                injected.(g) && covers.(g)
+                && inject_time.(g) >= last_event
+                && last_delivery.(g) < !best
+              then best := last_delivery.(g)
+            done;
+            if !best = infinity then -1.0 else !best -. last_degrade
+          end
+  in
+  let sorted = Array.sub !delays 0 !ndelays in
+  Array.sort compare sorted;
+  let stats = Network.stats net in
+  let throughput =
+    if duration > 0.0 then float_of_int !ndelays /. duration else 0.0
+  in
+  if obs_on then begin
+    Obs.Registry.add (Obs.Registry.counter obs "traffic.chunks") chunks_injected;
+    Obs.Registry.add (Obs.Registry.counter obs "traffic.deliveries") !ndelays;
+    Obs.Registry.set_max (Obs.Registry.gauge obs "traffic.throughput") throughput
+  end;
+  {
+    workload;
+    sources;
+    chunks_injected;
+    chunks_skipped = !skipped;
+    deliveries = !ndelays;
+    wire_messages = stats.Network.sent;
+    dropped_queue = stats.Network.dropped_queue;
+    dropped_link = stats.Network.dropped_link;
+    dropped_crash = stats.Network.dropped_crash;
+    dropped_random = stats.Network.dropped_random;
+    duration;
+    throughput;
+    delivery_fraction;
+    all_covered;
+    p50_delay = percentile_of sorted 0.50;
+    p95_delay = percentile_of sorted 0.95;
+    p99_delay = percentile_of sorted 0.99;
+    max_delay = (if !ndelays = 0 then 0.0 else sorted.(!ndelays - 1));
+    max_queue_backlog = Network.max_queue_backlog net;
+    recovery_time;
+  }
+
+let run_env ~env ?plan ~graph ~workload () =
+  run_csr_env ~env ?plan ~csr:(Csr.of_graph graph) ~workload ()
+
+let schema = "lhg-traffic/1"
+
+let to_json ~topology ~n ~k ~seed r =
+  let module S = Obs.Stream in
+  let s = S.create ~schema () in
+  S.str s "topology" topology;
+  S.int s "n" n;
+  S.int s "k" k;
+  S.int s "seed" seed;
+  S.obj s "workload" (fun s ->
+      S.str s "arrival" (Workload.arrival_name r.workload.Workload.arrival);
+      S.raw s "sources"
+        ("[" ^ String.concat ", " (List.map string_of_int r.sources) ^ "]");
+      S.int s "chunks_per_source" r.workload.Workload.chunks_per_source;
+      S.float s "rate" r.workload.Workload.rate);
+  S.obj s "chunks" (fun s ->
+      S.int s "injected" r.chunks_injected;
+      S.int s "skipped" r.chunks_skipped);
+  S.obj s "wire" (fun s ->
+      S.int s "sent" r.wire_messages;
+      S.int s "dropped_queue" r.dropped_queue;
+      S.int s "dropped_link" r.dropped_link;
+      S.int s "dropped_crash" r.dropped_crash;
+      S.int s "dropped_random" r.dropped_random);
+  S.obj s "delay" (fun s ->
+      S.float s "p50" r.p50_delay;
+      S.float s "p95" r.p95_delay;
+      S.float s "p99" r.p99_delay;
+      S.float s "max" r.max_delay);
+  S.obj s "queue" (fun s -> S.int s "max_backlog" r.max_queue_backlog);
+  S.float s "duration" r.duration;
+  S.summary s (fun s ->
+      S.int s "deliveries" r.deliveries;
+      S.float s "throughput" r.throughput;
+      S.float s "delivery_fraction" r.delivery_fraction;
+      S.bool s "all_covered" r.all_covered;
+      S.float s "recovery_time" r.recovery_time);
+  S.contents s

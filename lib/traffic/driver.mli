@@ -1,0 +1,91 @@
+(** The sustained-traffic driver: multi-source chunk streams flooded
+    through a (possibly capacity-limited) network.
+
+    Each chunk of a {!Workload} is flooded from its source on the
+    network's int plane — the same zero-allocation fast path as
+    {!Flood.Flooding.run_csr_env} — with per-(chunk, node) first-
+    delivery dedup. The network half of the configuration (latency,
+    loss, link capacity, queue bound/policy, engine, seed, static
+    faults) comes from the {!Flood.Env}; the traffic half (sources,
+    arrival process, chunk count, rate) from the {!Workload}. A
+    {!Chaos.Plan} can be scheduled mid-stream to measure degradation
+    and recovery under sustained load.
+
+    The run is deterministic in [(env, workload, plan)]: the injection
+    schedule is precomputed from the run seed, the flood rides the
+    simulator's deterministic ordering, and the result — including
+    {!to_json}'s [lhg-traffic/1] document — is byte-identical across
+    engines and [--jobs] counts (the driver itself never touches a
+    domain pool). *)
+
+type result = {
+  workload : Workload.t;
+  sources : int list;  (** resolved origin nodes, in workload order *)
+  chunks_injected : int;
+  chunks_skipped : int;
+      (** chunks whose source was crashed at their arrival instant
+          (possible only under a chaos plan) *)
+  deliveries : int;  (** first deliveries at non-source nodes *)
+  wire_messages : int;  (** total sends, duplicates included *)
+  dropped_queue : int;  (** drop-tailed by full link FIFOs *)
+  dropped_link : int;
+  dropped_crash : int;
+  dropped_random : int;
+  duration : float;  (** virtual time when the stream drained *)
+  throughput : float;  (** deliveries per virtual time unit *)
+  delivery_fraction : float;
+      (** delivered (alive node, chunk) pairs over obligated pairs —
+          alive means alive at the end of the run *)
+  all_covered : bool;  (** every injected chunk reached every survivor *)
+  p50_delay : float;
+      (** exact percentiles of per-delivery delay (first delivery time
+          minus the chunk's injection time); source receipt is not a
+          sample *)
+  p95_delay : float;
+  p99_delay : float;
+  max_delay : float;
+  max_queue_backlog : int;  (** deepest any single link FIFO ever got *)
+  recovery_time : float;
+      (** with a plan: earliest full-coverage completion among chunks
+          injected after the plan's last event, measured from its last
+          degrading event (crash / link down / partition / positive
+          loss rate) — the time for the stream to run clean again.
+          [-1] when there is no plan, no degrading event, or no clean
+          chunk afterwards. *)
+}
+
+val run_env :
+  env:Flood.Env.t ->
+  ?plan:Chaos.Plan.t ->
+  graph:Graph_core.Graph.t ->
+  workload:Workload.t ->
+  unit ->
+  result
+(** Run the workload to completion (the simulator drains; there is no
+    horizon — finite streams always terminate). Consumes every [Env]
+    field except [pool]. Registers [traffic.delay] (time bounds),
+    [traffic.chunks], [traffic.deliveries] and [traffic.throughput]
+    into an enabled [env.obs]; the network adds its own [net.*]
+    series including the [net.link_queue] occupancy histogram.
+    @raise Invalid_argument on an invalid workload
+    ({!Workload.validate}), a source crashed at t = 0, a plan that
+    fails {!Chaos.Plan.validate}, or a workload whose dedup table
+    would exceed 2^28 (chunk, node) pairs. *)
+
+val run_csr_env :
+  env:Flood.Env.t ->
+  ?plan:Chaos.Plan.t ->
+  csr:Graph_core.Csr.t ->
+  workload:Workload.t ->
+  unit ->
+  result
+(** {!run_env} directly over a frozen CSR snapshot — the million-
+    message path. *)
+
+val schema : string
+(** ["lhg-traffic/1"]. *)
+
+val to_json : topology:string -> n:int -> k:int -> seed:int -> result -> string
+(** The run as one [lhg-traffic/1] document ({!Obs.Stream} formatting).
+    Contains no wall-clock fields, so two runs of the same
+    [(env, workload, plan)] produce byte-identical documents. *)

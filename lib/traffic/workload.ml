@@ -1,0 +1,55 @@
+type arrival = Periodic | Poisson
+
+type t = {
+  arrival : arrival;
+  sources : int list;
+  source_count : int;
+  chunks_per_source : int;
+  rate : float;
+}
+
+let default =
+  { arrival = Periodic; sources = []; source_count = 4; chunks_per_source = 8; rate = 0.05 }
+
+let with_arrival arrival t = { t with arrival }
+
+let with_sources sources t = { t with sources }
+
+let with_source_count source_count t = { t with source_count; sources = [] }
+
+let with_chunks_per_source chunks_per_source t = { t with chunks_per_source }
+
+let with_rate rate t = { t with rate }
+
+let arrival_name = function Periodic -> "periodic" | Poisson -> "poisson"
+
+let arrival_of_string = function
+  | "periodic" -> Ok Periodic
+  | "poisson" -> Ok Poisson
+  | s -> Error (Printf.sprintf "unknown arrival process %S (expected periodic, poisson)" s)
+
+(* explicit sources win; otherwise spread source_count origins evenly
+   over the vertex range — i*n/count is distinct for count <= n and
+   puts the origins in far-apart regions of structured topologies *)
+let resolve_sources t ~n =
+  match t.sources with
+  | [] -> List.init t.source_count (fun i -> i * n / t.source_count)
+  | l -> l
+
+let validate t ~n =
+  if not (Float.is_finite t.rate) || t.rate <= 0.0 then
+    Error "rate must be a positive finite number of chunks per time unit"
+  else if t.chunks_per_source < 1 then Error "chunks_per_source must be >= 1"
+  else
+    match t.sources with
+    | [] ->
+        if t.source_count < 1 then Error "source_count must be >= 1"
+        else if t.source_count > n then
+          Error (Printf.sprintf "source_count %d exceeds n = %d" t.source_count n)
+        else Ok ()
+    | l ->
+        if List.exists (fun v -> v < 0 || v >= n) l then
+          Error (Printf.sprintf "source out of range [0, %d)" n)
+        else if List.length (List.sort_uniq compare l) <> List.length l then
+          Error "duplicate sources"
+        else Ok ()

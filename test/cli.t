@@ -33,7 +33,7 @@ checks on an N-domain pool; --jobs 0 auto-sizes from LHG_DOMAINS):
 An unknown kind reports the catalogue and fails:
 
   $ lhg_tool generate -t moebius --n 10 --k 3
-  error: unknown kind "moebius" (expected one of: ktree, kdiamond, kdiamond_rich, jd, harary, hypercube, expander, cycle, complete)
+  error: unknown kind "moebius" (expected one of: ktree, kdiamond, kdiamond_rich, jd, harary, hypercube, expander, random_regular, cycle, complete)
   [1]
 
 Inadmissible parameters report the registry's requirement:
@@ -65,8 +65,8 @@ The metrics subcommand replays a run in text form:
   metrics @ virtual time 5
   counters:
     sim.events                       45
+    net.dropped_queue                0
     net.dropped_random               0
-    net.dropped_crash                0
 
 Chaos audit: sweep adversarial fault plans against the flood and check
 the k-1 boundary empirically. Every plan of weight <= k-1 must deliver;
@@ -151,4 +151,104 @@ Bad controller inputs fail with a diagnosis:
   [1]
   $ lhg_tool controller -t kdiamond --n 16 --k 3 --chaos gremlins
   error: unknown adversary "gremlins" (expected min-cut, min-edge-cut, high-degree, random, dynamic)
+  [1]
+
+Sustained traffic: multi-source chunk streams over (optionally)
+capacity-limited links. The exit code is the SLO verdict — with the
+default --min-delivery 1.0 a clean stream exits 0:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+    wire messages:      270
+    deliveries:         126
+    dropped q/l/c/r:    0/0/0/0
+    duration:           36.00
+    throughput:         3.500 msgs/unit
+    delivery fraction:  1.0000
+    delay p50/p95/p99:  3.00/4.00/5.00
+    max queue backlog:  0
+    SLO:                ok
+
+A tight drop-tail queue under the same load sheds messages, misses the
+delivery SLO and exits 1:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --min-delivery 0.999
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+    wire messages:      184
+    deliveries:         83
+    dropped q/l/c/r:    20/0/0/0
+    duration:           156.00
+    throughput:         0.532 msgs/unit
+    delivery fraction:  0.6742
+    delay p50/p95/p99:  63.00/84.00/105.00
+    max queue backlog:  0
+    SLO:                VIOLATED
+  [1]
+
+Block policy trades the loss for queueing delay — nothing is dropped,
+everything still covers:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --queue-policy block
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+    wire messages:      270
+    deliveries:         126
+    dropped q/l/c/r:    0/0/0/0
+    duration:           215.00
+    throughput:         0.586 msgs/unit
+    delivery fraction:  1.0000
+    delay p50/p95/p99:  73.00/124.00/144.00
+    max queue backlog:  2
+    SLO:                ok
+
+The random-regular competitor (configuration model) rides the same
+registry, so the LHG-vs-random comparison is one flag away:
+
+  $ lhg_tool traffic -t random_regular --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --queue-policy block
+  traffic random_regular(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+    wire messages:      270
+    deliveries:         126
+    dropped q/l/c/r:    0/0/0/0
+    duration:           215.00
+    throughput:         0.586 msgs/unit
+    delivery fraction:  1.0000
+    delay p50/p95/p99:  83.00/124.00/143.00
+    max queue backlog:  3
+    SLO:                ok
+
+A chaos plan scheduled mid-stream degrades the stream and reports the
+time to run clean again after the last fault:
+
+  $ printf '12 crash 5\n30 recover 5\n' > mid.plan
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --plan mid.plan --min-delivery 0.9
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+    wire messages:      262
+    deliveries:         122
+    dropped q/l/c/r:    0/0/12/0
+    duration:           36.00
+    throughput:         3.389 msgs/unit
+    delivery fraction:  0.9697
+    delay p50/p95/p99:  3.00/5.00/7.00
+    max queue backlog:  0
+    recovery time:      22.00
+    SLO:                ok
+
+JSON output is one lhg-traffic/1 document, byte-identical at any
+--jobs count and on either event engine:
+
+  $ lhg_tool traffic --metrics json -t kdiamond --n 22 --k 3 --seed 2 --capacity 0.5 --queue-cap 2 > traffic.json
+  $ lhg_tool traffic --metrics json --jobs 4 -t kdiamond --n 22 --k 3 --seed 2 --capacity 0.5 --queue-cap 2 > traffic4.json
+  $ lhg_tool traffic --metrics json --engine heap -t kdiamond --n 22 --k 3 --seed 2 --capacity 0.5 --queue-cap 2 > traffich.json
+  $ cmp traffic.json traffic4.json && cmp traffic.json traffich.json && grep -o '"schema": "lhg-traffic/1"' traffic.json
+  "schema": "lhg-traffic/1"
+
+Bad traffic inputs fail with a diagnosis:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --sources 30
+  error: source_count 30 exceeds n = 22
+  [1]
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --plan nosuch.plan
+  error: nosuch.plan: No such file or directory
+  [1]
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --rate 0
+  error: rate must be a positive finite number of chunks per time unit
   [1]

@@ -1,9 +1,8 @@
-(* Flood.Env: the unified run environment. The builders must be plain
-   field updates, and every legacy optional-argument [run] must be an
-   exact wrapper over its [run_env] — same arguments, same answer.
-   This is the one file allowed to call the [@@alert legacy] wrappers:
-   pinning the equivalence is its whole point. *)
-[@@@alert "-legacy"]
+(* Flood.Env: the unified run environment — now the *sole* run
+   configuration (the legacy optional-argument wrappers are gone). The
+   builders must be plain field updates, run_env must be deterministic
+   in the environment alone, and the capacity/queueing knobs must reach
+   the network through Env.network_of_graph like every other field. *)
 
 open Helpers
 module Graph = Graph_core.Graph
@@ -31,77 +30,95 @@ let test_builders () =
   check_bool "default has no hook" true (Env.default.Env.prepare = None);
   check_bool "default obs disabled" false (Obs.Registry.enabled Env.default.Env.obs)
 
-let test_flooding_wrapper () =
-  let g = graph () in
-  let legacy =
-    Flood.Flooding.run ~loss_rate:0.2 ~crashed:[ 4 ]
-      ~failed_links:[ (0, 3) ]
-      ~seed:7 ~graph:g ~source:0 ()
-  in
+let test_workload_builders () =
   let env =
-    Env.make ~loss_rate:0.2 ~crashed:[ 4 ] ~failed_links:[ (0, 3) ] ~seed:7 ()
+    Env.default |> Env.with_link_capacity 2.0 |> Env.with_queue_cap 8
+    |> Env.with_queue_policy Network.Block
   in
-  let r = Flood.Flooding.run_env ~env ~graph:g ~source:0 () in
-  check_bool "flooding run = run_env" true (legacy = r)
+  check_bool "link_capacity" true (env.Env.link_capacity = Some 2.0);
+  check_bool "queue_cap" true (env.Env.queue_cap = Some 8);
+  check_bool "queue_policy" true (env.Env.queue_policy = Some Network.Block);
+  check_bool "default has infinite links" true (Env.default.Env.link_capacity = None);
+  let cleared = Env.without_link_capacity env in
+  check_bool "without_link_capacity clears all three" true
+    (cleared.Env.link_capacity = None && cleared.Env.queue_cap = None
+   && cleared.Env.queue_policy = None)
 
-let test_sync_wrapper () =
+let test_env_only_determinism () =
+  (* the environment is the whole configuration: same env, same answer,
+     on either engine *)
   let g = graph () in
-  let alive = Array.init (Graph.n g) (fun v -> v <> 4) in
-  let legacy = Flood.Sync.flood ~alive g ~source:0 in
-  let r = Flood.Sync.flood_env ~env:(Env.make ~crashed:[ 4 ] ()) g ~source:0 in
-  check_bool "sync flood = flood_env" true (legacy = r)
+  let env = Env.make ~loss_rate:0.2 ~crashed:[ 4 ] ~failed_links:[ (0, 3) ] ~seed:7 () in
+  let a = Flood.Flooding.run_env ~env ~graph:g ~source:0 () in
+  let b = Flood.Flooding.run_env ~env ~graph:g ~source:0 () in
+  check_bool "run_env is a function of env" true (a = b);
+  let heap =
+    Flood.Flooding.run_env ~env:(env |> Env.with_engine Netsim.Sim.Heap) ~graph:g ~source:0 ()
+  in
+  check_bool "identical across engines" true (a = heap)
 
-let test_multi_reliable_wrapper () =
+let test_capacity_reaches_network () =
+  (* with a finite capacity, flooding's fan-out serialises per link:
+     completion stretches and (with unit rate) roughly doubles depth;
+     without it, behaviour is exactly the infinite-bandwidth run *)
   let g = graph () in
+  let free = Flood.Flooding.run_env ~env:(Env.make ~seed:3 ()) ~graph:g ~source:0 () in
+  let capped =
+    Flood.Flooding.run_env
+      ~env:(Env.default |> Env.with_seed 3 |> Env.with_link_capacity 1.0)
+      ~graph:g ~source:0 ()
+  in
+  check_bool "capped still covers" true capped.Flood.Flooding.covers_all_alive;
+  check_bool "queueing delays completion" true
+    (capped.Flood.Flooding.completion_time > free.Flood.Flooding.completion_time);
+  check_int "same messages on the wire" free.Flood.Flooding.messages_sent
+    capped.Flood.Flooding.messages_sent;
+  (* one flood puts at most one message on each directed link, so
+     drop-tail needs concurrent payloads to bite: three simultaneous
+     publications through a slow tight queue must shed load *)
   let pubs =
     [
       { Flood.Multi.origin = 0; inject_time = 0.0; payload_id = 0 };
-      { Flood.Multi.origin = 5; inject_time = 1.5; payload_id = 1 };
+      { Flood.Multi.origin = 1; inject_time = 0.0; payload_id = 1 };
+      { Flood.Multi.origin = 2; inject_time = 0.0; payload_id = 2 };
     ]
   in
-  let legacy = Flood.Multi.run ~loss_rate:0.1 ~seed:3 ~graph:g ~publications:pubs () in
-  let env = Env.make ~loss_rate:0.1 ~seed:3 () in
-  check_bool "multi run = run_env" true
-    (legacy = Flood.Multi.run_env ~env ~graph:g ~publications:pubs ());
-  let legacy =
-    Flood.Reliable.run ~loss_rate:0.3 ~seed:3 ~graph:g ~publications:pubs
-      ~anti_entropy_period:2.0 ~duration:40.0 ()
+  let reach r =
+    List.fold_left (fun acc m -> acc + m.Flood.Multi.delivered_count) 0 r.Flood.Multi.per_message
   in
-  let env = Env.make ~loss_rate:0.3 ~seed:3 () in
-  check_bool "reliable run = run_env" true
-    (legacy
-    = Flood.Reliable.run_env ~env ~graph:g ~publications:pubs ~anti_entropy_period:2.0
-        ~duration:40.0 ())
+  let wide = Flood.Multi.run_env ~env:(Env.make ~seed:3 ()) ~graph:g ~publications:pubs () in
+  let tight =
+    Flood.Multi.run_env
+      ~env:
+        (Env.default |> Env.with_seed 3
+        |> Env.with_link_capacity 0.05
+        |> Env.with_queue_cap 1)
+      ~graph:g ~publications:pubs ()
+  in
+  check_bool "infinite links cover everything" true wide.Flood.Multi.all_covered;
+  check_bool "drop-tail sheds under pressure" true (reach tight < reach wide)
 
-let test_gossip_pif_wrapper () =
+let test_gossip_pif_validation () =
   let g = graph () in
-  let legacy = Flood.Gossip.run ~seed:5 ~crashed:[ 2 ] ~graph:g ~source:0 ~fanout:3 ~ttl:8 () in
-  let env = Env.make ~seed:5 ~crashed:[ 2 ] () in
-  check_bool "gossip run = run_env" true
-    (legacy = Flood.Gossip.run_env ~env ~graph:g ~source:0 ~fanout:3 ~ttl:8 ());
-  let legacy = Flood.Pif.run ~seed:5 ~graph:g ~source:1 () in
-  check_bool "pif run = run_env" true
-    (legacy = Flood.Pif.run_env ~env:(Env.make ~seed:5 ()) ~graph:g ~source:1 ());
   Alcotest.check_raises "pif rejects lossy channels"
     (Invalid_argument "Pif.run: loss_rate unsupported (echo accounting assumes reliable channels)")
     (fun () ->
-      ignore (Flood.Pif.run_env ~env:(Env.make ~loss_rate:0.1 ()) ~graph:g ~source:0 ()))
+      ignore (Flood.Pif.run_env ~env:(Env.make ~loss_rate:0.1 ()) ~graph:g ~source:0 ()));
+  (* gossip consumes the env seed: different seeds, different spread *)
+  let r5 = Flood.Gossip.run_env ~env:(Env.make ~seed:5 ()) ~graph:g ~source:0 ~fanout:1 ~ttl:3 () in
+  let r5' = Flood.Gossip.run_env ~env:(Env.make ~seed:5 ()) ~graph:g ~source:0 ~fanout:1 ~ttl:3 () in
+  check_bool "gossip deterministic in env" true
+    (r5.Flood.Gossip.delivered = r5'.Flood.Gossip.delivered)
 
-let test_runner_wrapper () =
+let test_runner_env () =
   let g = graph () in
-  let legacy =
-    Flood.Runner.flood_trials ~loss_rate:0.05 ~link_failures:1 ~graph:g ~source:0
-      ~crash_count:2 ~trials:12 ~seed:9 ()
-  in
-  (* the legacy wrapper defaults to a private enabled registry; match it *)
-  let env = Env.make ~loss_rate:0.05 ~seed:9 ~obs:(Obs.Registry.create ()) () in
+  let reg = Obs.Registry.create () in
+  let env = Env.make ~loss_rate:0.05 ~seed:9 ~obs:reg () in
   let r =
     Flood.Runner.flood_trials_env ~link_failures:1 ~env ~graph:g ~source:0 ~crash_count:2
       ~trials:12 ()
   in
-  check_bool "runner flood_trials = flood_trials_env" true (legacy = r);
-  check_bool "hop_counts populated via enabled registry" true
-    (legacy.Flood.Runner.hop_counts <> [||]);
+  check_bool "hop_counts populated via enabled registry" true (r.Flood.Runner.hop_counts <> [||]);
   (* with the disabled default registry the env path records no hops *)
   let bare =
     Flood.Runner.flood_trials_env ~link_failures:1 ~env:(Env.make ~loss_rate:0.05 ~seed:9 ())
@@ -109,15 +126,7 @@ let test_runner_wrapper () =
   in
   check_bool "disabled registry -> no hop_counts" true (bare.Flood.Runner.hop_counts = [||]);
   check_bool "same trials otherwise" true
-    (bare.Flood.Runner.mean_coverage = legacy.Flood.Runner.mean_coverage);
-  let legacy_g =
-    Flood.Runner.gossip_trials ~graph:g ~source:0 ~fanout:3 ~crash_count:1 ~trials:8 ~seed:4 ()
-  in
-  let env = Env.make ~seed:4 ~obs:(Obs.Registry.create ()) () in
-  check_bool "runner gossip_trials = gossip_trials_env" true
-    (legacy_g
-    = Flood.Runner.gossip_trials_env ~env ~graph:g ~source:0 ~fanout:3 ~crash_count:1
-        ~trials:8 ())
+    (bare.Flood.Runner.mean_coverage = r.Flood.Runner.mean_coverage)
 
 let test_prepare_hook_runs () =
   (* a hook that crashes a node before the first send is equivalent to
@@ -137,10 +146,10 @@ let test_prepare_hook_runs () =
 let suite =
   [
     Alcotest.test_case "builders are field updates" `Quick test_builders;
-    Alcotest.test_case "flooding wrapper" `Quick test_flooding_wrapper;
-    Alcotest.test_case "sync wrapper" `Quick test_sync_wrapper;
-    Alcotest.test_case "multi + reliable wrappers" `Quick test_multi_reliable_wrapper;
-    Alcotest.test_case "gossip + pif wrappers" `Quick test_gossip_pif_wrapper;
-    Alcotest.test_case "runner wrappers" `Quick test_runner_wrapper;
+    Alcotest.test_case "workload builders" `Quick test_workload_builders;
+    Alcotest.test_case "env-only determinism" `Quick test_env_only_determinism;
+    Alcotest.test_case "capacity reaches every run surface" `Quick test_capacity_reaches_network;
+    Alcotest.test_case "gossip + pif validation" `Quick test_gossip_pif_validation;
+    Alcotest.test_case "runner env path" `Quick test_runner_env;
     Alcotest.test_case "prepare hook" `Quick test_prepare_hook_runs;
   ]

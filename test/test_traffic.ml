@@ -1,0 +1,222 @@
+(* Sustained traffic: bounded link FIFOs and the workload driver.
+
+   The load-bearing properties, per ISSUE 7: FIFO order holds per
+   directed link (no reorder under a deterministic latency model),
+   messages are conserved (sent = delivered + every drop reason),
+   Calendar and Heap engines produce byte-identical lhg-traffic/1
+   documents, and Block policy never sheds. *)
+
+open Helpers
+module Graph = Graph_core.Graph
+module Sim = Netsim.Sim
+module Network = Netsim.Network
+module Trace = Netsim.Trace
+module Env = Flood.Env
+module Workload = Traffic.Workload
+module Driver = Traffic.Driver
+
+let graph () = (Lhg_core.Build.kdiamond_exn ~n:12 ~k:3).Lhg_core.Build.graph
+
+(* a workload that actually pressures the queues: 3 sources drumming
+   fast through slow links *)
+let pressure_workload =
+  Workload.default |> Workload.with_source_count 3 |> Workload.with_chunks_per_source 4
+  |> Workload.with_rate 0.5
+
+let env_with ~seed ~capacity ?queue_cap ?policy ?trace () =
+  Env.default |> Env.with_seed seed
+  |> Env.with_link_capacity capacity
+  |> (match queue_cap with Some q -> Env.with_queue_cap q | None -> Fun.id)
+  |> (match policy with Some p -> Env.with_queue_policy p | None -> Fun.id)
+  |> match trace with Some t -> Env.with_trace t | None -> Fun.id
+
+(* FIFO per directed link: under the constant default latency, the
+   deliveries on any (src, dst) must appear in send (seq) order with
+   non-decreasing times — a queued message never overtakes its
+   predecessor on the same link. *)
+let prop_fifo_no_reorder =
+  qcheck ~count:25 "per-link FIFO: no reorder under queueing"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 3))
+    (fun (seed, queue_cap) ->
+      let trace = Trace.create () in
+      let env =
+        env_with ~seed ~capacity:0.25 ~queue_cap ~policy:Network.Drop_tail ~trace ()
+      in
+      let _r = Driver.run_env ~env ~graph:(graph ()) ~workload:pressure_workload () in
+      let last : (int * int, int * float) Hashtbl.t = Hashtbl.create 64 in
+      List.for_all
+        (fun (e : Trace.event) ->
+          match e.Trace.kind with
+          | Trace.Delivered ->
+              let key = (e.Trace.src, e.Trace.dst) in
+              let ok =
+                match Hashtbl.find_opt last key with
+                | Some (seq, time) -> e.Trace.seq > seq && e.Trace.time >= time
+                | None -> true
+              in
+              Hashtbl.replace last key (e.Trace.seq, e.Trace.time);
+              ok
+          | _ -> true)
+        (Trace.events trace))
+
+(* Conservation: every send reaches exactly one terminal outcome. *)
+let prop_conservation =
+  qcheck ~count:25 "conservation: sent = delivered + all drops"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 2))
+    (fun (seed, queue_cap) ->
+      let trace = Trace.create () in
+      let env =
+        env_with ~seed ~capacity:0.25 ~queue_cap ~policy:Network.Drop_tail ~trace ()
+        |> Env.with_loss_rate 0.05
+      in
+      let r = Driver.run_env ~env ~graph:(graph ()) ~workload:pressure_workload () in
+      let count k =
+        List.length (List.filter (fun e -> e.Trace.kind = k) (Trace.events trace))
+      in
+      let sent = count Trace.Sent in
+      sent = r.Driver.wire_messages
+      && sent
+         = count Trace.Delivered + count Trace.Dropped_link + count Trace.Dropped_crash
+           + count Trace.Dropped_random + count Trace.Dropped_queue
+      && count Trace.Dropped_queue = r.Driver.dropped_queue)
+
+(* Engine byte-identity: the whole lhg-traffic/1 document, queued
+   streams included, must not depend on the event engine. *)
+let prop_engine_identity =
+  qcheck ~count:20 "Calendar vs Heap: byte-identical lhg-traffic/1"
+    QCheck2.Gen.(pair (int_bound 10_000) (oneofl [ Workload.Periodic; Workload.Poisson ]))
+    (fun (seed, arrival) ->
+      let workload = pressure_workload |> Workload.with_arrival arrival in
+      let doc engine =
+        let env =
+          env_with ~seed ~capacity:0.25 ~queue_cap:2 ~policy:Network.Drop_tail ()
+          |> Env.with_engine engine
+        in
+        let r = Driver.run_env ~env ~graph:(graph ()) ~workload () in
+        Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
+      in
+      String.equal (doc Sim.Calendar) (doc Sim.Heap))
+
+let test_block_never_sheds () =
+  let g = graph () in
+  let workload = pressure_workload in
+  let tight =
+    Driver.run_env
+      ~env:(env_with ~seed:3 ~capacity:0.05 ~queue_cap:1 ~policy:Network.Drop_tail ())
+      ~graph:g ~workload ()
+  in
+  let block =
+    Driver.run_env
+      ~env:(env_with ~seed:3 ~capacity:0.05 ~queue_cap:1 ~policy:Network.Block ())
+      ~graph:g ~workload ()
+  in
+  check_bool "drop-tail sheds on a tight queue" true (tight.Driver.dropped_queue > 0);
+  check_int "block never drops" 0 block.Driver.dropped_queue;
+  check_bool "block covers everything" true block.Driver.all_covered;
+  check_bool "block pays in delay instead" true
+    (block.Driver.p99_delay >= tight.Driver.p99_delay);
+  check_bool "backlog visible under block" true (block.Driver.max_queue_backlog >= 1)
+
+let test_free_run_matches_flood_costs () =
+  (* without capacity the driver is plain repeated flooding: chunks
+     all cover, zero drops, delays bounded by the diameter *)
+  let r =
+    Driver.run_env
+      ~env:(Env.make ~seed:7 ())
+      ~graph:(graph ()) ~workload:Workload.default ()
+  in
+  check_bool "all covered" true r.Driver.all_covered;
+  check_bool "delivery fraction 1" true (r.Driver.delivery_fraction = 1.0);
+  check_int "no queue drops" 0 r.Driver.dropped_queue;
+  check_int "no backlog" 0 r.Driver.max_queue_backlog;
+  check_int "deliveries = chunks * (n-1)" (4 * 8 * 11) r.Driver.deliveries;
+  check_bool "throughput positive" true (r.Driver.throughput > 0.0)
+
+let test_workload_validation () =
+  let n = 12 in
+  let bad w = match Workload.validate w ~n with Error _ -> true | Ok () -> false in
+  check_bool "negative rate" true (bad (Workload.default |> Workload.with_rate (-1.0)));
+  check_bool "nan rate" true (bad (Workload.default |> Workload.with_rate Float.nan));
+  check_bool "zero chunks" true (bad (Workload.default |> Workload.with_chunks_per_source 0));
+  check_bool "too many sources" true (bad (Workload.default |> Workload.with_source_count 13));
+  check_bool "out of range source" true (bad (Workload.default |> Workload.with_sources [ 12 ]));
+  check_bool "duplicate sources" true (bad (Workload.default |> Workload.with_sources [ 1; 1 ]));
+  check_bool "default is valid" false (bad Workload.default);
+  check_bool "spread sources are distinct" true
+    (let s = Workload.resolve_sources (Workload.default |> Workload.with_source_count 5) ~n in
+     List.length (List.sort_uniq compare s) = 5);
+  check_bool "explicit sources win" true
+    (Workload.resolve_sources (Workload.default |> Workload.with_sources [ 3; 7 ]) ~n = [ 3; 7 ]);
+  Alcotest.check_raises "driver rejects crashed source"
+    (Invalid_argument "Traffic.run: source 0 is crashed at t = 0")
+    (fun () ->
+      ignore
+        (Driver.run_env
+           ~env:(Env.make ~crashed:[ 0 ] ())
+           ~graph:(graph ()) ~workload:Workload.default ()))
+
+let test_chaos_midstream () =
+  (* crash a source mid-stream: its later chunks are skipped, and with
+     a recovery the post-plan chunks measure a recovery time *)
+  let g = graph () in
+  let mk l = Chaos.Plan.make (List.map (fun (at, event) -> { Chaos.Plan.at; event }) l) in
+  let workload =
+    Workload.default |> Workload.with_source_count 2 |> Workload.with_chunks_per_source 4
+    |> Workload.with_rate 0.1
+  in
+  let crash_source = mk [ (15.0, Chaos.Plan.Crash 0) ] in
+  let r =
+    Driver.run_env ~env:(Env.make ~seed:5 ()) ~plan:crash_source ~graph:g ~workload ()
+  in
+  check_bool "later chunks of the crashed source are skipped" true (r.Driver.chunks_skipped > 0);
+  check_bool "time to run clean measured against survivors" true (r.Driver.recovery_time >= 0.0);
+  (* a plan with no degrading event has nothing to recover from *)
+  let benign = mk [ (5.0, Chaos.Plan.Loss_rate 0.0) ] in
+  let rb = Driver.run_env ~env:(Env.make ~seed:5 ()) ~plan:benign ~graph:g ~workload () in
+  check_bool "no degrading event -> recovery_time = -1" true (rb.Driver.recovery_time = -1.0);
+  let crash_recover = mk [ (15.0, Chaos.Plan.Crash 0); (25.0, Chaos.Plan.Recover 0) ] in
+  let r2 =
+    Driver.run_env ~env:(Env.make ~seed:5 ()) ~plan:crash_recover ~graph:g ~workload ()
+  in
+  check_bool "recovery time measured" true (r2.Driver.recovery_time >= 0.0);
+  check_bool "stream recovers" true r2.Driver.all_covered
+
+let test_json_shape () =
+  let r =
+    Driver.run_env ~env:(Env.make ~seed:1 ()) ~graph:(graph ()) ~workload:Workload.default ()
+  in
+  let doc = Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length doc in
+    let rec go i = i + nl <= hl && (String.sub doc i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check_bool needle true (contains needle))
+    [
+      {|"schema": "lhg-traffic/1"|};
+      {|"workload"|};
+      {|"arrival": "periodic"|};
+      {|"wire"|};
+      {|"delay"|};
+      {|"summary"|};
+      {|"all_covered": true|};
+    ];
+  (* determinism: the document is a pure function of (env, workload) *)
+  let r' =
+    Driver.run_env ~env:(Env.make ~seed:1 ()) ~graph:(graph ()) ~workload:Workload.default ()
+  in
+  check_bool "byte-identical rerun" true
+    (String.equal doc (Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r'))
+
+let suite =
+  [
+    prop_fifo_no_reorder;
+    prop_conservation;
+    prop_engine_identity;
+    Alcotest.test_case "block never sheds" `Quick test_block_never_sheds;
+    Alcotest.test_case "free run = repeated flooding" `Quick test_free_run_matches_flood_costs;
+    Alcotest.test_case "workload validation" `Quick test_workload_validation;
+    Alcotest.test_case "chaos mid-stream" `Quick test_chaos_midstream;
+    Alcotest.test_case "lhg-traffic/1 shape + determinism" `Quick test_json_shape;
+  ]
