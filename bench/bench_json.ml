@@ -1,21 +1,23 @@
-(* B7 → PR 7: machine-readable benchmark, now with the sustained-
-   traffic engine on top of the calendar-queue + off-heap CSR core.
+(* B8 → PR 8: machine-readable benchmark, now with tree-striped
+   dissemination attacking the PR-7 delay gap.
 
-   Writes BENCH_PR7.json — op name → ns/run for the established op set
-   (names kept identical so the committed BENCH_PR6.json baseline stays
+   Writes BENCH_PR8.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR7.json baseline stays
    comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths, a chaos section, a controller section, the
    131k flooding ops, the million-node flood experiment (n=2^20+2
-   kdiamond, 5-second budget, cross-engine identity), and the new
-   traffic section: multi-source streams through capacity-limited
-   links at n=1026 — LHG kdiamond against the random k-regular pairing
-   model at matched degree (the Kim–Srikant comparison), with delay
-   percentiles, queue maxima and a Calendar-vs-Heap byte-identity
-   check on the lhg-traffic/1 document — and a million-message
-   sustained stream on the n=2^17+2 kdiamond CSR, wall-clocked against
-   a 10-second budget. Pure-stdlib timing (monotonic-enough wall
-   clock, budgeted repetition loop) rather than bechamel, so the
-   output is stable, dependency-light and trivially parseable.
+   kdiamond, 5-second budget, cross-engine identity), the traffic
+   section: multi-source streams through capacity-limited links at
+   n=1026 — LHG kdiamond against the random k-regular pairing model at
+   matched degree (the Kim–Srikant comparison) plus the new
+   dissemination-gap table (flood vs tree-striped vs gossip on a
+   congestion-dominated workload, with a mid-stream ≤ k−1 link-chaos
+   run and engine/jobs byte-identity over the trees path) — and a
+   million-message sustained stream on the n=2^17+2 kdiamond CSR,
+   wall-clocked against a 10-second budget. Pure-stdlib timing
+   (monotonic-enough wall clock, budgeted repetition loop) rather than
+   bechamel, so the output is stable, dependency-light and trivially
+   parseable.
 
    The scaling numbers are honest: [domains_available] records what the
    machine actually offers (a 1-core container timeshares its domains
@@ -111,9 +113,9 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR7.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR8.json" in
   print_endline
-    "=== B7  JSON benchmark: sustained traffic + calendar-queue floods + million-node smoke ===";
+    "=== B8  JSON benchmark: tree-striped dissemination + sustained traffic + million-node smoke ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
 
   (* the 16k graph is built after the n=1026 op group below: the hot
@@ -517,6 +519,122 @@ let () =
     traffic_engines_identical;
   if not traffic_engines_identical then
     failwith "lhg-traffic/1 differs across event engines";
+
+  (* ------------------------------------------------------------------
+     The dissemination gap (PR 8). The same congestion-dominated
+     workload — 4 sources drumming 96 chunks each at rate 0.7 through
+     capacity-1 links with blocking queues, so flood's per-link arrival
+     rate (~4 × 0.7) runs far past service while tree striping's
+     (~1/⌊k/2⌋ of that) stays under it — pushed through every
+     dissemination strategy on the LHG kdiamond and through flood on
+     the random-regular competitor. The headline: tree-striped
+     dissemination on the LHG closes the LHG-vs-random p95 delay gap
+     (CI asserts trees p95 <= 0.85 × flood p95 and gap_closed >= 0.5),
+     at n−1 messages per chunk instead of 2m. *)
+  print_endline "--- dissemination gap ---";
+  let gap_workload =
+    Traffic.Workload.default
+    |> Traffic.Workload.with_source_count 4
+    |> Traffic.Workload.with_chunks_per_source 96
+    |> Traffic.Workload.with_rate 0.7
+  in
+  let gap_env ?pool ?(engine = Netsim.Sim.Calendar) () =
+    Flood.Env.default |> Flood.Env.with_seed traffic_seed
+    |> Flood.Env.with_link_capacity traffic_capacity
+    |> Flood.Env.with_queue_cap traffic_queue_cap
+    |> Flood.Env.with_queue_policy Netsim.Network.Block
+    |> Flood.Env.with_engine engine
+    |> match pool with Some _ -> Flood.Env.with_pool pool | None -> Fun.id
+  in
+  let gap_run ?pool ?engine ?plan csr dissemination =
+    Traffic.Driver.run_csr_env ~env:(gap_env ?pool ?engine ()) ?plan ~csr
+      ~workload:(gap_workload |> Traffic.Workload.with_dissemination dissemination)
+      ()
+  in
+  let gap_rows =
+    List.map
+      (fun (label, csr, dissemination) ->
+        let t0 = Unix.gettimeofday () in
+        let r = gap_run csr dissemination in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let mpc =
+          float_of_int r.Traffic.Driver.wire_messages
+          /. float_of_int (max 1 r.Traffic.Driver.chunks_injected)
+        in
+        Printf.printf
+          "gap %-22s p50=%.2f p95=%.2f p99=%.2f backlog=%d msgs/chunk=%.1f fallbacks=%d \
+           delivery=%.4f (%.2fs)\n\
+           %!"
+          label r.Traffic.Driver.p50_delay r.Traffic.Driver.p95_delay
+          r.Traffic.Driver.p99_delay r.Traffic.Driver.max_queue_backlog mpc
+          r.Traffic.Driver.tree_fallbacks r.Traffic.Driver.delivery_fraction wall_s;
+        (label, r, mpc, wall_s))
+      [
+        ("lhg_flood", c1k, Traffic.Workload.Flood);
+        ("lhg_trees", c1k, Traffic.Workload.Trees);
+        ("lhg_gossip", c1k, Traffic.Workload.Gossip);
+        ("random_regular_flood", c_rr, Traffic.Workload.Flood);
+      ]
+  in
+  let gap_row label =
+    let _, r, _, _ = List.find (fun (l, _, _, _) -> l = label) gap_rows in
+    r
+  in
+  let p95 label = (gap_row label).Traffic.Driver.p95_delay in
+  let trees_vs_flood_p95 = p95 "lhg_trees" /. p95 "lhg_flood" in
+  let gap_closed =
+    let denom = p95 "lhg_flood" -. p95 "random_regular_flood" in
+    if Float.abs denom < 1e-9 then Float.infinity
+    else (p95 "lhg_flood" -. p95 "lhg_trees") /. denom
+  in
+  let trees_clean = (gap_row "lhg_trees").Traffic.Driver.tree_fallbacks = 0 in
+  Printf.printf
+    "gap: trees p95 / flood p95 = %.3f, gap closed vs random-regular = %.2f, clean=%b\n%!"
+    trees_vs_flood_p95 gap_closed trees_clean;
+  (* mid-stream chaos inside the k−1 boundary: down 3 = k−1 links —
+     deliberately including live tree edges of the streaming sources —
+     while the congested trees stream is in flight. The 4-edge-connected
+     graph stays connected, the dead tree edges force flood fallbacks,
+     and every chunk must still reach every node. *)
+  let gap_sources = Traffic.Workload.resolve_sources gap_workload ~n:1026 in
+  let gap_chaos_plan =
+    let pack = Graph_core.Tree_pack.pack c1k ~source:(List.hd gap_sources) in
+    let e0 = List.hd (Graph_core.Tree_pack.edges pack ~tree:0) in
+    let e1 = List.hd (Graph_core.Tree_pack.edges pack ~tree:1) in
+    let e2 = List.hd (List.rev (Graph_core.Tree_pack.edges pack ~tree:0)) in
+    Chaos.Plan.make
+      (List.map
+         (fun (u, v) -> { Chaos.Plan.at = 40.0; event = Chaos.Plan.Link_down (u, v) })
+         [ e0; e1; e2 ])
+  in
+  let gap_chaos = gap_run ~plan:gap_chaos_plan c1k Traffic.Workload.Trees in
+  Printf.printf
+    "gap chaos: 3 links down mid-stream -> delivery=%.4f all_covered=%b fallbacks=%d p95=%.2f\n%!"
+    gap_chaos.Traffic.Driver.delivery_fraction gap_chaos.Traffic.Driver.all_covered
+    gap_chaos.Traffic.Driver.tree_fallbacks gap_chaos.Traffic.Driver.p95_delay;
+  if not gap_chaos.Traffic.Driver.all_covered then
+    failwith "trees stream under link chaos missed a survivor";
+  (* the trees document must be byte-identical across engines and pool
+     sizes (the pool only parallelises tree packing) *)
+  let gap_doc ?pool engine =
+    Traffic.Driver.to_json ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
+      (gap_run ?pool ~engine c1k Traffic.Workload.Trees)
+  in
+  let gap_doc_cal = gap_doc Netsim.Sim.Calendar in
+  let gap_doc_d4 =
+    let p = Pool.create ~domains:4 in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> gap_doc ~pool:p Netsim.Sim.Calendar)
+  in
+  let gap_deterministic =
+    String.equal gap_doc_cal (gap_doc Netsim.Sim.Heap) && String.equal gap_doc_cal gap_doc_d4
+  in
+  Printf.printf "gap trees lhg-traffic/1 identical across engines and jobs: %b\n%!"
+    gap_deterministic;
+  if not gap_deterministic then
+    failwith "trees lhg-traffic/1 differs across engines or pool sizes";
+
   (* million-message stream: free-running (no capacity) so the number
      measures raw sustained flooding throughput, one timed shot *)
   let mil_traffic_workload =
@@ -555,11 +673,11 @@ let () =
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR6.json" in
+  let baseline = read_baseline_ops "BENCH_PR7.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 7,\n";
+  Buffer.add_string buf "  \"pr\": 8,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -748,6 +866,72 @@ let () =
         (Printf.sprintf "      }%s\n" (if i = List.length traffic_rows - 1 then "" else ",")))
     traffic_rows;
   Buffer.add_string buf "    ],\n";
+  (* the dissemination-gap table: every strategy on the congested
+     workload, the derived headline ratios CI gates on, and the
+     mid-stream link-chaos run *)
+  Buffer.add_string buf "    \"dissemination_gap\": {\n";
+  Buffer.add_string buf "      \"workload\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "        \"sources\": %d,\n" gap_workload.Traffic.Workload.source_count);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"chunks_per_source\": %d,\n"
+       gap_workload.Traffic.Workload.chunks_per_source);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"rate\": %g,\n" gap_workload.Traffic.Workload.rate);
+  Buffer.add_string buf "        \"queue_policy\": \"block\"\n";
+  Buffer.add_string buf "      },\n";
+  Buffer.add_string buf "      \"rows\": [\n";
+  List.iteri
+    (fun i (label, (r : Traffic.Driver.result), mpc, wall_s) ->
+      Buffer.add_string buf "        {\n";
+      Buffer.add_string buf (Printf.sprintf "          \"strategy\": \"%s\",\n" label);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"wire_messages\": %d,\n" r.Traffic.Driver.wire_messages);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"messages_per_chunk\": %.2f,\n" mpc);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"delivery_fraction\": %.6f,\n"
+           r.Traffic.Driver.delivery_fraction);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"p50_delay\": %.3f,\n" r.Traffic.Driver.p50_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"p95_delay\": %.3f,\n" r.Traffic.Driver.p95_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"p99_delay\": %.3f,\n" r.Traffic.Driver.p99_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"max_queue_backlog\": %d,\n"
+           r.Traffic.Driver.max_queue_backlog);
+      Buffer.add_string buf
+        (Printf.sprintf "          \"tree_fallbacks\": %d,\n" r.Traffic.Driver.tree_fallbacks);
+      Buffer.add_string buf (Printf.sprintf "          \"wall_seconds\": %.3f\n" wall_s);
+      Buffer.add_string buf
+        (Printf.sprintf "        }%s\n" (if i = List.length gap_rows - 1 then "" else ",")))
+    gap_rows;
+  Buffer.add_string buf "      ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      \"trees_clean_messages_per_chunk\": %d,\n" 1025);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"trees_p95_over_flood_p95\": %.4f,\n" trees_vs_flood_p95);
+  Buffer.add_string buf (Printf.sprintf "      \"gap_closed_vs_random_regular\": %.4f,\n" gap_closed);
+  Buffer.add_string buf (Printf.sprintf "      \"trees_run_clean\": %b,\n" trees_clean);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"deterministic_across_engines_and_jobs\": %b,\n" gap_deterministic);
+  Buffer.add_string buf "      \"link_chaos\": {\n";
+  Buffer.add_string buf "        \"links_down\": 3,\n";
+  Buffer.add_string buf "        \"at\": 40.0,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "        \"delivery_fraction\": %.6f,\n"
+       gap_chaos.Traffic.Driver.delivery_fraction);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"all_covered\": %b,\n" gap_chaos.Traffic.Driver.all_covered);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"tree_fallbacks\": %d,\n" gap_chaos.Traffic.Driver.tree_fallbacks);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"p95_delay\": %.3f,\n" gap_chaos.Traffic.Driver.p95_delay);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"recovery_time\": %.3f\n" gap_chaos.Traffic.Driver.recovery_time);
+  Buffer.add_string buf "      }\n";
+  Buffer.add_string buf "    },\n";
   Buffer.add_string buf "    \"million_message_stream\": {\n";
   Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nbig);
   Buffer.add_string buf "      \"k\": 4,\n";
@@ -774,9 +958,9 @@ let () =
     (Printf.sprintf "      \"within_budget\": %b\n" (mil_traffic_s <= mil_traffic_budget_s));
   Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  },\n";
-  (* two views of the same comparison against the committed PR-6
+  (* two views of the same comparison against the committed PR-7
      baseline, where op names match: vs_baseline_* is new/old (< 1.05
-     means no regression), speedup_vs_pr6 is old/new (CI asserts the
+     means no regression), speedup_vs_pr7 is old/new (CI asserts the
      async flood has not regressed) *)
   let comparable =
     List.filter_map
@@ -787,7 +971,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr6\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr7\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -795,7 +979,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR6\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR7\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf

@@ -884,14 +884,15 @@ let controller_cmd =
 
 (* traffic *)
 
-let traffic c sources chunks rate arrival capacity queue_cap queue_policy plan_file engine
-    min_delivery max_p95 =
+let traffic c sources chunks rate arrival dissemination capacity queue_cap queue_policy
+    plan_file engine min_delivery max_p95 =
   let workload =
     Traffic.Workload.default
     |> Traffic.Workload.with_source_count sources
     |> Traffic.Workload.with_chunks_per_source chunks
     |> Traffic.Workload.with_rate rate
     |> Traffic.Workload.with_arrival arrival
+    |> Traffic.Workload.with_dissemination dissemination
   in
   match
     match plan_file with
@@ -941,12 +942,14 @@ let traffic c sources chunks rate arrival capacity queue_cap queue_policy plan_f
                       | Some `Text | None ->
                           let open Traffic.Driver in
                           Printf.printf
-                            "traffic %s(n=%d, k=%d): %d sources x %d chunks, %s rate %g\n"
+                            "traffic %s(n=%d, k=%d): %d sources x %d chunks, %s rate %g, %s\n"
                             c.kind c.n c.k
                             (List.length r.sources)
                             workload.Traffic.Workload.chunks_per_source
                             (Traffic.Workload.arrival_name workload.Traffic.Workload.arrival)
-                            workload.Traffic.Workload.rate;
+                            workload.Traffic.Workload.rate
+                            (Traffic.Workload.dissemination_name
+                               workload.Traffic.Workload.dissemination);
                           Printf.printf "  wire messages:      %d\n" r.wire_messages;
                           Printf.printf "  deliveries:         %d\n" r.deliveries;
                           Printf.printf "  dropped q/l/c/r:    %d/%d/%d/%d\n" r.dropped_queue
@@ -957,6 +960,17 @@ let traffic c sources chunks rate arrival capacity queue_cap queue_policy plan_f
                           Printf.printf "  delay p50/p95/p99:  %.2f/%.2f/%.2f\n" r.p50_delay
                             r.p95_delay r.p99_delay;
                           Printf.printf "  max queue backlog:  %d\n" r.max_queue_backlog;
+                          if r.hot_links <> [] then begin
+                            Printf.printf "  hottest links:     ";
+                            List.iter
+                              (fun (src, dst, peak) ->
+                                Printf.printf " %d->%d(%d)" src dst peak)
+                              r.hot_links;
+                            print_newline ()
+                          end;
+                          if workload.Traffic.Workload.dissemination = Traffic.Workload.Trees
+                          then
+                            Printf.printf "  tree fallbacks:     %d\n" r.tree_fallbacks;
                           if plan <> None then
                             Printf.printf "  recovery time:      %.2f\n" r.recovery_time;
                           Printf.printf "  SLO:                %s\n"
@@ -984,6 +998,24 @@ let traffic_cmd =
       value
       & opt arrival_conv Traffic.Workload.Periodic
       & info [ "arrival" ] ~docv:"PROCESS" ~doc:"Arrival process: $(b,periodic) or $(b,poisson).")
+  in
+  let dissemination =
+    let dissemination_conv =
+      Arg.enum
+        [
+          ("flood", Traffic.Workload.Flood);
+          ("trees", Traffic.Workload.Trees);
+          ("gossip", Traffic.Workload.Gossip);
+        ]
+    in
+    Arg.(
+      value
+      & opt dissemination_conv Traffic.Workload.Flood
+      & info [ "dissemination" ] ~docv:"STRATEGY"
+          ~doc:
+            "How chunks spread: $(b,flood) (default, every edge), $(b,trees) (striped over \
+             edge-disjoint spanning trees, n-1 messages per chunk, flood fallback on dead \
+             edges), or $(b,gossip) (random push with TTL).")
   in
   let capacity =
     Arg.(
@@ -1042,8 +1074,8 @@ let traffic_cmd =
          "Drive a sustained multi-source traffic stream through the topology, with optional \
           per-link capacity and bounded FIFO queues, and check delivery SLOs")
     Term.(
-      const traffic $ common_term $ sources $ chunks $ rate $ arrival $ capacity $ queue_cap
-      $ queue_policy $ plan_file $ engine $ min_delivery $ max_p95)
+      const traffic $ common_term $ sources $ chunks $ rate $ arrival $ dissemination
+      $ capacity $ queue_cap $ queue_policy $ plan_file $ engine $ min_delivery $ max_p95)
 
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in

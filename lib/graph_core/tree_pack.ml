@@ -1,0 +1,458 @@
+(* Edge-disjoint spanning-tree packing over a frozen CSR snapshot.
+
+   Phase 1 is greedy: the trees BFS outward from the source in
+   lockstep — source edges dealt round-robin, one frontier layer per
+   tree per round, claims gated by a degree reservation that keeps one
+   entry edge free per tree still to come at every vertex. On the
+   structured LHG families this seeds every tree with a short, wide
+   core but stalls partway (the reservation is a heuristic, not a
+   matroid rank bound). Phase 2 finishes exactly: a matroid-union
+   augmenting search over the exchange graph of edges (insert an
+   unowned edge into some forest, cascading swaps along a shortest
+   alternating path), which reaches the Nash-Williams/Tutte optimum —
+   so whenever ⌊k/2⌋ disjoint spanning trees exist, they are found. *)
+
+type t = {
+  source : int;
+  count : int;
+  n : int;
+  parent : int array;  (** [count * n]; [parent.(t*n + v)], -1 at the source *)
+  depth : int array;  (** [count * n]; hops from the source in tree [t] *)
+  child_off : int array;  (** [count * (n+1)]; children of [v] in tree [t] *)
+  child : int array;  (** [count * (n-1)] child vertices, ascending per node *)
+  child_eidx : int array;  (** CSR slot of (node → child), parallel to [child] *)
+  max_depths : int array;  (** per tree *)
+}
+
+let source t = t.source
+
+let count t = t.count
+
+let n t = t.n
+
+let parent t ~tree v = t.parent.((tree * t.n) + v)
+
+let depth t ~tree v = t.depth.((tree * t.n) + v)
+
+let max_depth t ~tree = t.max_depths.(tree)
+
+let iter_children t ~tree ~node f =
+  let base = tree * (t.n + 1) in
+  for i = t.child_off.(base + node) to t.child_off.(base + node + 1) - 1 do
+    f ~child:t.child.(i) ~eidx:t.child_eidx.(i)
+  done
+
+let edges t ~tree =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    let p = t.parent.((tree * t.n) + v) in
+    if p >= 0 then acc := (p, v) :: !acc
+  done;
+  !acc
+
+let min_degree csr =
+  let n = Csr.n csr in
+  if n = 0 then 0
+  else begin
+    let md = ref max_int in
+    for v = 0 to n - 1 do
+      let d = Csr.degree csr v in
+      if d < !md then md := d
+    done;
+    !md
+  end
+
+let default_count csr = max 1 (min_degree csr / 2)
+
+(* storage-agnostic row access; packing is a setup cost, not a per-send
+   hot path, so the closure indirection is fine *)
+let row_accessors csr =
+  match Csr.storage csr with
+  | Csr.Ints { offsets; neighbors } ->
+      ((fun v -> offsets.(v)), fun i -> neighbors.(i))
+  | Csr.Big { offsets; neighbors } ->
+      ( (fun v -> Bigarray.Array1.get offsets v),
+        fun i -> Bigarray.Array1.get neighbors i )
+
+(* One packing attempt at a fixed tree count; [None] when the union of
+   forests cannot reach count spanning trees (then the caller retries
+   with one tree fewer). [eu]/[ev] are the undirected edge endpoints,
+   [und_of_slot] maps each directed CSR slot to its undirected edge id. *)
+let attempt csr ~source ~count ~eu ~ev ~und_of_slot =
+  let n = Csr.n csr in
+  let m = Array.length eu in
+  let lo, nbr = row_accessors csr in
+  let owner = Array.make m (-1) in
+  let owned = ref 0 in
+  let target = count * (n - 1) in
+  (* Phase 1: BFS-layered greedy packing. The trees grow in lockstep —
+     each round every tree expands its whole frontier by one layer over
+     still-unowned edges — so no tree hogs the short edges: depths stay
+     near count × eccentricity instead of one shallow tree starving the
+     rest into long detours. A tree whose frontier empties before
+     spanning just stalls; phase 2 repairs it exactly. *)
+  let stamp = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let visited = Array.make (count * n) false in
+  let frontier = Array.init count (fun _ -> Array.make n 0) in
+  let fsize = Array.make count 0 in
+  let next = Array.make n 0 in
+  (* Degree reservation: [entered.(v)] trees have reached v so far and
+     [free_deg.(v)] of its edges are unowned. A claim must leave every
+     endpoint at least [count - entered] free edges — one entry path
+     per tree still to come — or a wave would capture a whole low-degree
+     star (the hub pattern in kdiamond) and cut the other trees off. *)
+  let free_deg = Array.init n (fun v -> lo (v + 1) - lo v) in
+  let entered = Array.make n 0 in
+  entered.(source) <- count;
+  for t = 0 to count - 1 do
+    visited.((t * n) + source) <- true
+  done;
+  let claim_ok u v =
+    free_deg.(u) - 1 >= count - entered.(u) && free_deg.(v) - 1 >= count - (entered.(v) + 1)
+  in
+  let do_claim t e u v =
+    owner.(e) <- t;
+    incr owned;
+    free_deg.(u) <- free_deg.(u) - 1;
+    free_deg.(v) <- free_deg.(v) - 1;
+    entered.(v) <- entered.(v) + 1;
+    visited.((t * n) + v) <- true;
+    frontier.(t).(fsize.(t)) <- v;
+    fsize.(t) <- fsize.(t) + 1
+  in
+  (* the source's edges are the bottleneck every tree must pass
+     through: deal them out round-robin before the waves start, or the
+     first tree's layer-1 sweep would claim them all and starve the
+     rest at birth *)
+  let deal = ref 0 in
+  for i = lo source to lo (source + 1) - 1 do
+    let v = nbr i in
+    let e = und_of_slot.(i) in
+    if owner.(e) < 0 && claim_ok source v then begin
+      let t = !deal mod count in
+      incr deal;
+      do_claim t e source v
+    end
+  done;
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for t = 0 to count - 1 do
+      let base = t * n in
+      let flen = fsize.(t) in
+      if flen > 0 then begin
+        Array.blit frontier.(t) 0 next 0 flen;
+        fsize.(t) <- 0;
+        for fi = 0 to flen - 1 do
+          let u = next.(fi) in
+          for i = lo u to lo (u + 1) - 1 do
+            let v = nbr i in
+            let e = und_of_slot.(i) in
+            if owner.(e) < 0 && (not visited.(base + v)) && claim_ok u v then do_claim t e u v
+          done
+        done;
+        if fsize.(t) > 0 then progress := true
+      end
+    done
+  done;
+  (* phase 2: matroid-union augmentation until every forest spans.
+     Scratch for the per-augmentation forest structures: *)
+  let comp = Array.make (count * n) (-1) in
+  let fparent = Array.make (count * n) (-1) in
+  let fpedge = Array.make (count * n) (-1) in
+  let fdepth = Array.make (count * n) 0 in
+  let adj_off = Array.make ((count * n) + 1) 0 in
+  let adj_v = Array.make (2 * max 1 target) 0 in
+  let adj_e = Array.make (2 * max 1 target) 0 in
+  let cursor = Array.make (count * n) 0 in
+  let rebuild_forests () =
+    Array.fill adj_off 0 (Array.length adj_off) 0;
+    for e = 0 to m - 1 do
+      let o = owner.(e) in
+      if o >= 0 then begin
+        let bu = (o * n) + eu.(e) and bv = (o * n) + ev.(e) in
+        adj_off.(bu + 1) <- adj_off.(bu + 1) + 1;
+        adj_off.(bv + 1) <- adj_off.(bv + 1) + 1
+      end
+    done;
+    for i = 1 to count * n do
+      adj_off.(i) <- adj_off.(i) + adj_off.(i - 1)
+    done;
+    Array.blit adj_off 0 cursor 0 (count * n);
+    for e = 0 to m - 1 do
+      let o = owner.(e) in
+      if o >= 0 then begin
+        let bu = (o * n) + eu.(e) and bv = (o * n) + ev.(e) in
+        adj_v.(cursor.(bu)) <- ev.(e);
+        adj_e.(cursor.(bu)) <- e;
+        cursor.(bu) <- cursor.(bu) + 1;
+        adj_v.(cursor.(bv)) <- eu.(e);
+        adj_e.(cursor.(bv)) <- e;
+        cursor.(bv) <- cursor.(bv) + 1
+      end
+    done;
+    Array.fill comp 0 (count * n) (-1);
+    for t = 0 to count - 1 do
+      let base = t * n in
+      for root = 0 to n - 1 do
+        if comp.(base + root) < 0 then begin
+          comp.(base + root) <- root;
+          fparent.(base + root) <- -1;
+          fpedge.(base + root) <- -1;
+          fdepth.(base + root) <- 0;
+          let head = ref 0 and tail = ref 0 in
+          queue.(!tail) <- root;
+          incr tail;
+          while !head < !tail do
+            let u = queue.(!head) in
+            incr head;
+            for i = adj_off.(base + u) to adj_off.(base + u + 1) - 1 do
+              let v = adj_v.(i) in
+              if comp.(base + v) < 0 then begin
+                comp.(base + v) <- root;
+                fparent.(base + v) <- u;
+                fpedge.(base + v) <- adj_e.(i);
+                fdepth.(base + v) <- fdepth.(base + u) + 1;
+                queue.(!tail) <- v;
+                incr tail
+              end
+            done
+          done
+        end
+      done
+    done
+  in
+  (* visit every forest-[t] edge on the path between u and v (both in
+     the same component, so the tree path exists) *)
+  let path_edges t u v f =
+    let base = t * n in
+    let a = ref u and b = ref v in
+    while !a <> !b do
+      if fdepth.(base + !a) >= fdepth.(base + !b) then begin
+        f fpedge.(base + !a);
+        a := fparent.(base + !a)
+      end
+      else begin
+        f fpedge.(base + !b);
+        b := fparent.(base + !b)
+      end
+    done
+  in
+  let pred = Array.make m (-1) in
+  let seen = Array.make m false in
+  let equeue = Array.make m 0 in
+  let augment () =
+    rebuild_forests ();
+    Array.fill seen 0 m false;
+    let head = ref 0 and tail = ref 0 in
+    for e = 0 to m - 1 do
+      if owner.(e) < 0 then begin
+        seen.(e) <- true;
+        pred.(e) <- -1;
+        equeue.(!tail) <- e;
+        incr tail
+      end
+    done;
+    let goal = ref (-1) and goal_tree = ref (-1) in
+    while !head < !tail && !goal < 0 do
+      let e = equeue.(!head) in
+      incr head;
+      let u = eu.(e) and v = ev.(e) in
+      let t = ref 0 in
+      while !t < count && !goal < 0 do
+        let i = !t in
+        if i <> owner.(e) then begin
+          if comp.((i * n) + u) <> comp.((i * n) + v) then begin
+            goal := e;
+            goal_tree := i
+          end
+          else
+            path_edges i u v (fun f ->
+                if not seen.(f) then begin
+                  seen.(f) <- true;
+                  pred.(f) <- e;
+                  equeue.(!tail) <- f;
+                  incr tail
+                end)
+        end;
+        incr t
+      done
+    done;
+    if !goal < 0 then false
+    else begin
+      (* cascade the swaps back along the shortest alternating path *)
+      let cur = ref !goal and give = ref !goal_tree in
+      let continue = ref true in
+      while !continue do
+        let old = owner.(!cur) in
+        owner.(!cur) <- !give;
+        if old < 0 then continue := false
+        else begin
+          give := old;
+          cur := pred.(!cur)
+        end
+      done;
+      incr owned;
+      true
+    end
+  in
+  let feasible = ref true in
+  while !feasible && !owned < target do
+    if not (augment ()) then feasible := false
+  done;
+  if not !feasible then None
+  else begin
+    (* orient each spanning forest from the source; a forest with n-1
+       edges that reaches every vertex from the source is the spanning
+       tree we promised — anything else means the packing failed *)
+    rebuild_forests ();
+    let parent = Array.make (count * n) (-1) in
+    let depth = Array.make (count * n) 0 in
+    let child_off = Array.make (count * (n + 1)) 0 in
+    let child = Array.make (max 1 target) 0 in
+    let child_eidx = Array.make (max 1 target) 0 in
+    let max_depths = Array.make count 0 in
+    let ok = ref true in
+    for t = 0 to count - 1 do
+      if !ok then begin
+        let base = t * n in
+        let reached = ref 1 in
+        Array.fill stamp 0 n (-1);
+        stamp.(source) <- t + count;
+        let head = ref 0 and tail = ref 0 in
+        queue.(!tail) <- source;
+        incr tail;
+        parent.(base + source) <- -1;
+        depth.(base + source) <- 0;
+        let maxd = ref 0 in
+        while !head < !tail do
+          let u = queue.(!head) in
+          incr head;
+          for i = adj_off.(base + u) to adj_off.(base + u + 1) - 1 do
+            let v = adj_v.(i) in
+            if stamp.(v) <> t + count then begin
+              stamp.(v) <- t + count;
+              parent.(base + v) <- u;
+              depth.(base + v) <- depth.(base + u) + 1;
+              if depth.(base + v) > !maxd then maxd := depth.(base + v);
+              incr reached;
+              queue.(!tail) <- v;
+              incr tail
+            end
+          done
+        done;
+        max_depths.(t) <- !maxd;
+        if !reached <> n then ok := false
+      end
+    done;
+    if not !ok then None
+    else begin
+      (* children grouped per node, filled in ascending child order *)
+      for t = 0 to count - 1 do
+        let obase = t * (n + 1) in
+        for v = 0 to n - 1 do
+          let p = parent.((t * n) + v) in
+          if p >= 0 then child_off.(obase + p + 1) <- child_off.(obase + p + 1) + 1
+        done;
+        child_off.(obase) <- t * (n - 1);
+        for v = 1 to n do
+          child_off.(obase + v) <- child_off.(obase + v) + child_off.(obase + v - 1)
+        done
+      done;
+      let fill = Array.copy child_off in
+      for t = 0 to count - 1 do
+        let obase = t * (n + 1) in
+        for v = 0 to n - 1 do
+          let p = parent.((t * n) + v) in
+          if p >= 0 then begin
+            let pos = fill.(obase + p) in
+            child.(pos) <- v;
+            child_eidx.(pos) <- Csr.edge_index csr p v;
+            fill.(obase + p) <- pos + 1
+          end
+        done
+      done;
+      Some { source; count; n; parent; depth; child_off; child; child_eidx; max_depths }
+    end
+  end
+
+let pack ?count csr ~source =
+  let n = Csr.n csr in
+  if n = 0 then invalid_arg "Tree_pack.pack: empty graph";
+  if source < 0 || source >= n then invalid_arg "Tree_pack.pack: source out of range";
+  let requested = match count with Some c -> c | None -> default_count csr in
+  if requested < 1 then invalid_arg "Tree_pack.pack: count must be >= 1";
+  let m = Csr.m csr in
+  let eu = Array.make (max 1 m) 0 and ev = Array.make (max 1 m) 0 in
+  let i = ref 0 in
+  Csr.iter_edges csr (fun u v ->
+      eu.(!i) <- u;
+      ev.(!i) <- v;
+      incr i);
+  let eu = Array.sub eu 0 m and ev = Array.sub ev 0 m in
+  let und_of_slot = Array.make (Csr.degree_sum csr) 0 in
+  for e = 0 to m - 1 do
+    und_of_slot.(Csr.edge_index csr eu.(e) ev.(e)) <- e;
+    und_of_slot.(Csr.edge_index csr ev.(e) eu.(e)) <- e
+  done;
+  let rec go c =
+    match attempt csr ~source ~count:c ~eu ~ev ~und_of_slot with
+    | Some t -> t
+    | None ->
+        if c <= 1 then invalid_arg "Tree_pack.pack: graph is not connected"
+        else go (c - 1)
+  in
+  go requested
+
+let pack_all ?pool ?count csr ~sources =
+  let srcs = Array.of_list sources in
+  let len = Array.length srcs in
+  let out = Array.make len None in
+  let work i = out.(i) <- Some (pack ?count csr ~source:srcs.(i)) in
+  (match pool with
+  | Some p when len > 1 -> Par.Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:len (fun ~worker:_ i -> work i)
+  | _ ->
+      for i = 0 to len - 1 do
+        work i
+      done);
+  Array.map
+    (function Some t -> t | None -> assert false (* parallel_for covered every index *))
+    out
+
+module Cache = struct
+  type pack = t
+
+  type nonrec t = { mutable csr : Csr.t option; tbl : (int * int, pack) Hashtbl.t }
+
+  let create () = { csr = None; tbl = Hashtbl.create 16 }
+
+  let reset_for c csr =
+    match c.csr with
+    | Some prev when prev == csr -> ()
+    | _ ->
+        Hashtbl.reset c.tbl;
+        c.csr <- Some csr
+
+  let get c ?count csr ~source =
+    reset_for c csr;
+    let cnt = match count with Some k -> k | None -> default_count csr in
+    match Hashtbl.find_opt c.tbl (source, cnt) with
+    | Some p -> p
+    | None ->
+        let p = pack ~count:cnt csr ~source in
+        Hashtbl.add c.tbl (source, cnt) p;
+        p
+
+  let get_all ?pool c ?count csr ~sources =
+    reset_for c csr;
+    let cnt = match count with Some k -> k | None -> default_count csr in
+    let missing =
+      List.filter (fun s -> not (Hashtbl.mem c.tbl (s, cnt))) (List.sort_uniq compare sources)
+    in
+    if missing <> [] then begin
+      let packed = pack_all ?pool ~count:cnt csr ~sources:missing in
+      List.iteri (fun i s -> Hashtbl.add c.tbl (s, cnt) packed.(i)) missing
+    end;
+    Array.of_list (List.map (fun s -> Hashtbl.find c.tbl (s, cnt)) sources)
+end

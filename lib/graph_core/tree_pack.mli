@@ -1,0 +1,75 @@
+(** Edge-disjoint spanning-tree packing from a frozen CSR snapshot.
+
+    A k-connected LHG contains ⌊k/2⌋ edge-disjoint spanning trees
+    (Nash-Williams/Tutte via k-edge-connectivity ≥ k); striping a chunk
+    stream round-robin across them is the Kim–Srikant load-spreading
+    move that converts the paper's structural guarantee into streaming
+    delay. Packing is greedy BFS layer by layer, with a matroid-union
+    augmenting-path repair pass when greedy stalls, so the advertised
+    count is reached whenever it is feasible; on an infeasible count the
+    packer backs off one tree at a time (a disconnected graph raises).
+
+    Trees are stored as flat int arrays (parent/depth plus a CSR-style
+    child index carrying the {!Csr.edge_index} slot of each parent→child
+    link), so per-chunk forwarding touches contiguous memory and never
+    allocates. Packings are deterministic: same snapshot, same source,
+    same trees. *)
+
+type t
+
+val pack : ?count:int -> Csr.t -> source:int -> t
+(** [pack csr ~source] packs [count] (default {!default_count})
+    edge-disjoint spanning trees rooted at [source]. Falls back to
+    fewer trees if [count] is infeasible.
+    @raise Invalid_argument on an empty or disconnected graph, an
+    out-of-range source, or [count < 1]. *)
+
+val pack_all : ?pool:Par.Pool.t -> ?count:int -> Csr.t -> sources:int list -> t array
+(** One packing per source, in list order; [?pool] fans the (mutually
+    independent) packings out across domains. Results are identical to
+    the sequential ones at any pool size. *)
+
+val default_count : Csr.t -> int
+(** ⌊min-degree/2⌋, floored at 1 — the paper's ⌊k/2⌋ when the snapshot
+    is an admissible (n, k) LHG. *)
+
+val source : t -> int
+
+val count : t -> int
+(** Number of trees actually packed (≤ requested). *)
+
+val n : t -> int
+
+val parent : t -> tree:int -> int -> int
+(** Parent of a vertex in one tree; [-1] at the source. *)
+
+val depth : t -> tree:int -> int -> int
+
+val max_depth : t -> tree:int -> int
+(** Eccentricity of the source in one tree — a lower bound on that
+    tree's worst-case uncongested delivery delay. *)
+
+val iter_children : t -> tree:int -> node:int -> (child:int -> eidx:int -> unit) -> unit
+(** Children in ascending order; [eidx] is the {!Csr.edge_index} slot of
+    the directed (node → child) link, the key for per-link FIFO state. *)
+
+val edges : t -> tree:int -> (int * int) list
+(** The n−1 (parent, child) pairs of one tree, child-ascending. *)
+
+(** Packings cached per (snapshot, source, count), keyed on physical
+    snapshot identity like {!Overlay.Cert} — a new frozen topology
+    invalidates everything, re-running a workload on the same snapshot
+    reuses every tree. Not thread-safe; callers serialise access. *)
+module Cache : sig
+  type pack = t
+
+  type t
+
+  val create : unit -> t
+
+  val get : t -> ?count:int -> Csr.t -> source:int -> pack
+
+  val get_all : ?pool:Par.Pool.t -> t -> ?count:int -> Csr.t -> sources:int list -> pack array
+  (** Packings for [sources] in list order, computing the missing ones
+      (in parallel under [?pool]). *)
+end

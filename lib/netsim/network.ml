@@ -72,6 +72,10 @@ type 'msg t = {
           current backlog; occupancy is implicit —
           [ceil ((free - now) / service)] — so a bounded FIFO costs no
           events and no allocation *)
+  link_peak : int array;
+      (** per-directed-edge high-water mark of the occupancy seen by
+          arrivals (admitted or drop-tailed) — the per-link breakdown
+          behind [max_backlog], feeding {!hottest_links} *)
   mutable next_seq : int;
   rng : Prng.t;
   crashed : bool array;
@@ -236,6 +240,7 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       queue_cap;
       queue_policy;
       link_free = (if cap_on then Array.make (Csr.degree_sum csr) 0.0 else [||]);
+      link_peak = (if cap_on then Array.make (Csr.degree_sum csr) 0 else [||]);
       next_seq = 0;
       rng = Sim.fork_rng sim;
       crashed = Array.make (Csr.n csr) false;
@@ -368,6 +373,9 @@ let link_backlog t ~eidx ~now =
    rejection (full queue under [Drop_tail]; [Block] always admits). *)
 let link_admit t ~eidx ~now =
   let backlog = link_backlog t ~eidx ~now in
+  (* the per-link peak counts rejected arrivals too: a saturated link
+     that drop-tails everything is the hottest link there is *)
+  if backlog > Array.unsafe_get t.link_peak eidx then Array.unsafe_set t.link_peak eidx backlog;
   if backlog >= t.queue_cap && t.queue_policy = Drop_tail then -1.0
   else begin
     if backlog > t.max_backlog then t.max_backlog <- backlog;
@@ -563,4 +571,67 @@ let link_backlog_now t ~src ~dst =
     let eidx = Csr.edge_index t.csr src dst in
     if eidx < 0 then invalid_arg "Network.link_backlog_now: no such edge";
     link_backlog t ~eidx ~now:(Sim.now t.sim)
+  end
+
+(* Single-edge int-plane send with the caller-supplied CSR slot: the
+   tree-forwarding hot path, where the packing already carries each
+   parent→child slot so neither the membership check nor the
+   [edge_index] binary search of [send] is paid. Degrades to the slot
+   plane under tracing, exactly like [send_neighbors_int]. *)
+let send_int t ~src ~dst ~eidx hop =
+  if Array.unsafe_get t.crashed src then invalid_arg "Network.send_int: source is crashed";
+  if t.tracing then unchecked_send t ~src ~dst ~eidx hop
+  else unchecked_send_int t ~src ~dst ~eidx hop
+
+(* Would a send on this directed edge reach a live queue right now?
+   Evaluated at send time, the same instant the network itself checks
+   link state — so a protocol branching on it and the drop accounting
+   can never disagree. A full Drop_tail FIFO counts as unusable; Block
+   always admits, so pressure alone never trips the fallback. *)
+let link_usable t ~src ~dst ~eidx =
+  (not (t.failed_count > 0 && link_failed t src dst))
+  && (not (Array.unsafe_get t.crashed dst))
+  && ((not t.cap_on)
+     || t.queue_policy = Block
+     || link_backlog t ~eidx ~now:(Sim.now t.sim) < t.queue_cap)
+
+let hottest_links t ~max:limit =
+  if (not t.cap_on) || limit <= 0 then []
+  else begin
+    let peak = Array.make limit 0 in
+    let lsrc = Array.make limit 0 in
+    let ldst = Array.make limit 0 in
+    let filled = ref 0 in
+    let slot = ref 0 in
+    for src = 0 to Csr.n t.csr - 1 do
+      Csr.iter_neighbors t.csr src (fun dst ->
+          let p = Array.unsafe_get t.link_peak !slot in
+          incr slot;
+          if p > 0 && (!filled < limit || p > peak.(limit - 1)) then begin
+            (* insert after equal peaks: slots walk ascending (src, dst),
+               so ties resolve to the lexicographically first link —
+               deterministic whatever the engine or pool size *)
+            let i = ref 0 in
+            while !i < !filled && peak.(!i) >= p do
+              incr i
+            done;
+            if !i < limit then begin
+              let last = min !filled (limit - 1) in
+              for j = last downto !i + 1 do
+                peak.(j) <- peak.(j - 1);
+                lsrc.(j) <- lsrc.(j - 1);
+                ldst.(j) <- ldst.(j - 1)
+              done;
+              peak.(!i) <- p;
+              lsrc.(!i) <- src;
+              ldst.(!i) <- dst;
+              if !filled < limit then incr filled
+            end
+          end)
+    done;
+    let acc = ref [] in
+    for i = !filled - 1 downto 0 do
+      acc := (lsrc.(i), ldst.(i), peak.(i)) :: !acc
+    done;
+    !acc
   end

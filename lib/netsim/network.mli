@@ -190,6 +190,34 @@ val send_neighbors_int : int t -> src:int -> except:int -> int -> unit
     degrades to {!send_neighbors_except} so trace seqs are preserved.
     Deliveries arrive at the {!set_int_receiver} handler. *)
 
+val send_int : int t -> src:int -> dst:int -> eidx:int -> int -> unit
+(** One int-plane message over the directed edge whose CSR slot is
+    [eidx] — the tree-forwarding hot path, where the caller (a
+    {!Graph_core.Tree_pack}) already holds each parent→child slot, so
+    neither [send]'s membership check nor its [edge_index] search is
+    paid. Same counters, drop decisions and RNG discipline as
+    {!send_neighbors_int}; degrades to the slot plane under tracing.
+    [eidx] must be the slot of (src, dst) — unchecked.
+    @raise Invalid_argument if [src] is crashed. *)
+
+val link_usable : 'msg t -> src:int -> dst:int -> eidx:int -> bool
+(** Would a send on this directed edge reach a live queue right now?
+    [false] when the link is failed, [dst] is crashed, or a finite
+    {!Drop_tail} FIFO is full ({!Block} always admits, so pressure
+    alone never makes a link unusable). Evaluated at the same instant
+    the network checks these on a send, so a protocol branching on it
+    agrees with the drop accounting. [eidx] must be the slot of
+    (src, dst) — unchecked. *)
+
+val hottest_links : 'msg t -> max:int -> (int * int * int) list
+(** The [max] directed links with the highest per-link occupancy
+    high-water mark, as [(src, dst, peak)] sorted hottest first (ties
+    to the lexicographically first link), links that never queued
+    omitted. Unlike {!max_queue_backlog} this counts the occupancy
+    seen by drop-tailed arrivals too — a saturated link rejecting
+    everything is the hottest link there is. Empty without a finite
+    capacity. *)
+
 val crash : 'msg t -> int -> unit
 (** Crash the node, effective immediately. Idempotent (only the first
     call emits a [Crash] span event). Messages already in flight to it

@@ -1,22 +1,28 @@
-(** The sustained-traffic driver: multi-source chunk streams flooded
+(** The sustained-traffic driver: multi-source chunk streams pushed
     through a (possibly capacity-limited) network.
 
-    Each chunk of a {!Workload} is flooded from its source on the
+    Each chunk of a {!Workload} spreads from its source on the
     network's int plane — the same zero-allocation fast path as
     {!Flood.Flooding.run_csr_env} — with per-(chunk, node) first-
-    delivery dedup. The network half of the configuration (latency,
-    loss, link capacity, queue bound/policy, engine, seed, static
-    faults) comes from the {!Flood.Env}; the traffic half (sources,
-    arrival process, chunk count, rate) from the {!Workload}. A
-    {!Chaos.Plan} can be scheduled mid-stream to measure degradation
-    and recovery under sustained load.
+    delivery dedup, under the workload's {!Workload.dissemination}
+    strategy: [Flood] re-sends on every edge, [Trees] stripes chunks
+    round-robin over the source's packed edge-disjoint spanning trees
+    ({!Graph_core.Tree_pack} / {!Flood.Trees}, n−1 messages per chunk
+    with flood fallback on dead tree edges), [Gossip] pushes to random
+    neighbours under a TTL. The network half of the configuration
+    (latency, loss, link capacity, queue bound/policy, engine, seed,
+    static faults) comes from the {!Flood.Env}; the traffic half
+    (sources, arrival process, chunk count, rate, dissemination) from
+    the {!Workload}. A {!Chaos.Plan} can be scheduled mid-stream to
+    measure degradation and recovery under sustained load.
 
     The run is deterministic in [(env, workload, plan)]: the injection
-    schedule is precomputed from the run seed, the flood rides the
-    simulator's deterministic ordering, and the result — including
-    {!to_json}'s [lhg-traffic/1] document — is byte-identical across
-    engines and [--jobs] counts (the driver itself never touches a
-    domain pool). *)
+    schedule is precomputed from the run seed, dissemination rides the
+    simulator's deterministic ordering (tree packings are themselves
+    deterministic, gossip draws from the sim's forked stream), and the
+    result — including {!to_json}'s [lhg-traffic/1] document — is
+    byte-identical across engines and [--jobs] counts (the domain pool
+    only parallelises tree packing, whose output is pool-invariant). *)
 
 type result = {
   workload : Workload.t;
@@ -45,6 +51,14 @@ type result = {
   p99_delay : float;
   max_delay : float;
   max_queue_backlog : int;  (** deepest any single link FIFO ever got *)
+  hot_links : (int * int * int) list;
+      (** the ≤ 5 hottest directed links as [(src, dst, peak)] —
+          {!Netsim.Network.hottest_links} over the run; [[]] without a
+          finite capacity *)
+  tree_fallbacks : int;
+      (** [Trees] dissemination only: chunks escalated to flood mode at
+          some hop because a tree edge was dead (0 = every chunk rode
+          its tree clean; always 0 under [Flood]/[Gossip]) *)
   recovery_time : float;
       (** with a plan: earliest full-coverage completion among chunks
           injected after the plan's last event, measured from its last

@@ -1,7 +1,10 @@
 type arrival = Periodic | Poisson
 
+type dissemination = Flood | Trees | Gossip
+
 type t = {
   arrival : arrival;
+  dissemination : dissemination;
   sources : int list;
   source_count : int;
   chunks_per_source : int;
@@ -9,9 +12,18 @@ type t = {
 }
 
 let default =
-  { arrival = Periodic; sources = []; source_count = 4; chunks_per_source = 8; rate = 0.05 }
+  {
+    arrival = Periodic;
+    dissemination = Flood;
+    sources = [];
+    source_count = 4;
+    chunks_per_source = 8;
+    rate = 0.05;
+  }
 
 let with_arrival arrival t = { t with arrival }
+
+let with_dissemination dissemination t = { t with dissemination }
 
 let with_sources sources t = { t with sources }
 
@@ -27,6 +39,14 @@ let arrival_of_string = function
   | "periodic" -> Ok Periodic
   | "poisson" -> Ok Poisson
   | s -> Error (Printf.sprintf "unknown arrival process %S (expected periodic, poisson)" s)
+
+let dissemination_name = function Flood -> "flood" | Trees -> "trees" | Gossip -> "gossip"
+
+let dissemination_of_string = function
+  | "flood" -> Ok Flood
+  | "trees" -> Ok Trees
+  | "gossip" -> Ok Gossip
+  | s -> Error (Printf.sprintf "unknown dissemination strategy %S (expected flood, trees, gossip)" s)
 
 (* explicit sources win; otherwise spread source_count origins evenly
    over the vertex range — i*n/count is distinct for count <= n and

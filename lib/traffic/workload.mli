@@ -19,8 +19,21 @@ type arrival =
           per-source stream split off the run seed — memoryless bursts
           with the same long-run rate *)
 
+(** How an injected chunk reaches the other nodes. *)
+type dissemination =
+  | Flood  (** every node re-sends to all neighbours: O(2m) messages per chunk *)
+  | Trees
+      (** each chunk rides one of the source's ⌊k/2⌋ packed edge-disjoint
+          spanning trees ({!Graph_core.Tree_pack}), striped round-robin:
+          n−1 messages per chunk, ~1/⌊k/2⌋ of the flood load per link,
+          flood fallback on dead tree edges ({!Flood.Trees}) *)
+  | Gossip
+      (** random fanout-(k−1) push with a log₂(n)+4 TTL — probabilistic
+          coverage, the randomized baseline *)
+
 type t = {
   arrival : arrival;
+  dissemination : dissemination;  (** how chunks spread; default {!Flood} *)
   sources : int list;
       (** explicit origin nodes; [[]] delegates to [source_count] *)
   source_count : int;
@@ -32,9 +45,11 @@ type t = {
 
 val default : t
 (** 4 evenly-spread sources, 8 chunks each, periodic at rate 0.05
-    (one chunk per source every 20 time units). *)
+    (one chunk per source every 20 time units), flooded. *)
 
 val with_arrival : arrival -> t -> t
+
+val with_dissemination : dissemination -> t -> t
 
 val with_sources : int list -> t -> t
 (** Pin the origin nodes explicitly. *)
@@ -63,3 +78,9 @@ val arrival_name : arrival -> string
     (flags, JSON, docs). *)
 
 val arrival_of_string : string -> (arrival, string) result
+
+val dissemination_name : dissemination -> string
+(** ["flood"] / ["trees"] / ["gossip"] — the names used on every
+    surface (flags, JSON, docs). *)
+
+val dissemination_of_string : string -> (dissemination, string) result

@@ -158,7 +158,7 @@ capacity-limited links. The exit code is the SLO verdict — with the
 default --min-delivery 1.0 a clean stream exits 0:
 
   $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1
-  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, flood
     wire messages:      270
     deliveries:         126
     dropped q/l/c/r:    0/0/0/0
@@ -173,7 +173,7 @@ A tight drop-tail queue under the same load sheds messages, misses the
 delivery SLO and exits 1:
 
   $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --min-delivery 0.999
-  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, flood
     wire messages:      184
     deliveries:         83
     dropped q/l/c/r:    20/0/0/0
@@ -182,6 +182,7 @@ delivery SLO and exits 1:
     delivery fraction:  0.6742
     delay p50/p95/p99:  63.00/84.00/105.00
     max queue backlog:  0
+    hottest links:      0->3(1) 0->6(1) 0->9(1) 1->7(1) 4->13(1)
     SLO:                VIOLATED
   [1]
 
@@ -189,7 +190,7 @@ Block policy trades the loss for queueing delay — nothing is dropped,
 everything still covers:
 
   $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --queue-policy block
-  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, flood
     wire messages:      270
     deliveries:         126
     dropped q/l/c/r:    0/0/0/0
@@ -198,13 +199,14 @@ everything still covers:
     delivery fraction:  1.0000
     delay p50/p95/p99:  73.00/124.00/144.00
     max queue backlog:  2
+    hottest links:      5->14(2) 8->17(2) 9->19(2) 14->21(2) 15->4(2)
     SLO:                ok
 
 The random-regular competitor (configuration model) rides the same
 registry, so the LHG-vs-random comparison is one flag away:
 
   $ lhg_tool traffic -t random_regular --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --capacity 0.05 --queue-cap 1 --queue-policy block
-  traffic random_regular(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+  traffic random_regular(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, flood
     wire messages:      270
     deliveries:         126
     dropped q/l/c/r:    0/0/0/0
@@ -213,6 +215,39 @@ registry, so the LHG-vs-random comparison is one flag away:
     delivery fraction:  1.0000
     delay p50/p95/p99:  83.00/124.00/143.00
     max queue backlog:  3
+    hottest links:      7->2(3) 10->13(3) 0->1(2) 0->8(2) 9->6(2)
+    SLO:                ok
+
+Tree-striped dissemination rides the packed edge-disjoint spanning
+trees instead of re-flooding: n-1 messages per chunk (126 = 6 x 21
+against 270 flooded) at the same full coverage:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --dissemination trees
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, trees
+    wire messages:      126
+    deliveries:         126
+    dropped q/l/c/r:    0/0/0/0
+    duration:           35.00
+    throughput:         3.600 msgs/unit
+    delivery fraction:  1.0000
+    delay p50/p95/p99:  3.00/4.00/5.00
+    max queue backlog:  0
+    tree fallbacks:     0
+    SLO:                ok
+
+Gossip is the randomized baseline in between — fanout-limited push
+with a TTL:
+
+  $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --dissemination gossip --min-delivery 0.9
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, gossip
+    wire messages:      396
+    deliveries:         126
+    dropped q/l/c/r:    0/0/0/0
+    duration:           36.00
+    throughput:         3.500 msgs/unit
+    delivery fraction:  1.0000
+    delay p50/p95/p99:  3.00/4.00/5.00
+    max queue backlog:  0
     SLO:                ok
 
 A chaos plan scheduled mid-stream degrades the stream and reports the
@@ -220,7 +255,7 @@ time to run clean again after the last fault:
 
   $ printf '12 crash 5\n30 recover 5\n' > mid.plan
   $ lhg_tool traffic -t kdiamond --n 22 --k 3 --seed 2 --sources 2 --chunks 3 --rate 0.1 --plan mid.plan --min-delivery 0.9
-  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1
+  traffic kdiamond(n=22, k=3): 2 sources x 3 chunks, periodic rate 0.1, flood
     wire messages:      262
     deliveries:         122
     dropped q/l/c/r:    0/0/12/0

@@ -209,11 +209,90 @@ let test_json_shape () =
   check_bool "byte-identical rerun" true
     (String.equal doc (Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r'))
 
+(* Trees dissemination: a clean striped stream costs exactly
+   injected × (n−1) wire messages — the whole point of the strategy —
+   and still covers everyone. *)
+let test_trees_dissemination_costs () =
+  let g = Lhg_core.Build.kdiamond_exn ~n:66 ~k:4 in
+  let workload =
+    Workload.default |> Workload.with_dissemination Workload.Trees
+    |> Workload.with_source_count 3 |> Workload.with_chunks_per_source 5
+  in
+  let r = Driver.run_env ~env:(Env.make ~seed:11 ()) ~graph:g.Lhg_core.Build.graph ~workload () in
+  check_bool "all covered" true r.Driver.all_covered;
+  check_int "no fallbacks on a clean run" 0 r.Driver.tree_fallbacks;
+  check_int "wire = injected * (n-1)" (r.Driver.chunks_injected * 65) r.Driver.wire_messages;
+  check_int "deliveries = injected * (n-1)" (r.Driver.chunks_injected * 65) r.Driver.deliveries
+
+(* Mid-stream link chaos under Trees: the dead tree edges force flood
+   fallbacks, yet every chunk still reaches every survivor. *)
+let test_trees_chaos_fallback () =
+  let g = Lhg_core.Build.kdiamond_exn ~n:66 ~k:4 in
+  let csr = Graph_core.Csr.of_graph g.Lhg_core.Build.graph in
+  let pack = Graph_core.Tree_pack.pack csr ~source:0 in
+  (* down a tree-0 edge of source 0 while its stream is in flight *)
+  let u, v = List.hd (List.rev (Graph_core.Tree_pack.edges pack ~tree:0)) in
+  let plan =
+    Chaos.Plan.make [ { Chaos.Plan.at = 25.0; event = Chaos.Plan.Link_down (u, v) } ]
+  in
+  let workload =
+    Workload.default |> Workload.with_dissemination Workload.Trees
+    |> Workload.with_sources [ 0 ] |> Workload.with_chunks_per_source 10
+    |> Workload.with_rate 0.1
+  in
+  let r = Driver.run_env ~env:(Env.make ~seed:11 ()) ~plan ~graph:g.Lhg_core.Build.graph ~workload () in
+  check_bool "fallbacks exercised" true (r.Driver.tree_fallbacks > 0);
+  check_bool "still all covered" true r.Driver.all_covered;
+  check_bool "costs more than pure trees" true
+    (r.Driver.wire_messages > r.Driver.chunks_injected * 65)
+
+(* All three strategies are engine- and rerun-stable; the reused dedup
+   scratch buffer must never leak state between runs. *)
+let prop_dissemination_identity =
+  qcheck ~count:12 "every strategy: engine + rerun byte-identity"
+    QCheck2.Gen.(
+      pair (int_bound 10_000) (oneofl [ Workload.Flood; Workload.Trees; Workload.Gossip ]))
+    (fun (seed, dissemination) ->
+      let workload = pressure_workload |> Workload.with_dissemination dissemination in
+      let doc engine =
+        let env =
+          env_with ~seed ~capacity:0.5 ~queue_cap:4 ~policy:Network.Block ()
+          |> Env.with_engine engine
+        in
+        let r = Driver.run_env ~env ~graph:(graph ()) ~workload () in
+        Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
+      in
+      let a = doc Sim.Calendar in
+      String.equal a (doc Sim.Heap) && String.equal a (doc Sim.Calendar))
+
+let test_hot_links_reported () =
+  let r =
+    Driver.run_env
+      ~env:(env_with ~seed:3 ~capacity:0.25 ~queue_cap:2 ~policy:Network.Block ())
+      ~graph:(graph ()) ~workload:pressure_workload ()
+  in
+  check_bool "some hot links under capacity" true (List.length r.Driver.hot_links > 0);
+  check_bool "at most five" true (List.length r.Driver.hot_links <= 5);
+  let peaks = List.map (fun (_, _, p) -> p) r.Driver.hot_links in
+  check_bool "sorted by peak, descending" true (List.sort (fun a b -> compare b a) peaks = peaks);
+  check_bool "hottest peak = max backlog" true
+    (match peaks with p :: _ -> p >= r.Driver.max_queue_backlog | [] -> false);
+  let free =
+    Driver.run_env ~env:(Env.make ~seed:3 ()) ~graph:(graph ()) ~workload:pressure_workload ()
+  in
+  check_bool "no capacity -> no hot links" true (free.Driver.hot_links = [])
+
 let suite =
   [
     prop_fifo_no_reorder;
     prop_conservation;
     prop_engine_identity;
+    prop_dissemination_identity;
+    Alcotest.test_case "trees dissemination: n-1 per chunk" `Quick
+      test_trees_dissemination_costs;
+    Alcotest.test_case "trees + link chaos: fallback, still covered" `Quick
+      test_trees_chaos_fallback;
+    Alcotest.test_case "hot links reported" `Quick test_hot_links_reported;
     Alcotest.test_case "block never sheds" `Quick test_block_never_sheds;
     Alcotest.test_case "free run = repeated flooding" `Quick test_free_run_matches_flood_costs;
     Alcotest.test_case "workload validation" `Quick test_workload_validation;

@@ -1,0 +1,186 @@
+(* Tree_pack: edge-disjoint spanning trees out of a frozen CSR.
+
+   The load-bearing properties, per ISSUE 8: every packed tree spans
+   all n vertices along real CSR edges, the trees are pairwise
+   edge-disjoint (so no vertex spends more than its degree), packing is
+   deterministic, and the structured k-connected families yield the
+   full ⌊k/2⌋ trees without backoff. *)
+
+open Helpers
+module Csr = Graph_core.Csr
+module Graph = Graph_core.Graph
+module Tree_pack = Graph_core.Tree_pack
+module R = Topo.Registry
+
+let csr_of ~kind ~n ~k ~seed =
+  match R.build_csr_graph ~kind ~n ~k ~seed () with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "%s(n=%d,k=%d): %s" kind n k e
+
+(* Walk one tree of a packing and fail on any structural lie: a parent
+   edge missing from the CSR, a depth that is not parent-depth + 1, a
+   child listing that disagrees with the parent array, or a vertex the
+   tree never reaches. Returns the tree's undirected edge set. *)
+let check_tree ~ctx csr pack ~tree =
+  let n = Tree_pack.n pack in
+  let source = Tree_pack.source pack in
+  let edges = Hashtbl.create n in
+  let reached = ref 1 in
+  if Tree_pack.parent pack ~tree source <> -1 then
+    Alcotest.failf "%s: tree %d source has a parent" ctx tree;
+  for v = 0 to n - 1 do
+    let p = Tree_pack.parent pack ~tree v in
+    if v <> source then begin
+      if p < 0 then Alcotest.failf "%s: tree %d misses vertex %d" ctx tree v;
+      if not (Csr.mem_edge csr p v) then
+        Alcotest.failf "%s: tree %d edge (%d,%d) not in the graph" ctx tree p v;
+      if Tree_pack.depth pack ~tree v <> Tree_pack.depth pack ~tree p + 1 then
+        Alcotest.failf "%s: tree %d depth broken at %d" ctx tree v;
+      Hashtbl.replace edges (min p v, max p v) ();
+      incr reached
+    end
+  done;
+  if !reached <> n then Alcotest.failf "%s: tree %d spans %d/%d" ctx tree !reached n;
+  (* the children view must be the exact inverse of the parent view *)
+  let listed = ref 0 in
+  for v = 0 to n - 1 do
+    Tree_pack.iter_children pack ~tree ~node:v (fun ~child ~eidx ->
+        incr listed;
+        if Tree_pack.parent pack ~tree child <> v then
+          Alcotest.failf "%s: tree %d lists %d under %d wrongly" ctx tree child v;
+        if eidx <> Csr.edge_index csr v child then
+          Alcotest.failf "%s: tree %d eidx wrong for (%d,%d)" ctx tree v child)
+  done;
+  if !listed <> n - 1 then
+    Alcotest.failf "%s: tree %d children list %d <> %d" ctx tree !listed (n - 1);
+  edges
+
+let check_pack ~ctx csr pack =
+  let count = Tree_pack.count pack in
+  let all = Hashtbl.create (Csr.m csr) in
+  for t = 0 to count - 1 do
+    let edges = check_tree ~ctx csr pack ~tree:t in
+    Hashtbl.iter
+      (fun e () ->
+        if Hashtbl.mem all e then
+          Alcotest.failf "%s: edge (%d,%d) in two trees" ctx (fst e) (snd e);
+        Hashtbl.replace all e ())
+      edges
+  done
+
+(* Every registry family: each admissible member yields a packing of
+   spanning, pairwise edge-disjoint trees from an arbitrary source. *)
+let prop_pack_all_families =
+  qcheck ~count:20 "every family: spanning + edge-disjoint + in-graph"
+    QCheck2.Gen.(triple (int_range 8 30) (int_range 2 5) (int_bound 10_000))
+    (fun (n, k, seed) ->
+      List.iter
+        (fun e ->
+          if e.R.admissible ~n ~k then begin
+            let csr = csr_of ~kind:e.R.name ~n ~k ~seed in
+            let source = seed mod Csr.n csr in
+            let ctx = Printf.sprintf "%s(n=%d,k=%d) src=%d" e.R.name n k source in
+            check_pack ~ctx csr (Tree_pack.pack csr ~source)
+          end)
+        R.all;
+      true)
+
+(* Determinism: packing is a pure function of (csr, source, count). *)
+let prop_deterministic =
+  qcheck ~count:20 "pack is deterministic"
+    QCheck2.Gen.(pair (int_range 10 40) (int_bound 1_000))
+    (fun (n, seed) ->
+      let csr = csr_of ~kind:"kdiamond" ~n ~k:4 ~seed in
+      let source = seed mod n in
+      let a = Tree_pack.pack csr ~source and b = Tree_pack.pack csr ~source in
+      Tree_pack.count a = Tree_pack.count b
+      && List.for_all
+           (fun t -> Tree_pack.edges a ~tree:t = Tree_pack.edges b ~tree:t)
+           (List.init (Tree_pack.count a) Fun.id))
+
+let test_full_count_on_structured () =
+  (* the k-connected families admit the full ⌊k/2⌋ trees: no backoff *)
+  List.iter
+    (fun (kind, n, k) ->
+      let csr = csr_of ~kind ~n ~k ~seed:7 in
+      let pack = Tree_pack.pack csr ~source:0 in
+      check_int (Printf.sprintf "%s(n=%d,k=%d) tree count" kind n k) (k / 2)
+        (Tree_pack.count pack);
+      check_pack ~ctx:kind csr pack)
+    [ ("kdiamond", 66, 4); ("kdiamond", 130, 5); ("hypercube", 64, 6); ("harary", 40, 4) ]
+
+let test_depth_accessors () =
+  let csr = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
+  let pack = Tree_pack.pack csr ~source:0 in
+  for t = 0 to Tree_pack.count pack - 1 do
+    let maxd = ref 0 in
+    for v = 0 to Tree_pack.n pack - 1 do
+      maxd := max !maxd (Tree_pack.depth pack ~tree:t v)
+    done;
+    check_int "max_depth matches depths" !maxd (Tree_pack.max_depth pack ~tree:t)
+  done
+
+let test_count_override_and_backoff () =
+  let csr = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
+  check_int "count:1 honoured" 1 (Tree_pack.count (Tree_pack.pack ~count:1 csr ~source:3));
+  (* a cycle holds exactly one spanning tree; asking for 3 backs off *)
+  let ring = csr_of ~kind:"cycle" ~n:12 ~k:2 ~seed:0 in
+  check_int "cycle backs off to 1" 1 (Tree_pack.count (Tree_pack.pack ~count:3 ring ~source:0));
+  check_pack ~ctx:"cycle" ring (Tree_pack.pack ~count:3 ring ~source:0)
+
+let test_invalid_inputs () =
+  let csr = csr_of ~kind:"kdiamond" ~n:22 ~k:3 ~seed:1 in
+  Alcotest.check_raises "source out of range"
+    (Invalid_argument "Tree_pack.pack: source out of range") (fun () ->
+      ignore (Tree_pack.pack csr ~source:22));
+  Alcotest.check_raises "bad count" (Invalid_argument "Tree_pack.pack: count must be >= 1")
+    (fun () -> ignore (Tree_pack.pack ~count:0 csr ~source:0));
+  let disconnected = Csr.of_graph (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]) in
+  Alcotest.check_raises "disconnected graph"
+    (Invalid_argument "Tree_pack.pack: graph is not connected") (fun () ->
+      ignore (Tree_pack.pack disconnected ~source:0))
+
+let test_pack_all_matches_pack () =
+  let csr = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
+  let sources = [ 0; 13; 33; 61 ] in
+  let seq = Tree_pack.pack_all csr ~sources in
+  let pool = Par.Pool.create ~domains:3 in
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Par.Pool.shutdown pool)
+      (fun () -> Tree_pack.pack_all ~pool csr ~sources)
+  in
+  List.iteri
+    (fun i s ->
+      check_int "source" s (Tree_pack.source seq.(i));
+      for t = 0 to Tree_pack.count seq.(i) - 1 do
+        check_bool "pool-invariant edges" true
+          (Tree_pack.edges seq.(i) ~tree:t = Tree_pack.edges par.(i) ~tree:t)
+      done)
+    sources
+
+let test_cache_reuse () =
+  let csr = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
+  let cache = Tree_pack.Cache.create () in
+  let a = Tree_pack.Cache.get cache csr ~source:5 in
+  let b = Tree_pack.Cache.get cache csr ~source:5 in
+  check_bool "same csr hits the cache" true (a == b);
+  let all = Tree_pack.Cache.get_all cache csr ~sources:[ 9; 5; 9 ] in
+  check_bool "get_all reuses cached packs" true (all.(1) == a);
+  check_bool "duplicate sources share one pack" true (all.(0) == all.(2));
+  (* a different snapshot resets the cache even at equal dimensions *)
+  let csr' = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
+  let c = Tree_pack.Cache.get cache csr' ~source:5 in
+  check_bool "new snapshot -> fresh pack" true (c != a)
+
+let suite =
+  [
+    prop_pack_all_families;
+    prop_deterministic;
+    Alcotest.test_case "structured families give ⌊k/2⌋ trees" `Quick test_full_count_on_structured;
+    Alcotest.test_case "depth accessors agree" `Quick test_depth_accessors;
+    Alcotest.test_case "count override + backoff" `Quick test_count_override_and_backoff;
+    Alcotest.test_case "invalid inputs raise" `Quick test_invalid_inputs;
+    Alcotest.test_case "pack_all: pool-invariant" `Quick test_pack_all_matches_pack;
+    Alcotest.test_case "cache reuse + reset" `Quick test_cache_reuse;
+  ]
