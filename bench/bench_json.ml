@@ -1,8 +1,8 @@
-(* B8 → PR 8: machine-readable benchmark, now with tree-striped
-   dissemination attacking the PR-7 delay gap.
+(* B9 → PR 9: machine-readable benchmark, now with the self-assembly
+   convergence audit riding along.
 
-   Writes BENCH_PR8.json — op name → ns/run for the established op set
-   (names kept identical so the committed BENCH_PR7.json baseline stays
+   Writes BENCH_PR9.json — op name → ns/run for the established op set
+   (names kept identical so the committed BENCH_PR8.json baseline stays
    comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths, a chaos section, a controller section, the
    131k flooding ops, the million-node flood experiment (n=2^20+2
@@ -12,9 +12,11 @@
    matched degree (the Kim–Srikant comparison) plus the new
    dissemination-gap table (flood vs tree-striped vs gossip on a
    congestion-dominated workload, with a mid-stream ≤ k−1 link-chaos
-   run and engine/jobs byte-identity over the trees path) — and a
+   run and engine/jobs byte-identity over the trees path) — a
    million-message sustained stream on the n=2^17+2 kdiamond CSR,
-   wall-clocked against a 10-second budget. Pure-stdlib timing
+   wall-clocked against a 10-second budget, and the assemble section:
+   the distributed-construction convergence audit (rounds vs n with
+   the O(log n) gate, fault recovery at n=46, engine identity). Pure-stdlib timing
    (monotonic-enough wall clock, budgeted repetition loop) rather than
    bechamel, so the output is stable, dependency-light and trivially
    parseable.
@@ -113,7 +115,7 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR8.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR9.json" in
   print_endline
     "=== B8  JSON benchmark: tree-striped dissemination + sustained traffic + million-node smoke ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
@@ -381,12 +383,16 @@ let () =
   (* the PR-6 additions at 131k: direct shape-to-CSR construction (no
      Set-backed intermediate) into the Bigarray backend, and the async
      event-driven flood over it *)
-  let cbig_direct =
-    Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nbig ~k
+  let registry_csr ~n =
+    (* through the registry's uniform csr field — the same dispatch the
+       CLI and smoke binaries use *)
+    match Topo.Registry.build_csr_graph ~big:true ~kind:"kdiamond" ~n ~k ~seed:1 () with
+    | Ok c -> c
+    | Error e -> failwith e
   in
+  let cbig_direct = registry_csr ~n:nbig in
   ignore
-    (bench ~min_reps:2 "build_csr_kdiamond_n131074" (fun () ->
-         Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nbig ~k));
+    (bench ~min_reps:2 "build_csr_kdiamond_n131074" (fun () -> registry_csr ~n:nbig));
   ignore
     (bench ~min_reps:2 "flood_async_n131074" (fun () ->
          Flood.Flooding.run_csr_env ~env:Flood.Env.default ~csr:cbig_direct ~source:0 ()));
@@ -403,7 +409,7 @@ let () =
   let nmil = 1_048_578 in
   let mil_budget_s = 5.0 in
   let t0 = Unix.gettimeofday () in
-  let cmil = Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n:nmil ~k in
+  let cmil = registry_csr ~n:nmil in
   let mil_build_s = Unix.gettimeofday () -. t0 in
   let mil_flood engine =
     Flood.Flooding.run_csr_env
@@ -673,11 +679,48 @@ let () =
     (* re-indent the embedded document one level *)
     String.concat "\n  " (String.split_on_char '\n' doc)
   in
-  let baseline = read_baseline_ops "BENCH_PR7.json" in
+  (* the self-assembly section: the convergence audit — scaling sweep
+     (the O(log n) claim CI gates on: rounds <= 3 * ceil(log2 n)) plus
+     the fault-recovery table at n=46, and engine byte-identity over
+     the whole audit document *)
+  let assemble_sizes = [ 10; 46; 100; 258; 1026 ] in
+  let assemble_recovery_n = 46 and assemble_max_faults = 3 in
+  let assemble_audit engine =
+    let env = Flood.Env.default |> Flood.Env.with_seed 1 |> Flood.Env.with_engine engine in
+    Assemble.Audit.run ~env ~construction:Lhg_core.Build.Kdiamond ~k:4 ~sizes:assemble_sizes
+      ~recovery_n:assemble_recovery_n ~max_faults:assemble_max_faults ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let asm = assemble_audit Netsim.Sim.Calendar in
+  let asm_s = Unix.gettimeofday () -. t0 in
+  let asm_engines_identical =
+    Assemble.Audit.to_json asm = Assemble.Audit.to_json (assemble_audit Netsim.Sim.Heap)
+  in
+  let ceil_log2_of n =
+    let b = ref 0 in
+    while 1 lsl !b < n do
+      incr b
+    done;
+    !b
+  in
+  let asm_rounds_c = 3 in
+  let asm_within_bound =
+    List.for_all
+      (fun (r : Assemble.Audit.report) ->
+        r.Assemble.Audit.rounds <= asm_rounds_c * ceil_log2_of r.Assemble.Audit.n)
+      asm.Assemble.Audit.sweep
+  in
+  Printf.printf
+    "assemble: %d sizes + %d recovery configs in %.3fs, all_ok=%b, rounds<=%d*log2(n)=%b, engines identical=%b\n%!"
+    (List.length asm.Assemble.Audit.sweep)
+    (List.length asm.Assemble.Audit.recovery)
+    asm_s asm.Assemble.Audit.all_ok asm_rounds_c asm_within_bound asm_engines_identical;
+
+  let baseline = read_baseline_ops "BENCH_PR8.json" in
 
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"schema\": \"lhg-bench-json/1\",\n";
-  Buffer.add_string buf "  \"pr\": 8,\n";
+  Buffer.add_string buf "  \"pr\": 9,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"budget_ms_per_op\": %.0f,\n" (budget_s *. 1000.0));
   Buffer.add_string buf
@@ -958,9 +1001,72 @@ let () =
     (Printf.sprintf "      \"within_budget\": %b\n" (mil_traffic_s <= mil_traffic_budget_s));
   Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  },\n";
-  (* two views of the same comparison against the committed PR-7
+  (* the self-assembly section CI gates on: the scaling sweep with the
+     O(log n) verdict, the recovery table, and the audit-wide
+     engine-identity bit *)
+  Buffer.add_string buf "  \"assemble\": {\n";
+  Buffer.add_string buf "    \"construction\": \"kdiamond\",\n";
+  Buffer.add_string buf "    \"k\": 4,\n";
+  Buffer.add_string buf (Printf.sprintf "    \"seed\": %d,\n" 1);
+  Buffer.add_string buf (Printf.sprintf "    \"wall_seconds\": %.3f,\n" asm_s);
+  Buffer.add_string buf "    \"sweep\": [\n";
+  List.iteri
+    (fun i (r : Assemble.Audit.report) ->
+      Buffer.add_string buf "      {\n";
+      Buffer.add_string buf (Printf.sprintf "        \"n\": %d,\n" r.Assemble.Audit.n);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"convergence_rounds\": %d,\n" r.Assemble.Audit.rounds);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"gossip_rounds\": %d,\n" r.Assemble.Audit.gossip_rounds);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"ceil_log2_n\": %d,\n" (ceil_log2_of r.Assemble.Audit.n));
+      Buffer.add_string buf
+        (Printf.sprintf "        \"messages\": %d,\n" r.Assemble.Audit.messages);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"converged\": %b,\n" r.Assemble.Audit.converged);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"verified\": %b,\n" r.Assemble.Audit.verified);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"matches_target\": %b\n" r.Assemble.Audit.matches_target);
+      Buffer.add_string buf
+        (Printf.sprintf "      }%s\n"
+           (if i = List.length asm.Assemble.Audit.sweep - 1 then "" else ",")))
+    asm.Assemble.Audit.sweep;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf (Printf.sprintf "    \"rounds_bound_c\": %d,\n" asm_rounds_c);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"rounds_within_c_log2_n\": %b,\n" asm_within_bound);
+  Buffer.add_string buf "    \"recovery\": [\n";
+  List.iteri
+    (fun i (r : Assemble.Audit.report) ->
+      Buffer.add_string buf "      {\n";
+      Buffer.add_string buf (Printf.sprintf "        \"n\": %d,\n" r.Assemble.Audit.n);
+      Buffer.add_string buf (Printf.sprintf "        \"faults\": %d,\n" r.Assemble.Audit.faults);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"victims\": [%s],\n"
+           (String.concat ", " (List.map string_of_int r.Assemble.Audit.victims)));
+      Buffer.add_string buf
+        (Printf.sprintf "        \"convergence_rounds\": %d,\n" r.Assemble.Audit.rounds);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"deaths_declared\": %d,\n" r.Assemble.Audit.deaths_declared);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"unfreezes\": %d,\n" r.Assemble.Audit.unfreezes);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"converged\": %b,\n" r.Assemble.Audit.converged);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"verified\": %b\n" r.Assemble.Audit.verified);
+      Buffer.add_string buf
+        (Printf.sprintf "      }%s\n"
+           (if i = List.length asm.Assemble.Audit.recovery - 1 then "" else ",")))
+    asm.Assemble.Audit.recovery;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf (Printf.sprintf "    \"all_ok\": %b,\n" asm.Assemble.Audit.all_ok);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"deterministic_across_engines\": %b\n" asm_engines_identical);
+  Buffer.add_string buf "  },\n";
+  (* two views of the same comparison against the committed PR-8
      baseline, where op names match: vs_baseline_* is new/old (< 1.05
-     means no regression), speedup_vs_pr7 is old/new (CI asserts the
+     means no regression), speedup_vs_pr8 is old/new (CI asserts the
      async flood has not regressed) *)
   let comparable =
     List.filter_map
@@ -971,7 +1077,7 @@ let () =
       baseline
   in
   if comparable <> [] then begin
-    Buffer.add_string buf "  \"speedup_vs_pr7\": {\n";
+    Buffer.add_string buf "  \"speedup_vs_pr8\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf
@@ -979,7 +1085,7 @@ let () =
              (if i = List.length comparable - 1 then "" else ",")))
       comparable;
     Buffer.add_string buf "  },\n";
-    Buffer.add_string buf "  \"vs_baseline_BENCH_PR7\": {\n";
+    Buffer.add_string buf "  \"vs_baseline_BENCH_PR8\": {\n";
     List.iteri
       (fun i (name, old_ns, new_ns) ->
         Buffer.add_string buf

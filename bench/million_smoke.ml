@@ -3,6 +3,10 @@
 
      dune exec bench/million_smoke.exe            # default n=1048578, budget 5 s
      LHG_SMOKE_NODES=262146 LHG_SMOKE_BUDGET_S=3 dune exec bench/million_smoke.exe
+     LHG_SMOKE_KIND=ktree dune exec bench/million_smoke.exe
+
+   Topology dispatch goes through Topo.Registry's uniform csr field,
+   so any registered family with a direct CSR path can be smoked.
 
    Exits non-zero if the flood misses a node or the budget is blown —
    the CI guard for the calendar-queue + CSR-builder hot core. *)
@@ -16,14 +20,21 @@ let getenv_float name default =
 let () =
   let n = getenv_int "LHG_SMOKE_NODES" 1_048_578 in
   let k = getenv_int "LHG_SMOKE_K" 4 in
+  let kind = Option.value (Sys.getenv_opt "LHG_SMOKE_KIND") ~default:"kdiamond" in
   let budget_s = getenv_float "LHG_SMOKE_BUDGET_S" 5.0 in
   let t0 = Unix.gettimeofday () in
-  let csr = Lhg_core.Build.build_csr_exn ~big:true Lhg_core.Build.Kdiamond ~n ~k in
+  let csr =
+    match Topo.Registry.build_csr_graph ~big:true ~kind ~n ~k ~seed:1 () with
+    | Ok c -> c
+    | Error e ->
+        prerr_endline ("million_smoke: " ^ e);
+        exit 1
+  in
   let t1 = Unix.gettimeofday () in
   let result = Flood.Flooding.run_csr_env ~env:Flood.Env.default ~csr ~source:0 () in
   let t2 = Unix.gettimeofday () in
   let build_s = t1 -. t0 and flood_s = t2 -. t1 in
-  Printf.printf "million_smoke: n=%d k=%d m=%d big=%b\n" (Graph_core.Csr.n csr) k
+  Printf.printf "million_smoke: %s n=%d k=%d m=%d big=%b\n" kind (Graph_core.Csr.n csr) k
     (Graph_core.Csr.m csr)
     (Graph_core.Csr.is_bigarray csr);
   Printf.printf "  build_csr      %.3f s\n" build_s;

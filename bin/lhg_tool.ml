@@ -9,31 +9,27 @@
      metrics   replay a protocol run and print its metrics registry
      diameter  diameter comparison across topologies for one n, k
      traffic   sustained multi-source streams over capacity-limited links
+     assemble  distributed self-assembly of the overlay, no coordinator
 
    All topology dispatch goes through Topo.Registry — adding a family
    there makes it available to every subcommand at once.
 
-   Every subcommand accepts the same six common long options —
-   --topology, --nodes, --k-degree, --seed, --jobs, --metrics — with
-   cmdliner's uniform prefix matching; they are wired where meaningful
-   and accepted for CLI uniformity elsewhere. *)
+   The common flags live in one Flood.Spec.t record — topology, nodes,
+   degree, seed, jobs, engine, metrics — built once by common_term with
+   cmdliner's uniform prefix matching and consumed by the Spec helpers
+   (graph/csr/construction/to_env/with_pool), so subcommands differ
+   only in the protocol they run. *)
 
 open Cmdliner
+module Spec = Flood.Spec
 
 let kinds = Topo.Registry.names
 
 let build_graph ~kind ~n ~k ~seed = Topo.Registry.build_graph ~kind ~n ~k ~seed
 
-(* common args — one record threaded through every subcommand *)
+(* common args — one Spec.t threaded through every subcommand *)
 
-type common = {
-  kind : string;
-  n : int;
-  k : int;
-  seed : int;
-  jobs : int;
-  metrics : [ `Json | `Text ] option;
-}
+type common = Spec.t
 
 let metrics_format = Arg.enum [ ("json", `Json); ("text", `Text) ]
 
@@ -66,23 +62,30 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FORMAT"
         ~doc:"Report format where a subcommand produces one: $(b,json) or $(b,text).")
 
+let engine_arg =
+  let engine_conv = Arg.enum [ ("calendar", Netsim.Sim.Calendar); ("heap", Netsim.Sim.Heap) ] in
+  Arg.(
+    value
+    & opt engine_conv Netsim.Sim.Calendar
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Event engine for the simulated subcommands: $(b,calendar) (default) or $(b,heap). \
+           Results are identical.")
+
 let common_term =
-  let make kind n k seed jobs metrics = { kind; n; k; seed; jobs; metrics } in
-  Term.(const make $ kind_arg $ n_arg $ k_arg $ seed_arg $ jobs_arg $ metrics_arg)
+  let make topology n k seed jobs engine metrics =
+    { Spec.topology; n; k; seed; jobs; engine; metrics }
+  in
+  Term.(const make $ kind_arg $ n_arg $ k_arg $ seed_arg $ jobs_arg $ engine_arg $ metrics_arg)
 
 (* [f] gets [None] for a sequential run; a fresh pool is shut down on
    the way out, the shared default pool is joined at exit. *)
-let with_jobs jobs f =
-  if jobs < 0 then begin
-    prerr_endline "error: --jobs must be >= 0";
-    1
-  end
-  else if jobs = 0 then f (Some (Par.Pool.default ()))
-  else if jobs = 1 then f None
-  else begin
-    let pool = Par.Pool.create ~domains:jobs in
-    Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f (Some pool))
-  end
+let with_jobs (c : common) f =
+  match Spec.with_pool c f with
+  | Ok status -> status
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
 
 (* An adjacency-set graph costs hundreds of bytes per node; above this
    many nodes the build would thrash or OOM long before finishing, so
@@ -102,8 +105,8 @@ let check_node_cap n =
   if n > cap then Error (Overlay.Error.to_string (Overlay.Error.Node_cap { requested = n; cap }))
   else Ok ()
 
-let with_graph c f =
-  match Result.bind (check_node_cap c.n) (fun () -> build_graph ~kind:c.kind ~n:c.n ~k:c.k ~seed:c.seed) with
+let with_graph (c : common) f =
+  match Result.bind (check_node_cap c.n) (fun () -> Spec.graph c) with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       1
@@ -117,13 +120,13 @@ let generate c dot out =
   with_graph c (fun g ->
       let doc =
         if dot then
-          match witness_of c.kind c.n c.k with
-          | Some b -> Lhg_core.Viz.to_dot ~name:c.kind b
-          | None -> Graph_core.Dot.to_dot ~name:c.kind g
+          match witness_of c.topology c.n c.k with
+          | Some b -> Lhg_core.Viz.to_dot ~name:c.topology b
+          | None -> Graph_core.Dot.to_dot ~name:c.topology g
         else begin
           let buf = Buffer.create 1024 in
           Buffer.add_string buf
-            (Printf.sprintf "# %s n=%d m=%d\n" c.kind (Graph_core.Graph.n g)
+            (Printf.sprintf "# %s n=%d m=%d\n" c.topology (Graph_core.Graph.n g)
                (Graph_core.Graph.m g));
           Graph_core.Graph.iter_edges g (fun u v ->
               Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
@@ -150,7 +153,7 @@ let generate_cmd =
 
 let verify c skip_minimality input =
   let checked g =
-    with_jobs c.jobs (fun pool ->
+    with_jobs c (fun pool ->
         let check_minimality = not skip_minimality in
         let report = Lhg_core.Verify.verify ~check_minimality ?pool g ~k:c.k in
         Format.printf "%a@." Lhg_core.Verify.pp_report report;
@@ -188,7 +191,7 @@ let verify_cmd =
 
 (* tables *)
 
-let tables c span =
+let tables (c : common) span =
   let k = c.k in
   Printf.printf "k = %d, n from %d to %d\n" k (2 * k) ((2 * k) + span);
   Printf.printf "%6s %6s %8s %10s %10s %12s\n" "n" "EX_jd" "EX_ktree" "EX_kdiam" "REG_ktree"
@@ -217,18 +220,18 @@ let print_metrics ~format obs =
   | `Json -> print_string (Obs.Export.to_json ~recent_events:32 obs)
   | `Text -> print_string (Obs.Export.to_text ~recent_events:32 obs)
 
-let flood c crashes links source =
+let flood (c : common) crashes links source =
   with_graph c (fun g ->
       let rng = Graph_core.Prng.create ~seed:c.seed in
       let crashed =
         Flood.Runner.random_crashes rng ~n:(Graph_core.Graph.n g) ~count:crashes ~avoid:source
       in
       let failed_links = Flood.Runner.random_link_failures rng g ~count:links in
-      let obs =
-        match c.metrics with None -> Obs.Registry.nil | Some _ -> Obs.Registry.create ()
-      in
+      let obs = Spec.obs c in
       let env =
-        Flood.Env.make ~crashed ~failed_links ~seed:c.seed ~obs ()
+        Spec.to_env ~obs c
+        |> Flood.Env.with_crashed crashed
+        |> Flood.Env.with_failed_links failed_links
       in
       let r = Flood.Flooding.run_env ~env ~graph:g ~source () in
       (match c.metrics with
@@ -237,7 +240,7 @@ let flood c crashes links source =
           print_metrics ~format:`Json obs
       | Some `Text | None ->
           Printf.printf "flooded %s(n=%d, k=%d) from node %d with %d crashes, %d link failures\n"
-            c.kind c.n c.k source crashes links;
+            c.topology c.n c.k source crashes links;
           Printf.printf "  messages sent:      %d\n" r.Flood.Flooding.messages_sent;
           Printf.printf "  rounds (max hops):  %d\n" r.Flood.Flooding.max_hops;
           Printf.printf "  completion time:    %.2f\n" r.Flood.Flooding.completion_time;
@@ -265,9 +268,9 @@ let links_or l ~empty =
   if l = [] then empty
   else String.concat " " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) l)
 
-let chaos_text c ~adversary_name ~nplans report =
+let chaos_text (c : common) ~adversary_name ~nplans report =
   let open Chaos.Audit in
-  Printf.printf "chaos audit: %s(n=%d, k=%d) from source %d\n" c.kind c.n c.k report.source;
+  Printf.printf "chaos audit: %s(n=%d, k=%d) from source %d\n" c.topology c.n c.k report.source;
   Printf.printf "  adversary: %s, %d plans, seed %d\n" adversary_name nplans c.seed;
   Printf.printf "  %6s %6s %9s %11s\n" "faults" "plans" "complete" "stochastic";
   List.iter
@@ -305,7 +308,7 @@ let chaos_text c ~adversary_name ~nplans report =
             (ints_or w.unreached ~empty:"(none)"))
   | _ -> ()
 
-let chaos_json c ~adversary_name ~nplans report =
+let chaos_json (c : common) ~adversary_name ~nplans report =
   let open Chaos.Audit in
   let module S = Obs.Stream in
   let json_ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]" in
@@ -313,7 +316,7 @@ let chaos_json c ~adversary_name ~nplans report =
     "[" ^ String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "[%d, %d]" u v) l) ^ "]"
   in
   let s = S.create ~schema:"lhg-chaos/1" () in
-  S.str s "topology" c.kind;
+  S.str s "topology" c.topology;
   S.int s "n" c.n;
   S.int s "k" report.k;
   S.int s "source" report.source;
@@ -364,7 +367,7 @@ let resolve_source ~requested ~avoid ~n =
     let rec first v = if v >= n then 0 else if in_avoid.(v) then first (v + 1) else v in
     first 0
 
-let chaos c adversary plan_file source max_faults plans_per_level =
+let chaos (c : common) adversary plan_file source max_faults plans_per_level =
   with_graph c (fun g ->
       let n = Graph_core.Graph.n g in
       let max_faults = match max_faults with Some f -> f | None -> c.k in
@@ -396,10 +399,8 @@ let chaos c adversary plan_file source max_faults plans_per_level =
                 ( Chaos.Gen.to_string adv,
                   Chaos.Gen.sweep ~plans_per_level ~rng ~graph:g ~source ~max_faults adv )
           in
-          with_jobs c.jobs (fun pool ->
-              let env =
-                Flood.Env.default |> Flood.Env.with_seed c.seed |> Flood.Env.with_pool pool
-              in
+          with_jobs c (fun pool ->
+              let env = Spec.to_env ?pool c in
               match Chaos.Audit.run ~env ~graph:g ~k:c.k ~source ~plans with
               | exception Invalid_argument msg ->
                   prerr_endline ("error: " ^ msg);
@@ -458,24 +459,24 @@ let chaos_cmd =
 
 (* metrics *)
 
-let metrics_run c protocol format =
+let metrics_run (c : common) protocol format =
   with_graph c (fun g ->
       let obs = Obs.Registry.create () in
       let seed = c.seed in
       let ok =
         match protocol with
         | `Flood ->
-            ignore (Flood.Flooding.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ());
+            ignore (Flood.Flooding.run_env ~env:(Spec.to_env ~obs c) ~graph:g ~source:0 ());
             true
         | `Gossip ->
-            ignore (Flood.Gossip.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ~fanout:(max 1 (c.k - 1)) ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
+            ignore (Flood.Gossip.run_env ~env:(Spec.to_env ~obs c) ~graph:g ~source:0 ~fanout:(max 1 (c.k - 1)) ~ttl:(Flood.Gossip.default_ttl ~n:(Graph_core.Graph.n g)) ());
             true
         | `Pif ->
-            ignore (Flood.Pif.run_env ~env:(Flood.Env.make ~seed ~obs ()) ~graph:g ~source:0 ());
+            ignore (Flood.Pif.run_env ~env:(Spec.to_env ~obs c) ~graph:g ~source:0 ());
             true
         | `Churn -> (
             let family =
-              match c.kind with
+              match c.topology with
               | "ktree" -> Some Overlay.Membership.Ktree
               | "kdiamond" | "kdiamond_rich" -> Some Overlay.Membership.Kdiamond
               | "jd" -> Some Overlay.Membership.Jd
@@ -526,7 +527,7 @@ let metrics_cmd =
 
 (* diameter *)
 
-let diameter c =
+let diameter (c : common) =
   Printf.printf "%12s %8s %8s %10s\n" "topology" "edges" "diam" "flood-rounds";
   List.iter
     (fun kind ->
@@ -575,8 +576,8 @@ let witnessed_kinds () =
       match e.Topo.Registry.construction with Some _ -> Some e.Topo.Registry.name | None -> None)
     Topo.Registry.all
 
-let route_cmd_impl c src dst =
-  match Topo.Registry.find c.kind with
+let route_cmd_impl (c : common) src dst =
+  match Topo.Registry.find c.topology with
   | None | Some { Topo.Registry.construction = None; _ } ->
       Printf.eprintf "error: route needs a witnessed LHG kind (%s)\n"
         (String.concat ", " (witnessed_kinds ()));
@@ -587,7 +588,7 @@ let route_cmd_impl c src dst =
           prerr_endline ("error: " ^ Lhg_core.Build.error_to_string e);
           1
       | Ok b ->
-          Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst c.kind c.n c.k;
+          Printf.printf "structured routes %d -> %d on %s(%d,%d):\n" src dst c.topology c.n c.k;
           List.iteri
             (fun i p ->
               Printf.printf "  route %d (%d hops): %s\n" i
@@ -605,9 +606,9 @@ let route_cmd =
 
 (* churn *)
 
-let churn c steps =
+let churn (c : common) steps =
   let family =
-    match c.kind with
+    match c.topology with
     | "ktree" -> Some Overlay.Membership.Ktree
     | "kdiamond" -> Some Overlay.Membership.Kdiamond
     | "jd" -> Some Overlay.Membership.Jd
@@ -638,9 +639,9 @@ let churn_cmd =
 
 (* inspect *)
 
-let inspect c =
+let inspect (c : common) =
   let build =
-    match Topo.Registry.find c.kind with
+    match Topo.Registry.find c.topology with
     | None | Some { Topo.Registry.construction = None; _ } -> None
     | Some { Topo.Registry.construction = Some cns; _ } -> Some (Lhg_core.Build.build cns ~n:c.n ~k:c.k)
   in
@@ -656,7 +657,7 @@ let inspect c =
       let n = c.n and k = c.k in
       let shape = b.Lhg_core.Build.shape in
       let non_leaf, shared, added, unshared = Lhg_core.Shape.counts shape in
-      Printf.printf "%s witness for (n=%d, k=%d)\n" c.kind n k;
+      Printf.printf "%s witness for (n=%d, k=%d)\n" c.topology n k;
       Printf.printf "  tree nodes:       %d (%d internal/root, %d shared leaves, %d added, %d unshared groups)\n"
         (Lhg_core.Shape.size shape) non_leaf shared added unshared;
       Printf.printf "  tree height:      %d\n" (Lhg_core.Route.height b);
@@ -687,7 +688,7 @@ let inspect_cmd =
 
 (* grow *)
 
-let grow c verbose =
+let grow (c : common) verbose =
   let n = c.n and k = c.k in
   if k < 3 then begin
     prerr_endline "error: grow needs k >= 3";
@@ -736,9 +737,9 @@ let controller_family kind =
   | "harary" -> Some Overlay.Membership.Harary_classic
   | _ -> None
 
-let controller c steps trace_file batch join_probability chaos_adversary plans_per_level
+let controller (c : common) steps trace_file batch join_probability chaos_adversary plans_per_level
     max_faults full_verify =
-  match controller_family c.kind with
+  match controller_family c.topology with
   | None ->
       prerr_endline "error: controller supports kinds ktree, kdiamond, jd, harary";
       1
@@ -778,7 +779,7 @@ let controller c steps trace_file batch join_probability chaos_adversary plans_p
               prerr_endline ("error: " ^ e);
               1
           | Ok trace ->
-              with_jobs c.jobs (fun pool ->
+              with_jobs c (fun pool ->
                   let verify =
                     if full_verify then Overlay.Controller.Full else Overlay.Controller.Cached
                   in
@@ -884,8 +885,8 @@ let controller_cmd =
 
 (* traffic *)
 
-let traffic c sources chunks rate arrival dissemination capacity queue_cap queue_policy
-    plan_file engine min_delivery max_p95 =
+let traffic (c : common) sources chunks rate arrival dissemination capacity queue_cap queue_policy
+    plan_file min_delivery max_p95 =
   let workload =
     Traffic.Workload.default
     |> Traffic.Workload.with_source_count sources
@@ -910,21 +911,21 @@ let traffic c sources chunks rate arrival dissemination capacity queue_cap queue
               1
           | Ok () -> (
               let env =
-                Flood.Env.default |> Flood.Env.with_seed c.seed
+                Spec.to_env c
                 |> (match capacity with
                    | Some r -> Flood.Env.with_link_capacity r
                    | None -> Fun.id)
                 |> (match queue_cap with
                    | Some q -> Flood.Env.with_queue_cap q
                    | None -> Fun.id)
-                |> (match queue_policy with
-                   | Some p -> Flood.Env.with_queue_policy p
-                   | None -> Fun.id)
-                |> match engine with Some e -> Flood.Env.with_engine e | None -> Fun.id
+                |>
+                match queue_policy with
+                | Some p -> Flood.Env.with_queue_policy p
+                | None -> Fun.id
               in
               (* the driver is single-simulator; --jobs is accepted for
                  CLI uniformity and must not change a byte *)
-              with_jobs c.jobs (fun _pool ->
+              with_jobs c (fun _pool ->
                   match Traffic.Driver.run_env ~env ?plan ~graph:g ~workload () with
                   | exception Invalid_argument msg ->
                       prerr_endline ("error: " ^ msg);
@@ -937,13 +938,13 @@ let traffic c sources chunks rate arrival dissemination capacity queue_cap queue
                       (match c.metrics with
                       | Some `Json ->
                           print_string
-                            (Traffic.Driver.to_json ~topology:c.kind ~n:c.n ~k:c.k
+                            (Traffic.Driver.to_json ~topology:c.topology ~n:c.n ~k:c.k
                                ~seed:c.seed r)
                       | Some `Text | None ->
                           let open Traffic.Driver in
                           Printf.printf
                             "traffic %s(n=%d, k=%d): %d sources x %d chunks, %s rate %g, %s\n"
-                            c.kind c.n c.k
+                            c.topology c.n c.k
                             (List.length r.sources)
                             workload.Traffic.Workload.chunks_per_source
                             (Traffic.Workload.arrival_name workload.Traffic.Workload.arrival)
@@ -1047,14 +1048,6 @@ let traffic_cmd =
       & opt (some string) None
       & info [ "plan" ] ~docv:"FILE" ~doc:"Chaos plan to schedule mid-stream.")
   in
-  let engine =
-    let engine_conv = Arg.enum [ ("calendar", Netsim.Sim.Calendar); ("heap", Netsim.Sim.Heap) ] in
-    Arg.(
-      value
-      & opt (some engine_conv) None
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"Event engine: $(b,calendar) (default) or $(b,heap). Results are identical.")
-  in
   let min_delivery =
     Arg.(
       value
@@ -1075,11 +1068,130 @@ let traffic_cmd =
           per-link capacity and bounded FIFO queues, and check delivery SLOs")
     Term.(
       const traffic $ common_term $ sources $ chunks $ rate $ arrival $ dissemination
-      $ capacity $ queue_cap $ queue_policy $ plan_file $ engine $ min_delivery $ max_p95)
+      $ capacity $ queue_cap $ queue_policy $ plan_file $ min_delivery $ max_p95)
+
+(* assemble *)
+
+let assemble (c : common) crashes plan_file max_rounds certify =
+  match Result.bind (check_node_cap c.n) (fun () -> Spec.construction c) with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | Ok construction -> (
+      match
+        match plan_file with
+        | Some path -> Result.map Option.some (Chaos.Plan.of_file path)
+        | None -> Ok None
+      with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok plan ->
+          (* --crashes F draws F victims from the seed and staggers the
+             crashes one gossip round apart, mid-assembly — the same
+             shape Assemble.Audit sweeps; an explicit --plan wins *)
+          let plan =
+            match (plan, crashes) with
+            | (Some _ as p), _ | p, 0 -> p
+            | None, f when f >= c.n || f < 0 ->
+                prerr_endline "error: --crashes must be >= 0 and < n";
+                exit 1
+            | None, f ->
+                let victims =
+                  Graph_core.Prng.sample_without_replacement
+                    (Graph_core.Prng.create ~seed:c.seed)
+                    ~k:f ~n:c.n
+                  |> List.sort compare
+                in
+                let period = Assemble.Run.default_params.Assemble.Run.period in
+                Some
+                  (Chaos.Plan.make
+                     (List.mapi
+                        (fun j v ->
+                          {
+                            Chaos.Plan.at = period *. float_of_int (j + 1);
+                            event = Chaos.Plan.Crash v;
+                          })
+                        victims))
+          in
+          let obs = Spec.obs c in
+          with_jobs c (fun pool ->
+              let env = Spec.to_env ~obs ?pool c in
+              let params = { Assemble.Run.default_params with Assemble.Run.max_rounds } in
+              match
+                Assemble.Run.run ~env ?plan ~params ~certify ~construction ~n:c.n ~k:c.k ()
+              with
+              | exception Invalid_argument msg ->
+                  prerr_endline ("error: " ^ msg);
+                  1
+              | r ->
+                  (match c.metrics with
+                  | Some `Json -> print_string (Assemble.Run.to_json r)
+                  | Some `Text | None ->
+                      let open Assemble.Run in
+                      Printf.printf "assembled %s(n=%d, k=%d) seed %d\n"
+                        (construction_name r.construction) r.n r.k r.seed;
+                      Printf.printf "  converged:          %b\n" r.converged;
+                      Printf.printf "  verified:           %b\n" r.verified;
+                      Printf.printf "  matches target:     %b\n" r.matches_target;
+                      (match r.certified with
+                      | Some armed -> Printf.printf "  certified:          %b\n" armed
+                      | None -> ());
+                      Printf.printf "  rounds:             %d (gossip %d%s)\n" r.rounds
+                        r.gossip_rounds
+                        (if r.capped then ", CAPPED" else "");
+                      Printf.printf "  duration:           %.2f\n" r.duration;
+                      Printf.printf "  messages:           %d (push %d, reply %d, req %d, ack %d, nack %d)\n"
+                        r.messages r.pushes r.replies r.link_reqs r.link_acks r.link_nacks;
+                      Printf.printf "  freezes/unfreezes:  %d/%d\n" r.freezes r.unfreezes;
+                      Printf.printf "  deaths declared:    %d\n" r.deaths_declared;
+                      Printf.printf "  views interned:     %d\n" r.views_interned;
+                      Printf.printf "  final members:      %d (%d declared dead, %d crashed)\n"
+                        (Array.length r.final_members)
+                        (Array.length r.declared_dead)
+                        (Array.length r.retired));
+                  if r.Assemble.Run.converged && r.Assemble.Run.verified then 0 else 1))
+
+let assemble_cmd =
+  let crashes =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "crashes" ] ~docv:"F"
+          ~doc:"Crash $(docv) seed-chosen nodes mid-assembly, one gossip round apart.")
+  in
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:"Chaos plan to schedule on the substrate mid-assembly (overrides --crashes).")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rounds" ] ~docv:"R"
+          ~doc:"Abort backstop in gossip rounds (default: scaled with log n).")
+  in
+  let certify =
+    Arg.(
+      value
+      & flag
+      & info [ "certify" ]
+          ~doc:"Additionally rebuild an Overlay.Cert connectivity certificate over the realized \
+                overlay.")
+  in
+  Cmd.v
+    (Cmd.info "assemble"
+       ~doc:
+         "Self-assemble the overlay by gossip — no coordinator — and verify the realized \
+          topology; exit 0 iff converged and verified")
+    Term.(const assemble $ common_term $ crashes $ plan_file $ max_rounds $ certify)
 
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd; traffic_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd; traffic_cmd; assemble_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,140 @@
+module Prng = Graph_core.Prng
+module Env = Flood.Env
+
+type report = {
+  n : int;
+  faults : int;
+  victims : int list;
+  converged : bool;
+  verified : bool;
+  matches_target : bool;
+  capped : bool;
+  rounds : int;
+  gossip_rounds : int;
+  messages : int;
+  deaths_declared : int;
+  unfreezes : int;
+  duration : float;
+}
+
+type t = {
+  construction : Lhg_core.Build.construction;
+  k : int;
+  sweep : report list;
+  recovery : report list;
+  all_ok : bool;
+}
+
+type config = { cfg_n : int; cfg_faults : int }
+
+let run ~env ?params ~construction ~k ~sizes ~recovery_n ~max_faults () =
+  if sizes = [] then invalid_arg "Assemble.Audit.run: sizes must be non-empty";
+  if max_faults < 0 then invalid_arg "Assemble.Audit.run: max_faults < 0";
+  if max_faults > k - 1 then
+    invalid_arg "Assemble.Audit.run: max_faults must stay inside the k-1 boundary";
+  let sweep_cfgs = List.map (fun n -> { cfg_n = n; cfg_faults = 0 }) sizes in
+  let recovery_cfgs =
+    List.init (max_faults + 1) (fun f -> { cfg_n = recovery_n; cfg_faults = f })
+  in
+  let configs = Array.of_list (sweep_cfgs @ recovery_cfgs) in
+  let nconfigs = Array.length configs in
+  let period = (match params with Some p -> p | None -> Run.default_params).Run.period in
+  let seeds = Chaos.Audit.derive_seeds ~env nconfigs in
+  let one ~obs i =
+    let { cfg_n = n; cfg_faults = faults } = configs.(i) in
+    let seed = seeds.(i) in
+    (* victims come from the derived seed, never the run's own RNG, so
+       the fault set is fixed before any simulation runs *)
+    let victims =
+      if faults = 0 then []
+      else
+        Prng.sample_without_replacement (Prng.create ~seed) ~k:faults ~n |> List.sort compare
+    in
+    let plan =
+      if victims = [] then None
+      else
+        Some
+          (Chaos.Plan.make
+             (List.mapi
+                (* one crash per gossip round, starting once gossip is
+                   under way — the protocol mid-flight, not at rest *)
+                (fun j v -> { Chaos.Plan.at = period *. float_of_int (j + 1); event = Chaos.Plan.Crash v })
+                victims))
+    in
+    let run_env = { env with Env.seed = Some seed; obs; pool = None } in
+    let r = Run.run ~env:run_env ?plan ?params ~construction ~n ~k () in
+    {
+      n;
+      faults;
+      victims;
+      converged = r.Run.converged;
+      verified = r.Run.verified;
+      matches_target = r.Run.matches_target;
+      capped = r.Run.capped;
+      rounds = r.Run.rounds;
+      gossip_rounds = r.Run.gossip_rounds;
+      messages = r.Run.messages;
+      deaths_declared = r.Run.deaths_declared;
+      unfreezes = r.Run.unfreezes;
+      duration = r.Run.duration;
+    }
+  in
+  let observed = Obs.Registry.enabled env.Env.obs in
+  let reports = Array.make nconfigs None in
+  let store ~obs i = reports.(i) <- Some (one ~obs i) in
+  (match env.Env.pool with
+  | Some pool when Par.Pool.size pool > 1 && nconfigs > 1 ->
+      let registries =
+        Array.init nconfigs (fun _ -> if observed then Obs.Registry.create () else Obs.Registry.nil)
+      in
+      Par.Pool.parallel_for pool ~lo:0 ~hi:nconfigs (fun ~worker:_ i ->
+          store ~obs:registries.(i) i);
+      if observed then Array.iter (fun r -> Obs.Registry.merge env.Env.obs r) registries
+  | _ ->
+      let scratch = if observed then Obs.Registry.create () else Obs.Registry.nil in
+      Array.iteri
+        (fun i _ ->
+          store ~obs:scratch i;
+          if observed then begin
+            Obs.Registry.merge env.Env.obs scratch;
+            Obs.Registry.clear scratch
+          end)
+        configs);
+  let reports = Array.to_list reports |> List.filter_map Fun.id in
+  let nsweep = List.length sweep_cfgs in
+  let sweep = List.filteri (fun i _ -> i < nsweep) reports in
+  let recovery = List.filteri (fun i _ -> i >= nsweep) reports in
+  let all_ok = List.for_all (fun r -> r.converged && r.verified) reports in
+  { construction; k; sweep; recovery; all_ok }
+
+let report_json s r =
+  let module S = Obs.Stream in
+  S.int s "n" r.n;
+  S.int s "faults" r.faults;
+  S.ints s "victims" r.victims;
+  S.bool s "converged" r.converged;
+  S.bool s "verified" r.verified;
+  S.bool s "matches_target" r.matches_target;
+  S.bool s "capped" r.capped;
+  S.int s "rounds" r.rounds;
+  S.int s "gossip_rounds" r.gossip_rounds;
+  S.int s "messages" r.messages;
+  S.int s "deaths_declared" r.deaths_declared;
+  S.int s "unfreezes" r.unfreezes;
+  S.float s "duration" r.duration
+
+let to_json t =
+  let module S = Obs.Stream in
+  let s = S.create ~schema:Run.schema () in
+  S.str s "mode" "audit";
+  S.str s "construction" (Run.construction_name t.construction);
+  S.int s "k" t.k;
+  let table key rows =
+    S.arr s key (fun s -> List.iter (fun r -> S.element s (fun s -> report_json s r)) rows)
+  in
+  table "sweep" t.sweep;
+  table "recovery" t.recovery;
+  S.summary s (fun s ->
+      S.bool s "all_ok" t.all_ok;
+      S.int s "configs" (List.length t.sweep + List.length t.recovery));
+  S.contents s

@@ -1,0 +1,67 @@
+(** Convergence audit: how fast does self-assembly settle, and does it
+    survive construction-time faults — measured, not assumed.
+
+    Two experiment families in one sweep:
+
+    - {b Scaling} ([sizes]): crash-free assembly at each size. The
+      claim under test is the epidemic one — convergence rounds grow
+      like O(log n) while per-round traffic stays O(n) — so the bench
+      gate asserts [rounds ≤ c·log2 n] over this row set.
+    - {b Recovery} ([recovery_n], [max_faults]): fixed size, [f]
+      mid-assembly crashes for [f = 0..max_faults]. Victims are drawn
+      from the audit's derived per-config seed
+      ({!Chaos.Audit.derive_seeds} — the same pre-derivation that
+      makes {!Chaos.Audit} pool-invariant), crash times staggered one
+      gossip round apart, injected as a {!Chaos.Plan} through the same
+      [?plan] path the CLI exposes. For [f ≤ k−1] every run must end
+      [converged && verified].
+
+    Configs run under {!Par.Pool.parallel_for} when [env.pool] has
+    more than one domain, with per-config observability registries
+    merged in config order — byte-identical output at any [--jobs]
+    and either engine, like every other audit in the repo. *)
+
+type report = {
+  n : int;
+  faults : int;
+  victims : int list;  (** crash victims, ascending (empty when [faults = 0]) *)
+  converged : bool;
+  verified : bool;
+  matches_target : bool;
+  capped : bool;
+  rounds : int;
+  gossip_rounds : int;
+  messages : int;
+  deaths_declared : int;
+  unfreezes : int;
+  duration : float;
+}
+
+type t = {
+  construction : Lhg_core.Build.construction;
+  k : int;
+  sweep : report list;  (** one per size, crash-free, ascending [n] *)
+  recovery : report list;  (** fixed [n], faults 0..max_faults *)
+  all_ok : bool;  (** every config [converged && verified] *)
+}
+
+val run :
+  env:Flood.Env.t ->
+  ?params:Run.params ->
+  construction:Lhg_core.Build.construction ->
+  k:int ->
+  sizes:int list ->
+  recovery_n:int ->
+  max_faults:int ->
+  unit ->
+  t
+(** Run the full sweep. [max_faults] must be [≤ k - 1] — the audit
+    measures recovery inside the guarantee boundary, not beyond it.
+    @raise Invalid_argument on an empty [sizes], [max_faults < 0],
+    [max_faults > k - 1], or any size too small for the construction
+    (delegated to {!Run.run}). *)
+
+val to_json : t -> string
+(** [lhg-assemble/1] document, [mode = "audit"]: the scaling table,
+    the recovery table, and the [all_ok] verdict — byte-deterministic
+    across engines and pool sizes. *)

@@ -1,0 +1,74 @@
+(** Membership views: the join-semilattice the assembly protocol
+    gossips over.
+
+    A view is what one node currently believes about the group: the
+    [members] it has ever heard of and the subset it has declared
+    [dead]. Both sets only ever grow, and {!merge} is their pointwise
+    union — so views form a join-semilattice and any gossip exchange
+    moves both parties monotonically toward the same top element.
+    That is the whole convergence argument: no retraction, no
+    ordering assumptions, no coordinator.
+
+    The [live] members — [members] minus [dead] — are the electorate:
+    sorted ascending, their ranks are the slot assignment every node
+    computes identically from the same view ({!Run}), which is what
+    lets the deterministic kdiamond shape arithmetic replace a
+    leader. *)
+
+type t = private {
+  members : int array;  (** sorted ascending, no duplicates *)
+  dead : int array;  (** sorted ascending, a subset of [members] *)
+}
+
+val make : members:int list -> dead:int list -> t
+(** Normalise (sort, dedup, clip [dead] to [members]). *)
+
+val bootstrap : self:int -> contact:int -> t
+(** The view a node is born with: itself and one contact, nobody
+    dead. *)
+
+val merge : t -> t -> t
+(** Pointwise union — the lattice join. *)
+
+val add_dead : t -> int array -> t
+(** Declare members dead (ids not in [members] are ignored). *)
+
+val live : t -> int array
+(** [members] minus [dead], sorted ascending — the electorate. *)
+
+val equal : t -> t -> bool
+
+val key : t -> string
+(** Canonical byte string: equal views have equal keys (the interning
+    key of {!Pool}). *)
+
+val mem : int array -> int -> bool
+(** Binary-search membership in a sorted array. *)
+
+val rank : int array -> int -> int
+(** Binary-search rank in a sorted array; [-1] when absent. *)
+
+(** Interning table: one integer per distinct view, allocated in
+    first-seen order. Protocol messages carry these refs as their
+    payload word, so view equality is integer equality on the wire and
+    the whole run's message plane stays on {!Netsim}'s allocation-free
+    int path. Refs are execution-order deterministic, hence identical
+    across the Calendar and Heap engines. *)
+module Pool : sig
+  type view := t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> view -> int
+  (** The ref of this view, allocating on first sight. *)
+
+  val get : t -> int -> view
+
+  val size : t -> int
+
+  val merge_refs : t -> int -> int -> int
+  (** [merge_refs p a b]: ref of the join of two interned views ([a]
+      when they coincide). *)
+end

@@ -1,0 +1,53 @@
+module Csr = Graph_core.Csr
+
+type tag =
+  | Push
+  | Reply
+  | Link_req
+  | Link_ack
+  | Link_nack
+
+let substrate ~n =
+  if n < 2 then invalid_arg "Assemble.Wire.substrate: n must be >= 2";
+  let b = Csr.Builder.create ~n () in
+  (* lexicographic (u, v) with u < v fills every row in ascending
+     order, so the builder's finishing sort sees sorted input *)
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      Csr.Builder.count_edge b u v
+    done
+  done;
+  Csr.Builder.ready b;
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      Csr.Builder.add_edge b u v
+    done
+  done;
+  Csr.Builder.finish b
+
+let eidx ~n u v = (u * (n - 1)) + if v < u then v else v - 1
+
+let tag_bits = 3
+
+let to_int = function Push -> 0 | Reply -> 1 | Link_req -> 2 | Link_ack -> 3 | Link_nack -> 4
+
+let of_int = function
+  | 0 -> Push
+  | 1 -> Reply
+  | 2 -> Link_req
+  | 3 -> Link_ack
+  | 4 -> Link_nack
+  | t -> invalid_arg (Printf.sprintf "Assemble.Wire.unpack: unknown tag %d" t)
+
+let pack tag vref =
+  if vref < 0 then invalid_arg "Assemble.Wire.pack: negative view ref";
+  (vref lsl tag_bits) lor to_int tag
+
+let unpack payload = (of_int (payload land ((1 lsl tag_bits) - 1)), payload lsr tag_bits)
+
+let tag_name = function
+  | Push -> "push"
+  | Reply -> "reply"
+  | Link_req -> "link_req"
+  | Link_ack -> "link_ack"
+  | Link_nack -> "link_nack"

@@ -119,6 +119,10 @@ let matrix_of reports =
     by_weight []
   |> List.sort (fun a b -> compare a.faults b.faults)
 
+let derive_seeds ~env n =
+  let rng = Prng.create ~seed:(Env.seed_value env) in
+  Array.init n (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int)
+
 let run ~env ~graph ~k ~source ~plans =
   if k < 1 then invalid_arg "Audit.run: k < 1";
   let n = Graph.n graph in
@@ -137,8 +141,7 @@ let run ~env ~graph ~k ~source ~plans =
   let nplans = Array.length plans in
   (* per-plan seeds derive sequentially up front, so the sweep is
      bit-identical at any domain count *)
-  let rng = Prng.create ~seed:(Env.seed_value env) in
-  let seeds = Array.init nplans (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int) in
+  let seeds = derive_seeds ~env nplans in
   let observed = Obs.Registry.enabled env.Env.obs in
   let reports = Array.make nplans None in
   let one ~obs i =

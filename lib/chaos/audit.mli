@@ -87,6 +87,14 @@ val run :
     statically crashed, or any plan fails {!Plan.validate} (the error
     names the plan index). *)
 
+val derive_seeds : env:Flood.Env.t -> int -> int array
+(** The sweep's per-run seed schedule: [n] seeds drawn sequentially
+    from a {!Graph_core.Prng} over the env's base seed, before any
+    fan-out — the discipline that keeps every pool-parallel audit
+    (this one, {!Assemble.Audit}) bit-identical at any domain count.
+    Exposed so sibling audits derive identically shaped schedules
+    instead of re-inventing the pattern. *)
+
 val first_witness : t -> plan_report option
 (** The lowest-weight incomplete report (ties: first by index) — the
     sharpest demonstration the sweep found, typically a k-fault

@@ -79,6 +79,9 @@ type 'msg t = {
   mutable next_seq : int;
   rng : Prng.t;
   crashed : bool array;
+  was_crashed : bool array;
+      (** sticky: set by {!crash}, never cleared — the post-run record
+          of which nodes a fault plan ever took down *)
   failed_links : (int * int, unit) Hashtbl.t;
   mutable failed_count : int;  (** = Hashtbl.length failed_links, kept for the send fast path *)
   tracing : bool;  (** trace <> None — gates the per-slot seq bookkeeping *)
@@ -244,6 +247,7 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       next_seq = 0;
       rng = Sim.fork_rng sim;
       crashed = Array.make (Csr.n csr) false;
+      was_crashed = Array.make (Csr.n csr) false;
       failed_links = Hashtbl.create 16;
       failed_count = 0;
       tracing = trace <> None;
@@ -315,7 +319,8 @@ let is_crashed t v = t.crashed.(v)
 let crash t v =
   if v < 0 || v >= Csr.n t.csr then invalid_arg "Network.crash: vertex out of range";
   if not t.crashed.(v) then Obs.Registry.event t.obs Obs.Registry.Crash ~node:v ~info:0;
-  t.crashed.(v) <- true
+  t.crashed.(v) <- true;
+  t.was_crashed.(v) <- true
 
 let recover t v =
   if v < 0 || v >= Csr.n t.csr then invalid_arg "Network.recover: vertex out of range";
@@ -323,6 +328,8 @@ let recover t v =
   t.crashed.(v) <- false
 
 let alive_mask t = Array.map not t.crashed
+
+let ever_crashed t = Array.copy t.was_crashed
 
 let fail_link t u v =
   if not (Csr.mem_edge t.csr u v) then invalid_arg "Network.fail_link: no such edge";

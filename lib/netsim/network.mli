@@ -237,6 +237,12 @@ val is_crashed : 'msg t -> int -> bool
 val alive_mask : 'msg t -> bool array
 (** Snapshot: [true] per currently live vertex. *)
 
+val ever_crashed : 'msg t -> bool array
+(** Snapshot: [true] per vertex that was {!crash}ed at least once over
+    the run, whether or not it has since {!recover}ed — what lets a
+    protocol audit distinguish "participated throughout" from "came
+    back mid-run" without replaying the fault plan. *)
+
 val fail_link : 'msg t -> int -> int -> unit
 (** Fail the undirected link (both directions). Idempotent; the edge
     must exist in the topology. *)

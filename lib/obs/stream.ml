@@ -73,6 +73,19 @@ let bool t k v = raw t k (string_of_bool v)
 
 let null t k = raw t k "null"
 
+let ints t k vs =
+  (* compact one-line int array — member lists, victim sets, per-round
+     counters; the shape every stream used to hand-assemble via [raw] *)
+  let b = Buffer.create 32 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (string_of_int v))
+    vs;
+  Buffer.add_char b ']';
+  raw t k (Buffer.contents b)
+
 let obj t k f =
   key t k;
   open_level t "{";

@@ -37,6 +37,11 @@ val bool : t -> string -> bool -> unit
 
 val null : t -> string -> unit
 
+val ints : t -> string -> int list -> unit
+(** A compact one-line JSON array of ints ([[1, 2, 3]]) — the member
+    lists and victim sets that every stream used to hand-render through
+    {!raw}. *)
+
 val raw : t -> string -> string -> unit
 (** A pre-rendered JSON value (the escape hatch for lists of scalars
     and other shapes the typed writers don't cover). *)

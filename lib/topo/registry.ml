@@ -8,9 +8,20 @@ type entry = {
   admissible : n:int -> k:int -> bool;
   requirement : string;
   build : n:int -> k:int -> seed:int -> (Graph.t, string) result;
-  build_csr : (big:bool -> n:int -> k:int -> seed:int -> (Csr.t, string) result) option;
+  csr : big:bool -> n:int -> k:int -> seed:int -> (Csr.t, string) result;
+  direct_csr : bool;
   construction : Build.construction option;
 }
+
+(* the frozen form of [iter]'s edge set, never materialising an
+   adjacency-set graph — the direct path for families whose edges are
+   pure arithmetic *)
+let csr_of_edges ~big ~n iter =
+  let b = Csr.Builder.create ~big ~n () in
+  iter (Csr.Builder.count_edge b);
+  Csr.Builder.ready b;
+  iter (Csr.Builder.add_edge b);
+  Csr.Builder.finish b
 
 let lhg_entry name doc construction =
   {
@@ -24,27 +35,51 @@ let lhg_entry name doc construction =
         match Build.build construction ~n ~k with
         | Ok b -> Ok b.Build.graph
         | Error e -> Error (Build.error_to_string e));
-    build_csr =
-      Some
-        (fun ~big ~n ~k ~seed:_ ->
-          match Build.build_csr ~big construction ~n ~k with
-          | Ok csr -> Ok csr
-          | Error e -> Error (Build.error_to_string e));
+    csr =
+      (fun ~big ~n ~k ~seed:_ ->
+        match Build.build_csr ~big construction ~n ~k with
+        | Ok csr -> Ok csr
+        | Error e -> Error (Build.error_to_string e));
+    direct_csr = true;
     construction = Some construction;
   }
 
-let plain_entry name doc ~admissible ~requirement f =
-  {
-    name;
-    doc;
-    admissible;
-    requirement;
-    build =
-      (fun ~n ~k ~seed ->
-        if admissible ~n ~k then Ok (f ~n ~k ~seed) else Error requirement);
-    build_csr = None;
-    construction = None;
-  }
+(* [?edges] gives the family a direct CSR path; entries without one
+   freeze the built graph, so [csr] is total either way *)
+let plain_entry name doc ~admissible ~requirement ?edges f =
+  let build ~n ~k ~seed = if admissible ~n ~k then Ok (f ~n ~k ~seed) else Error requirement in
+  let csr =
+    match edges with
+    | Some iter ->
+        fun ~big ~n ~k ~seed:_ ->
+          if admissible ~n ~k then Ok (csr_of_edges ~big ~n (iter ~n ~k)) else Error requirement
+    | None -> fun ~big ~n ~k ~seed -> Result.map (Csr.of_graph ~big) (build ~n ~k ~seed)
+  in
+  { name; doc; admissible; requirement; build; csr; direct_csr = edges <> None; construction = None }
+
+let cycle_edges ~n ~k:_ emit =
+  for v = 0 to n - 1 do
+    emit v ((v + 1) mod n)
+  done
+
+let complete_edges ~n ~k:_ emit =
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      emit u v
+    done
+  done
+
+let hypercube_edges ~n ~k:_ emit =
+  let d = ref 0 in
+  while 1 lsl !d < n do
+    incr d
+  done;
+  for v = 0 to n - 1 do
+    for b = 0 to !d - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then emit v w
+    done
+  done
 
 let all =
   [
@@ -60,32 +95,35 @@ let all =
       (fun ~n ~k ~seed:_ -> Harary.make ~k ~n);
     plain_entry "hypercube" "k-dimensional hypercube (n = 2^k)"
       ~admissible:(fun ~n ~k -> Hypercube.admissible ~n ~k)
-      ~requirement:"hypercube needs n = 2^k"
+      ~requirement:"hypercube needs n = 2^k" ~edges:hypercube_edges
       (fun ~n:_ ~k ~seed:_ -> Hypercube.make ~dim:k);
     plain_entry "expander" "random k-regular expander"
       ~admissible:(fun ~n ~k -> k mod 2 = 0 && k >= 2 && n > k)
       ~requirement:"expander needs even k >= 2 and n > k"
       (fun ~n ~k ~seed -> Expander.random_regular (Graph_core.Prng.create ~seed) ~n ~degree:k);
-    {
-      name = "random_regular";
-      doc = "random k-regular graph (configuration model)";
-      admissible = (fun ~n ~k -> Random_regular.admissible ~n ~k);
-      requirement = "random_regular needs 2 <= k < n with n*k even";
-      build =
-        (fun ~n ~k ~seed ->
-          if Random_regular.admissible ~n ~k then
-            Random_regular.make (Graph_core.Prng.create ~seed) ~n ~k
-          else Error "random_regular needs 2 <= k < n with n*k even");
-      build_csr = None;
-      construction = None;
-    };
+    (let admissible ~n ~k = Random_regular.admissible ~n ~k in
+     let requirement = "random_regular needs 2 <= k < n with n*k even" in
+     let build ~n ~k ~seed =
+       if admissible ~n ~k then Random_regular.make (Graph_core.Prng.create ~seed) ~n ~k
+       else Error requirement
+     in
+     {
+       name = "random_regular";
+       doc = "random k-regular graph (configuration model)";
+       admissible;
+       requirement;
+       build;
+       csr = (fun ~big ~n ~k ~seed -> Result.map (Csr.of_graph ~big) (build ~n ~k ~seed));
+       direct_csr = false;
+       construction = None;
+     });
     plain_entry "cycle" "simple cycle (k ignored)"
       ~admissible:(fun ~n ~k:_ -> n >= 3)
-      ~requirement:"cycle needs n >= 3"
+      ~requirement:"cycle needs n >= 3" ~edges:cycle_edges
       (fun ~n ~k:_ ~seed:_ -> Graph_core.Generators.cycle n);
     plain_entry "complete" "complete graph (k ignored)"
       ~admissible:(fun ~n:_ ~k:_ -> true)
-      ~requirement:""
+      ~requirement:"" ~edges:complete_edges
       (fun ~n ~k:_ ~seed:_ -> Graph_core.Generators.complete n);
   ]
 
@@ -98,20 +136,14 @@ let names = List.map (fun e -> e.name) all
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
+let unknown kind =
+  Error (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
+
 let build_graph ~kind ~n ~k ~seed =
-  match find kind with
-  | None ->
-      Error
-        (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
-  | Some e -> e.build ~n ~k ~seed
+  match find kind with None -> unknown kind | Some e -> e.build ~n ~k ~seed
 
 let build_csr_graph ?(big = false) ~kind ~n ~k ~seed () =
-  match find kind with
-  | None ->
-      Error
-        (Printf.sprintf "unknown kind %S (expected one of: %s)" kind (String.concat ", " names))
-  | Some { build_csr = Some f; _ } -> f ~big ~n ~k ~seed
-  | Some e -> Result.map (Csr.of_graph ~big) (e.build ~n ~k ~seed)
+  match find kind with None -> unknown kind | Some e -> e.csr ~big ~n ~k ~seed
 
 let witness ~kind ~n ~k =
   match find kind with

@@ -14,12 +14,14 @@ type entry = {
   requirement : string;  (** human-readable admissibility rule *)
   build : n:int -> k:int -> seed:int -> (Graph_core.Graph.t, string) result;
       (** [seed] only matters for randomised families (expander). *)
-  build_csr :
-    (big:bool -> n:int -> k:int -> seed:int -> (Graph_core.Csr.t, string) result) option;
-      (** Direct-to-CSR builder ({!Lhg_core.Build.build_csr}) for
-          entries that can realise without an adjacency-set graph —
-          the LHG constructions. [None] means go through [build] and
-          freeze (what {!build_csr_graph} does for you). *)
+  csr : big:bool -> n:int -> k:int -> seed:int -> (Graph_core.Csr.t, string) result;
+      (** CSR builder — total on every entry. Families whose edges are
+          pure arithmetic (the LHG constructions, cycle, complete,
+          hypercube) realise straight into CSR; the rest go through
+          [build] and freeze. Callers never need to case-split again. *)
+  direct_csr : bool;
+      (** Whether [csr] avoids the adjacency-set intermediate — the
+          entries safe to take to off-heap scale ([~big:true]). *)
   construction : Lhg_core.Build.construction option;
       (** The LHG construction behind this entry, when there is one —
           gateway to witnesses, routes and shape inspection. *)
@@ -45,9 +47,8 @@ val build_csr_graph :
   seed:int ->
   unit ->
   (Graph_core.Csr.t, string) result
-(** Look up and build a CSR snapshot in one step: the entry's direct
-    [build_csr] when it has one, otherwise [build] followed by
-    [Csr.of_graph]. [~big] (default false) selects off-heap Bigarray
+(** Look up and build a CSR snapshot in one step via the entry's [csr]
+    field. [~big] (default false) selects off-heap Bigarray
     adjacency. *)
 
 val witness : kind:string -> n:int -> k:int -> Lhg_core.Build.t option

@@ -27,6 +27,7 @@ type result = {
   max_queue_backlog : int;
   hot_links : (int * int * int) list;
   tree_fallbacks : int;
+  tree_fallback_bursts : int;
   recovery_time : float;
 }
 
@@ -157,7 +158,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
     push d;
     match h_delay with Some h -> Obs.Registry.observe h d | None -> ()
   in
-  let fallbacks = ref 0 in
+  let fallbacks = ref 0 and fallback_bursts = ref 0 in
   (* Strategy dispatch: install the delivery handler and return the
      per-chunk injection sender. All three share the dedup table and
      delay accounting; only the forwarding rule differs. *)
@@ -193,6 +194,22 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
         let tree_of chunk =
           (chunk mod chunks) mod Tree_pack.count packs.(chunk / chunks)
         in
+        (* Escalation accounting. Every forward that escalates is a
+           burst, but the same dead edge escalates once per chunk
+           striped onto its tree — so [tree_fallbacks] dedups bursts by
+           (source, tree, node): the number of distinct escalation
+           points discovered, which is what the fault actually looks
+           like in the topology. *)
+        let maxtrees = Array.fold_left (fun a p -> max a (Tree_pack.count p)) 1 packs in
+        let esc_seen = Bytes.make (nsources * maxtrees * n) '\000' in
+        let note_escalation chunk node =
+          incr fallback_bursts;
+          let key = ((((chunk / chunks) * maxtrees) + tree_of chunk) * n) + node in
+          if Bytes.unsafe_get esc_seen key = '\000' then begin
+            Bytes.unsafe_set esc_seen key '\001';
+            incr fallbacks
+          end
+        in
         let mark idx bits b = Bytes.unsafe_set seen idx (Char.unsafe_chr (b lor bits)) in
         Network.set_int_receiver net (fun ~dst ~src payload ->
             let chunk = Flood.Trees.chunk_of payload in
@@ -218,7 +235,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
                   ~chunk
                 = 1
               then begin
-                incr fallbacks;
+                note_escalation chunk dst;
                 mark idx bit_flooded (Char.code (Bytes.unsafe_get seen idx))
               end
             end);
@@ -226,7 +243,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
           let pack = packs.(g / chunks) in
           if Flood.Trees.forward ~net ~pack ~tree:(tree_of g) ~node:src ~parent:(-1) ~chunk:g = 1
           then begin
-            incr fallbacks;
+            note_escalation g src;
             let idx = (g * n) + src in
             mark idx bit_flooded (Char.code (Bytes.unsafe_get seen idx))
           end
@@ -389,6 +406,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
     max_queue_backlog = Network.max_queue_backlog net;
     hot_links = Network.hottest_links net ~max:5;
     tree_fallbacks = !fallbacks;
+    tree_fallback_bursts = !fallback_bursts;
     recovery_time;
   }
 
@@ -442,5 +460,6 @@ let to_json ~topology ~n ~k ~seed r =
       S.float s "delivery_fraction" r.delivery_fraction;
       S.bool s "all_covered" r.all_covered;
       S.int s "tree_fallbacks" r.tree_fallbacks;
+      S.int s "tree_fallback_bursts" r.tree_fallback_bursts;
       S.float s "recovery_time" r.recovery_time);
   S.contents s

@@ -56,9 +56,18 @@ type result = {
           {!Netsim.Network.hottest_links} over the run; [[]] without a
           finite capacity *)
   tree_fallbacks : int;
-      (** [Trees] dissemination only: chunks escalated to flood mode at
-          some hop because a tree edge was dead (0 = every chunk rode
-          its tree clean; always 0 under [Flood]/[Gossip]) *)
+      (** [Trees] dissemination only: distinct escalation points — a
+          (source, tree, node) where forwarding fell back to scoped
+          flood because a tree edge was dead. Counted once no matter
+          how many chunks stripe over the broken tree, so it equals
+          the number of distinct fault sites the stream discovered
+          (0 = every chunk rode its tree clean; always 0 under
+          [Flood]/[Gossip]) *)
+  tree_fallback_bursts : int;
+      (** raw escalation events before deduplication: every forward
+          that fell back, once per chunk per hop. Grows with traffic
+          volume over a broken tree where {!tree_fallbacks} does not;
+          [bursts >= fallbacks] always *)
   recovery_time : float;
       (** with a plan: earliest full-coverage completion among chunks
           injected after the plan's last event, measured from its last

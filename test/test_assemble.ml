@@ -1,0 +1,151 @@
+(* Self-assembly: the distributed construction protocol of ISSUE 9.
+
+   The load-bearing properties: crash-free assembly converges to a
+   graph the independent verifier accepts and that matches the target
+   construction edge-for-edge; up to k - 1 mid-assembly crashes are
+   detected by timeout and survivors re-converge without a restart;
+   and the whole thing — including the parallel audit — is
+   byte-deterministic across engines and pool sizes. *)
+
+open Helpers
+module Run = Assemble.Run
+module Audit = Assemble.Audit
+module Env = Flood.Env
+module Build = Lhg_core.Build
+module Graph = Graph_core.Graph
+
+let assemble ?plan ?(seed = 1) ?(engine = Netsim.Sim.Calendar) ~n ~k () =
+  let env = Env.default |> Env.with_seed seed |> Env.with_engine engine in
+  Run.run ~env ?plan ~construction:Build.Kdiamond ~n ~k ()
+
+(* staggered crash plan: victim j dies one gossip round after victim
+   j - 1, all of them mid-assembly *)
+let crash_plan victims =
+  let period = Run.default_params.Run.period in
+  Chaos.Plan.make
+    (List.mapi
+       (fun j v -> { Chaos.Plan.at = period *. float_of_int (j + 1); event = Chaos.Plan.Crash v })
+       victims)
+
+let test_crash_free_converges () =
+  let r = assemble ~n:46 ~k:4 () in
+  check_bool "converged" true r.Run.converged;
+  check_bool "verified" true r.Run.verified;
+  check_bool "matches target" true r.Run.matches_target;
+  check_bool "not capped" true (not r.Run.capped);
+  check_int "nobody died" 0 r.Run.deaths_declared;
+  check_int "nobody retired" 0 (Array.length r.Run.retired);
+  check_int "all 46 are members" 46 (Array.length r.Run.final_members);
+  match r.Run.realized with
+  | None -> Alcotest.fail "converged run must expose the realized graph"
+  | Some g ->
+      check_int "realized on all nodes" 46 (Graph.n g);
+      check_bool "independent Verify.quick accepts" true (Lhg_core.Verify.quick g ~k:4)
+
+(* the qcheck property of the issue: any admissible size, any seed —
+   crash-free assembly ends in a Verify.quick-accepted graph *)
+let prop_crash_free_assembly =
+  qcheck ~count:15 "crash-free assembly converges to a verified LHG"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 8 80))
+    (fun (seed, n) ->
+      match Build.build Build.Kdiamond ~n ~k:3 with
+      | Error _ -> true (* inadmissible size: nothing to assemble *)
+      | Ok _ -> (
+          let r = assemble ~seed ~n ~k:3 () in
+          r.Run.converged && r.Run.verified && r.Run.matches_target
+          &&
+          match r.Run.realized with
+          | Some g -> Lhg_core.Verify.quick g ~k:3
+          | None -> false))
+
+(* k - 1 = 3 staggered mid-assembly crashes: timeouts declare the
+   silent nodes dead, the death set gossips, survivors re-elect slots
+   over the reduced electorate and still land on a valid LHG *)
+let test_reconverges_after_crashes () =
+  List.iter
+    (fun victims ->
+      let r = assemble ~plan:(crash_plan victims) ~n:46 ~k:4 () in
+      let tag = String.concat "," (List.map string_of_int victims) in
+      check_bool (tag ^ ": converged") true r.Run.converged;
+      check_bool (tag ^ ": verified") true r.Run.verified;
+      check_bool (tag ^ ": matches target") true r.Run.matches_target;
+      Alcotest.(check (list int))
+        (tag ^ ": retired = victims")
+        (List.sort compare victims)
+        (Array.to_list r.Run.retired |> List.sort compare);
+      check_int
+        (tag ^ ": survivors are the members")
+        (46 - List.length victims)
+        (Array.length r.Run.final_members);
+      check_bool (tag ^ ": deaths were declared") true (r.Run.deaths_declared > 0);
+      check_bool (tag ^ ": someone unfroze to repair") true (r.Run.unfreezes > 0))
+    [ [ 7 ]; [ 3; 30 ]; [ 3; 17; 30 ] ]
+
+(* determinism: the lhg-assemble/1 document is byte-identical across
+   engines, with and without chaos *)
+let test_engine_byte_identity () =
+  List.iter
+    (fun plan ->
+      let doc engine = Run.to_json (assemble ?plan ~engine ~n:46 ~k:4 ()) in
+      Alcotest.(check string)
+        "calendar = heap"
+        (doc Netsim.Sim.Calendar) (doc Netsim.Sim.Heap))
+    [ None; Some (crash_plan [ 3; 17; 30 ]) ]
+
+(* the audit fans configs out over the pool; output must not depend on
+   how many domains ran it *)
+let test_audit_pool_identity () =
+  let audit_doc pool =
+    let env = Env.default |> Env.with_seed 5 |> Env.with_pool pool in
+    Audit.to_json
+      (Audit.run ~env ~construction:Build.Kdiamond ~k:4 ~sizes:[ 10; 46 ] ~recovery_n:46
+         ~max_faults:3 ())
+  in
+  let sequential = audit_doc None in
+  List.iter
+    (fun domains ->
+      let pool = Par.Pool.create ~domains in
+      let doc =
+        Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> audit_doc (Some pool))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "1 domain = %d domains" domains)
+        sequential doc)
+    [ 2; 4 ]
+
+let test_audit_verdict () =
+  let env = Env.default |> Env.with_seed 5 in
+  let a =
+    Audit.run ~env ~construction:Build.Kdiamond ~k:4 ~sizes:[ 10; 46 ] ~recovery_n:46
+      ~max_faults:3 ()
+  in
+  check_bool "all configs ok" true a.Audit.all_ok;
+  check_int "one sweep row per size" 2 (List.length a.Audit.sweep);
+  check_int "recovery rows 0..max_faults" 4 (List.length a.Audit.recovery);
+  List.iter
+    (fun (r : Audit.report) ->
+      check_int ("recovery victims at f = " ^ string_of_int r.Audit.faults) r.Audit.faults
+        (List.length r.Audit.victims))
+    a.Audit.recovery
+
+let test_rejects_bad_arguments () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Assemble.run: n must be >= 2") (fun () ->
+      ignore (assemble ~n:1 ~k:4 ()));
+  Alcotest.check_raises "audit beyond the guarantee"
+    (Invalid_argument "Assemble.Audit.run: max_faults must stay inside the k-1 boundary")
+    (fun () ->
+      ignore
+        (Audit.run ~env:Env.default ~construction:Build.Kdiamond ~k:4 ~sizes:[ 10 ]
+           ~recovery_n:46 ~max_faults:4 ()))
+
+let suite =
+  [
+    Alcotest.test_case "crash-free: converged, verified, target" `Quick test_crash_free_converges;
+    prop_crash_free_assembly;
+    Alcotest.test_case "re-converges after <= k-1 crashes" `Quick test_reconverges_after_crashes;
+    Alcotest.test_case "engine byte-identity" `Quick test_engine_byte_identity;
+    Alcotest.test_case "audit: 1/2/4-domain byte-identity" `Quick test_audit_pool_identity;
+    Alcotest.test_case "audit verdict and shape" `Quick test_audit_verdict;
+    Alcotest.test_case "argument validation" `Quick test_rejects_bad_arguments;
+  ]

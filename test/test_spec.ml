@@ -1,0 +1,87 @@
+(* Flood.Spec: the one record every front end fills in. The contract
+   under test: validation errors keep the CLI's established wording,
+   the derived graph/CSR/construction agree with the registry they
+   front, and [with_pool] honours the jobs convention (0 = shared
+   default, 1 = sequential, N = fresh pool, negative = error). *)
+
+open Helpers
+module Spec = Flood.Spec
+module Env = Flood.Env
+module Graph = Graph_core.Graph
+module Csr = Graph_core.Csr
+
+let contains msg needle =
+  let nl = String.length needle and ml = String.length msg in
+  let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+  go 0
+
+let test_validate () =
+  (match Spec.validate Spec.default with
+  | Ok s -> check_bool "default validates to itself" true (s = Spec.default)
+  | Error e -> Alcotest.failf "default rejected: %s" e);
+  (match Spec.validate { Spec.default with Spec.topology = "moebius" } with
+  | Ok _ -> Alcotest.fail "unknown topology accepted"
+  | Error e ->
+      check_bool "names the kind" true (contains e "moebius");
+      check_bool "lists the catalogue" true (contains e "kdiamond"));
+  (match Spec.validate { Spec.default with Spec.jobs = -1 } with
+  | Ok _ -> Alcotest.fail "negative jobs accepted"
+  | Error e -> Alcotest.(check string) "jobs wording" "--jobs must be >= 0" e);
+  match Spec.validate { Spec.default with Spec.n = 3 } with
+  | Ok _ -> Alcotest.fail "inadmissible (n, k) accepted"
+  | Error e -> check_bool "requirement line is non-empty" true (String.length e > 0)
+
+(* graph and csr are two routes to the same topology *)
+let test_graph_csr_agree () =
+  List.iter
+    (fun topology ->
+      let spec = { Spec.default with Spec.topology; n = 16; k = 4 } in
+      match (Spec.graph spec, Spec.csr spec) with
+      | Ok g, Ok c ->
+          let csr_edges = ref [] in
+          Csr.iter_edges c (fun u v -> csr_edges := (u, v) :: !csr_edges);
+          Alcotest.(check (list (pair int int)))
+            (topology ^ ": graph edges = csr edges")
+            (sorted_edges g)
+            (List.sort compare !csr_edges)
+      | Error e, _ | _, Error e -> Alcotest.failf "%s: %s" topology e)
+    [ "kdiamond"; "hypercube"; "cycle"; "complete" ]
+
+let test_construction () =
+  (match Spec.construction Spec.default with
+  | Ok c -> check_bool "kdiamond is a construction" true (c = Lhg_core.Build.Kdiamond)
+  | Error e -> Alcotest.fail e);
+  match Spec.construction { Spec.default with Spec.topology = "cycle" } with
+  | Ok _ -> Alcotest.fail "cycle has no construction"
+  | Error e ->
+      check_bool "says so" true (contains e "not an LHG construction");
+      check_bool "lists witnessed entries" true (contains e "ktree")
+
+let test_with_pool () =
+  (match Spec.with_pool { Spec.default with Spec.jobs = 1 } (fun p -> p = None) with
+  | Ok b -> check_bool "jobs = 1 runs sequentially" true b
+  | Error e -> Alcotest.fail e);
+  (match Spec.with_pool { Spec.default with Spec.jobs = 2 } (fun p -> p <> None) with
+  | Ok b -> check_bool "jobs = 2 gets a pool" true b
+  | Error e -> Alcotest.fail e);
+  match Spec.with_pool { Spec.default with Spec.jobs = -3 } (fun _ -> ()) with
+  | Ok () -> Alcotest.fail "negative jobs ran"
+  | Error e -> Alcotest.(check string) "jobs wording" "--jobs must be >= 0" e
+
+let test_to_env () =
+  let spec = { Spec.default with Spec.seed = 99; engine = Netsim.Sim.Heap } in
+  let env = Spec.to_env spec in
+  check_int "seed lands in the env" 99 (Env.seed_value env);
+  check_bool "engine lands in the env" true (env.Env.engine = Some Netsim.Sim.Heap);
+  check_bool "no metrics, nil obs" true (not (Obs.Registry.enabled (Spec.obs spec)));
+  check_bool "metrics, live obs" true
+    (Obs.Registry.enabled (Spec.obs { spec with Spec.metrics = Some `Json }))
+
+let suite =
+  [
+    Alcotest.test_case "validate: wording and catalogue" `Quick test_validate;
+    Alcotest.test_case "graph and csr agree" `Quick test_graph_csr_agree;
+    Alcotest.test_case "construction lookup" `Quick test_construction;
+    Alcotest.test_case "with_pool jobs convention" `Quick test_with_pool;
+    Alcotest.test_case "to_env carries seed/engine/obs" `Quick test_to_env;
+  ]

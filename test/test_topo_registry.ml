@@ -115,6 +115,39 @@ let test_build_construction_dispatch () =
     (Invalid_argument "Build.ktree: n = 3 is too small: the smallest graph for this k has 6 nodes")
     (fun () -> ignore (Lhg_core.Build.build_exn Lhg_core.Build.Ktree ~n:3 ~k:3))
 
+(* the uniform [csr] field: every entry's direct CSR equals the
+   adjacency-set graph it fronts, whether or not the entry takes the
+   [direct_csr] shortcut past the intermediate Graph.t *)
+let test_csr_equals_build () =
+  List.iter
+    (fun e ->
+      let n, k =
+        match e.R.name with "hypercube" -> (16, 4) | "harary" -> (14, 4) | _ -> (14, 3)
+      in
+      if e.R.admissible ~n ~k then
+        match (e.R.build ~n ~k ~seed:7, e.R.csr ~big:false ~n ~k ~seed:7) with
+        | Ok g, Ok c ->
+            let csr_edges = ref [] in
+            Graph_core.Csr.iter_edges c (fun u v -> csr_edges := (u, v) :: !csr_edges);
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "%s: csr = build (direct_csr = %b)" e.R.name e.R.direct_csr)
+              (List.sort compare (Graph_core.Graph.edges g))
+              (List.sort compare !csr_edges)
+        | Error a, Error b ->
+            Alcotest.(check string) (e.R.name ^ ": same error both routes") a b
+        | Ok _, Error b -> Alcotest.failf "%s: graph built but csr failed: %s" e.R.name b
+        | Error a, Ok _ -> Alcotest.failf "%s: csr built but graph failed: %s" e.R.name a)
+    R.all
+
+let test_direct_csr_flags () =
+  (* the entries that bypass the Graph.t intermediate say so *)
+  List.iter
+    (fun (name, expected) ->
+      match R.find name with
+      | None -> Alcotest.failf "%s not registered" name
+      | Some e -> Alcotest.(check bool) (name ^ " direct_csr") expected e.R.direct_csr)
+    [ ("cycle", true); ("complete", true); ("hypercube", true); ("kdiamond", true); ("expander", false) ]
+
 let suite =
   [
     Alcotest.test_case "names unique and complete" `Quick test_names_unique_and_complete;

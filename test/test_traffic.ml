@@ -282,6 +282,32 @@ let test_hot_links_reported () =
   in
   check_bool "no capacity -> no hot links" true (free.Driver.hot_links = [])
 
+(* Escalation accounting after the dedup fix: [tree_fallbacks] counts
+   distinct (source, tree, node) escalation points while
+   [tree_fallback_bursts] keeps the old per-forward tally — the value
+   the field used to report, which inflates with every chunk striped
+   over the same broken tree. Both are pinned on a fixed two-crash
+   scenario so a regression in either direction is loud: 356 raw
+   bursts collapse to 14 distinct fault sites. *)
+let test_fallback_dedup_pin () =
+  let graph = (Lhg_core.Build.kdiamond_exn ~n:46 ~k:4).Lhg_core.Build.graph in
+  let workload =
+    Workload.default |> Workload.with_dissemination Workload.Trees
+    |> Workload.with_source_count 4 |> Workload.with_chunks_per_source 64
+  in
+  let plan =
+    Chaos.Plan.make
+      [
+        { Chaos.Plan.at = 100.0; event = Chaos.Plan.Crash 7 };
+        { Chaos.Plan.at = 140.0; event = Chaos.Plan.Crash 12 };
+      ]
+  in
+  let r = Driver.run_env ~env:(Env.make ~seed:1 ()) ~plan ~graph ~workload () in
+  check_int "distinct escalation points (deduped)" 14 r.Driver.tree_fallbacks;
+  check_int "raw escalation bursts (the old, inflated count)" 356 r.Driver.tree_fallback_bursts;
+  check_bool "dedup only shrinks" true
+    (r.Driver.tree_fallback_bursts >= r.Driver.tree_fallbacks)
+
 let suite =
   [
     prop_fifo_no_reorder;
@@ -292,6 +318,7 @@ let suite =
       test_trees_dissemination_costs;
     Alcotest.test_case "trees + link chaos: fallback, still covered" `Quick
       test_trees_chaos_fallback;
+    Alcotest.test_case "fallback accounting: bursts vs deduped" `Quick test_fallback_dedup_pin;
     Alcotest.test_case "hot links reported" `Quick test_hot_links_reported;
     Alcotest.test_case "block never sheds" `Quick test_block_never_sheds;
     Alcotest.test_case "free run = repeated flooding" `Quick test_free_run_matches_flood_costs;
