@@ -1,7 +1,7 @@
-(* B9 → PR 9: machine-readable benchmark, now with the self-assembly
-   convergence audit riding along.
+(* B10 → PR 10: machine-readable benchmark, now with the
+   churn-under-load scenario riding along.
 
-   Writes BENCH_PR9.json — op name → ns/run for the established op set
+   Writes BENCH_PR10.json — op name → ns/run for the established op set
    (names kept identical so the committed BENCH_PR8.json baseline stays
    comparable), plus 1/2/4/8-domain scaling curves for the four
    parallelised read paths, a chaos section, a controller section, the
@@ -12,7 +12,12 @@
    matched degree (the Kim–Srikant comparison) plus the new
    dissemination-gap table (flood vs tree-striped vs gossip on a
    congestion-dominated workload, with a mid-stream ≤ k−1 link-chaos
-   run and engine/jobs byte-identity over the trees path) — a
+   run and engine/jobs byte-identity over the trees path), the
+   churn-under-load scenario (a 200-step controller trace committed
+   mid-stream under a million-message trees stream: delivery >= 0.99,
+   patch-only re-striping on repair epochs, finite recovery, the 0.85x
+   congested p95 bound held while both strategies reconfigure, and
+   lhg-scenario/1 byte-identity across engines and pool sizes) — a
    million-message sustained stream on the n=2^17+2 kdiamond CSR,
    wall-clocked against a 10-second budget, and the assemble section:
    the distributed-construction convergence audit (rounds vs n with
@@ -115,7 +120,7 @@ let scale_family ?min_reps name (f : pool:Pool.t option -> unit) =
   (name, curve)
 
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR9.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR10.json" in
   print_endline
     "=== B8  JSON benchmark: tree-striped dissemination + sustained traffic + million-node smoke ===";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
@@ -515,7 +520,7 @@ let () =
     traffic_rows;
   (* the whole queued-stream document must not depend on the engine *)
   let traffic_doc engine =
-    Traffic.Driver.to_json ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
+    Scenario.report_traffic ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
       (traffic_run ~engine c1k)
   in
   let traffic_engines_identical =
@@ -623,7 +628,7 @@ let () =
   (* the trees document must be byte-identical across engines and pool
      sizes (the pool only parallelises tree packing) *)
   let gap_doc ?pool engine =
-    Traffic.Driver.to_json ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
+    Scenario.report_traffic ~topology:"kdiamond" ~n:1026 ~k:4 ~seed:traffic_seed
       (gap_run ?pool ~engine c1k Traffic.Workload.Trees)
   in
   let gap_doc_cal = gap_doc Netsim.Sim.Calendar in
@@ -640,6 +645,134 @@ let () =
     gap_deterministic;
   if not gap_deterministic then
     failwith "trees lhg-traffic/1 differs across engines or pool sizes";
+
+  (* ------------------------------------------------------------------
+     Churn under load (PR 10). The scenario pipeline end to end: a
+     200-step controller trace (batched into epochs) pre-played and
+     lowered onto the same congestion-dominated stream the gap table
+     uses — leavers crash, joiners recover, rewired links flip, tree
+     packs re-stripe in place, and band-0 control notices announce
+     each commit past the data backlog. The headline: a million-message
+     trees stream holds >= 0.99 delivery across the whole trace with
+     every repair-strategy epoch re-striped by patch alone (full
+     re-packs only on rebuild epochs), recovery after the last epoch is
+     finite, and congested trees-vs-flood p95 keeps the 0.85x gap
+     bound while both reconfigure. *)
+  print_endline "--- churn under load ---";
+  let churn_steps = 200 and churn_batch = 8 in
+  let churn_scenario ?(engine = Netsim.Sim.Calendar) ~chunks ~interval dissemination =
+    let workload =
+      Traffic.Workload.default
+      |> Traffic.Workload.with_source_count 4
+      |> Traffic.Workload.with_chunks_per_source chunks
+      |> Traffic.Workload.with_rate 0.7
+      |> Traffic.Workload.with_dissemination dissemination
+    in
+    {
+      Scenario.spec =
+        {
+          Scenario.Spec.default with
+          Scenario.Spec.topology = "kdiamond";
+          n = 1026;
+          k = 4;
+          seed = traffic_seed;
+          engine;
+        };
+      traffic =
+        {
+          Scenario.default_traffic with
+          Scenario.workload;
+          capacity = Some traffic_capacity;
+          queue_policy = Some Netsim.Network.Block;
+          bands = 2;
+          min_delivery = 0.99;
+        };
+      controller =
+        { Scenario.default_controller with Scenario.steps = churn_steps; batch = churn_batch };
+      epoch_interval = interval;
+    }
+  in
+  let churn_run ?pool t =
+    match Scenario.run ?pool t with Ok o -> o | Error e -> failwith ("churn scenario: " ^ e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let churn_mil = churn_run (churn_scenario ~chunks:250 ~interval:12.0 Traffic.Workload.Trees) in
+  let churn_mil_s = Unix.gettimeofday () -. t0 in
+  let churn_r = churn_mil.Scenario.result in
+  let churn_epochs = List.length churn_mil.Scenario.epochs in
+  let churn_rebuilds =
+    List.length
+      (List.filter
+         (fun (e : Overlay.Controller.epoch) ->
+           e.Overlay.Controller.strategy = Overlay.Controller.Rebuild)
+         churn_mil.Scenario.epochs)
+  in
+  let churn_patch_only =
+    (* 4 sources => 4 packs re-packed per rebuild epoch, none on repair epochs *)
+    churn_r.Traffic.Driver.restripe_repacked = 4 * churn_rebuilds
+  in
+  Printf.printf
+    "churn million: %d wire msgs, %d/%d epochs applied (%d rebuilds), delivery=%.4f p95=%.2f \
+     recovery=%.2f patched=%d repacked=%d ctrl_msgs=%d (%.2fs)\n\
+     %!"
+    churn_r.Traffic.Driver.wire_messages churn_r.Traffic.Driver.epochs_applied churn_epochs
+    churn_rebuilds churn_r.Traffic.Driver.delivery_fraction churn_r.Traffic.Driver.p95_delay
+    churn_r.Traffic.Driver.recovery_time churn_r.Traffic.Driver.restripe_patched
+    churn_r.Traffic.Driver.restripe_repacked churn_r.Traffic.Driver.control_messages churn_mil_s;
+  if churn_r.Traffic.Driver.wire_messages < 1_000_000 then
+    failwith "churn stream fell short of a million messages";
+  if churn_r.Traffic.Driver.epochs_applied <> churn_epochs then
+    failwith "churn stream drained before every epoch applied";
+  if not churn_mil.Scenario.all_verified then failwith "a churn epoch failed verification";
+  if churn_r.Traffic.Driver.delivery_fraction < 0.99 then
+    failwith "delivery under churn fell below 0.99";
+  if not churn_patch_only then failwith "a repair-strategy epoch fell back to a full re-pack";
+  if churn_r.Traffic.Driver.recovery_time < 0.0 then
+    failwith "churn stream never ran clean after the last degrading epoch";
+  if churn_r.Traffic.Driver.control_messages = 0 then
+    failwith "no band-0 control notices under churn";
+  (* the congested comparison, both strategies reconfiguring: the gap
+     workload with epochs every 5 time units through the whole stream *)
+  let churn_trees = churn_run (churn_scenario ~chunks:96 ~interval:5.0 Traffic.Workload.Trees) in
+  let churn_flood = churn_run (churn_scenario ~chunks:96 ~interval:5.0 Traffic.Workload.Flood) in
+  let churn_trees_p95 = churn_trees.Scenario.result.Traffic.Driver.p95_delay in
+  let churn_flood_p95 = churn_flood.Scenario.result.Traffic.Driver.p95_delay in
+  let churn_p95_ratio = churn_trees_p95 /. churn_flood_p95 in
+  (* vs the frozen-membership PR-8 baseline rows measured above *)
+  let churn_vs_frozen_trees = churn_trees_p95 /. p95 "lhg_trees" in
+  Printf.printf
+    "churn gap: trees p95=%.2f flood p95=%.2f ratio=%.3f (vs frozen trees %.3fx), \
+     delivery trees=%.4f flood=%.4f\n\
+     %!"
+    churn_trees_p95 churn_flood_p95 churn_p95_ratio churn_vs_frozen_trees
+    churn_trees.Scenario.result.Traffic.Driver.delivery_fraction
+    churn_flood.Scenario.result.Traffic.Driver.delivery_fraction;
+  if churn_p95_ratio > 0.85 then
+    failwith "tree striping lost the 0.85x congested p95 bound under churn";
+  (* the lhg-scenario/1 document must not depend on the engine or pool *)
+  let churn_doc_of t o = Scenario.report t o in
+  let churn_doc_cal =
+    churn_doc_of (churn_scenario ~chunks:96 ~interval:5.0 Traffic.Workload.Trees) churn_trees
+  in
+  let churn_doc_heap =
+    let t = churn_scenario ~engine:Netsim.Sim.Heap ~chunks:96 ~interval:5.0 Traffic.Workload.Trees in
+    churn_doc_of t (churn_run t)
+  in
+  let churn_doc_d4 =
+    let p = Pool.create ~domains:4 in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () ->
+        let t = churn_scenario ~chunks:96 ~interval:5.0 Traffic.Workload.Trees in
+        churn_doc_of t (churn_run ~pool:p t))
+  in
+  let churn_deterministic =
+    String.equal churn_doc_cal churn_doc_heap && String.equal churn_doc_cal churn_doc_d4
+  in
+  Printf.printf "churn lhg-scenario/1 identical across engines and jobs: %b\n%!"
+    churn_deterministic;
+  if not churn_deterministic then
+    failwith "lhg-scenario/1 differs across engines or pool sizes";
 
   (* million-message stream: free-running (no capacity) so the number
      measures raw sustained flooding throughput, one timed shot *)
@@ -974,6 +1107,63 @@ let () =
   Buffer.add_string buf
     (Printf.sprintf "        \"recovery_time\": %.3f\n" gap_chaos.Traffic.Driver.recovery_time);
   Buffer.add_string buf "      }\n";
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf "    \"churn_under_load\": {\n";
+  Buffer.add_string buf "      \"topology\": \"kdiamond\",\n";
+  Buffer.add_string buf "      \"n\": 1026,\n";
+  Buffer.add_string buf "      \"k\": 4,\n";
+  Buffer.add_string buf (Printf.sprintf "      \"controller_steps\": %d,\n" churn_steps);
+  Buffer.add_string buf (Printf.sprintf "      \"batch\": %d,\n" churn_batch);
+  Buffer.add_string buf (Printf.sprintf "      \"epochs\": %d,\n" churn_epochs);
+  Buffer.add_string buf (Printf.sprintf "      \"rebuild_epochs\": %d,\n" churn_rebuilds);
+  Buffer.add_string buf "      \"bands\": 2,\n";
+  Buffer.add_string buf "      \"million_stream\": {\n";
+  Buffer.add_string buf "        \"sources\": 4,\n";
+  Buffer.add_string buf "        \"chunks_per_source\": 250,\n";
+  Buffer.add_string buf "        \"epoch_interval\": 12.0,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "        \"wire_messages\": %d,\n" churn_r.Traffic.Driver.wire_messages);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"epochs_applied\": %d,\n" churn_r.Traffic.Driver.epochs_applied);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"all_verified\": %b,\n" churn_mil.Scenario.all_verified);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"delivery_fraction\": %.6f,\n"
+       churn_r.Traffic.Driver.delivery_fraction);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"p95_delay\": %.3f,\n" churn_r.Traffic.Driver.p95_delay);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"recovery_time\": %.3f,\n" churn_r.Traffic.Driver.recovery_time);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"restripe_patched\": %d,\n" churn_r.Traffic.Driver.restripe_patched);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"restripe_repacked\": %d,\n"
+       churn_r.Traffic.Driver.restripe_repacked);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"control_messages\": %d,\n"
+       churn_r.Traffic.Driver.control_messages);
+  Buffer.add_string buf (Printf.sprintf "        \"wall_seconds\": %.3f\n" churn_mil_s);
+  Buffer.add_string buf "      },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      \"repair_epochs_patch_only\": %b,\n" churn_patch_only);
+  Buffer.add_string buf "      \"congested\": {\n";
+  Buffer.add_string buf "        \"chunks_per_source\": 96,\n";
+  Buffer.add_string buf "        \"epoch_interval\": 5.0,\n";
+  Buffer.add_string buf (Printf.sprintf "        \"trees_p95\": %.3f,\n" churn_trees_p95);
+  Buffer.add_string buf (Printf.sprintf "        \"flood_p95\": %.3f,\n" churn_flood_p95);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"trees_p95_over_flood_p95\": %.4f,\n" churn_p95_ratio);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"trees_p95_over_frozen_trees_p95\": %.4f,\n" churn_vs_frozen_trees);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"trees_delivery_fraction\": %.6f,\n"
+       churn_trees.Scenario.result.Traffic.Driver.delivery_fraction);
+  Buffer.add_string buf
+    (Printf.sprintf "        \"flood_delivery_fraction\": %.6f\n"
+       churn_flood.Scenario.result.Traffic.Driver.delivery_fraction);
+  Buffer.add_string buf "      },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "      \"deterministic_across_engines_and_jobs\": %b\n" churn_deterministic);
   Buffer.add_string buf "    },\n";
   Buffer.add_string buf "    \"million_message_stream\": {\n";
   Buffer.add_string buf (Printf.sprintf "      \"n\": %d,\n" nbig);

@@ -10,18 +10,22 @@
      diameter  diameter comparison across topologies for one n, k
      traffic   sustained multi-source streams over capacity-limited links
      assemble  distributed self-assembly of the overlay, no coordinator
+     scenario  stream while the controller reconfigures, on one clock
 
    All topology dispatch goes through Topo.Registry — adding a family
    there makes it available to every subcommand at once.
 
-   The common flags live in one Flood.Spec.t record — topology, nodes,
-   degree, seed, jobs, engine, metrics — built once by common_term with
-   cmdliner's uniform prefix matching and consumed by the Spec helpers
-   (graph/csr/construction/to_env/with_pool), so subcommands differ
-   only in the protocol they run. *)
+   The common flags live in one Scenario.Spec.t record — topology,
+   nodes, degree, seed, jobs, engine, metrics — built once by
+   common_term with cmdliner's uniform prefix matching and consumed by
+   the Spec helpers (graph/csr/construction/to_env/with_pool). The
+   chaos, controller and traffic flag groups are likewise decoded once
+   each, into the Scenario sub-records, so the standalone subcommands
+   and the composite scenario subcommand share one source of truth per
+   group instead of three copies of the decode. *)
 
 open Cmdliner
-module Spec = Flood.Spec
+module Spec = Scenario.Spec
 
 let kinds = Topo.Registry.names
 
@@ -367,14 +371,15 @@ let resolve_source ~requested ~avoid ~n =
     let rec first v = if v >= n then 0 else if in_avoid.(v) then first (v + 1) else v in
     first 0
 
-let chaos (c : common) adversary plan_file source max_faults plans_per_level =
+let chaos (c : common) (a : Scenario.chaos_audit) =
   with_graph c (fun g ->
       let n = Graph_core.Graph.n g in
-      let max_faults = match max_faults with Some f -> f | None -> c.k in
+      let plan_file = a.Scenario.audit_plan_file in
+      let max_faults = match a.Scenario.max_faults with Some f -> f | None -> c.k in
       match
         match plan_file with
         | Some path -> Result.map (fun p -> `File p) (Chaos.Plan.of_file path)
-        | None -> Result.map (fun a -> `Sweep a) (Chaos.Gen.of_string adversary)
+        | None -> Result.map (fun adv -> `Sweep adv) (Chaos.Gen.of_string a.Scenario.adversary)
       with
       | Error e ->
           prerr_endline ("error: " ^ e);
@@ -390,14 +395,15 @@ let chaos (c : common) adversary plan_file source max_faults plans_per_level =
                 List.concat_map (fun (u, v) -> [ u; v ]) (Graph_core.Connectivity.min_edge_cut g)
             | `Sweep _ -> []
           in
-          let source = resolve_source ~requested:source ~avoid ~n in
+          let source = resolve_source ~requested:a.Scenario.source ~avoid ~n in
           let adversary_name, plans =
             match plan_src with
             | `File p -> (Printf.sprintf "plan file %s" (Option.get plan_file), [ p ])
             | `Sweep adv ->
                 let rng = Graph_core.Prng.create ~seed:c.seed in
                 ( Chaos.Gen.to_string adv,
-                  Chaos.Gen.sweep ~plans_per_level ~rng ~graph:g ~source ~max_faults adv )
+                  Chaos.Gen.sweep ~plans_per_level:a.Scenario.plans_per_level ~rng ~graph:g
+                    ~source ~max_faults adv )
           in
           with_jobs c (fun pool ->
               let env = Spec.to_env ?pool c in
@@ -412,7 +418,8 @@ let chaos (c : common) adversary plan_file source max_faults plans_per_level =
                   | Some `Text | None -> chaos_text c ~adversary_name ~nplans report);
                   if report.Chaos.Audit.boundary_ok then 0 else 1)))
 
-let chaos_cmd =
+(* the chaos flag group, decoded once into Scenario.chaos_audit *)
+let chaos_term =
   let adversary =
     let doc =
       "Plan generator: $(b,min-cut) (crash minimum vertex cuts), $(b,min-edge-cut), \
@@ -451,11 +458,16 @@ let chaos_cmd =
       & opt int 3
       & info [ "plans-per-level" ] ~docv:"P" ~doc:"Plans generated per fault budget (default 3).")
   in
+  let make adversary audit_plan_file source max_faults plans_per_level =
+    { Scenario.adversary; audit_plan_file; source; max_faults; plans_per_level }
+  in
+  Term.(const make $ adversary $ plan_file $ source $ max_faults $ plans_per_level)
+
+let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Audit flooding against adversarial fault plans and report the k-1 guarantee boundary")
-    Term.(
-      const chaos $ common_term $ adversary $ plan_file $ source $ max_faults $ plans_per_level)
+    Term.(const chaos $ common_term $ chaos_term)
 
 (* metrics *)
 
@@ -729,30 +741,22 @@ let grow_cmd =
 
 (* controller *)
 
-let controller_family kind =
-  match kind with
-  | "ktree" -> Some Overlay.Membership.Ktree
-  | "kdiamond" -> Some Overlay.Membership.Kdiamond
-  | "jd" -> Some Overlay.Membership.Jd
-  | "harary" -> Some Overlay.Membership.Harary_classic
-  | _ -> None
-
-let controller (c : common) steps trace_file batch join_probability chaos_adversary plans_per_level
-    max_faults full_verify =
-  match controller_family c.topology with
+let controller (c : common) (cc : Scenario.controller) =
+  match Scenario.family_of_topology c.topology with
   | None ->
       prerr_endline "error: controller supports kinds ktree, kdiamond, jd, harary";
       1
   | Some family -> (
       let chaos =
-        match chaos_adversary with
+        match cc.Scenario.chaos_adversary with
         | None -> Ok None
         | Some name -> (
             match Chaos.Gen.of_string name with
             | Ok adv ->
                 Ok
                   (Some
-                     (Overlay.Controller.chaos ~plans_per_level ?max_faults ~seed:c.seed adv))
+                     (Overlay.Controller.chaos ~plans_per_level:cc.Scenario.chaos_plans_per_level
+                        ?max_faults:cc.Scenario.chaos_max_faults ~seed:c.seed adv))
             | Error e -> Error e)
       in
       match chaos with
@@ -761,7 +765,7 @@ let controller (c : common) steps trace_file batch join_probability chaos_advers
           1
       | Ok chaos -> (
           let trace =
-            match trace_file with
+            match cc.Scenario.trace_file with
             | Some path -> (
                 match In_channel.with_open_text path In_channel.input_all with
                 | text -> (
@@ -771,8 +775,9 @@ let controller (c : common) steps trace_file batch join_probability chaos_advers
                 | exception Sys_error msg -> Error msg)
             | None ->
                 Ok
-                  (Overlay.Controller.random_trace ~seed:c.seed ?join_probability ~family
-                     ~k:c.k ~n0:c.n ~steps ())
+                  (Overlay.Controller.random_trace ~seed:c.seed
+                     ?join_probability:cc.Scenario.join_probability ~family ~k:c.k ~n0:c.n
+                     ~steps:cc.Scenario.steps ())
           in
           match trace with
           | Error e ->
@@ -781,7 +786,8 @@ let controller (c : common) steps trace_file batch join_probability chaos_advers
           | Ok trace ->
               with_jobs c (fun pool ->
                   let verify =
-                    if full_verify then Overlay.Controller.Full else Overlay.Controller.Cached
+                    if cc.Scenario.full_verify then Overlay.Controller.Full
+                    else Overlay.Controller.Cached
                   in
                   match
                     Overlay.Controller.create ?pool ~verify ?chaos ~family ~k:c.k ~n:c.n ()
@@ -790,7 +796,7 @@ let controller (c : common) steps trace_file batch join_probability chaos_advers
                       prerr_endline ("error: " ^ Overlay.Error.to_string e);
                       1
                   | Ok t -> (
-                      match Overlay.Controller.run ~batch t trace with
+                      match Overlay.Controller.run ~batch:cc.Scenario.batch t trace with
                       | Error e ->
                           prerr_endline ("error: " ^ Overlay.Error.to_string e);
                           1
@@ -817,7 +823,8 @@ let controller (c : common) steps trace_file batch join_probability chaos_advers
                                  else "VERIFICATION OR BOUNDARY FAILURE"));
                           if ok then 0 else 1))))
 
-let controller_cmd =
+(* the controller flag group, decoded once into Scenario.controller *)
+let controller_term =
   let steps =
     Arg.(
       value
@@ -874,29 +881,37 @@ let controller_cmd =
             "Run the full verifier every epoch instead of the certificate cache (the \
              baseline the cache is benchmarked against).")
   in
+  let make steps trace_file batch join_probability chaos_adversary chaos_plans_per_level
+      chaos_max_faults full_verify =
+    {
+      Scenario.steps;
+      trace_file;
+      batch;
+      join_probability;
+      chaos_adversary;
+      chaos_plans_per_level;
+      chaos_max_faults;
+      full_verify;
+    }
+  in
+  Term.(
+    const make $ steps $ trace_file $ batch $ join_probability $ chaos_adversary
+    $ plans_per_level $ max_faults $ full_verify)
+
+let controller_cmd =
   Cmd.v
     (Cmd.info "controller"
        ~doc:
          "Run the epoch-based reconfiguration controller over a request trace, emitting \
           lhg-reconfig/1 epoch diffs")
-    Term.(
-      const controller $ common_term $ steps $ trace_file $ batch $ join_probability
-      $ chaos_adversary $ plans_per_level $ max_faults $ full_verify)
+    Term.(const controller $ common_term $ controller_term)
 
 (* traffic *)
 
-let traffic (c : common) sources chunks rate arrival dissemination capacity queue_cap queue_policy
-    plan_file min_delivery max_p95 =
-  let workload =
-    Traffic.Workload.default
-    |> Traffic.Workload.with_source_count sources
-    |> Traffic.Workload.with_chunks_per_source chunks
-    |> Traffic.Workload.with_rate rate
-    |> Traffic.Workload.with_arrival arrival
-    |> Traffic.Workload.with_dissemination dissemination
-  in
+let traffic (c : common) (tc : Scenario.traffic) =
+  let workload = tc.Scenario.workload in
   match
-    match plan_file with
+    match tc.Scenario.plan_file with
     | None -> Ok None
     | Some path -> Result.map Option.some (Chaos.Plan.of_file path)
   with
@@ -912,16 +927,18 @@ let traffic (c : common) sources chunks rate arrival dissemination capacity queu
           | Ok () -> (
               let env =
                 Spec.to_env c
-                |> (match capacity with
+                |> (match tc.Scenario.capacity with
                    | Some r -> Flood.Env.with_link_capacity r
                    | None -> Fun.id)
-                |> (match queue_cap with
+                |> (match tc.Scenario.queue_cap with
                    | Some q -> Flood.Env.with_queue_cap q
                    | None -> Fun.id)
+                |> (match tc.Scenario.queue_policy with
+                   | Some p -> Flood.Env.with_queue_policy p
+                   | None -> Fun.id)
                 |>
-                match queue_policy with
-                | Some p -> Flood.Env.with_queue_policy p
-                | None -> Fun.id
+                if tc.Scenario.bands > 1 then Flood.Env.with_bands tc.Scenario.bands
+                else Fun.id
               in
               (* the driver is single-simulator; --jobs is accepted for
                  CLI uniformity and must not change a byte *)
@@ -932,13 +949,13 @@ let traffic (c : common) sources chunks rate arrival dissemination capacity queu
                       1
                   | r ->
                       let slo_ok =
-                        r.Traffic.Driver.delivery_fraction +. 1e-9 >= min_delivery
-                        && r.Traffic.Driver.p95_delay <= max_p95
+                        r.Traffic.Driver.delivery_fraction +. 1e-9 >= tc.Scenario.min_delivery
+                        && r.Traffic.Driver.p95_delay <= tc.Scenario.max_p95
                       in
                       (match c.metrics with
                       | Some `Json ->
                           print_string
-                            (Traffic.Driver.to_json ~topology:c.topology ~n:c.n ~k:c.k
+                            (Scenario.report_traffic ~topology:c.topology ~n:c.n ~k:c.k
                                ~seed:c.seed r)
                       | Some `Text | None ->
                           let open Traffic.Driver in
@@ -978,7 +995,8 @@ let traffic (c : common) sources chunks rate arrival dissemination capacity queu
                             (if slo_ok then "ok" else "VIOLATED"));
                       if slo_ok then 0 else 1)))
 
-let traffic_cmd =
+(* the traffic flag group, decoded once into Scenario.traffic *)
+let traffic_term =
   let sources =
     Arg.(value & opt int 4 & info [ "sources" ] ~docv:"S" ~doc:"Source nodes (spread evenly).")
   in
@@ -1061,14 +1079,48 @@ let traffic_cmd =
       & opt float infinity
       & info [ "max-p95" ] ~docv:"T" ~doc:"SLO: maximum p95 delivery delay (default unbounded).")
   in
+  let bands =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "bands" ] ~docv:"B"
+          ~doc:
+            "Priority bands per capacity-limited link (1-4, default 1). With more than one \
+             band, control messages (epoch commits under $(b,scenario)) ride band 0 and \
+             overtake the queued data backlog.")
+  in
+  let make sources chunks rate arrival dissemination capacity queue_cap queue_policy bands
+      plan_file min_delivery max_p95 =
+    let workload =
+      Traffic.Workload.default
+      |> Traffic.Workload.with_source_count sources
+      |> Traffic.Workload.with_chunks_per_source chunks
+      |> Traffic.Workload.with_rate rate
+      |> Traffic.Workload.with_arrival arrival
+      |> Traffic.Workload.with_dissemination dissemination
+    in
+    {
+      Scenario.workload;
+      capacity;
+      queue_cap;
+      queue_policy;
+      bands;
+      plan_file;
+      min_delivery;
+      max_p95;
+    }
+  in
+  Term.(
+    const make $ sources $ chunks $ rate $ arrival $ dissemination $ capacity $ queue_cap
+    $ queue_policy $ bands $ plan_file $ min_delivery $ max_p95)
+
+let traffic_cmd =
   Cmd.v
     (Cmd.info "traffic"
        ~doc:
          "Drive a sustained multi-source traffic stream through the topology, with optional \
           per-link capacity and bounded FIFO queues, and check delivery SLOs")
-    Term.(
-      const traffic $ common_term $ sources $ chunks $ rate $ arrival $ dissemination
-      $ capacity $ queue_cap $ queue_policy $ plan_file $ min_delivery $ max_p95)
+    Term.(const traffic $ common_term $ traffic_term)
 
 (* assemble *)
 
@@ -1189,9 +1241,72 @@ let assemble_cmd =
           topology; exit 0 iff converged and verified")
     Term.(const assemble $ common_term $ crashes $ plan_file $ max_rounds $ certify)
 
+(* scenario: the composite — stream while the controller reconfigures *)
+
+let scenario_run (c : common) (tc : Scenario.traffic) (cc : Scenario.controller) epoch_interval
+    =
+  let sc = { Scenario.spec = c; traffic = tc; controller = cc; epoch_interval } in
+  with_jobs c (fun pool ->
+      match Scenario.run ?pool sc with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok o ->
+          (match c.metrics with
+          | Some `Json -> print_string (Scenario.report sc o)
+          | Some `Text | None ->
+              let open Traffic.Driver in
+              let r = o.Scenario.result in
+              let repairs =
+                List.length
+                  (List.filter
+                     (fun (e : Overlay.Controller.epoch) ->
+                       e.Overlay.Controller.strategy = Overlay.Controller.Repair)
+                     o.Scenario.epochs)
+              in
+              let rebuilds = List.length o.Scenario.epochs - repairs in
+              Printf.printf "scenario %s(n=%d, k=%d): %d sources x %d chunks, %s, %d epochs every %g\n"
+                c.topology c.n c.k (List.length r.sources)
+                tc.Scenario.workload.Traffic.Workload.chunks_per_source
+                (Traffic.Workload.dissemination_name
+                   tc.Scenario.workload.Traffic.Workload.dissemination)
+                (List.length o.Scenario.epochs) epoch_interval;
+              Printf.printf "  epochs applied:     %d (%d repair / %d rebuild), union n %d\n"
+                r.epochs_applied repairs rebuilds o.Scenario.union_n;
+              Printf.printf "  all verified:       %b\n" o.Scenario.all_verified;
+              Printf.printf "  restripe:           %d patched, %d repacked\n" r.restripe_patched
+                r.restripe_repacked;
+              Printf.printf "  control messages:   %d\n" r.control_messages;
+              Printf.printf "  deliveries:         %d\n" r.deliveries;
+              Printf.printf "  delivery fraction:  %.4f\n" r.delivery_fraction;
+              Printf.printf "  delay p50/p95/p99:  %.2f/%.2f/%.2f\n" r.p50_delay r.p95_delay
+                r.p99_delay;
+              Printf.printf "  duration:           %.2f\n" r.duration;
+              Printf.printf "  recovery time:      %.2f\n" r.recovery_time;
+              Printf.printf "  SLO:                %s\n"
+                (if o.Scenario.slo_ok then "ok" else "VIOLATED"));
+          if o.Scenario.slo_ok && o.Scenario.all_verified then 0 else 1)
+
+let scenario_cmd =
+  let epoch_interval =
+    Arg.(
+      value
+      & opt float 50.0
+      & info [ "epoch-interval" ] ~docv:"T"
+          ~doc:"Simulated time between controller epoch commits (default 50).")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Stream sustained traffic while the reconfiguration controller commits epochs on the \
+          same simulated clock: leavers crash, joiners recover, rewired links flip, spanning \
+          trees re-stripe incrementally, and (with --bands > 1) commits announce themselves \
+          on the priority band; exit 0 iff the SLOs hold and every epoch verified")
+    Term.(const scenario_run $ common_term $ traffic_term $ controller_term $ epoch_interval)
+
 let main_cmd =
   let doc = "Logarithmic Harary Graphs: construction, verification and flooding" in
   Cmd.group (Cmd.info "lhg_tool" ~version:"1.0.0" ~doc)
-    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd; traffic_cmd; assemble_cmd ]
+    [ generate_cmd; verify_cmd; tables_cmd; flood_cmd; chaos_cmd; metrics_cmd; diameter_cmd; cut_cmd; route_cmd; churn_cmd; controller_cmd; grow_cmd; inspect_cmd; traffic_cmd; assemble_cmd; scenario_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,6 +7,7 @@ type t = {
   link_capacity : float option;
   queue_cap : int option;
   queue_policy : Netsim.Network.queue_policy option;
+  bands : int;
   crashed : int list;
   failed_links : (int * int) list;
   seed : int option;
@@ -25,6 +26,7 @@ let default =
     link_capacity = None;
     queue_cap = None;
     queue_policy = None;
+    bands = 1;
     crashed = [];
     failed_links = [];
     seed = None;
@@ -36,8 +38,8 @@ let default =
   }
 
 let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?link_capacity ?queue_cap
-    ?queue_policy ?(crashed = []) ?(failed_links = []) ?seed ?(obs = Obs.Registry.nil) ?pool
-    ?prepare ?engine ?trace () =
+    ?queue_policy ?(bands = 1) ?(crashed = []) ?(failed_links = []) ?seed
+    ?(obs = Obs.Registry.nil) ?pool ?prepare ?engine ?trace () =
   {
     latency;
     loss_rate;
@@ -45,6 +47,7 @@ let make ?latency ?(loss_rate = 0.0) ?(processing_delay = 0.0) ?link_capacity ?q
     link_capacity;
     queue_cap;
     queue_policy;
+    bands;
     crashed;
     failed_links;
     seed;
@@ -66,6 +69,8 @@ let with_link_capacity c t = { t with link_capacity = Some c }
 let with_queue_cap c t = { t with queue_cap = Some c }
 
 let with_queue_policy p t = { t with queue_policy = Some p }
+
+let with_bands bands t = { t with bands }
 
 let without_link_capacity t = { t with link_capacity = None; queue_cap = None; queue_policy = None }
 
@@ -99,9 +104,9 @@ let sim_of t = Netsim.Sim.create ?seed:t.seed ?engine:t.engine ~obs:t.obs ()
 let network_of_graph t ~sim ~graph =
   Netsim.Network.create ~sim ~graph ?latency:t.latency ~loss_rate:t.loss_rate
     ~processing_delay:t.processing_delay ?link_capacity:t.link_capacity ?queue_cap:t.queue_cap
-    ?queue_policy:t.queue_policy ?trace:t.trace ~obs:t.obs ()
+    ?queue_policy:t.queue_policy ~bands:t.bands ?trace:t.trace ~obs:t.obs ()
 
 let network_of_csr t ~sim ~csr =
   Netsim.Network.create_csr ~sim ~csr ?latency:t.latency ~loss_rate:t.loss_rate
     ~processing_delay:t.processing_delay ?link_capacity:t.link_capacity ?queue_cap:t.queue_cap
-    ?queue_policy:t.queue_policy ?trace:t.trace ~obs:t.obs ()
+    ?queue_policy:t.queue_policy ~bands:t.bands ?trace:t.trace ~obs:t.obs ()

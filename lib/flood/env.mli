@@ -54,6 +54,11 @@ type t = {
   queue_policy : Netsim.Network.queue_policy option;
       (** what a full link queue does; [None] = the network default
           ({!Netsim.Network.Drop_tail}). *)
+  bands : int;
+      (** strict-priority bands on the link FIFO plane (1–4, default
+          1 = no priorities). See {!Netsim.Network}'s priority-bands
+          section; the scenario runner rides control-plane reconfig
+          messages on band 0 above the data stream. *)
   crashed : int list;  (** nodes down before t = 0. *)
   failed_links : (int * int) list;  (** links down before t = 0. *)
   seed : int option;  (** [None] = the simulator default seed. *)
@@ -82,6 +87,7 @@ val make :
   ?link_capacity:float ->
   ?queue_cap:int ->
   ?queue_policy:Netsim.Network.queue_policy ->
+  ?bands:int ->
   ?crashed:int list ->
   ?failed_links:(int * int) list ->
   ?seed:int ->
@@ -109,6 +115,8 @@ val with_link_capacity : float -> t -> t
 val with_queue_cap : int -> t -> t
 
 val with_queue_policy : Netsim.Network.queue_policy -> t -> t
+
+val with_bands : int -> t -> t
 
 val without_link_capacity : t -> t
 (** Back to infinite links (clears capacity, cap, and policy). *)

@@ -45,6 +45,19 @@ let tag_int_arrival = 2
 
 let tag_int_deliver = 3
 
+(* Priority bands: with [bands > 1] the sending band rides the event
+   payload word above the slot id / int message, so the delivery side
+   can account per band. Sim packs [payload lsl 2 | tag] into one OCaml
+   int, leaving 61 bits — band bits 58..59 keep every slot id and every
+   int-plane message (< 2^58 by contract) intact. Single-band networks
+   never encode, so their payload words — and hence their executions —
+   are bit-identical to the pre-band engine. *)
+let band_shift = 58
+
+let band_payload_mask = (1 lsl band_shift) - 1
+
+let max_bands = 4
+
 let chunk_bits = 10
 
 let chunk_len = 1 lsl chunk_bits
@@ -65,17 +78,30 @@ type 'msg t = {
   cap_on : bool;  (** a finite link capacity was given *)
   service : float;  (** per-message service time = 1 / capacity (0 when [cap_on] is false) *)
   capacity : float;  (** messages per time unit per directed link (0 = infinite) *)
-  queue_cap : int;  (** max backlog per directed link, in-service message included *)
+  queue_cap : int;  (** max backlog per directed link {e per band}, in-service message included *)
   queue_policy : queue_policy;
+  bands : int;  (** priority bands on the FIFO plane; band 0 is highest *)
+  band_service : float array;
+      (** per-band service time = [service /. weight] (length [bands];
+          empty when [cap_on] is false) *)
+  mutable send_band : int;  (** band stamped on subsequent sends *)
+  nslots : int;  (** [Csr.degree_sum csr] — the per-band stride of [link_free] *)
   link_free : float array;
-      (** per-directed-edge (CSR slot) time the link finishes its
-          current backlog; occupancy is implicit —
-          [ceil ((free - now) / service)] — so a bounded FIFO costs no
-          events and no allocation *)
+      (** per-band, per-directed-edge (index [band * nslots + slot])
+          time the band's share of the link finishes its current
+          backlog; occupancy is implicit —
+          [ceil ((free - now) / band_service)] — so a bounded FIFO
+          costs no events and no allocation *)
   link_peak : int array;
-      (** per-directed-edge high-water mark of the occupancy seen by
-          arrivals (admitted or drop-tailed) — the per-link breakdown
-          behind [max_backlog], feeding {!hottest_links} *)
+      (** band-major high-water mark of the occupancy seen by arrivals
+          (admitted or drop-tailed) — the per-link breakdown behind
+          [max_backlog], feeding {!hottest_links} *)
+  b_sent : int array;  (** per-band counters; [[||]] when [bands = 1] (global stats suffice) *)
+  b_delivered : int array;
+  b_dropped_link : int array;
+  b_dropped_crash : int array;
+  b_dropped_random : int array;
+  b_dropped_queue : int array;
   mutable next_seq : int;
   rng : Prng.t;
   crashed : bool array;
@@ -158,6 +184,9 @@ let emit t kind ~src ~dst ~seq =
   | Some tr -> Trace.record tr { Trace.time = Sim.now t.sim; kind; src; dst; seq }
 
 let deliver t ~src ~dst slot =
+  let band, slot =
+    if t.bands > 1 then (slot lsr band_shift, slot land band_payload_mask) else (0, slot)
+  in
   let msg = Array.unsafe_get (Array.unsafe_get t.slots (slot lsr chunk_bits)) (slot land chunk_mask) in
   let seq =
     if t.tracing then
@@ -170,11 +199,13 @@ let deliver t ~src ~dst slot =
   (* [dst] came off a CSR row, so it is in range *)
   if Array.unsafe_get t.crashed dst then begin
     t.dropped_crash <- t.dropped_crash + 1;
+    if t.bands > 1 then t.b_dropped_crash.(band) <- t.b_dropped_crash.(band) + 1;
     Obs.Registry.incr t.m_dropped_crash;
     emit t Trace.Dropped_crash ~src ~dst ~seq
   end
   else begin
     t.delivered <- t.delivered + 1;
+    if t.bands > 1 then t.b_delivered.(band) <- t.b_delivered.(band) + 1;
     if t.obs_on then Obs.Registry.incr t.m_delivered;
     if t.tracing then emit t Trace.Delivered ~src ~dst ~seq;
     t.receiver ~dst ~src msg
@@ -183,12 +214,17 @@ let deliver t ~src ~dst slot =
 (* same accounting as [deliver], minus the slot round trip; never
    reached with tracing on, so no seq and no emits *)
 let deliver_int t ~src ~dst hop =
+  let band, hop =
+    if t.bands > 1 then (hop lsr band_shift, hop land band_payload_mask) else (0, hop)
+  in
   if Array.unsafe_get t.crashed dst then begin
     t.dropped_crash <- t.dropped_crash + 1;
+    if t.bands > 1 then t.b_dropped_crash.(band) <- t.b_dropped_crash.(band) + 1;
     Obs.Registry.incr t.m_dropped_crash
   end
   else begin
     t.delivered <- t.delivered + 1;
+    if t.bands > 1 then t.b_delivered.(band) <- t.b_delivered.(band) + 1;
     if t.obs_on then Obs.Registry.incr t.m_delivered;
     t.int_receiver ~dst ~src hop
   end
@@ -215,7 +251,8 @@ let handle t ~src ~dst ~tag ~payload =
 
 let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
     ?(processing_delay = 0.0) ?link_capacity ?(queue_cap = max_int)
-    ?(queue_policy = Drop_tail) ?trace ?(obs = Obs.Registry.nil) () =
+    ?(queue_policy = Drop_tail) ?(bands = 1) ?band_weights ?trace
+    ?(obs = Obs.Registry.nil) () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Network.create: loss_rate outside [0,1)";
   if processing_delay < 0.0 then invalid_arg "Network.create: negative processing_delay";
   let capacity = match link_capacity with Some c -> c | None -> 0.0 in
@@ -224,7 +261,21 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       invalid_arg "Network.create: link_capacity must be a positive finite rate"
   | _ -> ());
   if queue_cap < 1 then invalid_arg "Network.create: queue_cap must be at least 1";
+  if bands < 1 || bands > max_bands then
+    invalid_arg (Printf.sprintf "Network.create: bands must be in [1, %d]" max_bands);
+  (match band_weights with
+  | None -> ()
+  | Some w ->
+      if Array.length w <> bands then
+        invalid_arg "Network.create: band_weights length must equal bands";
+      Array.iter
+        (fun x ->
+          if not (x > 0.0) || not (Float.is_finite x) then
+            invalid_arg "Network.create: band weights must be positive finite")
+        w);
   let cap_on = capacity > 0.0 in
+  let service = if cap_on then 1.0 /. capacity else 0.0 in
+  let nslots = Csr.degree_sum csr in
   let t =
     {
       sim;
@@ -238,12 +289,29 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
       processing_delay;
       next_free = Array.make (Csr.n csr) 0.0;
       cap_on;
-      service = (if cap_on then 1.0 /. capacity else 0.0);
+      service;
       capacity;
       queue_cap;
       queue_policy;
-      link_free = (if cap_on then Array.make (Csr.degree_sum csr) 0.0 else [||]);
-      link_peak = (if cap_on then Array.make (Csr.degree_sum csr) 0 else [||]);
+      bands;
+      band_service =
+        (if not cap_on then [||]
+         else
+           match band_weights with
+           | None -> Array.make bands service
+           | Some w -> Array.map (fun x -> service /. x) w);
+      (* default to the lowest band: data traffic needs no opt-in, and a
+         control plane opts {e up} around each burst via set_send_band *)
+      send_band = bands - 1;
+      nslots;
+      link_free = (if cap_on then Array.make (bands * nslots) 0.0 else [||]);
+      link_peak = (if cap_on then Array.make (bands * nslots) 0 else [||]);
+      b_sent = (if bands > 1 then Array.make bands 0 else [||]);
+      b_delivered = (if bands > 1 then Array.make bands 0 else [||]);
+      b_dropped_link = (if bands > 1 then Array.make bands 0 else [||]);
+      b_dropped_crash = (if bands > 1 then Array.make bands 0 else [||]);
+      b_dropped_random = (if bands > 1 then Array.make bands 0 else [||]);
+      b_dropped_queue = (if bands > 1 then Array.make bands 0 else [||]);
       next_seq = 0;
       rng = Sim.fork_rng sim;
       crashed = Array.make (Csr.n csr) false;
@@ -284,14 +352,14 @@ let make ~sim ~graph ~csr ?latency ?(loss_rate = 0.0)
   t
 
 let create ~sim ~graph ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
-    ?queue_policy ?trace ?obs () =
+    ?queue_policy ?bands ?band_weights ?trace ?obs () =
   make ~sim ~graph:(Some graph) ~csr:(Csr.of_graph graph) ?latency ?loss_rate ?processing_delay
-    ?link_capacity ?queue_cap ?queue_policy ?trace ?obs ()
+    ?link_capacity ?queue_cap ?queue_policy ?bands ?band_weights ?trace ?obs ()
 
 let create_csr ~sim ~csr ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
-    ?queue_policy ?trace ?obs () =
+    ?queue_policy ?bands ?band_weights ?trace ?obs () =
   make ~sim ~graph:None ~csr ?latency ?loss_rate ?processing_delay ?link_capacity ?queue_cap
-    ?queue_policy ?trace ?obs ()
+    ?queue_policy ?bands ?band_weights ?trace ?obs ()
 
 let graph t =
   match t.graph with
@@ -366,30 +434,53 @@ let set_loss_rate t r =
 (* -- bounded per-link FIFO ---------------------------------------------- *)
 
 (* With a finite capacity, directed edge [eidx] serves one message per
-   [service] time units; [link_free.(eidx)] is when its current backlog
-   drains. Occupancy is recovered arithmetically from that single float
-   — no departure events, no allocation — and the admission decision
-   depends only on [now] and prior sends on the same link, both of
-   which the Calendar and Heap engines agree on, so queued streams stay
-   byte-identical across engines. *)
-let link_backlog t ~eidx ~now =
-  let free = Array.unsafe_get t.link_free eidx in
-  if free > now then int_of_float (Float.ceil (((free -. now) /. t.service) -. 1e-9)) else 0
+   [service] time units; [link_free.(band * nslots + eidx)] is when the
+   band's share of its current backlog drains. Occupancy is recovered
+   arithmetically from that single float — no departure events, no
+   allocation — and the admission decision depends only on [now] and
+   prior sends on the same link, both of which the Calendar and Heap
+   engines agree on, so queued streams stay byte-identical across
+   engines.
+
+   With [bands > 1], a band-[b] arrival waits behind the backlogs of
+   every band of equal or higher priority (0..b) but never behind a
+   lower one — strict priority with at most the one message already in
+   service ahead of the high band, the standard zero-preemption model.
+   A message already admitted keeps its departure time: priority steers
+   future admissions, it does not recall the past. Occupancy and
+   [queue_cap] are per band, so a saturated bulk band cannot drop-tail
+   the control band. *)
+let link_backlog_band t ~band ~eidx ~now =
+  let free = Array.unsafe_get t.link_free ((band * t.nslots) + eidx) in
+  if free > now then
+    int_of_float
+      (Float.ceil (((free -. now) /. Array.unsafe_get t.band_service band) -. 1e-9))
+  else 0
+
+let link_backlog t ~eidx ~now = link_backlog_band t ~band:t.send_band ~eidx ~now
 
 (* Departure time of the admitted message, or [-1.0] for a drop-tail
    rejection (full queue under [Drop_tail]; [Block] always admits). *)
-let link_admit t ~eidx ~now =
-  let backlog = link_backlog t ~eidx ~now in
+let link_admit t ~band ~eidx ~now =
+  let backlog = link_backlog_band t ~band ~eidx ~now in
+  let slot = (band * t.nslots) + eidx in
   (* the per-link peak counts rejected arrivals too: a saturated link
      that drop-tails everything is the hottest link there is *)
-  if backlog > Array.unsafe_get t.link_peak eidx then Array.unsafe_set t.link_peak eidx backlog;
+  if backlog > Array.unsafe_get t.link_peak slot then Array.unsafe_set t.link_peak slot backlog;
   if backlog >= t.queue_cap && t.queue_policy = Drop_tail then -1.0
   else begin
     if backlog > t.max_backlog then t.max_backlog <- backlog;
     if t.obs_on then Obs.Registry.observe t.h_link_queue (float_of_int backlog);
-    let free = Array.unsafe_get t.link_free eidx in
-    let depart = (if free > now then free else now) +. t.service in
-    Array.unsafe_set t.link_free eidx depart;
+    (* start behind every equal-or-higher-priority backlog on this link;
+       for [bands = 1] the loop reads the one float the old engine read,
+       so the arithmetic — and the bytes downstream — are unchanged *)
+    let start = ref now in
+    for b = 0 to band do
+      let f = Array.unsafe_get t.link_free ((b * t.nslots) + eidx) in
+      if f > !start then start := f
+    done;
+    let depart = !start +. Array.unsafe_get t.band_service band in
+    Array.unsafe_set t.link_free slot depart;
     depart
   end
 
@@ -400,26 +491,31 @@ let link_admit t ~eidx ~now =
    directed edge's CSR slot, consulted only under a finite
    [link_capacity]. *)
 let unchecked_send t ~src ~dst ~eidx msg =
+  let band = t.send_band in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.sent <- t.sent + 1;
+  if t.bands > 1 then t.b_sent.(band) <- t.b_sent.(band) + 1;
   if t.obs_on then Obs.Registry.incr t.m_sent;
   if t.tracing then emit t Trace.Sent ~src ~dst ~seq;
   if t.failed_count > 0 && link_failed t src dst then begin
     t.dropped_link <- t.dropped_link + 1;
+    if t.bands > 1 then t.b_dropped_link.(band) <- t.b_dropped_link.(band) + 1;
     Obs.Registry.incr t.m_dropped_link;
     emit t Trace.Dropped_link ~src ~dst ~seq
   end
   else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
     t.dropped_random <- t.dropped_random + 1;
+    if t.bands > 1 then t.b_dropped_random.(band) <- t.b_dropped_random.(band) + 1;
     Obs.Registry.incr t.m_dropped_random;
     emit t Trace.Dropped_random ~src ~dst ~seq
   end
   else if t.cap_on then begin
     let now = Sim.now t.sim in
-    let depart = link_admit t ~eidx ~now in
+    let depart = link_admit t ~band ~eidx ~now in
     if depart < 0.0 then begin
       t.dropped_queue <- t.dropped_queue + 1;
+      if t.bands > 1 then t.b_dropped_queue.(band) <- t.b_dropped_queue.(band) + 1;
       Obs.Registry.incr t.m_dropped_queue;
       emit t Trace.Dropped_queue ~src ~dst ~seq
     end
@@ -434,7 +530,8 @@ let unchecked_send t ~src ~dst ~eidx msg =
       in
       if t.obs_on then Obs.Registry.observe t.h_latency delay;
       let slot = alloc_slot t msg seq in
-      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_arrival ~payload:slot
+      let payload = if t.bands > 1 then (band lsl band_shift) lor slot else slot in
+      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_arrival ~payload
     end
   end
   else begin
@@ -448,7 +545,8 @@ let unchecked_send t ~src ~dst ~eidx msg =
     in
     if t.obs_on then Obs.Registry.observe t.h_latency delay;
     let slot = alloc_slot t msg seq in
-    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_arrival ~payload:slot
+    let payload = if t.bands > 1 then (band lsl band_shift) lor slot else slot in
+    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_arrival ~payload
   end
 
 let send t ~src ~dst msg =
@@ -486,22 +584,27 @@ let send_neighbors ?(except = -1) t ~src msg = send_neighbors_except t ~src ~exc
    seq consumption, same counters, same drop decisions and RNG draws,
    so stats agree with the slot plane message for message *)
 let unchecked_send_int t ~src ~dst ~eidx hop =
+  let band = t.send_band in
   t.next_seq <- t.next_seq + 1;
   t.sent <- t.sent + 1;
+  if t.bands > 1 then t.b_sent.(band) <- t.b_sent.(band) + 1;
   if t.obs_on then Obs.Registry.incr t.m_sent;
   if t.failed_count > 0 && link_failed t src dst then begin
     t.dropped_link <- t.dropped_link + 1;
+    if t.bands > 1 then t.b_dropped_link.(band) <- t.b_dropped_link.(band) + 1;
     Obs.Registry.incr t.m_dropped_link
   end
   else if t.loss_rate > 0.0 && Prng.float t.rng 1.0 < t.loss_rate then begin
     t.dropped_random <- t.dropped_random + 1;
+    if t.bands > 1 then t.b_dropped_random.(band) <- t.b_dropped_random.(band) + 1;
     Obs.Registry.incr t.m_dropped_random
   end
   else if t.cap_on then begin
     let now = Sim.now t.sim in
-    let depart = link_admit t ~eidx ~now in
+    let depart = link_admit t ~band ~eidx ~now in
     if depart < 0.0 then begin
       t.dropped_queue <- t.dropped_queue + 1;
+      if t.bands > 1 then t.b_dropped_queue.(band) <- t.b_dropped_queue.(band) + 1;
       Obs.Registry.incr t.m_dropped_queue
     end
     else begin
@@ -514,8 +617,8 @@ let unchecked_send_int t ~src ~dst ~eidx hop =
         end
       in
       if t.obs_on then Obs.Registry.observe t.h_latency delay;
-      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_int_arrival
-        ~payload:hop
+      let payload = if t.bands > 1 then (band lsl band_shift) lor hop else hop in
+      Sim.schedule_message t.sim ~time:(depart +. delay) ~src ~dst ~tag:tag_int_arrival ~payload
     end
   end
   else begin
@@ -528,7 +631,8 @@ let unchecked_send_int t ~src ~dst ~eidx hop =
       end
     in
     if t.obs_on then Obs.Registry.observe t.h_latency delay;
-    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_int_arrival ~payload:hop
+    let payload = if t.bands > 1 then (band lsl band_shift) lor hop else hop in
+    Sim.schedule_message_after t.sim ~delay ~src ~dst ~tag:tag_int_arrival ~payload
   end
 
 let send_neighbors_int t ~src ~except hop =
@@ -569,6 +673,35 @@ let link_capacity t = if t.cap_on then Some t.capacity else None
 let queue_cap t = t.queue_cap
 
 let queue_policy t = t.queue_policy
+
+let bands t = t.bands
+
+let send_band t = t.send_band
+
+let set_send_band t band =
+  if band < 0 || band >= t.bands then invalid_arg "Network.set_send_band: band out of range";
+  t.send_band <- band
+
+let band_stats t ~band =
+  if band < 0 || band >= t.bands then invalid_arg "Network.band_stats: band out of range";
+  if t.bands = 1 then
+    {
+      sent = t.sent;
+      delivered = t.delivered;
+      dropped_link = t.dropped_link;
+      dropped_crash = t.dropped_crash;
+      dropped_random = t.dropped_random;
+      dropped_queue = t.dropped_queue;
+    }
+  else
+    {
+      sent = t.b_sent.(band);
+      delivered = t.b_delivered.(band);
+      dropped_link = t.b_dropped_link.(band);
+      dropped_crash = t.b_dropped_crash.(band);
+      dropped_random = t.b_dropped_random.(band);
+      dropped_queue = t.b_dropped_queue.(band);
+    }
 
 let max_queue_backlog t = t.max_backlog
 
@@ -612,7 +745,13 @@ let hottest_links t ~max:limit =
     let slot = ref 0 in
     for src = 0 to Csr.n t.csr - 1 do
       Csr.iter_neighbors t.csr src (fun dst ->
-          let p = Array.unsafe_get t.link_peak !slot in
+          (* a link's heat is its hottest band *)
+          let p = ref (Array.unsafe_get t.link_peak !slot) in
+          for b = 1 to t.bands - 1 do
+            let q = Array.unsafe_get t.link_peak ((b * t.nslots) + !slot) in
+            if q > !p then p := q
+          done;
+          let p = !p in
           incr slot;
           if p > 0 && (!filled < limit || p > peak.(limit - 1)) then begin
             (* insert after equal peaks: slots walk ascending (src, dst),

@@ -31,6 +31,31 @@
     order (under a deterministic latency model; a random latency model
     can still reorder them in flight, exactly as without capacity).
 
+    {2 Priority bands}
+
+    [?bands] (1–4, default 1) splits each link's FIFO plane into
+    strict-priority bands, band 0 highest. Every send is stamped with
+    the network's current {!send_band} (default: the lowest band, so
+    plain data traffic needs no opt-in); a control plane raises the
+    band around its own bursts with {!set_send_band}. Admission of a
+    band-[b] message waits behind the backlogs of every band of equal
+    or higher priority but never behind a lower band — so the high
+    band's delay is bounded by at most the one message already in
+    service, the standard non-preemptive priority model. Order within
+    a band stays FIFO; [queue_cap] bounds each band separately (a
+    saturated bulk band cannot drop-tail the control band); and
+    [?band_weights] (one positive factor per band) scales each band's
+    service rate — weight [w] serves [w × link_capacity] messages per
+    time unit, a weighted-fair knob on top of the strict priorities.
+    Per-band deliveries and drops are reported by {!band_stats}.
+
+    The whole plane keeps the zero-event discipline — one float per
+    (band, directed edge) — and stays byte-identical across engines.
+    A single-band network is bit-for-bit the pre-band engine. With
+    [bands > 1] the band rides the event payload word above the
+    message, so int-plane messages must stay below [2^58] (they are
+    chunk ids and round numbers in practice).
+
     {2 Recovery semantics}
 
     Crash state is evaluated {e at delivery time}, not at send time. A
@@ -88,6 +113,8 @@ val create :
   ?link_capacity:float ->
   ?queue_cap:int ->
   ?queue_policy:queue_policy ->
+  ?bands:int ->
+  ?band_weights:float array ->
   ?trace:Trace.t ->
   ?obs:Obs.Registry.t ->
   unit ->
@@ -118,8 +145,13 @@ val create :
     full queue does — see the link-capacity section above. The
     [net.link_queue] histogram records the occupancy seen by each
     admitted message.
+
+    [?bands] (default 1) and [?band_weights] configure the strict-
+    priority / weighted queueing plane — see the priority-bands section
+    above.
     @raise Invalid_argument if [link_capacity] is not a positive finite
-    rate or [queue_cap < 1]. *)
+    rate, [queue_cap < 1], [bands] is outside [\[1, 4\]], or
+    [band_weights] has the wrong length or a non-positive entry. *)
 
 val create_csr :
   sim:Sim.t ->
@@ -130,6 +162,8 @@ val create_csr :
   ?link_capacity:float ->
   ?queue_cap:int ->
   ?queue_policy:queue_policy ->
+  ?bands:int ->
+  ?band_weights:float array ->
   ?trace:Trace.t ->
   ?obs:Obs.Registry.t ->
   unit ->
@@ -280,6 +314,27 @@ val link_capacity : 'msg t -> float option
 val queue_cap : 'msg t -> int
 
 val queue_policy : 'msg t -> queue_policy
+
+val bands : 'msg t -> int
+(** Number of priority bands (1 when none were configured). *)
+
+val send_band : 'msg t -> int
+(** The band subsequent sends are stamped with (initially the lowest
+    priority, [bands − 1]). *)
+
+val set_send_band : 'msg t -> int -> unit
+(** Switch the sending band, effective for subsequent sends; messages
+    already admitted keep their band. The idiom is bracketing: a
+    control plane saves {!send_band}, raises to band 0 around its
+    burst, and restores.
+    @raise Invalid_argument outside [\[0, bands)]. *)
+
+val band_stats : 'msg t -> band:int -> stats
+(** Per-band counters: sends and send-side drops are attributed to the
+    band current at send time, deliveries and crash drops to the band
+    the message was stamped with. Sums over all bands equal {!stats};
+    with a single band this {e is} {!stats}.
+    @raise Invalid_argument outside [\[0, bands)]. *)
 
 val max_queue_backlog : 'msg t -> int
 (** High-water mark of any single link FIFO's occupancy over the run

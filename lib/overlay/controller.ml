@@ -160,7 +160,7 @@ let n t = t.n
 let k t = t.k
 let family t = t.family
 let epoch_count t = t.epochs
-let submit t r = t.queue <- r :: t.queue
+let feed t r = t.queue <- r :: t.queue
 let pending t = List.length t.queue
 
 (* Validation pass: walk the batch against a simulated size, splitting
@@ -285,7 +285,7 @@ let verify_epoch t ~diff =
         { mode = `Fallback; verified; reused = 0; revalidated = 0; recomputed = 0 }
       end
 
-let flush t =
+let commit_epoch t =
   let started = Sys.time () in
   let reqs = List.rev t.queue in
   t.queue <- [];
@@ -391,8 +391,8 @@ let run ?(batch = 8) t reqs =
           in
           split 0 [] rest
         in
-        List.iter (submit t) now;
-        (match flush t with Ok e -> go (e :: acc) later | Error err -> Error err)
+        List.iter (feed t) now;
+        (match commit_epoch t with Ok e -> go (e :: acc) later | Error err -> Error err)
   in
   go [] reqs
 

@@ -116,12 +116,15 @@ val k : t -> int
 val family : t -> Membership.family
 val epoch_count : t -> int
 
-val submit : t -> request -> unit
-(** Queue a request for the next epoch. *)
+val feed : t -> request -> unit
+(** Queue a request for the next epoch. The incremental step API:
+    interleave [feed]s with {!commit_epoch}s to advance the overlay
+    one epoch at a time — e.g. on a shared simulated clock, between
+    bursts of a live traffic stream. *)
 
 val pending : t -> int
 
-val flush : t -> (epoch, Error.t) result
+val commit_epoch : t -> (epoch, Error.t) result
 (** Commit the queued batch as one epoch (an empty batch is a valid,
     empty epoch). Fails — leaving the queue intact and the overlay
     unchanged — only when no strategy can reach the target size (e.g. a
@@ -129,7 +132,8 @@ val flush : t -> (epoch, Error.t) result
 
 val run : ?batch:int -> t -> request list -> (epoch list, Error.t) result
 (** Feed a whole trace in batches of [batch] (default 8) requests per
-    epoch. @raise Invalid_argument when [batch < 1]. *)
+    epoch — a thin loop of {!feed}s and {!commit_epoch}s.
+    @raise Invalid_argument when [batch < 1]. *)
 
 (** {2 Traces} *)
 

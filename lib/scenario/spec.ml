@@ -57,9 +57,9 @@ let construction t =
 let obs t = match t.metrics with None -> Obs.Registry.nil | Some _ -> Obs.Registry.create ()
 
 let to_env ?obs ?pool t =
-  let env = Env.default |> Env.with_seed t.seed |> Env.with_engine t.engine in
-  let env = match obs with Some o -> Env.with_obs o env | None -> env in
-  Env.with_pool pool env
+  let env = Flood.Env.default |> Flood.Env.with_seed t.seed |> Flood.Env.with_engine t.engine in
+  let env = match obs with Some o -> Flood.Env.with_obs o env | None -> env in
+  Flood.Env.with_pool pool env
 
 let with_pool t f =
   if t.jobs < 0 then Error "--jobs must be >= 0"

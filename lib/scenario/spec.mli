@@ -8,7 +8,7 @@
     first-class: what to build ([topology], [n], [k], [seed]), how to
     run it ([engine], [jobs]) and what to report ([metrics]). The
     helpers then derive everything else — {!graph}/{!csr} through
-    {!Topo.Registry}, a {!Env.t} through {!to_env}, pool lifecycle
+    {!Topo.Registry}, a {!Flood.Env.t} through {!to_env}, pool lifecycle
     through {!with_pool} — so "assemble", "traffic", "chaos" and
     friends differ only in the protocol they hand the env to. *)
 
@@ -51,9 +51,9 @@ val obs : t -> Obs.Registry.t
 (** A fresh registry when [metrics] is set, {!Obs.Registry.nil}
     otherwise. *)
 
-val to_env : ?obs:Obs.Registry.t -> ?pool:Par.Pool.t -> t -> Env.t
-(** The {!Env.t} this spec describes: seed, engine, obs sink and pool
-    installed, everything else at {!Env.default}. *)
+val to_env : ?obs:Obs.Registry.t -> ?pool:Par.Pool.t -> t -> Flood.Env.t
+(** The {!Flood.Env.t} this spec describes: seed, engine, obs sink and pool
+    installed, everything else at {!Flood.Env.default}. *)
 
 val with_pool : t -> (Par.Pool.t option -> 'a) -> ('a, string) result
 (** Run [f] under the pool [jobs] asks for: [None] when sequential,

@@ -29,6 +29,10 @@ type result = {
   tree_fallbacks : int;
   tree_fallback_bursts : int;
   recovery_time : float;
+  epochs_applied : int;
+  restripe_patched : int;
+  restripe_repacked : int;
+  control_messages : int;
 }
 
 (* same convention as Runner: smallest sample at or above the rank *)
@@ -77,7 +81,7 @@ let bit_delivered = 1
 
 let bit_flooded = 2
 
-let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
+let run_csr_env ~env ?plan ?reconfig ~csr ~(workload : Workload.t) () =
   let n = Csr.n csr in
   (match Workload.validate workload ~n with
   | Error e -> invalid_arg ("Traffic.run: " ^ e)
@@ -92,6 +96,14 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
   | Some p -> (
       match Chaos.Plan.validate csr p with
       | Error e -> invalid_arg ("Traffic.run: invalid plan: " ^ e)
+      | Ok () -> ())
+  | None -> ());
+  (match reconfig with
+  | Some rc ->
+      if rc.Reconfig.union_n <> n then
+        invalid_arg "Traffic.run: reconfig union_n does not match the snapshot";
+      (match Reconfig.validate rc ~sources with
+      | Error e -> invalid_arg ("Traffic.run: invalid reconfig: " ^ e)
       | Ok () -> ())
   | None -> ());
   let nsources = List.length sources in
@@ -123,8 +135,33 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
     sources;
   let sim = Env.sim_of env in
   let net : int Network.t = Env.network_of_csr env ~sim ~csr in
+  (* Live-view state a reconfiguration timeline mutates mid-run.
+     Without one, these stay all-true/zero and every code path below
+     reduces to the static behaviour: same obligations, same packs. *)
+  let member = Array.make n true in
+  let last_join = Array.make n 0.0 in
+  let active = Array.make (Csr.degree_sum csr) true in
+  let set_active u v b =
+    active.(Csr.edge_index csr u v) <- b;
+    active.(Csr.edge_index csr v u) <- b
+  in
   List.iter (fun v -> Network.crash net v) env.Env.crashed;
   List.iter (fun (u, v) -> Network.fail_link net u v) env.Env.failed_links;
+  (match reconfig with
+  | Some rc ->
+      Array.blit rc.Reconfig.member0 0 member 0 n;
+      for v = 0 to n - 1 do
+        if not member.(v) then begin
+          last_join.(v) <- infinity;
+          Network.crash net v
+        end
+      done;
+      List.iter
+        (fun (u, v) ->
+          Network.fail_link net u v;
+          set_active u v false)
+        rc.Reconfig.absent0
+  | None -> ());
   (match env.Env.prepare with Some { Env.prepare } -> prepare net | None -> ());
   (match plan with Some p -> Chaos.Exec.install net p | None -> ());
   let obs = env.Env.obs in
@@ -159,14 +196,26 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
     match h_delay with Some h -> Obs.Registry.observe h d | None -> ()
   in
   let fallbacks = ref 0 and fallback_bursts = ref 0 in
-  (* Strategy dispatch: install the delivery handler and return the
+  let epochs_applied = ref 0 in
+  let restripe_patched = ref 0 and restripe_repacked = ref 0 in
+  (* Installed by the Trees branch when a reconfig timeline is present;
+     the other strategies stream on the raw links, so for them an epoch
+     commit only flips memberships. *)
+  let restripe : (Reconfig.epoch -> unit) ref = ref (fun _ -> ()) in
+  (* Strategy dispatch: build the delivery handler and return the
      per-chunk injection sender. All three share the dedup table and
-     delay accounting; only the forwarding rule differs. *)
+     delay accounting; only the forwarding rule differs. The handler
+     lands in a ref so the control-plane wrapper below can interpose
+     without each branch knowing about it. *)
+  let data_recv : (dst:int -> src:int -> int -> unit) ref =
+    ref (fun ~dst:_ ~src:_ _ -> ())
+  in
+  let set_recv f = data_recv := f in
   let inject_send : int -> int -> unit =
     match workload.Workload.dissemination with
     | Workload.Flood ->
         (* every first delivery re-floods to all neighbours *)
-        Network.set_int_receiver net (fun ~dst ~src chunk ->
+        set_recv (fun ~dst ~src chunk ->
             let idx = (chunk * n) + dst in
             if Bytes.unsafe_get seen idx = '\000' then begin
               Bytes.unsafe_set seen idx '\001';
@@ -184,13 +233,45 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
            what lets the fallback flood get past already-covered nodes
            to the subtree behind a dead edge. *)
         let packs =
-          let protect m f =
-            Mutex.lock m;
-            Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-          in
-          protect tree_cache_mutex (fun () ->
-              Tree_pack.Cache.get_all ?pool:env.Env.pool tree_cache csr ~sources)
+          match reconfig with
+          | None ->
+              let protect m f =
+                Mutex.lock m;
+                Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+              in
+              protect tree_cache_mutex (fun () ->
+                  Tree_pack.Cache.get_all ?pool:env.Env.pool tree_cache csr ~sources)
+          | Some rc ->
+              (* the union snapshot is this run's private topology — the
+                 global cache would only thrash on it; masked packs are
+                 built here and re-striped in place at each commit *)
+              Tree_pack.pack_all ?pool:env.Env.pool ?count:rc.Reconfig.tree_count csr ~member
+                ~usable:(fun e -> active.(e))
+                ~sources
         in
+        (match reconfig with
+        | None -> ()
+        | Some rc ->
+            let srcs = Array.of_list sources in
+            let usable e = active.(e) in
+            restripe :=
+              fun (ep : Reconfig.epoch) ->
+                Array.iteri
+                  (fun i pk ->
+                    let fresh () =
+                      incr restripe_repacked;
+                      packs.(i) <-
+                        Tree_pack.pack ?count:rc.Reconfig.tree_count csr ~member ~usable
+                          ~source:srcs.(i)
+                    in
+                    if ep.Reconfig.repack then fresh ()
+                    else
+                      match Tree_pack.patch pk csr ~member ~usable () with
+                      | Some p ->
+                          incr restripe_patched;
+                          packs.(i) <- p
+                      | None -> fresh ())
+                  packs);
         let tree_of chunk =
           (chunk mod chunks) mod Tree_pack.count packs.(chunk / chunks)
         in
@@ -200,7 +281,20 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
            (source, tree, node): the number of distinct escalation
            points discovered, which is what the fault actually looks
            like in the topology. *)
-        let maxtrees = Array.fold_left (fun a p -> max a (Tree_pack.count p)) 1 packs in
+        (* re-striping may later reach the requested count even where the
+           initial masks forced a back-off, so size the escalation table
+           for the request, not just the t = 0 packs *)
+        let maxtrees =
+          let requested =
+            match reconfig with
+            | None -> 1
+            | Some rc -> (
+                match rc.Reconfig.tree_count with
+                | Some c -> c
+                | None -> Tree_pack.default_count csr)
+          in
+          Array.fold_left (fun a p -> max a (Tree_pack.count p)) (max 1 requested) packs
+        in
         let esc_seen = Bytes.make (nsources * maxtrees * n) '\000' in
         let note_escalation chunk node =
           incr fallback_bursts;
@@ -211,7 +305,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
           end
         in
         let mark idx bits b = Bytes.unsafe_set seen idx (Char.unsafe_chr (b lor bits)) in
-        Network.set_int_receiver net (fun ~dst ~src payload ->
+        set_recv (fun ~dst ~src payload ->
             let chunk = Flood.Trees.chunk_of payload in
             let idx = (chunk * n) + dst in
             let b = Char.code (Bytes.unsafe_get seen idx) in
@@ -282,7 +376,7 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
               chosen
           end
         in
-        Network.set_int_receiver net (fun ~dst ~src:_ payload ->
+        set_recv (fun ~dst ~src:_ payload ->
             let chunk = payload / base in
             let ttl = payload mod base in
             let idx = (chunk * n) + dst in
@@ -293,6 +387,69 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
             end);
         fun g src -> push_gossip src ~chunk:g ~ttl:ttl_limit
   in
+  (* Control plane: when the network has priority bands, each epoch
+     commit floods a band-0 notice through the live topology so the
+     reconfiguration news overtakes the queued data backlog — the
+     delivered copy is what a real deployment would act on; here it is
+     accounted (band-0 [sent]) and deduped per (epoch, node). Payloads
+     at or above [control_base] are reserved for it, far beyond any
+     chunk encoding. *)
+  let control_base = 1 lsl 40 in
+  let ctrl_emit = ref (fun _ -> ()) in
+  (match reconfig with
+  | Some rc when rc.Reconfig.epochs <> [] && Network.bands net > 1 ->
+      let nep = Reconfig.epoch_count rc in
+      let ctrl_seen = Bytes.make (nep * n) '\000' in
+      let relay node except ep =
+        let idx = (ep * n) + node in
+        if Bytes.unsafe_get ctrl_seen idx = '\000' then begin
+          Bytes.unsafe_set ctrl_seen idx '\001';
+          let save = Network.send_band net in
+          Network.set_send_band net 0;
+          Network.send_neighbors_int net ~src:node ~except (control_base + ep);
+          Network.set_send_band net save
+        end
+      in
+      Network.set_int_receiver net (fun ~dst ~src payload ->
+          if payload >= control_base then relay dst src (payload - control_base)
+          else !data_recv ~dst ~src payload);
+      ctrl_emit :=
+        fun ep ->
+          (match List.find_opt (fun s -> not (Network.is_crashed net s)) sources with
+          | Some origin -> relay origin (-1) ep
+          | None -> ())
+  | _ -> Network.set_int_receiver net !data_recv);
+  (match reconfig with
+  | None -> ()
+  | Some rc ->
+      List.iter
+        (fun (ep : Reconfig.epoch) ->
+          Sim.schedule_at sim ~time:ep.Reconfig.at (fun () ->
+              List.iter
+                (fun v ->
+                  Network.crash net v;
+                  member.(v) <- false)
+                ep.Reconfig.leaves;
+              List.iter
+                (fun (u, v) ->
+                  Network.fail_link net u v;
+                  set_active u v false)
+                ep.Reconfig.link_down;
+              List.iter
+                (fun (u, v) ->
+                  Network.restore_link net u v;
+                  set_active u v true)
+                ep.Reconfig.link_up;
+              List.iter
+                (fun v ->
+                  Network.recover net v;
+                  member.(v) <- true;
+                  last_join.(v) <- ep.Reconfig.at)
+                ep.Reconfig.joins;
+              incr epochs_applied;
+              !restripe ep;
+              !ctrl_emit ep.Reconfig.index))
+        rc.Reconfig.epochs);
   for g = 0 to total - 1 do
     Sim.schedule_at sim ~time:inject_time.(g) (fun () ->
         let src = src_of.(g) in
@@ -310,67 +467,77 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
   Sim.run sim;
   let duration = Sim.now sim in
   let alive = Network.alive_mask net in
-  let alive_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
   let chunks_injected = total - !skipped in
-  (* coverage against the nodes alive at the end of the run *)
+  (* Coverage against the nodes alive at the end of the run. Under a
+     reconfig timeline a node is only obligated for chunks injected at
+     or after its join instant — a joiner never saw the stream's past,
+     and holding that against delivery would punish growth. With no
+     timeline [last_join] is all zero and this is the static count. *)
   let covers = Array.make total false in
   let covered_pairs = ref 0 in
+  let obligated = ref 0 in
   for g = 0 to total - 1 do
     if injected.(g) then begin
       let full = ref true in
       for v = 0 to n - 1 do
-        if alive.(v) then
+        if alive.(v) && last_join.(v) <= inject_time.(g) then begin
+          incr obligated;
           if Bytes.unsafe_get seen ((g * n) + v) <> '\000' then incr covered_pairs
           else full := false
+        end
       done;
       covers.(g) <- !full
     end
   done;
-  let obligated = chunks_injected * alive_count in
   let delivery_fraction =
-    if obligated = 0 then 0.0 else float_of_int !covered_pairs /. float_of_int obligated
+    if !obligated = 0 then 0.0 else float_of_int !covered_pairs /. float_of_int !obligated
   in
   let all_covered =
     chunks_injected > 0
     && Array.for_all (fun c -> c) (Array.init total (fun g -> (not injected.(g)) || covers.(g)))
   in
-  (* recovery time: among chunks injected after the plan's last event,
-     the earliest one to fully cover the survivors, measured from the
-     last degrading event — how long the stream takes to run clean
-     again once the faults stop coming *)
+  (* recovery time: among chunks injected after the last event of the
+     chaos plan and the churn trace combined, the earliest one to fully
+     cover the survivors, measured from the last degrading event (a
+     crash, a downed link, a lossy period, a leave) — how long the
+     stream takes to run clean again once the faults stop coming *)
   let recovery_time =
-    match plan with
-    | None -> -1.0
-    | Some p ->
-        let evs = Chaos.Plan.events p in
-        if evs = [] then -1.0
-        else
-          let degrade (e : Chaos.Plan.timed) =
-            match e.Chaos.Plan.event with
-            | Chaos.Plan.Crash _ | Chaos.Plan.Link_down _ | Chaos.Plan.Partition _ -> true
-            | Chaos.Plan.Loss_rate r -> r > 0.0
-            | Chaos.Plan.Recover _ | Chaos.Plan.Link_up _ | Chaos.Plan.Heal -> false
-          in
-          let last_event =
-            List.fold_left (fun a (e : Chaos.Plan.timed) -> max a e.Chaos.Plan.at) 0.0 evs
-          in
-          let last_degrade =
-            List.fold_left
-              (fun a (e : Chaos.Plan.timed) -> if degrade e then max a e.Chaos.Plan.at else a)
-              (-1.0) evs
-          in
-          if last_degrade < 0.0 then -1.0
-          else begin
-            let best = ref infinity in
-            for g = 0 to total - 1 do
-              if
-                injected.(g) && covers.(g)
-                && inject_time.(g) >= last_event
-                && last_delivery.(g) < !best
-              then best := last_delivery.(g)
-            done;
-            if !best = infinity then -1.0 else !best -. last_degrade
-          end
+    let plan_evs = match plan with Some p -> Chaos.Plan.events p | None -> [] in
+    let degrade (e : Chaos.Plan.timed) =
+      match e.Chaos.Plan.event with
+      | Chaos.Plan.Crash _ | Chaos.Plan.Link_down _ | Chaos.Plan.Partition _ -> true
+      | Chaos.Plan.Loss_rate r -> r > 0.0
+      | Chaos.Plan.Recover _ | Chaos.Plan.Link_up _ | Chaos.Plan.Heal -> false
+    in
+    let ep_list = match reconfig with Some rc -> rc.Reconfig.epochs | None -> [] in
+    let event_times =
+      List.map (fun (e : Chaos.Plan.timed) -> e.Chaos.Plan.at) plan_evs
+      @ List.map (fun (e : Reconfig.epoch) -> e.Reconfig.at) ep_list
+    in
+    let degrade_times =
+      List.filter_map
+        (fun (e : Chaos.Plan.timed) -> if degrade e then Some e.Chaos.Plan.at else None)
+        plan_evs
+      @ List.filter_map
+          (fun (e : Reconfig.epoch) ->
+            if e.Reconfig.leaves <> [] || e.Reconfig.link_down <> [] then Some e.Reconfig.at
+            else None)
+          ep_list
+    in
+    if degrade_times = [] then -1.0
+    else begin
+      let last_event = List.fold_left max 0.0 event_times in
+      let last_degrade = List.fold_left max (-1.0) degrade_times in
+      let best = ref infinity in
+      for g = 0 to total - 1 do
+        if
+          injected.(g) && covers.(g)
+          && inject_time.(g) >= last_event
+          && last_delivery.(g) < !best
+        then best := last_delivery.(g)
+      done;
+      if !best = infinity then -1.0 else !best -. last_degrade
+    end
   in
   give_scratch seen;
   let sorted = Array.sub !delays 0 !ndelays in
@@ -379,10 +546,18 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
   let throughput =
     if duration > 0.0 then float_of_int !ndelays /. duration else 0.0
   in
+  let control_messages =
+    if Network.bands net > 1 then (Network.band_stats net ~band:0).Network.sent else 0
+  in
   if obs_on then begin
     Obs.Registry.add (Obs.Registry.counter obs "traffic.chunks") chunks_injected;
     Obs.Registry.add (Obs.Registry.counter obs "traffic.deliveries") !ndelays;
-    Obs.Registry.set_max (Obs.Registry.gauge obs "traffic.throughput") throughput
+    Obs.Registry.set_max (Obs.Registry.gauge obs "traffic.throughput") throughput;
+    (* cache-thrash signal: entries the shared tree cache has ever
+       discarded — a snapshot swap mid-workload shows up here *)
+    Obs.Registry.set_max
+      (Obs.Registry.gauge obs "traffic.tree_cache_evictions")
+      (float_of_int (Tree_pack.Cache.evictions tree_cache))
   end;
   {
     workload;
@@ -408,25 +583,27 @@ let run_csr_env ~env ?plan ~csr ~(workload : Workload.t) () =
     tree_fallbacks = !fallbacks;
     tree_fallback_bursts = !fallback_bursts;
     recovery_time;
+    epochs_applied = !epochs_applied;
+    restripe_patched = !restripe_patched;
+    restripe_repacked = !restripe_repacked;
+    control_messages;
   }
 
-let run_env ~env ?plan ~graph ~workload () =
-  run_csr_env ~env ?plan ~csr:(Csr.of_graph graph) ~workload ()
+let run_env ~env ?plan ?reconfig ~graph ~workload () =
+  run_csr_env ~env ?plan ?reconfig ~csr:(Csr.of_graph graph) ~workload ()
 
 let schema = "lhg-traffic/1"
 
-let to_json ~topology ~n ~k ~seed r =
+(* The result body, written into a document someone else opened: the
+   caller (Scenario.report_traffic, the scenario stream) owns the
+   header — topology, sizes, seed — and the close; this stays a pure
+   result-to-stream projection with no idea where it is embedded. *)
+let emit s r =
   let module S = Obs.Stream in
-  let s = S.create ~schema () in
-  S.str s "topology" topology;
-  S.int s "n" n;
-  S.int s "k" k;
-  S.int s "seed" seed;
   S.obj s "workload" (fun s ->
       S.str s "arrival" (Workload.arrival_name r.workload.Workload.arrival);
       S.str s "dissemination" (Workload.dissemination_name r.workload.Workload.dissemination);
-      S.raw s "sources"
-        ("[" ^ String.concat ", " (List.map string_of_int r.sources) ^ "]");
+      S.ints s "sources" r.sources;
       S.int s "chunks_per_source" r.workload.Workload.chunks_per_source;
       S.float s "rate" r.workload.Workload.rate);
   S.obj s "chunks" (fun s ->
@@ -453,6 +630,11 @@ let to_json ~topology ~n ~k ~seed r =
                  Printf.sprintf "{\"src\": %d, \"dst\": %d, \"peak\": %d}" src dst peak)
                r.hot_links)
         ^ "]"));
+  S.obj s "reconfig" (fun s ->
+      S.int s "epochs_applied" r.epochs_applied;
+      S.int s "restripe_patched" r.restripe_patched;
+      S.int s "restripe_repacked" r.restripe_repacked;
+      S.int s "control_messages" r.control_messages);
   S.float s "duration" r.duration;
   S.summary s (fun s ->
       S.int s "deliveries" r.deliveries;
@@ -461,5 +643,4 @@ let to_json ~topology ~n ~k ~seed r =
       S.bool s "all_covered" r.all_covered;
       S.int s "tree_fallbacks" r.tree_fallbacks;
       S.int s "tree_fallback_bursts" r.tree_fallback_bursts;
-      S.float s "recovery_time" r.recovery_time);
-  S.contents s
+      S.float s "recovery_time" r.recovery_time)

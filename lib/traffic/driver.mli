@@ -14,15 +14,25 @@
     static faults) comes from the {!Flood.Env}; the traffic half
     (sources, arrival process, chunk count, rate, dissemination) from
     the {!Workload}. A {!Chaos.Plan} can be scheduled mid-stream to
-    measure degradation and recovery under sustained load.
+    measure degradation and recovery under sustained load, and a
+    {!Reconfig} timeline replays controller epochs against the running
+    stream: membership flips become crashes/recoveries on the union
+    snapshot, link flips fail/restore wires, [Trees] packs are
+    re-striped in place ({!Graph_core.Tree_pack.patch} first, full
+    masked re-pack on rebuild epochs or when the patch cannot finish),
+    and — when the env gives the network more than one priority band —
+    each commit floods a band-0 control notice that overtakes the
+    queued data backlog.
 
-    The run is deterministic in [(env, workload, plan)]: the injection
-    schedule is precomputed from the run seed, dissemination rides the
-    simulator's deterministic ordering (tree packings are themselves
-    deterministic, gossip draws from the sim's forked stream), and the
-    result — including {!to_json}'s [lhg-traffic/1] document — is
-    byte-identical across engines and [--jobs] counts (the domain pool
-    only parallelises tree packing, whose output is pool-invariant). *)
+    The run is deterministic in [(env, workload, plan, reconfig)]: the
+    injection schedule is precomputed from the run seed, dissemination
+    rides the simulator's deterministic ordering (tree packings and
+    patches are themselves deterministic, gossip draws from the sim's
+    forked stream), and the result — including the [lhg-traffic/1]
+    document {!emit} writes — is byte-identical across engines and
+    [--jobs] counts (the domain pool only parallelises tree packing,
+    whose output is pool-invariant; mid-run re-striping is always
+    sequential). *)
 
 type result = {
   workload : Workload.t;
@@ -69,17 +79,29 @@ type result = {
           volume over a broken tree where {!tree_fallbacks} does not;
           [bursts >= fallbacks] always *)
   recovery_time : float;
-      (** with a plan: earliest full-coverage completion among chunks
-          injected after the plan's last event, measured from its last
+      (** earliest full-coverage completion among chunks injected after
+          the last chaos-plan or reconfig event, measured from the last
           degrading event (crash / link down / partition / positive
-          loss rate) — the time for the stream to run clean again.
-          [-1] when there is no plan, no degrading event, or no clean
+          loss rate / leave) — the time for the stream to run clean
+          again. [-1] when there is no degrading event or no clean
           chunk afterwards. *)
+  epochs_applied : int;  (** reconfig commits that fired before the stream drained *)
+  restripe_patched : int;
+      (** (epoch, source) re-stripes {!Graph_core.Tree_pack.patch}
+          finished incrementally — on a repair-only churn trace this
+          should be {e all} of them *)
+  restripe_repacked : int;
+      (** (epoch, source) re-stripes that fell back to a full masked
+          pack: rebuild epochs, plus any patch that could not finish *)
+  control_messages : int;
+      (** band-0 sends (epoch-commit control floods); [0] when the env
+          has a single band or no reconfig timeline *)
 }
 
 val run_env :
   env:Flood.Env.t ->
   ?plan:Chaos.Plan.t ->
+  ?reconfig:Reconfig.t ->
   graph:Graph_core.Graph.t ->
   workload:Workload.t ->
   unit ->
@@ -87,28 +109,36 @@ val run_env :
 (** Run the workload to completion (the simulator drains; there is no
     horizon — finite streams always terminate). Consumes every [Env]
     field except [pool]. Registers [traffic.delay] (time bounds),
-    [traffic.chunks], [traffic.deliveries] and [traffic.throughput]
-    into an enabled [env.obs]; the network adds its own [net.*]
-    series including the [net.link_queue] occupancy histogram.
+    [traffic.chunks], [traffic.deliveries], [traffic.throughput] and
+    [traffic.tree_cache_evictions] into an enabled [env.obs]; the
+    network adds its own [net.*] series including the [net.link_queue]
+    occupancy histogram.
     @raise Invalid_argument on an invalid workload
     ({!Workload.validate}), a source crashed at t = 0, a plan that
-    fails {!Chaos.Plan.validate}, or a workload whose dedup table
-    would exceed 2^28 (chunk, node) pairs. *)
+    fails {!Chaos.Plan.validate}, a reconfig whose [union_n] differs
+    from the topology or that fails {!Reconfig.validate}, or a
+    workload whose dedup table would exceed 2^28 (chunk, node)
+    pairs. *)
 
 val run_csr_env :
   env:Flood.Env.t ->
   ?plan:Chaos.Plan.t ->
+  ?reconfig:Reconfig.t ->
   csr:Graph_core.Csr.t ->
   workload:Workload.t ->
   unit ->
   result
 (** {!run_env} directly over a frozen CSR snapshot — the million-
-    message path. *)
+    message path, and the only one a [?reconfig] timeline makes sense
+    on (its masks index the snapshot's edge slots). *)
 
 val schema : string
 (** ["lhg-traffic/1"]. *)
 
-val to_json : topology:string -> n:int -> k:int -> seed:int -> result -> string
-(** The run as one [lhg-traffic/1] document ({!Obs.Stream} formatting).
-    Contains no wall-clock fields, so two runs of the same
-    [(env, workload, plan)] produce byte-identical documents. *)
+val emit : Obs.Stream.t -> result -> unit
+(** Write the result body — workload, chunk/wire/delay/queue/reconfig
+    sections, duration, summary — into an open stream whose header
+    (topology, sizes, seed) the caller owns. Contains no wall-clock
+    fields, so equal runs emit byte-identical bodies; the standalone
+    [lhg-traffic/1] document is assembled by
+    [Scenario.report_traffic]. *)

@@ -1,0 +1,73 @@
+(* The traffic driver's view of a reconfiguration timeline: plain data,
+   deliberately ignorant of Overlay.Controller (traffic sits below the
+   overlay layer). The scenario runner pre-plays a controller trace,
+   freezes the union of every epoch's edges into one CSR snapshot, and
+   lowers the epochs into this schedule; the driver then replays it on
+   the simulated clock while the stream runs — membership flips are
+   crashes/recoveries, edge flips are link failures/restores, and each
+   commit re-stripes the per-source tree packs. *)
+
+type epoch = {
+  at : float;  (** commit instant on the simulated clock; strictly increasing *)
+  index : int;
+  joins : int list;  (** vertices entering the membership, ascending *)
+  leaves : int list;  (** vertices leaving, ascending *)
+  link_up : (int * int) list;  (** union-snapshot edges entering the live topology *)
+  link_down : (int * int) list;  (** live edges leaving (stay in the union snapshot) *)
+  repack : bool;
+      (** a rebuild-strategy epoch rewires wholesale: skip the
+          incremental patch and re-pack from scratch *)
+}
+
+type t = {
+  union_n : int;  (** vertex count of the union snapshot the stream runs on *)
+  member0 : bool array;  (** membership at t = 0 (length [union_n]) *)
+  absent0 : (int * int) list;  (** union edges not yet live at t = 0 *)
+  epochs : epoch list;  (** ascending [at] *)
+  tree_count : int option;
+      (** trees to request per masked pack ([None] = the snapshot
+          default) — pin it to the base overlay's ⌊k/2⌋ so the union
+          snapshot's degrees don't inflate the stripe width *)
+}
+
+let epoch_count t = List.length t.epochs
+
+(* a leave and a later join of the same id is legal (resize down then
+   up); a source leaving is not — the driver validates that *)
+let validate t ~sources =
+  let n = t.union_n in
+  let in_range v = v >= 0 && v < n in
+  if Array.length t.member0 <> n then Error "member0 length must equal union_n"
+  else begin
+    let bad = ref None in
+    let last_at = ref 0.0 in
+    let last_index = ref (-1) in
+    List.iter
+      (fun e ->
+        if !bad = None then begin
+          if e.at <= !last_at then
+            bad :=
+              Some
+                (if !last_index < 0 then "epoch commit times must be positive"
+                 else "epoch commit times must be strictly increasing");
+          if e.index <> !last_index + 1 then bad := Some "epoch indices must be consecutive from 0";
+          if List.exists (fun v -> not (in_range v)) e.joins then
+            bad := Some "join vertex out of the union range";
+          if List.exists (fun v -> not (in_range v)) e.leaves then
+            bad := Some "leave vertex out of the union range";
+          if List.exists (fun s -> List.mem s e.leaves) sources then
+            bad := Some "a traffic source leaves mid-run";
+          last_at := e.at;
+          last_index := e.index
+        end)
+      t.epochs;
+    (match !bad with
+    | None ->
+        List.iter
+          (fun s ->
+            if not (in_range s && t.member0.(s)) then
+              bad := Some (Printf.sprintf "source %d is not a member at t = 0" s))
+          sources
+    | Some _ -> ());
+    match !bad with None -> Ok () | Some e -> Error e
+  end

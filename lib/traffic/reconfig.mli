@@ -1,0 +1,44 @@
+(** A reconfiguration timeline for the traffic driver: the bridge that
+    lets a sustained stream and epoch-based membership change share one
+    simulated clock.
+
+    The driver knows nothing about {!Overlay.Controller}; it consumes
+    this plain schedule instead. The scenario layer pre-plays a
+    controller trace, freezes the {e union} of every epoch's edge set
+    into a single CSR snapshot (the one immutable topology the whole
+    run needs), and lowers the committed epochs here: vertices outside
+    the initial membership start crashed, edges not yet live start
+    failed, and each epoch's [at] instant flips memberships
+    (crash/recover), flips links (fail/restore), and re-stripes the
+    per-source tree packs ({!Graph_core.Tree_pack.patch}, falling back
+    to a full masked pack). *)
+
+type epoch = {
+  at : float;  (** commit instant on the simulated clock; strictly increasing *)
+  index : int;  (** consecutive from 0 *)
+  joins : int list;  (** vertices entering the membership, ascending *)
+  leaves : int list;  (** vertices leaving, ascending *)
+  link_up : (int * int) list;  (** union-snapshot edges entering the live topology *)
+  link_down : (int * int) list;  (** live edges leaving (they stay in the union snapshot) *)
+  repack : bool;
+      (** a rebuild-strategy epoch rewires wholesale: skip the
+          incremental patch, re-pack from scratch *)
+}
+
+type t = {
+  union_n : int;  (** vertex count of the union snapshot the stream runs on *)
+  member0 : bool array;  (** membership at t = 0 (length [union_n]) *)
+  absent0 : (int * int) list;  (** union edges not yet live at t = 0 *)
+  epochs : epoch list;  (** ascending [at] *)
+  tree_count : int option;
+      (** trees to request per masked pack ([None] = the snapshot
+          default) — pin it to the base overlay's ⌊k/2⌋ so the union
+          snapshot's inflated degrees don't widen the stripe *)
+}
+
+val epoch_count : t -> int
+
+val validate : t -> sources:int list -> (unit, string) result
+(** Structural checks: mask length, positive strictly-increasing commit
+    times, consecutive indices, vertices in range, every source a
+    member at t = 0 and never a leaver. *)

@@ -288,6 +288,46 @@ Bad traffic inputs fail with a diagnosis:
   error: rate must be a positive finite number of chunks per time unit
   [1]
 
+Churn under load: the scenario subcommand pre-plays a controller
+trace into epochs, freezes the union topology, and streams the
+workload through the reconfigurations — leavers crash, joiners
+recover, trees re-stripe incrementally (a repair-only trace never
+falls back to a full re-pack), and with --bands > 1 each commit
+floods a band-0 control notice past the data backlog. Exit 0 iff the
+SLOs hold and every epoch verified:
+
+  $ lhg_tool scenario -t kdiamond --n 24 --k 4 --sources 2 --chunks 40 --rate 0.5 --dissemination trees --capacity 2 --bands 2 --steps 12 --batch 3 --epoch-interval 30 --min-delivery 0.9
+  scenario kdiamond(n=24, k=4): 2 sources x 40 chunks, trees, 4 epochs every 30
+    epochs applied:     4 (4 repair / 0 rebuild), union n 24
+    all verified:       true
+    restripe:           8 patched, 0 repacked
+    control messages:   392
+    deliveries:         1690
+    delivery fraction:  0.9971
+    delay p50/p95/p99:  4.50/12.50/16.50
+    duration:           124.50
+    recovery time:      -1.00
+    SLO:                ok
+
+The lhg-scenario/1 document is byte-identical at any --jobs count and
+on either event engine (the controller pre-play is pure graph work,
+the driver is deterministic):
+
+  $ lhg_tool scenario --metrics json -t kdiamond --n 24 --k 4 --sources 2 --chunks 20 --rate 0.5 --dissemination trees --capacity 2 --bands 2 --steps 12 --batch 3 --epoch-interval 30 --min-delivery 0.9 > scen.json
+  $ lhg_tool scenario --metrics json --jobs 4 -t kdiamond --n 24 --k 4 --sources 2 --chunks 20 --rate 0.5 --dissemination trees --capacity 2 --bands 2 --steps 12 --batch 3 --epoch-interval 30 --min-delivery 0.9 > scen4.json
+  $ lhg_tool scenario --metrics json --engine heap -t kdiamond --n 24 --k 4 --sources 2 --chunks 20 --rate 0.5 --dissemination trees --capacity 2 --bands 2 --steps 12 --batch 3 --epoch-interval 30 --min-delivery 0.9 > scenh.json
+  $ cmp scen.json scen4.json && cmp scen.json scenh.json && grep -o '"schema": "lhg-scenario/1"' scen.json
+  "schema": "lhg-scenario/1"
+
+Bad scenario inputs fail with the shared validation wording:
+
+  $ lhg_tool scenario -t cycle --n 10 --k 2
+  error: scenario supports kinds ktree, kdiamond, jd, harary
+  [1]
+  $ lhg_tool scenario -t kdiamond --n 24 --k 4 --epoch-interval 0
+  error: --epoch-interval must be a positive finite time
+  [1]
+
 Self-assembly: n nodes gossip membership over a complete substrate,
 elect slots from the shape arithmetic and link up into the target LHG
 — no coordinator. Exit 0 iff the run converged and the realized

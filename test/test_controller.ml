@@ -107,8 +107,8 @@ let test_floor_rejection () =
   match Controller.create ~family:Overlay.Membership.Kdiamond ~k:4 ~n:8 () with
   | Error e -> Alcotest.fail (Overlay.Error.to_string e)
   | Ok t -> (
-      Controller.submit t Controller.Leave;
-      match Controller.flush t with
+      Controller.feed t Controller.Leave;
+      match Controller.commit_epoch t with
       | Error e -> Alcotest.fail (Overlay.Error.to_string e)
       | Ok e ->
           check_int "nothing applied" 0 e.Controller.applied;

@@ -249,6 +249,91 @@ let test_set_loss_rate_mid_run () =
     (Invalid_argument "Network.set_loss_rate: loss_rate outside [0,1)") (fun () ->
       Network.set_loss_rate net 1.0)
 
+(* Priority bands, randomised over one congested link: deliveries
+   within any band keep their send order (each band is FIFO and drops
+   happen at admission, so what survives is an increasing subsequence),
+   and the per-band counters conserve — sent = delivered + every drop
+   reason — while summing to the global stats. *)
+let prop_band_fifo_and_conservation =
+  qcheck ~count:40 "bands: FIFO within band + per-band conservation"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let module Prng = Graph_core.Prng in
+      let rngv = Prng.create ~seed in
+      let bands = 2 + Prng.int rngv 3 in
+      let qcap = 1 + Prng.int rngv 4 in
+      let loss = if Prng.bool rngv then 0.2 else 0.0 in
+      let sim = Sim.create () in
+      let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+      let net =
+        Network.create ~sim ~graph:g
+          ~latency:(Network.constant_latency 0.7)
+          ~loss_rate:loss ~link_capacity:1.0 ~queue_cap:qcap ~bands ()
+      in
+      let delivered = Array.make bands [] in
+      Network.set_receiver net (fun ~dst:_ ~src:_ (b, i) ->
+          delivered.(b) <- (i : int) :: delivered.(b));
+      let nmsg = 30 + Prng.int rngv 40 in
+      for i = 0 to nmsg - 1 do
+        let b = Prng.int rngv bands in
+        Sim.schedule sim ~delay:(float_of_int i *. 0.3) (fun () ->
+            Network.set_send_band net b;
+            Network.send net ~src:0 ~dst:1 (b, i))
+      done;
+      Sim.run sim;
+      let rec increasing = function
+        | a :: (b :: _ as tl) -> a < b && increasing tl
+        | _ -> true
+      in
+      let fifo_ok = Array.for_all (fun l -> increasing (List.rev l)) delivered in
+      let sum_sent = ref 0 and conserved = ref true in
+      for b = 0 to bands - 1 do
+        let s = Network.band_stats net ~band:b in
+        sum_sent := !sum_sent + s.Network.sent;
+        if
+          s.Network.sent
+          <> s.Network.delivered + s.Network.dropped_queue + s.Network.dropped_random
+             + s.Network.dropped_link + s.Network.dropped_crash
+        then conserved := false;
+        if List.length delivered.(b) <> s.Network.delivered then conserved := false
+      done;
+      fifo_ok && !conserved && !sum_sent = (Network.stats net).Network.sent)
+
+(* Strict priority: however deep the bulk backlog on the lowest band,
+   a band-0 message waits behind at most the one message already in
+   service — its delay never exceeds latency + 2 service times. *)
+let prop_band_high_priority_bound =
+  qcheck ~count:40 "bands: band 0 never waits behind the bulk backlog"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let module Prng = Graph_core.Prng in
+      let rngv = Prng.create ~seed in
+      let bands = 2 + Prng.int rngv 3 in
+      let cap = 0.5 +. (float_of_int (Prng.int rngv 20) /. 10.0) in
+      let latency = 0.5 in
+      let sim = Sim.create () in
+      let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+      let net =
+        Network.create ~sim ~graph:g
+          ~latency:(Network.constant_latency latency)
+          ~link_capacity:cap ~bands ()
+      in
+      (* bulk burst rides the default (lowest) band at t = 0 *)
+      let bulk = 5 + Prng.int rngv 50 in
+      for i = 1 to bulk do
+        Network.send net ~src:0 ~dst:1 (-i)
+      done;
+      let t1 = 0.1 +. (float_of_int (Prng.int rngv 30) /. 10.0) in
+      let arrival = ref nan in
+      Network.set_receiver net (fun ~dst:_ ~src:_ m -> if m = 99 then arrival := Sim.now sim);
+      Sim.schedule sim ~delay:t1 (fun () ->
+          let save = Network.send_band net in
+          Network.set_send_band net 0;
+          Network.send net ~src:0 ~dst:1 99;
+          Network.set_send_band net save);
+      Sim.run sim;
+      !arrival -. t1 <= latency +. (2.0 /. cap) +. 1e-9)
+
 let suite =
   [
     Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
@@ -274,4 +359,6 @@ let suite =
     Alcotest.test_case "processing delay idle resets" `Quick test_processing_delay_idle_resets;
     Alcotest.test_case "uniform latency bounds" `Quick test_uniform_latency_bounds;
     Alcotest.test_case "exponential latency floor" `Quick test_exponential_latency_floor;
+    prop_band_fifo_and_conservation;
+    prop_band_high_priority_bound;
   ]

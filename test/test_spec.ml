@@ -1,11 +1,11 @@
-(* Flood.Spec: the one record every front end fills in. The contract
+(* Scenario.Spec: the one record every front end fills in. The contract
    under test: validation errors keep the CLI's established wording,
    the derived graph/CSR/construction agree with the registry they
    front, and [with_pool] honours the jobs convention (0 = shared
    default, 1 = sequential, N = fresh pool, negative = error). *)
 
 open Helpers
-module Spec = Flood.Spec
+module Spec = Scenario.Spec
 module Env = Flood.Env
 module Graph = Graph_core.Graph
 module Csr = Graph_core.Csr

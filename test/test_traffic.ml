@@ -93,7 +93,7 @@ let prop_engine_identity =
           |> Env.with_engine engine
         in
         let r = Driver.run_env ~env ~graph:(graph ()) ~workload () in
-        Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
+        Scenario.report_traffic ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
       in
       String.equal (doc Sim.Calendar) (doc Sim.Heap))
 
@@ -185,7 +185,7 @@ let test_json_shape () =
   let r =
     Driver.run_env ~env:(Env.make ~seed:1 ()) ~graph:(graph ()) ~workload:Workload.default ()
   in
-  let doc = Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r in
+  let doc = Scenario.report_traffic ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r in
   let contains needle =
     let nl = String.length needle and hl = String.length doc in
     let rec go i = i + nl <= hl && (String.sub doc i nl = needle || go (i + 1)) in
@@ -207,7 +207,7 @@ let test_json_shape () =
     Driver.run_env ~env:(Env.make ~seed:1 ()) ~graph:(graph ()) ~workload:Workload.default ()
   in
   check_bool "byte-identical rerun" true
-    (String.equal doc (Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r'))
+    (String.equal doc (Scenario.report_traffic ~topology:"kdiamond" ~n:12 ~k:3 ~seed:1 r'))
 
 (* Trees dissemination: a clean striped stream costs exactly
    injected × (n−1) wire messages — the whole point of the strategy —
@@ -260,7 +260,7 @@ let prop_dissemination_identity =
           |> Env.with_engine engine
         in
         let r = Driver.run_env ~env ~graph:(graph ()) ~workload () in
-        Driver.to_json ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
+        Scenario.report_traffic ~topology:"kdiamond" ~n:12 ~k:3 ~seed r
       in
       let a = doc Sim.Calendar in
       String.equal a (doc Sim.Heap) && String.equal a (doc Sim.Calendar))

@@ -159,6 +159,117 @@ let test_pack_all_matches_pack () =
       done)
     sources
 
+(* Masked-pack validator for the re-stripe properties: every tree
+   spans exactly the member set from the source over usable in-graph
+   edges, depths are consistent, non-members stay outside, and no
+   undirected edge serves two trees. *)
+let masked_pack_ok csr p ~member ~usable =
+  let n = Tree_pack.n p in
+  let source = Tree_pack.source p in
+  let ok = ref true in
+  let all = Hashtbl.create 64 in
+  for t = 0 to Tree_pack.count p - 1 do
+    let reached = ref 1 in
+    for v = 0 to n - 1 do
+      let pa = Tree_pack.parent p ~tree:t v in
+      if v = source || not member.(v) then begin
+        if pa <> -1 then ok := false
+      end
+      else if
+        pa < 0
+        || (not member.(pa))
+        || (not (Csr.mem_edge csr pa v))
+        || (not (usable (Csr.edge_index csr pa v)))
+        || (not (usable (Csr.edge_index csr v pa)))
+        || Tree_pack.depth p ~tree:t v <> Tree_pack.depth p ~tree:t pa + 1
+      then ok := false
+      else begin
+        incr reached;
+        let e = (min pa v, max pa v) in
+        if Hashtbl.mem all e then ok := false else Hashtbl.replace all e ()
+      end
+    done;
+    if !reached <> Tree_pack.members p then ok := false
+  done;
+  !ok
+
+(* Incremental re-stripe under random epoch-shaped diffs (a few
+   leavers, a few dead links): a successful patch is structurally a
+   masked pack at the original count — spanning the survivors,
+   edge-disjoint, deterministic — and agrees with a fresh masked pack
+   on feasibility and tree count; a [None] means the count genuinely
+   became infeasible (the fresh pack backs off or the subgraph is
+   disconnected). *)
+let prop_patch_valid_and_tracks_fresh =
+  qcheck ~count:30 "patch: spanning + edge-disjoint + tracks fresh masked pack"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rngv = Graph_core.Prng.create ~seed in
+      let module Prng = Graph_core.Prng in
+      let k = 4 in
+      let n = (2 * k) + 6 + Prng.int rngv 40 in
+      let csr = csr_of ~kind:"kdiamond" ~n ~k ~seed:(seed land 0xFFF) in
+      let source = Prng.int rngv n in
+      let base = Tree_pack.pack csr ~source in
+      let member = Array.make n true in
+      let leavers = Prng.int rngv 3 in
+      let placed = ref 0 and tries = ref 0 in
+      while !placed < leavers && !tries < 100 do
+        incr tries;
+        let v = Prng.int rngv n in
+        if v <> source && member.(v) then begin
+          member.(v) <- false;
+          incr placed
+        end
+      done;
+      let edges = ref [] in
+      Csr.iter_edges csr (fun u v -> edges := (u, v) :: !edges);
+      let edges = Array.of_list !edges in
+      let dead = Hashtbl.create 8 in
+      for _ = 1 to Prng.int rngv 3 do
+        let u, v = edges.(Prng.int rngv (Array.length edges)) in
+        Hashtbl.replace dead (Csr.edge_index csr u v) ();
+        Hashtbl.replace dead (Csr.edge_index csr v u) ()
+      done;
+      let usable e = not (Hashtbl.mem dead e) in
+      let members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 member in
+      match Tree_pack.patch base csr ~member ~usable () with
+      | None -> (
+          match Tree_pack.pack ~member ~usable csr ~source with
+          | fresh -> Tree_pack.count fresh < Tree_pack.count base
+          | exception Invalid_argument _ -> true)
+      | Some p ->
+          let again =
+            match Tree_pack.patch base csr ~member ~usable () with
+            | Some q -> q
+            | None -> Alcotest.fail "patch not deterministic: second run refused"
+          in
+          let fresh = Tree_pack.pack ~count:(Tree_pack.count base) ~member ~usable csr ~source in
+          Tree_pack.count p = Tree_pack.count base
+          && Tree_pack.count fresh = Tree_pack.count p
+          && Tree_pack.members p = members
+          && masked_pack_ok csr p ~member ~usable
+          && List.for_all
+               (fun t -> Tree_pack.edges p ~tree:t = Tree_pack.edges again ~tree:t)
+               (List.init (Tree_pack.count p) Fun.id))
+
+let test_patch_noop_and_errors () =
+  let csr = csr_of ~kind:"kdiamond" ~n:40 ~k:4 ~seed:3 in
+  let p = Tree_pack.pack csr ~source:2 in
+  (* a diff that invalidates nothing returns the pack physically unchanged *)
+  (match Tree_pack.patch p csr ~member:(Array.make 40 true) () with
+  | Some q -> check_bool "no-op patch is physically the same pack" true (q == p)
+  | None -> Alcotest.fail "no-op patch refused");
+  let other = csr_of ~kind:"kdiamond" ~n:42 ~k:4 ~seed:3 in
+  Alcotest.check_raises "wrong snapshot size"
+    (Invalid_argument "Tree_pack.patch: CSR size does not match the pack") (fun () ->
+      ignore (Tree_pack.patch p other ()));
+  let masked_out = Array.make 40 true in
+  masked_out.(2) <- false;
+  Alcotest.check_raises "source masked out"
+    (Invalid_argument "Tree_pack.patch: source is not a member") (fun () ->
+      ignore (Tree_pack.patch p csr ~member:masked_out ()))
+
 let test_cache_reuse () =
   let csr = csr_of ~kind:"kdiamond" ~n:66 ~k:4 ~seed:7 in
   let cache = Tree_pack.Cache.create () in
@@ -182,5 +293,7 @@ let suite =
     Alcotest.test_case "count override + backoff" `Quick test_count_override_and_backoff;
     Alcotest.test_case "invalid inputs raise" `Quick test_invalid_inputs;
     Alcotest.test_case "pack_all: pool-invariant" `Quick test_pack_all_matches_pack;
+    prop_patch_valid_and_tracks_fresh;
+    Alcotest.test_case "patch: no-op + errors" `Quick test_patch_noop_and_errors;
     Alcotest.test_case "cache reuse + reset" `Quick test_cache_reuse;
   ]
